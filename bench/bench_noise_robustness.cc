@@ -1,0 +1,108 @@
+/// \file
+/// Experiment E8 (§1/§2: changes are partial and not perfectly clean —
+/// Cathy and James kept their bonus): recovery quality as (a) additive noise
+/// corrupts the transformed values and (b) a fraction of covered rows is
+/// randomly exempted from the policy. Recovery must degrade gracefully, not
+/// collapse.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "workload/employee_gen.h"
+
+namespace charles {
+namespace bench {
+namespace {
+
+struct Outcome {
+  double f1;
+  double recall;
+  double accuracy;
+  double score;
+};
+
+Outcome RunWith(const PolicyApplicationOptions& apply_options, double jaccard,
+                double transform_tolerance) {
+  EmployeeGenOptions gen;
+  gen.num_rows = 2000;
+  Table source = GenerateEmployees(gen).ValueOrDie();
+  Policy policy = MakeEmployeeBonusPolicy();
+  Table target = policy.Apply(source, apply_options).ValueOrDie();
+  CharlesOptions options = DefaultBenchOptions("bonus", "emp_id");
+  SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+  const ChangeSummary& top = result.summaries[0];
+  RecoveryOptions recovery_options;
+  recovery_options.min_partition_jaccard = jaccard;
+  recovery_options.transform_tolerance = transform_tolerance;
+  RecoveryReport recovery =
+      EvaluateRecovery(policy, top, source, recovery_options).ValueOrDie();
+  return Outcome{recovery.f1, recovery.rule_recall, top.scores().accuracy,
+                 top.scores().score};
+}
+
+void PrintExperiment() {
+  PrintHeader("E8: robustness to noise and policy exemptions",
+              "recovery degrades gracefully; no cliff at small perturbations");
+
+  std::printf("-- additive Gaussian noise on transformed bonuses (2000 rows) --\n");
+  std::vector<int> widths = {12, 8, 8, 9, 9};
+  PrintRule(widths);
+  PrintTableRow(widths, {"noise sigma", "f1", "recall", "accuracy", "score"});
+  PrintRule(widths);
+  for (double sigma : {0.0, 5.0, 20.0, 50.0, 100.0, 200.0}) {
+    PolicyApplicationOptions apply_options;
+    apply_options.noise_stddev = sigma;
+    apply_options.seed = 11;
+    // With noise, demand the right partitions but tolerate inexact rules in
+    // proportion to the injected noise.
+    double tolerance = sigma == 0.0 ? 0.01 : 0.05;
+    Outcome outcome = RunWith(apply_options, 0.85, tolerance);
+    PrintTableRow(widths, {Fmt(sigma, 0), Fmt(outcome.f1, 3), Fmt(outcome.recall, 3),
+                           Fmt(outcome.accuracy, 3), Fmt(outcome.score, 3)});
+  }
+  PrintRule(widths);
+
+  std::printf("\n-- random exemptions (rows the policy should cover but skipped) --\n");
+  PrintRule(widths);
+  PrintTableRow(widths, {"exempted", "f1", "recall", "accuracy", "score"});
+  PrintRule(widths);
+  for (double fraction : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
+    PolicyApplicationOptions apply_options;
+    apply_options.unchanged_fraction = fraction;
+    apply_options.seed = 11;
+    // Exempted rows dilute every partition's row set; scale the overlap
+    // requirement accordingly.
+    double jaccard = std::max(0.4, 0.9 - fraction);
+    Outcome outcome = RunWith(apply_options, jaccard, 0.01);
+    PrintTableRow(widths,
+                  {Fmt(fraction, 2), Fmt(outcome.f1, 3), Fmt(outcome.recall, 3),
+                   Fmt(outcome.accuracy, 3), Fmt(outcome.score, 3)});
+  }
+  PrintRule(widths);
+}
+
+void BM_NoisyRun(benchmark::State& state) {
+  EmployeeGenOptions gen;
+  gen.num_rows = 2000;
+  Table source = GenerateEmployees(gen).ValueOrDie();
+  PolicyApplicationOptions apply_options;
+  apply_options.noise_stddev = static_cast<double>(state.range(0));
+  Table target = MakeEmployeeBonusPolicy().Apply(source, apply_options).ValueOrDie();
+  CharlesOptions options = DefaultBenchOptions("bonus", "emp_id");
+  for (auto _ : state) {
+    SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+    benchmark::DoNotOptimize(result.summaries[0].scores().score);
+  }
+}
+BENCHMARK(BM_NoisyRun)->Arg(0)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace charles
+
+int main(int argc, char** argv) {
+  charles::bench::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

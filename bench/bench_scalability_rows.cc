@@ -1,0 +1,76 @@
+/// \file
+/// Experiment E4 (§1 motivation; demo dataset ~9k employees): end-to-end
+/// runtime as the number of rows grows from 1k to 64k on the Montgomery-style
+/// workload, with the engine's per-phase breakdown. The shape to reproduce:
+/// near-linear growth (clustering and transformation fitting are O(n); the
+/// condition-tree sweeps are O(n log n)).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "workload/montgomery_gen.h"
+
+namespace charles {
+namespace bench {
+namespace {
+
+CharlesOptions ScalabilityOptions() {
+  CharlesOptions options = DefaultBenchOptions("base_salary", "employee_id");
+  return options;
+}
+
+void PrintExperiment() {
+  PrintHeader("E4: runtime vs rows (paper's ~9k-employee demo scale)",
+              "interactive at demo scale; near-linear growth");
+  std::vector<int> widths = {8, 10, 10, 10, 10, 9, 10};
+  PrintRule(widths);
+  PrintTableRow(widths, {"rows", "total s", "cluster s", "induce s", "fit s",
+                         "top acc", "top score"});
+  PrintRule(widths);
+  for (int64_t rows : {1000, 2000, 4000, 9000, 16000}) {
+    MontgomeryGenOptions gen;
+    gen.num_rows = rows;
+    Table source = GenerateMontgomery2016(gen).ValueOrDie();
+    Table target = GenerateMontgomery2017(source).ValueOrDie();
+    SummaryList result = SummarizeChanges(source, target, ScalabilityOptions()).ValueOrDie();
+    PrintTableRow(widths,
+                  {std::to_string(rows), Fmt(result.elapsed_seconds, 2),
+                   Fmt(result.clustering_seconds, 2), Fmt(result.induction_seconds, 2),
+                   Fmt(result.fitting_seconds, 2),
+                   Fmt(result.summaries[0].scores().accuracy, 3),
+                   Fmt(result.summaries[0].scores().score, 3)});
+  }
+  PrintRule(widths);
+}
+
+void BM_EndToEndRows(benchmark::State& state) {
+  MontgomeryGenOptions gen;
+  gen.num_rows = state.range(0);
+  Table source = GenerateMontgomery2016(gen).ValueOrDie();
+  Table target = GenerateMontgomery2017(source).ValueOrDie();
+  CharlesOptions options = ScalabilityOptions();
+  for (auto _ : state) {
+    SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+    benchmark::DoNotOptimize(result.summaries[0].scores().score);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EndToEndRows)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Arg(64000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Complexity(benchmark::oNLogN);
+
+}  // namespace
+}  // namespace bench
+}  // namespace charles
+
+int main(int argc, char** argv) {
+  charles::bench::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

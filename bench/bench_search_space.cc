@@ -1,0 +1,106 @@
+/// \file
+/// Experiment E5 (§2 "the search space for possible summaries can explode"):
+/// candidate-space size and runtime as a function of the number of candidate
+/// attributes and of the user caps c (condition attrs) and t (transform
+/// attrs). The setup assistant's shortlist is what keeps this tractable.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "workload/employee_gen.h"
+
+namespace charles {
+namespace bench {
+namespace {
+
+void PrintExperiment() {
+  PrintHeader("E5: search-space growth vs candidate attributes and (c, t)",
+              "subset counts grow combinatorially; shortlists + caps keep runs "
+              "interactive");
+
+  // Sweep 1: decoy attributes widen the candidate pool (caps lifted so the
+  // growth is visible).
+  std::printf("-- candidate pool growth (c=3, t=2, shortlist caps lifted) --\n");
+  std::vector<int> widths = {8, 10, 10, 12, 11, 9};
+  PrintRule(widths);
+  PrintTableRow(widths, {"decoys", "C subsets", "T subsets", "partitions",
+                         "candidates", "total s"});
+  PrintRule(widths);
+  for (int decoys : {0, 4, 8}) {
+    EmployeeGenOptions gen;
+    gen.num_rows = 1000;
+    gen.num_decoy_numeric = decoys / 2;
+    gen.num_decoy_categorical = decoys / 2;
+    Table source = GenerateEmployees(gen).ValueOrDie();
+    Table target = MakeEmployeeBonusPolicy().Apply(source).ValueOrDie();
+    CharlesOptions options = DefaultBenchOptions("bonus", "emp_id");
+    options.max_condition_candidates = 4 + decoys;  // lift the shortlist cap
+    options.max_transform_candidates = 3 + decoys / 2;
+    options.min_condition_candidates = 4 + decoys;  // force-keep decoys
+    options.min_transform_candidates = 3 + decoys / 2;
+    SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+    PrintTableRow(widths,
+                  {std::to_string(decoys), std::to_string(result.condition_subsets),
+                   std::to_string(result.transform_subsets),
+                   std::to_string(result.partitions),
+                   std::to_string(result.candidates_evaluated),
+                   Fmt(result.elapsed_seconds, 2)});
+  }
+  PrintRule(widths);
+
+  // Sweep 2: the (c, t) caps at a fixed candidate pool.
+  std::printf("\n-- user caps c and t (8 decoys, shortlists capped at 6/5) --\n");
+  std::vector<int> widths2 = {6, 6, 10, 10, 11, 9, 9};
+  PrintRule(widths2);
+  PrintTableRow(widths2,
+                {"c", "t", "C subsets", "T subsets", "candidates", "total s", "top acc"});
+  PrintRule(widths2);
+  EmployeeGenOptions gen;
+  gen.num_rows = 1000;
+  gen.num_decoy_numeric = 4;
+  gen.num_decoy_categorical = 4;
+  Table source = GenerateEmployees(gen).ValueOrDie();
+  Table target = MakeEmployeeBonusPolicy().Apply(source).ValueOrDie();
+  for (int c : {1, 2, 3, 4}) {
+    for (int t : {1, 2}) {
+      CharlesOptions options = DefaultBenchOptions("bonus", "emp_id");
+      options.max_condition_attrs = c;
+      options.max_transform_attrs = t;
+      SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+      PrintTableRow(widths2,
+                    {std::to_string(c), std::to_string(t),
+                     std::to_string(result.condition_subsets),
+                     std::to_string(result.transform_subsets),
+                     std::to_string(result.candidates_evaluated),
+                     Fmt(result.elapsed_seconds, 2),
+                     Fmt(result.summaries[0].scores().accuracy, 3)});
+    }
+  }
+  PrintRule(widths2);
+}
+
+void BM_SearchSpaceDecoys(benchmark::State& state) {
+  EmployeeGenOptions gen;
+  gen.num_rows = 1000;
+  gen.num_decoy_numeric = static_cast<int>(state.range(0)) / 2;
+  gen.num_decoy_categorical = static_cast<int>(state.range(0)) / 2;
+  Table source = GenerateEmployees(gen).ValueOrDie();
+  Table target = MakeEmployeeBonusPolicy().Apply(source).ValueOrDie();
+  CharlesOptions options = DefaultBenchOptions("bonus", "emp_id");
+  for (auto _ : state) {
+    SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+    benchmark::DoNotOptimize(result.candidates_evaluated);
+  }
+}
+BENCHMARK(BM_SearchSpaceDecoys)->Arg(0)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace charles
+
+int main(int argc, char** argv) {
+  charles::bench::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "bench_util.h"
+
+#include "core/scoring.h"
+#include "ml/decision_tree.h"
+
+namespace charles {
+namespace bench {
+
+Result<ChangeSummary> BuildGlobalRegressionBaseline(const CharlesEngine& engine,
+                                                    const Table& source,
+                                                    const std::vector<double>& y_old,
+                                                    const std::vector<double>& y_new) {
+  // A single TRUE-conditioned partition over every row, transformed by a
+  // regression on the target's old value.
+  PartitionCandidate universal;
+  DecisionTree::Leaf leaf;
+  leaf.condition = MakeTrue();
+  leaf.rows = RowSet::All(source.num_rows());
+  universal.leaves.push_back(std::move(leaf));
+  universal.k = 1;
+  return engine.BuildSummary(source, y_old, y_new, universal,
+                             {engine.options().target_attribute}, {});
+}
+
+Result<ChangeSummary> BuildCellDiffBaseline(const CharlesOptions& options,
+                                            const Table& source,
+                                            const std::vector<double>& y_old,
+                                            const std::vector<double>& y_new) {
+  if (options.key_columns.size() != 1) {
+    return Status::InvalidArgument("cell-diff baseline expects a single key column");
+  }
+  const std::string& key = options.key_columns[0];
+  std::vector<ConditionalTransform> cts;
+  for (int64_t row = 0; row < source.num_rows(); ++row) {
+    double delta = y_new[static_cast<size_t>(row)] - y_old[static_cast<size_t>(row)];
+    if (std::abs(delta) <= options.numeric_tolerance) continue;
+    ConditionalTransform ct;
+    CHARLES_ASSIGN_OR_RETURN(Value key_value, source.GetValueByName(row, key));
+    ct.condition = MakeColumnCompare(key, CompareOp::kEq, key_value);
+    LinearModel constant;
+    constant.intercept = y_new[static_cast<size_t>(row)];
+    ct.transform = LinearTransform::Linear(options.target_attribute, constant);
+    ct.rows = RowSet({row});
+    ct.coverage = RowSet({row}).Coverage(source.num_rows());
+    ct.partition_mae = 0.0;
+    cts.push_back(std::move(ct));
+  }
+  ChangeSummary summary(std::move(cts), options.target_attribute);
+  Scorer scorer(options, y_old, y_new);
+  CHARLES_ASSIGN_OR_RETURN(ScoreBreakdown scores,
+                           scorer.ApplyAndScore(summary, source));
+  summary.set_scores(scores);
+  return summary;
+}
+
+}  // namespace bench
+}  // namespace charles

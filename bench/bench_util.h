@@ -1,0 +1,78 @@
+#ifndef CHARLES_BENCH_BENCH_UTIL_H_
+#define CHARLES_BENCH_BENCH_UTIL_H_
+
+/// \file
+/// Shared helpers for the experiment benches: fixed-width table printing and
+/// canonical workload constructions. Every bench binary prints the rows or
+/// series of its experiment (EXPERIMENTS.md records paper-vs-measured) and
+/// then runs its google-benchmark timings.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/charles.h"
+#include "workload/policy.h"
+
+namespace charles {
+namespace bench {
+
+/// Prints a horizontal rule sized to the given column widths.
+inline void PrintRule(const std::vector<int>& widths) {
+  std::string line = "+";
+  for (int w : widths) {
+    line += std::string(static_cast<size_t>(w) + 2, '-');
+    line += "+";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+/// Prints one table row with the given per-column widths.
+inline void PrintTableRow(const std::vector<int>& widths,
+                          const std::vector<std::string>& cells) {
+  CHARLES_CHECK_EQ(widths.size(), cells.size());
+  std::string line = "|";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    line += " " + PadRight(cells[i], static_cast<size_t>(widths[i])) + " |";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+inline std::string Fmt(double v, int decimals = 4) { return FormatDouble(v, decimals); }
+
+/// Banner for an experiment section.
+inline void PrintHeader(const std::string& experiment, const std::string& claim) {
+  std::printf("\n=== %s ===\n", experiment.c_str());
+  if (!claim.empty()) std::printf("paper anchor: %s\n\n", claim.c_str());
+}
+
+/// The engine options every experiment starts from (the demo defaults).
+inline CharlesOptions DefaultBenchOptions(const std::string& target,
+                                          const std::string& key) {
+  CharlesOptions options;
+  options.target_attribute = target;
+  options.key_columns = {key};
+  return options;
+}
+
+/// \brief The R4-style baseline: one global regression, no partitioning
+/// ("Everyone receives about 6% increase on last year's bonus").
+Result<ChangeSummary> BuildGlobalRegressionBaseline(const CharlesEngine& engine,
+                                                    const Table& source,
+                                                    const std::vector<double>& y_old,
+                                                    const std::vector<double>& y_new);
+
+/// \brief The exhaustive cell-level diff "summary": one CT per changed row,
+/// keyed by the primary key — perfectly accurate, catastrophically verbose
+/// (the related-work strawman ChARLES improves on).
+Result<ChangeSummary> BuildCellDiffBaseline(const CharlesOptions& options,
+                                            const Table& source,
+                                            const std::vector<double>& y_old,
+                                            const std::vector<double>& y_new);
+
+}  // namespace bench
+}  // namespace charles
+
+#endif  // CHARLES_BENCH_BENCH_UTIL_H_

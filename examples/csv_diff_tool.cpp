@@ -1,0 +1,140 @@
+/// \file
+/// \brief Generic command-line ChARLES: summarize the change between two CSV
+/// snapshots of the same relation ("plug their own datasets into ChARLES").
+///
+/// Usage:
+///   csv_diff_tool <source.csv> <target.csv> --target=ATTR --key=COL[,COL...]
+///                 [--alpha=0.5] [--top=10] [--c=3] [--t=2]
+///                 [--cond=COL[,COL...]] [--tran=COL[,COL...]] [--tree]
+///
+/// Example:
+///   ./build/examples/csv_diff_tool salaries_2016.csv salaries_2017.csv \
+///       --target=base_salary --key=employee_id --tree
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/charles.h"
+
+namespace {
+
+using namespace charles;
+
+struct Args {
+  std::string source_path;
+  std::string target_path;
+  CharlesOptions options;
+  bool show_tree = false;
+  bool valid = false;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: csv_diff_tool <source.csv> <target.csv> --target=ATTR "
+               "--key=COL[,COL...]\n"
+               "                     [--alpha=0.5] [--top=10] [--c=3] [--t=2]\n"
+               "                     [--cond=COL,...] [--tran=COL,...] [--tree]\n");
+}
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (StartsWith(arg, "--target=")) {
+      args.options.target_attribute = value_of("--target=");
+    } else if (StartsWith(arg, "--key=")) {
+      args.options.key_columns = Split(value_of("--key="), ',');
+    } else if (StartsWith(arg, "--alpha=")) {
+      args.options.alpha = std::atof(value_of("--alpha=").c_str());
+    } else if (StartsWith(arg, "--top=")) {
+      args.options.top_n = std::atoi(value_of("--top=").c_str());
+    } else if (StartsWith(arg, "--c=")) {
+      args.options.max_condition_attrs = std::atoi(value_of("--c=").c_str());
+    } else if (StartsWith(arg, "--t=")) {
+      args.options.max_transform_attrs = std::atoi(value_of("--t=").c_str());
+    } else if (StartsWith(arg, "--cond=")) {
+      args.options.condition_attributes = Split(value_of("--cond="), ',');
+    } else if (StartsWith(arg, "--tran=")) {
+      args.options.transform_attributes = Split(value_of("--tran="), ',');
+    } else if (arg == "--tree") {
+      args.show_tree = true;
+    } else if (StartsWith(arg, "--")) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return args;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2 || args.options.target_attribute.empty() ||
+      args.options.key_columns.empty()) {
+    return args;
+  }
+  args.source_path = positional[0];
+  args.target_path = positional[1];
+  args.valid = true;
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+  if (!args.valid) {
+    PrintUsage();
+    return 2;
+  }
+
+  Result<Table> source = CsvReader::ReadFile(args.source_path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", args.source_path.c_str(),
+                 source.status().ToString().c_str());
+    return 1;
+  }
+  Result<Table> target = CsvReader::ReadFile(args.target_path);
+  if (!target.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", args.target_path.c_str(),
+                 target.status().ToString().c_str());
+    return 1;
+  }
+
+  // CSV inference can type the same column int64 in one year and double in
+  // the other; promote such pairs before diffing.
+  Result<std::pair<Table, Table>> unified = UnifyNumericTypes(*source, *target);
+  if (!unified.ok()) {
+    std::fprintf(stderr, "type unification failed: %s\n",
+                 unified.status().ToString().c_str());
+    return 1;
+  }
+  Table& source_table = unified->first;
+  Table& target_table = unified->second;
+
+  // A quick raw diff first, so the user sees what changed at all.
+  DiffOptions diff_options;
+  diff_options.key_columns = args.options.key_columns;
+  Result<SnapshotDiff> diff = SnapshotDiff::Compute(source_table, target_table, diff_options);
+  if (!diff.ok()) {
+    std::fprintf(stderr, "diff failed: %s\n", diff.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", diff->Summary().c_str());
+
+  Result<SummaryList> result =
+      SummarizeChanges(source_table, target_table, args.options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "ChARLES failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", result->ToString().c_str());
+  if (args.show_tree && !result->summaries.empty()) {
+    std::printf("\ntop summary as a model tree:\n%s",
+                result->summaries[0].tree()->Render().c_str());
+  }
+  return 0;
+}

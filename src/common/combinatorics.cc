@@ -1,0 +1,63 @@
+#include "common/combinatorics.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace charles {
+
+namespace {
+
+void EnumerateOfSize(int n, int k, std::vector<std::vector<int>>* out) {
+  std::vector<int> current(k);
+  for (int i = 0; i < k; ++i) current[i] = i;
+  while (true) {
+    out->push_back(current);
+    // Advance to the next k-combination in lexicographic order.
+    int i = k - 1;
+    while (i >= 0 && current[i] == n - k + i) --i;
+    if (i < 0) break;
+    ++current[i];
+    for (int j = i + 1; j < k; ++j) current[j] = current[j - 1] + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> EnumerateSubsets(int n, int max_size) {
+  CHARLES_CHECK_GE(n, 0);
+  std::vector<std::vector<int>> out;
+  if (n == 0 || max_size <= 0) return out;
+  int limit = std::min(n, max_size);
+  for (int k = 1; k <= limit; ++k) EnumerateOfSize(n, k, &out);
+  return out;
+}
+
+int64_t BinomialCoefficient(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  int64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    // result *= (n - k + i) / i, guarding against overflow.
+    if (result > std::numeric_limits<int64_t>::max() / (n - k + i)) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+int64_t CountSubsets(int n, int max_size) {
+  int64_t total = 0;
+  int limit = std::min(n, max_size);
+  for (int k = 1; k <= limit; ++k) {
+    int64_t c = BinomialCoefficient(n, k);
+    if (total > std::numeric_limits<int64_t>::max() - c) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    total += c;
+  }
+  return total;
+}
+
+}  // namespace charles

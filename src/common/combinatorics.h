@@ -1,0 +1,24 @@
+#ifndef CHARLES_COMMON_COMBINATORICS_H_
+#define CHARLES_COMMON_COMBINATORICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace charles {
+
+/// \brief Enumerates every subset of {0, .., n-1} with 1 <= |subset| <= max_size.
+///
+/// Subsets are emitted in increasing cardinality, then lexicographic order,
+/// so callers that truncate still see all small (more interpretable) subsets
+/// first. This drives the ChARLES (C, T) candidate enumeration.
+std::vector<std::vector<int>> EnumerateSubsets(int n, int max_size);
+
+/// Number of subsets EnumerateSubsets(n, max_size) yields: sum_{k=1..m} C(n,k).
+int64_t CountSubsets(int n, int max_size);
+
+/// Binomial coefficient C(n, k); saturates at INT64_MAX on overflow.
+int64_t BinomialCoefficient(int n, int k);
+
+}  // namespace charles
+
+#endif  // CHARLES_COMMON_COMBINATORICS_H_

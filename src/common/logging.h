@@ -1,0 +1,73 @@
+#ifndef CHARLES_COMMON_LOGGING_H_
+#define CHARLES_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace charles {
+
+/// Severity of a log message; kFatal aborts the process after logging.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal {
+
+/// Stream-backed single-message logger; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Messages below this level are suppressed (default kInfo).
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+}  // namespace charles
+
+#define CHARLES_LOG(level)                                                 \
+  ::charles::internal::LogMessage(::charles::LogLevel::k##level, __FILE__, \
+                                  __LINE__)
+
+/// CHECK macros guard against programmer errors (never data errors — those
+/// get a Status). Failing a CHECK logs and aborts.
+#define CHARLES_CHECK(condition)       \
+  if (!(condition))                    \
+  CHARLES_LOG(Fatal) << "Check failed: " #condition " "
+
+#define CHARLES_CHECK_OK(status_expr)                     \
+  do {                                                    \
+    ::charles::Status _charles_check_s_ = (status_expr);  \
+    CHARLES_CHECK(_charles_check_s_.ok())                 \
+        << "status = " << _charles_check_s_.ToString();   \
+  } while (false)
+
+#define CHARLES_CHECK_EQ(a, b) CHARLES_CHECK((a) == (b))
+#define CHARLES_CHECK_NE(a, b) CHARLES_CHECK((a) != (b))
+#define CHARLES_CHECK_LT(a, b) CHARLES_CHECK((a) < (b))
+#define CHARLES_CHECK_LE(a, b) CHARLES_CHECK((a) <= (b))
+#define CHARLES_CHECK_GT(a, b) CHARLES_CHECK((a) > (b))
+#define CHARLES_CHECK_GE(a, b) CHARLES_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define CHARLES_DCHECK(condition) \
+  if (false) CHARLES_LOG(Fatal)
+#else
+#define CHARLES_DCHECK(condition) CHARLES_CHECK(condition)
+#endif
+
+#endif  // CHARLES_COMMON_LOGGING_H_

@@ -1,0 +1,20 @@
+#include "common/random.h"
+
+#include <numeric>
+
+namespace charles {
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  CHARLES_CHECK(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  CHARLES_CHECK(total > 0.0) << "WeightedIndex requires a positive total weight";
+  double ticket = Uniform(0.0, total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (ticket < cumulative) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace charles

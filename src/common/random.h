@@ -1,0 +1,70 @@
+#ifndef CHARLES_COMMON_RANDOM_H_
+#define CHARLES_COMMON_RANDOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace charles {
+
+/// \brief Deterministic random source used by every stochastic component.
+///
+/// Wraps std::mt19937_64 behind named distributions so that seeds flow
+/// explicitly: identical seeds produce identical pipelines end-to-end, on any
+/// platform with the same standard library.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    CHARLES_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean/stddev.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    CHARLES_CHECK(!items.empty());
+    return items[static_cast<size_t>(UniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+  /// Index drawn from an unnormalized non-negative weight vector.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    std::shuffle(items->begin(), items->end(), engine_);
+  }
+
+  /// A derived seed, for fanning out independent child Rngs.
+  uint64_t NextSeed() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_COMMON_RANDOM_H_

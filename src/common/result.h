@@ -1,0 +1,78 @@
+#ifndef CHARLES_COMMON_RESULT_H_
+#define CHARLES_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace charles {
+
+/// \brief Either a value of type T or a non-OK Status explaining its absence.
+///
+/// The value-or-error vocabulary type of the library (Arrow's Result /
+/// absl::StatusOr shape). Typical consumption:
+///
+/// \code
+///   CHARLES_ASSIGN_OR_RETURN(Table table, CsvReader::ReadFile(path));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, enables `return status;`).
+  /// Passing an OK status is a programmer error and turns into kInternal.
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(storage_).ok()) {
+      storage_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// The error status, or OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(storage_);
+  }
+
+  /// \name Value accessors. CHECK-fail when no value is held.
+  /// @{
+  const T& ValueOrDie() const& {
+    CHARLES_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(storage_);
+  }
+  T& ValueOrDie() & {
+    CHARLES_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(storage_);
+  }
+  T ValueOrDie() && {
+    CHARLES_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::move(std::get<T>(storage_));
+  }
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  /// @}
+
+  /// Moves the value out without checking; only for macro internals that have
+  /// already verified ok().
+  T ValueUnsafe() && { return std::move(std::get<T>(storage_)); }
+
+  /// Returns the value, or `alternative` if this holds an error.
+  T ValueOr(T alternative) const& {
+    return ok() ? std::get<T>(storage_) : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> storage_;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_COMMON_RESULT_H_

@@ -1,0 +1,56 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace charles {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kTypeError:
+      return "Type error";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kUnknown:
+      return "Unknown error";
+  }
+  return "Bad status code";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string msg(context);
+  msg += ": ";
+  msg += message_;
+  return Status(code_, std::move(msg));
+}
+
+void Status::AbortIfNotOk() const {
+  if (ok()) return;
+  std::fprintf(stderr, "Fatal status: %s\n", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace charles

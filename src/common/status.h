@@ -1,0 +1,131 @@
+#ifndef CHARLES_COMMON_STATUS_H_
+#define CHARLES_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace charles {
+
+/// \brief Machine-readable category of a Status.
+///
+/// Mirrors the Arrow/RocksDB convention: a small closed set of categories, a
+/// free-form human-readable message alongside.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kTypeError,
+  kIOError,
+  kNotImplemented,
+  kInternal,
+  kUnknown,
+};
+
+/// \brief Returns the canonical name of a StatusCode ("OK", "Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail without a payload.
+///
+/// ChARLES never throws across library boundaries: every fallible public API
+/// returns a Status (or a Result<T>, see result.h). Statuses are cheap to
+/// copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \name Named constructors, one per category.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+  /// @}
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsTypeError() const { return code_ == StatusCode::kTypeError; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<category>: <message>".
+  std::string ToString() const;
+
+  /// Prepends context to the message, keeping the code. No-op on OK statuses.
+  Status WithContext(std::string_view context) const;
+
+  /// Aborts the process with the status message if not OK. For use in tests
+  /// and main()s, never in library code.
+  void AbortIfNotOk() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace charles
+
+/// Evaluates an expression returning Status; propagates it on failure.
+#define CHARLES_RETURN_NOT_OK(expr)                \
+  do {                                             \
+    ::charles::Status _charles_status_ = (expr);   \
+    if (!_charles_status_.ok()) return _charles_status_; \
+  } while (false)
+
+#define CHARLES_CONCAT_IMPL(x, y) x##y
+#define CHARLES_CONCAT(x, y) CHARLES_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on success binds the value to
+/// `lhs` (which may include a declaration), on failure propagates the status.
+#define CHARLES_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  CHARLES_ASSIGN_OR_RETURN_IMPL(                                  \
+      CHARLES_CONCAT(_charles_result_, __COUNTER__), lhs, rexpr)
+
+#define CHARLES_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto&& result_name = (rexpr);                                \
+  if (!result_name.ok()) return result_name.status();          \
+  lhs = std::move(result_name).ValueUnsafe()
+
+#endif  // CHARLES_COMMON_STATUS_H_

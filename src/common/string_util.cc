@@ -1,0 +1,148 @@
+#include "common/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace charles {
+
+std::vector<std::string> Split(std::string_view input, char delimiter) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(input.substr(start));
+      break;
+    }
+    pieces.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces, std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += separator;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string_view TrimView(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(input[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1]))) --end;
+  return input.substr(begin, end - begin);
+}
+
+std::string Trim(std::string_view input) { return std::string(TrimView(input)); }
+
+std::string ToLower(std::string_view input) {
+  std::string out(input);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string ToUpper(std::string_view input) {
+  std::string out(input);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+bool StartsWith(std::string_view input, std::string_view prefix) {
+  return input.size() >= prefix.size() && input.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view input, std::string_view suffix) {
+  return input.size() >= suffix.size() &&
+         input.substr(input.size() - suffix.size()) == suffix;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view input) {
+  input = TrimView(input);
+  if (input.empty()) return std::nullopt;
+  int64_t value = 0;
+  const char* begin = input.data();
+  const char* end = begin + input.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<double> ParseDouble(std::string_view input) {
+  input = TrimView(input);
+  if (input.empty()) return std::nullopt;
+  // std::from_chars for double is unreliable across stdlibs; use strtod with a
+  // NUL-terminated copy.
+  std::string buf(input);
+  errno = 0;
+  char* endptr = nullptr;
+  double value = std::strtod(buf.c_str(), &endptr);
+  if (errno == ERANGE || endptr != buf.c_str() + buf.size()) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+std::optional<bool> ParseBool(std::string_view input) {
+  input = TrimView(input);
+  if (EqualsIgnoreCase(input, "true") || input == "1") return true;
+  if (EqualsIgnoreCase(input, "false") || input == "0") return false;
+  return std::nullopt;
+}
+
+std::string FormatDouble(double value, int max_decimals) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  double rounded = std::round(value);
+  if (std::abs(value - rounded) < 1e-9 && std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", rounded);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", max_decimals, value);
+  std::string out(buf);
+  // Trim trailing zeros but keep at least one decimal digit.
+  size_t dot = out.find('.');
+  if (dot != std::string::npos) {
+    size_t last = out.find_last_not_of('0');
+    if (last == dot) last = dot + 1;
+    out.erase(last + 1);
+  }
+  return out;
+}
+
+std::string PadRight(std::string_view input, size_t width) {
+  std::string out(input.substr(0, std::max(width, input.size())));
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+std::string PadLeft(std::string_view input, size_t width) {
+  std::string out;
+  if (input.size() < width) out.append(width - input.size(), ' ');
+  out += input;
+  return out;
+}
+
+}  // namespace charles

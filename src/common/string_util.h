@@ -1,0 +1,46 @@
+#ifndef CHARLES_COMMON_STRING_UTIL_H_
+#define CHARLES_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace charles {
+
+/// Splits `input` on `delimiter`; an empty input yields one empty piece.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Joins `pieces` with `separator`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view separator);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view TrimView(std::string_view input);
+std::string Trim(std::string_view input);
+
+std::string ToLower(std::string_view input);
+std::string ToUpper(std::string_view input);
+
+bool StartsWith(std::string_view input, std::string_view prefix);
+bool EndsWith(std::string_view input, std::string_view suffix);
+
+/// Case-insensitive equality for ASCII strings.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Strict full-string parses; nullopt on any trailing garbage or overflow.
+std::optional<int64_t> ParseInt64(std::string_view input);
+std::optional<double> ParseDouble(std::string_view input);
+std::optional<bool> ParseBool(std::string_view input);
+
+/// Formats a double compactly: integral values without a decimal point,
+/// otherwise up to `max_decimals` digits with trailing zeros trimmed.
+std::string FormatDouble(double value, int max_decimals = 6);
+
+/// Pads/truncates to a fixed width (left-aligned). Used by table printers.
+std::string PadRight(std::string_view input, size_t width);
+std::string PadLeft(std::string_view input, size_t width);
+
+}  // namespace charles
+
+#endif  // CHARLES_COMMON_STRING_UTIL_H_

@@ -1,0 +1,43 @@
+#ifndef CHARLES_CORE_CHARLES_H_
+#define CHARLES_CORE_CHARLES_H_
+
+/// \file
+/// \brief The ChARLES public facade.
+///
+/// ChARLES (Change-Aware Recovery of Latent Evolution Semantics) derives
+/// ranked, human-interpretable summaries of how a relational snapshot evolved
+/// into another. Minimal usage:
+///
+/// \code
+///   #include "core/charles.h"
+///
+///   charles::CharlesOptions options;
+///   options.target_attribute = "bonus";
+///   options.key_columns = {"name"};
+///   CHARLES_ASSIGN_OR_RETURN(charles::SummaryList result,
+///                            charles::SummarizeChanges(snapshot_2016,
+///                                                      snapshot_2017, options));
+///   std::cout << result.summaries[0].ToString();
+///   std::cout << result.summaries[0].tree()->Render();   // Figure-2 view
+/// \endcode
+
+#include "core/engine.h"           // IWYU pragma: export
+#include "core/explain.h"          // IWYU pragma: export
+#include "core/feature_augment.h"  // IWYU pragma: export
+#include "core/model_tree.h"       // IWYU pragma: export
+#include "core/multi_target.h"     // IWYU pragma: export
+#include "core/normality.h"        // IWYU pragma: export
+#include "core/options.h"          // IWYU pragma: export
+#include "core/partition_finder.h" // IWYU pragma: export
+#include "core/scoring.h"          // IWYU pragma: export
+#include "core/setup_assistant.h"  // IWYU pragma: export
+#include "core/sql_gen.h"          // IWYU pragma: export
+#include "core/summary.h"          // IWYU pragma: export
+#include "core/transform.h"        // IWYU pragma: export
+#include "csv/csv_reader.h"        // IWYU pragma: export
+#include "csv/csv_writer.h"        // IWYU pragma: export
+#include "diff/diff.h"             // IWYU pragma: export
+#include "expr/parser.h"           // IWYU pragma: export
+#include "table/table_builder.h"   // IWYU pragma: export
+
+#endif  // CHARLES_CORE_CHARLES_H_

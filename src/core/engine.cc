@@ -1,0 +1,399 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/combinatorics.h"
+#include "common/string_util.h"
+#include "core/normality.h"
+#include "core/scoring.h"
+
+namespace charles {
+
+std::string SummaryList::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    out += "#" + std::to_string(i + 1) + " (score " +
+           FormatDouble(summaries[i].scores().score, 4) + ")\n";
+    out += summaries[i].ToString();
+  }
+  out += "evaluated " + std::to_string(candidates_evaluated) + " candidates over " +
+         std::to_string(condition_subsets) + " condition subsets x " +
+         std::to_string(transform_subsets) + " transform subsets in " +
+         FormatDouble(elapsed_seconds, 3) + "s\n";
+  return out;
+}
+
+namespace {
+
+/// Builds the Figure-2 model tree from the condition-induction tree, pairing
+/// leaves (YES-first traversal order) with the CTs built from them.
+std::unique_ptr<ModelTreeNode> BuildModelTreeNode(
+    const DecisionTreeNode& node, const std::vector<ConditionalTransform>& cts,
+    size_t* leaf_index) {
+  auto out = std::make_unique<ModelTreeNode>();
+  if (node.is_leaf) {
+    out->is_leaf = true;
+    const ConditionalTransform& ct = cts[*leaf_index];
+    ++*leaf_index;
+    if (!ct.transform.is_no_change()) {
+      out->transform = ct.transform;
+    }
+    out->coverage = ct.coverage;
+    out->count = ct.rows.size();
+    return out;
+  }
+  out->is_leaf = false;
+  out->split = node.condition;
+  out->yes = BuildModelTreeNode(*node.yes, cts, leaf_index);
+  out->no = BuildModelTreeNode(*node.no, cts, leaf_index);
+  return out;
+}
+
+/// True if the summary's transformations read the target's own old value —
+/// the natural "update semantics" phrasing (new_bonus = f(old_bonus, ...)).
+bool UsesOldTarget(const ChangeSummary& summary) {
+  const auto& attrs = summary.transform_attributes();
+  return std::find(attrs.begin(), attrs.end(), summary.target_attribute()) !=
+         attrs.end();
+}
+
+/// Score-descending with deterministic tie-breaks: fewer CTs, then
+/// self-referential transformations, then text. Scores are quantized to a
+/// 1e-7 grid so floating-point noise cannot override the semantic
+/// tie-breaks (quantization keeps the comparison a strict weak order).
+int64_t QuantizedScore(const ChangeSummary& s) {
+  return static_cast<int64_t>(std::llround(s.scores().score * 1e7));
+}
+
+bool SummaryOrder(const ChangeSummary& a, const ChangeSummary& b) {
+  int64_t qa = QuantizedScore(a);
+  int64_t qb = QuantizedScore(b);
+  if (qa != qb) return qa > qb;
+  if (a.num_cts() != b.num_cts()) return a.num_cts() < b.num_cts();
+  bool a_old = UsesOldTarget(a);
+  bool b_old = UsesOldTarget(b);
+  if (a_old != b_old) return a_old;
+  return a.Signature() < b.Signature();
+}
+
+}  // namespace
+
+Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
+    const Table& source, const std::vector<double>& y_old,
+    const std::vector<double>& y_new, const RowSet& rows,
+    const std::vector<std::string>& transform_attrs) const {
+  const std::string& target = options_.target_attribute;
+  // No-change detection: the whole partition kept its old value.
+  bool unchanged = true;
+  for (int64_t row : rows) {
+    if (std::abs(y_new[static_cast<size_t>(row)] - y_old[static_cast<size_t>(row)]) >
+        options_.numeric_tolerance) {
+      unchanged = false;
+      break;
+    }
+  }
+  LeafFit fit;
+  if (unchanged) {
+    fit.transform = LinearTransform::NoChange(target);
+    fit.partition_mae = 0.0;
+    fit.predictions.reserve(static_cast<size_t>(rows.size()));
+    for (int64_t row : rows) fit.predictions.push_back(y_old[static_cast<size_t>(row)]);
+    return fit;
+  }
+
+  // Transformation discovery: per-partition OLS on T.
+  Matrix x(rows.size(), static_cast<int64_t>(transform_attrs.size()));
+  for (size_t f = 0; f < transform_attrs.size(); ++f) {
+    CHARLES_ASSIGN_OR_RETURN(const Column* col, source.ColumnByName(transform_attrs[f]));
+    CHARLES_ASSIGN_OR_RETURN(std::vector<double> values, col->GatherDoubles(rows));
+    for (int64_t r = 0; r < rows.size(); ++r) {
+      x.At(r, static_cast<int64_t>(f)) = values[static_cast<size_t>(r)];
+    }
+  }
+  std::vector<double> y_part(static_cast<size_t>(rows.size()));
+  for (int64_t r = 0; r < rows.size(); ++r) {
+    y_part[static_cast<size_t>(r)] = y_new[static_cast<size_t>(rows[r])];
+  }
+  CHARLES_ASSIGN_OR_RETURN(LinearModel model,
+                           LinearRegression::Fit(x, y_part, transform_attrs));
+  NormalityOptions normality = options_.normality;
+  normality.exactness_tolerance =
+      std::max(normality.exactness_tolerance, options_.numeric_tolerance);
+  model = SnapModel(model, x, y_part, normality);
+  fit.predictions = model.PredictBatch(x);
+  fit.partition_mae = model.mae;
+  fit.transform = LinearTransform::Linear(target, std::move(model));
+  return fit;
+}
+
+Result<ChangeSummary> CharlesEngine::BuildSummary(
+    const Table& source, const std::vector<double>& y_old,
+    const std::vector<double>& y_new, const PartitionCandidate& candidate,
+    const std::vector<std::string>& transform_attrs,
+    const std::vector<std::string>& condition_attrs, LeafFitCache* cache) const {
+  const std::string& target = options_.target_attribute;
+  int64_t n = source.num_rows();
+  std::vector<double> y_hat = y_old;
+  std::vector<ConditionalTransform> cts;
+  cts.reserve(candidate.leaves.size());
+
+  for (const DecisionTree::Leaf& leaf : candidate.leaves) {
+    const RowSet& rows = leaf.rows;
+    ConditionalTransform ct;
+    ct.condition = leaf.condition;
+    ct.rows = rows;
+    ct.coverage = rows.Coverage(n);
+
+    const LeafFit* fit = nullptr;
+    LeafFit local;
+    if (cache != nullptr) {
+      auto it = cache->find(rows.indices());
+      if (it == cache->end()) {
+        CHARLES_ASSIGN_OR_RETURN(local,
+                                 FitLeaf(source, y_old, y_new, rows, transform_attrs));
+        it = cache->emplace(rows.indices(), std::move(local)).first;
+      }
+      fit = &it->second;
+    } else {
+      CHARLES_ASSIGN_OR_RETURN(local,
+                               FitLeaf(source, y_old, y_new, rows, transform_attrs));
+      fit = &local;
+    }
+    ct.transform = fit->transform;
+    ct.partition_mae = fit->partition_mae;
+    for (int64_t r = 0; r < rows.size(); ++r) {
+      y_hat[static_cast<size_t>(rows[r])] = fit->predictions[static_cast<size_t>(r)];
+    }
+    cts.push_back(std::move(ct));
+  }
+
+  ChangeSummary summary(std::move(cts), target);
+  summary.set_attributes(condition_attrs, transform_attrs);
+
+  // Attach the model tree (condition tree + fitted leaf transforms).
+  if (candidate.tree != nullptr) {
+    size_t leaf_index = 0;
+    auto root = BuildModelTreeNode(candidate.tree->root(), summary.cts(), &leaf_index);
+    summary.set_tree(std::make_shared<ModelTree>(std::move(root)));
+  }
+
+  Scorer scorer(options_, y_old, y_new);
+  summary.set_scores(scorer.Score(summary, y_hat));
+  return summary;
+}
+
+Result<SummaryList> CharlesEngine::Run(const Table& source, const Table& target) const {
+  auto start_time = std::chrono::steady_clock::now();
+  CHARLES_RETURN_NOT_OK(options_.Validate());
+
+  DiffOptions diff_options;
+  diff_options.key_columns = options_.key_columns;
+  diff_options.numeric_tolerance = options_.numeric_tolerance;
+  diff_options.allow_insert_delete = options_.allow_insert_delete;
+  CHARLES_ASSIGN_OR_RETURN(SnapshotDiff diff,
+                           SnapshotDiff::Compute(source, target, diff_options));
+
+  // Alignment: make pair order coincide with analysis-table row order.
+  bool identity_alignment =
+      diff.num_pairs() == source.num_rows() &&
+      std::all_of(diff.pairs().begin(), diff.pairs().end(),
+                  [i = int64_t{0}](const SnapshotDiff::AlignedPair& p) mutable {
+                    return p.source_row == i++;
+                  });
+  Table matched_view;
+  const Table* analysis = &source;
+  if (!identity_alignment) {
+    std::vector<int64_t> matched;
+    matched.reserve(diff.pairs().size());
+    for (const auto& pair : diff.pairs()) matched.push_back(pair.source_row);
+    CHARLES_ASSIGN_OR_RETURN(matched_view, source.Take(RowSet(std::move(matched))));
+    analysis = &matched_view;
+  }
+  CHARLES_ASSIGN_OR_RETURN(std::vector<double> y_old,
+                           diff.SourceValues(options_.target_attribute));
+  CHARLES_ASSIGN_OR_RETURN(std::vector<double> y_new,
+                           diff.TargetValues(options_.target_attribute));
+
+  // Attribute shortlists: assistant by default, user overrides honoured.
+  CHARLES_ASSIGN_OR_RETURN(SetupResult setup, SetupAssistant::Analyze(diff, options_));
+  if (!options_.condition_attributes.empty()) {
+    std::vector<AttributeCandidate> forced;
+    for (const std::string& name : options_.condition_attributes) {
+      CHARLES_ASSIGN_OR_RETURN(int idx, analysis->schema().FieldIndex(name));
+      forced.push_back(AttributeCandidate{
+          name, 1.0, IsNumeric(analysis->schema().field(idx).type), true});
+    }
+    setup.condition_candidates = std::move(forced);
+  }
+  if (!options_.transform_attributes.empty()) {
+    std::vector<AttributeCandidate> forced;
+    for (const std::string& name : options_.transform_attributes) {
+      CHARLES_ASSIGN_OR_RETURN(int idx, analysis->schema().FieldIndex(name));
+      if (!IsNumeric(analysis->schema().field(idx).type)) {
+        return Status::TypeError("transformation attribute '" + name + "' is not numeric");
+      }
+      forced.push_back(AttributeCandidate{name, 1.0, true, true});
+    }
+    setup.transform_candidates = std::move(forced);
+  }
+
+  std::vector<std::string> cond_names = setup.ConditionNames();
+  std::vector<std::string> tran_names = setup.TransformNames();
+  std::vector<int> cond_indices;
+  for (const std::string& name : cond_names) {
+    CHARLES_ASSIGN_OR_RETURN(int idx, analysis->schema().FieldIndex(name));
+    cond_indices.push_back(idx);
+  }
+
+  // Subset enumeration (paper: all C ⊆ A_cond with |C| ≤ c, all T ⊆ A_tran
+  // with |T| ≤ t; the empty T yields constant-shift transformations).
+  std::vector<std::vector<int>> c_subsets = EnumerateSubsets(
+      static_cast<int>(cond_names.size()), options_.max_condition_attrs);
+  std::vector<std::vector<int>> t_subsets = EnumerateSubsets(
+      static_cast<int>(tran_names.size()), options_.max_transform_attrs);
+  t_subsets.insert(t_subsets.begin(), std::vector<int>{});
+
+  SummaryList result;
+  result.setup = setup;
+  result.condition_subsets = static_cast<int64_t>(c_subsets.size());
+  result.transform_subsets = static_cast<int64_t>(t_subsets.size());
+
+  // Phase 1 — change-signal clusterings. Residual clusterings depend on the
+  // transformation subset T; delta/relative-delta clusterings do not, so
+  // they are computed once. All labelings are pooled, canonicalized, and
+  // deduplicated: tree induction below runs once per (C, labeling) instead
+  // of once per (C, T, k).
+  auto phase1_start = std::chrono::steady_clock::now();
+  std::vector<std::vector<int>> labelings;
+  std::set<std::vector<int>> seen_labelings;
+  std::vector<std::vector<std::string>> t_attr_names;
+  for (size_t ti = 0; ti < t_subsets.size(); ++ti) {
+    PartitionFinder::Input input;
+    input.source = analysis;
+    input.y_old = &y_old;
+    input.y_new = &y_new;
+    for (int t : t_subsets[ti]) {
+      input.transform_attrs.push_back(tran_names[static_cast<size_t>(t)]);
+    }
+    t_attr_names.push_back(input.transform_attrs);
+    Result<PartitionFinder::ResidualClusterings> clusterings =
+        PartitionFinder::ClusterResiduals(input, options_,
+                                          /*include_delta_signals=*/ti == 0);
+    if (!clusterings.ok()) continue;
+    for (KMeansResult& clustering : clusterings->clusterings) {
+      std::vector<int> canonical =
+          PartitionFinder::CanonicalizeLabels(clustering.labels);
+      if (seen_labelings.insert(canonical).second) {
+        labelings.push_back(std::move(canonical));
+      }
+    }
+  }
+
+  result.labelings = static_cast<int64_t>(labelings.size());
+  result.clustering_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - phase1_start)
+          .count();
+
+  // Phase 2 — condition induction: one tree per (C, labeling), partitions
+  // deduplicated globally by their condition signature.
+  auto phase2_start = std::chrono::steady_clock::now();
+  struct PartitionEntry {
+    PartitionCandidate candidate;
+    std::vector<std::string> condition_attrs;
+  };
+  std::vector<PartitionEntry> partitions;
+  std::set<std::string> seen_partitions;
+  CHARLES_ASSIGN_OR_RETURN(TreeAttributeCache attr_cache,
+                           TreeAttributeCache::Build(*analysis, cond_indices));
+  for (const std::vector<int>& c_subset : c_subsets) {
+    std::vector<int> attr_indices;
+    std::vector<std::string> attr_names;
+    for (int c : c_subset) {
+      attr_indices.push_back(cond_indices[static_cast<size_t>(c)]);
+      attr_names.push_back(cond_names[static_cast<size_t>(c)]);
+    }
+    Result<std::vector<PartitionCandidate>> candidates = PartitionFinder::InduceCandidates(
+        *analysis, labelings, attr_indices, options_, &attr_cache);
+    if (!candidates.ok()) continue;
+    for (PartitionCandidate& candidate : *candidates) {
+      std::string signature;
+      for (const auto& leaf : candidate.leaves) {
+        signature += leaf.condition->ToString();
+        signature += ";;";
+      }
+      if (!seen_partitions.insert(signature).second) continue;
+      partitions.push_back(PartitionEntry{std::move(candidate), attr_names});
+    }
+  }
+
+  // Bound the search: keep the partitionings whose conditions describe
+  // their source clusters best (deterministic order).
+  if (static_cast<int>(partitions.size()) > options_.max_partitions) {
+    std::stable_sort(partitions.begin(), partitions.end(),
+                     [](const PartitionEntry& a, const PartitionEntry& b) {
+                       double aa = a.candidate.label_agreement;
+                       double bb = b.candidate.label_agreement;
+                       if (aa != bb) return aa > bb;
+                       return a.candidate.leaves.size() < b.candidate.leaves.size();
+                     });
+    partitions.resize(static_cast<size_t>(options_.max_partitions));
+  }
+  result.partitions = static_cast<int64_t>(partitions.size());
+  result.induction_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - phase2_start)
+          .count();
+
+  // Phase 3 — transformation discovery and scoring: every surviving
+  // partitioning is paired with every transformation subset.
+  auto phase3_start = std::chrono::steady_clock::now();
+  std::map<std::string, ChangeSummary> best_by_signature;
+  std::vector<LeafFitCache> caches(t_attr_names.size());
+  for (const PartitionEntry& entry : partitions) {
+    for (size_t ti = 0; ti < t_attr_names.size(); ++ti) {
+      const std::vector<std::string>& transform_attrs = t_attr_names[ti];
+      Result<ChangeSummary> summary = BuildSummary(
+          *analysis, y_old, y_new, entry.candidate, transform_attrs,
+          entry.condition_attrs, &caches[ti]);
+      if (!summary.ok()) continue;
+      ++result.candidates_evaluated;
+      std::string signature = summary->Signature();
+      auto it = best_by_signature.find(signature);
+      if (it == best_by_signature.end()) {
+        best_by_signature.emplace(std::move(signature), std::move(*summary));
+      } else {
+        ++result.candidates_deduped;
+        if (SummaryOrder(*summary, it->second)) it->second = std::move(*summary);
+      }
+    }
+  }
+
+  result.fitting_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - phase3_start)
+          .count();
+
+  result.summaries.reserve(best_by_signature.size());
+  for (auto& [signature, summary] : best_by_signature) {
+    result.summaries.push_back(std::move(summary));
+  }
+  std::sort(result.summaries.begin(), result.summaries.end(), SummaryOrder);
+  if (static_cast<int>(result.summaries.size()) > options_.top_n) {
+    result.summaries.resize(static_cast<size_t>(options_.top_n));
+  }
+
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time)
+          .count();
+  return result;
+}
+
+Result<SummaryList> SummarizeChanges(const Table& source, const Table& target,
+                                     const CharlesOptions& options) {
+  CharlesEngine engine(options);
+  return engine.Run(source, target);
+}
+
+}  // namespace charles

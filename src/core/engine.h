@@ -1,0 +1,112 @@
+#ifndef CHARLES_CORE_ENGINE_H_
+#define CHARLES_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/options.h"
+#include "core/partition_finder.h"
+#include "core/setup_assistant.h"
+#include "core/summary.h"
+#include "diff/diff.h"
+#include "table/table.h"
+
+namespace charles {
+
+/// \brief Output of one engine run: ranked summaries plus search diagnostics.
+struct SummaryList {
+  /// Top-N summaries, highest score first.
+  std::vector<ChangeSummary> summaries;
+
+  /// The attribute shortlists the run used (assistant output or overrides).
+  SetupResult setup;
+
+  /// \name Search-space diagnostics.
+  /// @{
+  int64_t condition_subsets = 0;    ///< |{C ⊆ A_cond : |C| ≤ c}|
+  int64_t transform_subsets = 0;    ///< |{T ⊆ A_tran : |T| ≤ t}| (incl. ∅)
+  int64_t labelings = 0;            ///< distinct clusterings pooled
+  int64_t partitions = 0;           ///< distinct induced partitionings
+  int64_t candidates_evaluated = 0; ///< summaries built and scored
+  int64_t candidates_deduped = 0;   ///< dropped as structural duplicates
+  double elapsed_seconds = 0.0;
+  double clustering_seconds = 0.0;  ///< phase 1: change-signal k-means
+  double induction_seconds = 0.0;   ///< phase 2: condition trees
+  double fitting_seconds = 0.0;     ///< phase 3: transforms + scoring
+  /// @}
+
+  /// Rendering of the ranked list (one block per summary).
+  std::string ToString() const;
+};
+
+/// \brief The ChARLES diff discovery engine (paper, Figure 3 right half).
+///
+/// Orchestrates the full pipeline: snapshot diff → attribute shortlists →
+/// (C, T) subset enumeration → partition discovery → transformation
+/// discovery (with normality snapping) → scoring → dedup → ranking.
+class CharlesEngine {
+ public:
+  explicit CharlesEngine(CharlesOptions options) : options_(std::move(options)) {}
+
+  const CharlesOptions& options() const { return options_; }
+
+  /// Runs the pipeline over two snapshots with identical schemas and entity
+  /// sets (paper assumptions; violations yield InvalidArgument).
+  Result<SummaryList> Run(const Table& source, const Table& target) const;
+
+  /// \brief A fitted leaf transformation, cacheable by (partition rows, T).
+  ///
+  /// Distinct condition trees frequently share leaves (the same row set
+  /// described by different conditions); the engine memoizes leaf fits per
+  /// transformation subset so each (rows, T) pair is fitted once.
+  struct LeafFit {
+    LinearTransform transform;
+    std::vector<double> predictions;  ///< Aligned with the partition rows.
+    double partition_mae = 0.0;
+  };
+
+  struct RowIndicesHash {
+    size_t operator()(const std::vector<int64_t>& rows) const {
+      size_t h = 0xcbf29ce484222325ull;
+      for (int64_t r : rows) h = (h ^ static_cast<size_t>(r)) * 0x100000001b3ull;
+      return h;
+    }
+  };
+  using LeafFitCache =
+      std::unordered_map<std::vector<int64_t>, LeafFit, RowIndicesHash>;
+
+  /// \brief Builds and scores one summary for a fixed partitioning.
+  ///
+  /// Exposed for tests, baselines, and ablations: fits a transformation on
+  /// every leaf (detecting no-change partitions), snaps constants, assembles
+  /// predictions, and scores. `y_old`/`y_new` align with source rows. When
+  /// `cache` is non-null, leaf fits are reused across calls sharing the same
+  /// transformation subset.
+  Result<ChangeSummary> BuildSummary(const Table& source,
+                                     const std::vector<double>& y_old,
+                                     const std::vector<double>& y_new,
+                                     const PartitionCandidate& candidate,
+                                     const std::vector<std::string>& transform_attrs,
+                                     const std::vector<std::string>& condition_attrs,
+                                     LeafFitCache* cache = nullptr) const;
+
+ private:
+  /// Fits one partition's transformation: no-change detection, OLS on T,
+  /// normality snapping.
+  Result<LeafFit> FitLeaf(const Table& source, const std::vector<double>& y_old,
+                          const std::vector<double>& y_new, const RowSet& rows,
+                          const std::vector<std::string>& transform_attrs) const;
+
+  CharlesOptions options_;
+};
+
+/// \brief One-call convenience API: SummarizeChanges(Ds, Dt, options).
+Result<SummaryList> SummarizeChanges(const Table& source, const Table& target,
+                                     const CharlesOptions& options);
+
+}  // namespace charles
+
+#endif  // CHARLES_CORE_ENGINE_H_

@@ -1,0 +1,93 @@
+#include "core/explain.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace charles {
+
+namespace {
+
+std::string Percent(double fraction) {
+  return FormatDouble(fraction * 100.0, 2) + "%";
+}
+
+}  // namespace
+
+std::string ExplainTransform(const LinearTransform& transform) {
+  const std::string& target = transform.target_attribute();
+  if (transform.is_no_change()) {
+    return "kept their previous " + target;
+  }
+  const LinearModel& model = transform.model();
+
+  // Locate the self-referential coefficient (old value of the target).
+  double self_coefficient = 0.0;
+  int other_terms = 0;
+  for (size_t i = 0; i < model.coefficients.size(); ++i) {
+    if (std::abs(model.coefficients[i]) <= 1e-12) continue;
+    if (model.feature_names[i] == target) {
+      self_coefficient = model.coefficients[i];
+    } else {
+      ++other_terms;
+    }
+  }
+  double intercept = model.intercept;
+
+  if (other_terms == 0 && self_coefficient != 0.0) {
+    std::string out;
+    if (std::abs(self_coefficient - 1.0) <= 1e-12) {
+      // Pure shift.
+      if (intercept >= 0) {
+        return "had " + target + " increased by a flat " + FormatDouble(intercept, 4);
+      }
+      return "had " + target + " decreased by a flat " + FormatDouble(-intercept, 4);
+    }
+    if (self_coefficient > 1.0) {
+      out = "received a " + Percent(self_coefficient - 1.0) + " increase on their " +
+            target;
+    } else if (self_coefficient > 0.0) {
+      out = "took a " + Percent(1.0 - self_coefficient) + " cut on their " + target;
+    } else {
+      return "had " + target + " recomputed as " + transform.ToString();
+    }
+    if (std::abs(intercept) > 1e-9) {
+      out += intercept > 0 ? ", plus a flat " + FormatDouble(intercept, 4)
+                           : ", minus a flat " + FormatDouble(-intercept, 4);
+    }
+    return out;
+  }
+
+  if (other_terms == 0 && self_coefficient == 0.0) {
+    return "had " + target + " set to " + FormatDouble(intercept, 4);
+  }
+  return "had " + target + " recomputed as " + transform.ToString();
+}
+
+std::string ExplainSummary(const ChangeSummary& summary, const ExplainOptions& options) {
+  std::string out;
+  const auto& cts = summary.cts();
+  for (size_t i = 0; i < cts.size(); ++i) {
+    const ConditionalTransform& ct = cts[i];
+    out += "- ";
+    if (ct.condition->NumDescriptors() == 0) {
+      out += "All " + options.entity_noun;
+    } else {
+      std::string noun = options.entity_noun;
+      if (!noun.empty()) noun[0] = static_cast<char>(std::toupper(noun[0]));
+      out += noun + " where " + ct.condition->ToString();
+    }
+    out += " (" + Percent(ct.coverage) + " of " + options.entity_noun + ") ";
+    out += ExplainTransform(ct.transform);
+    out += ".\n";
+  }
+  if (options.include_scores) {
+    out += "This summary explains the change with accuracy " +
+           FormatDouble(summary.scores().accuracy, 3) + " and interpretability " +
+           FormatDouble(summary.scores().interpretability, 3) + " (score " +
+           FormatDouble(summary.scores().score, 3) + ").\n";
+  }
+  return out;
+}
+
+}  // namespace charles

@@ -1,0 +1,37 @@
+#ifndef CHARLES_CORE_EXPLAIN_H_
+#define CHARLES_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "core/summary.h"
+
+namespace charles {
+
+/// \brief Options for ExplainSummary.
+struct ExplainOptions {
+  /// Noun used for rows ("employees", "billionaires", "rows").
+  std::string entity_noun = "rows";
+  /// Include the score line at the end.
+  bool include_scores = true;
+};
+
+/// \brief Renders a change summary as English prose, one sentence per CT —
+/// the phrasing the paper's introduction uses ("Employees who have a PhD
+/// receive a 5% increase on last year's bonus, plus flat $1000").
+///
+/// Transformation phrasing is derived from the rule's shape:
+///  - a·old_target + b, a > 1: "increased by (a−1)% (plus b)"
+///  - a·old_target + b, a < 1: "decreased by (1−a)% (...)"
+///  - old_target + b:          "increased/decreased by a flat b"
+///  - constant:                "set to b"
+///  - anything else:           "recomputed as <equation>"
+///  - no change:               "kept their previous <target>"
+std::string ExplainSummary(const ChangeSummary& summary,
+                           const ExplainOptions& options = {});
+
+/// One CT as a sentence (without the coverage prefix).
+std::string ExplainTransform(const LinearTransform& transform);
+
+}  // namespace charles
+
+#endif  // CHARLES_CORE_EXPLAIN_H_

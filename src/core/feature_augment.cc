@@ -1,0 +1,166 @@
+#include "core/feature_augment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "table/table_builder.h"
+
+namespace charles {
+
+namespace {
+
+bool IsExcluded(const std::string& name, const AugmentOptions& options) {
+  return std::find(options.exclude.begin(), options.exclude.end(), name) !=
+         options.exclude.end();
+}
+
+Result<std::vector<int>> SelectAttributes(const Table& table,
+                                          const AugmentOptions& options) {
+  std::vector<int> selected;
+  if (!options.attributes.empty()) {
+    for (const std::string& name : options.attributes) {
+      CHARLES_ASSIGN_OR_RETURN(int idx, table.schema().FieldIndex(name));
+      if (!IsNumeric(table.schema().field(idx).type)) {
+        return Status::TypeError("cannot augment non-numeric attribute '" + name + "'");
+      }
+      selected.push_back(idx);
+    }
+    return selected;
+  }
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const Field& field = table.schema().field(c);
+    if (IsNumeric(field.type) && !IsExcluded(field.name, options)) {
+      selected.push_back(c);
+    }
+  }
+  return selected;
+}
+
+/// True iff every non-NULL value is strictly positive (log-eligible).
+bool StrictlyPositive(const Column& column) {
+  for (int64_t r = 0; r < column.length(); ++r) {
+    if (column.IsNull(r)) continue;
+    if (column.GetValue(r).AsDouble().ValueOrDie() <= 0.0) return false;
+  }
+  return true;
+}
+
+struct DerivedColumn {
+  std::string name;
+  Column data;
+};
+
+Result<std::vector<DerivedColumn>> DeriveColumns(const Table& table,
+                                                 const std::vector<int>& attrs,
+                                                 const AugmentOptions& options) {
+  std::vector<DerivedColumn> derived;
+  auto unary = [&](int attr, const std::string& prefix,
+                   double (*fn)(double)) -> Status {
+    const Column& column = table.column(attr);
+    Column out(TypeKind::kDouble);
+    for (int64_t r = 0; r < column.length(); ++r) {
+      if (column.IsNull(r)) {
+        out.AppendNull();
+      } else {
+        CHARLES_ASSIGN_OR_RETURN(double v, column.GetValue(r).AsDouble());
+        CHARLES_RETURN_NOT_OK(out.Append(Value(fn(v))));
+      }
+    }
+    derived.push_back(
+        DerivedColumn{prefix + table.schema().field(attr).name, std::move(out)});
+    return Status::OK();
+  };
+
+  for (int attr : attrs) {
+    if (options.log_features && StrictlyPositive(table.column(attr))) {
+      CHARLES_RETURN_NOT_OK(unary(attr, "log_", [](double v) { return std::log(v); }));
+    }
+    if (options.square_features) {
+      CHARLES_RETURN_NOT_OK(unary(attr, "sq_", [](double v) { return v * v; }));
+    }
+  }
+  if (options.interaction_features) {
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      for (size_t j = i + 1; j < attrs.size(); ++j) {
+        const Column& a = table.column(attrs[i]);
+        const Column& b = table.column(attrs[j]);
+        Column out(TypeKind::kDouble);
+        for (int64_t r = 0; r < a.length(); ++r) {
+          if (a.IsNull(r) || b.IsNull(r)) {
+            out.AppendNull();
+          } else {
+            CHARLES_ASSIGN_OR_RETURN(double va, a.GetValue(r).AsDouble());
+            CHARLES_ASSIGN_OR_RETURN(double vb, b.GetValue(r).AsDouble());
+            CHARLES_RETURN_NOT_OK(out.Append(Value(va * vb)));
+          }
+        }
+        derived.push_back(
+            DerivedColumn{table.schema().field(attrs[i]).name + "_x_" +
+                              table.schema().field(attrs[j]).name,
+                          std::move(out)});
+      }
+    }
+  }
+  return derived;
+}
+
+}  // namespace
+
+Result<Table> AugmentWithNonlinearFeatures(const Table& table,
+                                           const AugmentOptions& options) {
+  CHARLES_ASSIGN_OR_RETURN(std::vector<int> attrs, SelectAttributes(table, options));
+  CHARLES_ASSIGN_OR_RETURN(std::vector<DerivedColumn> derived,
+                           DeriveColumns(table, attrs, options));
+  std::vector<Field> fields = table.schema().fields();
+  std::vector<Column> columns;
+  columns.reserve(static_cast<size_t>(table.num_columns()) + derived.size());
+  for (int c = 0; c < table.num_columns(); ++c) columns.push_back(table.column(c));
+  for (DerivedColumn& d : derived) {
+    fields.push_back(Field{d.name, TypeKind::kDouble, true});
+    columns.push_back(std::move(d.data));
+  }
+  CHARLES_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  return Table::Make(std::move(schema), std::move(columns));
+}
+
+Result<std::pair<Table, Table>> AugmentSnapshots(const Table& source,
+                                                 const Table& target,
+                                                 const AugmentOptions& options) {
+  // The derived-column set must agree on both sides (the diff engine
+  // requires equal schemas), so the attribute list is resolved once against
+  // the source and reused verbatim on both snapshots. Log columns need joint
+  // eligibility (strictly positive in *both* snapshots), so they go in a
+  // second pass restricted to the jointly-eligible attributes; squares and
+  // interactions are unconditional and keep the full list.
+  CHARLES_ASSIGN_OR_RETURN(std::vector<int> attrs, SelectAttributes(source, options));
+  AugmentOptions polynomial = options;
+  polynomial.log_features = false;
+  polynomial.attributes.clear();
+  AugmentOptions logs;
+  logs.log_features = true;
+  logs.square_features = false;
+  logs.interaction_features = false;
+  for (int attr : attrs) {
+    const std::string& name = source.schema().field(attr).name;
+    CHARLES_ASSIGN_OR_RETURN(int target_idx, target.schema().FieldIndex(name));
+    polynomial.attributes.push_back(name);
+    if (options.log_features && StrictlyPositive(source.column(attr)) &&
+        StrictlyPositive(target.column(target_idx))) {
+      logs.attributes.push_back(name);
+    }
+  }
+  auto augment_both_passes = [&](const Table& table) -> Result<Table> {
+    CHARLES_ASSIGN_OR_RETURN(Table polynomial_pass,
+                             AugmentWithNonlinearFeatures(table, polynomial));
+    if (logs.attributes.empty()) return polynomial_pass;
+    return AugmentWithNonlinearFeatures(polynomial_pass, logs);
+  };
+  CHARLES_ASSIGN_OR_RETURN(Table augmented_source, augment_both_passes(source));
+  CHARLES_ASSIGN_OR_RETURN(Table augmented_target, augment_both_passes(target));
+  if (!augmented_source.schema().Equals(augmented_target.schema())) {
+    return Status::Internal("augmented snapshots diverged in schema");
+  }
+  return std::make_pair(std::move(augmented_source), std::move(augmented_target));
+}
+
+}  // namespace charles

@@ -1,0 +1,48 @@
+#ifndef CHARLES_CORE_FEATURE_AUGMENT_H_
+#define CHARLES_CORE_FEATURE_AUGMENT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace charles {
+
+/// \brief Options for nonlinear feature augmentation.
+struct AugmentOptions {
+  /// Append ln(x) columns (`log_<attr>`) for strictly positive attributes.
+  bool log_features = true;
+  /// Append x² columns (`sq_<attr>`).
+  bool square_features = true;
+  /// Append pairwise products (`<a>_x_<b>`) of the selected attributes.
+  bool interaction_features = false;
+  /// Attributes to augment; empty = every numeric column except those in
+  /// `exclude`.
+  std::vector<std::string> attributes;
+  /// Columns never augmented (keys, the target if desired).
+  std::vector<std::string> exclude;
+};
+
+/// \brief The paper's nonlinear extension hook (§1: "this can be extended by
+/// augmenting the data with nonlinear features").
+///
+/// Appends derived numeric columns to a snapshot so the linear transformation
+/// search can express multiplicative or quadratic policies
+/// (`new_fee = 0.5 × log_revenue + ...`) while staying a linear model — and
+/// therefore interpretable. Derived columns are computed row-wise from the
+/// snapshot's own values; NULL inputs yield NULL outputs.
+Result<Table> AugmentWithNonlinearFeatures(const Table& table,
+                                           const AugmentOptions& options = {});
+
+/// \brief Augments a snapshot pair identically, keeping their schemas equal
+/// (the diff engine requires it). Both sides get the same derived columns,
+/// each computed from its own snapshot's values.
+Result<std::pair<Table, Table>> AugmentSnapshots(const Table& source,
+                                                 const Table& target,
+                                                 const AugmentOptions& options = {});
+
+}  // namespace charles
+
+#endif  // CHARLES_CORE_FEATURE_AUGMENT_H_

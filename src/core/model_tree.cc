@@ -1,0 +1,61 @@
+#include "core/model_tree.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace charles {
+
+namespace {
+
+int LeafCount(const ModelTreeNode& node) {
+  if (node.is_leaf) return 1;
+  return LeafCount(*node.yes) + LeafCount(*node.no);
+}
+
+int Depth(const ModelTreeNode& node) {
+  if (node.is_leaf) return 0;
+  return 1 + std::max(Depth(*node.yes), Depth(*node.no));
+}
+
+std::string LeafText(const ModelTreeNode& node) {
+  std::string text = node.transform.has_value() ? node.transform->ToString() : "None";
+  text += "   [" + FormatDouble(node.coverage * 100.0, 1) + "% of rows]";
+  return text;
+}
+
+void RenderNode(const ModelTreeNode& node, const std::string& prefix, std::string* out) {
+  if (node.is_leaf) {
+    // Root-level leaf (single-partition summary).
+    *out += prefix + LeafText(node) + "\n";
+    return;
+  }
+  *out += prefix.empty() ? node.split->ToString() + "?\n" : "";
+  // YES branch.
+  if (node.yes->is_leaf) {
+    *out += prefix + "├─ YES → " + LeafText(*node.yes) + "\n";
+  } else {
+    *out += prefix + "├─ YES ─ " + node.yes->split->ToString() + "?\n";
+    RenderNode(*node.yes, prefix + "│  ", out);
+  }
+  // NO branch.
+  if (node.no->is_leaf) {
+    *out += prefix + "└─ NO  → " + LeafText(*node.no) + "\n";
+  } else {
+    *out += prefix + "└─ NO  ─ " + node.no->split->ToString() + "?\n";
+    RenderNode(*node.no, prefix + "   ", out);
+  }
+}
+
+}  // namespace
+
+int ModelTree::num_leaves() const { return LeafCount(*root_); }
+int ModelTree::depth() const { return Depth(*root_); }
+
+std::string ModelTree::Render() const {
+  std::string out;
+  RenderNode(*root_, "", &out);
+  return out;
+}
+
+}  // namespace charles

@@ -1,0 +1,57 @@
+#ifndef CHARLES_CORE_MODEL_TREE_H_
+#define CHARLES_CORE_MODEL_TREE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/transform.h"
+#include "expr/expr.h"
+
+namespace charles {
+
+/// \brief A node of the linear model tree (Figure 2 of the paper).
+struct ModelTreeNode {
+  bool is_leaf = true;
+
+  /// \name Internal nodes.
+  /// @{
+  ExprPtr split;  ///< YES-branch predicate.
+  std::unique_ptr<ModelTreeNode> yes;
+  std::unique_ptr<ModelTreeNode> no;
+  /// @}
+
+  /// \name Leaves.
+  /// @{
+  std::optional<LinearTransform> transform;  ///< nullopt renders as "None".
+  double coverage = 0.0;                     ///< Fraction of rows in the leaf.
+  int64_t count = 0;
+  /// @}
+};
+
+/// \brief A linear model tree: the path from the root to a leaf defines a
+/// partition, the leaf defines the transformation (paper, §1).
+class ModelTree {
+ public:
+  explicit ModelTree(std::unique_ptr<ModelTreeNode> root) : root_(std::move(root)) {}
+
+  const ModelTreeNode& root() const { return *root_; }
+
+  int num_leaves() const;
+  int depth() const;
+
+  /// ASCII rendering in the shape of Figure 2:
+  ///
+  ///   edu = 'PhD'?
+  ///   ├─ YES → new_bonus = 1.05 × old_bonus + 1000   [33.3%]
+  ///   └─ NO ─ edu = 'MS'?
+  ///      ├─ YES → ...
+  std::string Render() const;
+
+ private:
+  std::unique_ptr<ModelTreeNode> root_;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_CORE_MODEL_TREE_H_

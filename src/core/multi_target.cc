@@ -1,0 +1,70 @@
+#include "core/multi_target.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "diff/diff.h"
+
+namespace charles {
+
+std::string MultiTargetReport::ToString() const {
+  std::string out;
+  for (const AttributeSummaries& entry : per_attribute) {
+    out += "=== " + entry.attribute + " (" +
+           FormatDouble(entry.change_fraction * 100.0, 1) + "% of rows changed) ===\n";
+    if (entry.summaries.summaries.empty()) {
+      out += "  (no summary found)\n";
+      continue;
+    }
+    out += entry.summaries.summaries[0].ToString();
+  }
+  return out;
+}
+
+Result<MultiTargetReport> SummarizeAllChangedAttributes(
+    const Table& source, const Table& target, const MultiTargetOptions& options) {
+  if (options.base.key_columns.empty()) {
+    return Status::InvalidArgument("base options must name the key columns");
+  }
+  DiffOptions diff_options;
+  diff_options.key_columns = options.base.key_columns;
+  diff_options.numeric_tolerance = options.base.numeric_tolerance;
+  diff_options.allow_insert_delete = options.base.allow_insert_delete;
+  CHARLES_ASSIGN_OR_RETURN(SnapshotDiff diff,
+                           SnapshotDiff::Compute(source, target, diff_options));
+
+  // Rank numeric non-key attributes by how much of the table they changed.
+  std::vector<std::pair<double, std::string>> changed;
+  for (const ColumnChangeStats& stats : diff.column_stats()) {
+    if (!stats.numeric) continue;
+    if (std::find(options.base.key_columns.begin(), options.base.key_columns.end(),
+                  stats.name) != options.base.key_columns.end()) {
+      continue;
+    }
+    if (stats.change_fraction < options.min_change_fraction) continue;
+    changed.emplace_back(stats.change_fraction, stats.name);
+  }
+  std::stable_sort(changed.begin(), changed.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (static_cast<int>(changed.size()) > options.max_attributes) {
+    changed.resize(static_cast<size_t>(options.max_attributes));
+  }
+
+  MultiTargetReport report;
+  for (const auto& [fraction, attribute] : changed) {
+    CharlesOptions run_options = options.base;
+    run_options.target_attribute = attribute;
+    CHARLES_ASSIGN_OR_RETURN(SummaryList summaries,
+                             SummarizeChanges(source, target, run_options));
+    AttributeSummaries entry;
+    entry.attribute = attribute;
+    entry.change_fraction = fraction;
+    entry.summaries = std::move(summaries);
+    report.per_attribute.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace charles

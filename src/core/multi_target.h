@@ -1,0 +1,51 @@
+#ifndef CHARLES_CORE_MULTI_TARGET_H_
+#define CHARLES_CORE_MULTI_TARGET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+
+namespace charles {
+
+/// \brief Options for SummarizeAllChangedAttributes.
+struct MultiTargetOptions {
+  /// Per-attribute engine configuration; target_attribute is overwritten per
+  /// run, everything else (keys, c, t, alpha, ...) applies to every run.
+  CharlesOptions base;
+  /// At most this many target attributes are analyzed, most-changed first
+  /// (by fraction of rows whose value changed).
+  int max_attributes = 4;
+  /// Attributes with a change fraction below this are skipped entirely.
+  double min_change_fraction = 0.001;
+};
+
+/// \brief One attribute's share of a multi-target report.
+struct AttributeSummaries {
+  std::string attribute;
+  double change_fraction = 0.0;
+  SummaryList summaries;
+};
+
+/// \brief A full-snapshot change report across every evolved attribute.
+struct MultiTargetReport {
+  std::vector<AttributeSummaries> per_attribute;
+
+  /// Concatenated per-attribute top summaries, most-changed attribute first.
+  std::string ToString() const;
+};
+
+/// \brief Runs ChARLES once per changed numeric attribute (the paper's demo
+/// picks one target; real snapshots usually evolve several).
+///
+/// The diff is computed once; numeric non-key attributes are ranked by their
+/// change fraction and the engine runs for the top ones. Attributes the
+/// policy never touched are skipped.
+Result<MultiTargetReport> SummarizeAllChangedAttributes(const Table& source,
+                                                        const Table& target,
+                                                        const MultiTargetOptions& options);
+
+}  // namespace charles
+
+#endif  // CHARLES_CORE_MULTI_TARGET_H_

@@ -1,0 +1,180 @@
+#include "core/normality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/stats.h"
+
+namespace charles {
+
+namespace {
+
+/// Number of significant decimal digits needed to write `value` exactly
+/// (up to 9 digits of precision; beyond that we call it 10).
+int SignificantDigits(double value) {
+  value = std::abs(value);
+  if (value <= 1e-300) return 1;  // zero
+  // Normalize into [1, 10).
+  int exponent = static_cast<int>(std::floor(std::log10(value)));
+  double mantissa = value / std::pow(10.0, exponent);
+  for (int digits = 1; digits <= 9; ++digits) {
+    double scaled = mantissa * std::pow(10.0, digits - 1);
+    if (std::abs(scaled - std::round(scaled)) < 1e-6 * std::max(1.0, scaled)) {
+      return digits;
+    }
+  }
+  return 10;
+}
+
+void RecomputeDiagnostics(LinearModel* model, const Matrix& x,
+                          const std::vector<double>& y) {
+  std::vector<double> predicted = model->PredictBatch(x);
+  model->mae = MeanAbsoluteError(predicted, y);
+  model->rmse = RootMeanSquaredError(predicted, y);
+  double total_var = Variance(y);
+  if (total_var <= 1e-300) {
+    model->r2 = model->rmse <= 1e-9 ? 1.0 : 0.0;
+  } else {
+    double ss = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) {
+      double e = y[i] - predicted[i];
+      ss += e * e;
+    }
+    model->r2 = 1.0 - (ss / static_cast<double>(y.size())) / total_var;
+  }
+}
+
+}  // namespace
+
+double NumberNormality(double value) {
+  int digits = SignificantDigits(value);
+  double score = 1.0 - 0.2 * static_cast<double>(digits - 1);
+  return score < 0.0 ? 0.0 : score;
+}
+
+std::vector<double> SnapCandidates(double value, double tolerance) {
+  std::vector<double> candidates;
+  if (std::abs(value) <= 1e-300) return candidates;
+  double magnitude = std::abs(value);
+  int exponent = static_cast<int>(std::floor(std::log10(magnitude)));
+  // Lattice steps scaled by descending powers of ten; chosen so common human
+  // constants (25, 250, 0.05, 1000) are reachable.
+  static const double kStepMantissas[] = {1.0, 0.5, 0.25, 0.2, 0.1};
+  for (int e = exponent + 1; e >= exponent - 3; --e) {
+    double base = std::pow(10.0, e);
+    for (double mantissa : kStepMantissas) {
+      double step = mantissa * base;
+      double candidate = std::round(value / step) * step;
+      if (candidate == 0.0) continue;
+      if (std::abs(candidate - value) <= tolerance * magnitude &&
+          NumberNormality(candidate) > NumberNormality(value)) {
+        candidates.push_back(candidate);
+      }
+    }
+  }
+  // Nicest first; ties broken towards the closer candidate. Deduplicate.
+  std::sort(candidates.begin(), candidates.end(), [value](double a, double b) {
+    double na = NumberNormality(a);
+    double nb = NumberNormality(b);
+    if (na != nb) return na > nb;
+    return std::abs(a - value) < std::abs(b - value);
+  });
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+  return candidates;
+}
+
+double SnapNumber(double value, double tolerance) {
+  std::vector<double> candidates = SnapCandidates(value, tolerance);
+  return candidates.empty() ? value : candidates[0];
+}
+
+double ModelNormality(const LinearModel& model) {
+  double total = 0.0;
+  int count = 0;
+  for (double c : model.coefficients) {
+    if (std::abs(c) <= 1e-12) continue;
+    total += NumberNormality(c);
+    ++count;
+  }
+  if (std::abs(model.intercept) > 1e-9) {
+    total += NumberNormality(model.intercept);
+    ++count;
+  }
+  return count > 0 ? total / static_cast<double>(count) : 1.0;
+}
+
+double ConditionNormality(const Expr& condition) {
+  std::vector<Value> literals;
+  condition.CollectLiterals(&literals);
+  double total = 0.0;
+  int count = 0;
+  for (const Value& v : literals) {
+    if (!IsNumeric(v.kind())) continue;
+    total += NumberNormality(v.AsDouble().ValueOrDie());
+    ++count;
+  }
+  return count > 0 ? total / static_cast<double>(count) : 1.0;
+}
+
+LinearModel SnapModel(const LinearModel& model, const Matrix& x,
+                      const std::vector<double>& y, const NormalityOptions& options) {
+  if (!options.enable_snapping || y.empty()) return model;
+
+  // Recompute the baseline fit quality rather than trusting the caller's
+  // diagnostics (hand-built models may carry stale fields).
+  LinearModel snapped = model;
+  RecomputeDiagnostics(&snapped, x, y);
+  double baseline_mae = snapped.mae;
+
+  // Accuracy guard: snapped models may lose at most this much MAE relative
+  // to the target scale — except exact models, which must stay exact.
+  double scale = 0.0;
+  for (double v : y) scale += std::abs(v);
+  scale /= static_cast<double>(y.size());
+  double allowed_mae = baseline_mae + options.max_relative_accuracy_loss *
+                                          std::max(scale, 1e-12);
+  if (baseline_mae <= options.exactness_tolerance) {
+    allowed_mae = options.exactness_tolerance;
+  }
+
+  // Greedy per-constant snapping, iterated to a fixpoint: for each
+  // coefficient (then the intercept), try candidates from nicest to least
+  // nice and keep the first that stays within the accuracy budget.
+  // Evaluating per constant (rather than all-at-once) lets 1.0502 snap to
+  // 1.05 even though the even-nicer 1.0 would wreck the fit; iterating lets
+  // a slope snap unlock an intercept snap that was individually too costly.
+  bool any_change = false;
+  auto try_constant = [&](double* constant) -> bool {
+    double original = *constant;
+    if (original == 0.0) return false;
+    // Zero first: it is the nicest constant of all (drops the term entirely)
+    // and unreachable through relative-tolerance lattice candidates, yet it
+    // is exactly right for fits carrying a floating-point residue like
+    // "+ 0.00008".
+    std::vector<double> candidates = {0.0};
+    for (double candidate :
+         SnapCandidates(original, options.max_relative_coefficient_shift)) {
+      candidates.push_back(candidate);
+    }
+    for (double candidate : candidates) {
+      *constant = candidate;
+      RecomputeDiagnostics(&snapped, x, y);
+      if (snapped.mae <= allowed_mae) return true;
+    }
+    *constant = original;
+    return false;
+  };
+  for (int pass = 0; pass < 3; ++pass) {
+    bool changed_this_pass = false;
+    for (double& c : snapped.coefficients) changed_this_pass |= try_constant(&c);
+    changed_this_pass |= try_constant(&snapped.intercept);
+    any_change |= changed_this_pass;
+    if (!changed_this_pass) break;
+  }
+
+  (void)any_change;
+  RecomputeDiagnostics(&snapped, x, y);
+  return snapped;
+}
+
+}  // namespace charles

@@ -1,0 +1,58 @@
+#ifndef CHARLES_CORE_NORMALITY_H_
+#define CHARLES_CORE_NORMALITY_H_
+
+#include <vector>
+
+#include "core/options.h"
+#include "expr/expr.h"
+#include "linalg/matrix.h"
+#include "ml/linear_regression.h"
+
+namespace charles {
+
+/// \brief How "normal" (human-friendly) a numeric constant is, in [0, 1].
+///
+/// The paper's examples anchor the scale: 5% (0.05) is more normal than
+/// 2.479%, and "Age > 25" more normal than "Age > 23.796". The score decays
+/// with the number of significant decimal digits the constant needs:
+/// one digit (5, 0.05, 1000) → 1.0; each extra digit costs 0.2, floored at 0.
+/// Zero is perfectly normal.
+double NumberNormality(double value);
+
+/// \brief The "nicest" value within `tolerance` (relative) of `value`.
+///
+/// Scans round lattices (1, 2, 2.5, 5 × powers of ten) from coarse to fine
+/// and returns the nicest candidate within the allowed shift; returns
+/// `value` unchanged when nothing nicer is close enough.
+double SnapNumber(double value, double tolerance);
+
+/// All nicer-than-`value` lattice candidates within `tolerance` (relative),
+/// ordered nicest-first (ties towards the closer candidate). SnapModel walks
+/// this list per constant under its accuracy guard.
+std::vector<double> SnapCandidates(double value, double tolerance);
+
+/// \brief Mean normality of a fitted model's non-trivial constants.
+///
+/// Averages NumberNormality over non-zero coefficients and a non-zero
+/// intercept; a bare identity/empty model scores 1.0.
+double ModelNormality(const LinearModel& model);
+
+/// \brief Mean normality of the numeric literals in a condition.
+///
+/// Conditions without numeric literals (pure categorical equalities, TRUE)
+/// score 1.0.
+double ConditionNormality(const Expr& condition);
+
+/// \brief Snaps a model's coefficients to nice values, guarded by accuracy.
+///
+/// Each coefficient (and the intercept) is moved to the nicest lattice value
+/// within options.max_relative_coefficient_shift. The snapped model is kept
+/// only if its mean absolute error on (x, y) grows by at most
+/// options.max_relative_accuracy_loss × mean(|y|); otherwise the original is
+/// returned. Diagnostics (r2/mae/rmse) are recomputed either way.
+LinearModel SnapModel(const LinearModel& model, const Matrix& x,
+                      const std::vector<double>& y, const NormalityOptions& options);
+
+}  // namespace charles
+
+#endif  // CHARLES_CORE_NORMALITY_H_

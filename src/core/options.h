@@ -1,0 +1,114 @@
+#ifndef CHARLES_CORE_OPTIONS_H_
+#define CHARLES_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace charles {
+
+/// \brief Weights of the interpretability sub-scores.
+///
+/// Interpretability(S) = Σ weight_i · subscore_i with Σ weight_i = 1
+/// (normalized at use). The five sub-scores mirror the paper's §2
+/// desiderata: smaller summaries, simpler conditions, simpler
+/// transformations, higher coverage, higher normality.
+struct ScoreWeights {
+  double summary_size = 0.25;
+  double condition_simplicity = 0.20;
+  double transform_simplicity = 0.20;
+  double coverage = 0.20;
+  double normality = 0.15;
+};
+
+/// \brief Options for normality snapping of transformation constants.
+struct NormalityOptions {
+  /// Snap fitted coefficients to "nice" values when the accuracy guard
+  /// allows (the paper prefers "5%" over "2.479%").
+  bool enable_snapping = true;
+  /// A snapped coefficient may move by at most this relative amount.
+  double max_relative_coefficient_shift = 0.05;
+  /// Snapping is reverted if the partition's mean absolute error grows by
+  /// more than this fraction of the mean absolute target value.
+  double max_relative_accuracy_loss = 0.01;
+  /// A model fitting its partition within this MAE is "exact"; snapping may
+  /// never push an exact model above this threshold (a nicer constant is not
+  /// worth breaking a perfect rule). The engine sets this from
+  /// CharlesOptions::numeric_tolerance.
+  double exactness_tolerance = 1e-6;
+};
+
+/// \brief All knobs of the ChARLES pipeline, with the paper's defaults.
+///
+/// Novices can set only target_attribute and key_columns; every other field
+/// has the default the demo uses.
+struct CharlesOptions {
+  /// The numeric attribute whose evolution is to be explained (paper: aᵢ).
+  std::string target_attribute;
+  /// Primary-key columns identifying entities across snapshots.
+  std::vector<std::string> key_columns;
+
+  /// Maximum condition attributes per summary (paper: c, demo default 3).
+  int max_condition_attrs = 3;
+  /// Maximum transformation attributes per linear model (paper: t, default 2).
+  int max_transform_attrs = 2;
+  /// Accuracy weight in Score = α·Accuracy + (1−α)·Interpretability.
+  double alpha = 0.5;
+  /// Summaries returned (paper: "10 top-scoring summaries").
+  int top_n = 10;
+
+  /// Setup assistant: minimum association for auto-selected candidates
+  /// (paper: "correlation with the target attribute greater than 0.5").
+  double correlation_threshold = 0.5;
+  /// Shortlist caps — the candidate pools subsets are enumerated from.
+  int max_condition_candidates = 6;
+  int max_transform_candidates = 5;
+  /// If fewer candidates clear the threshold, the assistant keeps this many
+  /// top-ranked ones anyway so the engine always has something to explore.
+  /// Four condition slots give weakly-associated-but-essential attributes
+  /// (an experience threshold that only matters inside one segment) room to
+  /// make the pool on small samples.
+  int min_condition_candidates = 4;
+  int min_transform_candidates = 2;
+
+  /// Manual overrides; leave empty to let the setup assistant choose.
+  std::vector<std::string> condition_attributes;
+  std::vector<std::string> transform_attributes;
+  /// Always offer the target's previous value as a transformation feature
+  /// (bonus_new = f(bonus_old, ...)).
+  bool include_old_target_in_transform = true;
+
+  /// Partition discovery: k-means is run for k = 1..max_clusters on the
+  /// residuals from the global fit.
+  int max_clusters = 6;
+  /// Decision-tree depth for condition induction; 0 means "use
+  /// max_condition_attrs".
+  int tree_max_depth = 0;
+  /// Partitions smaller than this are not worth a conditional transformation.
+  int64_t min_partition_size = 1;
+  /// Cap on distinct partitionings carried into transformation discovery;
+  /// when exceeded, partitionings whose conditions describe their clusters
+  /// best (highest label agreement, then fewer partitions) are kept. Bounds
+  /// the search the paper warns "can explode".
+  int max_partitions = 512;
+
+  /// Numeric cells differing by at most this are "unchanged".
+  double numeric_tolerance = 1e-6;
+  /// Tolerate entities present in only one snapshot (they are excluded from
+  /// the analysis). Off by default: the paper assumes identical entity sets.
+  bool allow_insert_delete = false;
+  /// Seed for every stochastic component (k-means restarts).
+  uint64_t seed = 42;
+
+  ScoreWeights weights;
+  NormalityOptions normality;
+
+  /// Validates ranges (alpha in [0,1], positive caps, non-empty target/keys).
+  Status Validate() const;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_CORE_OPTIONS_H_

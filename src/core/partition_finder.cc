@@ -1,0 +1,171 @@
+#include "core/partition_finder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+
+namespace charles {
+
+namespace {
+
+Result<Matrix> GatherTransformFeatures(const Table& source,
+                                       const std::vector<std::string>& transform_attrs) {
+  Matrix x(source.num_rows(), static_cast<int64_t>(transform_attrs.size()));
+  for (size_t f = 0; f < transform_attrs.size(); ++f) {
+    CHARLES_ASSIGN_OR_RETURN(const Column* col, source.ColumnByName(transform_attrs[f]));
+    CHARLES_ASSIGN_OR_RETURN(std::vector<double> values, col->ToDoubles());
+    for (int64_t r = 0; r < source.num_rows(); ++r) {
+      x.At(r, static_cast<int64_t>(f)) = values[static_cast<size_t>(r)];
+    }
+  }
+  return x;
+}
+
+std::string PartitionSignature(const std::vector<DecisionTree::Leaf>& leaves) {
+  std::set<std::string> conditions;
+  for (const DecisionTree::Leaf& leaf : leaves) {
+    conditions.insert(leaf.condition->ToString());
+  }
+  std::string out;
+  for (const std::string& c : conditions) {
+    out += c;
+    out += ";;";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> PartitionFinder::CanonicalizeLabels(const std::vector<int>& labels) {
+  std::vector<int> canonical(labels.size());
+  std::vector<int> remap;
+  int next = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    int label = labels[i];
+    if (label >= static_cast<int>(remap.size())) {
+      remap.resize(static_cast<size_t>(label) + 1, -1);
+    }
+    if (remap[static_cast<size_t>(label)] < 0) {
+      remap[static_cast<size_t>(label)] = next++;
+    }
+    canonical[i] = remap[static_cast<size_t>(label)];
+  }
+  return canonical;
+}
+
+Result<LinearModel> PartitionFinder::FitGlobalModel(const Input& input) {
+  const Table& source = *input.source;
+  CHARLES_ASSIGN_OR_RETURN(Matrix x, GatherTransformFeatures(source, input.transform_attrs));
+  return LinearRegression::Fit(x, *input.y_new, input.transform_attrs);
+}
+
+Result<PartitionFinder::ResidualClusterings> PartitionFinder::ClusterResiduals(
+    const Input& input, const CharlesOptions& options, bool include_delta_signals) {
+  const Table& source = *input.source;
+  int64_t n = source.num_rows();
+  if (n == 0) return Status::InvalidArgument("PartitionFinder: empty source");
+  if (static_cast<int64_t>(input.y_new->size()) != n) {
+    return Status::InvalidArgument("PartitionFinder: y_new size mismatch");
+  }
+  if (input.y_old != nullptr && static_cast<int64_t>(input.y_old->size()) != n) {
+    return Status::InvalidArgument("PartitionFinder: y_old size mismatch");
+  }
+
+  CHARLES_ASSIGN_OR_RETURN(Matrix x, GatherTransformFeatures(source, input.transform_attrs));
+  CHARLES_ASSIGN_OR_RETURN(LinearModel global,
+                           LinearRegression::Fit(x, *input.y_new, input.transform_attrs));
+  std::vector<double> predicted = global.PredictBatch(x);
+
+  // Change signals to cluster on: the paper's distance-from-the-regression-
+  // line, plus raw and relative deltas when requested and available.
+  std::vector<Matrix> signals;
+  {
+    Matrix residuals(n, 1);
+    for (int64_t i = 0; i < n; ++i) {
+      residuals.At(i, 0) =
+          (*input.y_new)[static_cast<size_t>(i)] - predicted[static_cast<size_t>(i)];
+    }
+    signals.push_back(std::move(residuals));
+  }
+  if (include_delta_signals && input.y_old != nullptr) {
+    Matrix delta(n, 1);
+    Matrix relative(n, 1);
+    for (int64_t i = 0; i < n; ++i) {
+      double d = (*input.y_new)[static_cast<size_t>(i)] -
+                 (*input.y_old)[static_cast<size_t>(i)];
+      delta.At(i, 0) = d;
+      double denom = std::abs((*input.y_old)[static_cast<size_t>(i)]);
+      relative.At(i, 0) = denom > 1e-12 ? d / denom : d;
+    }
+    signals.push_back(std::move(delta));
+    signals.push_back(std::move(relative));
+  }
+
+  KMeansOptions kmeans_options;
+  kmeans_options.seed = options.seed;
+
+  ResidualClusterings out;
+  out.global_model = std::move(global);
+  std::set<std::vector<int>> seen_labelings;
+  int k_max = static_cast<int>(std::min<int64_t>(options.max_clusters, n));
+  for (const Matrix& signal : signals) {
+    for (int k = 1; k <= k_max; ++k) {
+      CHARLES_ASSIGN_OR_RETURN(KMeansResult clustering,
+                               KMeans::Fit(signal, k, kmeans_options));
+      if (!seen_labelings.insert(CanonicalizeLabels(clustering.labels)).second) continue;
+      out.clusterings.push_back(std::move(clustering));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<PartitionCandidate>> PartitionFinder::InduceCandidates(
+    const Table& source, const std::vector<std::vector<int>>& labelings,
+    const std::vector<int>& condition_attr_indices, const CharlesOptions& options,
+    const TreeAttributeCache* cache) {
+  DecisionTreeOptions tree_options;
+  tree_options.max_depth =
+      options.tree_max_depth > 0 ? options.tree_max_depth : options.max_condition_attrs;
+  tree_options.min_leaf_size = options.min_partition_size;
+
+  RowSet all_rows = RowSet::All(source.num_rows());
+  std::vector<PartitionCandidate> candidates;
+  std::set<std::string> seen_signatures;
+
+  for (const std::vector<int>& labels : labelings) {
+    Result<DecisionTree> tree_result = DecisionTree::Fit(
+        source, all_rows, condition_attr_indices, labels, tree_options, cache);
+    if (!tree_result.ok()) continue;
+    auto tree = std::make_shared<DecisionTree>(std::move(*tree_result));
+    std::vector<DecisionTree::Leaf> leaves = tree->Leaves();
+
+    std::string signature = PartitionSignature(leaves);
+    if (!seen_signatures.insert(signature).second) continue;
+
+    PartitionCandidate candidate;
+    candidate.tree = std::move(tree);
+    candidate.leaves = std::move(leaves);
+    candidate.k = 1 + *std::max_element(labels.begin(), labels.end());
+    candidate.label_agreement = candidate.tree->training_accuracy();
+    candidates.push_back(std::move(candidate));
+  }
+  return candidates;
+}
+
+Result<std::vector<PartitionCandidate>> PartitionFinder::Find(
+    const Input& input, const std::vector<int>& condition_attr_indices,
+    const CharlesOptions& options) {
+  CHARLES_ASSIGN_OR_RETURN(ResidualClusterings clusterings,
+                           ClusterResiduals(input, options));
+  std::vector<std::vector<int>> labelings;
+  labelings.reserve(clusterings.clusterings.size());
+  for (const KMeansResult& clustering : clusterings.clusterings) {
+    labelings.push_back(clustering.labels);
+  }
+  return InduceCandidates(*input.source, labelings, condition_attr_indices, options);
+}
+
+}  // namespace charles

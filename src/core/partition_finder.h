@@ -1,0 +1,107 @@
+#ifndef CHARLES_CORE_PARTITION_FINDER_H_
+#define CHARLES_CORE_PARTITION_FINDER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/options.h"
+#include "ml/decision_tree.h"
+#include "ml/kmeans.h"
+#include "ml/linear_regression.h"
+#include "table/table.h"
+
+namespace charles {
+
+/// \brief One candidate partitioning of the data: a fitted condition tree
+/// whose leaves are the partitions.
+struct PartitionCandidate {
+  /// The condition-induction tree (kept for model-tree rendering).
+  std::shared_ptr<const DecisionTree> tree;
+  /// Its leaves: condition + row set per partition, YES-first order.
+  std::vector<DecisionTree::Leaf> leaves;
+  /// Number of residual clusters that seeded this partitioning.
+  int k = 0;
+  /// How faithfully the tree's leaves reproduce the cluster labels.
+  double label_agreement = 0.0;
+};
+
+/// \brief Partition discovery (paper, §2 "Partition discovery").
+///
+/// For a fixed pair (C, T) of condition/transformation attribute subsets:
+///  1. fit one global linear regression of the new target values on T over
+///     the source snapshot;
+///  2. k-means the *signed residuals* (each row's distance from the
+///     regression line) for k = 1..max_clusters;
+///  3. for each clustering, fit a small CART tree over the attributes in C
+///     that predicts cluster membership — each leaf's root path is a
+///     candidate partition condition.
+///
+/// Step 3 resolves the paper's cyclic dependency between patterns and
+/// clusters: rows are grouped by how they *changed* (residual space) and the
+/// groups are then *described* in attribute space. Structurally identical
+/// partitionings arising from different k are deduplicated.
+///
+/// Beyond the paper's residual signal, step 2 also clusters two further
+/// change signals — the raw delta (new − old) and the relative delta — and
+/// pools the resulting labelings (deduplicated). The paper's §2 explicitly
+/// frames its partitioning as one proof-of-concept choice; the extra signals
+/// recover policies whose groups are separated by absolute or proportional
+/// change but overlap in residual space. Ranking remains the sole arbiter.
+///
+/// Steps 1–2 depend only on T, step 3 only on C; the engine therefore calls
+/// ClusterResiduals once per T and InduceCandidates once per (T, C).
+class PartitionFinder {
+ public:
+  struct Input {
+    /// Source snapshot; row i aligns with y_old[i]/y_new[i].
+    const Table* source = nullptr;
+    /// Old target values, one per source row.
+    const std::vector<double>* y_old = nullptr;
+    /// New target values, one per source row.
+    const std::vector<double>* y_new = nullptr;
+    /// Names of the transformation attributes T (numeric source columns);
+    /// empty means intercept-only transformations.
+    std::vector<std::string> transform_attrs;
+  };
+
+  /// Result of steps 1–2: the global model and one clustering per k
+  /// (k = 1..max_clusters, deduplicated count may be smaller for tiny data).
+  struct ResidualClusterings {
+    LinearModel global_model;
+    std::vector<KMeansResult> clusterings;
+  };
+
+  /// Steps 1–2: global fit on T, k-means over the signed residuals. The
+  /// delta/relative-delta signals are T-independent; pass
+  /// include_delta_signals = false on all but the first call of a T sweep to
+  /// avoid recomputing them.
+  static Result<ResidualClusterings> ClusterResiduals(const Input& input,
+                                                      const CharlesOptions& options,
+                                                      bool include_delta_signals = true);
+
+  /// Step 3: induce condition trees over `condition_attr_indices` for every
+  /// row labeling; structurally identical partitionings are deduplicated
+  /// within the call. `cache` (optional) must cover the attributes; the
+  /// engine shares one across every (C, labeling) combination.
+  static Result<std::vector<PartitionCandidate>> InduceCandidates(
+      const Table& source, const std::vector<std::vector<int>>& labelings,
+      const std::vector<int>& condition_attr_indices, const CharlesOptions& options,
+      const TreeAttributeCache* cache = nullptr);
+
+  /// Renumbers labels in first-appearance order so structurally identical
+  /// clusterings compare equal.
+  static std::vector<int> CanonicalizeLabels(const std::vector<int>& labels);
+
+  /// Convenience composition of the two phases for a single (C, T).
+  static Result<std::vector<PartitionCandidate>> Find(
+      const Input& input, const std::vector<int>& condition_attr_indices,
+      const CharlesOptions& options);
+
+  /// The global model of step 1, exposed for diagnostics and benchmarks.
+  static Result<LinearModel> FitGlobalModel(const Input& input);
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_CORE_PARTITION_FINDER_H_

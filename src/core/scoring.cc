@@ -1,0 +1,128 @@
+#include "core/scoring.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/normality.h"
+#include "linalg/stats.h"
+
+namespace charles {
+
+Scorer::Scorer(const CharlesOptions& options, std::vector<double> y_old,
+               std::vector<double> y_new)
+    : options_(options),  // copied: see header
+      y_old_(std::move(y_old)),
+      y_new_(std::move(y_new)) {
+  CHARLES_CHECK_EQ(y_old_.size(), y_new_.size());
+  baseline_l1_ = L1Distance(y_old_, y_new_);
+  double sum = 0.0;
+  for (double v : y_new_) sum += std::abs(v);
+  target_scale_ = y_new_.empty() ? 1.0 : std::max(sum / static_cast<double>(y_new_.size()), 1e-12);
+}
+
+double Scorer::Accuracy(const std::vector<double>& y_hat) const {
+  CHARLES_CHECK_EQ(y_hat.size(), y_new_.size());
+  double l1 = L1Distance(y_hat, y_new_);
+  // "Exact" means practically right: within 0.1% of the target's scale (or
+  // the configured tolerance if larger). A hard zero band would make the
+  // exactness term collapse under any measurement noise, at which point
+  // partition quality stops influencing accuracy at all.
+  constexpr double kExactnessBand = 0.001;
+  double exact_tolerance =
+      std::max(options_.numeric_tolerance, kExactnessBand * target_scale_);
+  int64_t exact = 0;
+  for (size_t i = 0; i < y_hat.size(); ++i) {
+    if (std::abs(y_hat[i] - y_new_[i]) <= exact_tolerance) ++exact;
+  }
+  double exactness = y_hat.empty() ? 0.0
+                                   : static_cast<double>(exact) /
+                                         static_cast<double>(y_hat.size());
+  double l1_explained;
+  if (baseline_l1_ > 1e-12) {
+    l1_explained = std::clamp(1.0 - l1 / baseline_l1_, 0.0, 1.0);
+  } else {
+    // Nothing changed between the snapshots: a summary is accurate iff it
+    // also predicts "no change" (scale-normalized inverse distance).
+    double mae = y_hat.empty() ? 0.0 : l1 / static_cast<double>(y_hat.size());
+    l1_explained = 1.0 / (1.0 + mae / target_scale_);
+  }
+  return 0.5 * l1_explained + 0.5 * exactness;
+}
+
+ScoreBreakdown Scorer::InterpretabilityOnly(const ChangeSummary& summary) const {
+  ScoreBreakdown breakdown;
+  const auto& cts = summary.cts();
+  int64_t n = static_cast<int64_t>(y_old_.size());
+
+  if (cts.empty()) {
+    // The empty summary explains nothing but is maximally simple.
+    breakdown.summary_size = 1.0;
+    breakdown.condition_simplicity = 1.0;
+    breakdown.transform_simplicity = 1.0;
+    breakdown.coverage = 0.0;
+    breakdown.normality = 1.0;
+  } else {
+    breakdown.summary_size =
+        1.0 / (1.0 + 0.25 * (static_cast<double>(cts.size()) - 1.0));
+
+    double cond_total = 0.0;
+    double tran_total = 0.0;
+    double norm_total = 0.0;
+    int64_t covered = 0;
+    for (const ConditionalTransform& ct : cts) {
+      cond_total += 1.0 / (1.0 + 0.5 * static_cast<double>(ct.condition->NumDescriptors()));
+      tran_total += 1.0 / (1.0 + 0.5 * static_cast<double>(ct.transform.Complexity()));
+      double transform_normality = ct.transform.is_no_change()
+                                       ? 1.0
+                                       : ModelNormality(ct.transform.model());
+      norm_total += 0.5 * (ConditionNormality(*ct.condition) + transform_normality);
+      covered += ct.rows.size();
+    }
+    double count = static_cast<double>(cts.size());
+    breakdown.condition_simplicity = cond_total / count;
+    breakdown.transform_simplicity = tran_total / count;
+    breakdown.normality = norm_total / count;
+    // Coverage: the fraction of rows some CT explains. Engine-built
+    // summaries partition the data (coverage 1); the term differentiates
+    // partial summaries such as cell-diff baselines.
+    breakdown.coverage =
+        n > 0 ? std::min(1.0, static_cast<double>(covered) / static_cast<double>(n)) : 0.0;
+  }
+
+  const ScoreWeights& w = options_.weights;
+  double weight_sum = w.summary_size + w.condition_simplicity + w.transform_simplicity +
+                      w.coverage + w.normality;
+  breakdown.interpretability =
+      (w.summary_size * breakdown.summary_size +
+       w.condition_simplicity * breakdown.condition_simplicity +
+       w.transform_simplicity * breakdown.transform_simplicity +
+       w.coverage * breakdown.coverage + w.normality * breakdown.normality) /
+      weight_sum;
+  // Readability budget: past ~10 CTs a summary is a change log, not an
+  // explanation — no per-CT simplicity can compensate (this is what sinks
+  // the exhaustive cell-level diff in experiment E6). Within the budget the
+  // factor is 1 and the weighted blend above is untouched.
+  constexpr double kReadabilityBudget = 10.0;
+  if (!cts.empty() && static_cast<double>(cts.size()) > kReadabilityBudget) {
+    breakdown.interpretability *= kReadabilityBudget / static_cast<double>(cts.size());
+  }
+  return breakdown;
+}
+
+ScoreBreakdown Scorer::Score(const ChangeSummary& summary,
+                             const std::vector<double>& y_hat) const {
+  ScoreBreakdown breakdown = InterpretabilityOnly(summary);
+  breakdown.accuracy = Accuracy(y_hat);
+  breakdown.score = options_.alpha * breakdown.accuracy +
+                    (1.0 - options_.alpha) * breakdown.interpretability;
+  return breakdown;
+}
+
+Result<ScoreBreakdown> Scorer::ApplyAndScore(const ChangeSummary& summary,
+                                             const Table& source) const {
+  CHARLES_ASSIGN_OR_RETURN(std::vector<double> y_hat, summary.Apply(source));
+  return Score(summary, y_hat);
+}
+
+}  // namespace charles

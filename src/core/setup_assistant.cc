@@ -1,0 +1,161 @@
+#include "core/setup_assistant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "linalg/stats.h"
+
+namespace charles {
+
+std::vector<std::string> SetupResult::ConditionNames() const {
+  std::vector<std::string> names;
+  names.reserve(condition_candidates.size());
+  for (const AttributeCandidate& c : condition_candidates) names.push_back(c.name);
+  return names;
+}
+
+std::vector<std::string> SetupResult::TransformNames() const {
+  std::vector<std::string> names;
+  names.reserve(transform_candidates.size());
+  for (const AttributeCandidate& c : transform_candidates) names.push_back(c.name);
+  return names;
+}
+
+std::string SetupResult::ToString() const {
+  std::string out = "Condition candidates (A_cond):\n";
+  for (const AttributeCandidate& c : condition_candidates) {
+    out += "  " + PadRight(c.name, 24) + " assoc=" + FormatDouble(c.association, 3) +
+           (c.above_threshold ? "" : "  (below threshold)") + "\n";
+  }
+  out += "Transformation candidates (A_tran):\n";
+  for (const AttributeCandidate& c : transform_candidates) {
+    out += "  " + PadRight(c.name, 24) + " assoc=" + FormatDouble(c.association, 3) +
+           (c.above_threshold ? "" : "  (below threshold)") + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Integer group ids for a (categorical or numeric) column, aligned with
+/// the diff's pair order.
+std::vector<int> GroupIds(const Table& source, int col,
+                          const std::vector<SnapshotDiff::AlignedPair>& pairs) {
+  std::unordered_map<Value, int, ValueHash> ids;
+  std::vector<int> out;
+  out.reserve(pairs.size());
+  for (const auto& pair : pairs) {
+    Value v = source.GetValue(pair.source_row, col);
+    auto [it, inserted] = ids.emplace(std::move(v), static_cast<int>(ids.size()));
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+Result<std::vector<double>> NumericValues(const Table& source, int col,
+                                          const std::vector<SnapshotDiff::AlignedPair>& pairs) {
+  std::vector<int64_t> rows;
+  rows.reserve(pairs.size());
+  for (const auto& pair : pairs) rows.push_back(pair.source_row);
+  return source.column(col).GatherDoubles(RowSet(std::move(rows)));
+}
+
+}  // namespace
+
+Result<SetupResult> SetupAssistant::Analyze(const SnapshotDiff& diff,
+                                            const CharlesOptions& options) {
+  const Table& source = diff.source();
+  const std::string& target = options.target_attribute;
+  CHARLES_ASSIGN_OR_RETURN(int target_col, source.schema().FieldIndex(target));
+  if (!IsNumeric(source.schema().field(target_col).type)) {
+    return Status::TypeError("target attribute '" + target + "' is not numeric");
+  }
+
+  // Change signals, aligned with pair order.
+  CHARLES_ASSIGN_OR_RETURN(std::vector<double> y_old, diff.SourceValues(target));
+  CHARLES_ASSIGN_OR_RETURN(std::vector<double> y_new, diff.TargetValues(target));
+  size_t n = y_old.size();
+  std::vector<double> delta(n);
+  std::vector<double> relative_delta(n);
+  std::vector<double> changed(n);
+  for (size_t i = 0; i < n; ++i) {
+    delta[i] = y_new[i] - y_old[i];
+    relative_delta[i] =
+        std::abs(y_old[i]) > 1e-12 ? delta[i] / std::abs(y_old[i]) : delta[i];
+    changed[i] = std::abs(delta[i]) > options.numeric_tolerance ? 1.0 : 0.0;
+  }
+
+  std::vector<AttributeCandidate> condition_all;
+  std::vector<AttributeCandidate> transform_all;
+
+  for (int col = 0; col < source.num_columns(); ++col) {
+    const Field& field = source.schema().field(col);
+    if (std::find(options.key_columns.begin(), options.key_columns.end(), field.name) !=
+        options.key_columns.end()) {
+      continue;  // keys identify entities; they never explain change
+    }
+    bool numeric = IsNumeric(field.type);
+
+    if (field.name == target) {
+      // The target's old value is a transformation feature, never a
+      // condition attribute (the paper conditions on *other* features).
+      if (options.include_old_target_in_transform) {
+        double assoc = std::abs(PearsonCorrelation(y_old, y_new));
+        transform_all.push_back(AttributeCandidate{field.name, assoc, true, false});
+      }
+      continue;
+    }
+
+    if (numeric) {
+      Result<std::vector<double>> values_result = NumericValues(source, col, diff.pairs());
+      if (!values_result.ok()) continue;  // NULLs: skip from auto-selection
+      const std::vector<double>& values = *values_result;
+      double assoc_cond = std::max({std::abs(PearsonCorrelation(values, delta)),
+                                    std::abs(PearsonCorrelation(values, relative_delta)),
+                                    std::abs(PearsonCorrelation(values, changed))});
+      double assoc_tran =
+          std::max(assoc_cond, std::abs(PearsonCorrelation(values, y_new)));
+      condition_all.push_back(AttributeCandidate{field.name, assoc_cond, true, false});
+      transform_all.push_back(AttributeCandidate{field.name, assoc_tran, true, false});
+    } else {
+      std::vector<int> groups = GroupIds(source, col, diff.pairs());
+      // Adjusted eta: corrects the upward small-sample bias of raw eta so
+      // many-category noise attributes do not crowd out real signals.
+      double assoc = std::max({AdjustedCorrelationRatio(groups, delta),
+                               AdjustedCorrelationRatio(groups, relative_delta),
+                               AdjustedCorrelationRatio(groups, changed)});
+      condition_all.push_back(AttributeCandidate{field.name, assoc, false, false});
+    }
+  }
+
+  auto rank_and_cut = [](std::vector<AttributeCandidate> candidates, double threshold,
+                         int min_keep, int max_keep) {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const AttributeCandidate& a, const AttributeCandidate& b) {
+                       return a.association > b.association;
+                     });
+    std::vector<AttributeCandidate> kept;
+    for (AttributeCandidate& c : candidates) {
+      c.above_threshold = c.association > threshold;
+      bool need_more = static_cast<int>(kept.size()) < min_keep;
+      if ((c.above_threshold || need_more) &&
+          static_cast<int>(kept.size()) < max_keep) {
+        kept.push_back(c);
+      }
+    }
+    return kept;
+  };
+
+  SetupResult result;
+  result.condition_candidates =
+      rank_and_cut(std::move(condition_all), options.correlation_threshold,
+                   options.min_condition_candidates, options.max_condition_candidates);
+  result.transform_candidates =
+      rank_and_cut(std::move(transform_all), options.correlation_threshold,
+                   options.min_transform_candidates, options.max_transform_candidates);
+  return result;
+}
+
+}  // namespace charles

@@ -1,0 +1,66 @@
+#ifndef CHARLES_CORE_SETUP_ASSISTANT_H_
+#define CHARLES_CORE_SETUP_ASSISTANT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/options.h"
+#include "diff/diff.h"
+
+namespace charles {
+
+/// \brief One attribute the setup assistant shortlisted, with its measured
+/// association to the observed change.
+struct AttributeCandidate {
+  std::string name;
+  /// Strength of association in [0, 1]: max over |Pearson| (numeric) or
+  /// correlation ratio η (categorical) against the change signals.
+  double association = 0.0;
+  bool numeric = false;
+  /// True if association cleared CharlesOptions::correlation_threshold
+  /// (below-threshold candidates may still be kept to honour the minimum
+  /// candidate counts).
+  bool above_threshold = false;
+};
+
+/// \brief The shortlists the engine enumerates subsets from.
+struct SetupResult {
+  /// Ranked candidates for conditions (A_cond), best first.
+  std::vector<AttributeCandidate> condition_candidates;
+  /// Ranked numeric candidates for transformations (A_tran), best first.
+  /// Includes the target attribute itself (its old value) when
+  /// include_old_target_in_transform is set.
+  std::vector<AttributeCandidate> transform_candidates;
+
+  std::vector<std::string> ConditionNames() const;
+  std::vector<std::string> TransformNames() const;
+
+  std::string ToString() const;
+};
+
+/// \brief Correlation-based attribute shortlisting (paper, §2 "Setup
+/// assistant").
+///
+/// For every non-key attribute the assistant measures how strongly it
+/// associates with the observed change of the target attribute. Three change
+/// signals are probed and the strongest association wins:
+///  - the absolute delta (new − old),
+///  - the relative delta ((new − old) / |old|),
+///  - the changed/unchanged indicator.
+/// Numeric attributes additionally probe the new target value itself (a
+/// transformation-style association). Numeric attributes use |Pearson|;
+/// categoricals use the correlation ratio η.
+///
+/// Candidates with association above options.correlation_threshold make the
+/// shortlist; if fewer than the configured minimum clear it, the top-ranked
+/// below-threshold ones are kept as well (flagged via above_threshold).
+class SetupAssistant {
+ public:
+  static Result<SetupResult> Analyze(const SnapshotDiff& diff,
+                                     const CharlesOptions& options);
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_CORE_SETUP_ASSISTANT_H_

@@ -1,0 +1,99 @@
+#include "core/sql_gen.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace charles {
+
+namespace {
+
+/// Column names with anything beyond [A-Za-z0-9_] get double-quoted.
+std::string QuoteIdentifier(const std::string& name) {
+  bool plain = !name.empty() && !std::isdigit(static_cast<unsigned char>(name[0]));
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) plain = false;
+  }
+  if (plain) return name;
+  std::string out = "\"";
+  for (char c : name) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+/// `1.05 * bonus + 0.01 * salary + 1000` (or the bare old column for
+/// no-change).
+std::string TransformToSql(const LinearTransform& transform) {
+  if (transform.is_no_change()) {
+    return QuoteIdentifier(transform.target_attribute());
+  }
+  const LinearModel& model = transform.model();
+  std::string out;
+  bool first = true;
+  for (size_t i = 0; i < model.coefficients.size(); ++i) {
+    double c = model.coefficients[i];
+    if (std::abs(c) <= 1e-12) continue;
+    if (first) {
+      if (c < 0) out += "-";
+    } else {
+      out += c < 0 ? " - " : " + ";
+    }
+    double magnitude = std::abs(c);
+    if (std::abs(magnitude - 1.0) > 1e-12) {
+      out += FormatDouble(magnitude, 6) + " * ";
+    }
+    out += QuoteIdentifier(model.feature_names[i]);
+    first = false;
+  }
+  if (std::abs(model.intercept) > 1e-9 || first) {
+    if (first) {
+      out += FormatDouble(model.intercept, 6);
+    } else {
+      out += model.intercept < 0 ? " - " : " + ";
+      out += FormatDouble(std::abs(model.intercept), 6);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> ToSqlUpdate(const ChangeSummary& summary, const SqlGenOptions& options) {
+  if (summary.cts().empty()) {
+    return Status::InvalidArgument("cannot render SQL for an empty summary");
+  }
+  if (options.table_name.empty()) {
+    return Status::InvalidArgument("table_name must not be empty");
+  }
+  const std::string target = QuoteIdentifier(summary.target_attribute());
+  const std::string table = QuoteIdentifier(options.table_name);
+
+  if (options.single_statement) {
+    std::string sql = "UPDATE " + table + " SET " + target + " = CASE\n";
+    for (const ConditionalTransform& ct : summary.cts()) {
+      sql += options.indent + "WHEN " + ct.condition->ToString() + " THEN " +
+             TransformToSql(ct.transform) + "\n";
+    }
+    sql += options.indent + "ELSE " + target + "\nEND;\n";
+    return sql;
+  }
+
+  std::string sql =
+      "-- Disjoint-partition updates; order does not matter because the\n"
+      "-- engine's conditions never overlap. Prefer the CASE form when the\n"
+      "-- summary was constructed by hand.\n";
+  for (const ConditionalTransform& ct : summary.cts()) {
+    if (ct.transform.is_no_change()) {
+      sql += "-- " + ct.condition->ToString() + ": no change\n";
+      continue;
+    }
+    sql += "UPDATE " + table + " SET " + target + " = " + TransformToSql(ct.transform) +
+           " WHERE " + ct.condition->ToString() + ";\n";
+  }
+  return sql;
+}
+
+}  // namespace charles

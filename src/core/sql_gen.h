@@ -1,0 +1,46 @@
+#ifndef CHARLES_CORE_SQL_GEN_H_
+#define CHARLES_CORE_SQL_GEN_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/summary.h"
+
+namespace charles {
+
+/// \brief Options for ToSqlUpdate.
+struct SqlGenOptions {
+  /// Table name the UPDATE targets.
+  std::string table_name = "snapshot";
+  /// true: one UPDATE with a CASE expression (all reads see pre-update
+  /// values — always safe). false: one UPDATE per CT (equivalent only
+  /// because engine partitions are disjoint; a warning comment is emitted).
+  bool single_statement = true;
+  /// Indentation for the CASE arms.
+  std::string indent = "  ";
+};
+
+/// \brief Renders a change summary as executable SQL.
+///
+/// A ChARLES summary *is* the update that turned the source snapshot into
+/// (an approximation of) the target; this makes that operational — the
+/// "interpretable, executable summaries" idea of Sutton et al.'s Data-Diff,
+/// applied to ChARLES's conditional transformations:
+///
+/// \code{.sql}
+///   UPDATE snapshot SET bonus = CASE
+///     WHEN edu = 'PhD' THEN 1.05 * bonus + 1000
+///     WHEN edu = 'MS' AND exp >= 3 THEN 1.04 * bonus + 800
+///     ELSE bonus
+///   END;
+/// \endcode
+///
+/// Conditions render via the expression printer (already SQL-compatible:
+/// `=`, `!=`, `AND`, `IN (...)`); transformations expand to arithmetic over
+/// the old column values. No-change CTs become `ELSE`-preserving arms.
+Result<std::string> ToSqlUpdate(const ChangeSummary& summary,
+                                const SqlGenOptions& options = {});
+
+}  // namespace charles
+
+#endif  // CHARLES_CORE_SQL_GEN_H_

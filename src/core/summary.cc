@@ -1,0 +1,58 @@
+#include "core/summary.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace charles {
+
+std::string ConditionalTransform::ToString() const {
+  return condition->ToString() + "  →  " + transform.ToString();
+}
+
+Result<std::vector<double>> ChangeSummary::Apply(const Table& source) const {
+  CHARLES_ASSIGN_OR_RETURN(const Column* target_col,
+                           source.ColumnByName(target_attribute_));
+  CHARLES_ASSIGN_OR_RETURN(std::vector<double> predicted, target_col->ToDoubles());
+  std::vector<bool> claimed(static_cast<size_t>(source.num_rows()), false);
+  for (const ConditionalTransform& ct : cts_) {
+    CHARLES_ASSIGN_OR_RETURN(RowSet matched, FilterRows(source, *ct.condition));
+    // First matching CT wins on overlap.
+    std::vector<int64_t> fresh;
+    for (int64_t row : matched) {
+      if (!claimed[static_cast<size_t>(row)]) {
+        fresh.push_back(row);
+        claimed[static_cast<size_t>(row)] = true;
+      }
+    }
+    RowSet rows(std::move(fresh));
+    if (rows.empty()) continue;
+    CHARLES_ASSIGN_OR_RETURN(std::vector<double> values, ct.transform.Apply(source, rows));
+    for (int64_t i = 0; i < rows.size(); ++i) {
+      predicted[static_cast<size_t>(rows[i])] = values[static_cast<size_t>(i)];
+    }
+  }
+  return predicted;
+}
+
+std::string ChangeSummary::Signature() const {
+  std::vector<std::string> parts;
+  parts.reserve(cts_.size());
+  for (const ConditionalTransform& ct : cts_) parts.push_back(ct.ToString());
+  std::sort(parts.begin(), parts.end());
+  return Join(parts, " ;; ");
+}
+
+std::string ChangeSummary::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < cts_.size(); ++i) {
+    out += "  CT" + std::to_string(i + 1) + ": " + cts_[i].ToString() + "   [" +
+           FormatDouble(cts_[i].coverage * 100.0, 1) + "% coverage]\n";
+  }
+  out += "  score=" + FormatDouble(scores_.score, 4) +
+         " (accuracy=" + FormatDouble(scores_.accuracy, 4) +
+         ", interpretability=" + FormatDouble(scores_.interpretability, 4) + ")\n";
+  return out;
+}
+
+}  // namespace charles

@@ -1,0 +1,110 @@
+#ifndef CHARLES_CORE_SUMMARY_H_
+#define CHARLES_CORE_SUMMARY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/model_tree.h"
+#include "core/transform.h"
+#include "expr/expr.h"
+#include "table/row_set.h"
+#include "table/table.h"
+
+namespace charles {
+
+/// \brief One conditional transformation (CT): condition → transformation.
+///
+/// The paper's unit of explanation: "employees with a PhD (condition) got a
+/// 5% bonus increase plus $1000 (transformation)".
+struct ConditionalTransform {
+  ExprPtr condition;
+  LinearTransform transform;
+
+  /// Source rows satisfying the condition when the CT was discovered.
+  RowSet rows;
+  /// rows.size() / table rows.
+  double coverage = 0.0;
+  /// Mean absolute error of the transformation on its partition.
+  double partition_mae = 0.0;
+
+  /// `edu = 'PhD'  →  new_bonus = 1.05 × old_bonus + 1000`.
+  std::string ToString() const;
+};
+
+/// \brief Per-component interpretability detail, reported with each summary.
+struct ScoreBreakdown {
+  double accuracy = 0.0;
+  double interpretability = 0.0;
+  double score = 0.0;
+  /// \name Interpretability sub-scores (each in [0, 1]).
+  /// @{
+  double summary_size = 0.0;
+  double condition_simplicity = 0.0;
+  double transform_simplicity = 0.0;
+  double coverage = 0.0;
+  double normality = 0.0;
+  /// @}
+};
+
+/// \brief A change summary: a set of CTs whose conditions partition the data,
+/// plus its scores and the linear model tree it renders as.
+class ChangeSummary {
+ public:
+  ChangeSummary() = default;
+  ChangeSummary(std::vector<ConditionalTransform> cts, std::string target_attribute)
+      : cts_(std::move(cts)), target_attribute_(std::move(target_attribute)) {}
+
+  const std::vector<ConditionalTransform>& cts() const { return cts_; }
+  std::vector<ConditionalTransform>* mutable_cts() { return &cts_; }
+  const std::string& target_attribute() const { return target_attribute_; }
+
+  int num_cts() const { return static_cast<int>(cts_.size()); }
+
+  /// \brief Predicted new target values for every row of `source`.
+  ///
+  /// Re-evaluates each CT's condition (so the summary can be applied to
+  /// tables other than the one it was mined from); rows matching no CT keep
+  /// their old value. When conditions overlap, the first matching CT wins.
+  Result<std::vector<double>> Apply(const Table& source) const;
+
+  /// Scores, attached by the Scorer.
+  const ScoreBreakdown& scores() const { return scores_; }
+  void set_scores(const ScoreBreakdown& scores) { scores_ = scores; }
+
+  /// The Figure-2 rendering; may be null for hand-built summaries.
+  std::shared_ptr<const ModelTree> tree() const { return tree_; }
+  void set_tree(std::shared_ptr<const ModelTree> tree) { tree_ = std::move(tree); }
+
+  /// Attribute bookkeeping for reporting which (C, T) produced the summary.
+  const std::vector<std::string>& condition_attributes() const {
+    return condition_attributes_;
+  }
+  const std::vector<std::string>& transform_attributes() const {
+    return transform_attributes_;
+  }
+  void set_attributes(std::vector<std::string> condition_attrs,
+                      std::vector<std::string> transform_attrs) {
+    condition_attributes_ = std::move(condition_attrs);
+    transform_attributes_ = std::move(transform_attrs);
+  }
+
+  /// Canonical text used for deduplication: CT strings, sorted.
+  std::string Signature() const;
+
+  /// Multi-line rendering: one CT per line plus the score line.
+  std::string ToString() const;
+
+ private:
+  std::vector<ConditionalTransform> cts_;
+  std::string target_attribute_;
+  std::vector<std::string> condition_attributes_;
+  std::vector<std::string> transform_attributes_;
+  ScoreBreakdown scores_;
+  std::shared_ptr<const ModelTree> tree_;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_CORE_SUMMARY_H_

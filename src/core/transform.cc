@@ -1,0 +1,68 @@
+#include "core/transform.h"
+
+#include <cmath>
+
+namespace charles {
+
+LinearTransform LinearTransform::NoChange(std::string target_attribute) {
+  return LinearTransform(Kind::kNoChange, std::move(target_attribute), LinearModel{});
+}
+
+LinearTransform LinearTransform::Linear(std::string target_attribute, LinearModel model) {
+  return LinearTransform(Kind::kLinear, std::move(target_attribute), std::move(model));
+}
+
+Result<Matrix> LinearTransform::GatherFeatures(const Table& source,
+                                               const RowSet& rows) const {
+  Matrix x(rows.size(), static_cast<int64_t>(model_.feature_names.size()));
+  for (size_t f = 0; f < model_.feature_names.size(); ++f) {
+    CHARLES_ASSIGN_OR_RETURN(const Column* col,
+                             source.ColumnByName(model_.feature_names[f]));
+    CHARLES_ASSIGN_OR_RETURN(std::vector<double> values, col->GatherDoubles(rows));
+    for (int64_t r = 0; r < rows.size(); ++r) {
+      x.At(r, static_cast<int64_t>(f)) = values[static_cast<size_t>(r)];
+    }
+  }
+  return x;
+}
+
+Result<std::vector<double>> LinearTransform::Apply(const Table& source,
+                                                   const RowSet& rows) const {
+  if (kind_ == Kind::kNoChange) {
+    CHARLES_ASSIGN_OR_RETURN(const Column* col, source.ColumnByName(target_attribute_));
+    return col->GatherDoubles(rows);
+  }
+  CHARLES_ASSIGN_OR_RETURN(Matrix x, GatherFeatures(source, rows));
+  return model_.PredictBatch(x);
+}
+
+int LinearTransform::Complexity() const {
+  if (kind_ == Kind::kNoChange) return 0;
+  return model_.NumActiveTerms();
+}
+
+std::string LinearTransform::ToString() const {
+  if (kind_ == Kind::kNoChange) return "no change";
+  // Display copy: the target's own old value reads as old_<attr>, the new
+  // value as new_<attr>.
+  LinearModel display = model_;
+  for (std::string& name : display.feature_names) {
+    if (name == target_attribute_) name = "old_" + name;
+  }
+  return display.ToString("new_" + target_attribute_);
+}
+
+bool LinearTransform::Equals(const LinearTransform& other, double tolerance) const {
+  if (kind_ != other.kind_ || target_attribute_ != other.target_attribute_) return false;
+  if (kind_ == Kind::kNoChange) return true;
+  if (model_.feature_names != other.model_.feature_names) return false;
+  if (std::abs(model_.intercept - other.model_.intercept) > tolerance) return false;
+  for (size_t i = 0; i < model_.coefficients.size(); ++i) {
+    if (std::abs(model_.coefficients[i] - other.model_.coefficients[i]) > tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace charles

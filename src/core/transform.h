@@ -1,0 +1,72 @@
+#ifndef CHARLES_CORE_TRANSFORM_H_
+#define CHARLES_CORE_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/linear_regression.h"
+#include "table/row_set.h"
+#include "table/table.h"
+
+namespace charles {
+
+/// \brief The "what changed" half of a conditional transformation.
+///
+/// Either a linear update rule over source-side attribute values
+/// (`new_bonus = 1.05 × old_bonus + 1000`) or the explicit no-change
+/// transformation (Figure 2's `None` leaf). Feature names refer to columns
+/// of the *source* snapshot; the target attribute's own old value is a
+/// legitimate feature and is displayed with an `old_` prefix.
+class LinearTransform {
+ public:
+  enum class Kind { kLinear, kNoChange };
+
+  /// Default-constructs a no-change transformation with an empty target;
+  /// exists so aggregates holding a LinearTransform stay default-buildable.
+  LinearTransform() : LinearTransform(Kind::kNoChange, "", LinearModel{}) {}
+
+  /// The no-change transformation: new value = old value.
+  static LinearTransform NoChange(std::string target_attribute);
+
+  /// A fitted linear rule over the model's feature columns.
+  static LinearTransform Linear(std::string target_attribute, LinearModel model);
+
+  Kind kind() const { return kind_; }
+  bool is_no_change() const { return kind_ == Kind::kNoChange; }
+  const std::string& target_attribute() const { return target_attribute_; }
+  /// The fitted model; meaningful only for kLinear.
+  const LinearModel& model() const { return model_; }
+  LinearModel* mutable_model() { return &model_; }
+
+  /// \brief Predicted new target values for `rows` of the source snapshot.
+  ///
+  /// Gathers the model's feature columns from `source` (no-change gathers
+  /// the target column itself) and evaluates the rule row by row.
+  Result<std::vector<double>> Apply(const Table& source, const RowSet& rows) const;
+
+  /// Feature matrix the model consumes, gathered from `source` at `rows`.
+  Result<Matrix> GatherFeatures(const Table& source, const RowSet& rows) const;
+
+  /// Number of variables in the rule (0 for no-change) — the paper's
+  /// transformation-complexity measure.
+  int Complexity() const;
+
+  /// `new_bonus = 1.05 × old_bonus + 1000` or `no change`.
+  std::string ToString() const;
+
+  /// Structural equality within `tolerance` on all constants.
+  bool Equals(const LinearTransform& other, double tolerance = 1e-9) const;
+
+ private:
+  LinearTransform(Kind kind, std::string target, LinearModel model)
+      : kind_(kind), target_attribute_(std::move(target)), model_(std::move(model)) {}
+
+  Kind kind_;
+  std::string target_attribute_;
+  LinearModel model_;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_CORE_TRANSFORM_H_

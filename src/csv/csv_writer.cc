@@ -1,0 +1,68 @@
+#include "csv/csv_writer.h"
+
+#include <cctype>
+#include <fstream>
+
+namespace charles {
+
+namespace {
+
+std::string EscapeCell(const std::string& cell, const CsvWriteOptions& options) {
+  // Leading/trailing whitespace must be quoted too: readers (including ours,
+  // by default) trim unquoted cells, which would otherwise corrupt the
+  // round-trip.
+  bool whitespace_bordered =
+      !cell.empty() && (std::isspace(static_cast<unsigned char>(cell.front())) ||
+                        std::isspace(static_cast<unsigned char>(cell.back())));
+  bool needs_quoting = whitespace_bordered ||
+                       cell.find(options.delimiter) != std::string::npos ||
+                       cell.find(options.quote) != std::string::npos ||
+                       cell.find('\n') != std::string::npos ||
+                       cell.find('\r') != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string out;
+  out += options.quote;
+  for (char c : cell) {
+    if (c == options.quote) out += options.quote;
+    out += c;
+  }
+  out += options.quote;
+  return out;
+}
+
+}  // namespace
+
+std::string CsvWriter::WriteString(const Table& table, const CsvWriteOptions& options) {
+  std::string out;
+  if (options.write_header) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += options.delimiter;
+      out += EscapeCell(table.schema().field(c).name, options);
+    }
+    out += options.eol;
+  }
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += options.delimiter;
+      Value v = table.GetValue(r, c);
+      if (v.is_null()) {
+        out += options.null_token;
+      } else {
+        out += EscapeCell(v.ToString(), options);
+      }
+    }
+    out += options.eol;
+  }
+  return out;
+}
+
+Status CsvWriter::WriteFile(const Table& table, const std::string& path,
+                            const CsvWriteOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << WriteString(table, options);
+  if (!out) return Status::IOError("error while writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace charles

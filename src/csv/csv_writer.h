@@ -1,0 +1,35 @@
+#ifndef CHARLES_CSV_CSV_WRITER_H_
+#define CHARLES_CSV_CSV_WRITER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace charles {
+
+/// \brief Options controlling CSV serialization.
+struct CsvWriteOptions {
+  char delimiter = ',';
+  char quote = '"';
+  bool write_header = true;
+  /// Spelling for NULL cells (written unquoted).
+  std::string null_token = "";
+  /// Line terminator.
+  std::string eol = "\n";
+};
+
+/// \brief Serializes a Table to RFC-4180 CSV.
+///
+/// Cells containing the delimiter, the quote, or a newline are quoted with
+/// internal quotes doubled, so ReadString(WriteString(t)) round-trips.
+class CsvWriter {
+ public:
+  static std::string WriteString(const Table& table, const CsvWriteOptions& options = {});
+  static Status WriteFile(const Table& table, const std::string& path,
+                          const CsvWriteOptions& options = {});
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_CSV_CSV_WRITER_H_

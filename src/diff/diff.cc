@@ -1,0 +1,230 @@
+#include "diff/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace charles {
+
+namespace {
+
+bool CellChanged(const Value& a, const Value& b, bool numeric, double tolerance) {
+  if (a.is_null() || b.is_null()) return a.is_null() != b.is_null();
+  if (numeric) {
+    double da = a.AsDouble().ValueOrDie();
+    double db = b.AsDouble().ValueOrDie();
+    return std::abs(da - db) > tolerance;
+  }
+  return a != b;
+}
+
+}  // namespace
+
+Result<std::pair<Table, Table>> UnifyNumericTypes(const Table& source,
+                                                  const Table& target) {
+  if (source.num_columns() != target.num_columns()) {
+    return std::make_pair(source, target);  // let Compute report the mismatch
+  }
+  auto promote = [](const Table& table, const std::vector<int>& columns) -> Result<Table> {
+    if (columns.empty()) return table;
+    std::vector<Field> fields = table.schema().fields();
+    std::vector<Column> promoted;
+    for (int c = 0; c < table.num_columns(); ++c) {
+      bool cast = std::find(columns.begin(), columns.end(), c) != columns.end();
+      if (cast) {
+        CHARLES_ASSIGN_OR_RETURN(Column col, table.column(c).CastTo(TypeKind::kDouble));
+        promoted.push_back(std::move(col));
+        fields[static_cast<size_t>(c)].type = TypeKind::kDouble;
+      } else {
+        promoted.push_back(table.column(c));
+      }
+    }
+    CHARLES_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+    return Table::Make(std::move(schema), std::move(promoted));
+  };
+  std::vector<int> source_casts;
+  std::vector<int> target_casts;
+  for (int c = 0; c < source.num_columns(); ++c) {
+    TypeKind s = source.schema().field(c).type;
+    TypeKind t = target.schema().field(c).type;
+    if (s == TypeKind::kInt64 && t == TypeKind::kDouble) source_casts.push_back(c);
+    if (s == TypeKind::kDouble && t == TypeKind::kInt64) target_casts.push_back(c);
+  }
+  CHARLES_ASSIGN_OR_RETURN(Table unified_source, promote(source, source_casts));
+  CHARLES_ASSIGN_OR_RETURN(Table unified_target, promote(target, target_casts));
+  return std::make_pair(std::move(unified_source), std::move(unified_target));
+}
+
+Result<SnapshotDiff> SnapshotDiff::Compute(const Table& source, const Table& target,
+                                           const DiffOptions& options) {
+  if (!source.schema().Equals(target.schema())) {
+    return Status::InvalidArgument(
+        "snapshots have different schemas:\n  source: " + source.schema().ToString() +
+        "\n  target: " + target.schema().ToString());
+  }
+  if (options.key_columns.empty()) {
+    return Status::InvalidArgument("DiffOptions.key_columns must not be empty");
+  }
+  CHARLES_ASSIGN_OR_RETURN(KeyIndex source_index,
+                           KeyIndex::Build(source, options.key_columns));
+  CHARLES_ASSIGN_OR_RETURN(KeyIndex target_index,
+                           KeyIndex::Build(target, options.key_columns));
+
+  SnapshotDiff diff;
+  diff.source_ = &source;
+  diff.target_ = &target;
+  diff.numeric_tolerance_ = options.numeric_tolerance;
+
+  for (int64_t row = 0; row < source.num_rows(); ++row) {
+    RowKey key = source_index.KeyOfRow(source, row);
+    Result<int64_t> target_row = target_index.Lookup(key);
+    if (target_row.ok()) {
+      diff.pairs_.push_back(AlignedPair{row, *target_row});
+    } else if (options.allow_insert_delete) {
+      ++diff.deletions_;
+    } else {
+      return Status::InvalidArgument(
+          "entity " + key.ToString() +
+          " present in source but missing from target; the paper's no-delete "
+          "assumption is violated (set allow_insert_delete to proceed)");
+    }
+  }
+  int64_t matched = static_cast<int64_t>(diff.pairs_.size());
+  if (target.num_rows() != matched) {
+    if (options.allow_insert_delete) {
+      diff.insertions_ = target.num_rows() - matched;
+    } else {
+      return Status::InvalidArgument(
+          std::to_string(target.num_rows() - matched) +
+          " target row(s) have keys absent from the source; the paper's "
+          "no-insert assumption is violated (set allow_insert_delete to proceed)");
+    }
+  }
+
+  // Per-column change statistics.
+  for (int c = 0; c < source.num_columns(); ++c) {
+    const Field& field = source.schema().field(c);
+    ColumnChangeStats stats;
+    stats.name = field.name;
+    stats.numeric = IsNumeric(field.type);
+    double sum_delta = 0.0;
+    double sum_abs_delta = 0.0;
+    stats.min_delta = std::numeric_limits<double>::max();
+    stats.max_delta = std::numeric_limits<double>::lowest();
+    for (const AlignedPair& pair : diff.pairs_) {
+      Value a = source.GetValue(pair.source_row, c);
+      Value b = target.GetValue(pair.target_row, c);
+      if (!CellChanged(a, b, stats.numeric, options.numeric_tolerance)) continue;
+      ++stats.num_changed;
+      if (stats.numeric && !a.is_null() && !b.is_null()) {
+        double delta = b.AsDouble().ValueOrDie() - a.AsDouble().ValueOrDie();
+        sum_delta += delta;
+        sum_abs_delta += std::abs(delta);
+        stats.min_delta = std::min(stats.min_delta, delta);
+        stats.max_delta = std::max(stats.max_delta, delta);
+      }
+    }
+    if (stats.num_changed > 0) {
+      stats.change_fraction =
+          static_cast<double>(stats.num_changed) / static_cast<double>(matched);
+      if (stats.numeric) {
+        stats.mean_delta = sum_delta / static_cast<double>(stats.num_changed);
+        stats.mean_abs_delta = sum_abs_delta / static_cast<double>(stats.num_changed);
+      }
+    }
+    if (stats.num_changed == 0 || !stats.numeric) {
+      stats.min_delta = 0.0;
+      stats.max_delta = 0.0;
+    }
+    diff.column_stats_.push_back(std::move(stats));
+  }
+  return diff;
+}
+
+Result<const ColumnChangeStats*> SnapshotDiff::StatsFor(const std::string& column) const {
+  for (const ColumnChangeStats& stats : column_stats_) {
+    if (stats.name == column) return &stats;
+  }
+  return Status::NotFound("no column named '" + column + "'");
+}
+
+Result<std::vector<bool>> SnapshotDiff::ChangedMask(const std::string& column) const {
+  CHARLES_ASSIGN_OR_RETURN(int col, source_->schema().FieldIndex(column));
+  bool numeric = IsNumeric(source_->schema().field(col).type);
+  std::vector<bool> mask(pairs_.size(), false);
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    Value a = source_->GetValue(pairs_[i].source_row, col);
+    Value b = target_->GetValue(pairs_[i].target_row, col);
+    mask[i] = CellChanged(a, b, numeric, numeric_tolerance_);
+  }
+  return mask;
+}
+
+Result<RowSet> SnapshotDiff::ChangedRows(const std::string& column) const {
+  CHARLES_ASSIGN_OR_RETURN(std::vector<bool> mask, ChangedMask(column));
+  std::vector<int64_t> rows;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) rows.push_back(pairs_[i].source_row);
+  }
+  return RowSet(std::move(rows));
+}
+
+Result<std::vector<double>> SnapshotDiff::SourceValues(const std::string& column) const {
+  CHARLES_ASSIGN_OR_RETURN(const Column* col, source_->ColumnByName(column));
+  std::vector<int64_t> rows;
+  rows.reserve(pairs_.size());
+  for (const AlignedPair& pair : pairs_) rows.push_back(pair.source_row);
+  return col->GatherDoubles(RowSet(std::move(rows)));
+}
+
+Result<std::vector<double>> SnapshotDiff::TargetValues(const std::string& column) const {
+  CHARLES_ASSIGN_OR_RETURN(const Column* col, target_->ColumnByName(column));
+  // Pair order, not sorted target order: gather one by one.
+  CHARLES_ASSIGN_OR_RETURN(int col_idx, target_->schema().FieldIndex(column));
+  std::vector<double> out;
+  out.reserve(pairs_.size());
+  for (const AlignedPair& pair : pairs_) {
+    Value v = target_->GetValue(pair.target_row, col_idx);
+    if (v.is_null()) {
+      return Status::InvalidArgument("TargetValues: NULL at target row " +
+                                     std::to_string(pair.target_row));
+    }
+    CHARLES_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    out.push_back(d);
+  }
+  (void)col;
+  return out;
+}
+
+Result<std::vector<double>> SnapshotDiff::Deltas(const std::string& column) const {
+  CHARLES_ASSIGN_OR_RETURN(std::vector<double> src, SourceValues(column));
+  CHARLES_ASSIGN_OR_RETURN(std::vector<double> tgt, TargetValues(column));
+  std::vector<double> out(src.size());
+  for (size_t i = 0; i < src.size(); ++i) out[i] = tgt[i] - src[i];
+  return out;
+}
+
+std::string SnapshotDiff::Summary() const {
+  std::string out = "SnapshotDiff: " + std::to_string(num_pairs()) + " aligned entities";
+  if (insertions_ > 0 || deletions_ > 0) {
+    out += " (+" + std::to_string(insertions_) + " inserted, -" +
+           std::to_string(deletions_) + " deleted)";
+  }
+  out += "\n";
+  for (const ColumnChangeStats& stats : column_stats_) {
+    if (stats.num_changed == 0) continue;
+    out += "  " + stats.name + ": " + std::to_string(stats.num_changed) + " changed (" +
+           FormatDouble(stats.change_fraction * 100.0, 1) + "%)";
+    if (stats.numeric) {
+      out += ", mean delta " + FormatDouble(stats.mean_delta, 2) + ", range [" +
+             FormatDouble(stats.min_delta, 2) + ", " + FormatDouble(stats.max_delta, 2) +
+             "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace charles

@@ -1,0 +1,113 @@
+#ifndef CHARLES_DIFF_DIFF_H_
+#define CHARLES_DIFF_DIFF_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "table/key_index.h"
+#include "table/row_set.h"
+#include "table/table.h"
+
+namespace charles {
+
+/// \brief Options for SnapshotDiff::Compute.
+struct DiffOptions {
+  /// Primary-key columns identifying the same real-world entity across
+  /// snapshots. Required, must be unique and NULL-free in both snapshots.
+  std::vector<std::string> key_columns;
+  /// Numeric cells differing by at most this are considered unchanged.
+  double numeric_tolerance = 1e-9;
+  /// When false (paper assumption), a key present in only one snapshot is an
+  /// error. When true, unmatched rows are dropped from the alignment and
+  /// counted in insertions()/deletions().
+  bool allow_insert_delete = false;
+};
+
+/// \brief Per-column summary of what changed between snapshots.
+struct ColumnChangeStats {
+  std::string name;
+  bool numeric = false;
+  int64_t num_changed = 0;
+  double change_fraction = 0.0;
+  /// \name Deltas (target - source), numeric columns only, over changed rows.
+  /// @{
+  double mean_delta = 0.0;
+  double mean_abs_delta = 0.0;
+  double min_delta = 0.0;
+  double max_delta = 0.0;
+  /// @}
+};
+
+/// \brief Reconciles numeric representation differences between snapshots.
+///
+/// When the same column is int64 in one snapshot and double in the other
+/// (typical after CSV type inference on a year whose values happen to be
+/// integral), both sides are promoted to double. Any other type disagreement
+/// is left for SnapshotDiff::Compute to reject. Returns the (possibly
+/// promoted) pair.
+Result<std::pair<Table, Table>> UnifyNumericTypes(const Table& source,
+                                                  const Table& target);
+
+/// \brief The aligned difference between two snapshots of the same relation.
+///
+/// Computes the key-based row alignment (validating the paper's assumptions:
+/// identical schemas, identical entity sets, unique keys) and per-column
+/// change statistics. Everything downstream — the setup assistant, partition
+/// discovery, scoring — consumes snapshots through this view.
+class SnapshotDiff {
+ public:
+  /// One source row paired with the target row holding the same key.
+  struct AlignedPair {
+    int64_t source_row = 0;
+    int64_t target_row = 0;
+  };
+
+  static Result<SnapshotDiff> Compute(const Table& source, const Table& target,
+                                      const DiffOptions& options);
+
+  const Table& source() const { return *source_; }
+  const Table& target() const { return *target_; }
+
+  /// Pairs in source row order; with the default options this covers every
+  /// row of both snapshots.
+  const std::vector<AlignedPair>& pairs() const { return pairs_; }
+  int64_t num_pairs() const { return static_cast<int64_t>(pairs_.size()); }
+
+  int64_t insertions() const { return insertions_; }
+  int64_t deletions() const { return deletions_; }
+
+  const std::vector<ColumnChangeStats>& column_stats() const { return column_stats_; }
+  Result<const ColumnChangeStats*> StatsFor(const std::string& column) const;
+
+  /// True at pair position i iff `column` changed for that entity.
+  Result<std::vector<bool>> ChangedMask(const std::string& column) const;
+
+  /// Source rows whose `column` changed.
+  Result<RowSet> ChangedRows(const std::string& column) const;
+
+  /// \name Aligned numeric vectors, indexed by pair position.
+  /// @{
+  Result<std::vector<double>> SourceValues(const std::string& column) const;
+  Result<std::vector<double>> TargetValues(const std::string& column) const;
+  /// TargetValues - SourceValues.
+  Result<std::vector<double>> Deltas(const std::string& column) const;
+  /// @}
+
+  /// Human-readable change report (one line per changed column).
+  std::string Summary() const;
+
+ private:
+  const Table* source_ = nullptr;
+  const Table* target_ = nullptr;
+  std::vector<AlignedPair> pairs_;
+  std::vector<ColumnChangeStats> column_stats_;
+  double numeric_tolerance_ = 1e-9;
+  int64_t insertions_ = 0;
+  int64_t deletions_ = 0;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_DIFF_DIFF_H_

@@ -1,0 +1,103 @@
+#ifndef CHARLES_EXPR_EXPR_H_
+#define CHARLES_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/row_set.h"
+#include "table/table.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace charles {
+
+class Expr;
+/// Expressions are immutable and freely shared between conditional
+/// transformations, summaries, and model trees.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Comparison operators of the condition language.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpSymbol(CompareOp op);
+
+/// \brief A node of the condition AST.
+///
+/// Conditions are the "why" half of a conditional transformation
+/// (`edu = 'PhD' AND exp < 3`). The AST supports column references, literals,
+/// the six comparisons, AND/OR/NOT, IN-lists, and the constant TRUE (the
+/// everything-partition used by single-CT summaries).
+///
+/// NULL semantics are deliberately two-valued: any comparison touching a NULL
+/// evaluates to false, and NOT flips that result. This matches what an
+/// analyst expects from partition predicates (a NULL cell belongs to no
+/// value-based partition) and keeps partitions complementary.
+class Expr {
+ public:
+  enum class Kind { kTrue, kColumnRef, kLiteral, kComparison, kAnd, kOr, kNot, kIn };
+
+  virtual ~Expr() = default;
+
+  Kind kind() const { return kind_; }
+
+  /// Evaluates the node on one row. Predicates yield bool Values; operands
+  /// yield their cell/literal value.
+  virtual Result<Value> Evaluate(const Table& table, int64_t row) const = 0;
+
+  /// Renders the canonical textual form, parseable by ParseExpr.
+  virtual std::string ToString() const = 0;
+
+  /// Number of descriptors (comparison/IN leaves) — the paper's condition
+  /// complexity measure.
+  virtual int NumDescriptors() const = 0;
+
+  /// Structural equality (same tree, same values).
+  virtual bool Equals(const Expr& other) const = 0;
+
+  /// Verifies every referenced column exists in the schema.
+  virtual Status ValidateAgainst(const Schema& schema) const = 0;
+
+  /// Appends referenced column names (with repetition) to `out`.
+  virtual void CollectColumns(std::vector<std::string>* out) const = 0;
+
+  /// Appends every literal value appearing in the tree (comparison operands,
+  /// IN-list members) to `out`. Drives the normality score of conditions.
+  virtual void CollectLiterals(std::vector<Value>* out) const = 0;
+
+ protected:
+  explicit Expr(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+};
+
+/// \name Factory functions (the only way to build nodes).
+/// @{
+ExprPtr MakeTrue();
+ExprPtr MakeColumnRef(std::string name);
+ExprPtr MakeLiteral(Value value);
+ExprPtr MakeComparison(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+/// Convenience: column <op> literal.
+ExprPtr MakeColumnCompare(std::string column, CompareOp op, Value value);
+/// Conjunction; flattens nested ANDs, returns TRUE for empty input, the sole
+/// operand for singleton input.
+ExprPtr MakeAnd(std::vector<ExprPtr> operands);
+/// Disjunction with the symmetric conveniences of MakeAnd (empty -> TRUE).
+ExprPtr MakeOr(std::vector<ExprPtr> operands);
+ExprPtr MakeNot(ExprPtr operand);
+/// Membership test against a literal list.
+ExprPtr MakeIn(std::string column, std::vector<Value> values);
+/// @}
+
+/// Evaluates a predicate over every row, returning the satisfying RowSet.
+/// TypeError if the expression does not yield booleans.
+Result<RowSet> FilterRows(const Table& table, const Expr& predicate);
+
+/// Evaluates a predicate over every row into a bool mask.
+Result<std::vector<bool>> EvaluateMask(const Table& table, const Expr& predicate);
+
+}  // namespace charles
+
+#endif  // CHARLES_EXPR_EXPR_H_

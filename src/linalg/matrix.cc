@@ -1,0 +1,121 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace charles {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(static_cast<int64_t>(rows.size()), static_cast<int64_t>(rows[0].size()));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    CHARLES_CHECK_EQ(rows[r].size(), rows[0].size()) << "ragged rows";
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      m.At(static_cast<int64_t>(r), static_cast<int64_t>(c)) = rows[r][c];
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  CHARLES_CHECK_EQ(cols_, other.rows_) << "dimension mismatch in MatMul";
+  Matrix out(rows_, other.cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = 0; k < cols_; ++k) {
+      double a = At(r, k);
+      if (a == 0.0) continue;
+      const double* other_row = other.RowPtr(k);
+      double* out_row = out.RowPtr(r);
+      for (int64_t c = 0; c < other.cols_; ++c) out_row[c] += a * other_row[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MatVec(const std::vector<double>& v) const {
+  CHARLES_CHECK_EQ(static_cast<int64_t>(v.size()), cols_);
+  std::vector<double> out(static_cast<size_t>(rows_), 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double sum = 0.0;
+    for (int64_t c = 0; c < cols_; ++c) sum += row[c] * v[static_cast<size_t>(c)];
+    out[static_cast<size_t>(r)] = sum;
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix out(cols_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    for (int64_t i = 0; i < cols_; ++i) {
+      double a = row[i];
+      if (a == 0.0) continue;
+      double* out_row = out.RowPtr(i);
+      for (int64_t j = i; j < cols_; ++j) out_row[j] += a * row[j];
+    }
+  }
+  // Mirror the upper triangle.
+  for (int64_t i = 0; i < cols_; ++i) {
+    for (int64_t j = 0; j < i; ++j) out.At(i, j) = out.At(j, i);
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TransposeVec(const std::vector<double>& y) const {
+  CHARLES_CHECK_EQ(static_cast<int64_t>(y.size()), rows_);
+  std::vector<double> out(static_cast<size_t>(cols_), 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double w = y[static_cast<size_t>(r)];
+    if (w == 0.0) continue;
+    for (int64_t c = 0; c < cols_; ++c) out[static_cast<size_t>(c)] += row[c] * w;
+  }
+  return out;
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+bool Matrix::EqualsApprox(const Matrix& other, double tolerance) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int max_rows) const {
+  std::string out = "Matrix(" + std::to_string(rows_) + "x" + std::to_string(cols_) + ")\n";
+  int64_t shown = std::min<int64_t>(rows_, max_rows);
+  for (int64_t r = 0; r < shown; ++r) {
+    out += "  [";
+    for (int64_t c = 0; c < cols_; ++c) {
+      if (c > 0) out += ", ";
+      out += FormatDouble(At(r, c), 4);
+    }
+    out += "]\n";
+  }
+  if (shown < rows_) out += "  ... (" + std::to_string(rows_ - shown) + " more rows)\n";
+  return out;
+}
+
+}  // namespace charles

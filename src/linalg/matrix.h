@@ -1,0 +1,77 @@
+#ifndef CHARLES_LINALG_MATRIX_H_
+#define CHARLES_LINALG_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace charles {
+
+/// \brief Dense row-major matrix of doubles.
+///
+/// Sized for the regression problems ChARLES solves (design matrices with a
+/// handful of columns and up to ~10^5 rows); favours clarity and cache-
+/// friendly row iteration over BLAS-grade tuning.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int64_t rows, int64_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), fill) {
+    CHARLES_CHECK_GE(rows, 0);
+    CHARLES_CHECK_GE(cols, 0);
+  }
+
+  /// Builds from nested initializer data; all rows must have equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of order n.
+  static Matrix Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  double& At(int64_t r, int64_t c) {
+    CHARLES_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  double At(int64_t r, int64_t c) const {
+    CHARLES_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  /// Raw pointer to row r (cols() contiguous doubles).
+  double* RowPtr(int64_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(int64_t r) const { return data_.data() + r * cols_; }
+
+  Matrix Transpose() const;
+
+  /// this * other; dimensions must agree.
+  Matrix MatMul(const Matrix& other) const;
+
+  /// this * v for a cols()-length vector.
+  std::vector<double> MatVec(const std::vector<double>& v) const;
+
+  /// A^T A (the Gram matrix), computed without materializing A^T.
+  Matrix Gram() const;
+
+  /// A^T y for a rows()-length vector.
+  std::vector<double> TransposeVec(const std::vector<double>& y) const;
+
+  /// Max |a_ij| over all entries; 0 for empty matrices.
+  double MaxAbs() const;
+
+  bool EqualsApprox(const Matrix& other, double tolerance = 1e-9) const;
+
+  std::string ToString(int max_rows = 8) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_LINALG_MATRIX_H_

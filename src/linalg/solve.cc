@@ -1,0 +1,120 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+namespace charles {
+
+Result<std::vector<double>> CholeskySolve(const Matrix& a, const std::vector<double>& b) {
+  int64_t n = a.rows();
+  if (a.cols() != n) return Status::InvalidArgument("CholeskySolve: matrix not square");
+  if (static_cast<int64_t>(b.size()) != n) {
+    return Status::InvalidArgument("CholeskySolve: rhs size mismatch");
+  }
+  // Factor A = L L^T in place on a copy.
+  Matrix l(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      double sum = a.At(i, j);
+      for (int64_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      if (i == j) {
+        if (sum <= 1e-12 * std::max(1.0, a.At(i, i))) {
+          return Status::InvalidArgument("CholeskySolve: matrix not positive definite");
+        }
+        l.At(i, i) = std::sqrt(sum);
+      } else {
+        l.At(i, j) = sum / l.At(j, j);
+      }
+    }
+  }
+  // Forward solve L y = b.
+  std::vector<double> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double sum = b[static_cast<size_t>(i)];
+    for (int64_t k = 0; k < i; ++k) sum -= l.At(i, k) * y[static_cast<size_t>(k)];
+    y[static_cast<size_t>(i)] = sum / l.At(i, i);
+  }
+  // Back solve L^T x = y.
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double sum = y[static_cast<size_t>(i)];
+    for (int64_t k = i + 1; k < n; ++k) sum -= l.At(k, i) * x[static_cast<size_t>(k)];
+    x[static_cast<size_t>(i)] = sum / l.At(i, i);
+  }
+  return x;
+}
+
+Result<std::vector<double>> QrLeastSquares(const Matrix& a, const std::vector<double>& b) {
+  int64_t m = a.rows();
+  int64_t n = a.cols();
+  if (static_cast<int64_t>(b.size()) != m) {
+    return Status::InvalidArgument("QrLeastSquares: rhs size mismatch");
+  }
+  if (m < n) return Status::InvalidArgument("QrLeastSquares: underdetermined system");
+  // Householder QR, applying reflectors to rhs as we go.
+  Matrix r = a;  // working copy, becomes R in the upper triangle
+  std::vector<double> rhs = b;
+  double scale = r.MaxAbs();
+  if (scale == 0.0) return Status::InvalidArgument("QrLeastSquares: zero matrix");
+  for (int64_t k = 0; k < n; ++k) {
+    // Build the Householder vector for column k below the diagonal.
+    double norm = 0.0;
+    for (int64_t i = k; i < m; ++i) norm += r.At(i, k) * r.At(i, k);
+    norm = std::sqrt(norm);
+    if (norm <= 1e-12 * scale) {
+      return Status::InvalidArgument("QrLeastSquares: rank-deficient design matrix");
+    }
+    double alpha = r.At(k, k) >= 0 ? -norm : norm;
+    std::vector<double> v(static_cast<size_t>(m - k));
+    v[0] = r.At(k, k) - alpha;
+    for (int64_t i = k + 1; i < m; ++i) v[static_cast<size_t>(i - k)] = r.At(i, k);
+    double vnorm2 = 0.0;
+    for (double vi : v) vnorm2 += vi * vi;
+    if (vnorm2 <= 1e-300) {
+      return Status::InvalidArgument("QrLeastSquares: degenerate reflector");
+    }
+    // Apply I - 2 v v^T / (v^T v) to the remaining columns and the rhs.
+    for (int64_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (int64_t i = k; i < m; ++i) dot += v[static_cast<size_t>(i - k)] * r.At(i, j);
+      double coef = 2.0 * dot / vnorm2;
+      for (int64_t i = k; i < m; ++i) r.At(i, j) -= coef * v[static_cast<size_t>(i - k)];
+    }
+    double dot = 0.0;
+    for (int64_t i = k; i < m; ++i) {
+      dot += v[static_cast<size_t>(i - k)] * rhs[static_cast<size_t>(i)];
+    }
+    double coef = 2.0 * dot / vnorm2;
+    for (int64_t i = k; i < m; ++i) {
+      rhs[static_cast<size_t>(i)] -= coef * v[static_cast<size_t>(i - k)];
+    }
+  }
+  // Back-substitute R x = rhs[0..n).
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double sum = rhs[static_cast<size_t>(i)];
+    for (int64_t j = i + 1; j < n; ++j) sum -= r.At(i, j) * x[static_cast<size_t>(j)];
+    double diag = r.At(i, i);
+    if (std::abs(diag) <= 1e-12 * scale) {
+      return Status::InvalidArgument("QrLeastSquares: singular R");
+    }
+    x[static_cast<size_t>(i)] = sum / diag;
+  }
+  return x;
+}
+
+Result<std::vector<double>> RidgeLeastSquares(const Matrix& a, const std::vector<double>& b,
+                                              double lambda) {
+  if (lambda <= 0.0) {
+    return Status::InvalidArgument("RidgeLeastSquares: lambda must be positive");
+  }
+  Matrix gram = a.Gram();
+  for (int64_t i = 0; i < gram.rows(); ++i) gram.At(i, i) += lambda;
+  std::vector<double> aty = a.TransposeVec(b);
+  Result<std::vector<double>> solution = CholeskySolve(gram, aty);
+  if (!solution.ok()) {
+    return solution.status().WithContext("RidgeLeastSquares");
+  }
+  return solution;
+}
+
+}  // namespace charles

@@ -1,0 +1,29 @@
+#ifndef CHARLES_LINALG_SOLVE_H_
+#define CHARLES_LINALG_SOLVE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace charles {
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky
+/// factorization. Fails with InvalidArgument if A is not SPD (within a
+/// pivot tolerance) or dimensions mismatch.
+Result<std::vector<double>> CholeskySolve(const Matrix& a, const std::vector<double>& b);
+
+/// Least-squares solution of min ||A x - b||_2 via Householder QR with
+/// column checks. Rank-deficient systems fail with InvalidArgument; callers
+/// that want a best-effort answer should use RidgeLeastSquares.
+Result<std::vector<double>> QrLeastSquares(const Matrix& a, const std::vector<double>& b);
+
+/// Regularized least squares: solves (A^T A + lambda I) x = A^T b via
+/// Cholesky. Always solvable for lambda > 0; the workhorse behind
+/// LinearRegression when the design matrix is (near-)collinear.
+Result<std::vector<double>> RidgeLeastSquares(const Matrix& a, const std::vector<double>& b,
+                                              double lambda);
+
+}  // namespace charles
+
+#endif  // CHARLES_LINALG_SOLVE_H_

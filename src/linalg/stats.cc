@@ -1,0 +1,138 @@
+#include "linalg/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace charles {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mean = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - mean) * (x - mean);
+  return sum / static_cast<double>(xs.size());
+}
+
+double Stddev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Covariance(const std::vector<double>& xs, const std::vector<double>& ys) {
+  CHARLES_CHECK_EQ(xs.size(), ys.size());
+  if (xs.size() < 2) return 0.0;
+  double mx = Mean(xs);
+  double my = Mean(ys);
+  double sum = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) sum += (xs[i] - mx) * (ys[i] - my);
+  return sum / static_cast<double>(xs.size());
+}
+
+double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys) {
+  CHARLES_CHECK_EQ(xs.size(), ys.size());
+  double sx = Stddev(xs);
+  double sy = Stddev(ys);
+  if (sx <= 1e-300 || sy <= 1e-300) return 0.0;
+  double r = Covariance(xs, ys) / (sx * sy);
+  return std::clamp(r, -1.0, 1.0);
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& xs) {
+  size_t n = xs.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&xs](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Tie group [i, j]: assign the average 1-based rank.
+    double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& xs, const std::vector<double>& ys) {
+  CHARLES_CHECK_EQ(xs.size(), ys.size());
+  if (xs.size() < 2) return 0.0;
+  return PearsonCorrelation(AverageRanks(xs), AverageRanks(ys));
+}
+
+double CorrelationRatio(const std::vector<int>& groups, const std::vector<double>& ys) {
+  CHARLES_CHECK_EQ(groups.size(), ys.size());
+  if (ys.size() < 2) return 0.0;
+  double total_var = Variance(ys);
+  if (total_var <= 1e-300) return 0.0;
+  double grand_mean = Mean(ys);
+  std::unordered_map<int, std::pair<double, int64_t>> sums;  // group -> (sum, count)
+  for (size_t i = 0; i < ys.size(); ++i) {
+    auto& entry = sums[groups[i]];
+    entry.first += ys[i];
+    entry.second += 1;
+  }
+  double between = 0.0;
+  for (const auto& [group, entry] : sums) {
+    double group_mean = entry.first / static_cast<double>(entry.second);
+    between += static_cast<double>(entry.second) * (group_mean - grand_mean) *
+               (group_mean - grand_mean);
+  }
+  between /= static_cast<double>(ys.size());
+  double eta2 = between / total_var;
+  return std::sqrt(std::clamp(eta2, 0.0, 1.0));
+}
+
+double AdjustedCorrelationRatio(const std::vector<int>& groups,
+                                const std::vector<double>& ys) {
+  double eta = CorrelationRatio(groups, ys);
+  std::unordered_set<int> distinct(groups.begin(), groups.end());
+  auto n = static_cast<double>(ys.size());
+  auto k = static_cast<double>(distinct.size());
+  if (n <= k) return 0.0;
+  double eta2_adj = 1.0 - (1.0 - eta * eta) * (n - 1.0) / (n - k);
+  return std::sqrt(std::clamp(eta2_adj, 0.0, 1.0));
+}
+
+Result<double> Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return Status::InvalidArgument("Quantile of empty input");
+  if (q < 0.0 || q > 1.0) return Status::OutOfRange("quantile must be in [0, 1]");
+  std::sort(xs.begin(), xs.end());
+  double position = q * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(position));
+  size_t hi = static_cast<size_t>(std::ceil(position));
+  double frac = position - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double MeanAbsoluteError(const std::vector<double>& a, const std::vector<double>& b) {
+  CHARLES_CHECK_EQ(a.size(), b.size());
+  if (a.empty()) return 0.0;
+  return L1Distance(a, b) / static_cast<double>(a.size());
+}
+
+double RootMeanSquaredError(const std::vector<double>& a, const std::vector<double>& b) {
+  CHARLES_CHECK_EQ(a.size(), b.size());
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  CHARLES_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum;
+}
+
+}  // namespace charles

@@ -1,0 +1,73 @@
+#ifndef CHARLES_LINALG_STATS_H_
+#define CHARLES_LINALG_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace charles {
+
+/// \name Descriptive statistics over double vectors.
+/// Empty-input behaviour is documented per function; variance uses the
+/// population convention unless noted.
+/// @{
+
+/// Arithmetic mean; 0.0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance (divides by n); 0.0 for inputs with < 2 elements.
+double Variance(const std::vector<double>& xs);
+
+/// sqrt(Variance).
+double Stddev(const std::vector<double>& xs);
+
+/// Population covariance; inputs must have equal length.
+double Covariance(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Pearson correlation coefficient in [-1, 1]; 0.0 when either input is
+/// constant (no linear association measurable).
+double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Spearman rank correlation (Pearson over average ranks; robust to
+/// monotone-nonlinear association).
+double SpearmanCorrelation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// \brief Correlation ratio (eta) of a numeric outcome given categorical
+/// groups: sqrt(between-group variance / total variance), in [0, 1].
+///
+/// This is the association measure the setup assistant uses for categorical
+/// attributes, the analogue of |Pearson| for numeric ones. `groups` carries
+/// an arbitrary integer label per element.
+double CorrelationRatio(const std::vector<int>& groups, const std::vector<double>& ys);
+
+/// \brief Small-sample-corrected correlation ratio.
+///
+/// Raw eta is biased upward when groups are many and small (a pure-noise
+/// 8-category attribute over 600 rows scores ≈ 0.1). This applies the
+/// adjusted-R²-style correction eta²_adj = 1 − (1 − eta²)(n − 1)/(n − k)
+/// (clamped at 0), which the setup assistant uses so noise categoricals rank
+/// below genuinely associated attributes.
+double AdjustedCorrelationRatio(const std::vector<int>& groups,
+                                const std::vector<double>& ys);
+
+/// Linear-interpolated quantile, q in [0, 1]; fails on empty input.
+Result<double> Quantile(std::vector<double> xs, double q);
+
+/// Mean absolute value of element-wise differences; inputs must match in size.
+double MeanAbsoluteError(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Root mean squared element-wise difference.
+double RootMeanSquaredError(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Sum of |a_i - b_i| (the L1 distance the Accuracy score is built on).
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Average ranks (1-based, ties averaged), as used by Spearman.
+std::vector<double> AverageRanks(const std::vector<double>& xs);
+
+/// @}
+
+}  // namespace charles
+
+#endif  // CHARLES_LINALG_STATS_H_

@@ -1,0 +1,655 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace charles {
+
+namespace {
+
+/// Gini impurity from a per-label count vector.
+double Gini(const std::vector<int64_t>& counts, int64_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (int64_t c : counts) {
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+double WeightedChildGini(const std::vector<int64_t>& yes_counts, int64_t yes_total,
+                         const std::vector<int64_t>& no_counts, int64_t no_total) {
+  double total = static_cast<double>(yes_total + no_total);
+  return (static_cast<double>(yes_total) * Gini(yes_counts, yes_total) +
+          static_cast<double>(no_total) * Gini(no_counts, no_total)) /
+         total;
+}
+
+/// The "nicest" value t with lo < t <= hi, used as a partition-equivalent
+/// numeric threshold (`x < t` splits identically for any t in that range
+/// because no data value falls strictly between lo and hi).
+double NiceThreshold(double lo, double hi) {
+  static const double kLattices[] = {1000, 500, 100, 50, 10, 5, 1, 0.5, 0.1, 0.05, 0.01};
+  for (double step : kLattices) {
+    // Smallest multiple of `step` strictly greater than lo.
+    double candidate = std::floor(lo / step + 1.0) * step;
+    if (candidate <= lo) candidate += step;  // floating-point guard
+    if (candidate > lo && candidate <= hi) return candidate;
+  }
+  return (lo + hi) / 2.0;
+}
+
+/// One fully-described split choice; rows are materialized only for the
+/// winner, after scoring every candidate from histograms/sweeps.
+struct SplitChoice {
+  double impurity_decrease = -1.0;
+  int attr_position = -1;  ///< Index into the builder's cached attributes.
+  DecisionTreeNode::SplitKind kind = DecisionTreeNode::SplitKind::kNumericLess;
+  double threshold = 0.0;   ///< kNumericLess.
+  int code = -1;            ///< kCategoricalEq.
+  std::vector<int> codes;   ///< kCategoricalIn.
+};
+
+class TreeBuilder {
+ public:
+  TreeBuilder(const std::vector<int>& labels, int num_labels,
+              const DecisionTreeOptions& options, const TreeAttributeCache& cache,
+              const std::vector<int>& attr_indices)
+      : labels_(labels), num_labels_(num_labels), options_(options) {
+    for (int col : attr_indices) {
+      if (const auto* numeric = cache.Numeric(col)) {
+        attrs_.push_back(AttrRef{true, numeric, nullptr});
+      } else if (const auto* categorical = cache.Categorical(col)) {
+        attrs_.push_back(AttrRef{false, nullptr, categorical});
+      }
+    }
+    node_stamp_.assign(labels.size(), 0);
+  }
+
+  std::unique_ptr<DecisionTreeNode> Build(const std::vector<int64_t>& rows, int depth) {
+    auto node = std::make_unique<DecisionTreeNode>();
+    std::vector<int64_t> counts(static_cast<size_t>(num_labels_), 0);
+    for (int64_t row : rows) ++counts[static_cast<size_t>(labels_[static_cast<size_t>(row)])];
+    int64_t best_count = -1;
+    int distinct = 0;
+    for (int label = 0; label < num_labels_; ++label) {
+      int64_t c = counts[static_cast<size_t>(label)];
+      if (c > 0) ++distinct;
+      if (c > best_count) {
+        best_count = c;
+        node->majority_label = label;
+      }
+    }
+    node->count = static_cast<int64_t>(rows.size());
+    node->purity = rows.empty() ? 1.0
+                                : static_cast<double>(best_count) /
+                                      static_cast<double>(rows.size());
+
+    bool can_split = depth < options_.max_depth && distinct > 1 &&
+                     static_cast<int64_t>(rows.size()) >= 2 * options_.min_leaf_size;
+    if (can_split) {
+      SplitChoice best = FindBestSplit(rows, counts);
+      if (best.impurity_decrease >= options_.min_impurity_decrease) {
+        ApplySplit(best, rows, node.get());
+        std::vector<int64_t> yes_rows;
+        std::vector<int64_t> no_rows;
+        PartitionRows(best, rows, &yes_rows, &no_rows);
+        node->is_leaf = false;
+        node->yes = Build(yes_rows, depth + 1);
+        node->no = Build(no_rows, depth + 1);
+        return node;
+      }
+    }
+    node->is_leaf = true;
+    node->rows = RowSet(rows);
+    return node;
+  }
+
+ private:
+  using NumericAttr = TreeAttributeCache::NumericAttr;
+  using CategoricalAttr = TreeAttributeCache::CategoricalAttr;
+  struct AttrRef {
+    bool numeric;
+    const NumericAttr* num;
+    const CategoricalAttr* cat;
+  };
+
+  SplitChoice FindBestSplit(const std::vector<int64_t>& rows,
+                            const std::vector<int64_t>& node_counts) {
+    SplitChoice best;
+    // Stamp the node's rows so numeric sweeps can filter the cache's
+    // presorted global order in O(total rows) without clearing a bitmap.
+    ++current_stamp_;
+    for (int64_t row : rows) node_stamp_[static_cast<size_t>(row)] = current_stamp_;
+    double parent_gini = Gini(node_counts, static_cast<int64_t>(rows.size()));
+    for (size_t position = 0; position < attrs_.size(); ++position) {
+      const AttrRef& ref = attrs_[position];
+      if (ref.numeric) {
+        ScoreNumericSplits(rows, node_counts, parent_gini, static_cast<int>(position),
+                           *ref.num, &best);
+      } else {
+        ScoreCategoricalSplits(rows, node_counts, parent_gini, static_cast<int>(position),
+                               *ref.cat, &best);
+      }
+    }
+    return best;
+  }
+
+  void ScoreCategoricalSplits(const std::vector<int64_t>& rows,
+                              const std::vector<int64_t>& node_counts,
+                              double parent_gini, int attr_position,
+                              const CategoricalAttr& attr, SplitChoice* best) {
+    // Joint (code, label) histogram over the node's rows, dense over the
+    // dictionary; NULLs implicitly fall into the NO side of every candidate.
+    size_t dict_size = attr.dict.size();
+    std::vector<int64_t> histogram(dict_size * static_cast<size_t>(num_labels_), 0);
+    std::vector<int64_t> code_totals(dict_size, 0);
+    for (int64_t row : rows) {
+      int code = attr.codes[static_cast<size_t>(row)];
+      if (code < 0) continue;
+      ++histogram[static_cast<size_t>(code) * static_cast<size_t>(num_labels_) +
+                  static_cast<size_t>(labels_[static_cast<size_t>(row)])];
+      ++code_totals[static_cast<size_t>(code)];
+    }
+    size_t present_codes = 0;
+    for (int64_t total : code_totals) {
+      if (total > 0) ++present_codes;
+    }
+    if (present_codes < 2) return;
+    auto code_counts = [&](int code) {
+      std::vector<int64_t> counts(static_cast<size_t>(num_labels_));
+      for (int l = 0; l < num_labels_; ++l) {
+        counts[static_cast<size_t>(l)] =
+            histogram[static_cast<size_t>(code) * static_cast<size_t>(num_labels_) +
+                      static_cast<size_t>(l)];
+      }
+      return counts;
+    };
+    int64_t node_total = static_cast<int64_t>(rows.size());
+
+    auto consider = [&](const std::vector<int64_t>& yes_counts, int64_t yes_total,
+                        auto&& record) {
+      int64_t no_total = node_total - yes_total;
+      if (yes_total < options_.min_leaf_size || no_total < options_.min_leaf_size) return;
+      std::vector<int64_t> no_counts(static_cast<size_t>(num_labels_));
+      for (int label = 0; label < num_labels_; ++label) {
+        no_counts[static_cast<size_t>(label)] =
+            node_counts[static_cast<size_t>(label)] - yes_counts[static_cast<size_t>(label)];
+      }
+      double decrease =
+          parent_gini - WeightedChildGini(yes_counts, yes_total, no_counts, no_total);
+      if (decrease > best->impurity_decrease) {
+        best->impurity_decrease = decrease;
+        best->attr_position = attr_position;
+        record();
+      }
+    };
+
+    // Equality splits, capped at the most frequent codes.
+    std::vector<std::pair<int64_t, int>> by_frequency;  // (count, code)
+    for (size_t code = 0; code < dict_size; ++code) {
+      if (code_totals[code] > 0) {
+        by_frequency.emplace_back(code_totals[code], static_cast<int>(code));
+      }
+    }
+    std::sort(by_frequency.begin(), by_frequency.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    size_t eq_limit = std::min(by_frequency.size(),
+                               static_cast<size_t>(options_.max_categorical_values));
+    for (size_t i = 0; i < eq_limit; ++i) {
+      int code = by_frequency[i].second;
+      consider(code_counts(code), by_frequency[i].first, [&] {
+        best->kind = DecisionTreeNode::SplitKind::kCategoricalEq;
+        best->code = code;
+        best->codes.clear();
+      });
+    }
+
+    // IN-set splits: group codes by their in-node majority label. Groups are
+    // tried smallest-first so that of two complementary splits with equal
+    // impurity decrease, the one listing fewer values wins (deterministically):
+    // `dept IN ('POL','FRS','COR')` reads better than the 5-value complement.
+    if (options_.enable_in_splits) {
+      std::unordered_map<int, std::vector<int>> by_majority;  // label -> codes
+      for (size_t code = 0; code < dict_size; ++code) {
+        if (code_totals[code] == 0) continue;
+        int majority = 0;
+        int64_t top = -1;
+        for (int label = 0; label < num_labels_; ++label) {
+          int64_t c = histogram[code * static_cast<size_t>(num_labels_) +
+                                static_cast<size_t>(label)];
+          if (c > top) {
+            top = c;
+            majority = label;
+          }
+        }
+        by_majority[majority].push_back(static_cast<int>(code));
+      }
+      std::vector<std::pair<int, std::vector<int>>> groups(by_majority.begin(),
+                                                           by_majority.end());
+      for (auto& [label, codes] : groups) std::sort(codes.begin(), codes.end());
+      std::sort(groups.begin(), groups.end(), [](const auto& a, const auto& b) {
+        if (a.second.size() != b.second.size()) return a.second.size() < b.second.size();
+        return a.second < b.second;
+      });
+      for (auto& [label, codes] : groups) {
+        if (codes.size() < 2 || codes.size() >= present_codes ||
+            codes.size() > static_cast<size_t>(options_.max_categorical_values)) {
+          continue;
+        }
+        std::vector<int64_t> yes_counts(static_cast<size_t>(num_labels_), 0);
+        int64_t yes_total = 0;
+        for (int code : codes) {
+          for (int l = 0; l < num_labels_; ++l) {
+            yes_counts[static_cast<size_t>(l)] +=
+                histogram[static_cast<size_t>(code) * static_cast<size_t>(num_labels_) +
+                          static_cast<size_t>(l)];
+          }
+          yes_total += code_totals[static_cast<size_t>(code)];
+        }
+        std::vector<int> codes_copy = codes;
+        consider(yes_counts, yes_total, [&] {
+          best->kind = DecisionTreeNode::SplitKind::kCategoricalIn;
+          best->codes = codes_copy;
+          best->code = -1;
+        });
+      }
+    }
+  }
+
+  void ScoreNumericSplits(const std::vector<int64_t>& rows,
+                          const std::vector<int64_t>& node_counts, double parent_gini,
+                          int attr_position, const NumericAttr& attr, SplitChoice* best) {
+    // Stream the node's (value, label) pairs in presorted order (the cache
+    // keeps a per-attribute global sort; node membership is a stamp check).
+    std::vector<std::pair<double, int>> pairs;
+    pairs.reserve(rows.size());
+    for (int64_t row : attr.sorted_rows) {
+      if (node_stamp_[static_cast<size_t>(row)] != current_stamp_) continue;
+      pairs.emplace_back(attr.values[static_cast<size_t>(row)],
+                         labels_[static_cast<size_t>(row)]);
+    }
+    if (pairs.size() < 2) return;
+
+    // Boundaries between adjacent distinct values.
+    std::vector<size_t> boundaries;  // index i: split between pairs[i-1], pairs[i]
+    for (size_t i = 1; i < pairs.size(); ++i) {
+      if (pairs[i - 1].first < pairs[i].first) boundaries.push_back(i);
+    }
+    if (boundaries.empty()) return;
+    size_t stride = 1;
+    if (static_cast<int>(boundaries.size()) > options_.max_numeric_thresholds) {
+      stride = (boundaries.size() + static_cast<size_t>(options_.max_numeric_thresholds) - 1) /
+               static_cast<size_t>(options_.max_numeric_thresholds);
+    }
+
+    int64_t node_total = static_cast<int64_t>(rows.size());
+    std::vector<int64_t> left_counts(static_cast<size_t>(num_labels_), 0);
+    size_t consumed = 0;
+    for (size_t b = 0; b < boundaries.size(); b += stride) {
+      size_t boundary = boundaries[b];
+      while (consumed < boundary) {
+        ++left_counts[static_cast<size_t>(pairs[consumed].second)];
+        ++consumed;
+      }
+      int64_t yes_total = static_cast<int64_t>(boundary);
+      int64_t no_total = node_total - yes_total;  // includes NULL rows
+      if (yes_total < options_.min_leaf_size || no_total < options_.min_leaf_size) {
+        continue;
+      }
+      std::vector<int64_t> no_counts(static_cast<size_t>(num_labels_));
+      for (int label = 0; label < num_labels_; ++label) {
+        no_counts[static_cast<size_t>(label)] =
+            node_counts[static_cast<size_t>(label)] - left_counts[static_cast<size_t>(label)];
+      }
+      double decrease =
+          parent_gini - WeightedChildGini(left_counts, yes_total, no_counts, no_total);
+      if (decrease > best->impurity_decrease) {
+        double lo = pairs[boundary - 1].first;
+        double hi = pairs[boundary].first;
+        best->impurity_decrease = decrease;
+        best->attr_position = attr_position;
+        best->kind = DecisionTreeNode::SplitKind::kNumericLess;
+        best->threshold = options_.snap_numeric_thresholds ? NiceThreshold(lo, hi)
+                                                           : (lo + hi) / 2.0;
+        best->codes.clear();
+        best->code = -1;
+      }
+    }
+  }
+
+  /// Fills the node's condition/negation expressions and split metadata.
+  void ApplySplit(const SplitChoice& choice, const std::vector<int64_t>& rows,
+                  DecisionTreeNode* node) {
+    (void)rows;
+    const AttrRef& ref = attrs_[static_cast<size_t>(choice.attr_position)];
+    node->split_kind = choice.kind;
+    if (choice.kind == DecisionTreeNode::SplitKind::kNumericLess) {
+      const NumericAttr& attr = *ref.num;
+      node->split_column = attr.name;
+      Value threshold = attr.is_integer && choice.threshold == std::floor(choice.threshold)
+                            ? Value(static_cast<int64_t>(choice.threshold))
+                            : Value(choice.threshold);
+      node->split_value = threshold;
+      node->condition = MakeColumnCompare(attr.name, CompareOp::kLt, threshold);
+      node->negation = MakeColumnCompare(attr.name, CompareOp::kGe, threshold);
+    } else if (choice.kind == DecisionTreeNode::SplitKind::kCategoricalEq) {
+      const CategoricalAttr& attr = *ref.cat;
+      node->split_column = attr.name;
+      node->split_value = attr.dict[static_cast<size_t>(choice.code)];
+      node->condition = MakeColumnCompare(attr.name, CompareOp::kEq, node->split_value);
+      node->negation = MakeColumnCompare(attr.name, CompareOp::kNe, node->split_value);
+    } else {
+      const CategoricalAttr& attr = *ref.cat;
+      node->split_column = attr.name;
+      node->split_values.clear();
+      for (int code : choice.codes) {
+        node->split_values.push_back(attr.dict[static_cast<size_t>(code)]);
+      }
+      node->condition = MakeIn(attr.name, node->split_values);
+      node->negation = MakeNot(MakeIn(attr.name, node->split_values));
+    }
+  }
+
+  void PartitionRows(const SplitChoice& choice, const std::vector<int64_t>& rows,
+                     std::vector<int64_t>* yes_rows, std::vector<int64_t>* no_rows) {
+    const AttrRef& ref = attrs_[static_cast<size_t>(choice.attr_position)];
+    if (choice.kind == DecisionTreeNode::SplitKind::kNumericLess) {
+      const NumericAttr& attr = *ref.num;
+      for (int64_t row : rows) {
+        bool yes = attr.valid[static_cast<size_t>(row)] &&
+                   attr.values[static_cast<size_t>(row)] < choice.threshold;
+        (yes ? yes_rows : no_rows)->push_back(row);
+      }
+    } else if (choice.kind == DecisionTreeNode::SplitKind::kCategoricalEq) {
+      const CategoricalAttr& attr = *ref.cat;
+      for (int64_t row : rows) {
+        bool yes = attr.codes[static_cast<size_t>(row)] == choice.code;
+        (yes ? yes_rows : no_rows)->push_back(row);
+      }
+    } else {
+      const CategoricalAttr& attr = *ref.cat;
+      for (int64_t row : rows) {
+        int code = attr.codes[static_cast<size_t>(row)];
+        bool yes = code >= 0 && std::binary_search(choice.codes.begin(),
+                                                   choice.codes.end(), code);
+        (yes ? yes_rows : no_rows)->push_back(row);
+      }
+    }
+  }
+
+  const std::vector<int>& labels_;
+  int num_labels_;
+  const DecisionTreeOptions& options_;
+  std::vector<AttrRef> attrs_;
+  std::vector<int> node_stamp_;  ///< Stamp per table row; see FindBestSplit.
+  int current_stamp_ = 0;
+};
+
+/// Accumulated constraints on one column along a root-to-leaf path. Merging
+/// constraints keeps leaf conditions minimal: `exp < 4 AND exp < 2` becomes
+/// `exp < 2`, and an equality supersedes prior inequalities on the column.
+struct ColumnConstraint {
+  std::string column;
+  bool numeric = false;
+  std::optional<Value> lower;  // from NO branches: col >= v (keep max)
+  std::optional<Value> upper;  // from YES branches: col < v (keep min)
+  std::optional<Value> equals;
+  std::vector<Value> not_equals;
+};
+
+class PathState {
+ public:
+  void ApplySplit(const DecisionTreeNode& node, bool yes_branch) {
+    if (node.split_kind == DecisionTreeNode::SplitKind::kCategoricalIn) {
+      // IN-set constraints stay as opaque conjuncts (they rarely repeat on a
+      // path, so bound-merging buys nothing).
+      extra_conjuncts_.push_back(yes_branch ? node.condition : node.negation);
+      return;
+    }
+    ColumnConstraint& c = FindOrAdd(
+        node.split_column, node.split_kind == DecisionTreeNode::SplitKind::kNumericLess);
+    if (node.split_kind == DecisionTreeNode::SplitKind::kNumericLess) {
+      if (yes_branch) {
+        if (!c.upper.has_value() || node.split_value < *c.upper) {
+          c.upper = node.split_value;
+        }
+      } else {
+        if (!c.lower.has_value() || node.split_value > *c.lower) {
+          c.lower = node.split_value;
+        }
+      }
+    } else {
+      if (yes_branch) {
+        c.equals = node.split_value;
+        c.not_equals.clear();
+      } else if (!c.equals.has_value()) {
+        c.not_equals.push_back(node.split_value);
+      }
+      // A NO branch below an established equality is implied; nothing to add.
+    }
+  }
+
+  ExprPtr BuildCondition() const {
+    std::vector<ExprPtr> conjuncts;
+    for (const ColumnConstraint& c : constraints_) {
+      if (c.equals.has_value()) {
+        conjuncts.push_back(MakeColumnCompare(c.column, CompareOp::kEq, *c.equals));
+        continue;
+      }
+      for (const Value& v : c.not_equals) {
+        conjuncts.push_back(MakeColumnCompare(c.column, CompareOp::kNe, v));
+      }
+      if (c.lower.has_value()) {
+        conjuncts.push_back(MakeColumnCompare(c.column, CompareOp::kGe, *c.lower));
+      }
+      if (c.upper.has_value()) {
+        conjuncts.push_back(MakeColumnCompare(c.column, CompareOp::kLt, *c.upper));
+      }
+    }
+    for (const ExprPtr& extra : extra_conjuncts_) conjuncts.push_back(extra);
+    return MakeAnd(std::move(conjuncts));
+  }
+
+ private:
+  ColumnConstraint& FindOrAdd(const std::string& column, bool numeric) {
+    for (ColumnConstraint& c : constraints_) {
+      if (c.column == column) return c;
+    }
+    constraints_.push_back(ColumnConstraint{column, numeric, {}, {}, {}, {}});
+    return constraints_.back();
+  }
+
+  std::deque<ColumnConstraint> constraints_;  // path order
+  std::vector<ExprPtr> extra_conjuncts_;
+};
+
+void CollectLeaves(const DecisionTreeNode& node,
+                   std::vector<std::pair<const DecisionTreeNode*, bool>>* path,
+                   std::vector<DecisionTree::Leaf>* out) {
+  if (node.is_leaf) {
+    // Rebuild the simplified condition from the branch decisions on the path.
+    PathState state;
+    for (const auto& [split_node, yes_branch] : *path) {
+      state.ApplySplit(*split_node, yes_branch);
+    }
+    DecisionTree::Leaf leaf;
+    leaf.condition = state.BuildCondition();
+    leaf.rows = node.rows;
+    leaf.majority_label = node.majority_label;
+    leaf.purity = node.purity;
+    out->push_back(std::move(leaf));
+    return;
+  }
+  path->emplace_back(&node, true);
+  CollectLeaves(*node.yes, path, out);
+  path->back().second = false;
+  CollectLeaves(*node.no, path, out);
+  path->pop_back();
+}
+
+int NodeDepth(const DecisionTreeNode& node) {
+  if (node.is_leaf) return 0;
+  return 1 + std::max(NodeDepth(*node.yes), NodeDepth(*node.no));
+}
+
+int NodeLeaves(const DecisionTreeNode& node) {
+  if (node.is_leaf) return 1;
+  return NodeLeaves(*node.yes) + NodeLeaves(*node.no);
+}
+
+}  // namespace
+
+Result<TreeAttributeCache> TreeAttributeCache::Build(
+    const Table& table, const std::vector<int>& attr_indices) {
+  TreeAttributeCache cache;
+  for (int col : attr_indices) {
+    if (col < 0 || col >= table.num_columns()) {
+      return Status::OutOfRange("TreeAttributeCache: column " + std::to_string(col));
+    }
+    if (cache.numeric_.count(col) || cache.categorical_.count(col)) continue;
+    const Column& column = table.column(col);
+    const std::string& name = table.schema().field(col).name;
+    if (IsNumeric(column.type())) {
+      NumericAttr attr;
+      attr.name = name;
+      attr.is_integer = column.type() == TypeKind::kInt64;
+      attr.values.resize(static_cast<size_t>(column.length()));
+      attr.valid.resize(static_cast<size_t>(column.length()));
+      for (int64_t r = 0; r < column.length(); ++r) {
+        if (column.IsNull(r)) {
+          attr.valid[static_cast<size_t>(r)] = 0;
+        } else {
+          attr.valid[static_cast<size_t>(r)] = 1;
+          CHARLES_ASSIGN_OR_RETURN(double v, column.GetValue(r).AsDouble());
+          attr.values[static_cast<size_t>(r)] = v;
+        }
+      }
+      attr.sorted_rows.reserve(static_cast<size_t>(column.length()));
+      for (int64_t r = 0; r < column.length(); ++r) {
+        if (attr.valid[static_cast<size_t>(r)]) attr.sorted_rows.push_back(r);
+      }
+      std::sort(attr.sorted_rows.begin(), attr.sorted_rows.end(),
+                [&attr](int64_t a, int64_t b) {
+                  return attr.values[static_cast<size_t>(a)] <
+                         attr.values[static_cast<size_t>(b)];
+                });
+      cache.numeric_.emplace(col, std::move(attr));
+    } else {
+      CategoricalAttr attr;
+      attr.name = name;
+      attr.codes.resize(static_cast<size_t>(column.length()), -1);
+      std::unordered_map<Value, int, ValueHash> dictionary;
+      for (int64_t r = 0; r < column.length(); ++r) {
+        if (column.IsNull(r)) continue;
+        Value v = column.GetValue(r);
+        auto [it, inserted] = dictionary.emplace(v, static_cast<int>(attr.dict.size()));
+        if (inserted) attr.dict.push_back(std::move(v));
+        attr.codes[static_cast<size_t>(r)] = it->second;
+      }
+      cache.categorical_.emplace(col, std::move(attr));
+    }
+  }
+  return cache;
+}
+
+const TreeAttributeCache::NumericAttr* TreeAttributeCache::Numeric(
+    int column_index) const {
+  auto it = numeric_.find(column_index);
+  return it == numeric_.end() ? nullptr : &it->second;
+}
+
+const TreeAttributeCache::CategoricalAttr* TreeAttributeCache::Categorical(
+    int column_index) const {
+  auto it = categorical_.find(column_index);
+  return it == categorical_.end() ? nullptr : &it->second;
+}
+
+Result<DecisionTree> DecisionTree::Fit(const Table& table, const RowSet& rows,
+                                       const std::vector<int>& attr_indices,
+                                       const std::vector<int>& labels,
+                                       const DecisionTreeOptions& options,
+                                       const TreeAttributeCache* cache) {
+  if (rows.empty()) return Status::InvalidArgument("DecisionTree: no training rows");
+  if (static_cast<int64_t>(labels.size()) != table.num_rows()) {
+    return Status::InvalidArgument("DecisionTree: labels must cover every table row");
+  }
+  for (int attr : attr_indices) {
+    if (attr < 0 || attr >= table.num_columns()) {
+      return Status::OutOfRange("DecisionTree: attribute index " + std::to_string(attr));
+    }
+  }
+  int num_labels = 0;
+  for (int64_t row : rows) {
+    int label = labels[static_cast<size_t>(row)];
+    if (label < 0) return Status::InvalidArgument("DecisionTree: negative label");
+    num_labels = std::max(num_labels, label + 1);
+  }
+  if (num_labels > 4096) {
+    return Status::InvalidArgument("DecisionTree: implausibly many labels (" +
+                                   std::to_string(num_labels) + ")");
+  }
+
+  TreeAttributeCache local_cache;
+  if (cache == nullptr) {
+    CHARLES_ASSIGN_OR_RETURN(local_cache, TreeAttributeCache::Build(table, attr_indices));
+    cache = &local_cache;
+  }
+  for (int attr : attr_indices) {
+    if (cache->Numeric(attr) == nullptr && cache->Categorical(attr) == nullptr) {
+      return Status::InvalidArgument("DecisionTree: attribute " + std::to_string(attr) +
+                                     " missing from the attribute cache");
+    }
+  }
+
+  DecisionTree tree;
+  TreeBuilder builder(labels, num_labels, options, *cache, attr_indices);
+  tree.root_ = builder.Build(rows.indices(), 0);
+
+  // Training accuracy: each row scored against its leaf's majority.
+  int64_t correct = 0;
+  std::vector<Leaf> leaves = tree.Leaves();
+  for (const Leaf& leaf : leaves) {
+    for (int64_t row : leaf.rows) {
+      if (labels[static_cast<size_t>(row)] == leaf.majority_label) ++correct;
+    }
+  }
+  tree.training_accuracy_ =
+      rows.size() > 0 ? static_cast<double>(correct) / static_cast<double>(rows.size())
+                      : 0.0;
+  return tree;
+}
+
+std::vector<DecisionTree::Leaf> DecisionTree::Leaves() const {
+  std::vector<Leaf> out;
+  std::vector<std::pair<const DecisionTreeNode*, bool>> path;
+  CollectLeaves(*root_, &path, &out);
+  return out;
+}
+
+Result<int> DecisionTree::PredictRow(const Table& table, int64_t row) const {
+  const DecisionTreeNode* node = root_.get();
+  while (!node->is_leaf) {
+    CHARLES_ASSIGN_OR_RETURN(Value v, node->condition->Evaluate(table, row));
+    if (v.kind() != TypeKind::kBool) {
+      return Status::TypeError("split condition not boolean");
+    }
+    node = v.boolean() ? node->yes.get() : node->no.get();
+  }
+  return node->majority_label;
+}
+
+int DecisionTree::num_leaves() const { return NodeLeaves(*root_); }
+int DecisionTree::depth() const { return NodeDepth(*root_); }
+
+}  // namespace charles

@@ -1,0 +1,231 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace charles {
+
+namespace {
+
+double SquaredDistance(const double* a, const double* b, int64_t d) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < d; ++i) {
+    double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// k-means++ initialization: first centroid uniform, subsequent ones sampled
+/// proportional to squared distance from the nearest chosen centroid.
+Matrix PlusPlusInit(const Matrix& points, int k, Rng* rng) {
+  int64_t n = points.rows();
+  int64_t d = points.cols();
+  Matrix centroids(k, d);
+  std::vector<double> min_dist(static_cast<size_t>(n),
+                               std::numeric_limits<double>::max());
+  int64_t first = rng->UniformInt(0, n - 1);
+  for (int64_t c = 0; c < d; ++c) centroids.At(0, c) = points.At(first, c);
+  for (int next = 1; next < k; ++next) {
+    for (int64_t i = 0; i < n; ++i) {
+      double dist = SquaredDistance(points.RowPtr(i), centroids.RowPtr(next - 1), d);
+      min_dist[static_cast<size_t>(i)] =
+          std::min(min_dist[static_cast<size_t>(i)], dist);
+    }
+    double total = std::accumulate(min_dist.begin(), min_dist.end(), 0.0);
+    int64_t chosen;
+    if (total <= 1e-300) {
+      chosen = rng->UniformInt(0, n - 1);  // all points identical
+    } else {
+      chosen = static_cast<int64_t>(rng->WeightedIndex(min_dist));
+    }
+    for (int64_t c = 0; c < d; ++c) centroids.At(next, c) = points.At(chosen, c);
+  }
+  return centroids;
+}
+
+struct LloydOutcome {
+  std::vector<int> labels;
+  Matrix centroids;
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+LloydOutcome RunLloyd(const Matrix& points, int k, Matrix centroids,
+                      const KMeansOptions& options, Rng* rng) {
+  int64_t n = points.rows();
+  int64_t d = points.cols();
+  std::vector<int> labels(static_cast<size_t>(n), 0);
+  int iteration = 0;
+  for (; iteration < options.max_iterations; ++iteration) {
+    // Assignment step.
+    for (int64_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_label = 0;
+      for (int c = 0; c < k; ++c) {
+        double dist = SquaredDistance(points.RowPtr(i), centroids.RowPtr(c), d);
+        if (dist < best) {
+          best = dist;
+          best_label = c;
+        }
+      }
+      labels[static_cast<size_t>(i)] = best_label;
+    }
+    // Update step.
+    Matrix new_centroids(k, d);
+    std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      int label = labels[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(label)];
+      for (int64_t c = 0; c < d; ++c) new_centroids.At(label, c) += points.At(i, c);
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) {
+        // Empty cluster: re-seed at a random point (deterministic under seed).
+        int64_t replacement = rng->UniformInt(0, n - 1);
+        for (int64_t col = 0; col < d; ++col) {
+          new_centroids.At(c, col) = points.At(replacement, col);
+        }
+      } else {
+        for (int64_t col = 0; col < d; ++col) {
+          new_centroids.At(c, col) /= static_cast<double>(counts[static_cast<size_t>(c)]);
+        }
+      }
+    }
+    // Convergence: total squared centroid movement.
+    double movement = 0.0;
+    for (int c = 0; c < k; ++c) {
+      movement += SquaredDistance(centroids.RowPtr(c), new_centroids.RowPtr(c), d);
+    }
+    centroids = std::move(new_centroids);
+    if (movement <= options.tolerance) {
+      ++iteration;
+      break;
+    }
+  }
+  double inertia = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    inertia += SquaredDistance(points.RowPtr(i),
+                               centroids.RowPtr(labels[static_cast<size_t>(i)]), d);
+  }
+  return LloydOutcome{std::move(labels), std::move(centroids), inertia, iteration};
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans::Fit(const Matrix& points, int k, const KMeansOptions& options) {
+  int64_t n = points.rows();
+  if (n == 0) return Status::InvalidArgument("KMeans: no points");
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument("KMeans: k=" + std::to_string(k) +
+                                   " outside [1, " + std::to_string(n) + "]");
+  }
+  Rng rng(options.seed);
+  LloydOutcome best;
+  best.inertia = std::numeric_limits<double>::max();
+  int restarts = std::max(1, options.num_restarts);
+  for (int r = 0; r < restarts; ++r) {
+    Matrix init = PlusPlusInit(points, k, &rng);
+    LloydOutcome outcome = RunLloyd(points, k, std::move(init), options, &rng);
+    if (outcome.inertia < best.inertia) best = std::move(outcome);
+  }
+  KMeansResult result;
+  result.k = k;
+  result.labels = std::move(best.labels);
+  result.centroids = std::move(best.centroids);
+  result.inertia = best.inertia;
+  result.iterations = best.iterations;
+  return result;
+}
+
+double SilhouetteScore(const Matrix& points, const std::vector<int>& labels,
+                       int64_t max_samples, uint64_t seed) {
+  int64_t n = points.rows();
+  CHARLES_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  if (n < 3) return 0.0;
+  int k = 0;
+  for (int label : labels) k = std::max(k, label + 1);
+  // Count non-empty clusters.
+  std::vector<int64_t> cluster_sizes(static_cast<size_t>(k), 0);
+  for (int label : labels) ++cluster_sizes[static_cast<size_t>(label)];
+  int effective = 0;
+  for (int64_t size : cluster_sizes) {
+    if (size > 0) ++effective;
+  }
+  if (effective < 2) return 0.0;
+
+  // Deterministic subsample for O(n^2) distance sums.
+  std::vector<int64_t> sample(static_cast<size_t>(n));
+  std::iota(sample.begin(), sample.end(), int64_t{0});
+  if (n > max_samples) {
+    Rng rng(seed);
+    rng.Shuffle(&sample);
+    sample.resize(static_cast<size_t>(max_samples));
+  }
+
+  int64_t d = points.cols();
+  double total = 0.0;
+  int64_t counted = 0;
+  for (int64_t idx : sample) {
+    int own = labels[static_cast<size_t>(idx)];
+    if (cluster_sizes[static_cast<size_t>(own)] < 2) continue;  // silhouette 0
+    std::vector<double> dist_sum(static_cast<size_t>(k), 0.0);
+    std::vector<int64_t> dist_count(static_cast<size_t>(k), 0);
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == idx) continue;
+      double dist = std::sqrt(SquaredDistance(points.RowPtr(idx), points.RowPtr(j), d));
+      int lj = labels[static_cast<size_t>(j)];
+      dist_sum[static_cast<size_t>(lj)] += dist;
+      ++dist_count[static_cast<size_t>(lj)];
+    }
+    double a = dist_sum[static_cast<size_t>(own)] /
+               static_cast<double>(dist_count[static_cast<size_t>(own)]);
+    double b = std::numeric_limits<double>::max();
+    for (int c = 0; c < k; ++c) {
+      if (c == own || dist_count[static_cast<size_t>(c)] == 0) continue;
+      b = std::min(b, dist_sum[static_cast<size_t>(c)] /
+                          static_cast<double>(dist_count[static_cast<size_t>(c)]));
+    }
+    double denom = std::max(a, b);
+    total += denom > 1e-300 ? (b - a) / denom : 0.0;
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+Result<KMeansResult> FitBestK(const Matrix& points, int k_min, int k_max,
+                              const KMeansOptions& options, double min_silhouette) {
+  if (k_min < 1 || k_max < k_min) {
+    return Status::InvalidArgument("FitBestK: bad k range");
+  }
+  k_max = static_cast<int>(std::min<int64_t>(k_max, points.rows()));
+  k_min = std::min(k_min, k_max);
+
+  Result<KMeansResult> single = KMeans::Fit(points, std::max(1, k_min), options);
+  CHARLES_RETURN_NOT_OK(single.status());
+  KMeansResult best = std::move(*single);
+  double best_silhouette = best.k >= 2 ? SilhouetteScore(points, best.labels) : 0.0;
+
+  for (int k = std::max(2, k_min + (best.k == k_min ? 1 : 0)); k <= k_max; ++k) {
+    if (k == best.k) continue;
+    Result<KMeansResult> fit = KMeans::Fit(points, k, options);
+    if (!fit.ok()) continue;
+    double silhouette = SilhouetteScore(points, fit->labels);
+    if (silhouette > best_silhouette) {
+      best = std::move(*fit);
+      best_silhouette = silhouette;
+    }
+  }
+  // Collapse to one cluster when no split is convincingly structured.
+  if (best.k > 1 && best_silhouette < min_silhouette && k_min == 1) {
+    return KMeans::Fit(points, 1, options);
+  }
+  return best;
+}
+
+}  // namespace charles

@@ -1,0 +1,66 @@
+#ifndef CHARLES_ML_KMEANS_H_
+#define CHARLES_ML_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace charles {
+
+/// \brief Options for KMeans::Fit.
+struct KMeansOptions {
+  /// Lloyd iterations per restart.
+  int max_iterations = 100;
+  /// Independent k-means++ restarts; the lowest-inertia run wins.
+  int num_restarts = 4;
+  /// Convergence threshold on centroid movement (squared L2).
+  double tolerance = 1e-8;
+  /// Seed for k-means++ sampling; same seed, same clustering.
+  uint64_t seed = 42;
+};
+
+/// \brief A clustering of n points into k groups.
+struct KMeansResult {
+  int k = 0;
+  /// Cluster id per input row, in [0, k).
+  std::vector<int> labels;
+  /// k x d centroid matrix.
+  Matrix centroids;
+  /// Sum of squared distances to assigned centroids (lower is tighter).
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+/// \brief Lloyd's k-means with k-means++ seeding and empty-cluster repair.
+///
+/// ChARLES clusters rows by their distance from the global regression line
+/// (a 1-D or low-D residual space), so the implementation favours exactness
+/// and determinism over large-d tricks.
+class KMeans {
+ public:
+  /// Clusters the rows of `points` into k groups. k must be in [1, n].
+  static Result<KMeansResult> Fit(const Matrix& points, int k,
+                                  const KMeansOptions& options = {});
+};
+
+/// \brief Mean silhouette coefficient of a clustering, in [-1, 1].
+///
+/// Degenerate inputs (k < 2 effective clusters, n < 3) score 0. For large n
+/// the score is estimated on a deterministic subsample of max_samples rows.
+double SilhouetteScore(const Matrix& points, const std::vector<int>& labels,
+                       int64_t max_samples = 2048, uint64_t seed = 42);
+
+/// \brief Fits k = k_min..k_max and returns the silhouette-best result.
+///
+/// k = 1 (a single partition) is compared via a variance-explained heuristic:
+/// it wins only when no multi-cluster split achieves a silhouette above
+/// `min_silhouette`.
+Result<KMeansResult> FitBestK(const Matrix& points, int k_min, int k_max,
+                              const KMeansOptions& options = {},
+                              double min_silhouette = 0.6);
+
+}  // namespace charles
+
+#endif  // CHARLES_ML_KMEANS_H_

@@ -1,0 +1,189 @@
+#include "ml/linear_regression.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "linalg/solve.h"
+#include "linalg/stats.h"
+
+namespace charles {
+
+double LinearModel::Predict(const std::vector<double>& x) const {
+  CHARLES_CHECK_EQ(x.size(), coefficients.size());
+  double y = intercept;
+  for (size_t i = 0; i < x.size(); ++i) y += coefficients[i] * x[i];
+  return y;
+}
+
+std::vector<double> LinearModel::PredictBatch(const Matrix& x) const {
+  CHARLES_CHECK_EQ(static_cast<size_t>(x.cols()), coefficients.size());
+  std::vector<double> out(static_cast<size_t>(x.rows()), intercept);
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.RowPtr(r);
+    double sum = intercept;
+    for (size_t c = 0; c < coefficients.size(); ++c) {
+      sum += coefficients[c] * row[c];
+    }
+    out[static_cast<size_t>(r)] = sum;
+  }
+  return out;
+}
+
+int LinearModel::NumActiveTerms(double tolerance) const {
+  int count = 0;
+  for (double c : coefficients) {
+    if (std::abs(c) > tolerance) ++count;
+  }
+  return count;
+}
+
+std::string LinearModel::ToString(const std::string& target_name) const {
+  std::string out = target_name + " = ";
+  bool first = true;
+  for (size_t i = 0; i < coefficients.size(); ++i) {
+    double c = coefficients[i];
+    if (std::abs(c) <= 1e-12) continue;
+    if (first) {
+      if (c < 0) out += "-";
+    } else {
+      out += c < 0 ? " - " : " + ";
+    }
+    double mag = std::abs(c);
+    if (std::abs(mag - 1.0) > 1e-12) {
+      out += FormatDouble(mag, 6) + " × ";
+    }
+    out += feature_names[i];
+    first = false;
+  }
+  if (std::abs(intercept) > 1e-9 || first) {
+    if (first) {
+      out += FormatDouble(intercept, 6);
+    } else {
+      out += intercept < 0 ? " - " : " + ";
+      out += FormatDouble(std::abs(intercept), 6);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void FillDiagnostics(const Matrix& x, const std::vector<double>& y, LinearModel* model) {
+  std::vector<double> predicted = model->PredictBatch(x);
+  model->mae = MeanAbsoluteError(predicted, y);
+  model->rmse = RootMeanSquaredError(predicted, y);
+  double total_var = Variance(y);
+  if (total_var <= 1e-300) {
+    // Constant target: R² is 1 when we reproduce it, 0 otherwise.
+    model->r2 = model->rmse <= 1e-9 ? 1.0 : 0.0;
+  } else {
+    double resid_var = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) {
+      double e = y[i] - predicted[i];
+      resid_var += e * e;
+    }
+    resid_var /= static_cast<double>(y.size());
+    model->r2 = 1.0 - resid_var / total_var;
+  }
+}
+
+/// Ridge fit on standardized features; coefficients mapped back to raw scale.
+Result<LinearModel> FitRidgeStandardized(const Matrix& x, const std::vector<double>& y,
+                                         std::vector<std::string> feature_names,
+                                         double lambda) {
+  int64_t n = x.rows();
+  int64_t p = x.cols();
+  std::vector<double> means(static_cast<size_t>(p), 0.0);
+  std::vector<double> stds(static_cast<size_t>(p), 0.0);
+  for (int64_t c = 0; c < p; ++c) {
+    std::vector<double> col(static_cast<size_t>(n));
+    for (int64_t r = 0; r < n; ++r) col[static_cast<size_t>(r)] = x.At(r, c);
+    means[static_cast<size_t>(c)] = Mean(col);
+    stds[static_cast<size_t>(c)] = Stddev(col);
+  }
+  double y_mean = Mean(y);
+  Matrix xs(n, p);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < p; ++c) {
+      double s = stds[static_cast<size_t>(c)];
+      xs.At(r, c) = s > 1e-300 ? (x.At(r, c) - means[static_cast<size_t>(c)]) / s : 0.0;
+    }
+  }
+  std::vector<double> yc(y.size());
+  for (size_t i = 0; i < y.size(); ++i) yc[i] = y[i] - y_mean;
+
+  CHARLES_ASSIGN_OR_RETURN(std::vector<double> beta_std,
+                           RidgeLeastSquares(xs, yc, lambda));
+
+  LinearModel model;
+  model.feature_names = std::move(feature_names);
+  model.coefficients.resize(static_cast<size_t>(p), 0.0);
+  double intercept = y_mean;
+  for (int64_t c = 0; c < p; ++c) {
+    double s = stds[static_cast<size_t>(c)];
+    double raw = s > 1e-300 ? beta_std[static_cast<size_t>(c)] / s : 0.0;
+    model.coefficients[static_cast<size_t>(c)] = raw;
+    intercept -= raw * means[static_cast<size_t>(c)];
+  }
+  model.intercept = intercept;
+  FillDiagnostics(x, y, &model);
+  return model;
+}
+
+}  // namespace
+
+Result<LinearModel> LinearRegression::Fit(const Matrix& x, const std::vector<double>& y,
+                                          std::vector<std::string> feature_names,
+                                          const LinearRegressionOptions& options) {
+  int64_t n = x.rows();
+  int64_t p = x.cols();
+  if (n == 0) return Status::InvalidArgument("LinearRegression: no rows");
+  if (static_cast<int64_t>(y.size()) != n) {
+    return Status::InvalidArgument("LinearRegression: y size mismatch");
+  }
+  if (static_cast<int64_t>(feature_names.size()) != p) {
+    return Status::InvalidArgument("LinearRegression: feature_names size mismatch");
+  }
+
+  // Zero-feature fit: the model is the target mean.
+  if (p == 0) {
+    LinearModel model;
+    model.intercept = Mean(y);
+    FillDiagnostics(x, y, &model);
+    return model;
+  }
+
+  // Constant target short-circuit: exact, and keeps "no change" partitions
+  // from picking up numerical-noise coefficients.
+  if (Variance(y) <= 1e-300) {
+    LinearModel model;
+    model.feature_names = std::move(feature_names);
+    model.coefficients.assign(static_cast<size_t>(p), 0.0);
+    model.intercept = y.empty() ? 0.0 : y[0];
+    FillDiagnostics(x, y, &model);
+    return model;
+  }
+
+  // Primary path: QR on the design matrix [1 | X].
+  if (n >= p + 1) {
+    Matrix design(n, p + 1);
+    for (int64_t r = 0; r < n; ++r) {
+      design.At(r, 0) = 1.0;
+      for (int64_t c = 0; c < p; ++c) design.At(r, c + 1) = x.At(r, c);
+    }
+    Result<std::vector<double>> beta = QrLeastSquares(design, y);
+    if (beta.ok()) {
+      LinearModel model;
+      model.intercept = (*beta)[0];
+      model.coefficients.assign(beta->begin() + 1, beta->end());
+      model.feature_names = std::move(feature_names);
+      FillDiagnostics(x, y, &model);
+      return model;
+    }
+  }
+  // Fallback: standardized ridge (always well-posed for lambda > 0).
+  return FitRidgeStandardized(x, y, std::move(feature_names), options.ridge_lambda);
+}
+
+}  // namespace charles

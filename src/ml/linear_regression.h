@@ -1,0 +1,65 @@
+#ifndef CHARLES_ML_LINEAR_REGRESSION_H_
+#define CHARLES_ML_LINEAR_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace charles {
+
+/// \brief A fitted linear model: y ≈ intercept + Σ coefficients[i] · x_i.
+///
+/// This is the "transformation" half of a conditional transformation; its
+/// coefficients are what normality snapping rounds and what the Figure-2
+/// leaves display (`bonus_new = 1.05 × bonus_old + 1000`).
+struct LinearModel {
+  double intercept = 0.0;
+  std::vector<double> coefficients;
+  std::vector<std::string> feature_names;
+
+  /// \name Fit diagnostics over the training rows.
+  /// @{
+  double r2 = 0.0;
+  double mae = 0.0;
+  double rmse = 0.0;
+  /// @}
+
+  double Predict(const std::vector<double>& x) const;
+  std::vector<double> PredictBatch(const Matrix& x) const;
+
+  /// Number of features with a non-zero coefficient — the paper's
+  /// transformation complexity measure.
+  int NumActiveTerms(double tolerance = 1e-12) const;
+
+  /// `target = 1.05 × bonus_old + 1000` style rendering.
+  std::string ToString(const std::string& target_name) const;
+};
+
+/// \brief Options for LinearRegression::Fit.
+struct LinearRegressionOptions {
+  /// Regularization used only by the fallback path when plain QR fails
+  /// (collinear or underdetermined designs).
+  double ridge_lambda = 1e-6;
+};
+
+/// \brief Ordinary least squares with a ridge fallback.
+///
+/// Primary path is Householder QR on the raw design matrix (exact
+/// coefficients for well-posed systems — crucial for recovering "nice"
+/// planted policies like 1.05·x + 1000). Rank-deficient or underdetermined
+/// designs fall back to standardized ridge regression, which always
+/// produces a finite model.
+class LinearRegression {
+ public:
+  /// Fits y on the columns of x. feature_names must match x's column count;
+  /// x and y must have matching row counts and at least one row.
+  static Result<LinearModel> Fit(const Matrix& x, const std::vector<double>& y,
+                                 std::vector<std::string> feature_names,
+                                 const LinearRegressionOptions& options = {});
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_ML_LINEAR_REGRESSION_H_

@@ -1,0 +1,67 @@
+#include "table/key_index.h"
+
+namespace charles {
+
+std::string RowKey::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += parts[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t RowKeyHash::operator()(const RowKey& key) const {
+  size_t h = 0x9e3779b97f4a7c15ull;
+  for (const Value& v : key.parts) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+Result<KeyIndex> KeyIndex::Build(const Table& table,
+                                 const std::vector<std::string>& key_columns) {
+  if (key_columns.empty()) {
+    return Status::InvalidArgument("KeyIndex requires at least one key column");
+  }
+  KeyIndex index;
+  for (const std::string& name : key_columns) {
+    CHARLES_ASSIGN_OR_RETURN(int idx, table.schema().FieldIndex(name));
+    index.key_column_indices_.push_back(idx);
+  }
+  index.keys_in_row_order_.reserve(static_cast<size_t>(table.num_rows()));
+  for (int64_t row = 0; row < table.num_rows(); ++row) {
+    RowKey key;
+    key.parts.reserve(index.key_column_indices_.size());
+    for (int col : index.key_column_indices_) {
+      Value v = table.GetValue(row, col);
+      if (v.is_null()) {
+        return Status::InvalidArgument("NULL key at row " + std::to_string(row));
+      }
+      key.parts.push_back(std::move(v));
+    }
+    auto [it, inserted] = index.map_.emplace(key, row);
+    if (!inserted) {
+      return Status::AlreadyExists("duplicate key " + key.ToString() + " at rows " +
+                                   std::to_string(it->second) + " and " +
+                                   std::to_string(row));
+    }
+    index.keys_in_row_order_.push_back(std::move(key));
+  }
+  return index;
+}
+
+Result<int64_t> KeyIndex::Lookup(const RowKey& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound("key " + key.ToString() + " not present");
+  return it->second;
+}
+
+RowKey KeyIndex::KeyOfRow(const Table& table, int64_t row) const {
+  RowKey key;
+  for (int col : key_column_indices_) key.parts.push_back(table.GetValue(row, col));
+  return key;
+}
+
+}  // namespace charles

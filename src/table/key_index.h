@@ -1,0 +1,56 @@
+#ifndef CHARLES_TABLE_KEY_INDEX_H_
+#define CHARLES_TABLE_KEY_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+#include "types/value.h"
+
+namespace charles {
+
+/// \brief A (possibly composite) primary-key value for one row.
+struct RowKey {
+  std::vector<Value> parts;
+
+  bool operator==(const RowKey& other) const { return parts == other.parts; }
+  std::string ToString() const;
+};
+
+struct RowKeyHash {
+  size_t operator()(const RowKey& key) const;
+};
+
+/// \brief Hash index from primary-key values to row positions.
+///
+/// The diff engine aligns two snapshots through their KeyIndexes; Build fails
+/// if keys contain NULLs or duplicates (the paper assumes entity identity is
+/// stable and unique).
+class KeyIndex {
+ public:
+  /// Builds over the named key columns.
+  static Result<KeyIndex> Build(const Table& table, const std::vector<std::string>& key_columns);
+
+  /// Row holding the key, or NotFound.
+  Result<int64_t> Lookup(const RowKey& key) const;
+
+  /// The key of a given row (in key-column order).
+  RowKey KeyOfRow(const Table& table, int64_t row) const;
+
+  int64_t size() const { return static_cast<int64_t>(map_.size()); }
+  const std::vector<int>& key_column_indices() const { return key_column_indices_; }
+
+  /// Every key in this index, in row order of the indexed table.
+  std::vector<RowKey> KeysInRowOrder() const { return keys_in_row_order_; }
+
+ private:
+  std::vector<int> key_column_indices_;
+  std::unordered_map<RowKey, int64_t, RowKeyHash> map_;
+  std::vector<RowKey> keys_in_row_order_;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_TABLE_KEY_INDEX_H_

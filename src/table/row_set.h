@@ -1,0 +1,59 @@
+#ifndef CHARLES_TABLE_ROW_SET_H_
+#define CHARLES_TABLE_ROW_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace charles {
+
+/// \brief An ordered set of row indices into a Table.
+///
+/// RowSet is how ChARLES represents data partitions: filters produce them,
+/// Table::Take materializes them, and partition coverage is their size
+/// relative to the table. Indices are kept sorted and unique.
+class RowSet {
+ public:
+  RowSet() = default;
+
+  /// Takes ownership of indices; sorts and deduplicates them.
+  explicit RowSet(std::vector<int64_t> indices);
+
+  /// The full set {0, ..., n-1}.
+  static RowSet All(int64_t n);
+
+  /// Rows where mask[i] is true.
+  static RowSet FromMask(const std::vector<bool>& mask);
+
+  int64_t size() const { return static_cast<int64_t>(indices_.size()); }
+  bool empty() const { return indices_.empty(); }
+  int64_t operator[](int64_t i) const { return indices_[static_cast<size_t>(i)]; }
+  const std::vector<int64_t>& indices() const { return indices_; }
+
+  bool Contains(int64_t row) const;
+
+  /// Set algebra; operands may index the same table.
+  RowSet Intersect(const RowSet& other) const;
+  RowSet Union(const RowSet& other) const;
+  /// Rows of this set absent from `other`.
+  RowSet Difference(const RowSet& other) const;
+  /// {0..n-1} minus this set.
+  RowSet Complement(int64_t n) const;
+
+  /// Fraction of an n-row table covered by this set.
+  double Coverage(int64_t n) const;
+
+  bool operator==(const RowSet& other) const { return indices_ == other.indices_; }
+
+  std::string ToString(int64_t max_items = 16) const;
+
+  auto begin() const { return indices_.begin(); }
+  auto end() const { return indices_.end(); }
+
+ private:
+  std::vector<int64_t> indices_;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_TABLE_ROW_SET_H_

@@ -1,0 +1,156 @@
+#include "table/table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace charles {
+
+Result<Table> Table::Make(Schema schema, std::vector<Column> columns) {
+  if (static_cast<int>(columns.size()) != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "column count " + std::to_string(columns.size()) + " != schema fields " +
+        std::to_string(schema.num_fields()));
+  }
+  int64_t rows = columns.empty() ? 0 : columns[0].length();
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    const auto& col = columns[static_cast<size_t>(i)];
+    if (col.type() != schema.field(i).type) {
+      return Status::TypeError("column '" + schema.field(i).name + "' has type " +
+                               std::string(TypeKindName(col.type())) + ", schema says " +
+                               std::string(TypeKindName(schema.field(i).type)));
+    }
+    if (col.length() != rows) {
+      return Status::InvalidArgument("column '" + schema.field(i).name +
+                                     "' length mismatch");
+    }
+    if (!schema.field(i).nullable && col.null_count() > 0) {
+      return Status::InvalidArgument("column '" + schema.field(i).name +
+                                     "' is NOT NULL but contains NULLs");
+    }
+  }
+  Table table;
+  table.schema_ = std::move(schema);
+  table.columns_ = std::move(columns);
+  table.num_rows_ = rows;
+  return table;
+}
+
+const Column& Table::column(int i) const {
+  CHARLES_CHECK(i >= 0 && i < num_columns()) << "column " << i << " out of range";
+  return columns_[static_cast<size_t>(i)];
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  CHARLES_ASSIGN_OR_RETURN(int idx, schema_.FieldIndex(name));
+  return &columns_[static_cast<size_t>(idx)];
+}
+
+Value Table::GetValue(int64_t row, int col) const {
+  return column(col).GetValue(row);
+}
+
+Result<Value> Table::GetValueByName(int64_t row, const std::string& name) const {
+  CHARLES_ASSIGN_OR_RETURN(int idx, schema_.FieldIndex(name));
+  if (row < 0 || row >= num_rows_) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  return columns_[static_cast<size_t>(idx)].GetValue(row);
+}
+
+Status Table::SetValue(int64_t row, int col, const Value& value) {
+  if (col < 0 || col >= num_columns()) {
+    return Status::OutOfRange("column " + std::to_string(col) + " out of range");
+  }
+  return columns_[static_cast<size_t>(col)].Set(row, value);
+}
+
+std::vector<Value> Table::GetRow(int64_t row) const {
+  std::vector<Value> out;
+  out.reserve(static_cast<size_t>(num_columns()));
+  for (int c = 0; c < num_columns(); ++c) out.push_back(GetValue(row, c));
+  return out;
+}
+
+Result<Table> Table::Take(const RowSet& rows) const {
+  for (int64_t r : rows) {
+    if (r < 0 || r >= num_rows_) {
+      return Status::OutOfRange("Take: row " + std::to_string(r) + " out of range");
+    }
+  }
+  std::vector<Column> taken;
+  taken.reserve(columns_.size());
+  for (const Column& col : columns_) taken.push_back(col.Take(rows));
+  return Make(schema_, std::move(taken));
+}
+
+Result<Table> Table::SelectColumns(const std::vector<int>& column_indices) const {
+  std::vector<Field> fields;
+  std::vector<Column> cols;
+  for (int idx : column_indices) {
+    if (idx < 0 || idx >= num_columns()) {
+      return Status::OutOfRange("SelectColumns: column " + std::to_string(idx));
+    }
+    fields.push_back(schema_.field(idx));
+    cols.push_back(columns_[static_cast<size_t>(idx)]);
+  }
+  CHARLES_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  return Make(std::move(schema), std::move(cols));
+}
+
+Result<std::vector<double>> Table::ColumnAsDoubles(const std::string& name) const {
+  CHARLES_ASSIGN_OR_RETURN(const Column* col, ColumnByName(name));
+  return col->ToDoubles();
+}
+
+bool Table::Equals(const Table& other) const {
+  if (!schema_.Equals(other.schema_) || num_rows_ != other.num_rows_) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!columns_[i].Equals(other.columns_[i])) return false;
+  }
+  return true;
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  // Compute column widths over the shown window.
+  int64_t shown = std::min(num_rows_, max_rows);
+  std::vector<size_t> widths;
+  std::vector<std::vector<std::string>> cells;
+  for (int c = 0; c < num_columns(); ++c) {
+    widths.push_back(schema_.field(c).name.size());
+  }
+  for (int64_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row;
+    for (int c = 0; c < num_columns(); ++c) {
+      std::string cell = GetValue(r, c).ToString();
+      widths[static_cast<size_t>(c)] = std::max(widths[static_cast<size_t>(c)], cell.size());
+      row.push_back(std::move(cell));
+    }
+    cells.push_back(std::move(row));
+  }
+  std::string out;
+  for (int c = 0; c < num_columns(); ++c) {
+    if (c > 0) out += " | ";
+    out += PadRight(schema_.field(c).name, widths[static_cast<size_t>(c)]);
+  }
+  out += "\n";
+  for (int c = 0; c < num_columns(); ++c) {
+    if (c > 0) out += "-+-";
+    out += std::string(widths[static_cast<size_t>(c)], '-');
+  }
+  out += "\n";
+  for (const auto& row : cells) {
+    for (int c = 0; c < num_columns(); ++c) {
+      if (c > 0) out += " | ";
+      out += PadRight(row[static_cast<size_t>(c)], widths[static_cast<size_t>(c)]);
+    }
+    out += "\n";
+  }
+  if (shown < num_rows_) {
+    out += "... (" + std::to_string(num_rows_ - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace charles

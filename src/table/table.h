@@ -1,0 +1,70 @@
+#ifndef CHARLES_TABLE_TABLE_H_
+#define CHARLES_TABLE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/column.h"
+#include "table/row_set.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace charles {
+
+/// \brief An immutable-by-convention relational snapshot: Schema + columns.
+///
+/// Tables are the unit ChARLES diffs: a source snapshot and a target snapshot
+/// with Equals() schemas. Construction goes through Make (validating) or
+/// TableBuilder (row-at-a-time). Mutation is limited to SetValue, used by the
+/// policy engine in the workload generators.
+class Table {
+ public:
+  Table() = default;
+
+  /// Validates that columns align with the schema (count, types, equal
+  /// lengths).
+  static Result<Table> Make(Schema schema, std::vector<Column> columns);
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+  int num_columns() const { return schema_.num_fields(); }
+
+  const Column& column(int i) const;
+  /// Column by name; NotFound if missing.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Cell accessors; CHECK-fail on out-of-range (programmer error).
+  Value GetValue(int64_t row, int col) const;
+  Result<Value> GetValueByName(int64_t row, const std::string& name) const;
+
+  /// Overwrites one cell (type-checked). The workload policy engine's hook.
+  Status SetValue(int64_t row, int col, const Value& value);
+
+  /// Row materialized as Values, in schema order.
+  std::vector<Value> GetRow(int64_t row) const;
+
+  /// New table with only the given rows, in RowSet order.
+  Result<Table> Take(const RowSet& rows) const;
+
+  /// New table with only the given columns (by index), in the given order.
+  Result<Table> SelectColumns(const std::vector<int>& column_indices) const;
+
+  /// Convenience: numeric column as doubles (TypeError on non-numeric,
+  /// InvalidArgument on NULLs).
+  Result<std::vector<double>> ColumnAsDoubles(const std::string& name) const;
+
+  bool Equals(const Table& other) const;
+
+  /// Fixed-width textual rendering of up to max_rows rows.
+  std::string ToString(int64_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_TABLE_TABLE_H_

@@ -1,0 +1,56 @@
+#include "table/table_builder.h"
+
+namespace charles {
+
+TableBuilder::TableBuilder(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(static_cast<size_t>(schema_.num_fields()));
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    columns_.emplace_back(schema_.field(i).type);
+  }
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& row) {
+  if (static_cast<int>(row.size()) != schema_.num_fields()) {
+    return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
+                                   " != schema arity " +
+                                   std::to_string(schema_.num_fields()));
+  }
+  // Validate the whole row before mutating any column so a failed append
+  // leaves the builder consistent.
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    const Value& v = row[static_cast<size_t>(i)];
+    if (v.is_null()) {
+      if (!schema_.field(i).nullable) {
+        return Status::InvalidArgument("NULL in NOT NULL column '" +
+                                       schema_.field(i).name + "'");
+      }
+      continue;
+    }
+    TypeKind expected = schema_.field(i).type;
+    TypeKind actual = v.kind();
+    bool compatible = actual == expected ||
+                      (expected == TypeKind::kDouble && actual == TypeKind::kInt64);
+    if (!compatible) {
+      return Status::TypeError("column '" + schema_.field(i).name + "' expects " +
+                               std::string(TypeKindName(expected)) + ", got " +
+                               std::string(TypeKindName(actual)));
+    }
+  }
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    CHARLES_RETURN_NOT_OK(columns_[static_cast<size_t>(i)].Append(row[static_cast<size_t>(i)]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Result<Table> TableBuilder::Finish() {
+  Result<Table> table = Table::Make(schema_, std::move(columns_));
+  columns_.clear();
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    columns_.emplace_back(schema_.field(i).type);
+  }
+  num_rows_ = 0;
+  return table;
+}
+
+}  // namespace charles

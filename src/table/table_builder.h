@@ -1,0 +1,42 @@
+#ifndef CHARLES_TABLE_TABLE_BUILDER_H_
+#define CHARLES_TABLE_TABLE_BUILDER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace charles {
+
+/// \brief Row-at-a-time Table construction.
+///
+/// \code
+///   TableBuilder builder(schema);
+///   CHARLES_RETURN_NOT_OK(builder.AppendRow({Value("Anne"), Value(230000)}));
+///   CHARLES_ASSIGN_OR_RETURN(Table table, builder.Finish());
+/// \endcode
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  /// Appends one row; the vector must match the schema arity and each value
+  /// the column type (int64 widens into double columns). On failure the
+  /// builder is left unchanged.
+  Status AppendRow(const std::vector<Value>& row);
+
+  int64_t num_rows() const { return num_rows_; }
+
+  /// Validates and hands off the table; the builder is reset to empty.
+  Result<Table> Finish();
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_TABLE_TABLE_BUILDER_H_

@@ -1,0 +1,31 @@
+#include "types/data_type.h"
+
+namespace charles {
+
+std::string_view TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kNull:
+      return "null";
+    case TypeKind::kInt64:
+      return "int64";
+    case TypeKind::kDouble:
+      return "double";
+    case TypeKind::kString:
+      return "string";
+    case TypeKind::kBool:
+      return "bool";
+  }
+  return "invalid";
+}
+
+bool IsNumeric(TypeKind kind) {
+  return kind == TypeKind::kInt64 || kind == TypeKind::kDouble;
+}
+
+TypeKind CommonNumericType(TypeKind a, TypeKind b) {
+  if (!IsNumeric(a) || !IsNumeric(b)) return TypeKind::kNull;
+  if (a == TypeKind::kDouble || b == TypeKind::kDouble) return TypeKind::kDouble;
+  return TypeKind::kInt64;
+}
+
+}  // namespace charles

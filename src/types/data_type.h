@@ -1,0 +1,32 @@
+#ifndef CHARLES_TYPES_DATA_TYPE_H_
+#define CHARLES_TYPES_DATA_TYPE_H_
+
+#include <string_view>
+
+namespace charles {
+
+/// \brief Logical type of a column or value.
+///
+/// ChARLES operates on flat relational snapshots, so four scalar types plus
+/// NULL cover the domain: integers, doubles, strings (categoricals), bools.
+enum class TypeKind {
+  kNull = 0,   ///< The type of an untyped NULL.
+  kInt64,      ///< 64-bit signed integer.
+  kDouble,     ///< IEEE-754 double.
+  kString,     ///< UTF-8 string (categorical attributes).
+  kBool,       ///< Boolean.
+};
+
+/// Canonical lowercase name: "null", "int64", "double", "string", "bool".
+std::string_view TypeKindName(TypeKind kind);
+
+/// True for kInt64 and kDouble — the types regression/clustering consume.
+bool IsNumeric(TypeKind kind);
+
+/// The result type when mixing two numeric kinds (int64 + double -> double).
+/// Non-numeric inputs return kNull.
+TypeKind CommonNumericType(TypeKind a, TypeKind b);
+
+}  // namespace charles
+
+#endif  // CHARLES_TYPES_DATA_TYPE_H_

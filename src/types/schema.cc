@@ -1,0 +1,63 @@
+#include "types/schema.h"
+
+#include "common/logging.h"
+
+namespace charles {
+
+std::string Field::ToString() const {
+  std::string out = name;
+  out += ": ";
+  out += TypeKindName(type);
+  if (!nullable) out += " NOT NULL";
+  return out;
+}
+
+Result<Schema> Schema::Make(std::vector<Field> fields) {
+  Schema schema;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name.empty()) {
+      return Status::InvalidArgument("field " + std::to_string(i) + " has empty name");
+    }
+    auto [it, inserted] = schema.index_.emplace(fields[i].name, static_cast<int>(i));
+    if (!inserted) {
+      return Status::AlreadyExists("duplicate field name: " + fields[i].name);
+    }
+  }
+  schema.fields_ = std::move(fields);
+  return schema;
+}
+
+const Field& Schema::field(int i) const {
+  CHARLES_CHECK_GE(i, 0);
+  CHARLES_CHECK_LT(i, num_fields());
+  return fields_[static_cast<size_t>(i)];
+}
+
+Result<int> Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return Status::NotFound("no field named '" + name + "'");
+  return it->second;
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return index_.find(name) != index_.end();
+}
+
+std::vector<int> Schema::NumericFieldIndices() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_fields(); ++i) {
+    if (IsNumeric(fields_[static_cast<size_t>(i)].type)) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_fields(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[static_cast<size_t>(i)].ToString();
+  }
+  return out;
+}
+
+}  // namespace charles

@@ -1,0 +1,62 @@
+#ifndef CHARLES_TYPES_SCHEMA_H_
+#define CHARLES_TYPES_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace charles {
+
+/// \brief A named, typed column slot in a Schema.
+struct Field {
+  std::string name;
+  TypeKind type = TypeKind::kNull;
+  bool nullable = true;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type && nullable == other.nullable;
+  }
+  std::string ToString() const;
+};
+
+/// \brief An ordered set of uniquely named Fields.
+///
+/// Schemas are value types; two snapshots are comparable iff their schemas
+/// are Equals() (the paper's identical-schema assumption, validated by the
+/// diff engine).
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Fails with AlreadyExists on duplicate names or InvalidArgument on empty
+  /// names.
+  static Result<Schema> Make(std::vector<Field> fields);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const;
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the named field, or NotFound.
+  Result<int> FieldIndex(const std::string& name) const;
+  bool HasField(const std::string& name) const;
+
+  /// Indices of every field with a numeric type (int64/double).
+  std::vector<int> NumericFieldIndices() const;
+
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+  bool operator==(const Schema& other) const { return Equals(other); }
+
+  /// "name: type, name: type, ..." rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_TYPES_SCHEMA_H_

@@ -1,0 +1,136 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace charles {
+
+TypeKind Value::kind() const {
+  switch (storage_.index()) {
+    case 0:
+      return TypeKind::kNull;
+    case 1:
+      return TypeKind::kInt64;
+    case 2:
+      return TypeKind::kDouble;
+    case 3:
+      return TypeKind::kString;
+    case 4:
+      return TypeKind::kBool;
+  }
+  return TypeKind::kNull;
+}
+
+int64_t Value::int64() const {
+  CHARLES_CHECK(kind() == TypeKind::kInt64) << "Value is " << TypeKindName(kind());
+  return std::get<int64_t>(storage_);
+}
+
+double Value::dbl() const {
+  CHARLES_CHECK(kind() == TypeKind::kDouble) << "Value is " << TypeKindName(kind());
+  return std::get<double>(storage_);
+}
+
+const std::string& Value::str() const {
+  CHARLES_CHECK(kind() == TypeKind::kString) << "Value is " << TypeKindName(kind());
+  return std::get<std::string>(storage_);
+}
+
+bool Value::boolean() const {
+  CHARLES_CHECK(kind() == TypeKind::kBool) << "Value is " << TypeKindName(kind());
+  return std::get<bool>(storage_);
+}
+
+Result<double> Value::AsDouble() const {
+  switch (kind()) {
+    case TypeKind::kInt64:
+      return static_cast<double>(std::get<int64_t>(storage_));
+    case TypeKind::kDouble:
+      return std::get<double>(storage_);
+    default:
+      return Status::TypeError(std::string("cannot interpret ") +
+                               std::string(TypeKindName(kind())) + " value as double");
+  }
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case TypeKind::kNull:
+      return "NULL";
+    case TypeKind::kInt64:
+      return std::to_string(std::get<int64_t>(storage_));
+    case TypeKind::kDouble:
+      return FormatDouble(std::get<double>(storage_));
+    case TypeKind::kString:
+      return std::get<std::string>(storage_);
+    case TypeKind::kBool:
+      return std::get<bool>(storage_) ? "true" : "false";
+  }
+  return "NULL";
+}
+
+namespace {
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  TypeKind lk = kind();
+  TypeKind rk = other.kind();
+  if (lk == TypeKind::kNull || rk == TypeKind::kNull) {
+    if (lk == rk) return 0;
+    return lk == TypeKind::kNull ? -1 : 1;
+  }
+  if (IsNumeric(lk) && IsNumeric(rk)) {
+    double a = lk == TypeKind::kInt64 ? static_cast<double>(std::get<int64_t>(storage_))
+                                      : std::get<double>(storage_);
+    double b = rk == TypeKind::kInt64
+                   ? static_cast<double>(std::get<int64_t>(other.storage_))
+                   : std::get<double>(other.storage_);
+    return CompareDoubles(a, b);
+  }
+  if (lk != rk) return static_cast<int>(lk) < static_cast<int>(rk) ? -1 : 1;
+  switch (lk) {
+    case TypeKind::kString: {
+      const std::string& a = std::get<std::string>(storage_);
+      const std::string& b = std::get<std::string>(other.storage_);
+      if (a < b) return -1;
+      if (a > b) return 1;
+      return 0;
+    }
+    case TypeKind::kBool: {
+      bool a = std::get<bool>(storage_);
+      bool b = std::get<bool>(other.storage_);
+      return a == b ? 0 : (a ? 1 : -1);
+    }
+    default:
+      return 0;
+  }
+}
+
+size_t Value::Hash() const {
+  switch (kind()) {
+    case TypeKind::kNull:
+      return 0x9e3779b97f4a7c15ull;
+    case TypeKind::kInt64: {
+      // Hash via double so numerically-equal int64/double collide, matching ==.
+      double d = static_cast<double>(std::get<int64_t>(storage_));
+      return std::hash<double>()(d);
+    }
+    case TypeKind::kDouble:
+      return std::hash<double>()(std::get<double>(storage_));
+    case TypeKind::kString:
+      return std::hash<std::string>()(std::get<std::string>(storage_));
+    case TypeKind::kBool:
+      return std::get<bool>(storage_) ? 0x2545f4914f6cdd1dull : 0x6a09e667f3bcc909ull;
+  }
+  return 0;
+}
+
+}  // namespace charles

@@ -1,0 +1,82 @@
+#ifndef CHARLES_TYPES_VALUE_H_
+#define CHARLES_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace charles {
+
+/// \brief A dynamically-typed scalar cell: NULL, int64, double, string, or bool.
+///
+/// Value is the lingua franca between the table layer, the expression
+/// evaluator, and the CSV reader. It is small (a tagged variant), regular
+/// (copyable, comparable, hashable), and explicit about numeric coercion:
+/// comparisons between int64 and double compare numerically, anything else
+/// compares only within its own type.
+class Value {
+ public:
+  /// NULL value.
+  Value() : storage_(std::monostate{}) {}
+  Value(int64_t v) : storage_(v) {}            // NOLINT(runtime/explicit)
+  Value(double v) : storage_(v) {}             // NOLINT(runtime/explicit)
+  Value(std::string v) : storage_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : storage_(std::string(v)) {}  // NOLINT(runtime/explicit)
+  Value(bool v) : storage_(v) {}               // NOLINT(runtime/explicit)
+  // Guard: `Value(42)` must become int64, not bool/double by surprise.
+  Value(int v) : storage_(static_cast<int64_t>(v)) {}  // NOLINT(runtime/explicit)
+
+  static Value Null() { return Value(); }
+
+  TypeKind kind() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(storage_); }
+
+  /// \name Checked accessors. CHECK-fail on kind mismatch.
+  /// @{
+  int64_t int64() const;
+  double dbl() const;
+  const std::string& str() const;
+  bool boolean() const;
+  /// @}
+
+  /// Numeric view: int64 and double values convert to double; everything
+  /// else (including bool and NULL) is a TypeError.
+  Result<double> AsDouble() const;
+
+  /// Renders the value for display; NULL prints as "NULL", doubles compactly.
+  std::string ToString() const;
+
+  /// \brief Three-way comparison for ordering within a column.
+  ///
+  /// NULL sorts before everything; int64/double compare numerically; other
+  /// cross-type comparisons order by TypeKind (stable but arbitrary).
+  int Compare(const Value& other) const;
+
+  /// Equality: numeric values equal across int64/double when numerically
+  /// equal; NULL equals only NULL.
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Hash consistent with operator== (numerically equal int64/double values
+  /// hash identically).
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, bool> storage_;
+};
+
+/// std::hash adapter so Values key unordered containers directly.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_TYPES_VALUE_H_

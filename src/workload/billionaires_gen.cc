@@ -1,0 +1,80 @@
+#include "workload/billionaires_gen.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "table/table_builder.h"
+
+namespace charles {
+
+Result<Table> GenerateBillionaires(const BillionairesGenOptions& options) {
+  if (options.num_rows <= 0) {
+    return Status::InvalidArgument("num_rows must be positive");
+  }
+  CHARLES_ASSIGN_OR_RETURN(Schema schema,
+                           Schema::Make({
+                               Field{"person_id", TypeKind::kInt64, false},
+                               Field{"name", TypeKind::kString, true},
+                               Field{"industry", TypeKind::kString, true},
+                               Field{"country", TypeKind::kString, true},
+                               Field{"age", TypeKind::kInt64, true},
+                               Field{"net_worth", TypeKind::kDouble, true},
+                           }));
+  static const std::vector<std::string> kIndustries = {
+      "Technology", "Finance", "Energy", "Retail", "Manufacturing", "Healthcare"};
+  static const std::vector<std::string> kCountries = {
+      "United States", "China", "Germany", "India", "France", "Brazil", "Japan"};
+  Rng rng(options.seed);
+  TableBuilder builder(schema);
+  for (int64_t i = 0; i < options.num_rows; ++i) {
+    std::string industry = rng.Choice(kIndustries);
+    std::string country = rng.Choice(kCountries);
+    int64_t age = rng.UniformInt(28, 95);
+    // Pareto-ish wealth: most near $1B, a long tail of mega-fortunes.
+    double net_worth = 1.0 / std::pow(rng.Uniform(0.005, 1.0), 0.7);
+    net_worth = std::round(net_worth * 10.0) / 10.0;  // Forbes reports 0.1B steps
+    CHARLES_RETURN_NOT_OK(builder.AppendRow(
+        {Value(i), Value("Person " + std::to_string(i)), Value(industry),
+         Value(country), Value(age), Value(net_worth)}));
+  }
+  return builder.Finish();
+}
+
+Policy MakeMarketPolicy() {
+  Policy policy;
+  {
+    LinearModel model;
+    model.feature_names = {"net_worth"};
+    model.coefficients = {1.25};
+    model.intercept = 0;
+    policy.AddRule(MakeColumnCompare("industry", CompareOp::kEq, Value("Technology")),
+                   LinearTransform::Linear("net_worth", std::move(model)), "B1");
+  }
+  {
+    LinearModel model;
+    model.feature_names = {"net_worth"};
+    model.coefficients = {1.1};
+    model.intercept = 0.5;
+    policy.AddRule(MakeColumnCompare("industry", CompareOp::kEq, Value("Finance")),
+                   LinearTransform::Linear("net_worth", std::move(model)), "B2");
+  }
+  {
+    LinearModel model;
+    model.feature_names = {"net_worth"};
+    model.coefficients = {0.9};
+    model.intercept = 0;
+    policy.AddRule(MakeColumnCompare("industry", CompareOp::kEq, Value("Energy")),
+                   LinearTransform::Linear("net_worth", std::move(model)), "B3");
+  }
+  {
+    LinearModel model;
+    model.feature_names = {"net_worth"};
+    model.coefficients = {1.05};
+    model.intercept = 0;
+    policy.AddRule(MakeTrue(), LinearTransform::Linear("net_worth", std::move(model)),
+                   "B4");
+  }
+  return policy;
+}
+
+}  // namespace charles

@@ -1,0 +1,35 @@
+#ifndef CHARLES_WORKLOAD_BILLIONAIRES_GEN_H_
+#define CHARLES_WORKLOAD_BILLIONAIRES_GEN_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "table/table.h"
+#include "workload/policy.h"
+
+namespace charles {
+
+/// \brief Synthetic stand-in for the Forbes World's Billionaires list the
+/// demo offers as an additional dataset.
+///
+/// Schema: person_id:int64 (key), name:string, industry:string,
+/// country:string, age:int64, net_worth:double (billions USD). The
+/// year-over-year policy moves net worth by industry — the classic
+/// "tech rallied, energy lagged" story that ChARLES should summarize.
+struct BillionairesGenOptions {
+  int64_t num_rows = 2000;
+  uint64_t seed = 1987;
+};
+
+Result<Table> GenerateBillionaires(const BillionairesGenOptions& options);
+
+/// \brief The latent market policy on `net_worth`:
+///  - Technology: ×1.25,
+///  - Finance:    ×1.10 + 0.5,
+///  - Energy:     ×0.9,
+///  - everyone else: ×1.05.
+Policy MakeMarketPolicy();
+
+}  // namespace charles
+
+#endif  // CHARLES_WORKLOAD_BILLIONAIRES_GEN_H_

@@ -1,0 +1,125 @@
+#include "workload/employee_gen.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "table/table_builder.h"
+
+namespace charles {
+
+Result<Table> GenerateEmployees(const EmployeeGenOptions& options) {
+  if (options.num_rows <= 0) {
+    return Status::InvalidArgument("num_rows must be positive");
+  }
+  std::vector<Field> fields = {
+      Field{"emp_id", TypeKind::kInt64, false},
+      Field{"gender", TypeKind::kString, true},
+      Field{"edu", TypeKind::kString, true},
+      Field{"dept", TypeKind::kString, true},
+      Field{"exp", TypeKind::kInt64, true},
+      Field{"salary", TypeKind::kDouble, true},
+      Field{"bonus", TypeKind::kDouble, true},
+  };
+  for (int i = 0; i < options.num_decoy_numeric; ++i) {
+    fields.push_back(Field{"decoy_num_" + std::to_string(i), TypeKind::kDouble, true});
+  }
+  for (int i = 0; i < options.num_decoy_categorical; ++i) {
+    fields.push_back(Field{"decoy_cat_" + std::to_string(i), TypeKind::kString, true});
+  }
+  CHARLES_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+
+  static const std::vector<std::string> kGenders = {"F", "M"};
+  static const std::vector<std::string> kEdu = {"BS", "MS", "PhD"};
+  static const std::vector<std::string> kDepts = {"Engineering", "Sales", "HR",
+                                                  "Finance", "Operations"};
+  Rng rng(options.seed);
+  TableBuilder builder(schema);
+  for (int64_t i = 0; i < options.num_rows; ++i) {
+    std::string gender = rng.Choice(kGenders);
+    // Education mix: 40% BS, 40% MS, 20% PhD.
+    double edu_draw = rng.Uniform();
+    std::string edu = edu_draw < 0.4 ? "BS" : (edu_draw < 0.8 ? "MS" : "PhD");
+    std::string dept = rng.Choice(kDepts);
+    int64_t exp = rng.UniformInt(0, 30);
+    double base = edu == "BS" ? 70000 : (edu == "MS" ? 100000 : 140000);
+    double salary = base + 2500.0 * static_cast<double>(exp) + rng.Normal(0, 8000);
+    salary = std::round(salary / 100.0) * 100.0;  // payroll rounds to $100
+    if (salary < 40000) salary = 40000;
+    double bonus = std::round(salary * 0.10);
+
+    std::vector<Value> row = {Value(i),      Value(gender), Value(edu), Value(dept),
+                              Value(exp),    Value(salary), Value(bonus)};
+    for (int d = 0; d < options.num_decoy_numeric; ++d) {
+      row.push_back(Value(rng.Uniform(0.0, 1000.0)));
+    }
+    for (int d = 0; d < options.num_decoy_categorical; ++d) {
+      row.push_back(Value("cat" + std::to_string(rng.UniformInt(0, 7))));
+    }
+    CHARLES_RETURN_NOT_OK(builder.AppendRow(row));
+  }
+  return builder.Finish();
+}
+
+Policy MakeEmployeeBonusPolicy() {
+  Policy policy;
+  {
+    LinearModel model;
+    model.feature_names = {"bonus"};
+    model.coefficients = {1.05};
+    model.intercept = 1000;
+    policy.AddRule(MakeColumnCompare("edu", CompareOp::kEq, Value("PhD")),
+                   LinearTransform::Linear("bonus", std::move(model)), "R1");
+  }
+  {
+    LinearModel model;
+    model.feature_names = {"bonus"};
+    model.coefficients = {1.04};
+    model.intercept = 800;
+    policy.AddRule(MakeAnd({MakeColumnCompare("edu", CompareOp::kEq, Value("MS")),
+                            MakeColumnCompare("exp", CompareOp::kGe, Value(3))}),
+                   LinearTransform::Linear("bonus", std::move(model)), "R2");
+  }
+  {
+    LinearModel model;
+    model.feature_names = {"bonus"};
+    model.coefficients = {1.03};
+    model.intercept = 400;
+    policy.AddRule(MakeAnd({MakeColumnCompare("edu", CompareOp::kEq, Value("MS")),
+                            MakeColumnCompare("exp", CompareOp::kLt, Value(3))}),
+                   LinearTransform::Linear("bonus", std::move(model)), "R3");
+  }
+  return policy;
+}
+
+Result<Policy> MakeSegmentedSalaryPolicy(int segments) {
+  if (segments < 2 || segments > 6) {
+    return Status::OutOfRange("segments must be in [2, 6]");
+  }
+  // Experience runs 0..30; cut it into `segments` equal bands. Band i gets
+  // salary × (1 + 0.01·(i+1)) + 100·(i+1).
+  Policy policy;
+  double band = 31.0 / static_cast<double>(segments);
+  for (int i = 0; i < segments; ++i) {
+    int64_t lo = static_cast<int64_t>(std::floor(band * i));
+    int64_t hi = static_cast<int64_t>(std::floor(band * (i + 1)));
+    ExprPtr condition;
+    if (i == segments - 1) {
+      condition = MakeColumnCompare("exp", CompareOp::kGe, Value(lo));
+    } else if (i == 0) {
+      condition = MakeColumnCompare("exp", CompareOp::kLt, Value(hi));
+    } else {
+      condition = MakeAnd({MakeColumnCompare("exp", CompareOp::kGe, Value(lo)),
+                           MakeColumnCompare("exp", CompareOp::kLt, Value(hi))});
+    }
+    LinearModel model;
+    model.feature_names = {"salary"};
+    model.coefficients = {1.0 + 0.01 * static_cast<double>(i + 1)};
+    model.intercept = 100.0 * static_cast<double>(i + 1);
+    policy.AddRule(std::move(condition),
+                   LinearTransform::Linear("salary", std::move(model)),
+                   "S" + std::to_string(i + 1));
+  }
+  return policy;
+}
+
+}  // namespace charles

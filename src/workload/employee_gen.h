@@ -1,0 +1,42 @@
+#ifndef CHARLES_WORKLOAD_EMPLOYEE_GEN_H_
+#define CHARLES_WORKLOAD_EMPLOYEE_GEN_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "table/table.h"
+#include "workload/policy.h"
+
+namespace charles {
+
+/// \brief Options for the parametric employee-table generator.
+///
+/// Produces a scaled-up version of the Example-1 world: a key column
+/// (emp_id), demographic/categorical descriptors, experience, salary, and a
+/// bonus initially pegged at 10% of salary. Decoy attributes are pure noise
+/// with no relationship to any policy — they exercise the setup assistant's
+/// ability to rank the informative attributes first (experiment E7).
+struct EmployeeGenOptions {
+  int64_t num_rows = 1000;
+  /// Extra uniform-noise numeric columns named decoy_num_<i>.
+  int num_decoy_numeric = 0;
+  /// Extra random-category columns named decoy_cat_<i> (8 categories each).
+  int num_decoy_categorical = 0;
+  uint64_t seed = 42;
+};
+
+/// Schema: emp_id:int64 (key), gender:string, edu:string (BS/MS/PhD),
+/// dept:string, exp:int64, salary:double, bonus:double [, decoys...].
+Result<Table> GenerateEmployees(const EmployeeGenOptions& options);
+
+/// The Example-1 policy (R1–R3 on `bonus`) usable on generated tables.
+Policy MakeEmployeeBonusPolicy();
+
+/// A k-segment salary policy for partition-count experiments (E9):
+/// `segments` equal-population experience bands, band i multiplying salary
+/// by (1 + 0.01·(i+1)) and adding 100·(i+1). Requires 2 ≤ segments ≤ 6.
+Result<Policy> MakeSegmentedSalaryPolicy(int segments);
+
+}  // namespace charles
+
+#endif  // CHARLES_WORKLOAD_EMPLOYEE_GEN_H_

@@ -1,0 +1,108 @@
+#include "workload/example1.h"
+
+#include "common/logging.h"
+#include "table/table_builder.h"
+
+namespace charles {
+
+namespace {
+
+Result<Schema> Example1Schema() {
+  return Schema::Make({
+      Field{"name", TypeKind::kString, false},
+      Field{"gen", TypeKind::kString, true},
+      Field{"edu", TypeKind::kString, true},
+      Field{"exp", TypeKind::kInt64, true},
+      Field{"salary", TypeKind::kDouble, true},
+      Field{"bonus", TypeKind::kDouble, true},
+  });
+}
+
+struct EmployeeRow {
+  const char* name;
+  const char* gen;
+  const char* edu;
+  int64_t exp;
+  double salary;
+  double bonus;
+};
+
+Result<Table> BuildFrom(const EmployeeRow* rows, size_t count) {
+  CHARLES_ASSIGN_OR_RETURN(Schema schema, Example1Schema());
+  TableBuilder builder(schema);
+  for (size_t i = 0; i < count; ++i) {
+    const EmployeeRow& r = rows[i];
+    CHARLES_RETURN_NOT_OK(builder.AppendRow(
+        {Value(r.name), Value(r.gen), Value(r.edu), Value(r.exp), Value(r.salary),
+         Value(r.bonus)}));
+  }
+  return builder.Finish();
+}
+
+}  // namespace
+
+Result<Table> MakeExample1Source() {
+  static const EmployeeRow kRows2016[] = {
+      {"Anne", "F", "PhD", 2, 230000, 23000},
+      {"Bob", "M", "PhD", 3, 250000, 25000},
+      {"Amber", "F", "MS", 5, 160000, 16000},
+      {"Allen", "M", "MS", 1, 130000, 13000},
+      {"Cathy", "F", "BS", 2, 110000, 11000},
+      {"Tom", "M", "MS", 4, 150000, 15000},
+      {"James", "M", "BS", 3, 120000, 12000},
+      {"Lucy", "F", "MS", 4, 150000, 15000},
+      {"Frank", "M", "PhD", 1, 210000, 21000},
+  };
+  return BuildFrom(kRows2016, std::size(kRows2016));
+}
+
+Result<Table> MakeExample1Target() {
+  static const EmployeeRow kRows2017[] = {
+      {"Anne", "F", "PhD", 3, 230000, 25150},
+      {"Bob", "M", "PhD", 4, 250000, 27250},
+      {"Amber", "F", "MS", 6, 160000, 17440},
+      {"Allen", "M", "MS", 2, 130000, 13790},
+      {"Cathy", "F", "BS", 3, 110000, 11000},
+      {"Tom", "M", "MS", 5, 150000, 16400},
+      {"James", "M", "BS", 4, 120000, 12000},
+      {"Lucy", "F", "MS", 5, 150000, 16400},
+      {"Frank", "M", "PhD", 2, 210000, 23050},
+  };
+  return BuildFrom(kRows2017, std::size(kRows2017));
+}
+
+Policy MakeExample1Policy() {
+  Policy policy;
+  // R1: PhDs get 5% on last year's bonus plus a flat $1000.
+  {
+    LinearModel model;
+    model.feature_names = {"bonus"};
+    model.coefficients = {1.05};
+    model.intercept = 1000;
+    policy.AddRule(MakeColumnCompare("edu", CompareOp::kEq, Value("PhD")),
+                   LinearTransform::Linear("bonus", std::move(model)), "R1");
+  }
+  // R2: MS with at least 3 years of service: 4% plus $800.
+  {
+    LinearModel model;
+    model.feature_names = {"bonus"};
+    model.coefficients = {1.04};
+    model.intercept = 800;
+    policy.AddRule(MakeAnd({MakeColumnCompare("edu", CompareOp::kEq, Value("MS")),
+                            MakeColumnCompare("exp", CompareOp::kGe, Value(3))}),
+                   LinearTransform::Linear("bonus", std::move(model)), "R2");
+  }
+  // R3: MS with under 3 years: 3% plus $400.
+  {
+    LinearModel model;
+    model.feature_names = {"bonus"};
+    model.coefficients = {1.03};
+    model.intercept = 400;
+    policy.AddRule(MakeAnd({MakeColumnCompare("edu", CompareOp::kEq, Value("MS")),
+                            MakeColumnCompare("exp", CompareOp::kLt, Value(3))}),
+                   LinearTransform::Linear("bonus", std::move(model)), "R3");
+  }
+  return policy;
+}
+
+}  // namespace charles

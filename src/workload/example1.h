@@ -1,0 +1,28 @@
+#ifndef CHARLES_WORKLOAD_EXAMPLE1_H_
+#define CHARLES_WORKLOAD_EXAMPLE1_H_
+
+#include "common/result.h"
+#include "table/table.h"
+#include "workload/policy.h"
+
+namespace charles {
+
+/// \brief The paper's Figure 1 toy data, verbatim.
+///
+/// Nine employees with (name, gen, edu, exp, salary, bonus); the 2016
+/// snapshot pays a flat 10% bonus, the 2017 snapshot applies the latent
+/// policy of Example 1 (R1–R3) and increments everyone's experience.
+
+/// Figure 1a — the 2016 snapshot.
+Result<Table> MakeExample1Source();
+
+/// Figure 1b — the 2017 snapshot.
+Result<Table> MakeExample1Target();
+
+/// The ground-truth policy {R1, R2, R3} of Example 1 as a Policy over the
+/// 2016 snapshot (targets `bonus`; BS employees fall through unchanged).
+Policy MakeExample1Policy();
+
+}  // namespace charles
+
+#endif  // CHARLES_WORKLOAD_EXAMPLE1_H_

@@ -1,0 +1,122 @@
+#include "workload/montgomery_gen.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "table/table_builder.h"
+
+namespace charles {
+
+namespace {
+
+struct Department {
+  const char* code;
+  const char* name;
+  double salary_center;
+  std::vector<const char*> divisions;
+};
+
+const std::vector<Department>& Departments() {
+  static const std::vector<Department> kDepartments = {
+      {"POL", "Police", 78000, {"Patrol", "Investigations", "Traffic"}},
+      {"FRS", "Fire and Rescue", 74000, {"Operations", "EMS", "Prevention"}},
+      {"COR", "Correction and Rehabilitation", 64000, {"Detention", "Re-entry"}},
+      {"HHS", "Health and Human Services", 62000, {"Public Health", "Children Services"}},
+      {"DOT", "Transportation", 60000, {"Transit", "Highway", "Parking"}},
+      {"LIB", "Public Libraries", 54000, {"Branches", "Collections"}},
+      {"FIN", "Finance", 71000, {"Treasury", "Controller"}},
+      {"TEC", "Technology Services", 82000, {"Infrastructure", "Applications"}},
+  };
+  return kDepartments;
+}
+
+}  // namespace
+
+Result<Table> GenerateMontgomery2016(const MontgomeryGenOptions& options) {
+  if (options.num_rows <= 0) {
+    return Status::InvalidArgument("num_rows must be positive");
+  }
+  CHARLES_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Make({
+          Field{"employee_id", TypeKind::kInt64, false},
+          Field{"department", TypeKind::kString, true},
+          Field{"department_name", TypeKind::kString, true},
+          Field{"division", TypeKind::kString, true},
+          Field{"gender", TypeKind::kString, true},
+          Field{"base_salary", TypeKind::kDouble, true},
+          Field{"overtime_pay", TypeKind::kDouble, true},
+          Field{"longevity_pay", TypeKind::kDouble, true},
+          Field{"grade", TypeKind::kInt64, true},
+      }));
+  Rng rng(options.seed);
+  TableBuilder builder(schema);
+  const auto& departments = Departments();
+  for (int64_t i = 0; i < options.num_rows; ++i) {
+    const Department& dept = departments[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(departments.size()) - 1))];
+    std::string division = dept.divisions[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(dept.divisions.size()) - 1))];
+    std::string gender = rng.Bernoulli(0.45) ? "F" : "M";
+    int64_t grade = rng.UniformInt(10, 35);
+    double salary = dept.salary_center + 1800.0 * static_cast<double>(grade - 20) +
+                    rng.Normal(0, 6000);
+    salary = std::round(salary / 10.0) * 10.0;
+    if (salary < 32000) salary = 32000;
+    // Overtime skews to public safety; many employees log none.
+    double overtime = 0.0;
+    bool public_safety = std::string(dept.code) == "POL" ||
+                         std::string(dept.code) == "FRS" ||
+                         std::string(dept.code) == "COR";
+    if (rng.Bernoulli(public_safety ? 0.8 : 0.3)) {
+      overtime = std::abs(rng.Normal(public_safety ? 9000 : 2500, 2000));
+      overtime = std::round(overtime);
+    }
+    // Longevity pay kicks in for senior grades.
+    double longevity = grade >= 28 ? std::round(0.02 * salary) : 0.0;
+    CHARLES_RETURN_NOT_OK(builder.AppendRow(
+        {Value(i), Value(dept.code), Value(dept.name), Value(division), Value(gender),
+         Value(salary), Value(overtime), Value(longevity), Value(grade)}));
+  }
+  return builder.Finish();
+}
+
+Policy MakeMontgomeryPayPolicy() {
+  Policy policy;
+  // Public-safety departments: 4% + $750.
+  {
+    LinearModel model;
+    model.feature_names = {"base_salary"};
+    model.coefficients = {1.04};
+    model.intercept = 750;
+    policy.AddRule(
+        MakeIn("department", {Value("POL"), Value("FRS"), Value("COR")}),
+        LinearTransform::Linear("base_salary", std::move(model)), "M1");
+  }
+  // Senior grades elsewhere: 3% + $500.
+  {
+    LinearModel model;
+    model.feature_names = {"base_salary"};
+    model.coefficients = {1.03};
+    model.intercept = 500;
+    policy.AddRule(MakeColumnCompare("grade", CompareOp::kGe, Value(25)),
+                   LinearTransform::Linear("base_salary", std::move(model)), "M2");
+  }
+  // Everyone else: a 2% cost-of-living adjustment.
+  {
+    LinearModel model;
+    model.feature_names = {"base_salary"};
+    model.coefficients = {1.02};
+    model.intercept = 0;
+    policy.AddRule(MakeTrue(), LinearTransform::Linear("base_salary", std::move(model)),
+                   "M3");
+  }
+  return policy;
+}
+
+Result<Table> GenerateMontgomery2017(const Table& snapshot_2016,
+                                     const PolicyApplicationOptions& options) {
+  return MakeMontgomeryPayPolicy().Apply(snapshot_2016, options);
+}
+
+}  // namespace charles

@@ -1,0 +1,44 @@
+#ifndef CHARLES_WORKLOAD_MONTGOMERY_GEN_H_
+#define CHARLES_WORKLOAD_MONTGOMERY_GEN_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "table/table.h"
+#include "workload/policy.h"
+
+namespace charles {
+
+/// \brief Synthetic stand-in for the paper's demo dataset: Montgomery
+/// County, MD employee salaries, 2016 → 2017.
+///
+/// The real dataset (data.montgomerycountymd.gov) is not available offline;
+/// this generator reproduces its schema — Department, Department Name,
+/// Division, Gender, Base Salary, Overtime Pay, Longevity Pay, Grade — plus
+/// an employee_id key, with realistic marginals (≈9k active permanent
+/// employees, department-skewed salaries, grade-correlated longevity pay).
+/// Unlike the real data, the 2016→2017 evolution follows a *known* policy,
+/// so recovery quality is measurable.
+struct MontgomeryGenOptions {
+  int64_t num_rows = 9000;
+  uint64_t seed = 2016;
+};
+
+/// Schema: employee_id:int64 (key), department:string (3-letter code),
+/// department_name:string, division:string, gender:string, base_salary:double,
+/// overtime_pay:double, longevity_pay:double, grade:int64.
+Result<Table> GenerateMontgomery2016(const MontgomeryGenOptions& options);
+
+/// \brief The latent 2017 pay policy on `base_salary`:
+///  - public-safety departments (POL, FRS, COR): 4% raise + $750,
+///  - grade ≥ 25 elsewhere: 3% raise + $500,
+///  - grade < 25 elsewhere: 2% raise.
+Policy MakeMontgomeryPayPolicy();
+
+/// Applies the pay policy (with optional noise knobs) to a 2016 snapshot.
+Result<Table> GenerateMontgomery2017(const Table& snapshot_2016,
+                                     const PolicyApplicationOptions& options = {});
+
+}  // namespace charles
+
+#endif  // CHARLES_WORKLOAD_MONTGOMERY_GEN_H_

@@ -1,0 +1,225 @@
+#include "workload/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace charles {
+
+Policy& Policy::AddRule(ExprPtr condition, LinearTransform transform, std::string label) {
+  if (label.empty()) label = "R" + std::to_string(rules_.size() + 1);
+  rules_.push_back(Rule{std::move(condition), std::move(transform), std::move(label)});
+  return *this;
+}
+
+Result<std::vector<RowSet>> Policy::RuleRows(const Table& source) const {
+  std::vector<RowSet> out;
+  out.reserve(rules_.size());
+  std::vector<bool> claimed(static_cast<size_t>(source.num_rows()), false);
+  for (const Rule& rule : rules_) {
+    CHARLES_ASSIGN_OR_RETURN(RowSet matched, FilterRows(source, *rule.condition));
+    std::vector<int64_t> fresh;
+    for (int64_t row : matched) {
+      if (!claimed[static_cast<size_t>(row)]) {
+        claimed[static_cast<size_t>(row)] = true;
+        fresh.push_back(row);
+      }
+    }
+    out.emplace_back(std::move(fresh));
+  }
+  return out;
+}
+
+Result<Table> Policy::Apply(const Table& source,
+                            const PolicyApplicationOptions& options) const {
+  if (rules_.empty()) return Status::InvalidArgument("Policy has no rules");
+  const std::string& target_attr = rules_[0].transform.target_attribute();
+  for (const Rule& rule : rules_) {
+    if (rule.transform.target_attribute() != target_attr) {
+      return Status::InvalidArgument("Policy rules disagree on the target attribute");
+    }
+  }
+  CHARLES_ASSIGN_OR_RETURN(int target_col, source.schema().FieldIndex(target_attr));
+
+  Table target = source;  // value copy; cells overwritten below
+  Rng rng(options.seed);
+  CHARLES_ASSIGN_OR_RETURN(std::vector<RowSet> per_rule, RuleRows(source));
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    const Rule& rule = rules_[r];
+    const RowSet& rows = per_rule[r];
+    if (rows.empty()) continue;
+    CHARLES_ASSIGN_OR_RETURN(std::vector<double> values,
+                             rule.transform.Apply(source, rows));
+    for (int64_t i = 0; i < rows.size(); ++i) {
+      if (options.unchanged_fraction > 0.0 &&
+          rng.Bernoulli(options.unchanged_fraction)) {
+        continue;  // exemption: row keeps its old value
+      }
+      double v = values[static_cast<size_t>(i)];
+      if (options.noise_stddev > 0.0) v += rng.Normal(0.0, options.noise_stddev);
+      if (options.round_to > 0.0) v = std::round(v / options.round_to) * options.round_to;
+      CHARLES_RETURN_NOT_OK(target.SetValue(rows[i], target_col, Value(v)));
+    }
+  }
+  return target;
+}
+
+std::string Policy::ToString() const {
+  std::string out;
+  for (const Rule& rule : rules_) {
+    out += "  " + rule.label + ": " + rule.condition->ToString() + "  →  " +
+           rule.transform.ToString() + "\n";
+  }
+  return out;
+}
+
+std::string RecoveryReport::ToString() const {
+  return "precision=" + FormatDouble(rule_precision, 3) +
+         " recall=" + FormatDouble(rule_recall, 3) + " f1=" + FormatDouble(f1, 3) +
+         " coef_err=" + FormatDouble(mean_coefficient_error, 4) +
+         " matched=" + std::to_string(matched_rules);
+}
+
+namespace {
+
+double Jaccard(const RowSet& a, const RowSet& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  int64_t intersection = a.Intersect(b).size();
+  int64_t union_size = a.size() + b.size() - intersection;
+  return union_size > 0
+             ? static_cast<double>(intersection) / static_cast<double>(union_size)
+             : 0.0;
+}
+
+/// Relative coefficient distance between two transforms over the union of
+/// their feature sets; no-change pairs score 0, mixed pairs 1.
+double CoefficientError(const LinearTransform& a, const LinearTransform& b) {
+  if (a.is_no_change() && b.is_no_change()) return 0.0;
+  if (a.is_no_change() != b.is_no_change()) {
+    // A no-change rule can legitimately be mined as "×1.0 + 0"; measure the
+    // linear side against identity when its feature is the target itself.
+    const LinearTransform& linear = a.is_no_change() ? b : a;
+    const LinearModel& m = linear.model();
+    double err = std::abs(m.intercept);
+    double scale = 1.0;
+    for (size_t i = 0; i < m.coefficients.size(); ++i) {
+      double expected =
+          m.feature_names[i] == linear.target_attribute() ? 1.0 : 0.0;
+      err += std::abs(m.coefficients[i] - expected);
+      scale += std::abs(expected);
+    }
+    return err / scale;
+  }
+  const LinearModel& ma = a.model();
+  const LinearModel& mb = b.model();
+  // Align coefficients by feature name.
+  double err = 0.0;
+  double scale = 0.0;
+  for (size_t i = 0; i < ma.feature_names.size(); ++i) {
+    double ca = ma.coefficients[i];
+    double cb = 0.0;
+    for (size_t j = 0; j < mb.feature_names.size(); ++j) {
+      if (mb.feature_names[j] == ma.feature_names[i]) {
+        cb = mb.coefficients[j];
+        break;
+      }
+    }
+    err += std::abs(ca - cb);
+    scale += std::abs(ca);
+  }
+  for (size_t j = 0; j < mb.feature_names.size(); ++j) {
+    bool seen = std::find(ma.feature_names.begin(), ma.feature_names.end(),
+                          mb.feature_names[j]) != ma.feature_names.end();
+    if (!seen) {
+      err += std::abs(mb.coefficients[j]);
+    }
+  }
+  // Intercepts compared on the magnitude scale of the data they move.
+  double intercept_scale = std::max({std::abs(ma.intercept), std::abs(mb.intercept), 1.0});
+  err += std::abs(ma.intercept - mb.intercept) / intercept_scale;
+  scale += 1.0;
+  return err / std::max(scale, 1e-12);
+}
+
+}  // namespace
+
+Result<RecoveryReport> EvaluateRecovery(const Policy& truth, const ChangeSummary& summary,
+                                        const Table& source,
+                                        const RecoveryOptions& options) {
+  CHARLES_ASSIGN_OR_RETURN(std::vector<RowSet> rule_rows, truth.RuleRows(source));
+  // Implicit "everything else unchanged" rule: rows no planted rule touches.
+  RowSet covered;
+  for (const RowSet& rows : rule_rows) covered = covered.Union(rows);
+  RowSet untouched = covered.Complement(source.num_rows());
+
+  const auto& cts = summary.cts();
+  std::vector<bool> ct_used(cts.size(), false);
+  RecoveryReport report;
+  double total_coef_err = 0.0;
+
+  auto match_one = [&](const RowSet& rows, const LinearTransform& expected) -> bool {
+    double best_jaccard = 0.0;
+    int best_ct = -1;
+    for (size_t i = 0; i < cts.size(); ++i) {
+      if (ct_used[i]) continue;
+      double j = Jaccard(rows, cts[i].rows);
+      if (j > best_jaccard) {
+        best_jaccard = j;
+        best_ct = static_cast<int>(i);
+      }
+    }
+    if (best_ct < 0 || best_jaccard < options.min_partition_jaccard) return false;
+    const ConditionalTransform& ct = cts[static_cast<size_t>(best_ct)];
+    // Functional check: the transforms must agree on the rows both govern.
+    RowSet shared = rows.Intersect(ct.rows);
+    if (shared.empty()) return false;
+    Result<std::vector<double>> want = expected.Apply(source, shared);
+    Result<std::vector<double>> got = ct.transform.Apply(source, shared);
+    if (!want.ok() || !got.ok()) return false;
+    double err = 0.0;
+    double scale = 0.0;
+    for (size_t i = 0; i < want->size(); ++i) {
+      err += std::abs((*want)[i] - (*got)[i]);
+      scale += std::abs((*want)[i]);
+    }
+    err /= static_cast<double>(want->size());
+    scale = std::max(scale / static_cast<double>(want->size()), 1e-12);
+    if (err / scale > options.transform_tolerance) return false;
+    ct_used[static_cast<size_t>(best_ct)] = true;
+    total_coef_err += CoefficientError(expected, ct.transform);
+    ++report.matched_rules;
+    return true;
+  };
+
+  int effective_rules = 0;
+  for (size_t r = 0; r < truth.rules().size(); ++r) {
+    if (rule_rows[r].empty()) continue;  // vacuous rule: nothing to recover
+    ++effective_rules;
+    match_one(rule_rows[r], truth.rules()[r].transform);
+  }
+  if (!untouched.empty()) {
+    ++effective_rules;
+    match_one(untouched, LinearTransform::NoChange(summary.target_attribute()));
+  }
+
+  int used = static_cast<int>(std::count(ct_used.begin(), ct_used.end(), true));
+  report.rule_recall = effective_rules > 0
+                           ? static_cast<double>(report.matched_rules) /
+                                 static_cast<double>(effective_rules)
+                           : 1.0;
+  report.rule_precision =
+      !cts.empty() ? static_cast<double>(used) / static_cast<double>(cts.size()) : 0.0;
+  report.f1 = (report.rule_precision + report.rule_recall > 0)
+                  ? 2.0 * report.rule_precision * report.rule_recall /
+                        (report.rule_precision + report.rule_recall)
+                  : 0.0;
+  report.mean_coefficient_error =
+      report.matched_rules > 0
+          ? total_coef_err / static_cast<double>(report.matched_rules)
+          : 0.0;
+  return report;
+}
+
+}  // namespace charles

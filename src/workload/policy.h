@@ -1,0 +1,104 @@
+#ifndef CHARLES_WORKLOAD_POLICY_H_
+#define CHARLES_WORKLOAD_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/summary.h"
+#include "core/transform.h"
+#include "expr/expr.h"
+#include "table/table.h"
+
+namespace charles {
+
+/// \brief Options controlling how a ground-truth policy is materialized into
+/// a target snapshot.
+struct PolicyApplicationOptions {
+  /// Gaussian noise added to every transformed value.
+  double noise_stddev = 0.0;
+  /// Fraction of policy-covered rows randomly exempted (left unchanged),
+  /// simulating exceptions the latent policy did not reach.
+  double unchanged_fraction = 0.0;
+  /// Round transformed values to this granularity (0.01 = cents, 1 = whole
+  /// units, 0 = no rounding).
+  double round_to = 0.0;
+  uint64_t seed = 7;
+};
+
+/// \brief A latent update policy: an ordered list of conditional
+/// transformations with first-match-wins semantics.
+///
+/// The workload generators use Policy to synthesize target snapshots with a
+/// *known* ground truth, which is what lets the benchmarks measure recovery
+/// quality (the real datasets' true policies are unknowable).
+class Policy {
+ public:
+  struct Rule {
+    ExprPtr condition;
+    LinearTransform transform;
+    std::string label;  ///< e.g. "R1" for reporting.
+  };
+
+  Policy& AddRule(ExprPtr condition, LinearTransform transform, std::string label = "");
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  int num_rules() const { return static_cast<int>(rules_.size()); }
+
+  /// \brief Applies the policy to a source snapshot, producing the target.
+  ///
+  /// Rows matched by no rule keep their old value. Noise/exemptions/rounding
+  /// per `options`.
+  Result<Table> Apply(const Table& source, const PolicyApplicationOptions& options = {}) const;
+
+  /// Rows each rule governs under first-match-wins, on the given table.
+  Result<std::vector<RowSet>> RuleRows(const Table& source) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+/// \brief Recovery quality of a mined summary against the planted policy.
+struct RecoveryReport {
+  /// Fraction of summary CTs that match a planted rule (partition Jaccard ≥
+  /// the threshold and functionally equivalent transformation).
+  double rule_precision = 0.0;
+  /// Fraction of planted rules matched by some summary CT.
+  double rule_recall = 0.0;
+  double f1 = 0.0;
+  /// Mean relative coefficient distance over matched (rule, CT) pairs —
+  /// informational; matching itself is functional, so a constant rule mined
+  /// for a single-row partition matches despite different coefficients.
+  double mean_coefficient_error = 0.0;
+  int matched_rules = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Options for EvaluateRecovery.
+struct RecoveryOptions {
+  /// Minimum Jaccard overlap between a CT's partition and a rule's rows.
+  double min_partition_jaccard = 0.9;
+  /// A (rule, CT) pair matches when their transformations' predictions agree
+  /// on the shared rows within this relative mean absolute error.
+  double transform_tolerance = 0.01;
+};
+
+/// \brief Greedy partition-overlap matching between planted rules and mined
+/// CTs.
+///
+/// A rule matches a CT when (1) their row sets overlap with Jaccard ≥
+/// min_partition_jaccard and (2) the two transformations are *functionally*
+/// equivalent on the shared rows (relative prediction MAE ≤
+/// transform_tolerance). Functional matching is deliberate: on small or
+/// collinear partitions many coefficient vectors describe the same update,
+/// and any of them is a correct recovery.
+Result<RecoveryReport> EvaluateRecovery(const Policy& truth, const ChangeSummary& summary,
+                                        const Table& source,
+                                        const RecoveryOptions& options = {});
+
+}  // namespace charles
+
+#endif  // CHARLES_WORKLOAD_POLICY_H_

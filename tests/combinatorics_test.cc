@@ -1,0 +1,74 @@
+#include "common/combinatorics.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace charles {
+namespace {
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_EQ(BinomialCoefficient(5, 0), 1);
+  EXPECT_EQ(BinomialCoefficient(5, 2), 10);
+  EXPECT_EQ(BinomialCoefficient(5, 5), 1);
+  EXPECT_EQ(BinomialCoefficient(10, 3), 120);
+}
+
+TEST(BinomialTest, OutOfRangeIsZero) {
+  EXPECT_EQ(BinomialCoefficient(5, 6), 0);
+  EXPECT_EQ(BinomialCoefficient(5, -1), 0);
+}
+
+TEST(BinomialTest, SaturatesOnOverflow) {
+  EXPECT_EQ(BinomialCoefficient(200, 100), std::numeric_limits<int64_t>::max());
+}
+
+TEST(EnumerateSubsetsTest, CountsMatchFormula) {
+  // n=5, max=2: C(5,1)+C(5,2) = 5+10 = 15.
+  auto subsets = EnumerateSubsets(5, 2);
+  EXPECT_EQ(static_cast<int64_t>(subsets.size()), 15);
+  EXPECT_EQ(CountSubsets(5, 2), 15);
+}
+
+TEST(EnumerateSubsetsTest, MaxSizeClampsToN) {
+  auto subsets = EnumerateSubsets(3, 10);
+  EXPECT_EQ(subsets.size(), 7u);  // 2^3 - 1
+  EXPECT_EQ(CountSubsets(3, 10), 7);
+}
+
+TEST(EnumerateSubsetsTest, EmptyCases) {
+  EXPECT_TRUE(EnumerateSubsets(0, 3).empty());
+  EXPECT_TRUE(EnumerateSubsets(4, 0).empty());
+}
+
+TEST(EnumerateSubsetsTest, SmallSubsetsFirst) {
+  auto subsets = EnumerateSubsets(4, 3);
+  for (size_t i = 1; i < subsets.size(); ++i) {
+    EXPECT_LE(subsets[i - 1].size(), subsets[i].size());
+  }
+}
+
+TEST(EnumerateSubsetsTest, AllDistinctAndSorted) {
+  auto subsets = EnumerateSubsets(6, 3);
+  std::set<std::vector<int>> seen;
+  for (const auto& s : subsets) {
+    for (size_t i = 1; i < s.size(); ++i) EXPECT_LT(s[i - 1], s[i]);
+    EXPECT_TRUE(seen.insert(s).second) << "duplicate subset";
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), CountSubsets(6, 3));
+}
+
+class SubsetCountProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SubsetCountProperty, EnumerationMatchesCount) {
+  auto [n, m] = GetParam();
+  EXPECT_EQ(static_cast<int64_t>(EnumerateSubsets(n, m).size()), CountSubsets(n, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SubsetCountProperty,
+                         ::testing::Values(std::pair{1, 1}, std::pair{4, 2},
+                                           std::pair{6, 6}, std::pair{8, 3},
+                                           std::pair{10, 2}, std::pair{12, 1}));
+
+}  // namespace
+}  // namespace charles

@@ -1,0 +1,168 @@
+#include "diff/diff.h"
+
+#include <gtest/gtest.h>
+
+#include "table/table_builder.h"
+#include "workload/example1.h"
+
+namespace charles {
+namespace {
+
+Schema SimpleSchema() {
+  return Schema::Make({
+                          Field{"id", TypeKind::kInt64, false},
+                          Field{"group", TypeKind::kString, true},
+                          Field{"value", TypeKind::kDouble, true},
+                      })
+      .ValueOrDie();
+}
+
+Table MakeSimple(const std::vector<std::tuple<int64_t, const char*, double>>& rows) {
+  TableBuilder builder(SimpleSchema());
+  for (const auto& [id, group, value] : rows) {
+    CHARLES_CHECK_OK(builder.AppendRow({Value(id), Value(group), Value(value)}));
+  }
+  return builder.Finish().ValueOrDie();
+}
+
+DiffOptions KeyedOn(const std::string& key) {
+  DiffOptions options;
+  options.key_columns = {key};
+  return options;
+}
+
+TEST(DiffTest, AlignsByKeyRegardlessOfRowOrder) {
+  Table source = MakeSimple({{1, "a", 10}, {2, "b", 20}, {3, "c", 30}});
+  Table target = MakeSimple({{3, "c", 33}, {1, "a", 10}, {2, "b", 22}});
+  SnapshotDiff diff = SnapshotDiff::Compute(source, target, KeyedOn("id")).ValueOrDie();
+  ASSERT_EQ(diff.num_pairs(), 3);
+  // Pair order follows source rows; target rows found by key.
+  EXPECT_EQ(diff.pairs()[0].source_row, 0);
+  EXPECT_EQ(diff.pairs()[0].target_row, 1);
+  EXPECT_EQ(diff.pairs()[2].source_row, 2);
+  EXPECT_EQ(diff.pairs()[2].target_row, 0);
+}
+
+TEST(DiffTest, ColumnStatsCountChanges) {
+  Table source = MakeSimple({{1, "a", 10}, {2, "b", 20}, {3, "c", 30}});
+  Table target = MakeSimple({{1, "a", 10}, {2, "b", 25}, {3, "d", 33}});
+  SnapshotDiff diff = SnapshotDiff::Compute(source, target, KeyedOn("id")).ValueOrDie();
+  const ColumnChangeStats* value_stats = *diff.StatsFor("value");
+  EXPECT_EQ(value_stats->num_changed, 2);
+  EXPECT_NEAR(value_stats->change_fraction, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(value_stats->mean_delta, 4.0);  // (5 + 3) / 2
+  EXPECT_DOUBLE_EQ(value_stats->min_delta, 3.0);
+  EXPECT_DOUBLE_EQ(value_stats->max_delta, 5.0);
+  const ColumnChangeStats* group_stats = *diff.StatsFor("group");
+  EXPECT_EQ(group_stats->num_changed, 1);
+  EXPECT_FALSE(group_stats->numeric);
+  EXPECT_TRUE(diff.StatsFor("missing").status().IsNotFound());
+}
+
+TEST(DiffTest, ChangedMaskAndRows) {
+  Table source = MakeSimple({{1, "a", 10}, {2, "b", 20}, {3, "c", 30}});
+  Table target = MakeSimple({{1, "a", 11}, {2, "b", 20}, {3, "c", 31}});
+  SnapshotDiff diff = SnapshotDiff::Compute(source, target, KeyedOn("id")).ValueOrDie();
+  EXPECT_EQ(*diff.ChangedMask("value"), (std::vector<bool>{true, false, true}));
+  EXPECT_EQ(*diff.ChangedRows("value"), RowSet({0, 2}));
+}
+
+TEST(DiffTest, NumericToleranceSuppressesNoise) {
+  Table source = MakeSimple({{1, "a", 10}});
+  Table target = MakeSimple({{1, "a", 10.0000001}});
+  DiffOptions options = KeyedOn("id");
+  options.numeric_tolerance = 1e-3;
+  SnapshotDiff diff = SnapshotDiff::Compute(source, target, options).ValueOrDie();
+  EXPECT_EQ((*diff.StatsFor("value"))->num_changed, 0);
+}
+
+TEST(DiffTest, AlignedVectorsAndDeltas) {
+  Table source = MakeSimple({{1, "a", 10}, {2, "b", 20}});
+  Table target = MakeSimple({{2, "b", 25}, {1, "a", 12}});
+  SnapshotDiff diff = SnapshotDiff::Compute(source, target, KeyedOn("id")).ValueOrDie();
+  EXPECT_EQ(*diff.SourceValues("value"), (std::vector<double>{10, 20}));
+  EXPECT_EQ(*diff.TargetValues("value"), (std::vector<double>{12, 25}));
+  EXPECT_EQ(*diff.Deltas("value"), (std::vector<double>{2, 5}));
+}
+
+TEST(DiffTest, SchemaMismatchRejected) {
+  Table source = MakeSimple({{1, "a", 10}});
+  Schema other = Schema::Make({Field{"id", TypeKind::kInt64, false}}).ValueOrDie();
+  TableBuilder builder(other);
+  CHARLES_CHECK_OK(builder.AppendRow({Value(1)}));
+  Table target = builder.Finish().ValueOrDie();
+  EXPECT_TRUE(
+      SnapshotDiff::Compute(source, target, KeyedOn("id")).status().IsInvalidArgument());
+}
+
+TEST(DiffTest, MissingEntityRejectedByDefault) {
+  Table source = MakeSimple({{1, "a", 10}, {2, "b", 20}});
+  Table target = MakeSimple({{1, "a", 10}});
+  EXPECT_TRUE(
+      SnapshotDiff::Compute(source, target, KeyedOn("id")).status().IsInvalidArgument());
+}
+
+TEST(DiffTest, ExtraEntityRejectedByDefault) {
+  Table source = MakeSimple({{1, "a", 10}});
+  Table target = MakeSimple({{1, "a", 10}, {2, "b", 20}});
+  EXPECT_TRUE(
+      SnapshotDiff::Compute(source, target, KeyedOn("id")).status().IsInvalidArgument());
+}
+
+TEST(DiffTest, AllowInsertDeleteCountsThem) {
+  Table source = MakeSimple({{1, "a", 10}, {2, "b", 20}});
+  Table target = MakeSimple({{2, "b", 21}, {3, "c", 30}});
+  DiffOptions options = KeyedOn("id");
+  options.allow_insert_delete = true;
+  SnapshotDiff diff = SnapshotDiff::Compute(source, target, options).ValueOrDie();
+  EXPECT_EQ(diff.num_pairs(), 1);
+  EXPECT_EQ(diff.deletions(), 1);
+  EXPECT_EQ(diff.insertions(), 1);
+  EXPECT_EQ(diff.pairs()[0].source_row, 1);
+}
+
+TEST(DiffTest, DuplicateKeysRejected) {
+  Table source = MakeSimple({{1, "a", 10}, {1, "b", 20}});
+  Table target = MakeSimple({{1, "a", 10}, {1, "b", 20}});
+  EXPECT_TRUE(
+      SnapshotDiff::Compute(source, target, KeyedOn("id")).status().IsAlreadyExists());
+}
+
+TEST(DiffTest, EmptyKeyColumnsRejected) {
+  Table source = MakeSimple({{1, "a", 10}});
+  DiffOptions options;
+  EXPECT_TRUE(
+      SnapshotDiff::Compute(source, source, options).status().IsInvalidArgument());
+}
+
+TEST(DiffTest, NullTransitionsCountAsChanges) {
+  TableBuilder sb(SimpleSchema());
+  CHARLES_CHECK_OK(sb.AppendRow({Value(1), Value("a"), Value(10.0)}));
+  CHARLES_CHECK_OK(sb.AppendRow({Value(2), Value("b"), Value::Null()}));
+  Table source = sb.Finish().ValueOrDie();
+  TableBuilder tb(SimpleSchema());
+  CHARLES_CHECK_OK(tb.AppendRow({Value(1), Value("a"), Value::Null()}));
+  CHARLES_CHECK_OK(tb.AppendRow({Value(2), Value("b"), Value(5.0)}));
+  Table target = tb.Finish().ValueOrDie();
+  SnapshotDiff diff = SnapshotDiff::Compute(source, target, KeyedOn("id")).ValueOrDie();
+  EXPECT_EQ((*diff.StatsFor("value"))->num_changed, 2);
+}
+
+TEST(DiffTest, Example1SummaryReportsBonusAndExp) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  DiffOptions options;
+  options.key_columns = {"name"};
+  SnapshotDiff diff = SnapshotDiff::Compute(source, target, options).ValueOrDie();
+  EXPECT_EQ(diff.num_pairs(), 9);
+  // bonus changed for 7 of 9 (Cathy and James unchanged); exp for all 9.
+  EXPECT_EQ((*diff.StatsFor("bonus"))->num_changed, 7);
+  EXPECT_EQ((*diff.StatsFor("exp"))->num_changed, 9);
+  EXPECT_EQ((*diff.StatsFor("salary"))->num_changed, 0);
+  std::string summary = diff.Summary();
+  EXPECT_NE(summary.find("bonus"), std::string::npos);
+  EXPECT_EQ(summary.find("salary"), std::string::npos);  // unchanged: not listed
+}
+
+}  // namespace
+}  // namespace charles

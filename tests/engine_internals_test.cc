@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/normality.h"
+#include "core/partition_finder.h"
+#include "core/scoring.h"
+#include "workload/example1.h"
+
+namespace charles {
+namespace {
+
+TEST(CanonicalizeLabelsTest, FirstAppearanceRenumbering) {
+  EXPECT_EQ(PartitionFinder::CanonicalizeLabels({2, 2, 0, 1, 0}),
+            (std::vector<int>{0, 0, 1, 2, 1}));
+  EXPECT_EQ(PartitionFinder::CanonicalizeLabels({0, 1, 2}), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(PartitionFinder::CanonicalizeLabels({5, 5, 5}), (std::vector<int>{0, 0, 0}));
+  EXPECT_TRUE(PartitionFinder::CanonicalizeLabels({}).empty());
+}
+
+TEST(CanonicalizeLabelsTest, EquivalentClusteringsCollide) {
+  // Same partition, different label names, must canonicalize identically.
+  std::vector<int> a = {0, 0, 1, 1, 2};
+  std::vector<int> b = {2, 2, 0, 0, 1};
+  EXPECT_EQ(PartitionFinder::CanonicalizeLabels(a),
+            PartitionFinder::CanonicalizeLabels(b));
+}
+
+class CacheEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    source_ = MakeExample1Source().ValueOrDie();
+    target_ = MakeExample1Target().ValueOrDie();
+    y_old_ = *source_.ColumnAsDoubles("bonus");
+    y_new_ = *target_.ColumnAsDoubles("bonus");
+    options_.target_attribute = "bonus";
+    options_.key_columns = {"name"};
+  }
+
+  PartitionCandidate MakeCandidate() {
+    PartitionFinder::Input input;
+    input.source = &source_;
+    input.y_old = &y_old_;
+    input.y_new = &y_new_;
+    input.transform_attrs = {"bonus"};
+    int edu = *source_.schema().FieldIndex("edu");
+    int exp = *source_.schema().FieldIndex("exp");
+    auto candidates =
+        PartitionFinder::Find(input, {edu, exp}, options_).ValueOrDie();
+    // Pick the largest partitioning (most leaves to exercise the cache).
+    size_t best = 0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].leaves.size() > candidates[best].leaves.size()) best = i;
+    }
+    return candidates[best];
+  }
+
+  Table source_;
+  Table target_;
+  std::vector<double> y_old_;
+  std::vector<double> y_new_;
+  CharlesOptions options_;
+};
+
+TEST_F(CacheEquivalenceTest, CachedAndUncachedSummariesAgree) {
+  CharlesEngine engine(options_);
+  PartitionCandidate candidate = MakeCandidate();
+  CharlesEngine::LeafFitCache cache;
+  ChangeSummary cached = engine
+                             .BuildSummary(source_, y_old_, y_new_, candidate,
+                                           {"bonus"}, {"edu", "exp"}, &cache)
+                             .ValueOrDie();
+  ChangeSummary uncached = engine
+                               .BuildSummary(source_, y_old_, y_new_, candidate,
+                                             {"bonus"}, {"edu", "exp"}, nullptr)
+                               .ValueOrDie();
+  EXPECT_EQ(cached.Signature(), uncached.Signature());
+  EXPECT_DOUBLE_EQ(cached.scores().score, uncached.scores().score);
+  EXPECT_FALSE(cache.empty());
+
+  // Second cached call must hit (same fits, same result).
+  size_t cache_size = cache.size();
+  ChangeSummary again = engine
+                            .BuildSummary(source_, y_old_, y_new_, candidate,
+                                          {"bonus"}, {"edu", "exp"}, &cache)
+                            .ValueOrDie();
+  EXPECT_EQ(cache.size(), cache_size);
+  EXPECT_EQ(again.Signature(), cached.Signature());
+}
+
+TEST(ReadabilityBudgetTest, HugeSummariesLoseInterpretability) {
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  int64_t n = 100;
+  std::vector<double> y(static_cast<size_t>(n), 1.0);
+  Scorer scorer(options, y, y);
+
+  auto summary_with_cts = [&](int count) {
+    std::vector<ConditionalTransform> cts;
+    for (int i = 0; i < count; ++i) {
+      ConditionalTransform ct;
+      ct.condition = MakeColumnCompare("name", CompareOp::kEq,
+                                       Value("p" + std::to_string(i)));
+      ct.transform = LinearTransform::NoChange("bonus");
+      ct.rows = RowSet({i});
+      ct.coverage = 1.0 / static_cast<double>(n);
+      cts.push_back(std::move(ct));
+    }
+    return ChangeSummary(std::move(cts), "bonus");
+  };
+  double at_10 = scorer.InterpretabilityOnly(summary_with_cts(10)).interpretability;
+  double at_100 = scorer.InterpretabilityOnly(summary_with_cts(100)).interpretability;
+  // Beyond the ~10-CT budget interpretability must fall off sharply, not
+  // saturate at the per-CT simplicity floor.
+  EXPECT_LT(at_100, at_10 * 0.2);
+}
+
+TEST(MaxPartitionsTest, CapBoundsPhase3) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  options.max_partitions = 3;
+  SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+  EXPECT_LE(result.partitions, 3);
+  EXPECT_FALSE(result.summaries.empty());
+}
+
+TEST(PhaseTimingsTest, Populated) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+  EXPECT_GE(result.clustering_seconds, 0.0);
+  EXPECT_GE(result.induction_seconds, 0.0);
+  EXPECT_GE(result.fitting_seconds, 0.0);
+  EXPECT_GE(result.elapsed_seconds, result.clustering_seconds);
+  EXPECT_GT(result.labelings, 0);
+  EXPECT_GT(result.partitions, 0);
+}
+
+TEST(SnapZeroTest, FloatingPointResidueInterceptsSnapToZero) {
+  // y = 1.02 x exactly; the "fitted" model carries an fp-noise intercept.
+  Matrix x = Matrix::FromRows({{50000}, {60000}, {70000}, {80000}});
+  std::vector<double> y;
+  for (int64_t r = 0; r < x.rows(); ++r) y.push_back(1.02 * x.At(r, 0));
+  LinearModel fitted;
+  fitted.coefficients = {1.02};
+  fitted.feature_names = {"salary"};
+  fitted.intercept = 0.00008;
+  NormalityOptions options;
+  LinearModel snapped = SnapModel(fitted, x, y, options);
+  EXPECT_DOUBLE_EQ(snapped.intercept, 0.0);
+  EXPECT_DOUBLE_EQ(snapped.coefficients[0], 1.02);
+}
+
+}  // namespace
+}  // namespace charles

@@ -1,0 +1,216 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/billionaires_gen.h"
+#include "workload/employee_gen.h"
+#include "workload/example1.h"
+#include "workload/montgomery_gen.h"
+#include "workload/policy.h"
+
+namespace charles {
+namespace {
+
+CharlesOptions Example1Options() {
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  return options;
+}
+
+TEST(EngineTest, Example1TopSummaryIsExactAndExample1Shaped) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  SummaryList result = SummarizeChanges(source, target, Example1Options()).ValueOrDie();
+  ASSERT_FALSE(result.summaries.empty());
+  const ChangeSummary& top = result.summaries[0];
+  // The paper: the Example-1 summary "incurs a very high score of 89%".
+  EXPECT_NEAR(top.scores().accuracy, 1.0, 1e-9);
+  EXPECT_GT(top.scores().score, 0.8);
+  // It recovers the R1-R3 policy (partitions + coefficients).
+  RecoveryReport recovery =
+      EvaluateRecovery(MakeExample1Policy(), top, source).ValueOrDie();
+  EXPECT_DOUBLE_EQ(recovery.rule_recall, 1.0);
+  EXPECT_DOUBLE_EQ(recovery.rule_precision, 1.0);
+}
+
+TEST(EngineTest, ReturnsTopNRankedDescending) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options = Example1Options();
+  options.top_n = 5;
+  SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+  EXPECT_EQ(result.summaries.size(), 5u);
+  for (size_t i = 1; i < result.summaries.size(); ++i) {
+    EXPECT_GE(result.summaries[i - 1].scores().score + 1e-9,
+              result.summaries[i].scores().score);
+  }
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  SummaryList a = SummarizeChanges(source, target, Example1Options()).ValueOrDie();
+  SummaryList b = SummarizeChanges(source, target, Example1Options()).ValueOrDie();
+  ASSERT_EQ(a.summaries.size(), b.summaries.size());
+  for (size_t i = 0; i < a.summaries.size(); ++i) {
+    EXPECT_EQ(a.summaries[i].Signature(), b.summaries[i].Signature());
+    EXPECT_DOUBLE_EQ(a.summaries[i].scores().score, b.summaries[i].scores().score);
+  }
+}
+
+TEST(EngineTest, SummariesAreDeduplicated) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options = Example1Options();
+  options.top_n = 100;
+  SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+  std::set<std::string> signatures;
+  for (const auto& summary : result.summaries) {
+    EXPECT_TRUE(signatures.insert(summary.Signature()).second)
+        << "duplicate: " << summary.Signature();
+  }
+  EXPECT_GE(result.candidates_evaluated,
+            static_cast<int64_t>(result.summaries.size()));
+}
+
+TEST(EngineTest, EverySummaryHasAModelTree) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  SummaryList result = SummarizeChanges(source, target, Example1Options()).ValueOrDie();
+  for (const auto& summary : result.summaries) {
+    ASSERT_NE(summary.tree(), nullptr);
+    EXPECT_EQ(summary.tree()->num_leaves(), summary.num_cts());
+    EXPECT_FALSE(summary.tree()->Render().empty());
+  }
+}
+
+TEST(EngineTest, AppliedTopSummaryReconstructsTarget) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  SummaryList result = SummarizeChanges(source, target, Example1Options()).ValueOrDie();
+  std::vector<double> y_hat = result.summaries[0].Apply(source).ValueOrDie();
+  std::vector<double> y_new = *target.ColumnAsDoubles("bonus");
+  for (size_t i = 0; i < y_hat.size(); ++i) {
+    EXPECT_NEAR(y_hat[i], y_new[i], 1e-6) << "row " << i;
+  }
+}
+
+TEST(EngineTest, AttributeOverridesAreHonoured) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options = Example1Options();
+  options.condition_attributes = {"gen"};
+  options.transform_attributes = {"salary"};
+  SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+  EXPECT_EQ(result.setup.ConditionNames(), (std::vector<std::string>{"gen"}));
+  EXPECT_EQ(result.setup.TransformNames(), (std::vector<std::string>{"salary"}));
+  for (const auto& summary : result.summaries) {
+    for (const auto& ct : summary.cts()) {
+      std::vector<std::string> cols;
+      ct.condition->CollectColumns(&cols);
+      for (const auto& col : cols) EXPECT_EQ(col, "gen");
+    }
+  }
+}
+
+TEST(EngineTest, BadOverridesRejected) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options = Example1Options();
+  options.condition_attributes = {"no_such_column"};
+  EXPECT_TRUE(SummarizeChanges(source, target, options).status().IsNotFound());
+  CharlesOptions options2 = Example1Options();
+  options2.transform_attributes = {"edu"};  // non-numeric
+  EXPECT_TRUE(SummarizeChanges(source, target, options2).status().IsTypeError());
+}
+
+TEST(EngineTest, OptionValidationErrors) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options = Example1Options();
+  options.alpha = 1.5;
+  EXPECT_TRUE(SummarizeChanges(source, target, options).status().IsOutOfRange());
+  CharlesOptions no_target;
+  no_target.key_columns = {"name"};
+  EXPECT_TRUE(SummarizeChanges(source, target, no_target).status().IsInvalidArgument());
+}
+
+TEST(EngineTest, AlphaZeroFavoursSmallSummaries) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions interp = Example1Options();
+  interp.alpha = 0.0;
+  SummaryList result = SummarizeChanges(source, target, interp).ValueOrDie();
+  // With accuracy ignored, the single-CT summaries must win.
+  EXPECT_EQ(result.summaries[0].num_cts(), 1);
+}
+
+TEST(EngineTest, AlphaOneFavoursExactSummaries) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions acc = Example1Options();
+  acc.alpha = 1.0;
+  SummaryList result = SummarizeChanges(source, target, acc).ValueOrDie();
+  EXPECT_NEAR(result.summaries[0].scores().accuracy, 1.0, 1e-9);
+}
+
+TEST(EngineTest, MontgomeryPolicyRecovered) {
+  MontgomeryGenOptions gen;
+  gen.num_rows = 1500;
+  Table source = GenerateMontgomery2016(gen).ValueOrDie();
+  Table target = GenerateMontgomery2017(source).ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "base_salary";
+  options.key_columns = {"employee_id"};
+  SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+  ASSERT_FALSE(result.summaries.empty());
+  // The top summary must explain nearly all change mass.
+  EXPECT_GT(result.summaries[0].scores().accuracy, 0.95);
+}
+
+TEST(EngineTest, BillionairesIndustryPolicyRecovered) {
+  BillionairesGenOptions gen;
+  gen.num_rows = 800;
+  Table source = GenerateBillionaires(gen).ValueOrDie();
+  Table target = MakeMarketPolicy().Apply(source).ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "net_worth";
+  options.key_columns = {"person_id"};
+  SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+  const ChangeSummary& top = result.summaries[0];
+  EXPECT_GT(top.scores().accuracy, 0.9);
+  // Industry must appear in the winning conditions.
+  bool mentions_industry = false;
+  for (const auto& ct : top.cts()) {
+    std::vector<std::string> cols;
+    ct.condition->CollectColumns(&cols);
+    for (const auto& col : cols) {
+      if (col == "industry") mentions_industry = true;
+    }
+  }
+  EXPECT_TRUE(mentions_industry);
+}
+
+TEST(EngineTest, IdenticalSnapshotsYieldNoChangeSummary) {
+  Table source = MakeExample1Source().ValueOrDie();
+  SummaryList result = SummarizeChanges(source, source, Example1Options()).ValueOrDie();
+  ASSERT_FALSE(result.summaries.empty());
+  const ChangeSummary& top = result.summaries[0];
+  EXPECT_EQ(top.num_cts(), 1);
+  EXPECT_TRUE(top.cts()[0].transform.is_no_change());
+  EXPECT_DOUBLE_EQ(top.scores().accuracy, 1.0);
+}
+
+TEST(EngineTest, SearchSpaceDiagnosticsPopulated) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  SummaryList result = SummarizeChanges(source, target, Example1Options()).ValueOrDie();
+  EXPECT_GT(result.condition_subsets, 0);
+  EXPECT_GT(result.transform_subsets, 0);
+  EXPECT_GT(result.candidates_evaluated, 0);
+  EXPECT_GE(result.elapsed_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace charles

@@ -1,0 +1,98 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "workload/example1.h"
+
+namespace charles {
+namespace {
+
+LinearTransform Rule(double slope, double intercept) {
+  LinearModel model;
+  model.feature_names = {"bonus"};
+  model.coefficients = {slope};
+  model.intercept = intercept;
+  return LinearTransform::Linear("bonus", std::move(model));
+}
+
+TEST(ExplainTransformTest, PercentIncreaseWithFlat) {
+  EXPECT_EQ(ExplainTransform(Rule(1.05, 1000)),
+            "received a 5% increase on their bonus, plus a flat 1000");
+}
+
+TEST(ExplainTransformTest, PercentIncreaseOnly) {
+  EXPECT_EQ(ExplainTransform(Rule(1.04, 0)),
+            "received a 4% increase on their bonus");
+}
+
+TEST(ExplainTransformTest, PercentCut) {
+  EXPECT_EQ(ExplainTransform(Rule(0.9, 0)), "took a 10% cut on their bonus");
+}
+
+TEST(ExplainTransformTest, FlatShift) {
+  EXPECT_EQ(ExplainTransform(Rule(1.0, 500)),
+            "had bonus increased by a flat 500");
+  EXPECT_EQ(ExplainTransform(Rule(1.0, -500)),
+            "had bonus decreased by a flat 500");
+}
+
+TEST(ExplainTransformTest, ConstantAssignment) {
+  LinearModel model;
+  model.intercept = 13790;
+  LinearTransform t = LinearTransform::Linear("bonus", std::move(model));
+  EXPECT_EQ(ExplainTransform(t), "had bonus set to 13790");
+}
+
+TEST(ExplainTransformTest, NoChange) {
+  EXPECT_EQ(ExplainTransform(LinearTransform::NoChange("bonus")),
+            "kept their previous bonus");
+}
+
+TEST(ExplainTransformTest, CrossAttributeFallsBackToEquation) {
+  LinearModel model;
+  model.feature_names = {"salary"};
+  model.coefficients = {0.105};
+  model.intercept = 1000;
+  LinearTransform t = LinearTransform::Linear("bonus", std::move(model));
+  std::string text = ExplainTransform(t);
+  EXPECT_NE(text.find("recomputed as"), std::string::npos);
+  EXPECT_NE(text.find("0.105 × salary"), std::string::npos);
+}
+
+TEST(ExplainSummaryTest, Example1ProseMatchesThePapersStory) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+  ExplainOptions explain_options;
+  explain_options.entity_noun = "employees";
+  std::string prose = ExplainSummary(result.summaries[0], explain_options);
+  // The paper's R1 in prose.
+  EXPECT_NE(prose.find("Employees where edu = 'PhD'"), std::string::npos) << prose;
+  EXPECT_NE(prose.find("received a 5% increase on their bonus, plus a flat 1000"),
+            std::string::npos)
+      << prose;
+  EXPECT_NE(prose.find("kept their previous bonus"), std::string::npos) << prose;
+  EXPECT_NE(prose.find("33.33% of employees"), std::string::npos) << prose;
+  EXPECT_NE(prose.find("accuracy 1"), std::string::npos) << prose;
+}
+
+TEST(ExplainSummaryTest, UniversalConditionSaysAll) {
+  ConditionalTransform ct;
+  ct.condition = MakeTrue();
+  ct.transform = Rule(1.06, 0);
+  ct.coverage = 1.0;
+  ChangeSummary summary({std::move(ct)}, "bonus");
+  ExplainOptions options;
+  options.entity_noun = "employees";
+  options.include_scores = false;
+  EXPECT_EQ(ExplainSummary(summary, options),
+            "- All employees (100% of employees) received a 6% increase on their "
+            "bonus.\n");
+}
+
+}  // namespace
+}  // namespace charles

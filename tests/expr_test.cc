@@ -1,0 +1,157 @@
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "table/table_builder.h"
+
+namespace charles {
+namespace {
+
+Table EmployeeTable() {
+  Schema schema = Schema::Make({
+                                   Field{"name", TypeKind::kString, true},
+                                   Field{"edu", TypeKind::kString, true},
+                                   Field{"exp", TypeKind::kInt64, true},
+                                   Field{"salary", TypeKind::kDouble, true},
+                               })
+                      .ValueOrDie();
+  TableBuilder builder(schema);
+  CHARLES_CHECK_OK(builder.AppendRow({Value("a"), Value("PhD"), Value(2), Value(230000.0)}));
+  CHARLES_CHECK_OK(builder.AppendRow({Value("b"), Value("MS"), Value(5), Value(160000.0)}));
+  CHARLES_CHECK_OK(builder.AppendRow({Value("c"), Value("MS"), Value(1), Value(130000.0)}));
+  CHARLES_CHECK_OK(builder.AppendRow({Value("d"), Value("BS"), Value::Null(), Value(110000.0)}));
+  return builder.Finish().ValueOrDie();
+}
+
+TEST(ExprTest, ColumnEqualityFilter) {
+  Table t = EmployeeTable();
+  ExprPtr e = MakeColumnCompare("edu", CompareOp::kEq, Value("MS"));
+  RowSet rows = FilterRows(t, *e).ValueOrDie();
+  EXPECT_EQ(rows.indices(), (std::vector<int64_t>{1, 2}));
+}
+
+TEST(ExprTest, NumericComparisonsCoerceIntDouble) {
+  Table t = EmployeeTable();
+  ExprPtr e = MakeColumnCompare("exp", CompareOp::kLt, Value(3.0));
+  RowSet rows = FilterRows(t, *e).ValueOrDie();
+  // Row 3 has NULL exp: excluded (comparisons with NULL are false).
+  EXPECT_EQ(rows.indices(), (std::vector<int64_t>{0, 2}));
+}
+
+TEST(ExprTest, AndOrNotSemantics) {
+  Table t = EmployeeTable();
+  ExprPtr ms = MakeColumnCompare("edu", CompareOp::kEq, Value("MS"));
+  ExprPtr junior = MakeColumnCompare("exp", CompareOp::kLt, Value(3));
+  EXPECT_EQ(FilterRows(t, *MakeAnd({ms, junior}))->indices(), (std::vector<int64_t>{2}));
+  EXPECT_EQ(FilterRows(t, *MakeOr({ms, junior}))->indices(),
+            (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(FilterRows(t, *MakeNot(ms))->indices(), (std::vector<int64_t>{0, 3}));
+}
+
+TEST(ExprTest, TrueMatchesEverything) {
+  Table t = EmployeeTable();
+  EXPECT_EQ(FilterRows(t, *MakeTrue())->size(), t.num_rows());
+}
+
+TEST(ExprTest, InList) {
+  Table t = EmployeeTable();
+  ExprPtr e = MakeIn("edu", {Value("PhD"), Value("BS")});
+  EXPECT_EQ(FilterRows(t, *e)->indices(), (std::vector<int64_t>{0, 3}));
+}
+
+TEST(ExprTest, NullNeverMatchesValueConditions) {
+  Table t = EmployeeTable();
+  // Row 3 (NULL exp) matches neither exp < 100 nor NOT(exp < 100)'s inner
+  // comparison — NOT flips the false to true though.
+  ExprPtr lt = MakeColumnCompare("exp", CompareOp::kLt, Value(100));
+  EXPECT_FALSE(FilterRows(t, *lt)->Contains(3));
+  EXPECT_TRUE(FilterRows(t, *MakeNot(lt))->Contains(3));
+}
+
+TEST(ExprTest, CrossTypeEqualityIsFalseNotError) {
+  Table t = EmployeeTable();
+  ExprPtr eq = MakeColumnCompare("edu", CompareOp::kEq, Value(5));
+  EXPECT_TRUE(FilterRows(t, *eq)->empty());
+  ExprPtr ne = MakeColumnCompare("edu", CompareOp::kNe, Value(5));
+  EXPECT_EQ(FilterRows(t, *ne)->size(), 4);
+}
+
+TEST(ExprTest, CrossTypeOrderingIsTypeError) {
+  Table t = EmployeeTable();
+  ExprPtr lt = MakeColumnCompare("edu", CompareOp::kLt, Value(5));
+  EXPECT_TRUE(FilterRows(t, *lt).status().IsTypeError());
+}
+
+TEST(ExprTest, ValidateCatchesUnknownColumns) {
+  Table t = EmployeeTable();
+  ExprPtr bad = MakeColumnCompare("nope", CompareOp::kEq, Value(1));
+  EXPECT_TRUE(FilterRows(t, *bad).status().IsNotFound());
+}
+
+TEST(ExprTest, NonBooleanPredicateRejected) {
+  Table t = EmployeeTable();
+  ExprPtr col = MakeColumnRef("salary");
+  EXPECT_TRUE(FilterRows(t, *col).status().IsTypeError());
+}
+
+TEST(ExprTest, ToStringRendering) {
+  ExprPtr e = MakeAnd({MakeColumnCompare("edu", CompareOp::kEq, Value("MS")),
+                       MakeColumnCompare("exp", CompareOp::kLt, Value(3))});
+  EXPECT_EQ(e->ToString(), "edu = 'MS' AND exp < 3");
+  ExprPtr o = MakeOr({MakeColumnCompare("a", CompareOp::kGe, Value(1)), e});
+  EXPECT_EQ(o->ToString(), "a >= 1 OR (edu = 'MS' AND exp < 3)");
+  EXPECT_EQ(MakeNot(e)->ToString(), "NOT (edu = 'MS' AND exp < 3)");
+  EXPECT_EQ(MakeIn("x", {Value(1), Value(2)})->ToString(), "x IN (1, 2)");
+  EXPECT_EQ(MakeTrue()->ToString(), "TRUE");
+}
+
+TEST(ExprTest, StringLiteralQuotingEscapesQuotes) {
+  ExprPtr e = MakeColumnCompare("name", CompareOp::kEq, Value("O'Brien"));
+  EXPECT_EQ(e->ToString(), "name = 'O''Brien'");
+}
+
+TEST(ExprTest, NumDescriptorsCountsLeaves) {
+  ExprPtr a = MakeColumnCompare("x", CompareOp::kEq, Value(1));
+  ExprPtr b = MakeColumnCompare("y", CompareOp::kLt, Value(2));
+  EXPECT_EQ(MakeTrue()->NumDescriptors(), 0);
+  EXPECT_EQ(a->NumDescriptors(), 1);
+  EXPECT_EQ(MakeAnd({a, b})->NumDescriptors(), 2);
+  EXPECT_EQ(MakeNot(MakeAnd({a, b}))->NumDescriptors(), 2);
+  EXPECT_EQ(MakeIn("z", {Value(1), Value(2), Value(3)})->NumDescriptors(), 1);
+}
+
+TEST(ExprTest, AndFlattensAndDropsTrue) {
+  ExprPtr a = MakeColumnCompare("x", CompareOp::kEq, Value(1));
+  ExprPtr b = MakeColumnCompare("y", CompareOp::kEq, Value(2));
+  ExprPtr c = MakeColumnCompare("z", CompareOp::kEq, Value(3));
+  ExprPtr nested = MakeAnd({MakeAnd({a, b}), c, MakeTrue()});
+  EXPECT_EQ(nested->ToString(), "x = 1 AND y = 2 AND z = 3");
+  EXPECT_TRUE(MakeAnd({})->Equals(*MakeTrue()));
+  EXPECT_TRUE(MakeAnd({a})->Equals(*a));
+}
+
+TEST(ExprTest, StructuralEquality) {
+  ExprPtr a1 = MakeColumnCompare("x", CompareOp::kEq, Value(1));
+  ExprPtr a2 = MakeColumnCompare("x", CompareOp::kEq, Value(1));
+  ExprPtr b = MakeColumnCompare("x", CompareOp::kEq, Value(2));
+  EXPECT_TRUE(a1->Equals(*a2));
+  EXPECT_FALSE(a1->Equals(*b));
+  EXPECT_TRUE(MakeAnd({a1, b})->Equals(*MakeAnd({a2, b})));
+  EXPECT_FALSE(MakeAnd({a1, b})->Equals(*MakeOr({a1, b})));
+}
+
+TEST(ExprTest, CollectColumnsAndLiterals) {
+  ExprPtr e = MakeAnd({MakeColumnCompare("edu", CompareOp::kEq, Value("MS")),
+                       MakeColumnCompare("exp", CompareOp::kLt, Value(3))});
+  std::vector<std::string> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<std::string>{"edu", "exp"}));
+  std::vector<Value> lits;
+  e->CollectLiterals(&lits);
+  ASSERT_EQ(lits.size(), 2u);
+  EXPECT_EQ(lits[0], Value("MS"));
+  EXPECT_EQ(lits[1], Value(3));
+}
+
+}  // namespace
+}  // namespace charles

@@ -1,0 +1,143 @@
+#include "core/feature_augment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "table/table_builder.h"
+#include "workload/policy.h"
+
+namespace charles {
+namespace {
+
+Table NumericTable(const std::vector<std::pair<double, double>>& rows) {
+  Schema schema = Schema::Make({
+                                   Field{"id", TypeKind::kInt64, false},
+                                   Field{"a", TypeKind::kDouble, true},
+                                   Field{"b", TypeKind::kDouble, true},
+                               })
+                      .ValueOrDie();
+  TableBuilder builder(schema);
+  int64_t id = 0;
+  for (const auto& [a, b] : rows) {
+    CHARLES_CHECK_OK(builder.AppendRow({Value(id++), Value(a), Value(b)}));
+  }
+  return builder.Finish().ValueOrDie();
+}
+
+TEST(AugmentTest, AddsLogAndSquareColumns) {
+  Table t = NumericTable({{2.0, 3.0}, {4.0, 5.0}});
+  AugmentOptions options;
+  options.exclude = {"id"};
+  Table augmented = AugmentWithNonlinearFeatures(t, options).ValueOrDie();
+  EXPECT_TRUE(augmented.schema().HasField("log_a"));
+  EXPECT_TRUE(augmented.schema().HasField("sq_a"));
+  EXPECT_TRUE(augmented.schema().HasField("log_b"));
+  EXPECT_TRUE(augmented.schema().HasField("sq_b"));
+  EXPECT_DOUBLE_EQ((*augmented.GetValueByName(0, "log_a")).dbl(), std::log(2.0));
+  EXPECT_DOUBLE_EQ((*augmented.GetValueByName(1, "sq_b")).dbl(), 25.0);
+  // Original columns untouched.
+  EXPECT_EQ(augmented.GetValue(0, 1), Value(2.0));
+}
+
+TEST(AugmentTest, NonPositiveColumnsSkipLog) {
+  Table t = NumericTable({{-1.0, 3.0}, {4.0, 5.0}});
+  AugmentOptions options;
+  options.exclude = {"id"};
+  Table augmented = AugmentWithNonlinearFeatures(t, options).ValueOrDie();
+  EXPECT_FALSE(augmented.schema().HasField("log_a"));
+  EXPECT_TRUE(augmented.schema().HasField("sq_a"));  // squares always fine
+  EXPECT_TRUE(augmented.schema().HasField("log_b"));
+}
+
+TEST(AugmentTest, InteractionFeatures) {
+  Table t = NumericTable({{2.0, 3.0}});
+  AugmentOptions options;
+  options.exclude = {"id"};
+  options.log_features = false;
+  options.square_features = false;
+  options.interaction_features = true;
+  Table augmented = AugmentWithNonlinearFeatures(t, options).ValueOrDie();
+  EXPECT_TRUE(augmented.schema().HasField("a_x_b"));
+  EXPECT_DOUBLE_EQ((*augmented.GetValueByName(0, "a_x_b")).dbl(), 6.0);
+}
+
+TEST(AugmentTest, ExplicitAttributeList) {
+  Table t = NumericTable({{2.0, 3.0}});
+  AugmentOptions options;
+  options.attributes = {"a"};
+  Table augmented = AugmentWithNonlinearFeatures(t, options).ValueOrDie();
+  EXPECT_TRUE(augmented.schema().HasField("sq_a"));
+  EXPECT_FALSE(augmented.schema().HasField("sq_b"));
+  options.attributes = {"nope"};
+  EXPECT_TRUE(AugmentWithNonlinearFeatures(t, options).status().IsNotFound());
+}
+
+TEST(AugmentTest, NullsPropagate) {
+  Schema schema = Schema::Make({Field{"a", TypeKind::kDouble, true}}).ValueOrDie();
+  TableBuilder builder(schema);
+  CHARLES_CHECK_OK(builder.AppendRow({Value(2.0)}));
+  CHARLES_CHECK_OK(builder.AppendRow({Value::Null()}));
+  Table t = builder.Finish().ValueOrDie();
+  Table augmented = AugmentWithNonlinearFeatures(t).ValueOrDie();
+  EXPECT_TRUE((*augmented.GetValueByName(1, "sq_a")).is_null());
+}
+
+TEST(AugmentSnapshotsTest, SchemasStayEqual) {
+  // `a` is positive in the source but not in the target: log_a must appear
+  // on neither side.
+  Table source = NumericTable({{2.0, 3.0}, {4.0, 5.0}});
+  Table target = NumericTable({{-2.0, 3.3}, {4.0, 5.5}});
+  AugmentOptions options;
+  options.exclude = {"id"};
+  auto [s, t] = AugmentSnapshots(source, target, options).ValueOrDie();
+  EXPECT_TRUE(s.schema().Equals(t.schema()));
+  EXPECT_FALSE(s.schema().HasField("log_a"));
+  EXPECT_TRUE(s.schema().HasField("log_b"));
+  EXPECT_TRUE(s.schema().HasField("sq_a"));
+}
+
+TEST(AugmentSnapshotsTest, RecoversQuadraticPolicyEndToEnd) {
+  // Planted policy: new_b = 0.001·a² + 10 — linear in the augmented space,
+  // invisible to the plain linear search.
+  Schema schema = Schema::Make({
+                                   Field{"id", TypeKind::kInt64, false},
+                                   Field{"a", TypeKind::kDouble, true},
+                                   Field{"b", TypeKind::kDouble, true},
+                               })
+                      .ValueOrDie();
+  TableBuilder builder(schema);
+  for (int64_t i = 0; i < 300; ++i) {
+    double a = 10.0 + static_cast<double>(i % 60);
+    CHARLES_CHECK_OK(builder.AppendRow({Value(i), Value(a), Value(100.0)}));
+  }
+  Table source = builder.Finish().ValueOrDie();
+  Table target = source;
+  int b_col = *source.schema().FieldIndex("b");
+  for (int64_t i = 0; i < source.num_rows(); ++i) {
+    double a = (*source.GetValueByName(i, "a")).dbl();
+    CHARLES_CHECK_OK(target.SetValue(i, b_col, Value(0.001 * a * a + 10.0)));
+  }
+
+  AugmentOptions augment;
+  augment.attributes = {"a"};
+  augment.log_features = false;
+  auto [aug_source, aug_target] = AugmentSnapshots(source, target, augment).ValueOrDie();
+
+  CharlesOptions options;
+  options.target_attribute = "b";
+  options.key_columns = {"id"};
+  options.transform_attributes = {"sq_a"};  // the augmented feature
+  SummaryList result = SummarizeChanges(aug_source, aug_target, options).ValueOrDie();
+  const ChangeSummary& top = result.summaries[0];
+  EXPECT_GT(top.scores().accuracy, 0.999);
+  ASSERT_EQ(top.num_cts(), 1);
+  const LinearModel& model = top.cts()[0].transform.model();
+  ASSERT_EQ(model.feature_names, (std::vector<std::string>{"sq_a"}));
+  EXPECT_NEAR(model.coefficients[0], 0.001, 1e-6);
+  EXPECT_NEAR(model.intercept, 10.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace charles

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/billionaires_gen.h"
+#include "workload/employee_gen.h"
+#include "workload/example1.h"
+#include "workload/montgomery_gen.h"
+
+namespace charles {
+namespace {
+
+TEST(Example1Test, MatchesFigure1Exactly) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  EXPECT_EQ(source.num_rows(), 9);
+  EXPECT_EQ(target.num_rows(), 9);
+  EXPECT_TRUE(source.schema().Equals(target.schema()));
+  // Spot-check the cells quoted in the paper.
+  EXPECT_EQ(*source.GetValueByName(0, "name"), Value("Anne"));
+  EXPECT_EQ(*source.GetValueByName(0, "bonus"), Value(23000.0));
+  EXPECT_EQ(*target.GetValueByName(0, "bonus"), Value(25150.0));
+  EXPECT_EQ(*source.GetValueByName(4, "bonus"), Value(11000.0));
+  EXPECT_EQ(*target.GetValueByName(4, "bonus"), Value(11000.0));  // Cathy unchanged
+  // 2016 bonus is a flat 10% of salary.
+  for (int64_t r = 0; r < source.num_rows(); ++r) {
+    double salary = source.GetValueByName(r, "salary")->AsDouble().ValueOrDie();
+    double bonus = source.GetValueByName(r, "bonus")->AsDouble().ValueOrDie();
+    EXPECT_NEAR(bonus, 0.1 * salary, 1e-9);
+  }
+  // Everyone gained one year of experience.
+  for (int64_t r = 0; r < source.num_rows(); ++r) {
+    EXPECT_EQ(target.GetValueByName(r, "exp")->int64(),
+              source.GetValueByName(r, "exp")->int64() + 1);
+  }
+}
+
+TEST(EmployeeGenTest, RespectsOptionsAndSchema) {
+  EmployeeGenOptions options;
+  options.num_rows = 500;
+  options.num_decoy_numeric = 2;
+  options.num_decoy_categorical = 1;
+  Table t = GenerateEmployees(options).ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 500);
+  EXPECT_EQ(t.num_columns(), 7 + 3);
+  EXPECT_TRUE(t.schema().HasField("decoy_num_0"));
+  EXPECT_TRUE(t.schema().HasField("decoy_cat_0"));
+}
+
+TEST(EmployeeGenTest, DeterministicUnderSeed) {
+  EmployeeGenOptions options;
+  options.num_rows = 100;
+  options.seed = 9;
+  Table a = GenerateEmployees(options).ValueOrDie();
+  Table b = GenerateEmployees(options).ValueOrDie();
+  EXPECT_TRUE(a.Equals(b));
+  options.seed = 10;
+  Table c = GenerateEmployees(options).ValueOrDie();
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(EmployeeGenTest, BonusIsTenPercentOfSalary) {
+  EmployeeGenOptions options;
+  options.num_rows = 200;
+  Table t = GenerateEmployees(options).ValueOrDie();
+  auto salary = *t.ColumnAsDoubles("salary");
+  auto bonus = *t.ColumnAsDoubles("bonus");
+  for (size_t i = 0; i < salary.size(); ++i) {
+    EXPECT_NEAR(bonus[i], 0.1 * salary[i], 0.51);  // bonus rounds to $1
+  }
+}
+
+TEST(EmployeeGenTest, EducationLevelsPresent) {
+  EmployeeGenOptions options;
+  options.num_rows = 500;
+  Table t = GenerateEmployees(options).ValueOrDie();
+  const Column* edu = *t.ColumnByName("edu");
+  std::set<std::string> seen;
+  for (const Value& v : edu->DistinctValues()) seen.insert(v.str());
+  EXPECT_EQ(seen, (std::set<std::string>{"BS", "MS", "PhD"}));
+}
+
+TEST(EmployeeGenTest, RejectsNonPositiveRows) {
+  EmployeeGenOptions options;
+  options.num_rows = 0;
+  EXPECT_TRUE(GenerateEmployees(options).status().IsInvalidArgument());
+}
+
+TEST(SegmentedPolicyTest, BandsCoverExperienceRange) {
+  Policy policy = MakeSegmentedSalaryPolicy(3).ValueOrDie();
+  EXPECT_EQ(policy.num_rules(), 3);
+  EmployeeGenOptions gen;
+  gen.num_rows = 300;
+  Table t = GenerateEmployees(gen).ValueOrDie();
+  auto rows = policy.RuleRows(t).ValueOrDie();
+  int64_t total = 0;
+  for (const RowSet& set : rows) total += set.size();
+  EXPECT_EQ(total, 300);  // the bands partition everyone
+  EXPECT_TRUE(MakeSegmentedSalaryPolicy(1).status().IsOutOfRange());
+  EXPECT_TRUE(MakeSegmentedSalaryPolicy(7).status().IsOutOfRange());
+}
+
+TEST(MontgomeryGenTest, SchemaMatchesPaperAttributes) {
+  MontgomeryGenOptions options;
+  options.num_rows = 300;
+  Table t = GenerateMontgomery2016(options).ValueOrDie();
+  for (const char* field :
+       {"employee_id", "department", "department_name", "division", "gender",
+        "base_salary", "overtime_pay", "longevity_pay", "grade"}) {
+    EXPECT_TRUE(t.schema().HasField(field)) << field;
+  }
+  EXPECT_EQ(t.num_rows(), 300);
+}
+
+TEST(MontgomeryGenTest, PolicyChangesOnlyBaseSalary) {
+  MontgomeryGenOptions options;
+  options.num_rows = 400;
+  Table source = GenerateMontgomery2016(options).ValueOrDie();
+  Table target = GenerateMontgomery2017(source).ValueOrDie();
+  auto src_ot = *source.ColumnAsDoubles("overtime_pay");
+  auto tgt_ot = *target.ColumnAsDoubles("overtime_pay");
+  EXPECT_EQ(src_ot, tgt_ot);
+  auto src_salary = *source.ColumnAsDoubles("base_salary");
+  auto tgt_salary = *target.ColumnAsDoubles("base_salary");
+  int64_t raised = 0;
+  for (size_t i = 0; i < src_salary.size(); ++i) {
+    EXPECT_GE(tgt_salary[i], src_salary[i]);  // nobody's pay dropped
+    if (tgt_salary[i] > src_salary[i]) ++raised;
+  }
+  EXPECT_EQ(raised, source.num_rows());  // everyone got at least the 2% COLA
+}
+
+TEST(MontgomeryGenTest, PublicSafetyGetsLargestRaises) {
+  MontgomeryGenOptions options;
+  options.num_rows = 1000;
+  Table source = GenerateMontgomery2016(options).ValueOrDie();
+  Table target = GenerateMontgomery2017(source).ValueOrDie();
+  auto src = *source.ColumnAsDoubles("base_salary");
+  auto tgt = *target.ColumnAsDoubles("base_salary");
+  double safety_rate = 0.0;
+  int64_t safety_n = 0;
+  double other_low_grade_rate = 0.0;
+  int64_t other_n = 0;
+  for (int64_t r = 0; r < source.num_rows(); ++r) {
+    std::string dept = source.GetValueByName(r, "department")->str();
+    int64_t grade = source.GetValueByName(r, "grade")->int64();
+    double rate = (tgt[static_cast<size_t>(r)] - src[static_cast<size_t>(r)]) /
+                  src[static_cast<size_t>(r)];
+    if (dept == "POL" || dept == "FRS" || dept == "COR") {
+      safety_rate += rate;
+      ++safety_n;
+    } else if (grade < 25) {
+      other_low_grade_rate += rate;
+      ++other_n;
+    }
+  }
+  ASSERT_GT(safety_n, 0);
+  ASSERT_GT(other_n, 0);
+  EXPECT_GT(safety_rate / safety_n, other_low_grade_rate / other_n);
+}
+
+TEST(BillionairesGenTest, WealthIsPositiveHeavyTailed) {
+  BillionairesGenOptions options;
+  options.num_rows = 1000;
+  Table t = GenerateBillionaires(options).ValueOrDie();
+  auto worth = *t.ColumnAsDoubles("net_worth");
+  double max_worth = 0.0;
+  for (double w : worth) {
+    EXPECT_GE(w, 1.0);  // billionaires only
+    max_worth = std::max(max_worth, w);
+  }
+  EXPECT_GT(max_worth, 20.0);  // a heavy tail exists
+}
+
+TEST(BillionairesGenTest, MarketPolicyMovesIndustriesDifferently) {
+  BillionairesGenOptions options;
+  options.num_rows = 600;
+  Table source = GenerateBillionaires(options).ValueOrDie();
+  Table target = MakeMarketPolicy().Apply(source).ValueOrDie();
+  auto src = *source.ColumnAsDoubles("net_worth");
+  auto tgt = *target.ColumnAsDoubles("net_worth");
+  for (int64_t r = 0; r < source.num_rows(); ++r) {
+    std::string industry = source.GetValueByName(r, "industry")->str();
+    double ratio = tgt[static_cast<size_t>(r)] / src[static_cast<size_t>(r)];
+    if (industry == "Technology") {
+      EXPECT_NEAR(ratio, 1.25, 1e-9);
+    } else if (industry == "Energy") {
+      EXPECT_NEAR(ratio, 0.9, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace charles

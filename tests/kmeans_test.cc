@@ -1,0 +1,131 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace charles {
+namespace {
+
+/// n points per centre, tightly grouped around the given 1-D centres.
+Matrix MakeBlobs(const std::vector<double>& centres, int per_centre, double spread,
+                 uint64_t seed) {
+  Rng rng(seed);
+  Matrix points(static_cast<int64_t>(centres.size()) * per_centre, 1);
+  int64_t row = 0;
+  for (double centre : centres) {
+    for (int i = 0; i < per_centre; ++i) {
+      points.At(row++, 0) = centre + rng.Normal(0, spread);
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, SeparatesWellSpacedBlobs) {
+  Matrix points = MakeBlobs({0.0, 100.0, 200.0}, 20, 1.0, 1);
+  KMeansResult result = KMeans::Fit(points, 3).ValueOrDie();
+  // Each blob must map to exactly one cluster.
+  for (int blob = 0; blob < 3; ++blob) {
+    std::set<int> labels;
+    for (int i = 0; i < 20; ++i) labels.insert(result.labels[blob * 20 + i]);
+    EXPECT_EQ(labels.size(), 1u) << "blob " << blob << " split across clusters";
+  }
+  EXPECT_LT(result.inertia, 3 * 20 * 9.0);  // within ~3 sigma per point
+}
+
+TEST(KMeansTest, KEqualsOneGivesSingleCluster) {
+  Matrix points = MakeBlobs({0.0, 50.0}, 10, 1.0, 2);
+  KMeansResult result = KMeans::Fit(points, 1).ValueOrDie();
+  for (int label : result.labels) EXPECT_EQ(label, 0);
+  EXPECT_EQ(result.centroids.rows(), 1);
+}
+
+TEST(KMeansTest, KEqualsNPutsEachPointAlone) {
+  Matrix points = Matrix::FromRows({{0}, {10}, {20}});
+  KMeansResult result = KMeans::Fit(points, 3).ValueOrDie();
+  std::set<int> labels(result.labels.begin(), result.labels.end());
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, DeterministicUnderSeed) {
+  Matrix points = MakeBlobs({0.0, 30.0, 90.0}, 15, 2.0, 3);
+  KMeansOptions options;
+  options.seed = 777;
+  KMeansResult a = KMeans::Fit(points, 3, options).ValueOrDie();
+  KMeansResult b = KMeans::Fit(points, 3, options).ValueOrDie();
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, InputValidation) {
+  Matrix points = Matrix::FromRows({{1}, {2}});
+  EXPECT_TRUE(KMeans::Fit(points, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(KMeans::Fit(points, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(KMeans::Fit(Matrix(0, 1), 1).status().IsInvalidArgument());
+}
+
+TEST(KMeansTest, IdenticalPointsDoNotCrash) {
+  Matrix points(10, 1, 5.0);
+  KMeansResult result = KMeans::Fit(points, 3).ValueOrDie();
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, MultiDimensionalPoints) {
+  Rng rng(5);
+  Matrix points(40, 2);
+  for (int i = 0; i < 20; ++i) {
+    points.At(i, 0) = rng.Normal(0, 1);
+    points.At(i, 1) = rng.Normal(0, 1);
+    points.At(20 + i, 0) = rng.Normal(50, 1);
+    points.At(20 + i, 1) = rng.Normal(50, 1);
+  }
+  KMeansResult result = KMeans::Fit(points, 2).ValueOrDie();
+  EXPECT_NE(result.labels[0], result.labels[39]);
+}
+
+TEST(SilhouetteTest, HighForSeparatedClusters) {
+  Matrix points = MakeBlobs({0.0, 100.0}, 20, 1.0, 7);
+  KMeansResult result = KMeans::Fit(points, 2).ValueOrDie();
+  EXPECT_GT(SilhouetteScore(points, result.labels), 0.9);
+}
+
+TEST(SilhouetteTest, LowForArbitrarySplitOfOneBlob) {
+  Matrix points = MakeBlobs({0.0}, 40, 1.0, 8);
+  KMeansResult result = KMeans::Fit(points, 2).ValueOrDie();
+  EXPECT_LT(SilhouetteScore(points, result.labels), 0.6);
+}
+
+TEST(SilhouetteTest, DegenerateInputsScoreZero) {
+  Matrix points = Matrix::FromRows({{0}, {1}});
+  EXPECT_DOUBLE_EQ(SilhouetteScore(points, {0, 1}), 0.0);  // n < 3
+  Matrix more = Matrix::FromRows({{0}, {1}, {2}});
+  EXPECT_DOUBLE_EQ(SilhouetteScore(more, {0, 0, 0}), 0.0);  // single cluster
+}
+
+TEST(FitBestKTest, FindsPlantedK) {
+  for (int planted_k : {2, 3, 4}) {
+    std::vector<double> centres;
+    for (int i = 0; i < planted_k; ++i) centres.push_back(i * 100.0);
+    Matrix points = MakeBlobs(centres, 25, 1.0, 11 + static_cast<uint64_t>(planted_k));
+    KMeansResult result = FitBestK(points, 1, 6).ValueOrDie();
+    EXPECT_EQ(result.k, planted_k);
+  }
+}
+
+TEST(FitBestKTest, CollapsesToOneForUnstructuredData) {
+  Matrix points = MakeBlobs({0.0}, 60, 1.0, 13);
+  KMeansResult result = FitBestK(points, 1, 5).ValueOrDie();
+  EXPECT_EQ(result.k, 1);
+}
+
+TEST(FitBestKTest, RejectsBadRange) {
+  Matrix points = Matrix::FromRows({{1}, {2}});
+  EXPECT_TRUE(FitBestK(points, 0, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(FitBestK(points, 3, 2).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace charles

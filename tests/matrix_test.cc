@@ -1,0 +1,84 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace charles {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.At(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.At(0, 1), -2.0);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 6);
+}
+
+TEST(MatrixTest, IdentityAndMatMul) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix product = a.MatMul(Matrix::Identity(2));
+  EXPECT_TRUE(product.EqualsApprox(a));
+}
+
+TEST(MatrixTest, MatMulKnownResult) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix expected = Matrix::FromRows({{19, 22}, {43, 50}});
+  EXPECT_TRUE(a.MatMul(b).EqualsApprox(expected));
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), 6);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  std::vector<double> result = a.MatVec({1.0, -1.0});
+  EXPECT_DOUBLE_EQ(result[0], -1.0);
+  EXPECT_DOUBLE_EQ(result[1], -1.0);
+}
+
+TEST(MatrixTest, GramEqualsTransposeTimesSelf) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}, {5, -6}});
+  EXPECT_TRUE(a.Gram().EqualsApprox(a.Transpose().MatMul(a)));
+}
+
+TEST(MatrixTest, TransposeVecEqualsTransposeMatVec) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}, {5, -6}});
+  std::vector<double> y = {1.0, 0.5, -2.0};
+  std::vector<double> direct = a.TransposeVec(y);
+  std::vector<double> via_transpose = a.Transpose().MatVec(y);
+  ASSERT_EQ(direct.size(), via_transpose.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], via_transpose[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, MaxAbs) {
+  Matrix a = Matrix::FromRows({{1, -9}, {3, 4}});
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 9.0);
+  EXPECT_DOUBLE_EQ(Matrix().MaxAbs(), 0.0);
+}
+
+TEST(MatrixTest, EqualsApproxTolerance) {
+  Matrix a = Matrix::FromRows({{1.0}});
+  Matrix b = Matrix::FromRows({{1.0 + 1e-12}});
+  Matrix c = Matrix::FromRows({{1.1}});
+  EXPECT_TRUE(a.EqualsApprox(b));
+  EXPECT_FALSE(a.EqualsApprox(c));
+  EXPECT_FALSE(a.EqualsApprox(Matrix(1, 2)));
+}
+
+}  // namespace
+}  // namespace charles

@@ -1,0 +1,76 @@
+#include "core/multi_target.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/example1.h"
+#include "workload/montgomery_gen.h"
+
+namespace charles {
+namespace {
+
+TEST(MultiTargetTest, Example1FindsBonusAndExp) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  MultiTargetOptions options;
+  options.base.key_columns = {"name"};
+  MultiTargetReport report =
+      SummarizeAllChangedAttributes(source, target, options).ValueOrDie();
+  // exp changed for 9/9 rows, bonus for 7/9, salary for none.
+  ASSERT_EQ(report.per_attribute.size(), 2u);
+  EXPECT_EQ(report.per_attribute[0].attribute, "exp");
+  EXPECT_NEAR(report.per_attribute[0].change_fraction, 1.0, 1e-12);
+  EXPECT_EQ(report.per_attribute[1].attribute, "bonus");
+  EXPECT_NEAR(report.per_attribute[1].change_fraction, 7.0 / 9.0, 1e-12);
+  // The exp summary must be the trivial +1 shift.
+  const ChangeSummary& exp_top = report.per_attribute[0].summaries.summaries[0];
+  EXPECT_EQ(exp_top.num_cts(), 1);
+  EXPECT_NEAR(exp_top.scores().accuracy, 1.0, 1e-9);
+}
+
+TEST(MultiTargetTest, MaxAttributesCaps) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  MultiTargetOptions options;
+  options.base.key_columns = {"name"};
+  options.max_attributes = 1;
+  MultiTargetReport report =
+      SummarizeAllChangedAttributes(source, target, options).ValueOrDie();
+  ASSERT_EQ(report.per_attribute.size(), 1u);
+  EXPECT_EQ(report.per_attribute[0].attribute, "exp");  // most-changed first
+}
+
+TEST(MultiTargetTest, UnchangedSnapshotYieldsEmptyReport) {
+  Table source = MakeExample1Source().ValueOrDie();
+  MultiTargetOptions options;
+  options.base.key_columns = {"name"};
+  MultiTargetReport report =
+      SummarizeAllChangedAttributes(source, source, options).ValueOrDie();
+  EXPECT_TRUE(report.per_attribute.empty());
+}
+
+TEST(MultiTargetTest, MontgomerySingleChangedAttribute) {
+  MontgomeryGenOptions gen;
+  gen.num_rows = 500;
+  Table source = GenerateMontgomery2016(gen).ValueOrDie();
+  Table target = GenerateMontgomery2017(source).ValueOrDie();
+  MultiTargetOptions options;
+  options.base.key_columns = {"employee_id"};
+  MultiTargetReport report =
+      SummarizeAllChangedAttributes(source, target, options).ValueOrDie();
+  ASSERT_EQ(report.per_attribute.size(), 1u);
+  EXPECT_EQ(report.per_attribute[0].attribute, "base_salary");
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("base_salary"), std::string::npos);
+  EXPECT_NE(text.find("100% of rows changed"), std::string::npos);
+}
+
+TEST(MultiTargetTest, MissingKeysRejected) {
+  Table source = MakeExample1Source().ValueOrDie();
+  MultiTargetOptions options;
+  EXPECT_TRUE(SummarizeAllChangedAttributes(source, source, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace charles

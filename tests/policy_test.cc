@@ -1,0 +1,179 @@
+#include "workload/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/example1.h"
+
+namespace charles {
+namespace {
+
+TEST(PolicyTest, Example1PolicyReproducesFigure1Target) {
+  // The planted R1-R3 policy applied to the 2016 snapshot must yield exactly
+  // the paper's 2017 bonus column.
+  Table source = MakeExample1Source().ValueOrDie();
+  Table expected = MakeExample1Target().ValueOrDie();
+  Table produced = MakeExample1Policy().Apply(source).ValueOrDie();
+  auto produced_bonus = produced.ColumnAsDoubles("bonus").ValueOrDie();
+  auto expected_bonus = expected.ColumnAsDoubles("bonus").ValueOrDie();
+  ASSERT_EQ(produced_bonus.size(), expected_bonus.size());
+  for (size_t i = 0; i < produced_bonus.size(); ++i) {
+    EXPECT_NEAR(produced_bonus[i], expected_bonus[i], 1e-9) << "row " << i;
+  }
+}
+
+TEST(PolicyTest, FirstMatchWins) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Policy policy;
+  LinearModel m1;
+  m1.feature_names = {"bonus"};
+  m1.coefficients = {2.0};
+  policy.AddRule(MakeTrue(), LinearTransform::Linear("bonus", m1), "catch-all");
+  LinearModel m2;
+  m2.feature_names = {"bonus"};
+  m2.coefficients = {3.0};
+  policy.AddRule(MakeColumnCompare("edu", CompareOp::kEq, Value("PhD")),
+                 LinearTransform::Linear("bonus", m2), "shadowed");
+  auto rows = policy.RuleRows(source).ValueOrDie();
+  EXPECT_EQ(rows[0].size(), 9);  // catch-all grabs everything
+  EXPECT_TRUE(rows[1].empty());  // later rule sees nothing
+}
+
+TEST(PolicyTest, UnmatchedRowsKeepOldValues) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Policy().Apply(source).ValueOrDie();
+  // Cathy (row 4) and James (row 6) are BS: untouched by R1-R3.
+  EXPECT_EQ(target.GetValue(4, 5), source.GetValue(4, 5));
+  EXPECT_EQ(target.GetValue(6, 5), source.GetValue(6, 5));
+}
+
+TEST(PolicyTest, NoiseChangesValues) {
+  Table source = MakeExample1Source().ValueOrDie();
+  PolicyApplicationOptions options;
+  options.noise_stddev = 100.0;
+  options.seed = 5;
+  Table noisy = MakeExample1Policy().Apply(source, options).ValueOrDie();
+  Table clean = MakeExample1Policy().Apply(source).ValueOrDie();
+  int differing = 0;
+  for (int64_t r = 0; r < source.num_rows(); ++r) {
+    if (noisy.GetValue(r, 5) != clean.GetValue(r, 5)) ++differing;
+  }
+  EXPECT_GT(differing, 4);  // the 7 policy-covered rows got noise
+}
+
+TEST(PolicyTest, UnchangedFractionExemptsRows) {
+  Table source = MakeExample1Source().ValueOrDie();
+  PolicyApplicationOptions options;
+  options.unchanged_fraction = 1.0;  // everyone exempted
+  Table target = MakeExample1Policy().Apply(source, options).ValueOrDie();
+  EXPECT_TRUE(target.Equals(source));
+}
+
+TEST(PolicyTest, RoundingSnapsValues) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Policy policy;
+  LinearModel m;
+  m.feature_names = {"bonus"};
+  m.coefficients = {1.0333};
+  policy.AddRule(MakeTrue(), LinearTransform::Linear("bonus", m));
+  PolicyApplicationOptions options;
+  options.round_to = 100.0;
+  Table target = policy.Apply(source, options).ValueOrDie();
+  for (int64_t r = 0; r < target.num_rows(); ++r) {
+    double v = target.GetValue(r, 5).AsDouble().ValueOrDie();
+    EXPECT_NEAR(std::fmod(v, 100.0), 0.0, 1e-9);
+  }
+}
+
+TEST(PolicyTest, EmptyPolicyRejected) {
+  Table source = MakeExample1Source().ValueOrDie();
+  EXPECT_TRUE(Policy().Apply(source).status().IsInvalidArgument());
+}
+
+TEST(PolicyTest, MixedTargetsRejected) {
+  Policy policy;
+  LinearModel m;
+  m.feature_names = {"bonus"};
+  m.coefficients = {1.0};
+  policy.AddRule(MakeTrue(), LinearTransform::Linear("bonus", m));
+  policy.AddRule(MakeTrue(), LinearTransform::Linear("salary", m));
+  Table source = MakeExample1Source().ValueOrDie();
+  EXPECT_TRUE(policy.Apply(source).status().IsInvalidArgument());
+}
+
+TEST(PolicyTest, ToStringListsRules) {
+  std::string text = MakeExample1Policy().ToString();
+  EXPECT_NE(text.find("R1"), std::string::npos);
+  EXPECT_NE(text.find("edu = 'PhD'"), std::string::npos);
+  EXPECT_NE(text.find("1.05"), std::string::npos);
+}
+
+TEST(RecoveryTest, PerfectSummaryScoresPerfectly) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Policy policy = MakeExample1Policy();
+  // Build a summary that mirrors the policy exactly (plus the no-change CT).
+  std::vector<ConditionalTransform> cts;
+  auto rule_rows = policy.RuleRows(source).ValueOrDie();
+  RowSet covered;
+  for (size_t i = 0; i < policy.rules().size(); ++i) {
+    ConditionalTransform ct;
+    ct.condition = policy.rules()[i].condition;
+    ct.transform = policy.rules()[i].transform;
+    ct.rows = rule_rows[i];
+    ct.coverage = rule_rows[i].Coverage(source.num_rows());
+    covered = covered.Union(ct.rows);
+    cts.push_back(std::move(ct));
+  }
+  ConditionalTransform none;
+  none.condition = MakeColumnCompare("edu", CompareOp::kEq, Value("BS"));
+  none.transform = LinearTransform::NoChange("bonus");
+  none.rows = covered.Complement(source.num_rows());
+  cts.push_back(std::move(none));
+  ChangeSummary summary(std::move(cts), "bonus");
+
+  RecoveryReport report = EvaluateRecovery(policy, summary, source).ValueOrDie();
+  EXPECT_DOUBLE_EQ(report.rule_precision, 1.0);
+  EXPECT_DOUBLE_EQ(report.rule_recall, 1.0);
+  EXPECT_DOUBLE_EQ(report.f1, 1.0);
+  EXPECT_NEAR(report.mean_coefficient_error, 0.0, 1e-9);
+}
+
+TEST(RecoveryTest, WrongCoefficientsLowerRecall) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Policy policy = MakeExample1Policy();
+  // Same partitions, but a badly wrong coefficient on R1.
+  auto rule_rows = policy.RuleRows(source).ValueOrDie();
+  std::vector<ConditionalTransform> cts;
+  for (size_t i = 0; i < policy.rules().size(); ++i) {
+    ConditionalTransform ct;
+    ct.condition = policy.rules()[i].condition;
+    if (i == 0) {
+      LinearModel wrong;
+      wrong.feature_names = {"bonus"};
+      wrong.coefficients = {2.0};  // planted: 1.05
+      wrong.intercept = 0;
+      ct.transform = LinearTransform::Linear("bonus", wrong);
+    } else {
+      ct.transform = policy.rules()[i].transform;
+    }
+    ct.rows = rule_rows[i];
+    cts.push_back(std::move(ct));
+  }
+  ChangeSummary summary(std::move(cts), "bonus");
+  RecoveryReport report = EvaluateRecovery(policy, summary, source).ValueOrDie();
+  EXPECT_LT(report.rule_recall, 1.0);
+  EXPECT_GT(report.rule_recall, 0.0);
+}
+
+TEST(RecoveryTest, EmptySummaryScoresZeroPrecision) {
+  Table source = MakeExample1Source().ValueOrDie();
+  ChangeSummary summary({}, "bonus");
+  RecoveryReport report =
+      EvaluateRecovery(MakeExample1Policy(), summary, source).ValueOrDie();
+  EXPECT_DOUBLE_EQ(report.rule_precision, 0.0);
+  EXPECT_DOUBLE_EQ(report.rule_recall, 0.0);
+}
+
+}  // namespace
+}  // namespace charles

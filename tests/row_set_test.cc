@@ -1,0 +1,65 @@
+#include "table/row_set.h"
+
+#include <gtest/gtest.h>
+
+namespace charles {
+namespace {
+
+TEST(RowSetTest, ConstructionSortsAndDedupes) {
+  RowSet set({5, 1, 3, 1, 5});
+  EXPECT_EQ(set.size(), 3);
+  EXPECT_EQ(set.indices(), (std::vector<int64_t>{1, 3, 5}));
+}
+
+TEST(RowSetTest, AllAndContains) {
+  RowSet all = RowSet::All(4);
+  EXPECT_EQ(all.size(), 4);
+  EXPECT_TRUE(all.Contains(0));
+  EXPECT_TRUE(all.Contains(3));
+  EXPECT_FALSE(all.Contains(4));
+  EXPECT_FALSE(all.Contains(-1));
+}
+
+TEST(RowSetTest, FromMask) {
+  RowSet set = RowSet::FromMask({true, false, true, false, true});
+  EXPECT_EQ(set.indices(), (std::vector<int64_t>{0, 2, 4}));
+}
+
+TEST(RowSetTest, SetAlgebra) {
+  RowSet a({1, 2, 3, 4});
+  RowSet b({3, 4, 5});
+  EXPECT_EQ(a.Intersect(b).indices(), (std::vector<int64_t>{3, 4}));
+  EXPECT_EQ(a.Union(b).indices(), (std::vector<int64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(a.Difference(b).indices(), (std::vector<int64_t>{1, 2}));
+}
+
+TEST(RowSetTest, ComplementPartitions) {
+  RowSet a({0, 2});
+  RowSet complement = a.Complement(5);
+  EXPECT_EQ(complement.indices(), (std::vector<int64_t>{1, 3, 4}));
+  EXPECT_EQ(a.Union(complement), RowSet::All(5));
+  EXPECT_TRUE(a.Intersect(complement).empty());
+}
+
+TEST(RowSetTest, Coverage) {
+  EXPECT_DOUBLE_EQ(RowSet({0, 1}).Coverage(8), 0.25);
+  EXPECT_DOUBLE_EQ(RowSet().Coverage(8), 0.0);
+  EXPECT_DOUBLE_EQ(RowSet({0}).Coverage(0), 0.0);
+}
+
+TEST(RowSetTest, EmptyBehaviour) {
+  RowSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.Union(RowSet({1})).size(), 1);
+  EXPECT_TRUE(empty.Intersect(RowSet({1})).empty());
+  EXPECT_EQ(RowSet::All(0).size(), 0);
+}
+
+TEST(RowSetTest, ToStringTruncates) {
+  RowSet set = RowSet::All(100);
+  std::string text = set.ToString(4);
+  EXPECT_NE(text.find("+96"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace charles

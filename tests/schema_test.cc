@@ -1,0 +1,82 @@
+#include "types/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace charles {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Make({
+                          Field{"id", TypeKind::kInt64, false},
+                          Field{"name", TypeKind::kString, true},
+                          Field{"salary", TypeKind::kDouble, true},
+                          Field{"active", TypeKind::kBool, true},
+                      })
+      .ValueOrDie();
+}
+
+TEST(SchemaTest, MakeValidatesAndIndexes) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(schema.num_fields(), 4);
+  EXPECT_EQ(schema.field(0).name, "id");
+  EXPECT_EQ(*schema.FieldIndex("salary"), 2);
+  EXPECT_TRUE(schema.HasField("active"));
+  EXPECT_FALSE(schema.HasField("missing"));
+}
+
+TEST(SchemaTest, DuplicateNamesRejected) {
+  auto result = Schema::Make({Field{"a", TypeKind::kInt64, true},
+                              Field{"a", TypeKind::kDouble, true}});
+  EXPECT_TRUE(result.status().IsAlreadyExists());
+}
+
+TEST(SchemaTest, EmptyNameRejected) {
+  auto result = Schema::Make({Field{"", TypeKind::kInt64, true}});
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, FieldIndexMissingIsNotFound) {
+  EXPECT_TRUE(TestSchema().FieldIndex("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, NumericFieldIndices) {
+  EXPECT_EQ(TestSchema().NumericFieldIndices(), (std::vector<int>{0, 2}));
+}
+
+TEST(SchemaTest, EqualsComparesFieldByField) {
+  EXPECT_TRUE(TestSchema().Equals(TestSchema()));
+  Schema other = Schema::Make({Field{"id", TypeKind::kInt64, false}}).ValueOrDie();
+  EXPECT_FALSE(TestSchema().Equals(other));
+}
+
+TEST(SchemaTest, NullabilityMattersForEquality) {
+  Schema a = Schema::Make({Field{"x", TypeKind::kInt64, true}}).ValueOrDie();
+  Schema b = Schema::Make({Field{"x", TypeKind::kInt64, false}}).ValueOrDie();
+  EXPECT_FALSE(a.Equals(b));
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  EXPECT_EQ(TestSchema().ToString(),
+            "id: int64 NOT NULL, name: string, salary: double, active: bool");
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_EQ(TypeKindName(TypeKind::kInt64), "int64");
+  EXPECT_EQ(TypeKindName(TypeKind::kDouble), "double");
+  EXPECT_EQ(TypeKindName(TypeKind::kString), "string");
+  EXPECT_EQ(TypeKindName(TypeKind::kBool), "bool");
+  EXPECT_EQ(TypeKindName(TypeKind::kNull), "null");
+}
+
+TEST(DataTypeTest, NumericPredicateAndPromotion) {
+  EXPECT_TRUE(IsNumeric(TypeKind::kInt64));
+  EXPECT_TRUE(IsNumeric(TypeKind::kDouble));
+  EXPECT_FALSE(IsNumeric(TypeKind::kString));
+  EXPECT_FALSE(IsNumeric(TypeKind::kBool));
+  EXPECT_EQ(CommonNumericType(TypeKind::kInt64, TypeKind::kInt64), TypeKind::kInt64);
+  EXPECT_EQ(CommonNumericType(TypeKind::kInt64, TypeKind::kDouble), TypeKind::kDouble);
+  EXPECT_EQ(CommonNumericType(TypeKind::kString, TypeKind::kInt64), TypeKind::kNull);
+}
+
+}  // namespace
+}  // namespace charles

@@ -1,0 +1,185 @@
+#include "core/scoring.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/example1.h"
+
+namespace charles {
+namespace {
+
+CharlesOptions DefaultOptions() {
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  return options;
+}
+
+/// A summary with one TRUE -> no-change CT over n rows.
+ChangeSummary NoopSummary(int64_t n) {
+  ConditionalTransform ct;
+  ct.condition = MakeTrue();
+  ct.transform = LinearTransform::NoChange("bonus");
+  ct.rows = RowSet::All(n);
+  ct.coverage = 1.0;
+  return ChangeSummary({std::move(ct)}, "bonus");
+}
+
+TEST(ScorerTest, PerfectPredictionScoresAccuracyOne) {
+  std::vector<double> y_old = {1, 2, 3};
+  std::vector<double> y_new = {2, 4, 6};
+  Scorer scorer(DefaultOptions(), y_old, y_new);
+  EXPECT_DOUBLE_EQ(scorer.Accuracy(y_new), 1.0);
+}
+
+TEST(ScorerTest, DoNothingScoresAccuracyZero) {
+  std::vector<double> y_old = {1, 2, 3};
+  std::vector<double> y_new = {2, 4, 6};
+  Scorer scorer(DefaultOptions(), y_old, y_new);
+  EXPECT_DOUBLE_EQ(scorer.Accuracy(y_old), 0.0);
+}
+
+TEST(ScorerTest, HalfExplainedScoresQuarter) {
+  // L1-explained is 0.5, exactness 0: the blend gives 0.25. Being close on
+  // average is worth less than being right (paper's R4 vs R1-R3 contrast).
+  std::vector<double> y_old = {0, 0};
+  std::vector<double> y_new = {10, 10};
+  Scorer scorer(DefaultOptions(), y_old, y_new);
+  EXPECT_DOUBLE_EQ(scorer.Accuracy({5, 5}), 0.25);
+}
+
+TEST(ScorerTest, ExactnessRewardsRowwiseCorrectSummaries) {
+  std::vector<double> y_old = {0, 0, 0, 0};
+  std::vector<double> y_new = {10, 10, 10, 10};
+  Scorer scorer(DefaultOptions(), y_old, y_new);
+  // Exactly right on half the rows, untouched on the rest:
+  // L1-explained 0.5, exactness 0.5 -> 0.5.
+  EXPECT_DOUBLE_EQ(scorer.Accuracy({10, 10, 0, 0}), 0.5);
+  // Close-but-wrong everywhere with the same L1: scores lower.
+  EXPECT_DOUBLE_EQ(scorer.Accuracy({5, 5, 5, 5}), 0.25);
+}
+
+TEST(ScorerTest, OvershootClampsToZero) {
+  std::vector<double> y_old = {0};
+  std::vector<double> y_new = {10};
+  Scorer scorer(DefaultOptions(), y_old, y_new);
+  EXPECT_DOUBLE_EQ(scorer.Accuracy({-20}), 0.0);
+}
+
+TEST(ScorerTest, IdenticalSnapshotsRewardNoChange) {
+  std::vector<double> y = {5, 5, 5};
+  Scorer scorer(DefaultOptions(), y, y);
+  EXPECT_DOUBLE_EQ(scorer.Accuracy(y), 1.0);
+  EXPECT_LT(scorer.Accuracy({50, 50, 50}), 0.5);
+}
+
+TEST(ScorerTest, AlphaTradesOffComponents) {
+  std::vector<double> y_old = {1, 2, 3, 4};
+  std::vector<double> y_new = {2, 4, 6, 8};
+  ChangeSummary noop = NoopSummary(4);
+
+  CharlesOptions acc_only = DefaultOptions();
+  acc_only.alpha = 1.0;
+  ScoreBreakdown b1 = Scorer(acc_only, y_old, y_new).Score(noop, y_old);
+  EXPECT_DOUBLE_EQ(b1.score, 0.0);  // accuracy 0, weight 1
+
+  CharlesOptions interp_only = DefaultOptions();
+  interp_only.alpha = 0.0;
+  ScoreBreakdown b2 = Scorer(interp_only, y_old, y_new).Score(noop, y_old);
+  EXPECT_DOUBLE_EQ(b2.score, b2.interpretability);
+  EXPECT_DOUBLE_EQ(b2.interpretability, 1.0);  // 1 CT, TRUE cond, no-change
+}
+
+TEST(ScorerTest, SmallerSummariesMoreInterpretable) {
+  Table source = MakeExample1Source().ValueOrDie();
+  std::vector<double> y_old = *source.ColumnAsDoubles("bonus");
+  Scorer scorer(DefaultOptions(), y_old, y_old);
+
+  ChangeSummary one_ct = NoopSummary(9);
+  ChangeSummary three_cts(
+      {
+          [&] {
+            ConditionalTransform ct;
+            ct.condition = MakeColumnCompare("edu", CompareOp::kEq, Value("PhD"));
+            ct.transform = LinearTransform::NoChange("bonus");
+            ct.rows = RowSet({0, 1, 8});
+            ct.coverage = 3.0 / 9;
+            return ct;
+          }(),
+          [&] {
+            ConditionalTransform ct;
+            ct.condition = MakeColumnCompare("edu", CompareOp::kEq, Value("MS"));
+            ct.transform = LinearTransform::NoChange("bonus");
+            ct.rows = RowSet({2, 3, 5, 7});
+            ct.coverage = 4.0 / 9;
+            return ct;
+          }(),
+          [&] {
+            ConditionalTransform ct;
+            ct.condition = MakeColumnCompare("edu", CompareOp::kEq, Value("BS"));
+            ct.transform = LinearTransform::NoChange("bonus");
+            ct.rows = RowSet({4, 6});
+            ct.coverage = 2.0 / 9;
+            return ct;
+          }(),
+      },
+      "bonus");
+  double i1 = scorer.InterpretabilityOnly(one_ct).interpretability;
+  double i3 = scorer.InterpretabilityOnly(three_cts).interpretability;
+  EXPECT_GT(i1, i3);
+}
+
+TEST(ScorerTest, CoveragePenalizesPartialSummaries) {
+  Table source = MakeExample1Source().ValueOrDie();
+  std::vector<double> y_old = *source.ColumnAsDoubles("bonus");
+  Scorer scorer(DefaultOptions(), y_old, y_old);
+  ConditionalTransform partial;
+  partial.condition = MakeColumnCompare("edu", CompareOp::kEq, Value("PhD"));
+  partial.transform = LinearTransform::NoChange("bonus");
+  partial.rows = RowSet({0, 1, 8});
+  partial.coverage = 3.0 / 9;
+  ChangeSummary summary({partial}, "bonus");
+  ScoreBreakdown b = scorer.InterpretabilityOnly(summary);
+  EXPECT_NEAR(b.coverage, 3.0 / 9, 1e-12);
+}
+
+TEST(ScorerTest, UglyConstantsLowerNormality) {
+  std::vector<double> y = {1, 2};
+  Scorer scorer(DefaultOptions(), y, y);
+  auto summary_with_coef = [&](double coef) {
+    LinearModel model;
+    model.feature_names = {"bonus"};
+    model.coefficients = {coef};
+    ConditionalTransform ct;
+    ct.condition = MakeTrue();
+    ct.transform = LinearTransform::Linear("bonus", std::move(model));
+    ct.rows = RowSet::All(2);
+    ct.coverage = 1.0;
+    return ChangeSummary({std::move(ct)}, "bonus");
+  };
+  double nice = scorer.InterpretabilityOnly(summary_with_coef(1.05)).normality;
+  double ugly = scorer.InterpretabilityOnly(summary_with_coef(1.0537)).normality;
+  EXPECT_GT(nice, ugly);
+}
+
+TEST(ScorerTest, ApplyAndScoreMatchesManualApply) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  std::vector<double> y_old = *source.ColumnAsDoubles("bonus");
+  std::vector<double> y_new = *target.ColumnAsDoubles("bonus");
+  Scorer scorer(DefaultOptions(), y_old, y_new);
+  ChangeSummary noop = NoopSummary(9);
+  ScoreBreakdown via_apply = scorer.ApplyAndScore(noop, source).ValueOrDie();
+  ScoreBreakdown direct = scorer.Score(noop, y_old);
+  EXPECT_DOUBLE_EQ(via_apply.score, direct.score);
+}
+
+TEST(ScorerTest, EmptySummaryHasZeroCoverage) {
+  std::vector<double> y = {1, 2};
+  Scorer scorer(DefaultOptions(), y, y);
+  ScoreBreakdown b = scorer.InterpretabilityOnly(ChangeSummary({}, "bonus"));
+  EXPECT_DOUBLE_EQ(b.coverage, 0.0);
+  EXPECT_DOUBLE_EQ(b.summary_size, 1.0);
+}
+
+}  // namespace
+}  // namespace charles

@@ -1,0 +1,145 @@
+#include "core/setup_assistant.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/employee_gen.h"
+#include "workload/example1.h"
+
+namespace charles {
+namespace {
+
+CharlesOptions BonusOptions() {
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  return options;
+}
+
+SnapshotDiff Example1Diff(const Table& source, const Table& target) {
+  DiffOptions options;
+  options.key_columns = {"name"};
+  return SnapshotDiff::Compute(source, target, options).ValueOrDie();
+}
+
+TEST(SetupAssistantTest, EduTopsConditionListOnExample1) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  SnapshotDiff diff = Example1Diff(source, target);
+  SetupResult setup = SetupAssistant::Analyze(diff, BonusOptions()).ValueOrDie();
+  ASSERT_FALSE(setup.condition_candidates.empty());
+  // edu drives the change groups: it must rank first with a strong score.
+  EXPECT_EQ(setup.condition_candidates[0].name, "edu");
+  EXPECT_GT(setup.condition_candidates[0].association, 0.9);
+  EXPECT_TRUE(setup.condition_candidates[0].above_threshold);
+}
+
+TEST(SetupAssistantTest, OldTargetIsATransformCandidate) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  SnapshotDiff diff = Example1Diff(source, target);
+  SetupResult setup = SetupAssistant::Analyze(diff, BonusOptions()).ValueOrDie();
+  std::vector<std::string> names = setup.TransformNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "bonus"), names.end());
+  // But never a condition candidate.
+  std::vector<std::string> cond = setup.ConditionNames();
+  EXPECT_EQ(std::find(cond.begin(), cond.end(), "bonus"), cond.end());
+}
+
+TEST(SetupAssistantTest, ExcludingOldTargetWorks) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  SnapshotDiff diff = Example1Diff(source, target);
+  CharlesOptions options = BonusOptions();
+  options.include_old_target_in_transform = false;
+  SetupResult setup = SetupAssistant::Analyze(diff, options).ValueOrDie();
+  std::vector<std::string> names = setup.TransformNames();
+  EXPECT_EQ(std::find(names.begin(), names.end(), "bonus"), names.end());
+}
+
+TEST(SetupAssistantTest, KeyColumnsNeverCandidates) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  SnapshotDiff diff = Example1Diff(source, target);
+  SetupResult setup = SetupAssistant::Analyze(diff, BonusOptions()).ValueOrDie();
+  for (const auto& c : setup.condition_candidates) EXPECT_NE(c.name, "name");
+  for (const auto& c : setup.transform_candidates) EXPECT_NE(c.name, "name");
+}
+
+TEST(SetupAssistantTest, MinimumCandidatesKeptBelowThreshold) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  SnapshotDiff diff = Example1Diff(source, target);
+  CharlesOptions options = BonusOptions();
+  options.correlation_threshold = 0.99;  // nothing clears this
+  options.min_condition_candidates = 2;
+  SetupResult setup = SetupAssistant::Analyze(diff, options).ValueOrDie();
+  EXPECT_GE(setup.condition_candidates.size(), 2u);
+  // They must be flagged as below-threshold keeps.
+  EXPECT_FALSE(setup.condition_candidates[1].above_threshold);
+}
+
+TEST(SetupAssistantTest, CandidatesRankedByAssociation) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  SnapshotDiff diff = Example1Diff(source, target);
+  SetupResult setup = SetupAssistant::Analyze(diff, BonusOptions()).ValueOrDie();
+  for (size_t i = 1; i < setup.condition_candidates.size(); ++i) {
+    EXPECT_GE(setup.condition_candidates[i - 1].association,
+              setup.condition_candidates[i].association);
+  }
+}
+
+TEST(SetupAssistantTest, DecoysRankBelowInformativeAttributes) {
+  EmployeeGenOptions gen;
+  gen.num_rows = 600;
+  gen.num_decoy_numeric = 4;
+  gen.num_decoy_categorical = 4;
+  Table source = GenerateEmployees(gen).ValueOrDie();
+  Table target = MakeEmployeeBonusPolicy().Apply(source).ValueOrDie();
+  DiffOptions diff_options;
+  diff_options.key_columns = {"emp_id"};
+  SnapshotDiff diff = SnapshotDiff::Compute(source, target, diff_options).ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"emp_id"};
+  options.max_condition_candidates = 3;
+  SetupResult setup = SetupAssistant::Analyze(diff, options).ValueOrDie();
+  // The top condition candidates must all be real attributes, not decoys.
+  for (const auto& c : setup.condition_candidates) {
+    EXPECT_EQ(c.name.find("decoy"), std::string::npos) << c.name;
+  }
+  EXPECT_EQ(setup.condition_candidates[0].name, "edu");
+}
+
+TEST(SetupAssistantTest, NonNumericTargetRejected) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  SnapshotDiff diff = Example1Diff(source, target);
+  CharlesOptions options = BonusOptions();
+  options.target_attribute = "edu";
+  EXPECT_TRUE(SetupAssistant::Analyze(diff, options).status().IsTypeError());
+}
+
+TEST(SetupAssistantTest, CapsRespected) {
+  EmployeeGenOptions gen;
+  gen.num_rows = 200;
+  gen.num_decoy_numeric = 10;
+  Table source = GenerateEmployees(gen).ValueOrDie();
+  Table target = MakeEmployeeBonusPolicy().Apply(source).ValueOrDie();
+  DiffOptions diff_options;
+  diff_options.key_columns = {"emp_id"};
+  SnapshotDiff diff = SnapshotDiff::Compute(source, target, diff_options).ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"emp_id"};
+  options.max_condition_candidates = 4;
+  options.max_transform_candidates = 3;
+  SetupResult setup = SetupAssistant::Analyze(diff, options).ValueOrDie();
+  EXPECT_LE(setup.condition_candidates.size(), 4u);
+  EXPECT_LE(setup.transform_candidates.size(), 3u);
+}
+
+}  // namespace
+}  // namespace charles

@@ -1,0 +1,107 @@
+#include "linalg/solve.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace charles {
+namespace {
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  auto x = CholeskySolve(a, {10.0, 8.0});
+  ASSERT_TRUE(x.ok());
+  // Verify A x = b.
+  std::vector<double> back = a.MatVec(*x);
+  EXPECT_NEAR(back[0], 10.0, 1e-9);
+  EXPECT_NEAR(back[1], 8.0, 1e-9);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a = Matrix::FromRows({{0, 0}, {0, 0}});
+  EXPECT_TRUE(CholeskySolve(a, {1.0, 1.0}).status().IsInvalidArgument());
+  Matrix indefinite = Matrix::FromRows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskySolve(indefinite, {1.0, 1.0}).ok());
+}
+
+TEST(CholeskyTest, RejectsDimensionMismatch) {
+  Matrix a = Matrix::FromRows({{1, 0}, {0, 1}});
+  EXPECT_TRUE(CholeskySolve(a, {1.0}).status().IsInvalidArgument());
+  Matrix rect(2, 3);
+  EXPECT_TRUE(CholeskySolve(rect, {1.0, 1.0}).status().IsInvalidArgument());
+}
+
+TEST(QrTest, ExactSolutionForSquareSystem) {
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 3}});
+  auto x = QrLeastSquares(a, {5.0, 10.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-9);
+}
+
+TEST(QrTest, LeastSquaresMinimizesResidual) {
+  // Overdetermined: y = 2x + 1 with an outlier-free exact system.
+  Matrix a = Matrix::FromRows({{1, 1}, {1, 2}, {1, 3}, {1, 4}});
+  auto x = QrLeastSquares(a, {3.0, 5.0, 7.0, 9.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-9);
+}
+
+TEST(QrTest, RejectsRankDeficient) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}, {3, 6}});  // col2 = 2*col1
+  EXPECT_FALSE(QrLeastSquares(a, {1.0, 2.0, 3.0}).ok());
+}
+
+TEST(QrTest, RejectsUnderdetermined) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}});
+  EXPECT_TRUE(QrLeastSquares(a, {1.0}).status().IsInvalidArgument());
+}
+
+TEST(QrTest, RejectsZeroMatrix) {
+  Matrix a(3, 2);
+  EXPECT_FALSE(QrLeastSquares(a, {1.0, 2.0, 3.0}).ok());
+}
+
+TEST(RidgeTest, HandlesCollinearDesign) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}, {3, 6}});
+  auto x = RidgeLeastSquares(a, {1.0, 2.0, 3.0}, 1e-6);
+  ASSERT_TRUE(x.ok());
+  // The ridge solution reproduces the targets despite collinearity.
+  std::vector<double> back = a.MatVec(*x);
+  for (size_t i = 0; i < back.size(); ++i) {
+    EXPECT_NEAR(back[i], static_cast<double>(i + 1), 1e-3);
+  }
+}
+
+TEST(RidgeTest, RequiresPositiveLambda) {
+  Matrix a = Matrix::FromRows({{1.0}});
+  EXPECT_TRUE(RidgeLeastSquares(a, {1.0}, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(RidgeLeastSquares(a, {1.0}, -1.0).status().IsInvalidArgument());
+}
+
+/// Property: QR recovers random planted coefficient vectors exactly.
+class QrPlantedProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QrPlantedProperty, RecoversPlantedSolution) {
+  int p = GetParam();
+  Rng rng(1000 + static_cast<uint64_t>(p));
+  int64_t n = 20 + 3 * p;
+  Matrix a(n, p);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int c = 0; c < p; ++c) a.At(r, c) = rng.Uniform(-10, 10);
+  }
+  std::vector<double> planted(static_cast<size_t>(p));
+  for (int c = 0; c < p; ++c) planted[static_cast<size_t>(c)] = rng.Uniform(-5, 5);
+  std::vector<double> b = a.MatVec(planted);
+  auto x = QrLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  for (int c = 0; c < p; ++c) {
+    EXPECT_NEAR((*x)[static_cast<size_t>(c)], planted[static_cast<size_t>(c)], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, QrPlantedProperty, ::testing::Values(1, 2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace charles

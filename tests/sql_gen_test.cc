@@ -1,0 +1,115 @@
+#include "core/sql_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "workload/example1.h"
+
+namespace charles {
+namespace {
+
+ChangeSummary Example1TopSummary() {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+  return result.summaries[0];
+}
+
+ChangeSummary HandBuiltSummary() {
+  LinearModel model;
+  model.feature_names = {"bonus"};
+  model.coefficients = {1.05};
+  model.intercept = 1000;
+  ConditionalTransform phd;
+  phd.condition = MakeColumnCompare("edu", CompareOp::kEq, Value("PhD"));
+  phd.transform = LinearTransform::Linear("bonus", std::move(model));
+  ConditionalTransform rest;
+  rest.condition = MakeColumnCompare("edu", CompareOp::kNe, Value("PhD"));
+  rest.transform = LinearTransform::NoChange("bonus");
+  return ChangeSummary({std::move(phd), std::move(rest)}, "bonus");
+}
+
+TEST(SqlGenTest, SingleStatementCaseForm) {
+  SqlGenOptions options;
+  options.table_name = "salaries";
+  std::string sql = ToSqlUpdate(HandBuiltSummary(), options).ValueOrDie();
+  EXPECT_EQ(sql,
+            "UPDATE salaries SET bonus = CASE\n"
+            "  WHEN edu = 'PhD' THEN 1.05 * bonus + 1000\n"
+            "  WHEN edu != 'PhD' THEN bonus\n"
+            "  ELSE bonus\nEND;\n");
+}
+
+TEST(SqlGenTest, PerStatementForm) {
+  SqlGenOptions options;
+  options.table_name = "salaries";
+  options.single_statement = false;
+  std::string sql = ToSqlUpdate(HandBuiltSummary(), options).ValueOrDie();
+  EXPECT_NE(sql.find("UPDATE salaries SET bonus = 1.05 * bonus + 1000 "
+                     "WHERE edu = 'PhD';"),
+            std::string::npos);
+  // No-change partitions become comments, not UPDATEs.
+  EXPECT_NE(sql.find("-- edu != 'PhD': no change"), std::string::npos);
+}
+
+TEST(SqlGenTest, EngineSummaryRendersAndMentionsEveryCondition) {
+  ChangeSummary summary = Example1TopSummary();
+  std::string sql = ToSqlUpdate(summary).ValueOrDie();
+  for (const ConditionalTransform& ct : summary.cts()) {
+    EXPECT_NE(sql.find(ct.condition->ToString()), std::string::npos)
+        << "missing condition: " << ct.condition->ToString();
+  }
+  EXPECT_NE(sql.find("UPDATE snapshot SET bonus = CASE"), std::string::npos);
+}
+
+TEST(SqlGenTest, QuotesAwkwardIdentifiers) {
+  LinearModel model;
+  model.feature_names = {"base salary"};
+  model.coefficients = {1.02};
+  ConditionalTransform ct;
+  ct.condition = MakeTrue();
+  ct.transform = LinearTransform::Linear("base salary", std::move(model));
+  ChangeSummary summary({std::move(ct)}, "base salary");
+  SqlGenOptions options;
+  options.table_name = "pay roll";
+  std::string sql = ToSqlUpdate(summary, options).ValueOrDie();
+  EXPECT_NE(sql.find("UPDATE \"pay roll\" SET \"base salary\""), std::string::npos);
+  EXPECT_NE(sql.find("1.02 * \"base salary\""), std::string::npos);
+}
+
+TEST(SqlGenTest, NegativeCoefficientsAndConstants) {
+  LinearModel model;
+  model.feature_names = {"x"};
+  model.coefficients = {-0.5};
+  model.intercept = -20;
+  ConditionalTransform ct;
+  ct.condition = MakeTrue();
+  ct.transform = LinearTransform::Linear("y", std::move(model));
+  ChangeSummary summary({std::move(ct)}, "y");
+  std::string sql = ToSqlUpdate(summary).ValueOrDie();
+  EXPECT_NE(sql.find("THEN -0.5 * x - 20"), std::string::npos) << sql;
+}
+
+TEST(SqlGenTest, ConstantRule) {
+  LinearModel model;
+  model.intercept = 13790;
+  ConditionalTransform ct;
+  ct.condition = MakeTrue();
+  ct.transform = LinearTransform::Linear("bonus", std::move(model));
+  ChangeSummary summary({std::move(ct)}, "bonus");
+  std::string sql = ToSqlUpdate(summary).ValueOrDie();
+  EXPECT_NE(sql.find("THEN 13790"), std::string::npos);
+}
+
+TEST(SqlGenTest, ErrorsOnEmptySummaryOrTable) {
+  EXPECT_TRUE(ToSqlUpdate(ChangeSummary({}, "x")).status().IsInvalidArgument());
+  SqlGenOptions options;
+  options.table_name = "";
+  EXPECT_TRUE(ToSqlUpdate(HandBuiltSummary(), options).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace charles

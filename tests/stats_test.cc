@@ -1,0 +1,106 @@
+#include "linalg/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace charles {
+namespace {
+
+TEST(StatsTest, MeanVarianceStddev) {
+  std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(Stddev(xs), 2.0);
+}
+
+TEST(StatsTest, EmptyAndSingletonInputs) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+}
+
+TEST(StatsTest, CovarianceSign) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  std::vector<double> up = {2, 4, 6, 8};
+  std::vector<double> down = {8, 6, 4, 2};
+  EXPECT_GT(Covariance(xs, up), 0.0);
+  EXPECT_LT(Covariance(xs, down), 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {3, 5, 7, 9, 11};  // y = 2x + 1
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = {11, 9, 7, 5, 3};
+  EXPECT_NEAR(PearsonCorrelation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantInputIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, PearsonUncorrelatedNearZero) {
+  Rng rng(77);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(rng.Uniform());
+    ys.push_back(rng.Uniform());
+  }
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 0.0, 0.05);
+}
+
+TEST(StatsTest, AverageRanksHandleTies) {
+  std::vector<double> ranks = AverageRanks({10, 20, 20, 30});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(StatsTest, SpearmanDetectsMonotoneNonlinear) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {1, 8, 27, 64, 125};  // monotone cubic
+  EXPECT_NEAR(SpearmanCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(StatsTest, CorrelationRatioSeparatedGroups) {
+  // Group 0 around 0, group 1 around 100: eta near 1.
+  std::vector<int> groups = {0, 0, 0, 1, 1, 1};
+  std::vector<double> ys = {-1, 0, 1, 99, 100, 101};
+  EXPECT_GT(CorrelationRatio(groups, ys), 0.99);
+}
+
+TEST(StatsTest, CorrelationRatioUninformativeGroups) {
+  std::vector<int> groups = {0, 1, 0, 1};
+  std::vector<double> ys = {1, 1, 5, 5};  // group means equal
+  EXPECT_NEAR(CorrelationRatio(groups, ys), 0.0, 1e-12);
+}
+
+TEST(StatsTest, CorrelationRatioConstantOutcome) {
+  EXPECT_DOUBLE_EQ(CorrelationRatio({0, 1, 2}, {4, 4, 4}), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolation) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(*Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(*Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(*Quantile(xs, 0.5), 2.5);
+  EXPECT_TRUE(Quantile({}, 0.5).status().IsInvalidArgument());
+  EXPECT_TRUE(Quantile({1.0}, 1.5).status().IsOutOfRange());
+}
+
+TEST(StatsTest, ErrorMetrics) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {2, 2, 5};
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError(a, b), std::sqrt(5.0 / 3.0));
+  EXPECT_DOUBLE_EQ(L1Distance(a, a), 0.0);
+}
+
+}  // namespace
+}  // namespace charles

@@ -1,0 +1,110 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace charles {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructorsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::NotFound("missing row").message(), "missing row");
+}
+
+TEST(StatusTest, ToStringIncludesCategoryAndMessage) {
+  Status s = Status::TypeError("expected int64");
+  EXPECT_EQ(s.ToString(), "Type error: expected int64");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("key (3)").WithContext("diff");
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "diff: key (3)");
+}
+
+TEST(StatusTest, WithContextIsNoOpOnOk) {
+  EXPECT_TRUE(Status::OK().WithContext("anything").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Internal("a"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    CHARLES_RETURN_NOT_OK(Status::IOError("disk gone"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsIOError());
+  auto succeeds = []() -> Status {
+    CHARLES_RETURN_NOT_OK(Status::OK());
+    return Status::InvalidArgument("reached end");
+  };
+  EXPECT_TRUE(succeeds().IsInvalidArgument());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r(Status::OK());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, ValueOrReturnsAlternativeOnError) {
+  Result<int> bad(Status::NotFound("x"));
+  EXPECT_EQ(bad.ValueOr(7), 7);
+  Result<int> good(3);
+  EXPECT_EQ(good.ValueOr(7), 3);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, AssignOrReturnMacroUnwraps) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("too big");
+    return 10;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    CHARLES_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 11);
+  EXPECT_TRUE(outer(true).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace charles

@@ -1,0 +1,113 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace charles {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, EmptyPiecesPreserved) {
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOnePiece) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> pieces = {"x", "", "yz"};
+  EXPECT_EQ(Split(Join(pieces, ";"), ';'), pieces);
+}
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(CaseTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("AbC9"), "abc9");
+  EXPECT_EQ(ToUpper("AbC9"), "ABC9");
+}
+
+TEST(CaseTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("TRUE", "true"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("true", "tru"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("charles", "char"));
+  EXPECT_FALSE(StartsWith("char", "charles"));
+  EXPECT_TRUE(EndsWith("charles", "les"));
+  EXPECT_FALSE(EndsWith("les", "charles"));
+}
+
+TEST(ParseInt64Test, ValidInputs) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("-7"), -7);
+  EXPECT_EQ(ParseInt64(" 13 "), 13);
+  EXPECT_EQ(ParseInt64("0"), 0);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("4.2").has_value());
+  EXPECT_FALSE(ParseInt64("12abc").has_value());
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").has_value());
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("42"), 42.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbageAndNonFinite) {
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.2.3").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("nan").has_value());
+  EXPECT_FALSE(ParseDouble("inf").has_value());
+}
+
+TEST(ParseBoolTest, RecognizedSpellings) {
+  EXPECT_EQ(ParseBool("true"), true);
+  EXPECT_EQ(ParseBool("FALSE"), false);
+  EXPECT_EQ(ParseBool("1"), true);
+  EXPECT_EQ(ParseBool("0"), false);
+  EXPECT_FALSE(ParseBool("yes").has_value());
+}
+
+TEST(FormatDoubleTest, IntegralValuesPrintWithoutPoint) {
+  EXPECT_EQ(FormatDouble(1000.0), "1000");
+  EXPECT_EQ(FormatDouble(-3.0), "-3");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+}
+
+TEST(FormatDoubleTest, TrailingZerosTrimmed) {
+  EXPECT_EQ(FormatDouble(1.05), "1.05");
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(1.234567, 3), "1.235");
+}
+
+TEST(FormatDoubleTest, NonFinite) {
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatDouble(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(PadTest, PadRightAndLeft) {
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("abcd", 2), "abcd");  // never truncates below content
+  EXPECT_EQ(PadLeft("abcd", 2), "abcd");
+}
+
+}  // namespace
+}  // namespace charles

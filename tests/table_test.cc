@@ -1,0 +1,167 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+#include "table/key_index.h"
+#include "table/table_builder.h"
+
+namespace charles {
+namespace {
+
+Schema PeopleSchema() {
+  return Schema::Make({
+                          Field{"id", TypeKind::kInt64, false},
+                          Field{"name", TypeKind::kString, true},
+                          Field{"score", TypeKind::kDouble, true},
+                      })
+      .ValueOrDie();
+}
+
+Table PeopleTable() {
+  TableBuilder builder(PeopleSchema());
+  CHARLES_CHECK_OK(builder.AppendRow({Value(1), Value("ann"), Value(10.0)}));
+  CHARLES_CHECK_OK(builder.AppendRow({Value(2), Value("bob"), Value(20.0)}));
+  CHARLES_CHECK_OK(builder.AppendRow({Value(3), Value("cat"), Value(30.0)}));
+  return builder.Finish().ValueOrDie();
+}
+
+TEST(TableBuilderTest, BuildsTable) {
+  Table t = PeopleTable();
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.num_columns(), 3);
+  EXPECT_EQ(t.GetValue(1, 1), Value("bob"));
+}
+
+TEST(TableBuilderTest, RejectsWrongArity) {
+  TableBuilder builder(PeopleSchema());
+  EXPECT_TRUE(builder.AppendRow({Value(1)}).IsInvalidArgument());
+  EXPECT_EQ(builder.num_rows(), 0);
+}
+
+TEST(TableBuilderTest, RejectsTypeMismatchWithoutPartialWrite) {
+  TableBuilder builder(PeopleSchema());
+  EXPECT_TRUE(builder.AppendRow({Value("x"), Value("y"), Value(1.0)}).IsTypeError());
+  // The failed row must not have been partially appended.
+  ASSERT_TRUE(builder.AppendRow({Value(1), Value("ok"), Value(1.0)}).ok());
+  Table t = builder.Finish().ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 1);
+}
+
+TEST(TableBuilderTest, RejectsNullInNotNullColumn) {
+  TableBuilder builder(PeopleSchema());
+  EXPECT_TRUE(
+      builder.AppendRow({Value::Null(), Value("x"), Value(1.0)}).IsInvalidArgument());
+}
+
+TEST(TableBuilderTest, IntWidensToDouble) {
+  TableBuilder builder(PeopleSchema());
+  ASSERT_TRUE(builder.AppendRow({Value(1), Value("x"), Value(42)}).ok());
+  Table t = builder.Finish().ValueOrDie();
+  EXPECT_EQ(t.GetValue(0, 2), Value(42.0));
+}
+
+TEST(TableTest, MakeValidatesColumnTypes) {
+  std::vector<Column> cols;
+  cols.emplace_back(TypeKind::kString);  // wrong: schema says int64
+  cols.emplace_back(TypeKind::kString);
+  cols.emplace_back(TypeKind::kDouble);
+  EXPECT_TRUE(Table::Make(PeopleSchema(), std::move(cols)).status().IsTypeError());
+}
+
+TEST(TableTest, MakeValidatesColumnCount) {
+  EXPECT_TRUE(Table::Make(PeopleSchema(), {}).status().IsInvalidArgument());
+}
+
+TEST(TableTest, GetValueByName) {
+  Table t = PeopleTable();
+  EXPECT_EQ(*t.GetValueByName(0, "score"), Value(10.0));
+  EXPECT_TRUE(t.GetValueByName(0, "missing").status().IsNotFound());
+  EXPECT_TRUE(t.GetValueByName(99, "score").status().IsOutOfRange());
+}
+
+TEST(TableTest, SetValueTypeChecked) {
+  Table t = PeopleTable();
+  ASSERT_TRUE(t.SetValue(0, 2, Value(99.0)).ok());
+  EXPECT_EQ(t.GetValue(0, 2), Value(99.0));
+  EXPECT_TRUE(t.SetValue(0, 2, Value("bad")).IsTypeError());
+  EXPECT_TRUE(t.SetValue(0, 9, Value(1.0)).IsOutOfRange());
+}
+
+TEST(TableTest, TakeSelectsRows) {
+  Table t = PeopleTable();
+  Table taken = t.Take(RowSet({0, 2})).ValueOrDie();
+  EXPECT_EQ(taken.num_rows(), 2);
+  EXPECT_EQ(taken.GetValue(1, 1), Value("cat"));
+  EXPECT_TRUE(t.Take(RowSet({5})).status().IsOutOfRange());
+}
+
+TEST(TableTest, SelectColumnsReorders) {
+  Table t = PeopleTable();
+  Table projected = t.SelectColumns({2, 0}).ValueOrDie();
+  EXPECT_EQ(projected.num_columns(), 2);
+  EXPECT_EQ(projected.schema().field(0).name, "score");
+  EXPECT_EQ(projected.GetValue(0, 1), Value(1));
+  EXPECT_TRUE(t.SelectColumns({7}).status().IsOutOfRange());
+}
+
+TEST(TableTest, ColumnAsDoubles) {
+  Table t = PeopleTable();
+  EXPECT_EQ(*t.ColumnAsDoubles("score"), (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_TRUE(t.ColumnAsDoubles("name").status().IsTypeError());
+}
+
+TEST(TableTest, EqualsDeepComparison) {
+  EXPECT_TRUE(PeopleTable().Equals(PeopleTable()));
+  Table other = PeopleTable();
+  ASSERT_TRUE(other.SetValue(0, 2, Value(11.0)).ok());
+  EXPECT_FALSE(PeopleTable().Equals(other));
+}
+
+TEST(TableTest, GetRowMaterializes) {
+  std::vector<Value> row = PeopleTable().GetRow(1);
+  EXPECT_EQ(row, (std::vector<Value>{Value(2), Value("bob"), Value(20.0)}));
+}
+
+TEST(TableTest, ToStringContainsHeaderAndData) {
+  std::string text = PeopleTable().ToString();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("bob"), std::string::npos);
+}
+
+TEST(KeyIndexTest, BuildAndLookup) {
+  Table t = PeopleTable();
+  KeyIndex index = KeyIndex::Build(t, {"id"}).ValueOrDie();
+  EXPECT_EQ(index.size(), 3);
+  EXPECT_EQ(*index.Lookup(RowKey{{Value(2)}}), 1);
+  EXPECT_TRUE(index.Lookup(RowKey{{Value(99)}}).status().IsNotFound());
+}
+
+TEST(KeyIndexTest, CompositeKeys) {
+  Table t = PeopleTable();
+  KeyIndex index = KeyIndex::Build(t, {"id", "name"}).ValueOrDie();
+  EXPECT_EQ(*index.Lookup(RowKey{{Value(3), Value("cat")}}), 2);
+  EXPECT_TRUE(index.Lookup(RowKey{{Value(3), Value("dog")}}).status().IsNotFound());
+}
+
+TEST(KeyIndexTest, DuplicateKeysRejected) {
+  TableBuilder builder(PeopleSchema());
+  ASSERT_TRUE(builder.AppendRow({Value(1), Value("a"), Value(1.0)}).ok());
+  ASSERT_TRUE(builder.AppendRow({Value(1), Value("b"), Value(2.0)}).ok());
+  Table t = builder.Finish().ValueOrDie();
+  EXPECT_TRUE(KeyIndex::Build(t, {"id"}).status().IsAlreadyExists());
+}
+
+TEST(KeyIndexTest, NullKeysRejected) {
+  TableBuilder builder(PeopleSchema());
+  ASSERT_TRUE(builder.AppendRow({Value(1), Value::Null(), Value(1.0)}).ok());
+  Table t = builder.Finish().ValueOrDie();
+  EXPECT_TRUE(KeyIndex::Build(t, {"name"}).status().IsInvalidArgument());
+}
+
+TEST(KeyIndexTest, MissingKeyColumnRejected) {
+  EXPECT_TRUE(KeyIndex::Build(PeopleTable(), {"nope"}).status().IsNotFound());
+  EXPECT_TRUE(KeyIndex::Build(PeopleTable(), {}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace charles

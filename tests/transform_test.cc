@@ -1,0 +1,122 @@
+#include "core/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "core/model_tree.h"
+#include "workload/example1.h"
+
+namespace charles {
+namespace {
+
+LinearTransform R1() {
+  LinearModel model;
+  model.feature_names = {"bonus"};
+  model.coefficients = {1.05};
+  model.intercept = 1000;
+  return LinearTransform::Linear("bonus", std::move(model));
+}
+
+TEST(LinearTransformTest, ApplyComputesPredictions) {
+  Table source = MakeExample1Source().ValueOrDie();
+  // PhD rows: 0 (Anne, 23000), 1 (Bob, 25000), 8 (Frank, 21000).
+  auto values = R1().Apply(source, RowSet({0, 1, 8})).ValueOrDie();
+  EXPECT_DOUBLE_EQ(values[0], 25150);
+  EXPECT_DOUBLE_EQ(values[1], 27250);
+  EXPECT_DOUBLE_EQ(values[2], 23050);
+}
+
+TEST(LinearTransformTest, NoChangeReturnsOldValues) {
+  Table source = MakeExample1Source().ValueOrDie();
+  LinearTransform none = LinearTransform::NoChange("bonus");
+  auto values = none.Apply(source, RowSet({4, 6})).ValueOrDie();
+  EXPECT_DOUBLE_EQ(values[0], 11000);
+  EXPECT_DOUBLE_EQ(values[1], 12000);
+  EXPECT_TRUE(none.is_no_change());
+  EXPECT_EQ(none.Complexity(), 0);
+}
+
+TEST(LinearTransformTest, MultiFeatureApply) {
+  Table source = MakeExample1Source().ValueOrDie();
+  LinearModel model;
+  model.feature_names = {"salary", "bonus"};
+  model.coefficients = {0.01, 0.5};
+  model.intercept = 100;
+  LinearTransform t = LinearTransform::Linear("bonus", std::move(model));
+  auto values = t.Apply(source, RowSet({0})).ValueOrDie();
+  EXPECT_DOUBLE_EQ(values[0], 0.01 * 230000 + 0.5 * 23000 + 100);
+  EXPECT_EQ(t.Complexity(), 2);
+}
+
+TEST(LinearTransformTest, UnknownFeatureColumnFails) {
+  Table source = MakeExample1Source().ValueOrDie();
+  LinearModel model;
+  model.feature_names = {"nope"};
+  model.coefficients = {1.0};
+  LinearTransform t = LinearTransform::Linear("bonus", std::move(model));
+  EXPECT_TRUE(t.Apply(source, RowSet({0})).status().IsNotFound());
+}
+
+TEST(LinearTransformTest, ToStringUsesOldNewNaming) {
+  EXPECT_EQ(R1().ToString(), "new_bonus = 1.05 × old_bonus + 1000");
+  EXPECT_EQ(LinearTransform::NoChange("bonus").ToString(), "no change");
+  // Non-target features keep their plain name.
+  LinearModel model;
+  model.feature_names = {"salary"};
+  model.coefficients = {0.105};
+  model.intercept = 1000;
+  LinearTransform t = LinearTransform::Linear("bonus", std::move(model));
+  EXPECT_EQ(t.ToString(), "new_bonus = 0.105 × salary + 1000");
+}
+
+TEST(LinearTransformTest, EqualsComparesConstants) {
+  EXPECT_TRUE(R1().Equals(R1()));
+  LinearModel other;
+  other.feature_names = {"bonus"};
+  other.coefficients = {1.06};
+  other.intercept = 1000;
+  EXPECT_FALSE(R1().Equals(LinearTransform::Linear("bonus", other)));
+  EXPECT_FALSE(R1().Equals(LinearTransform::NoChange("bonus")));
+  EXPECT_TRUE(
+      LinearTransform::NoChange("bonus").Equals(LinearTransform::NoChange("bonus")));
+}
+
+TEST(ModelTreeTest, RenderSingleLeaf) {
+  auto leaf = std::make_unique<ModelTreeNode>();
+  leaf->is_leaf = true;
+  leaf->transform = R1();
+  leaf->coverage = 1.0;
+  ModelTree tree(std::move(leaf));
+  EXPECT_EQ(tree.num_leaves(), 1);
+  EXPECT_EQ(tree.depth(), 0);
+  std::string text = tree.Render();
+  EXPECT_NE(text.find("new_bonus = 1.05 × old_bonus + 1000"), std::string::npos);
+  EXPECT_NE(text.find("100%"), std::string::npos);
+}
+
+TEST(ModelTreeTest, RenderFigure2Shape) {
+  // edu = 'PhD'? YES -> R1; NO -> None.
+  auto yes = std::make_unique<ModelTreeNode>();
+  yes->is_leaf = true;
+  yes->transform = R1();
+  yes->coverage = 1.0 / 3.0;
+  auto no = std::make_unique<ModelTreeNode>();
+  no->is_leaf = true;
+  no->coverage = 2.0 / 3.0;  // no transform: renders as None
+  auto root = std::make_unique<ModelTreeNode>();
+  root->is_leaf = false;
+  root->split = MakeColumnCompare("edu", CompareOp::kEq, Value("PhD"));
+  root->yes = std::move(yes);
+  root->no = std::move(no);
+  ModelTree tree(std::move(root));
+  EXPECT_EQ(tree.num_leaves(), 2);
+  EXPECT_EQ(tree.depth(), 1);
+  std::string text = tree.Render();
+  EXPECT_NE(text.find("edu = 'PhD'?"), std::string::npos);
+  EXPECT_NE(text.find("YES"), std::string::npos);
+  EXPECT_NE(text.find("NO"), std::string::npos);
+  EXPECT_NE(text.find("None"), std::string::npos);
+  EXPECT_NE(text.find("33.3%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace charles

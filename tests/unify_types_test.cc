@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "diff/diff.h"
+#include "table/table_builder.h"
+
+namespace charles {
+namespace {
+
+Table MakeTyped(TypeKind value_type, const std::vector<double>& values) {
+  Schema schema = Schema::Make({Field{"id", TypeKind::kInt64, false},
+                                Field{"value", value_type, true}})
+                      .ValueOrDie();
+  TableBuilder builder(schema);
+  for (size_t i = 0; i < values.size(); ++i) {
+    Value v = value_type == TypeKind::kInt64
+                  ? Value(static_cast<int64_t>(values[i]))
+                  : Value(values[i]);
+    CHARLES_CHECK_OK(builder.AppendRow({Value(static_cast<int64_t>(i)), v}));
+  }
+  return builder.Finish().ValueOrDie();
+}
+
+TEST(CastToTest, Int64ToDouble) {
+  Column col(TypeKind::kInt64);
+  ASSERT_TRUE(col.Append(Value(3)).ok());
+  col.AppendNull();
+  Column cast = col.CastTo(TypeKind::kDouble).ValueOrDie();
+  EXPECT_EQ(cast.type(), TypeKind::kDouble);
+  EXPECT_EQ(cast.GetValue(0), Value(3.0));
+  EXPECT_TRUE(cast.IsNull(1));
+}
+
+TEST(CastToTest, IdentityCast) {
+  Column col(TypeKind::kString);
+  ASSERT_TRUE(col.Append(Value("x")).ok());
+  Column cast = col.CastTo(TypeKind::kString).ValueOrDie();
+  EXPECT_TRUE(cast.Equals(col));
+}
+
+TEST(CastToTest, UnsupportedCastsRejected) {
+  Column col(TypeKind::kDouble);
+  ASSERT_TRUE(col.Append(Value(1.5)).ok());
+  EXPECT_TRUE(col.CastTo(TypeKind::kInt64).status().IsTypeError());
+  Column str_col(TypeKind::kString);
+  EXPECT_TRUE(str_col.CastTo(TypeKind::kDouble).status().IsTypeError());
+}
+
+TEST(UnifyNumericTypesTest, PromotesInt64SideToDouble) {
+  Table int_side = MakeTyped(TypeKind::kInt64, {100, 200});
+  Table dbl_side = MakeTyped(TypeKind::kDouble, {100.5, 200.5});
+  auto [unified_source, unified_target] =
+      UnifyNumericTypes(int_side, dbl_side).ValueOrDie();
+  EXPECT_TRUE(unified_source.schema().Equals(unified_target.schema()));
+  EXPECT_EQ(unified_source.schema().field(1).type, TypeKind::kDouble);
+  EXPECT_EQ(unified_source.GetValue(0, 1), Value(100.0));
+
+  // Promotion works in the other direction too.
+  auto [s2, t2] = UnifyNumericTypes(dbl_side, int_side).ValueOrDie();
+  EXPECT_TRUE(s2.schema().Equals(t2.schema()));
+}
+
+TEST(UnifyNumericTypesTest, MatchedSchemasPassThrough) {
+  Table a = MakeTyped(TypeKind::kDouble, {1});
+  Table b = MakeTyped(TypeKind::kDouble, {2});
+  auto [s, t] = UnifyNumericTypes(a, b).ValueOrDie();
+  EXPECT_TRUE(s.Equals(a));
+  EXPECT_TRUE(t.Equals(b));
+}
+
+TEST(UnifyNumericTypesTest, EndToEndDiffAfterUnification) {
+  Table int_side = MakeTyped(TypeKind::kInt64, {100, 200});
+  Table dbl_side = MakeTyped(TypeKind::kDouble, {110.0, 200.0});
+  auto [s, t] = UnifyNumericTypes(int_side, dbl_side).ValueOrDie();
+  DiffOptions options;
+  options.key_columns = {"id"};
+  SnapshotDiff diff = SnapshotDiff::Compute(s, t, options).ValueOrDie();
+  EXPECT_EQ((*diff.StatsFor("value"))->num_changed, 1);
+}
+
+TEST(UnifyNumericTypesTest, NonNumericMismatchLeftForDiffToReject) {
+  Schema string_schema = Schema::Make({Field{"id", TypeKind::kInt64, false},
+                                       Field{"value", TypeKind::kString, true}})
+                             .ValueOrDie();
+  TableBuilder builder(string_schema);
+  CHARLES_CHECK_OK(builder.AppendRow({Value(0), Value("a")}));
+  Table string_side = builder.Finish().ValueOrDie();
+  Table dbl_side = MakeTyped(TypeKind::kDouble, {1.0});
+  auto [s, t] = UnifyNumericTypes(string_side, dbl_side).ValueOrDie();
+  DiffOptions options;
+  options.key_columns = {"id"};
+  EXPECT_TRUE(SnapshotDiff::Compute(s, t, options).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace charles

@@ -1,0 +1,78 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace charles {
+namespace {
+
+TEST(ValueTest, KindsMatchConstruction) {
+  EXPECT_EQ(Value().kind(), TypeKind::kNull);
+  EXPECT_EQ(Value(int64_t{4}).kind(), TypeKind::kInt64);
+  EXPECT_EQ(Value(4).kind(), TypeKind::kInt64);  // int promotes to int64
+  EXPECT_EQ(Value(4.5).kind(), TypeKind::kDouble);
+  EXPECT_EQ(Value("hi").kind(), TypeKind::kString);
+  EXPECT_EQ(Value(true).kind(), TypeKind::kBool);
+}
+
+TEST(ValueTest, AccessorsReturnStoredValues) {
+  EXPECT_EQ(Value(7).int64(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).dbl(), 2.5);
+  EXPECT_EQ(Value("abc").str(), "abc");
+  EXPECT_TRUE(Value(true).boolean());
+}
+
+TEST(ValueTest, AsDoubleCoercesNumerics) {
+  EXPECT_DOUBLE_EQ(*Value(7).AsDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(*Value(2.5).AsDouble(), 2.5);
+  EXPECT_TRUE(Value("x").AsDouble().status().IsTypeError());
+  EXPECT_TRUE(Value(true).AsDouble().status().IsTypeError());
+  EXPECT_TRUE(Value().AsDouble().status().IsTypeError());
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_NE(Value(3), Value(3.5));
+}
+
+TEST(ValueTest, NullComparesOnlyToNull) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value(0));
+  EXPECT_NE(Value::Null(), Value(""));
+  EXPECT_LT(Value::Null(), Value(-1000000));  // NULL sorts first
+}
+
+TEST(ValueTest, OrderingWithinTypes) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(1.5), Value(2));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LT(Value(false), Value(true));
+  EXPECT_GT(Value(10), Value(9.99));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(1.05).ToString(), "1.05");
+  EXPECT_EQ(Value(1000.0).ToString(), "1000");
+  EXPECT_EQ(Value("s").ToString(), "s");
+  EXPECT_EQ(Value(true).ToString(), "true");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(3).Hash(), Value(3.0).Hash());  // numeric cross-type
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value(3));
+  EXPECT_TRUE(set.count(Value(3.0)) > 0);
+}
+
+TEST(ValueTest, HashSpreadsDistinctValues) {
+  std::unordered_set<size_t> hashes;
+  for (int i = 0; i < 100; ++i) hashes.insert(Value(i).Hash());
+  EXPECT_GT(hashes.size(), 95u);
+}
+
+}  // namespace
+}  // namespace charles
