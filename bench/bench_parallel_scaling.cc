@@ -1,0 +1,105 @@
+/// \file
+/// Experiment P1 (ROADMAP "fast as the hardware allows"): engine wall-clock
+/// versus worker threads on the employee workload. The (C, T) candidate
+/// search is embarrassingly parallel, so the shape to reproduce on a
+/// multi-core host is near-linear speedup until workers exceed either the
+/// physical cores or the number of independent work items, with the phase
+/// breakdown showing fitting (phase 3) scaling best — it dominates serial
+/// runtime and shards over partitions. Output is checked identical to the
+/// 1-thread run at every sweep point (the subsystem's determinism contract).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "parallel/thread_pool.h"
+#include "workload/employee_gen.h"
+
+namespace charles {
+namespace bench {
+namespace {
+
+constexpr int64_t kRows = 4000;
+
+CharlesOptions ScalingOptions(int threads) {
+  return WithThreads(DefaultBenchOptions("bonus", "emp_id"), threads);
+}
+
+struct Workload {
+  Table source;
+  Table target;
+};
+
+Workload MakeWorkload() {
+  EmployeeGenOptions gen;
+  gen.num_rows = kRows;
+  gen.num_decoy_numeric = 2;
+  gen.num_decoy_categorical = 1;
+  Table source = GenerateEmployees(gen).ValueOrDie();
+  Table target = MakeEmployeeBonusPolicy().Apply(source).ValueOrDie();
+  return Workload{std::move(source), std::move(target)};
+}
+
+void PrintExperiment() {
+  PrintHeader(
+      "P1: wall-clock vs worker threads (" + std::to_string(kRows) + "-row employees)",
+      "parallel (C, T) search: >= 2x at 4 threads on >= 4 cores, identical output");
+  std::printf("hardware concurrency: %d\n\n", ThreadPool::HardwareConcurrency());
+
+  Workload workload = MakeWorkload();
+  std::vector<int> widths = {7, 9, 9, 10, 10, 10, 10, 11, 9};
+  PrintRule(widths);
+  PrintTableRow(widths, {"threads", "total s", "speedup", "cluster s", "induce s",
+                         "fit s", "fits", "fit reuse", "identical"});
+  PrintRule(widths);
+
+  SummaryList serial;
+  for (int threads : {1, 2, 4, 8}) {
+    SummaryList result =
+        SummarizeChanges(workload.source, workload.target, ScalingOptions(threads))
+            .ValueOrDie();
+    if (threads == 1) serial = result;
+    bool identical = result.summaries.size() == serial.summaries.size();
+    for (size_t i = 0; identical && i < result.summaries.size(); ++i) {
+      identical = result.summaries[i].Signature() == serial.summaries[i].Signature() &&
+                  result.summaries[i].scores().score == serial.summaries[i].scores().score;
+    }
+    PrintTableRow(
+        widths,
+        {std::to_string(threads), Fmt(result.elapsed_seconds, 2),
+         Fmt(serial.elapsed_seconds / result.elapsed_seconds, 2) + "x",
+         Fmt(result.clustering_seconds, 2), Fmt(result.induction_seconds, 2),
+         Fmt(result.fitting_seconds, 2), std::to_string(result.leaf_fits_computed),
+         std::to_string(result.leaf_fits_reused), identical ? "yes" : "NO"});
+  }
+  PrintRule(widths);
+}
+
+void BM_EndToEndThreads(benchmark::State& state) {
+  Workload workload = MakeWorkload();
+  CharlesOptions options = ScalingOptions(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    SummaryList result =
+        SummarizeChanges(workload.source, workload.target, options).ValueOrDie();
+    benchmark::DoNotOptimize(result);
+    state.counters["candidates"] = static_cast<double>(result.candidates_evaluated);
+    state.counters["fit_s"] = result.fitting_seconds;
+  }
+}
+BENCHMARK(BM_EndToEndThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace charles
+
+int main(int argc, char** argv) {
+  charles::bench::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -3,8 +3,29 @@
 #include "core/scoring.h"
 #include "ml/decision_tree.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
 namespace charles {
 namespace bench {
+
+int BenchThreads() {
+  const char* env = std::getenv("CHARLES_BENCH_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  errno = 0;
+  long threads = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || threads < 0 || errno == ERANGE ||
+      threads > std::numeric_limits<int>::max()) {
+    std::fprintf(stderr,
+                 "CHARLES_BENCH_THREADS='%s' is not a non-negative integer; "
+                 "using 1 thread\n",
+                 env);
+    return 1;
+  }
+  return static_cast<int>(threads);
+}
 
 Result<ChangeSummary> BuildGlobalRegressionBaseline(const CharlesEngine& engine,
                                                     const Table& source,

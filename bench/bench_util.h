@@ -48,12 +48,25 @@ inline void PrintHeader(const std::string& experiment, const std::string& claim)
   if (!claim.empty()) std::printf("paper anchor: %s\n\n", claim.c_str());
 }
 
-/// The engine options every experiment starts from (the demo defaults).
+/// Worker threads every bench runs the engine with. Defaults to 1 so timings
+/// stay comparable across machines; override with CHARLES_BENCH_THREADS=<n>
+/// (0 = hardware concurrency). bench_parallel_scaling sweeps explicitly.
+int BenchThreads();
+
+/// The engine options every experiment starts from (the demo defaults, at
+/// BenchThreads() worker threads).
 inline CharlesOptions DefaultBenchOptions(const std::string& target,
                                           const std::string& key) {
   CharlesOptions options;
   options.target_attribute = target;
   options.key_columns = {key};
+  options.num_threads = BenchThreads();
+  return options;
+}
+
+/// Same options with an explicit thread count (for scaling sweeps).
+inline CharlesOptions WithThreads(CharlesOptions options, int num_threads) {
+  options.num_threads = num_threads;
   return options;
 }
 

@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "core/normality.h"
 #include "core/scoring.h"
+#include "parallel/parallel.h"
 
 namespace charles {
 
@@ -23,7 +24,8 @@ std::string SummaryList::ToString() const {
   out += "evaluated " + std::to_string(candidates_evaluated) + " candidates over " +
          std::to_string(condition_subsets) + " condition subsets x " +
          std::to_string(transform_subsets) + " transform subsets in " +
-         FormatDouble(elapsed_seconds, 3) + "s\n";
+         FormatDouble(elapsed_seconds, 3) + "s on " + std::to_string(threads_used) +
+         (threads_used == 1 ? " thread\n" : " threads\n");
   return out;
 }
 
@@ -134,7 +136,8 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
     const Table& source, const std::vector<double>& y_old,
     const std::vector<double>& y_new, const PartitionCandidate& candidate,
     const std::vector<std::string>& transform_attrs,
-    const std::vector<std::string>& condition_attrs, LeafFitCache* cache) const {
+    const std::vector<std::string>& condition_attrs, LeafFitCache* cache,
+    SharedLeafFitCache* shared_cache, size_t t_index, LeafFitStats* stats) const {
   const std::string& target = options_.target_attribute;
   int64_t n = source.num_rows();
   std::vector<double> y_hat = y_old;
@@ -148,19 +151,43 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
     ct.rows = rows;
     ct.coverage = rows.Coverage(n);
 
+    // Tiered lookup: worker-local cache (lock-free), then the cross-worker
+    // sharded cache, then an actual fit published to both tiers. Fits are
+    // deterministic in (rows, T), so which tier serves a hit never changes
+    // the resulting summary.
     const LeafFit* fit = nullptr;
     LeafFit local;
     if (cache != nullptr) {
       auto it = cache->find(rows.indices());
-      if (it == cache->end()) {
-        CHARLES_ASSIGN_OR_RETURN(local,
-                                 FitLeaf(source, y_old, y_new, rows, transform_attrs));
-        it = cache->emplace(rows.indices(), std::move(local)).first;
+      if (it != cache->end()) {
+        if (stats != nullptr) ++stats->local_hits;
+        fit = &it->second;
+      } else {
+        LeafKey key;  // built once per local miss; shared by Find and Insert
+        if (shared_cache != nullptr) {
+          key = LeafKey{t_index, rows.indices()};
+          const LeafFit* shared_fit = shared_cache->Find(key);
+          if (shared_fit != nullptr) {
+            if (stats != nullptr) ++stats->shared_hits;
+            it = cache->emplace(rows.indices(), *shared_fit).first;
+            fit = &it->second;
+          }
+        }
+        if (fit == nullptr) {
+          CHARLES_ASSIGN_OR_RETURN(local,
+                                   FitLeaf(source, y_old, y_new, rows, transform_attrs));
+          if (stats != nullptr) ++stats->computed;
+          if (shared_cache != nullptr) {
+            shared_cache->Insert(std::move(key), local);
+          }
+          it = cache->emplace(rows.indices(), std::move(local)).first;
+          fit = &it->second;
+        }
       }
-      fit = &it->second;
     } else {
       CHARLES_ASSIGN_OR_RETURN(local,
                                FitLeaf(source, y_old, y_new, rows, transform_attrs));
+      if (stats != nullptr) ++stats->computed;
       fit = &local;
     }
     ct.transform = fit->transform;
@@ -262,31 +289,55 @@ Result<SummaryList> CharlesEngine::Run(const Table& source, const Table& target)
   result.condition_subsets = static_cast<int64_t>(c_subsets.size());
   result.transform_subsets = static_cast<int64_t>(t_subsets.size());
 
+  // Parallel execution: every phase fans out over a ThreadPool and reduces
+  // its per-item results in deterministic input order, so the ranked output
+  // is bit-identical to a serial (num_threads = 1) run.
+  int num_threads =
+      options_.num_threads > 0 ? options_.num_threads : ThreadPool::HardwareConcurrency();
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  result.threads_used = pool != nullptr ? num_threads : 1;
+
   // Phase 1 — change-signal clusterings. Residual clusterings depend on the
   // transformation subset T; delta/relative-delta clusterings do not, so
   // they are computed once. All labelings are pooled, canonicalized, and
   // deduplicated: tree induction below runs once per (C, labeling) instead
-  // of once per (C, T, k).
+  // of once per (C, T, k). Each T-subset clusters independently (k-means is
+  // seeded per call); pooling dedups sequentially in T order.
   auto phase1_start = std::chrono::steady_clock::now();
+  struct TSubsetLabelings {
+    std::vector<std::string> transform_attrs;
+    std::vector<std::vector<int>> canonical;
+  };
+  std::vector<TSubsetLabelings> per_t = ParallelMap<TSubsetLabelings>(
+      pool.get(), static_cast<int64_t>(t_subsets.size()), [&](int64_t ti) {
+        TSubsetLabelings out;
+        PartitionFinder::Input input;
+        input.source = analysis;
+        input.y_old = &y_old;
+        input.y_new = &y_new;
+        for (int t : t_subsets[static_cast<size_t>(ti)]) {
+          input.transform_attrs.push_back(tran_names[static_cast<size_t>(t)]);
+        }
+        out.transform_attrs = input.transform_attrs;
+        Result<PartitionFinder::ResidualClusterings> clusterings =
+            PartitionFinder::ClusterResiduals(input, options_,
+                                              /*include_delta_signals=*/ti == 0);
+        if (!clusterings.ok()) return out;
+        out.canonical.reserve(clusterings->clusterings.size());
+        for (KMeansResult& clustering : clusterings->clusterings) {
+          out.canonical.push_back(
+              PartitionFinder::CanonicalizeLabels(clustering.labels));
+        }
+        return out;
+      });
+
   std::vector<std::vector<int>> labelings;
   std::set<std::vector<int>> seen_labelings;
   std::vector<std::vector<std::string>> t_attr_names;
-  for (size_t ti = 0; ti < t_subsets.size(); ++ti) {
-    PartitionFinder::Input input;
-    input.source = analysis;
-    input.y_old = &y_old;
-    input.y_new = &y_new;
-    for (int t : t_subsets[ti]) {
-      input.transform_attrs.push_back(tran_names[static_cast<size_t>(t)]);
-    }
-    t_attr_names.push_back(input.transform_attrs);
-    Result<PartitionFinder::ResidualClusterings> clusterings =
-        PartitionFinder::ClusterResiduals(input, options_,
-                                          /*include_delta_signals=*/ti == 0);
-    if (!clusterings.ok()) continue;
-    for (KMeansResult& clustering : clusterings->clusterings) {
-      std::vector<int> canonical =
-          PartitionFinder::CanonicalizeLabels(clustering.labels);
+  for (TSubsetLabelings& t_result : per_t) {
+    t_attr_names.push_back(std::move(t_result.transform_attrs));
+    for (std::vector<int>& canonical : t_result.canonical) {
       if (seen_labelings.insert(canonical).second) {
         labelings.push_back(std::move(canonical));
       }
@@ -299,34 +350,53 @@ Result<SummaryList> CharlesEngine::Run(const Table& source, const Table& target)
           .count();
 
   // Phase 2 — condition induction: one tree per (C, labeling), partitions
-  // deduplicated globally by their condition signature.
+  // deduplicated globally by their condition signature. Workers fan out over
+  // C-subsets against the shared read-only TreeAttributeCache; the global
+  // dedup walks C-subsets in enumeration order.
   auto phase2_start = std::chrono::steady_clock::now();
   struct PartitionEntry {
     PartitionCandidate candidate;
     std::vector<std::string> condition_attrs;
   };
-  std::vector<PartitionEntry> partitions;
-  std::set<std::string> seen_partitions;
   CHARLES_ASSIGN_OR_RETURN(TreeAttributeCache attr_cache,
                            TreeAttributeCache::Build(*analysis, cond_indices));
-  for (const std::vector<int>& c_subset : c_subsets) {
-    std::vector<int> attr_indices;
+  struct CSubsetCandidates {
+    std::vector<PartitionCandidate> candidates;
+    std::vector<std::string> signatures;
     std::vector<std::string> attr_names;
-    for (int c : c_subset) {
-      attr_indices.push_back(cond_indices[static_cast<size_t>(c)]);
-      attr_names.push_back(cond_names[static_cast<size_t>(c)]);
-    }
-    Result<std::vector<PartitionCandidate>> candidates = PartitionFinder::InduceCandidates(
-        *analysis, labelings, attr_indices, options_, &attr_cache);
-    if (!candidates.ok()) continue;
-    for (PartitionCandidate& candidate : *candidates) {
-      std::string signature;
-      for (const auto& leaf : candidate.leaves) {
-        signature += leaf.condition->ToString();
-        signature += ";;";
-      }
-      if (!seen_partitions.insert(signature).second) continue;
-      partitions.push_back(PartitionEntry{std::move(candidate), attr_names});
+  };
+  std::vector<CSubsetCandidates> per_c = ParallelMap<CSubsetCandidates>(
+      pool.get(), static_cast<int64_t>(c_subsets.size()), [&](int64_t ci) {
+        CSubsetCandidates out;
+        std::vector<int> attr_indices;
+        for (int c : c_subsets[static_cast<size_t>(ci)]) {
+          attr_indices.push_back(cond_indices[static_cast<size_t>(c)]);
+          out.attr_names.push_back(cond_names[static_cast<size_t>(c)]);
+        }
+        Result<std::vector<PartitionCandidate>> candidates =
+            PartitionFinder::InduceCandidates(*analysis, labelings, attr_indices,
+                                              options_, &attr_cache);
+        if (!candidates.ok()) return out;
+        out.candidates = std::move(*candidates);
+        out.signatures.reserve(out.candidates.size());
+        for (const PartitionCandidate& candidate : out.candidates) {
+          std::string signature;
+          for (const auto& leaf : candidate.leaves) {
+            signature += leaf.condition->ToString();
+            signature += ";;";
+          }
+          out.signatures.push_back(std::move(signature));
+        }
+        return out;
+      });
+
+  std::vector<PartitionEntry> partitions;
+  std::set<std::string> seen_partitions;
+  for (CSubsetCandidates& c_result : per_c) {
+    for (size_t i = 0; i < c_result.candidates.size(); ++i) {
+      if (!seen_partitions.insert(c_result.signatures[i]).second) continue;
+      partitions.push_back(
+          PartitionEntry{std::move(c_result.candidates[i]), c_result.attr_names});
     }
   }
 
@@ -348,25 +418,58 @@ Result<SummaryList> CharlesEngine::Run(const Table& source, const Table& target)
           .count();
 
   // Phase 3 — transformation discovery and scoring: every surviving
-  // partitioning is paired with every transformation subset.
+  // partitioning is paired with every transformation subset. Workers fan out
+  // over partitions; each worker owns a thread-local LeafFitCache per T
+  // (lock-free) backed by one cross-worker ShardedCache, and the per-worker
+  // caches and counters are merged at the barrier. The best-by-signature
+  // reduction then replays the serial (partition, T) visit order, so the
+  // surviving summary per signature is scheduling-independent.
   auto phase3_start = std::chrono::steady_clock::now();
+  struct Phase3Worker {
+    std::vector<LeafFitCache> caches;
+    LeafFitStats stats;
+  };
+  SharedLeafFitCache shared_leaf_cache(pool != nullptr ? num_threads * 4 : 1);
+  using BuiltSummaries = std::vector<std::pair<std::string, ChangeSummary>>;
+  std::vector<Phase3Worker> workers;
+  std::vector<BuiltSummaries> per_partition = ParallelMapWithState<BuiltSummaries, Phase3Worker>(
+      pool.get(), static_cast<int64_t>(partitions.size()),
+      [&]() {
+        Phase3Worker worker;
+        worker.caches.resize(t_attr_names.size());
+        return worker;
+      },
+      [&](Phase3Worker& worker, int64_t pi) {
+        const PartitionEntry& entry = partitions[static_cast<size_t>(pi)];
+        BuiltSummaries built;
+        built.reserve(t_attr_names.size());
+        for (size_t ti = 0; ti < t_attr_names.size(); ++ti) {
+          Result<ChangeSummary> summary = BuildSummary(
+              *analysis, y_old, y_new, entry.candidate, t_attr_names[ti],
+              entry.condition_attrs, &worker.caches[ti],
+              pool != nullptr ? &shared_leaf_cache : nullptr, ti, &worker.stats);
+          if (!summary.ok()) continue;
+          built.emplace_back(summary->Signature(), std::move(*summary));
+        }
+        return built;
+      },
+      &workers);
+
+  for (const Phase3Worker& worker : workers) {
+    result.leaf_fits_computed += worker.stats.computed;
+    result.leaf_fits_reused += worker.stats.local_hits + worker.stats.shared_hits;
+  }
+
   std::map<std::string, ChangeSummary> best_by_signature;
-  std::vector<LeafFitCache> caches(t_attr_names.size());
-  for (const PartitionEntry& entry : partitions) {
-    for (size_t ti = 0; ti < t_attr_names.size(); ++ti) {
-      const std::vector<std::string>& transform_attrs = t_attr_names[ti];
-      Result<ChangeSummary> summary = BuildSummary(
-          *analysis, y_old, y_new, entry.candidate, transform_attrs,
-          entry.condition_attrs, &caches[ti]);
-      if (!summary.ok()) continue;
+  for (BuiltSummaries& built : per_partition) {
+    for (auto& [signature, summary] : built) {
       ++result.candidates_evaluated;
-      std::string signature = summary->Signature();
       auto it = best_by_signature.find(signature);
       if (it == best_by_signature.end()) {
-        best_by_signature.emplace(std::move(signature), std::move(*summary));
+        best_by_signature.emplace(std::move(signature), std::move(summary));
       } else {
         ++result.candidates_deduped;
-        if (SummaryOrder(*summary, it->second)) it->second = std::move(*summary);
+        if (SummaryOrder(summary, it->second)) it->second = std::move(summary);
       }
     }
   }

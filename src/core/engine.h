@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "core/options.h"
+#include "parallel/sharded_cache.h"
 #include "core/partition_finder.h"
 #include "core/setup_assistant.h"
 #include "core/summary.h"
@@ -32,6 +33,9 @@ struct SummaryList {
   int64_t partitions = 0;           ///< distinct induced partitionings
   int64_t candidates_evaluated = 0; ///< summaries built and scored
   int64_t candidates_deduped = 0;   ///< dropped as structural duplicates
+  int threads_used = 1;             ///< worker threads the run executed on
+  int64_t leaf_fits_computed = 0;   ///< OLS leaf fits actually performed
+  int64_t leaf_fits_reused = 0;     ///< leaf fits served from a cache
   double elapsed_seconds = 0.0;
   double clustering_seconds = 0.0;  ///< phase 1: change-signal k-means
   double induction_seconds = 0.0;   ///< phase 2: condition trees
@@ -78,20 +82,55 @@ class CharlesEngine {
   using LeafFitCache =
       std::unordered_map<std::vector<int64_t>, LeafFit, RowIndicesHash>;
 
+  /// \brief Key of the cross-worker leaf-fit cache: (T-subset index, rows).
+  ///
+  /// The transformation subset is part of the key because the same partition
+  /// fitted on different T yields different models.
+  struct LeafKey {
+    size_t t_index = 0;
+    std::vector<int64_t> rows;
+    bool operator==(const LeafKey& other) const {
+      return t_index == other.t_index && rows == other.rows;
+    }
+  };
+  struct LeafKeyHash {
+    size_t operator()(const LeafKey& key) const {
+      return RowIndicesHash{}(key.rows) ^ (key.t_index * 0x9e3779b97f4a7c15ull);
+    }
+  };
+
+  /// Lock-sharded cache shared by every worker of a parallel run. Workers
+  /// consult their thread-local LeafFitCache first (lock-free), then this,
+  /// and publish freshly computed fits here so other workers reuse them; the
+  /// barrier merge therefore happens incrementally, shard by shard.
+  using SharedLeafFitCache = ShardedCache<LeafKey, LeafFit, LeafKeyHash>;
+
+  /// Per-worker counters folded into SummaryList diagnostics at the barrier.
+  struct LeafFitStats {
+    int64_t computed = 0;     ///< FitLeaf invocations
+    int64_t local_hits = 0;   ///< served by the worker's own cache
+    int64_t shared_hits = 0;  ///< served by another worker via SharedLeafFitCache
+  };
+
   /// \brief Builds and scores one summary for a fixed partitioning.
   ///
   /// Exposed for tests, baselines, and ablations: fits a transformation on
   /// every leaf (detecting no-change partitions), snaps constants, assembles
   /// predictions, and scores. `y_old`/`y_new` align with source rows. When
   /// `cache` is non-null, leaf fits are reused across calls sharing the same
-  /// transformation subset.
+  /// transformation subset. `shared_cache` (keyed by `t_index`) additionally
+  /// shares fits across workers of a parallel run; `stats` tallies
+  /// compute/reuse counts for diagnostics.
   Result<ChangeSummary> BuildSummary(const Table& source,
                                      const std::vector<double>& y_old,
                                      const std::vector<double>& y_new,
                                      const PartitionCandidate& candidate,
                                      const std::vector<std::string>& transform_attrs,
                                      const std::vector<std::string>& condition_attrs,
-                                     LeafFitCache* cache = nullptr) const;
+                                     LeafFitCache* cache = nullptr,
+                                     SharedLeafFitCache* shared_cache = nullptr,
+                                     size_t t_index = 0,
+                                     LeafFitStats* stats = nullptr) const;
 
  private:
   /// Fits one partition's transformation: no-change detection, OLS on T,

@@ -29,6 +29,9 @@ Status CharlesOptions::Validate() const {
   if (numeric_tolerance < 0.0) {
     return Status::OutOfRange("numeric_tolerance must be >= 0");
   }
+  if (num_threads < 0) {
+    return Status::OutOfRange("num_threads must be >= 0 (0 = hardware concurrency)");
+  }
   double weight_sum = weights.summary_size + weights.condition_simplicity +
                       weights.transform_simplicity + weights.coverage +
                       weights.normality;

@@ -94,6 +94,12 @@ struct CharlesOptions {
   /// the search the paper warns "can explode".
   int max_partitions = 512;
 
+  /// Worker threads for the engine's search phases (clustering, condition
+  /// induction, transformation fitting). 0 means "use hardware concurrency";
+  /// 1 runs fully serial. Parallel runs produce ranked output identical to
+  /// serial runs — the reduction is deterministic and order-independent.
+  int num_threads = 0;
+
   /// Numeric cells differing by at most this are "unchanged".
   double numeric_tolerance = 1e-6;
   /// Tolerate entities present in only one snapshot (they are excluded from

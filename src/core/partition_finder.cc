@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "parallel/parallel_for.h"
 
 namespace charles {
 
@@ -125,39 +126,51 @@ Result<PartitionFinder::ResidualClusterings> PartitionFinder::ClusterResiduals(
 Result<std::vector<PartitionCandidate>> PartitionFinder::InduceCandidates(
     const Table& source, const std::vector<std::vector<int>>& labelings,
     const std::vector<int>& condition_attr_indices, const CharlesOptions& options,
-    const TreeAttributeCache* cache) {
+    const TreeAttributeCache* cache, ThreadPool* pool) {
   DecisionTreeOptions tree_options;
   tree_options.max_depth =
       options.tree_max_depth > 0 ? options.tree_max_depth : options.max_condition_attrs;
   tree_options.min_leaf_size = options.min_partition_size;
 
   RowSet all_rows = RowSet::All(source.num_rows());
+
+  // Tree fits are independent per labeling; the dedup below walks them in
+  // labeling order, so the reduction is scheduling-independent.
+  struct InducedTree {
+    PartitionCandidate candidate;
+    std::string signature;
+    bool ok = false;
+  };
+  std::vector<InducedTree> induced = ParallelMap<InducedTree>(
+      pool, static_cast<int64_t>(labelings.size()), [&](int64_t li) {
+        const std::vector<int>& labels = labelings[static_cast<size_t>(li)];
+        InducedTree out;
+        Result<DecisionTree> tree_result = DecisionTree::Fit(
+            source, all_rows, condition_attr_indices, labels, tree_options, cache);
+        if (!tree_result.ok()) return out;
+        auto tree = std::make_shared<DecisionTree>(std::move(*tree_result));
+        out.candidate.leaves = tree->Leaves();
+        out.signature = PartitionSignature(out.candidate.leaves);
+        out.candidate.k = 1 + *std::max_element(labels.begin(), labels.end());
+        out.candidate.label_agreement = tree->training_accuracy();
+        out.candidate.tree = std::move(tree);
+        out.ok = true;
+        return out;
+      });
+
   std::vector<PartitionCandidate> candidates;
   std::set<std::string> seen_signatures;
-
-  for (const std::vector<int>& labels : labelings) {
-    Result<DecisionTree> tree_result = DecisionTree::Fit(
-        source, all_rows, condition_attr_indices, labels, tree_options, cache);
-    if (!tree_result.ok()) continue;
-    auto tree = std::make_shared<DecisionTree>(std::move(*tree_result));
-    std::vector<DecisionTree::Leaf> leaves = tree->Leaves();
-
-    std::string signature = PartitionSignature(leaves);
-    if (!seen_signatures.insert(signature).second) continue;
-
-    PartitionCandidate candidate;
-    candidate.tree = std::move(tree);
-    candidate.leaves = std::move(leaves);
-    candidate.k = 1 + *std::max_element(labels.begin(), labels.end());
-    candidate.label_agreement = candidate.tree->training_accuracy();
-    candidates.push_back(std::move(candidate));
+  for (InducedTree& tree : induced) {
+    if (!tree.ok) continue;
+    if (!seen_signatures.insert(tree.signature).second) continue;
+    candidates.push_back(std::move(tree.candidate));
   }
   return candidates;
 }
 
 Result<std::vector<PartitionCandidate>> PartitionFinder::Find(
     const Input& input, const std::vector<int>& condition_attr_indices,
-    const CharlesOptions& options) {
+    const CharlesOptions& options, ThreadPool* pool) {
   CHARLES_ASSIGN_OR_RETURN(ResidualClusterings clusterings,
                            ClusterResiduals(input, options));
   std::vector<std::vector<int>> labelings;
@@ -165,7 +178,8 @@ Result<std::vector<PartitionCandidate>> PartitionFinder::Find(
   for (const KMeansResult& clustering : clusterings.clusterings) {
     labelings.push_back(clustering.labels);
   }
-  return InduceCandidates(*input.source, labelings, condition_attr_indices, options);
+  return InduceCandidates(*input.source, labelings, condition_attr_indices, options,
+                          /*cache=*/nullptr, pool);
 }
 
 }  // namespace charles

@@ -13,6 +13,8 @@
 
 namespace charles {
 
+class ThreadPool;
+
 /// \brief One candidate partitioning of the data: a fitted condition tree
 /// whose leaves are the partitions.
 struct PartitionCandidate {
@@ -83,11 +85,15 @@ class PartitionFinder {
   /// Step 3: induce condition trees over `condition_attr_indices` for every
   /// row labeling; structurally identical partitionings are deduplicated
   /// within the call. `cache` (optional) must cover the attributes; the
-  /// engine shares one across every (C, labeling) combination.
+  /// engine shares one across every (C, labeling) combination. `pool`
+  /// (optional) fits the per-labeling trees in parallel; the dedup still
+  /// walks labelings in order, so the result is identical to the serial one.
+  /// Callers already running inside a pool task should pass nullptr and
+  /// parallelize at their own level instead.
   static Result<std::vector<PartitionCandidate>> InduceCandidates(
       const Table& source, const std::vector<std::vector<int>>& labelings,
       const std::vector<int>& condition_attr_indices, const CharlesOptions& options,
-      const TreeAttributeCache* cache = nullptr);
+      const TreeAttributeCache* cache = nullptr, ThreadPool* pool = nullptr);
 
   /// Renumbers labels in first-appearance order so structurally identical
   /// clusterings compare equal.
@@ -96,7 +102,7 @@ class PartitionFinder {
   /// Convenience composition of the two phases for a single (C, T).
   static Result<std::vector<PartitionCandidate>> Find(
       const Input& input, const std::vector<int>& condition_attr_indices,
-      const CharlesOptions& options);
+      const CharlesOptions& options, ThreadPool* pool = nullptr);
 
   /// The global model of step 1, exposed for diagnostics and benchmarks.
   static Result<LinearModel> FitGlobalModel(const Input& input);

@@ -1,0 +1,116 @@
+#ifndef CHARLES_PARALLEL_SHARDED_CACHE_H_
+#define CHARLES_PARALLEL_SHARDED_CACHE_H_
+
+/// \file
+/// \brief A lock-sharded concurrent cache for cross-worker result reuse.
+///
+/// Keys are hashed to one of N shards, each an unordered_map behind its own
+/// mutex, so concurrent lookups and inserts on different shards never
+/// contend. Values are never erased, and std::unordered_map guarantees
+/// reference stability under rehash, so the pointers returned by Find and
+/// Insert stay valid for the cache's lifetime — callers may hold them across
+/// further inserts from any thread.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace charles {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedCache {
+ public:
+  explicit ShardedCache(int num_shards = 16)
+      : shards_(static_cast<size_t>(num_shards < 1 ? 1 : num_shards)) {
+    for (auto& shard : shards_) shard = std::make_unique<Shard>();
+  }
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+
+  /// Returns a stable pointer to the cached value, or nullptr on miss.
+  const Value* Find(const Key& key) const {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      return nullptr;
+    }
+    ++shard.hits;
+    return &it->second;
+  }
+
+  /// Inserts (key, value) unless the key is already present — the first
+  /// writer wins, so concurrent duplicate computes converge on one stored
+  /// value. Returns a stable pointer to the stored value.
+  const Value* Insert(Key key, Value value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.map.emplace(std::move(key), std::move(value));
+    (void)inserted;
+    return &it->second;
+  }
+
+  /// Find-or-compute: `compute()` runs outside the shard lock (it may be
+  /// expensive), so two threads racing on the same fresh key may both
+  /// compute; Insert then keeps exactly one result.
+  template <typename Compute>
+  const Value* GetOrCompute(const Key& key, Compute&& compute) {
+    if (const Value* found = Find(key)) return found;
+    return Insert(key, compute());
+  }
+
+  /// Total entries across shards (takes every shard lock; intended for
+  /// post-barrier diagnostics, not hot paths).
+  size_t Size() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->map.size();
+    }
+    return total;
+  }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Lookup counters, kept per shard under the shard lock (no cross-shard
+  /// contention on the hot path) and summed here for diagnostics.
+  int64_t hits() const { return SumCounter(&Shard::hits); }
+  int64_t misses() const { return SumCounter(&Shard::misses); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Value, Hash> map;
+    int64_t hits = 0;
+    int64_t misses = 0;
+  };
+
+  int64_t SumCounter(int64_t Shard::* counter) const {
+    int64_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += (*shard).*counter;
+    }
+    return total;
+  }
+
+  Shard& ShardFor(const Key& key) const {
+    // Mix in 64 bits so shard choice is not correlated with the map's bucket
+    // choice (and the >> 32 below stays defined on 32-bit size_t).
+    uint64_t h = Hash{}(key);
+    h ^= h >> 17;
+    h *= 0x9e3779b97f4a7c15ull;
+    return *shards_[(h >> 32) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_PARALLEL_SHARDED_CACHE_H_

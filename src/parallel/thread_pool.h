@@ -1,0 +1,72 @@
+#ifndef CHARLES_PARALLEL_THREAD_POOL_H_
+#define CHARLES_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace charles {
+
+/// \brief A fixed-size worker pool executing submitted tasks FIFO.
+///
+/// Tasks are arbitrary callables; Submit returns a std::future carrying the
+/// task's result or exception. The pool is reusable across waves of work and
+/// joins all workers on destruction (pending tasks are drained first).
+///
+/// Blocking helpers (ParallelFor/ParallelMap) call TryRunOneTask while they
+/// wait so a caller that is itself a pool task keeps the queue draining
+/// instead of deadlocking the fixed-size pool.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown by
+  /// `fn` surface from future.get().
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Pops and runs one queued task on the calling thread. Returns false if
+  /// the queue was empty.
+  bool TryRunOneTask();
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// permits 0 for "unknown").
+  static int HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_PARALLEL_THREAD_POOL_H_

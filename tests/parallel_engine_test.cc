@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "workload/employee_gen.h"
+#include "workload/example1.h"
+
+namespace charles {
+namespace {
+
+/// Asserts that two engine runs produced bit-identical ranked output:
+/// same summaries in the same order, with byte-equal renderings and
+/// bit-equal scores, and the same search-space trajectory.
+void ExpectIdenticalRuns(const SummaryList& serial, const SummaryList& parallel) {
+  ASSERT_EQ(serial.summaries.size(), parallel.summaries.size());
+  for (size_t i = 0; i < serial.summaries.size(); ++i) {
+    const ChangeSummary& a = serial.summaries[i];
+    const ChangeSummary& b = parallel.summaries[i];
+    EXPECT_EQ(a.Signature(), b.Signature()) << "rank " << i;
+    EXPECT_EQ(a.scores().score, b.scores().score) << "rank " << i;
+    EXPECT_EQ(a.scores().accuracy, b.scores().accuracy) << "rank " << i;
+    EXPECT_EQ(a.ToString(), b.ToString()) << "rank " << i;
+  }
+  // The search itself must have walked the same space, not just converged.
+  EXPECT_EQ(serial.labelings, parallel.labelings);
+  EXPECT_EQ(serial.partitions, parallel.partitions);
+  EXPECT_EQ(serial.candidates_evaluated, parallel.candidates_evaluated);
+  EXPECT_EQ(serial.candidates_deduped, parallel.candidates_deduped);
+}
+
+SummaryList RunWithThreads(const Table& source, const Table& target,
+                           CharlesOptions options, int num_threads) {
+  options.num_threads = num_threads;
+  return SummarizeChanges(source, target, options).ValueOrDie();
+}
+
+TEST(ParallelEngineTest, Example1IdenticalAcrossThreadCounts) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  options.top_n = 25;
+  SummaryList serial = RunWithThreads(source, target, options, 1);
+  EXPECT_EQ(serial.threads_used, 1);
+  for (int threads : {2, 4, 8}) {
+    SummaryList parallel = RunWithThreads(source, target, options, threads);
+    EXPECT_EQ(parallel.threads_used, threads);
+    ExpectIdenticalRuns(serial, parallel);
+  }
+}
+
+TEST(ParallelEngineTest, EmployeeWorkloadIdenticalSerialVsEightThreads) {
+  EmployeeGenOptions gen;
+  gen.num_rows = 600;
+  gen.num_decoy_numeric = 1;
+  gen.num_decoy_categorical = 1;
+  Table source = GenerateEmployees(gen).ValueOrDie();
+  Table target = MakeEmployeeBonusPolicy().Apply(source).ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"emp_id"};
+  SummaryList serial = RunWithThreads(source, target, options, 1);
+  SummaryList parallel = RunWithThreads(source, target, options, 8);
+  ExpectIdenticalRuns(serial, parallel);
+  ASSERT_FALSE(parallel.summaries.empty());
+  EXPECT_GT(parallel.summaries[0].scores().accuracy, 0.9);
+}
+
+TEST(ParallelEngineTest, DefaultThreadsMatchesExplicitSerial) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  // num_threads = 0 resolves to hardware concurrency; output must still be
+  // identical to the serial run whatever that resolves to.
+  SummaryList defaulted = RunWithThreads(source, target, options, 0);
+  SummaryList serial = RunWithThreads(source, target, options, 1);
+  EXPECT_GE(defaulted.threads_used, 1);
+  ExpectIdenticalRuns(serial, defaulted);
+}
+
+TEST(ParallelEngineTest, ParallelRunReusesLeafFits) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  SummaryList parallel = RunWithThreads(source, target, options, 4);
+  EXPECT_GT(parallel.leaf_fits_computed, 0);
+  EXPECT_GT(parallel.leaf_fits_reused, 0);
+  SummaryList serial = RunWithThreads(source, target, options, 1);
+  // A worker count must never change how many distinct fits exist, only who
+  // computes them; serial reuse comes purely from the per-T local cache.
+  EXPECT_GT(serial.leaf_fits_reused, 0);
+}
+
+TEST(ParallelEngineTest, NegativeThreadCountRejected) {
+  Table source = MakeExample1Source().ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  options.num_threads = -2;
+  EXPECT_TRUE(SummarizeChanges(source, source, options).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace charles

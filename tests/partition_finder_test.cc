@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "parallel/thread_pool.h"
 #include "workload/example1.h"
 
 namespace charles {
@@ -141,6 +142,30 @@ TEST(PartitionFinderTest, LeavesPartitionAllRows) {
     }
     EXPECT_EQ(all, RowSet::All(9));
     EXPECT_EQ(total, 9);
+  }
+}
+
+TEST(PartitionFinderTest, PooledFindMatchesSerial) {
+  Example1Fixture fx;
+  int edu = *fx.source.schema().FieldIndex("edu");
+  int exp = *fx.source.schema().FieldIndex("exp");
+  auto input = fx.MakeInput({"bonus"});
+  std::vector<PartitionCandidate> serial =
+      PartitionFinder::Find(input, {edu, exp}, fx.options).ValueOrDie();
+  ThreadPool pool(4);
+  std::vector<PartitionCandidate> pooled =
+      PartitionFinder::Find(input, {edu, exp}, fx.options, &pool).ValueOrDie();
+  ASSERT_EQ(serial.size(), pooled.size());
+  ASSERT_FALSE(serial.empty());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].leaves.size(), pooled[i].leaves.size()) << "candidate " << i;
+    for (size_t l = 0; l < serial[i].leaves.size(); ++l) {
+      EXPECT_EQ(serial[i].leaves[l].condition->ToString(),
+                pooled[i].leaves[l].condition->ToString());
+      EXPECT_EQ(serial[i].leaves[l].rows, pooled[i].leaves[l].rows);
+    }
+    EXPECT_EQ(serial[i].k, pooled[i].k);
+    EXPECT_EQ(serial[i].label_agreement, pooled[i].label_agreement);
   }
 }
 
