@@ -1,0 +1,30 @@
+#ifndef CHARLES_COMMON_FNV_H_
+#define CHARLES_COMMON_FNV_H_
+
+/// \file
+/// \brief FNV-1a hashing primitives, shared by the leaf-fit cache keys and
+/// the engine's run fingerprint so the algorithm and constants live in one
+/// place.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace charles {
+
+/// FNV-1a 64-bit offset basis.
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+/// FNV-1a 64-bit prime.
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Folds `len` raw bytes into the running FNV-1a hash `h`.
+inline uint64_t FnvMixBytes(uint64_t h, const void* data, size_t len) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h = (h ^ bytes[i]) * kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace charles
+
+#endif  // CHARLES_COMMON_FNV_H_

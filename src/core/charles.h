@@ -22,6 +22,7 @@
 /// \endcode
 
 #include "core/engine.h"           // IWYU pragma: export
+#include "core/engine_context.h"   // IWYU pragma: export
 #include "core/explain.h"          // IWYU pragma: export
 #include "core/feature_augment.h"  // IWYU pragma: export
 #include "core/model_tree.h"       // IWYU pragma: export

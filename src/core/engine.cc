@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 
 #include "common/combinatorics.h"
@@ -82,12 +85,63 @@ bool SummaryOrder(const ChangeSummary& a, const ChangeSummary& b) {
   return a.Signature() < b.Signature();
 }
 
+uint64_t FnvMixDoubles(uint64_t h, const std::vector<double>& values) {
+  for (double v : values) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = FnvMixBytes(h, &bits, sizeof(bits));
+  }
+  return h;
+}
+
+uint64_t FnvMixString(uint64_t h, const std::string& s) {
+  h = FnvMixBytes(h, s.data(), s.size());
+  // Length separator so {"ab","c"} and {"a","bc"} hash differently.
+  uint64_t len = s.size();
+  return FnvMixBytes(h, &len, sizeof(len));
+}
+
+/// \brief Hash of everything a cached leaf fit depends on beyond its LeafKey.
+///
+/// A leaf fit is a pure function of (transform columns at the leaf's rows,
+/// y_old, y_new at those rows, the T-subset enumeration mapping t_index to
+/// attribute names, the target attribute, the numeric tolerance, and the
+/// normality options). The fingerprint hashes all of those run-wide, so a
+/// long-lived EngineContext cache can serve fits across runs: runs whose
+/// inputs differ get different fingerprints (up to 64-bit FNV-1a collisions,
+/// vanishingly unlikely but not impossible) and therefore never observe each
+/// other's fits when sharing one cache.
+uint64_t ComputeRunFingerprint(const CharlesOptions& options,
+                               const std::vector<std::string>& tran_names,
+                               const ColumnCache& tran_columns,
+                               const std::vector<double>& y_old,
+                               const std::vector<double>& y_new) {
+  uint64_t h = kFnvOffsetBasis;
+  h = FnvMixString(h, options.target_attribute);
+  const double knobs[] = {options.numeric_tolerance,
+                          options.normality.enable_snapping ? 1.0 : 0.0,
+                          options.normality.max_relative_coefficient_shift,
+                          options.normality.max_relative_accuracy_loss,
+                          options.normality.exactness_tolerance,
+                          static_cast<double>(options.max_transform_attrs)};
+  h = FnvMixBytes(h, knobs, sizeof(knobs));
+  for (const std::string& name : tran_names) {
+    h = FnvMixString(h, name);
+    const std::vector<double>* values = tran_columns.Find(name);
+    if (values != nullptr) h = FnvMixDoubles(h, *values);
+  }
+  h = FnvMixDoubles(h, y_old);
+  h = FnvMixDoubles(h, y_new);
+  return h;
+}
+
 }  // namespace
 
 Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
     const Table& source, const std::vector<double>& y_old,
     const std::vector<double>& y_new, const RowSet& rows,
-    const std::vector<std::string>& transform_attrs) const {
+    const std::vector<std::string>& transform_attrs,
+    const ColumnCache* column_cache) const {
   const std::string& target = options_.target_attribute;
   // No-change detection: the whole partition kept its old value.
   bool unchanged = true;
@@ -107,9 +161,19 @@ Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
     return fit;
   }
 
-  // Transformation discovery: per-partition OLS on T.
+  // Transformation discovery: per-partition OLS on T. Features come from the
+  // run's pre-converted ColumnCache when available (the engine always passes
+  // one), falling back to per-leaf gather + conversion.
   Matrix x(rows.size(), static_cast<int64_t>(transform_attrs.size()));
   for (size_t f = 0; f < transform_attrs.size(); ++f) {
+    const std::vector<double>* full =
+        column_cache != nullptr ? column_cache->Find(transform_attrs[f]) : nullptr;
+    if (full != nullptr) {
+      for (int64_t r = 0; r < rows.size(); ++r) {
+        x.At(r, static_cast<int64_t>(f)) = (*full)[static_cast<size_t>(rows[r])];
+      }
+      continue;
+    }
     CHARLES_ASSIGN_OR_RETURN(const Column* col, source.ColumnByName(transform_attrs[f]));
     CHARLES_ASSIGN_OR_RETURN(std::vector<double> values, col->GatherDoubles(rows));
     for (int64_t r = 0; r < rows.size(); ++r) {
@@ -137,7 +201,8 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
     const std::vector<double>& y_new, const PartitionCandidate& candidate,
     const std::vector<std::string>& transform_attrs,
     const std::vector<std::string>& condition_attrs, LeafFitCache* cache,
-    SharedLeafFitCache* shared_cache, size_t t_index, LeafFitStats* stats) const {
+    SharedLeafFitCache* shared_cache, size_t t_index, LeafFitStats* stats,
+    uint64_t cache_fingerprint, const ColumnCache* column_cache) const {
   const std::string& target = options_.target_attribute;
   int64_t n = source.num_rows();
   std::vector<double> y_hat = y_old;
@@ -165,7 +230,7 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
       } else {
         LeafKey key;  // built once per local miss; shared by Find and Insert
         if (shared_cache != nullptr) {
-          key = LeafKey{t_index, rows.indices()};
+          key = LeafKey{cache_fingerprint, t_index, rows.indices()};
           const LeafFit* shared_fit = shared_cache->Find(key);
           if (shared_fit != nullptr) {
             if (stats != nullptr) ++stats->shared_hits;
@@ -174,8 +239,8 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
           }
         }
         if (fit == nullptr) {
-          CHARLES_ASSIGN_OR_RETURN(local,
-                                   FitLeaf(source, y_old, y_new, rows, transform_attrs));
+          CHARLES_ASSIGN_OR_RETURN(
+              local, FitLeaf(source, y_old, y_new, rows, transform_attrs, column_cache));
           if (stats != nullptr) ++stats->computed;
           if (shared_cache != nullptr) {
             shared_cache->Insert(std::move(key), local);
@@ -185,8 +250,8 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
         }
       }
     } else {
-      CHARLES_ASSIGN_OR_RETURN(local,
-                               FitLeaf(source, y_old, y_new, rows, transform_attrs));
+      CHARLES_ASSIGN_OR_RETURN(
+          local, FitLeaf(source, y_old, y_new, rows, transform_attrs, column_cache));
       if (stats != nullptr) ++stats->computed;
       fit = &local;
     }
@@ -213,7 +278,8 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
   return summary;
 }
 
-Result<SummaryList> CharlesEngine::Run(const Table& source, const Table& target) const {
+Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target,
+                                        SummaryStream* stream) const {
   auto start_time = std::chrono::steady_clock::now();
   CHARLES_RETURN_NOT_OK(options_.Validate());
 
@@ -291,11 +357,23 @@ Result<SummaryList> CharlesEngine::Run(const Table& source, const Table& target)
 
   // Parallel execution: every phase fans out over a ThreadPool and reduces
   // its per-item results in deterministic input order, so the ranked output
-  // is bit-identical to a serial (num_threads = 1) run.
-  int num_threads =
-      options_.num_threads > 0 ? options_.num_threads : ThreadPool::HardwareConcurrency();
-  std::unique_ptr<ThreadPool> pool;
-  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  // is bit-identical to a serial (num_threads = 1) run. With an attached
+  // EngineContext the context's long-lived pool is used (its thread count
+  // supersedes options_.num_threads); otherwise a per-run pool is spawned.
+  int num_threads = 1;
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (context_ != nullptr) {
+    num_threads = context_->num_threads();
+    pool = context_->pool();
+  } else {
+    num_threads = options_.num_threads > 0 ? options_.num_threads
+                                           : ThreadPool::HardwareConcurrency();
+    if (num_threads > 1) {
+      owned_pool = std::make_unique<ThreadPool>(num_threads);
+      pool = owned_pool.get();
+    }
+  }
   result.threads_used = pool != nullptr ? num_threads : 1;
 
   // Phase 1 — change-signal clusterings. Residual clusterings depend on the
@@ -305,17 +383,32 @@ Result<SummaryList> CharlesEngine::Run(const Table& source, const Table& target)
   // of once per (C, T, k). Each T-subset clusters independently (k-means is
   // seeded per call); pooling dedups sequentially in T order.
   auto phase1_start = std::chrono::steady_clock::now();
+
+  // Column-gather cache: every T-subset's feature matrix draws on the same
+  // shortlisted columns, so each is converted to doubles exactly once and
+  // shared read-only by all phase-1 workers.
+  CHARLES_ASSIGN_OR_RETURN(ColumnCache tran_columns,
+                           ColumnCache::Build(*analysis, tran_names));
+
+  // Cross-run cache key (see ComputeRunFingerprint); only needed when a
+  // long-lived context cache can mix fits from different runs.
+  const uint64_t fingerprint =
+      context_ != nullptr
+          ? ComputeRunFingerprint(options_, tran_names, tran_columns, y_old, y_new)
+          : 0;
+
   struct TSubsetLabelings {
     std::vector<std::string> transform_attrs;
     std::vector<std::vector<int>> canonical;
   };
   std::vector<TSubsetLabelings> per_t = ParallelMap<TSubsetLabelings>(
-      pool.get(), static_cast<int64_t>(t_subsets.size()), [&](int64_t ti) {
+      pool, static_cast<int64_t>(t_subsets.size()), [&](int64_t ti) {
         TSubsetLabelings out;
         PartitionFinder::Input input;
         input.source = analysis;
         input.y_old = &y_old;
         input.y_new = &y_new;
+        input.column_cache = &tran_columns;
         for (int t : t_subsets[static_cast<size_t>(ti)]) {
           input.transform_attrs.push_back(tran_names[static_cast<size_t>(t)]);
         }
@@ -366,7 +459,7 @@ Result<SummaryList> CharlesEngine::Run(const Table& source, const Table& target)
     std::vector<std::string> attr_names;
   };
   std::vector<CSubsetCandidates> per_c = ParallelMap<CSubsetCandidates>(
-      pool.get(), static_cast<int64_t>(c_subsets.size()), [&](int64_t ci) {
+      pool, static_cast<int64_t>(c_subsets.size()), [&](int64_t ci) {
         CSubsetCandidates out;
         std::vector<int> attr_indices;
         for (int c : c_subsets[static_cast<size_t>(ci)]) {
@@ -418,40 +511,117 @@ Result<SummaryList> CharlesEngine::Run(const Table& source, const Table& target)
           .count();
 
   // Phase 3 — transformation discovery and scoring: every surviving
-  // partitioning is paired with every transformation subset. Workers fan out
-  // over partitions; each worker owns a thread-local LeafFitCache per T
-  // (lock-free) backed by one cross-worker ShardedCache, and the per-worker
-  // caches and counters are merged at the barrier. The best-by-signature
-  // reduction then replays the serial (partition, T) visit order, so the
-  // surviving summary per signature is scheduling-independent.
+  // partitioning is paired with every transformation subset. Work is sharded
+  // by (partition, T) pair — finer than per-partition, so the pool stays
+  // balanced even when few partitionings survive dedup. Each worker owns a
+  // thread-local LeafFitCache per T (lock-free) backed by one cross-worker
+  // ShardedCache (the context's cross-run cache when attached), and the
+  // per-worker caches and counters are merged at the barrier. The
+  // best-by-signature reduction then replays the serial (partition, T) visit
+  // order, so the surviving summary per signature is scheduling-independent.
   auto phase3_start = std::chrono::steady_clock::now();
   struct Phase3Worker {
     std::vector<LeafFitCache> caches;
     LeafFitStats stats;
   };
-  SharedLeafFitCache shared_leaf_cache(pool != nullptr ? num_threads * 4 : 1);
-  using BuiltSummaries = std::vector<std::pair<std::string, ChangeSummary>>;
+  struct ShardOutput {
+    std::string signature;
+    ChangeSummary summary;
+    bool ok = false;
+  };
+  const int64_t t_count = static_cast<int64_t>(t_attr_names.size());
+  const int64_t num_shards = static_cast<int64_t>(partitions.size()) * t_count;
+
+  SharedLeafFitCache run_leaf_cache(pool != nullptr ? num_threads * 4 : 1);
+  SharedLeafFitCache* shared_cache = nullptr;
+  if (context_ != nullptr) {
+    shared_cache = context_->leaf_cache();  // warm across runs, even serial
+  } else if (pool != nullptr) {
+    shared_cache = &run_leaf_cache;
+  }
+
+  // Streaming: completed shards merge a copy of their summary into a
+  // provisional top-N under a lock, kept sorted and deduplicated by
+  // signature exactly as the final reduction ranks — eviction is permanent
+  // (the bar only rises), so the incremental top-N equals the top-N of a
+  // full best-by-signature merge at every point, and the last update's list
+  // is the final ranking. Entirely separate from the deterministic final
+  // reduction below — which summaries appear mid-run depends on scheduling,
+  // the returned list never does. Zero overhead when no stream is attached.
+  struct StreamMerge {
+    std::mutex mu;
+    std::vector<std::pair<std::string, ChangeSummary>> top;  ///< sorted, <= top_n
+    int64_t completed = 0;
+  };
+  StreamMerge stream_merge;
+  auto merge_into_top = [this, &stream_merge](const std::string& signature,
+                                              const ChangeSummary& summary) {
+    auto& top = stream_merge.top;
+    auto same = std::find_if(top.begin(), top.end(), [&](const auto& entry) {
+      return entry.first == signature;
+    });
+    if (same != top.end()) {
+      if (!SummaryOrder(summary, same->second)) return false;
+      top.erase(same);
+    } else if (static_cast<int>(top.size()) >= options_.top_n &&
+               !SummaryOrder(summary, top.back().second)) {
+      return false;
+    }
+    auto pos = std::upper_bound(top.begin(), top.end(), summary,
+                                [](const ChangeSummary& s, const auto& entry) {
+                                  return SummaryOrder(s, entry.second);
+                                });
+    top.emplace(pos, signature, summary);
+    if (static_cast<int>(top.size()) > options_.top_n) top.pop_back();
+    return true;
+  };
+
   std::vector<Phase3Worker> workers;
-  std::vector<BuiltSummaries> per_partition = ParallelMapWithState<BuiltSummaries, Phase3Worker>(
-      pool.get(), static_cast<int64_t>(partitions.size()),
+  std::vector<ShardOutput> shard_outputs = ParallelMapWithState<ShardOutput, Phase3Worker>(
+      pool, num_shards,
       [&]() {
         Phase3Worker worker;
         worker.caches.resize(t_attr_names.size());
         return worker;
       },
-      [&](Phase3Worker& worker, int64_t pi) {
-        const PartitionEntry& entry = partitions[static_cast<size_t>(pi)];
-        BuiltSummaries built;
-        built.reserve(t_attr_names.size());
-        for (size_t ti = 0; ti < t_attr_names.size(); ++ti) {
-          Result<ChangeSummary> summary = BuildSummary(
-              *analysis, y_old, y_new, entry.candidate, t_attr_names[ti],
-              entry.condition_attrs, &worker.caches[ti],
-              pool != nullptr ? &shared_leaf_cache : nullptr, ti, &worker.stats);
-          if (!summary.ok()) continue;
-          built.emplace_back(summary->Signature(), std::move(*summary));
+      [&](Phase3Worker& worker, int64_t shard) {
+        const size_t pi = static_cast<size_t>(shard / t_count);
+        const size_t ti = static_cast<size_t>(shard % t_count);
+        const PartitionEntry& entry = partitions[pi];
+        ShardOutput out;
+        Result<ChangeSummary> summary = BuildSummary(
+            *analysis, y_old, y_new, entry.candidate, t_attr_names[ti],
+            entry.condition_attrs, &worker.caches[ti], shared_cache, ti,
+            &worker.stats, fingerprint, &tran_columns);
+        if (summary.ok()) {
+          out.signature = summary->Signature();
+          out.summary = std::move(*summary);
+          out.ok = true;
         }
-        return built;
+        if (stream != nullptr) {
+          std::lock_guard<std::mutex> lock(stream_merge.mu);
+          ++stream_merge.completed;
+          bool changed = out.ok && merge_into_top(out.signature, out.summary);
+          // Re-ranking and copying the top-N per shard would dwarf the search
+          // itself; emit only when the top-N changed — shards that only
+          // rediscover or underbid known summaries just advance the counter —
+          // plus always on the final shard so consumers observe completion.
+          if (changed || stream_merge.completed == num_shards) {
+            SummaryStreamUpdate update;
+            update.shards_completed = stream_merge.completed;
+            update.shards_total = num_shards;
+            update.elapsed_seconds =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start_time)
+                    .count();
+            update.provisional.reserve(stream_merge.top.size());
+            for (const auto& entry : stream_merge.top) {
+              update.provisional.push_back(entry.second);
+            }
+            stream->Emit(update);
+          }
+        }
+        return out;
       },
       &workers);
 
@@ -461,16 +631,15 @@ Result<SummaryList> CharlesEngine::Run(const Table& source, const Table& target)
   }
 
   std::map<std::string, ChangeSummary> best_by_signature;
-  for (BuiltSummaries& built : per_partition) {
-    for (auto& [signature, summary] : built) {
-      ++result.candidates_evaluated;
-      auto it = best_by_signature.find(signature);
-      if (it == best_by_signature.end()) {
-        best_by_signature.emplace(std::move(signature), std::move(summary));
-      } else {
-        ++result.candidates_deduped;
-        if (SummaryOrder(summary, it->second)) it->second = std::move(summary);
-      }
+  for (ShardOutput& built : shard_outputs) {
+    if (!built.ok) continue;
+    ++result.candidates_evaluated;
+    auto it = best_by_signature.find(built.signature);
+    if (it == best_by_signature.end()) {
+      best_by_signature.emplace(std::move(built.signature), std::move(built.summary));
+    } else {
+      ++result.candidates_deduped;
+      if (SummaryOrder(built.summary, it->second)) it->second = std::move(built.summary);
     }
   }
 
@@ -490,13 +659,28 @@ Result<SummaryList> CharlesEngine::Run(const Table& source, const Table& target)
   result.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time)
           .count();
+  if (context_ != nullptr) context_->NoteRunCompleted();
   return result;
+}
+
+std::future<Result<SummaryList>> CharlesEngine::FindAsync(
+    const Table& source, const Table& target, SummaryStream* stream) const {
+  return std::async(std::launch::async, [this, &source, &target, stream]() {
+    return Find(source, target, stream);
+  });
 }
 
 Result<SummaryList> SummarizeChanges(const Table& source, const Table& target,
                                      const CharlesOptions& options) {
   CharlesEngine engine(options);
-  return engine.Run(source, target);
+  return engine.Find(source, target);
+}
+
+Result<SummaryList> SummarizeChanges(const Table& source, const Table& target,
+                                     const CharlesOptions& options,
+                                     EngineContext* context) {
+  CharlesEngine engine(options, context);
+  return engine.Find(source, target);
 }
 
 }  // namespace charles

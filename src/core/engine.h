@@ -1,18 +1,23 @@
 #ifndef CHARLES_CORE_ENGINE_H_
 #define CHARLES_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <unordered_map>
+#include <functional>
+#include <future>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "core/engine_context.h"
 #include "core/options.h"
-#include "parallel/sharded_cache.h"
 #include "core/partition_finder.h"
 #include "core/setup_assistant.h"
 #include "core/summary.h"
 #include "diff/diff.h"
+#include "parallel/sharded_cache.h"
 #include "table/table.h"
 
 namespace charles {
@@ -46,70 +51,153 @@ struct SummaryList {
   std::string ToString() const;
 };
 
+/// \brief One streamed snapshot of the phase-3 search, emitted after a
+/// (partition, T) shard completes.
+struct SummaryStreamUpdate {
+  /// Current best-so-far ranking (at most CharlesOptions::top_n entries),
+  /// ordered exactly as the final list orders summaries. Which summaries
+  /// appear mid-run depends on scheduling; the \em last update's list equals
+  /// the final ranked list.
+  std::vector<ChangeSummary> provisional;
+  /// (partition, T) shards finished so far, including this one.
+  int64_t shards_completed = 0;
+  /// Total (partition, T) shards of the run's phase 3.
+  int64_t shards_total = 0;
+  /// Seconds since the run started.
+  double elapsed_seconds = 0.0;
+};
+
+/// \brief Callback channel receiving ranked partial results during a run.
+///
+/// Pass one to CharlesEngine::Find or FindAsync to observe the search as it
+/// happens — a human-in-the-loop UI can show top-ranked summaries early and
+/// let the user stop reading long before the sweep finishes. An update is
+/// emitted whenever a completed shard changed the provisional set (shards
+/// that only rediscover known summaries just advance shards_completed), and
+/// always for the final shard, so every run emits at least one update and
+/// the last update carries the final ranking. Updates are serialized (never
+/// concurrent, even when one stream is shared by concurrent runs — Emit
+/// holds the stream's own lock) and, within one run, arrive with strictly
+/// increasing shards_completed, on whichever worker thread finished the
+/// shard. Emission sits on the phase-3 critical path (workers queue behind
+/// the run's merge lock while the callback executes), so the callback must
+/// be cheap — hand the update to your own queue rather than doing I/O — and
+/// must not call back into the emitting engine. Streaming never changes the
+/// run's result: the final ranked list stays bit-identical to a run without
+/// a stream, at any thread count.
+class SummaryStream {
+ public:
+  using Callback = std::function<void(const SummaryStreamUpdate&)>;
+
+  explicit SummaryStream(Callback callback) : callback_(std::move(callback)) {}
+
+  SummaryStream(const SummaryStream&) = delete;
+  SummaryStream& operator=(const SummaryStream&) = delete;
+
+  /// Updates emitted so far (across every run this stream was passed to).
+  int64_t updates_emitted() const {
+    return updates_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CharlesEngine;
+
+  /// Invokes the callback under the stream's own lock, so emissions stay
+  /// serialized even when several concurrent runs share one stream.
+  void Emit(const SummaryStreamUpdate& update) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (callback_) callback_(update);
+    updates_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Callback callback_;
+  std::mutex mu_;
+  std::atomic<int64_t> updates_{0};
+};
+
 /// \brief The ChARLES diff discovery engine (paper, Figure 3 right half).
 ///
 /// Orchestrates the full pipeline: snapshot diff → attribute shortlists →
 /// (C, T) subset enumeration → partition discovery → transformation
 /// discovery (with normality snapping) → scoring → dedup → ranking.
+///
+/// An engine is stateless across runs; all state lives in the options (and
+/// optionally an attached EngineContext), so one engine may serve concurrent
+/// Find() calls from multiple threads.
 class CharlesEngine {
  public:
+  /// An engine owning its execution resources: each Find() spawns (and
+  /// joins) a private pool of CharlesOptions::num_threads workers and uses a
+  /// run-local leaf-fit cache.
   explicit CharlesEngine(CharlesOptions options) : options_(std::move(options)) {}
+
+  /// \brief An engine attached to a long-lived EngineContext.
+  ///
+  /// Every Find() schedules on the context's pool and reuses its cross-run
+  /// leaf-fit cache, so repeated queries skip thread spawn and re-fitting.
+  /// The context's thread count supersedes CharlesOptions::num_threads (a
+  /// null context behaves exactly like the single-argument constructor).
+  /// The context must outlive the engine.
+  CharlesEngine(CharlesOptions options, EngineContext* context)
+      : options_(std::move(options)), context_(context) {}
 
   const CharlesOptions& options() const { return options_; }
 
-  /// Runs the pipeline over two snapshots with identical schemas and entity
-  /// sets (paper assumptions; violations yield InvalidArgument).
-  Result<SummaryList> Run(const Table& source, const Table& target) const;
+  /// The attached context, or nullptr for a self-contained engine.
+  EngineContext* context() const { return context_; }
 
-  /// \brief A fitted leaf transformation, cacheable by (partition rows, T).
+  /// \brief Runs the pipeline over two snapshots with identical schemas and
+  /// entity sets (paper assumptions; violations yield InvalidArgument).
   ///
-  /// Distinct condition trees frequently share leaves (the same row set
-  /// described by different conditions); the engine memoizes leaf fits per
-  /// transformation subset so each (rows, T) pair is fitted once.
-  struct LeafFit {
-    LinearTransform transform;
-    std::vector<double> predictions;  ///< Aligned with the partition rows.
-    double partition_mae = 0.0;
-  };
+  /// When `stream` is non-null, ranked partial results are emitted as
+  /// phase-3 shards complete (see SummaryStream); the returned list is
+  /// unaffected by streaming.
+  Result<SummaryList> Find(const Table& source, const Table& target,
+                           SummaryStream* stream = nullptr) const;
 
-  struct RowIndicesHash {
-    size_t operator()(const std::vector<int64_t>& rows) const {
-      size_t h = 0xcbf29ce484222325ull;
-      for (int64_t r : rows) h = (h ^ static_cast<size_t>(r)) * 0x100000001b3ull;
-      return h;
-    }
-  };
+  /// \brief Non-blocking Find(): runs the search on a dedicated thread and
+  /// resolves the future with its result.
+  ///
+  /// Combine with a SummaryStream to consume top-ranked summaries while the
+  /// sweep is still running. The engine, both tables, the stream, and any
+  /// attached context must stay alive until the future resolves.
+  std::future<Result<SummaryList>> FindAsync(const Table& source,
+                                             const Table& target,
+                                             SummaryStream* stream = nullptr) const;
+
+  /// Rvalue snapshots are rejected at compile time: the async thread reads
+  /// the tables by reference, so a temporary would dangle before it resolves.
+  std::future<Result<SummaryList>> FindAsync(Table&& source, const Table& target,
+                                             SummaryStream* stream = nullptr) const =
+      delete;
+  std::future<Result<SummaryList>> FindAsync(const Table& source, Table&& target,
+                                             SummaryStream* stream = nullptr) const =
+      delete;
+
+  /// Legacy name for Find() without streaming.
+  Result<SummaryList> Run(const Table& source, const Table& target) const {
+    return Find(source, target);
+  }
+
+  /// \name Leaf-fit cache machinery
+  /// Shared with EngineContext; see engine_context.h. The nested aliases are
+  /// kept so existing callers keep compiling.
+  /// @{
+  using LeafFit = ::charles::LeafFit;
+  using RowIndicesHash = ::charles::RowIndicesHash;
+  /// Thread-local tier: one per (worker, T), keyed by rows alone (lock-free).
   using LeafFitCache =
       std::unordered_map<std::vector<int64_t>, LeafFit, RowIndicesHash>;
-
-  /// \brief Key of the cross-worker leaf-fit cache: (T-subset index, rows).
-  ///
-  /// The transformation subset is part of the key because the same partition
-  /// fitted on different T yields different models.
-  struct LeafKey {
-    size_t t_index = 0;
-    std::vector<int64_t> rows;
-    bool operator==(const LeafKey& other) const {
-      return t_index == other.t_index && rows == other.rows;
-    }
-  };
-  struct LeafKeyHash {
-    size_t operator()(const LeafKey& key) const {
-      return RowIndicesHash{}(key.rows) ^ (key.t_index * 0x9e3779b97f4a7c15ull);
-    }
-  };
-
-  /// Lock-sharded cache shared by every worker of a parallel run. Workers
-  /// consult their thread-local LeafFitCache first (lock-free), then this,
-  /// and publish freshly computed fits here so other workers reuse them; the
-  /// barrier merge therefore happens incrementally, shard by shard.
-  using SharedLeafFitCache = ShardedCache<LeafKey, LeafFit, LeafKeyHash>;
+  using LeafKey = ::charles::LeafKey;
+  using LeafKeyHash = ::charles::LeafKeyHash;
+  using SharedLeafFitCache = ::charles::SharedLeafFitCache;
+  /// @}
 
   /// Per-worker counters folded into SummaryList diagnostics at the barrier.
   struct LeafFitStats {
     int64_t computed = 0;     ///< FitLeaf invocations
     int64_t local_hits = 0;   ///< served by the worker's own cache
-    int64_t shared_hits = 0;  ///< served by another worker via SharedLeafFitCache
+    int64_t shared_hits = 0;  ///< served via SharedLeafFitCache
   };
 
   /// \brief Builds and scores one summary for a fixed partitioning.
@@ -118,9 +206,12 @@ class CharlesEngine {
   /// every leaf (detecting no-change partitions), snaps constants, assembles
   /// predictions, and scores. `y_old`/`y_new` align with source rows. When
   /// `cache` is non-null, leaf fits are reused across calls sharing the same
-  /// transformation subset. `shared_cache` (keyed by `t_index`) additionally
-  /// shares fits across workers of a parallel run; `stats` tallies
-  /// compute/reuse counts for diagnostics.
+  /// transformation subset. `shared_cache` (keyed by `t_index` and
+  /// `cache_fingerprint`) additionally shares fits across workers of a
+  /// parallel run and across runs of an EngineContext; `stats` tallies
+  /// compute/reuse counts for diagnostics. `column_cache` (optional, must
+  /// cover `transform_attrs` over `source`) lets leaf fits gather features
+  /// from pre-converted columns instead of re-converting per leaf.
   Result<ChangeSummary> BuildSummary(const Table& source,
                                      const std::vector<double>& y_old,
                                      const std::vector<double>& y_new,
@@ -130,21 +221,30 @@ class CharlesEngine {
                                      LeafFitCache* cache = nullptr,
                                      SharedLeafFitCache* shared_cache = nullptr,
                                      size_t t_index = 0,
-                                     LeafFitStats* stats = nullptr) const;
+                                     LeafFitStats* stats = nullptr,
+                                     uint64_t cache_fingerprint = 0,
+                                     const ColumnCache* column_cache = nullptr) const;
 
  private:
   /// Fits one partition's transformation: no-change detection, OLS on T,
-  /// normality snapping.
+  /// normality snapping. `column_cache` as in BuildSummary.
   Result<LeafFit> FitLeaf(const Table& source, const std::vector<double>& y_old,
                           const std::vector<double>& y_new, const RowSet& rows,
-                          const std::vector<std::string>& transform_attrs) const;
+                          const std::vector<std::string>& transform_attrs,
+                          const ColumnCache* column_cache = nullptr) const;
 
   CharlesOptions options_;
+  EngineContext* context_ = nullptr;
 };
 
 /// \brief One-call convenience API: SummarizeChanges(Ds, Dt, options).
 Result<SummaryList> SummarizeChanges(const Table& source, const Table& target,
                                      const CharlesOptions& options);
+
+/// Same, attached to a long-lived context (serving / repeated queries).
+Result<SummaryList> SummarizeChanges(const Table& source, const Table& target,
+                                     const CharlesOptions& options,
+                                     EngineContext* context);
 
 }  // namespace charles
 

@@ -1,0 +1,13 @@
+#include "core/engine_context.h"
+
+namespace charles {
+
+EngineContext::EngineContext(EngineContextOptions options) {
+  num_threads_ = options.num_threads > 0 ? options.num_threads
+                                         : ThreadPool::HardwareConcurrency();
+  if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
+  int shards = options.cache_shards > 0 ? options.cache_shards : num_threads_ * 4;
+  leaf_cache_ = std::make_unique<SharedLeafFitCache>(shards);
+}
+
+}  // namespace charles

@@ -1,0 +1,178 @@
+#ifndef CHARLES_CORE_ENGINE_CONTEXT_H_
+#define CHARLES_CORE_ENGINE_CONTEXT_H_
+
+/// \file
+/// \brief Long-lived execution context shared across engine runs.
+///
+/// A CharlesEngine without a context builds everything it needs per run: a
+/// ThreadPool is spawned and joined inside every Find() call and the
+/// cross-worker leaf-fit cache dies with the run. That is the right shape for
+/// a one-shot CLI invocation, but a serving process answering many requests
+/// pays the thread spawn and re-fits every leaf on every call.
+///
+/// EngineContext hoists both resources out of the run:
+///
+///  - one ThreadPool, spawned when the context is created and reused by every
+///    engine attached to the context (no per-request thread churn);
+///  - one SharedLeafFitCache surviving across runs, so a repeated query (same
+///    snapshots, same options) is served almost entirely from cached OLS fits.
+///
+/// Cached fits are keyed by a per-run \em fingerprint hashing everything a
+/// leaf fit depends on (target attribute, tolerance, normality options, the
+/// transformation shortlist and its column values, and the old/new target
+/// vectors), so runs over different snapshots or options can share one
+/// context without observing each other's fits (up to 64-bit hash
+/// collisions, vanishingly unlikely but not impossible).
+///
+/// Determinism is unaffected: leaf fits are pure functions of their key, so a
+/// warm run produces output bit-identical to a cold one.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/fnv.h"
+#include "core/transform.h"
+#include "parallel/sharded_cache.h"
+#include "parallel/thread_pool.h"
+
+namespace charles {
+
+/// \brief A fitted leaf transformation, cacheable by (fingerprint, T, rows).
+///
+/// Distinct condition trees frequently share leaves (the same row set
+/// described by different conditions); the engine memoizes leaf fits per
+/// transformation subset so each (rows, T) pair is fitted once.
+struct LeafFit {
+  /// The fitted (or no-change) transformation for the leaf.
+  LinearTransform transform;
+  /// Predicted new target values, aligned with the partition rows.
+  std::vector<double> predictions;
+  /// Mean absolute error of the transformation on its partition.
+  double partition_mae = 0.0;
+};
+
+/// FNV-1a over a row-index vector; used by both leaf-fit cache tiers.
+struct RowIndicesHash {
+  size_t operator()(const std::vector<int64_t>& rows) const {
+    uint64_t h = kFnvOffsetBasis;
+    for (int64_t r : rows) h = (h ^ static_cast<uint64_t>(r)) * kFnvPrime;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// \brief Key of the cross-worker, cross-run leaf-fit cache.
+///
+/// `t_index` indexes the run's transformation-subset enumeration (the same
+/// partition fitted on different T yields different models). `fingerprint`
+/// identifies the run inputs that determine a fit (see engine_context.h file
+/// docs); per-run caches use 0, so a key never matches across unrelated runs
+/// sharing a long-lived cache.
+struct LeafKey {
+  uint64_t fingerprint = 0;
+  size_t t_index = 0;
+  std::vector<int64_t> rows;
+  bool operator==(const LeafKey& other) const {
+    return fingerprint == other.fingerprint && t_index == other.t_index &&
+           rows == other.rows;
+  }
+};
+
+/// Hash for LeafKey, mixing all three components.
+struct LeafKeyHash {
+  size_t operator()(const LeafKey& key) const {
+    size_t h = RowIndicesHash{}(key.rows);
+    h ^= key.t_index * 0x9e3779b97f4a7c15ull;
+    h ^= static_cast<size_t>(key.fingerprint * 0xc2b2ae3d27d4eb4full);
+    return h;
+  }
+};
+
+/// Lock-sharded cache shared by every worker of a run — and, when owned by an
+/// EngineContext, by every run attached to the context. Workers consult their
+/// thread-local cache first (lock-free), then this, and publish freshly
+/// computed fits here so other workers (and later runs) reuse them.
+using SharedLeafFitCache = ShardedCache<LeafKey, LeafFit, LeafKeyHash>;
+
+/// \brief Configuration of an EngineContext.
+struct EngineContextOptions {
+  /// Worker threads of the context's pool. 0 = hardware concurrency;
+  /// 1 = no pool (attached engines run serially but still share the cache).
+  int num_threads = 0;
+  /// Lock shards of the leaf-fit cache. 0 = 4 x resolved thread count.
+  int cache_shards = 0;
+};
+
+/// \brief Long-lived owner of the ThreadPool and leaf-fit cache shared by
+/// repeated engine runs.
+///
+/// Construct one per process (or per tenant) and attach engines to it:
+///
+/// \code
+///   charles::EngineContext context;                 // spawns the pool once
+///   charles::CharlesEngine engine(options, &context);
+///   auto first  = engine.Find(source, target);      // cold: fits + caches
+///   auto second = engine.Find(source, target);      // warm: served from cache
+/// \endcode
+///
+/// Thread safety: the pool and cache are concurrency-safe, so multiple
+/// threads may run Find() against one context simultaneously (each run
+/// schedules its waves through the shared pool). ClearCaches() is the only
+/// exception — it must not race with an active run.
+///
+/// Lifetime: the context must outlive every engine attached to it and every
+/// future returned by FindAsync() on such an engine.
+class EngineContext {
+ public:
+  explicit EngineContext(EngineContextOptions options = {});
+
+  EngineContext(const EngineContext&) = delete;
+  EngineContext& operator=(const EngineContext&) = delete;
+
+  /// The context's pool, spawned at construction; nullptr when the resolved
+  /// thread count is 1 (attached engines then run serially).
+  ThreadPool* pool() const { return pool_.get(); }
+
+  /// The cross-run leaf-fit cache; never null.
+  SharedLeafFitCache* leaf_cache() const { return leaf_cache_.get(); }
+
+  /// Resolved worker-thread count (>= 1).
+  int num_threads() const { return num_threads_; }
+
+  /// \name Diagnostics
+  /// @{
+  /// Number of Find() calls completed against this context.
+  int64_t runs_completed() const {
+    return runs_completed_.load(std::memory_order_relaxed);
+  }
+  /// Distinct leaf fits currently cached across all runs.
+  size_t leaf_cache_entries() const { return leaf_cache_->Size(); }
+  /// Cumulative shared-cache lookup hits (cross-worker plus cross-run).
+  int64_t leaf_cache_hits() const { return leaf_cache_->hits(); }
+  /// Cumulative shared-cache lookup misses.
+  int64_t leaf_cache_misses() const { return leaf_cache_->misses(); }
+  /// @}
+
+  /// Drops every cached leaf fit (e.g. after a snapshot refresh made cached
+  /// entries unreachable and memory matters). Must not be called while a run
+  /// is in flight — runs hold pointers into the cache.
+  void ClearCaches() { leaf_cache_->Clear(); }
+
+ private:
+  friend class CharlesEngine;
+
+  /// Called by the engine at the end of each Find() against this context.
+  void NoteRunCompleted() {
+    runs_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<SharedLeafFitCache> leaf_cache_;
+  std::atomic<int64_t> runs_completed_{0};
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_CORE_ENGINE_CONTEXT_H_

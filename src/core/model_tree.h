@@ -37,7 +37,9 @@ class ModelTree {
 
   const ModelTreeNode& root() const { return *root_; }
 
+  /// Number of leaves (= partitions with a transformation or "None").
   int num_leaves() const;
+  /// Longest root-to-leaf path, in edges.
   int depth() const;
 
   /// ASCII rendering in the shape of Figure 2:

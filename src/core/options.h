@@ -98,6 +98,8 @@ struct CharlesOptions {
   /// induction, transformation fitting). 0 means "use hardware concurrency";
   /// 1 runs fully serial. Parallel runs produce ranked output identical to
   /// serial runs — the reduction is deterministic and order-independent.
+  /// Ignored when the engine is attached to an EngineContext: the context's
+  /// long-lived pool (and its thread count) is used instead.
   int num_threads = 0;
 
   /// Numeric cells differing by at most this are "unchanged".

@@ -13,13 +13,21 @@ namespace charles {
 namespace {
 
 Result<Matrix> GatherTransformFeatures(const Table& source,
-                                       const std::vector<std::string>& transform_attrs) {
+                                       const std::vector<std::string>& transform_attrs,
+                                       const ColumnCache* cache = nullptr) {
   Matrix x(source.num_rows(), static_cast<int64_t>(transform_attrs.size()));
   for (size_t f = 0; f < transform_attrs.size(); ++f) {
-    CHARLES_ASSIGN_OR_RETURN(const Column* col, source.ColumnByName(transform_attrs[f]));
-    CHARLES_ASSIGN_OR_RETURN(std::vector<double> values, col->ToDoubles());
+    const std::vector<double>* values =
+        cache != nullptr ? cache->Find(transform_attrs[f]) : nullptr;
+    std::vector<double> converted;
+    if (values == nullptr) {
+      CHARLES_ASSIGN_OR_RETURN(const Column* col,
+                               source.ColumnByName(transform_attrs[f]));
+      CHARLES_ASSIGN_OR_RETURN(converted, col->ToDoubles());
+      values = &converted;
+    }
     for (int64_t r = 0; r < source.num_rows(); ++r) {
-      x.At(r, static_cast<int64_t>(f)) = values[static_cast<size_t>(r)];
+      x.At(r, static_cast<int64_t>(f)) = (*values)[static_cast<size_t>(r)];
     }
   }
   return x;
@@ -40,6 +48,18 @@ std::string PartitionSignature(const std::vector<DecisionTree::Leaf>& leaves) {
 
 }  // namespace
 
+Result<ColumnCache> ColumnCache::Build(const Table& source,
+                                       const std::vector<std::string>& attrs) {
+  ColumnCache cache;
+  for (const std::string& name : attrs) {
+    if (cache.columns_.count(name) != 0) continue;
+    CHARLES_ASSIGN_OR_RETURN(const Column* col, source.ColumnByName(name));
+    CHARLES_ASSIGN_OR_RETURN(std::vector<double> values, col->ToDoubles());
+    cache.columns_.emplace(name, std::move(values));
+  }
+  return cache;
+}
+
 std::vector<int> PartitionFinder::CanonicalizeLabels(const std::vector<int>& labels) {
   std::vector<int> canonical(labels.size());
   std::vector<int> remap;
@@ -59,7 +79,9 @@ std::vector<int> PartitionFinder::CanonicalizeLabels(const std::vector<int>& lab
 
 Result<LinearModel> PartitionFinder::FitGlobalModel(const Input& input) {
   const Table& source = *input.source;
-  CHARLES_ASSIGN_OR_RETURN(Matrix x, GatherTransformFeatures(source, input.transform_attrs));
+  CHARLES_ASSIGN_OR_RETURN(
+      Matrix x,
+      GatherTransformFeatures(source, input.transform_attrs, input.column_cache));
   return LinearRegression::Fit(x, *input.y_new, input.transform_attrs);
 }
 
@@ -75,7 +97,9 @@ Result<PartitionFinder::ResidualClusterings> PartitionFinder::ClusterResiduals(
     return Status::InvalidArgument("PartitionFinder: y_old size mismatch");
   }
 
-  CHARLES_ASSIGN_OR_RETURN(Matrix x, GatherTransformFeatures(source, input.transform_attrs));
+  CHARLES_ASSIGN_OR_RETURN(
+      Matrix x,
+      GatherTransformFeatures(source, input.transform_attrs, input.column_cache));
   CHARLES_ASSIGN_OR_RETURN(LinearModel global,
                            LinearRegression::Fit(x, *input.y_new, input.transform_attrs));
   std::vector<double> predicted = global.PredictBatch(x);

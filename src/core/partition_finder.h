@@ -2,6 +2,8 @@
 #define CHARLES_CORE_PARTITION_FINDER_H_
 
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -14,6 +16,36 @@
 namespace charles {
 
 class ThreadPool;
+
+/// \brief Read-only cache of full columns converted to doubles.
+///
+/// Phase 1 gathers the per-T feature matrix once per transformation subset;
+/// subsets overlap heavily, so without a cache the same column is converted
+/// from its Value representation O(2^|A_tran|) times. Build() converts each
+/// shortlisted column exactly once; lookups afterwards are immutable and
+/// therefore safe from any number of concurrent workers.
+class ColumnCache {
+ public:
+  ColumnCache() = default;
+
+  /// Converts every named column of `source` to doubles. Fails if a column
+  /// is missing or non-numeric.
+  static Result<ColumnCache> Build(const Table& source,
+                                   const std::vector<std::string>& attrs);
+
+  /// The cached values for `name` (size = source rows), or nullptr if the
+  /// column was not part of Build().
+  const std::vector<double>* Find(const std::string& name) const {
+    auto it = columns_.find(name);
+    return it == columns_.end() ? nullptr : &it->second;
+  }
+
+  /// Number of cached columns.
+  size_t size() const { return columns_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<double>> columns_;
+};
 
 /// \brief One candidate partitioning of the data: a fitted condition tree
 /// whose leaves are the partitions.
@@ -65,6 +97,10 @@ class PartitionFinder {
     /// Names of the transformation attributes T (numeric source columns);
     /// empty means intercept-only transformations.
     std::vector<std::string> transform_attrs;
+    /// Optional column-gather cache covering (at least) `transform_attrs`;
+    /// when set, feature matrices are filled from it instead of re-converting
+    /// columns per T-subset. Must stay valid for the duration of the call.
+    const ColumnCache* column_cache = nullptr;
   };
 
   /// Result of steps 1–2: the global model and one clustering per k

@@ -33,9 +33,12 @@ struct SetupResult {
   /// include_old_target_in_transform is set.
   std::vector<AttributeCandidate> transform_candidates;
 
+  /// Condition candidate names, in rank order.
   std::vector<std::string> ConditionNames() const;
+  /// Transformation candidate names, in rank order.
   std::vector<std::string> TransformNames() const;
 
+  /// Two-line rendering of both shortlists with association scores.
   std::string ToString() const;
 };
 

@@ -6,10 +6,10 @@
 ///
 /// Keys are hashed to one of N shards, each an unordered_map behind its own
 /// mutex, so concurrent lookups and inserts on different shards never
-/// contend. Values are never erased, and std::unordered_map guarantees
-/// reference stability under rehash, so the pointers returned by Find and
-/// Insert stay valid for the cache's lifetime — callers may hold them across
-/// further inserts from any thread.
+/// contend. Values are never erased by lookups or inserts, and
+/// std::unordered_map guarantees reference stability under rehash, so the
+/// pointers returned by Find and Insert stay valid until Clear() — callers
+/// may hold them across further inserts from any thread.
 
 #include <cstdint>
 #include <memory>
@@ -62,6 +62,16 @@ class ShardedCache {
   const Value* GetOrCompute(const Key& key, Compute&& compute) {
     if (const Value* found = Find(key)) return found;
     return Insert(key, compute());
+  }
+
+  /// Drops every entry (lookup counters are kept). Invalidates all pointers
+  /// previously returned by Find/Insert/GetOrCompute — callers must ensure no
+  /// thread is concurrently reading cached values through such pointers.
+  void Clear() {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->map.clear();
+    }
   }
 
   /// Total entries across shards (takes every shard lock; intended for

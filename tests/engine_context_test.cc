@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/engine_context.h"
+#include "workload/employee_gen.h"
+#include "workload/example1.h"
+
+namespace charles {
+namespace {
+
+/// Bit-identical ranked output: same summaries in the same order with
+/// byte-equal renderings, bit-equal scores, and the same search trajectory.
+void ExpectIdenticalRuns(const SummaryList& expected, const SummaryList& actual) {
+  ASSERT_EQ(expected.summaries.size(), actual.summaries.size());
+  for (size_t i = 0; i < expected.summaries.size(); ++i) {
+    const ChangeSummary& a = expected.summaries[i];
+    const ChangeSummary& b = actual.summaries[i];
+    EXPECT_EQ(a.Signature(), b.Signature()) << "rank " << i;
+    EXPECT_EQ(a.scores().score, b.scores().score) << "rank " << i;
+    EXPECT_EQ(a.scores().accuracy, b.scores().accuracy) << "rank " << i;
+    EXPECT_EQ(a.ToString(), b.ToString()) << "rank " << i;
+  }
+  EXPECT_EQ(expected.labelings, actual.labelings);
+  EXPECT_EQ(expected.partitions, actual.partitions);
+  EXPECT_EQ(expected.candidates_evaluated, actual.candidates_evaluated);
+  EXPECT_EQ(expected.candidates_deduped, actual.candidates_deduped);
+}
+
+CharlesOptions Example1Options() {
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  return options;
+}
+
+TEST(EngineContextTest, ResolvesThreadsAndBuildsCache) {
+  EngineContextOptions ctx_options;
+  ctx_options.num_threads = 3;
+  EngineContext context(ctx_options);
+  EXPECT_EQ(context.num_threads(), 3);
+  ASSERT_NE(context.pool(), nullptr);
+  EXPECT_EQ(context.pool()->size(), 3);
+  ASSERT_NE(context.leaf_cache(), nullptr);
+  EXPECT_EQ(context.leaf_cache()->num_shards(), 12);
+  EXPECT_EQ(context.runs_completed(), 0);
+
+  EngineContextOptions serial_options;
+  serial_options.num_threads = 1;
+  EngineContext serial(serial_options);
+  EXPECT_EQ(serial.pool(), nullptr);  // serial contexts still share the cache
+  EXPECT_NE(serial.leaf_cache(), nullptr);
+}
+
+TEST(EngineContextTest, ConsecutiveFindsBitIdenticalToFreshEngines) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options = Example1Options();
+
+  options.num_threads = 1;
+  SummaryList fresh1 = CharlesEngine(options).Find(source, target).ValueOrDie();
+  SummaryList fresh2 = CharlesEngine(options).Find(source, target).ValueOrDie();
+
+  EngineContextOptions ctx_options;
+  ctx_options.num_threads = 2;
+  EngineContext context(ctx_options);
+  CharlesEngine engine(options, &context);
+  SummaryList cold = engine.Find(source, target).ValueOrDie();
+  SummaryList warm = engine.Find(source, target).ValueOrDie();
+
+  ExpectIdenticalRuns(fresh1, cold);
+  ExpectIdenticalRuns(fresh2, warm);
+  EXPECT_EQ(context.runs_completed(), 2);
+  EXPECT_EQ(cold.threads_used, 2);
+}
+
+TEST(EngineContextTest, WarmRunServesFitsFromContextCache) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options = Example1Options();
+
+  EngineContext context;  // hardware concurrency; cache shared either way
+  CharlesEngine engine(options, &context);
+  SummaryList cold = engine.Find(source, target).ValueOrDie();
+  size_t cached_after_cold = context.leaf_cache_entries();
+  SummaryList warm = engine.Find(source, target).ValueOrDie();
+
+  // Cold run computed and published fits; the warm run replays the identical
+  // search, so every fit the cold run computed is served from the context
+  // cache and nothing new is published.
+  EXPECT_GT(cold.leaf_fits_computed, 0);
+  EXPECT_GT(cached_after_cold, 0u);
+  EXPECT_EQ(warm.leaf_fits_computed, 0);
+  EXPECT_GT(warm.leaf_fits_reused, cold.leaf_fits_reused);
+  EXPECT_EQ(context.leaf_cache_entries(), cached_after_cold);
+  EXPECT_GT(context.leaf_cache_hits(), 0);
+}
+
+TEST(EngineContextTest, SerialContextStillWarmsAcrossRuns) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options = Example1Options();
+
+  EngineContextOptions ctx_options;
+  ctx_options.num_threads = 1;
+  EngineContext context(ctx_options);
+  CharlesEngine engine(options, &context);
+  SummaryList cold = engine.Find(source, target).ValueOrDie();
+  SummaryList warm = engine.Find(source, target).ValueOrDie();
+
+  EXPECT_EQ(cold.threads_used, 1);
+  EXPECT_GT(cold.leaf_fits_computed, 0);
+  EXPECT_EQ(warm.leaf_fits_computed, 0);
+
+  options.num_threads = 1;
+  SummaryList fresh = CharlesEngine(options).Find(source, target).ValueOrDie();
+  ExpectIdenticalRuns(fresh, warm);
+}
+
+TEST(EngineContextTest, DifferentWorkloadsOnOneContextDoNotCrossTalk) {
+  // Two different snapshot pairs share one context; the run fingerprint keys
+  // the cache, so neither run may observe the other's fits.
+  Table ex_source = MakeExample1Source().ValueOrDie();
+  Table ex_target = MakeExample1Target().ValueOrDie();
+  EmployeeGenOptions gen;
+  gen.num_rows = 200;
+  Table emp_source = GenerateEmployees(gen).ValueOrDie();
+  Table emp_target = MakeEmployeeBonusPolicy().Apply(emp_source).ValueOrDie();
+
+  CharlesOptions ex_options = Example1Options();
+  CharlesOptions emp_options;
+  emp_options.target_attribute = "bonus";
+  emp_options.key_columns = {"emp_id"};
+
+  EngineContext context;
+  SummaryList ex_ctx =
+      SummarizeChanges(ex_source, ex_target, ex_options, &context).ValueOrDie();
+  SummaryList emp_ctx =
+      SummarizeChanges(emp_source, emp_target, emp_options, &context).ValueOrDie();
+
+  ex_options.num_threads = 1;
+  emp_options.num_threads = 1;
+  SummaryList ex_fresh = SummarizeChanges(ex_source, ex_target, ex_options).ValueOrDie();
+  SummaryList emp_fresh =
+      SummarizeChanges(emp_source, emp_target, emp_options).ValueOrDie();
+  ExpectIdenticalRuns(ex_fresh, ex_ctx);
+  ExpectIdenticalRuns(emp_fresh, emp_ctx);
+
+  // Both workloads' fits coexist in the cache under distinct fingerprints.
+  SummaryList ex_warm =
+      SummarizeChanges(ex_source, ex_target, ex_options, &context).ValueOrDie();
+  SummaryList emp_warm =
+      SummarizeChanges(emp_source, emp_target, emp_options, &context).ValueOrDie();
+  EXPECT_EQ(ex_warm.leaf_fits_computed, 0);
+  EXPECT_EQ(emp_warm.leaf_fits_computed, 0);
+  ExpectIdenticalRuns(ex_fresh, ex_warm);
+  ExpectIdenticalRuns(emp_fresh, emp_warm);
+}
+
+TEST(EngineContextTest, ClearCachesDropsEntries) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  EngineContext context;
+  CharlesEngine engine(Example1Options(), &context);
+  engine.Find(source, target).ValueOrDie();
+  EXPECT_GT(context.leaf_cache_entries(), 0u);
+  context.ClearCaches();
+  EXPECT_EQ(context.leaf_cache_entries(), 0u);
+  SummaryList recold = engine.Find(source, target).ValueOrDie();
+  EXPECT_GT(recold.leaf_fits_computed, 0);
+}
+
+TEST(StreamingFindTest, EmitsPartialsBeforeResolveAndMatchesSerial) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options = Example1Options();
+  options.top_n = 25;
+
+  options.num_threads = 1;
+  SummaryList serial = CharlesEngine(options).Find(source, target).ValueOrDie();
+
+  for (int threads : {1, 2, 8}) {
+    EngineContextOptions ctx_options;
+    ctx_options.num_threads = threads;
+    EngineContext context(ctx_options);
+    CharlesEngine engine(options, &context);
+
+    std::atomic<int64_t> updates{0};
+    std::atomic<int64_t> last_completed{0};
+    std::atomic<int64_t> shards_total{0};
+    std::atomic<bool> monotone{true};
+    SummaryStream stream([&](const SummaryStreamUpdate& update) {
+      if (update.shards_completed <= last_completed.load()) monotone = false;
+      last_completed = update.shards_completed;
+      shards_total = update.shards_total;
+      ++updates;
+    });
+
+    std::future<Result<SummaryList>> future = engine.FindAsync(source, target, &stream);
+    SummaryList streamed = future.get().ValueOrDie();
+
+    // >= 1 ranked partial arrived before the future resolved (every emission
+    // happens while phase 3 is still executing), in shards_completed order,
+    // and the full sweep was covered.
+    EXPECT_GE(updates.load(), 1) << threads << " threads";
+    EXPECT_EQ(stream.updates_emitted(), updates.load());
+    EXPECT_TRUE(monotone.load());
+    EXPECT_GT(shards_total.load(), 0);
+    EXPECT_EQ(last_completed.load(), shards_total.load());
+
+    // Streaming must not perturb the deterministic final ranking.
+    ExpectIdenticalRuns(serial, streamed);
+  }
+}
+
+TEST(StreamingFindTest, LastUpdateEqualsFinalRanking) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options = Example1Options();
+
+  EngineContextOptions ctx_options;
+  ctx_options.num_threads = 4;
+  EngineContext context(ctx_options);
+  CharlesEngine engine(options, &context);
+
+  std::vector<ChangeSummary> last_provisional;
+  SummaryStream stream([&](const SummaryStreamUpdate& update) {
+    if (update.shards_completed == update.shards_total) {
+      last_provisional = update.provisional;
+    }
+  });
+  SummaryList result = engine.Find(source, target, &stream).ValueOrDie();
+
+  // Once every shard is merged, the provisional ranking IS the final one.
+  ASSERT_EQ(last_provisional.size(), result.summaries.size());
+  for (size_t i = 0; i < result.summaries.size(); ++i) {
+    EXPECT_EQ(last_provisional[i].Signature(), result.summaries[i].Signature());
+    EXPECT_EQ(last_provisional[i].scores().score, result.summaries[i].scores().score);
+  }
+}
+
+TEST(StreamingFindTest, BlockingFindStreamsToo) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options = Example1Options();
+  options.num_threads = 1;  // no context: per-run serial engine also streams
+
+  CharlesEngine engine(options);
+  std::atomic<int64_t> updates{0};
+  SummaryStream stream([&](const SummaryStreamUpdate& update) {
+    EXPECT_LE(update.provisional.size(), static_cast<size_t>(options.top_n));
+    ++updates;
+  });
+  SummaryList result = engine.Find(source, target, &stream).ValueOrDie();
+  EXPECT_GE(updates.load(), 1);
+  EXPECT_FALSE(result.summaries.empty());
+}
+
+}  // namespace
+}  // namespace charles
