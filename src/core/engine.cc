@@ -13,6 +13,8 @@
 #include "common/string_util.h"
 #include "core/normality.h"
 #include "core/scoring.h"
+#include "linalg/stats.h"
+#include "linalg/suffstats.h"
 #include "parallel/parallel.h"
 
 namespace charles {
@@ -123,7 +125,11 @@ uint64_t ComputeRunFingerprint(const CharlesOptions& options,
                           options.normality.max_relative_coefficient_shift,
                           options.normality.max_relative_accuracy_loss,
                           options.normality.exactness_tolerance,
-                          static_cast<double>(options.max_transform_attrs)};
+                          static_cast<double>(options.max_transform_attrs),
+                          // The two solvers round differently at the ~1e-12
+                          // level, so runs on different paths must never
+                          // observe each other's fits.
+                          options.use_sufficient_stats ? 1.0 : 0.0};
   h = FnvMixBytes(h, knobs, sizeof(knobs));
   for (const std::string& name : tran_names) {
     h = FnvMixString(h, name);
@@ -135,13 +141,87 @@ uint64_t ComputeRunFingerprint(const CharlesOptions& options,
   return h;
 }
 
+/// \brief The leaf's sufficient statistics over the run's full
+/// transformation shortlist: local tier, then shared tier, then one
+/// accumulation scan published to both.
+///
+/// The scan visits the leaf's rows in their RowSet (= serial) order, so the
+/// moments are bit-identical no matter which worker performs it — the
+/// foundation of the fast path's determinism. Returns nullptr when a
+/// shortlist column is missing from the cache (fast path unavailable).
+std::shared_ptr<const SufficientStats> FindOrAccumulateLeafStats(
+    const CharlesEngine::LeafStatsWorkspace& ws, const RowSet& rows,
+    const std::vector<double>& y_new, const ColumnCache& columns) {
+  if (ws.local != nullptr) {
+    auto it = ws.local->find(rows.indices());
+    if (it != ws.local->end()) return it->second;
+  }
+  CharlesEngine::LeafKey key;
+  if (ws.shared != nullptr) {
+    key = CharlesEngine::LeafKey{ws.fingerprint, 0, rows.indices()};
+    std::shared_ptr<const SufficientStats> found;
+    if (ws.shared->Lookup(key, &found)) {
+      if (ws.local != nullptr) ws.local->emplace(rows.indices(), found);
+      return found;
+    }
+  }
+  std::vector<const std::vector<double>*> cols;
+  if (!columns.ResolveColumns(*ws.shortlist, &cols)) return nullptr;
+  auto stats = std::make_shared<SufficientStats>(static_cast<int64_t>(cols.size()));
+  std::vector<double> features(cols.size());
+  for (int64_t r = 0; r < rows.size(); ++r) {
+    size_t row = static_cast<size_t>(rows[r]);
+    for (size_t f = 0; f < cols.size(); ++f) features[f] = (*cols[f])[row];
+    stats->Accumulate(features.data(), y_new[row]);
+  }
+  std::shared_ptr<const SufficientStats> out = std::move(stats);
+  if (ws.shared != nullptr) ws.shared->Insert(std::move(key), out);
+  if (ws.local != nullptr) ws.local->emplace(rows.indices(), out);
+  return out;
+}
+
+/// \brief Rebuilds a full LeafFit from its compact cached form.
+///
+/// Predictions are re-evaluated from the cached feature columns through the
+/// same PredictRow dot product the original fit used on its gathered matrix,
+/// so the rehydrated fit is bit-identical to the one that was cached.
+/// Returns false (leaving `out` unspecified) when a feature column is
+/// missing from the cache; the caller then treats the lookup as a miss.
+bool RehydrateLeafFit(const SharedLeafFit& compact, const RowSet& rows,
+                      const std::vector<double>& y_old,
+                      const ColumnCache* column_cache,
+                      CharlesEngine::LeafFit* out) {
+  out->transform = compact.transform;
+  out->partition_mae = compact.partition_mae;
+  out->predictions.clear();
+  out->predictions.reserve(static_cast<size_t>(rows.size()));
+  if (compact.transform.is_no_change()) {
+    for (int64_t row : rows) {
+      out->predictions.push_back(y_old[static_cast<size_t>(row)]);
+    }
+    return true;
+  }
+  if (column_cache == nullptr) return false;
+  const LinearModel& model = compact.transform.model();
+  std::vector<const std::vector<double>*> cols;
+  if (!column_cache->ResolveColumns(model.feature_names, &cols)) return false;
+  std::vector<double> features(cols.size());
+  for (int64_t r = 0; r < rows.size(); ++r) {
+    size_t row = static_cast<size_t>(rows[r]);
+    for (size_t f = 0; f < cols.size(); ++f) features[f] = (*cols[f])[row];
+    out->predictions.push_back(model.PredictRow(features.data()));
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
     const Table& source, const std::vector<double>& y_old,
     const std::vector<double>& y_new, const RowSet& rows,
     const std::vector<std::string>& transform_attrs,
-    const ColumnCache* column_cache) const {
+    const ColumnCache* column_cache,
+    const LeafStatsWorkspace* stats_workspace) const {
   const std::string& target = options_.target_attribute;
   // No-change detection: the whole partition kept its old value.
   bool unchanged = true;
@@ -161,9 +241,34 @@ Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
     return fit;
   }
 
-  // Transformation discovery: per-partition OLS on T. Features come from the
-  // run's pre-converted ColumnCache when available (the engine always passes
-  // one), falling back to per-leaf gather + conversion.
+  // Transformation discovery: per-partition OLS on T.
+  //
+  // Fast path: solve the T-subset's normal equations from the leaf's
+  // sufficient statistics — accumulated in one scan over the leaf's rows and
+  // reused by every other T-subset that visits this leaf. Ill-conditioned or
+  // underdetermined systems fail the solve and drop to the row-level QR
+  // ladder below, which is also the path when no workspace is attached.
+  LinearModel model;
+  bool have_model = false;
+  if (options_.use_sufficient_stats && stats_workspace != nullptr &&
+      stats_workspace->shortlist != nullptr && stats_workspace->t_subset != nullptr &&
+      stats_workspace->local != nullptr && stats_workspace->shared != nullptr &&
+      column_cache != nullptr) {
+    std::shared_ptr<const SufficientStats> leaf_stats =
+        FindOrAccumulateLeafStats(*stats_workspace, rows, y_new, *column_cache);
+    if (leaf_stats != nullptr) {
+      Result<LinearModel> fast = LinearRegression::FitFromStats(
+          *leaf_stats, *stats_workspace->t_subset, transform_attrs);
+      if (fast.ok()) {
+        model = std::move(*fast);
+        have_model = true;
+      }
+    }
+  }
+
+  // Feature matrix for snapping, predictions, and the QR path. Features come
+  // from the run's pre-converted ColumnCache when available (the engine
+  // always passes one), falling back to per-leaf gather + conversion.
   Matrix x(rows.size(), static_cast<int64_t>(transform_attrs.size()));
   for (size_t f = 0; f < transform_attrs.size(); ++f) {
     const std::vector<double>* full =
@@ -184,13 +289,18 @@ Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
   for (int64_t r = 0; r < rows.size(); ++r) {
     y_part[static_cast<size_t>(r)] = y_new[static_cast<size_t>(rows[r])];
   }
-  CHARLES_ASSIGN_OR_RETURN(LinearModel model,
-                           LinearRegression::Fit(x, y_part, transform_attrs));
+  if (!have_model) {
+    CHARLES_ASSIGN_OR_RETURN(model, LinearRegression::Fit(x, y_part, transform_attrs));
+  }
   NormalityOptions normality = options_.normality;
   normality.exactness_tolerance =
       std::max(normality.exactness_tolerance, options_.numeric_tolerance);
   model = SnapModel(model, x, y_part, normality);
   fit.predictions = model.PredictBatch(x);
+  // The moments pin down r²/rmse exactly but only estimate the L1 error;
+  // recompute it from the prediction pass (the same computation SnapModel
+  // and the QR path's diagnostics perform, so this is a no-op for them).
+  model.mae = MeanAbsoluteError(fit.predictions, y_part);
   fit.partition_mae = model.mae;
   fit.transform = LinearTransform::Linear(target, std::move(model));
   return fit;
@@ -202,7 +312,8 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
     const std::vector<std::string>& transform_attrs,
     const std::vector<std::string>& condition_attrs, LeafFitCache* cache,
     SharedLeafFitCache* shared_cache, size_t t_index, LeafFitStats* stats,
-    uint64_t cache_fingerprint, const ColumnCache* column_cache) const {
+    uint64_t cache_fingerprint, const ColumnCache* column_cache,
+    const LeafStatsWorkspace* stats_workspace) const {
   const std::string& target = options_.target_attribute;
   int64_t n = source.num_rows();
   std::vector<double> y_hat = y_old;
@@ -217,9 +328,12 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
     ct.coverage = rows.Coverage(n);
 
     // Tiered lookup: worker-local cache (lock-free), then the cross-worker
-    // sharded cache, then an actual fit published to both tiers. Fits are
-    // deterministic in (rows, T), so which tier serves a hit never changes
-    // the resulting summary.
+    // sharded cache, then an actual fit published to both tiers. The shared
+    // tier stores fits compactly (no predictions; see SharedLeafFit), so a
+    // shared hit rehydrates the predictions from the cached columns. Fits
+    // are deterministic in (rows, T) and rehydration replays the original
+    // prediction arithmetic, so which tier serves a hit never changes the
+    // resulting summary.
     const LeafFit* fit = nullptr;
     LeafFit local;
     if (cache != nullptr) {
@@ -228,22 +342,25 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
         if (stats != nullptr) ++stats->local_hits;
         fit = &it->second;
       } else {
-        LeafKey key;  // built once per local miss; shared by Find and Insert
+        LeafKey key;  // built once per local miss; shared by Lookup and Insert
         if (shared_cache != nullptr) {
           key = LeafKey{cache_fingerprint, t_index, rows.indices()};
-          const LeafFit* shared_fit = shared_cache->Find(key);
-          if (shared_fit != nullptr) {
+          SharedLeafFit compact;
+          if (shared_cache->Lookup(key, &compact) &&
+              RehydrateLeafFit(compact, rows, y_old, column_cache, &local)) {
             if (stats != nullptr) ++stats->shared_hits;
-            it = cache->emplace(rows.indices(), *shared_fit).first;
+            it = cache->emplace(rows.indices(), std::move(local)).first;
             fit = &it->second;
           }
         }
         if (fit == nullptr) {
           CHARLES_ASSIGN_OR_RETURN(
-              local, FitLeaf(source, y_old, y_new, rows, transform_attrs, column_cache));
+              local, FitLeaf(source, y_old, y_new, rows, transform_attrs, column_cache,
+                             stats_workspace));
           if (stats != nullptr) ++stats->computed;
           if (shared_cache != nullptr) {
-            shared_cache->Insert(std::move(key), local);
+            shared_cache->Insert(std::move(key),
+                                 SharedLeafFit{local.transform, local.partition_mae});
           }
           it = cache->emplace(rows.indices(), std::move(local)).first;
           fit = &it->second;
@@ -251,7 +368,8 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
       }
     } else {
       CHARLES_ASSIGN_OR_RETURN(
-          local, FitLeaf(source, y_old, y_new, rows, transform_attrs, column_cache));
+          local, FitLeaf(source, y_old, y_new, rows, transform_attrs, column_cache,
+                         stats_workspace));
       if (stats != nullptr) ++stats->computed;
       fit = &local;
     }
@@ -390,6 +508,28 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
   CHARLES_ASSIGN_OR_RETURN(ColumnCache tran_columns,
                            ColumnCache::Build(*analysis, tran_names));
 
+  // Sufficient statistics of the full transformation shortlist, accumulated
+  // in one serial scan over all rows. Phase 1 solves every T-subset's global
+  // model from these moments (a p×p sub-solve instead of an O(n·p²) QR per
+  // subset), and phase 3 seeds its leaf-stats cache with them — the k = 1
+  // "universal" partitions cover exactly these rows in exactly this order.
+  std::shared_ptr<const SufficientStats> shortlist_stats;
+  if (options_.use_sufficient_stats) {
+    std::vector<const std::vector<double>*> shortlist_columns;
+    bool resolved = tran_columns.ResolveColumns(tran_names, &shortlist_columns);
+    CHARLES_CHECK(resolved);  // Build() covered exactly these names
+    auto stats =
+        std::make_shared<SufficientStats>(static_cast<int64_t>(tran_names.size()));
+    std::vector<double> features(tran_names.size());
+    for (size_t row = 0; row < y_new.size(); ++row) {
+      for (size_t f = 0; f < shortlist_columns.size(); ++f) {
+        features[f] = (*shortlist_columns[f])[row];
+      }
+      stats->Accumulate(features.data(), y_new[row]);
+    }
+    shortlist_stats = std::move(stats);
+  }
+
   // Cross-run cache key (see ComputeRunFingerprint); only needed when a
   // long-lived context cache can mix fits from different runs.
   const uint64_t fingerprint =
@@ -409,6 +549,8 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
         input.y_old = &y_old;
         input.y_new = &y_new;
         input.column_cache = &tran_columns;
+        input.shortlist_stats = shortlist_stats.get();
+        input.shortlist_subset = t_subsets[static_cast<size_t>(ti)];
         for (int t : t_subsets[static_cast<size_t>(ti)]) {
           input.transform_attrs.push_back(tran_names[static_cast<size_t>(t)]);
         }
@@ -522,6 +664,7 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
   auto phase3_start = std::chrono::steady_clock::now();
   struct Phase3Worker {
     std::vector<LeafFitCache> caches;
+    LeafStatsCache leaf_stats;  ///< per-leaf moments, shared across all T
     LeafFitStats stats;
   };
   struct ShardOutput {
@@ -532,12 +675,34 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
   const int64_t t_count = static_cast<int64_t>(t_attr_names.size());
   const int64_t num_shards = static_cast<int64_t>(partitions.size()) * t_count;
 
-  SharedLeafFitCache run_leaf_cache(pool != nullptr ? num_threads * 4 : 1);
+  // A bounded run-local cache never gets more shards than entries (the
+  // per-shard budget floors at one, which would silently raise the bound).
+  const size_t run_cache_bound =
+      options_.max_cache_entries > 0 ? static_cast<size_t>(options_.max_cache_entries)
+                                     : 0;
+  int run_cache_shards = pool != nullptr ? num_threads * 4 : 1;
+  if (run_cache_bound > 0 && static_cast<size_t>(run_cache_shards) > run_cache_bound) {
+    run_cache_shards = static_cast<int>(run_cache_bound);
+  }
+  SharedLeafFitCache run_leaf_cache(run_cache_shards, run_cache_bound);
   SharedLeafFitCache* shared_cache = nullptr;
   if (context_ != nullptr) {
     shared_cache = context_->leaf_cache();  // warm across runs, even serial
   } else if (pool != nullptr) {
     shared_cache = &run_leaf_cache;
+  }
+
+  // Cross-worker tier of the per-leaf sufficient-statistics cache. Kept
+  // per-run (cross-run reuse already happens at the fit level), and used by
+  // serial runs too — a leaf's one accumulation scan is what every
+  // T-subset's sub-solve amortizes against. Seeded with the all-rows moments
+  // accumulated before phase 1: the k = 1 "universal" leaves cover exactly
+  // those rows in exactly that order.
+  SharedLeafStatsCache run_stats_cache(pool != nullptr ? num_threads * 4 : 1);
+  if (shortlist_stats != nullptr) {
+    run_stats_cache.Insert(
+        LeafKey{fingerprint, 0, RowSet::All(analysis->num_rows()).indices()},
+        shortlist_stats);
   }
 
   // Streaming: completed shards merge a copy of their summary into a
@@ -588,11 +753,17 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
         const size_t pi = static_cast<size_t>(shard / t_count);
         const size_t ti = static_cast<size_t>(shard % t_count);
         const PartitionEntry& entry = partitions[pi];
+        LeafStatsWorkspace stats_workspace;
+        stats_workspace.shortlist = &tran_names;
+        stats_workspace.t_subset = &t_subsets[ti];
+        stats_workspace.local = &worker.leaf_stats;
+        stats_workspace.shared = &run_stats_cache;
+        stats_workspace.fingerprint = fingerprint;
         ShardOutput out;
         Result<ChangeSummary> summary = BuildSummary(
             *analysis, y_old, y_new, entry.candidate, t_attr_names[ti],
             entry.condition_attrs, &worker.caches[ti], shared_cache, ti,
-            &worker.stats, fingerprint, &tran_columns);
+            &worker.stats, fingerprint, &tran_columns, &stats_workspace);
         if (summary.ok()) {
           out.signature = summary->Signature();
           out.summary = std::move(*summary);
@@ -628,6 +799,18 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
   for (const Phase3Worker& worker : workers) {
     result.leaf_fits_computed += worker.stats.computed;
     result.leaf_fits_reused += worker.stats.local_hits + worker.stats.shared_hits;
+  }
+
+  // Cache bound: a context's cache is trimmed (LRU) at the end of each run
+  // when the engine options cap it — the context-level bound, if any, was
+  // already enforced on every insert. The run-local cache was constructed
+  // with the bound.
+  if (context_ != nullptr && options_.max_cache_entries > 0) {
+    context_->leaf_cache()->TrimToSize(
+        static_cast<size_t>(options_.max_cache_entries));
+  }
+  if (shared_cache != nullptr) {
+    result.leaf_fit_evictions = shared_cache->evictions();
   }
 
   std::map<std::string, ChangeSummary> best_by_signature;

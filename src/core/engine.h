@@ -41,6 +41,11 @@ struct SummaryList {
   int threads_used = 1;             ///< worker threads the run executed on
   int64_t leaf_fits_computed = 0;   ///< OLS leaf fits actually performed
   int64_t leaf_fits_reused = 0;     ///< leaf fits served from a cache
+  /// Fits dropped from the shared leaf-fit cache by its LRU bound, as of the
+  /// end of this run: per-run for a self-contained engine, cumulative across
+  /// runs when attached to an EngineContext (the cache is shared). 0 when no
+  /// bound is configured.
+  int64_t leaf_fit_evictions = 0;
   double elapsed_seconds = 0.0;
   double clustering_seconds = 0.0;  ///< phase 1: change-signal k-means
   double induction_seconds = 0.0;   ///< phase 2: condition trees
@@ -190,8 +195,34 @@ class CharlesEngine {
       std::unordered_map<std::vector<int64_t>, LeafFit, RowIndicesHash>;
   using LeafKey = ::charles::LeafKey;
   using LeafKeyHash = ::charles::LeafKeyHash;
+  using SharedLeafFit = ::charles::SharedLeafFit;
   using SharedLeafFitCache = ::charles::SharedLeafFitCache;
+  using SharedLeafStatsCache = ::charles::SharedLeafStatsCache;
+  /// Thread-local tier of the per-leaf sufficient-statistics cache, keyed by
+  /// rows alone (stats are T-independent). Values are shared_ptrs into the
+  /// cross-worker tier, so promotion between tiers copies a handle.
+  using LeafStatsCache =
+      std::unordered_map<std::vector<int64_t>,
+                         std::shared_ptr<const SufficientStats>, RowIndicesHash>;
   /// @}
+
+  /// \brief Per-shard view of the run's sufficient-statistics machinery,
+  /// threaded through BuildSummary into FitLeaf.
+  ///
+  /// `shortlist` names every transformation-candidate column in stats
+  /// accumulation order; `t_subset` holds the current T's indices into that
+  /// order. A leaf's stats are looked up in `local`, then `shared`, then
+  /// accumulated in one scan over the leaf's rows (serial row order, so the
+  /// moments are bit-identical on any thread) and published to both tiers.
+  /// All pointers must outlive the BuildSummary call; any of them may be
+  /// null, which (like a null workspace) disables the fast path.
+  struct LeafStatsWorkspace {
+    const std::vector<std::string>* shortlist = nullptr;
+    const std::vector<int>* t_subset = nullptr;
+    LeafStatsCache* local = nullptr;
+    SharedLeafStatsCache* shared = nullptr;
+    uint64_t fingerprint = 0;
+  };
 
   /// Per-worker counters folded into SummaryList diagnostics at the barrier.
   struct LeafFitStats {
@@ -212,26 +243,29 @@ class CharlesEngine {
   /// compute/reuse counts for diagnostics. `column_cache` (optional, must
   /// cover `transform_attrs` over `source`) lets leaf fits gather features
   /// from pre-converted columns instead of re-converting per leaf.
-  Result<ChangeSummary> BuildSummary(const Table& source,
-                                     const std::vector<double>& y_old,
-                                     const std::vector<double>& y_new,
-                                     const PartitionCandidate& candidate,
-                                     const std::vector<std::string>& transform_attrs,
-                                     const std::vector<std::string>& condition_attrs,
-                                     LeafFitCache* cache = nullptr,
-                                     SharedLeafFitCache* shared_cache = nullptr,
-                                     size_t t_index = 0,
-                                     LeafFitStats* stats = nullptr,
-                                     uint64_t cache_fingerprint = 0,
-                                     const ColumnCache* column_cache = nullptr) const;
+  /// `stats_workspace` (optional) enables the sufficient-statistics OLS fast
+  /// path — one row scan per leaf shared across every T — with automatic QR
+  /// fallback per leaf; see LeafStatsWorkspace.
+  Result<ChangeSummary> BuildSummary(
+      const Table& source, const std::vector<double>& y_old,
+      const std::vector<double>& y_new, const PartitionCandidate& candidate,
+      const std::vector<std::string>& transform_attrs,
+      const std::vector<std::string>& condition_attrs, LeafFitCache* cache = nullptr,
+      SharedLeafFitCache* shared_cache = nullptr, size_t t_index = 0,
+      LeafFitStats* stats = nullptr, uint64_t cache_fingerprint = 0,
+      const ColumnCache* column_cache = nullptr,
+      const LeafStatsWorkspace* stats_workspace = nullptr) const;
 
  private:
-  /// Fits one partition's transformation: no-change detection, OLS on T,
-  /// normality snapping. `column_cache` as in BuildSummary.
+  /// Fits one partition's transformation: no-change detection, OLS on T
+  /// (sufficient-statistics solve when `stats_workspace` provides one, row-
+  /// level QR otherwise or on ill-conditioning), normality snapping.
+  /// `column_cache` as in BuildSummary.
   Result<LeafFit> FitLeaf(const Table& source, const std::vector<double>& y_old,
                           const std::vector<double>& y_new, const RowSet& rows,
                           const std::vector<std::string>& transform_attrs,
-                          const ColumnCache* column_cache = nullptr) const;
+                          const ColumnCache* column_cache = nullptr,
+                          const LeafStatsWorkspace* stats_workspace = nullptr) const;
 
   CharlesOptions options_;
   EngineContext* context_ = nullptr;

@@ -7,7 +7,15 @@ EngineContext::EngineContext(EngineContextOptions options) {
                                          : ThreadPool::HardwareConcurrency();
   if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
   int shards = options.cache_shards > 0 ? options.cache_shards : num_threads_ * 4;
-  leaf_cache_ = std::make_unique<SharedLeafFitCache>(shards);
+  size_t max_entries = options.max_cache_entries > 0
+                           ? static_cast<size_t>(options.max_cache_entries)
+                           : 0;
+  // A bounded cache never gets more shards than entries: the per-shard
+  // budget floors at one, so extra shards would silently raise the bound.
+  if (max_entries > 0 && static_cast<size_t>(shards) > max_entries) {
+    shards = static_cast<int>(max_entries);
+  }
+  leaf_cache_ = std::make_unique<SharedLeafFitCache>(shards, max_entries);
 }
 
 }  // namespace charles

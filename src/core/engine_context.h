@@ -34,6 +34,7 @@
 
 #include "common/fnv.h"
 #include "core/transform.h"
+#include "linalg/suffstats.h"
 #include "parallel/sharded_cache.h"
 #include "parallel/thread_pool.h"
 
@@ -89,11 +90,34 @@ struct LeafKeyHash {
   }
 };
 
+/// \brief The compact, cacheable form of a LeafFit: the fitted transform and
+/// its MAE, without the per-row predictions.
+///
+/// Predictions dominate a LeafFit's footprint (one double per partition row)
+/// yet are a pure function of the transform and the cached feature columns,
+/// so shared tiers store this compact form and the engine rehydrates the
+/// predictions on a hit — bit-identically, because every prediction path
+/// funnels through LinearModel::PredictRow.
+struct SharedLeafFit {
+  LinearTransform transform;
+  double partition_mae = 0.0;
+};
+
 /// Lock-sharded cache shared by every worker of a run — and, when owned by an
 /// EngineContext, by every run attached to the context. Workers consult their
 /// thread-local cache first (lock-free), then this, and publish freshly
-/// computed fits here so other workers (and later runs) reuse them.
-using SharedLeafFitCache = ShardedCache<LeafKey, LeafFit, LeafKeyHash>;
+/// computed fits here so other workers (and later runs) reuse them. May be
+/// LRU-bounded (EngineContextOptions / CharlesOptions `max_cache_entries`),
+/// so readers use the copy-out Lookup, never held pointers.
+using SharedLeafFitCache = ShardedCache<LeafKey, SharedLeafFit, LeafKeyHash>;
+
+/// Cross-worker cache of per-leaf sufficient statistics over the run's full
+/// transformation shortlist (see SufficientStats): one row scan per leaf,
+/// shared by every transformation subset T and every worker. Keyed like leaf
+/// fits but with t_index = 0 — stats are T-independent by construction.
+/// Values are shared_ptrs so a Lookup copies a handle, not the moments.
+using SharedLeafStatsCache =
+    ShardedCache<LeafKey, std::shared_ptr<const SufficientStats>, LeafKeyHash>;
 
 /// \brief Configuration of an EngineContext.
 struct EngineContextOptions {
@@ -102,6 +126,13 @@ struct EngineContextOptions {
   int num_threads = 0;
   /// Lock shards of the leaf-fit cache. 0 = 4 x resolved thread count.
   int cache_shards = 0;
+  /// Entry cap on the cross-run leaf-fit cache, enforced on every insert by
+  /// evicting least-recently-used fits. 0 = unbounded (an engine-side
+  /// CharlesOptions::max_cache_entries can still trim after each run). The
+  /// budget is split across the cache's lock shards (rounding down, at
+  /// least one entry per shard — see ShardedCache). Evictions never affect
+  /// results — a missing fit is simply recomputed.
+  int64_t max_cache_entries = 0;
 };
 
 /// \brief Long-lived owner of the ThreadPool and leaf-fit cache shared by
@@ -152,6 +183,9 @@ class EngineContext {
   int64_t leaf_cache_hits() const { return leaf_cache_->hits(); }
   /// Cumulative shared-cache lookup misses.
   int64_t leaf_cache_misses() const { return leaf_cache_->misses(); }
+  /// Cumulative fits dropped by the cache bound (LRU eviction); 0 while the
+  /// cache is unbounded and untrimmed.
+  int64_t leaf_cache_evictions() const { return leaf_cache_->evictions(); }
   /// @}
 
   /// Drops every cached leaf fit (e.g. after a snapshot refresh made cached

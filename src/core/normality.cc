@@ -120,17 +120,30 @@ LinearModel SnapModel(const LinearModel& model, const Matrix& x,
                       const std::vector<double>& y, const NormalityOptions& options) {
   if (!options.enable_snapping || y.empty()) return model;
 
-  // Recompute the baseline fit quality rather than trusting the caller's
-  // diagnostics (hand-built models may carry stale fields).
+  size_t n = y.size();
   LinearModel snapped = model;
-  RecomputeDiagnostics(&snapped, x, y);
-  double baseline_mae = snapped.mae;
+
+  // Residuals of the current snapped state, maintained incrementally: this
+  // loop sits inside every leaf fit of the phase-3 sweep, and candidate
+  // evaluation via full model re-prediction (one matrix pass plus an
+  // allocation per candidate) used to dominate the fit. Perturbing one
+  // constant by δ shifts row i's residual by exactly δ·x_ic (δ for the
+  // intercept), so a candidate's MAE is a single allocation-free pass.
+  std::vector<double> predicted = snapped.PredictBatch(x);
+  std::vector<double> residuals(n);
+  for (size_t i = 0; i < n; ++i) residuals[i] = y[i] - predicted[i];
+  auto mae_of = [&](const std::vector<double>& r) {
+    double total = 0.0;
+    for (double e : r) total += std::abs(e);
+    return total / static_cast<double>(n);
+  };
+  double baseline_mae = mae_of(residuals);
 
   // Accuracy guard: snapped models may lose at most this much MAE relative
   // to the target scale — except exact models, which must stay exact.
   double scale = 0.0;
   for (double v : y) scale += std::abs(v);
-  scale /= static_cast<double>(y.size());
+  scale /= static_cast<double>(n);
   double allowed_mae = baseline_mae + options.max_relative_accuracy_loss *
                                           std::max(scale, 1e-12);
   if (baseline_mae <= options.exactness_tolerance) {
@@ -143,8 +156,8 @@ LinearModel SnapModel(const LinearModel& model, const Matrix& x,
   // Evaluating per constant (rather than all-at-once) lets 1.0502 snap to
   // 1.05 even though the even-nicer 1.0 would wreck the fit; iterating lets
   // a slope snap unlock an intercept snap that was individually too costly.
-  bool any_change = false;
-  auto try_constant = [&](double* constant) -> bool {
+  // `column` indexes the perturbed feature; -1 perturbs the intercept.
+  auto try_constant = [&](double* constant, int64_t column) -> bool {
     double original = *constant;
     if (original == 0.0) return false;
     // Zero first: it is the nicest constant of all (drops the term entirely)
@@ -157,22 +170,43 @@ LinearModel SnapModel(const LinearModel& model, const Matrix& x,
       candidates.push_back(candidate);
     }
     for (double candidate : candidates) {
-      *constant = candidate;
-      RecomputeDiagnostics(&snapped, x, y);
-      if (snapped.mae <= allowed_mae) return true;
+      double delta = candidate - original;
+      double total = 0.0;
+      if (column < 0) {
+        for (size_t i = 0; i < n; ++i) total += std::abs(residuals[i] - delta);
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          total += std::abs(residuals[i] -
+                            delta * x.At(static_cast<int64_t>(i), column));
+        }
+      }
+      if (total / static_cast<double>(n) <= allowed_mae) {
+        *constant = candidate;
+        if (column < 0) {
+          for (size_t i = 0; i < n; ++i) residuals[i] -= delta;
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            residuals[i] -= delta * x.At(static_cast<int64_t>(i), column);
+          }
+        }
+        return true;
+      }
     }
-    *constant = original;
     return false;
   };
   for (int pass = 0; pass < 3; ++pass) {
     bool changed_this_pass = false;
-    for (double& c : snapped.coefficients) changed_this_pass |= try_constant(&c);
-    changed_this_pass |= try_constant(&snapped.intercept);
-    any_change |= changed_this_pass;
+    for (size_t c = 0; c < snapped.coefficients.size(); ++c) {
+      changed_this_pass |=
+          try_constant(&snapped.coefficients[c], static_cast<int64_t>(c));
+    }
+    changed_this_pass |= try_constant(&snapped.intercept, -1);
     if (!changed_this_pass) break;
   }
 
-  (void)any_change;
+  // Final diagnostics from the final constants — full re-prediction, exactly
+  // as the QR path computes them, so incremental-residual drift can never
+  // leak into a reported mae/rmse/r².
   RecomputeDiagnostics(&snapped, x, y);
   return snapped;
 }

@@ -32,6 +32,9 @@ Status CharlesOptions::Validate() const {
   if (num_threads < 0) {
     return Status::OutOfRange("num_threads must be >= 0 (0 = hardware concurrency)");
   }
+  if (max_cache_entries < 0) {
+    return Status::OutOfRange("max_cache_entries must be >= 0 (0 = unbounded)");
+  }
   double weight_sum = weights.summary_size + weights.condition_simplicity +
                       weights.transform_simplicity + weights.coverage +
                       weights.normality;

@@ -102,6 +102,24 @@ struct CharlesOptions {
   /// long-lived pool (and its thread count) is used instead.
   int num_threads = 0;
 
+  /// Fit leaf transformations from additively accumulated sufficient
+  /// statistics (XᵀX, Xᵀy) with a p×p Cholesky solve, falling back to the
+  /// row-level Householder QR on ill-conditioned leaves. One scan per leaf
+  /// serves every transformation subset, so phase-3 fit cost no longer
+  /// scales with rows × subsets. Off = always use the QR-per-leaf path
+  /// (the two paths agree to ~1e-9 on well-conditioned data; either way
+  /// parallel output stays bit-identical to serial).
+  bool use_sufficient_stats = true;
+
+  /// Upper bound on entries in the shared leaf-fit cache the run publishes
+  /// to: the run-local cross-worker cache, and — when the engine is attached
+  /// to an EngineContext — the context's cross-run cache, which is trimmed
+  /// to this bound (least-recently-used first) at the end of each run.
+  /// 0 = unbounded. Evictions are reported in SummaryList and EngineContext
+  /// diagnostics. See also EngineContextOptions::max_cache_entries, which
+  /// bounds the context cache at insert time.
+  int64_t max_cache_entries = 0;
+
   /// Numeric cells differing by at most this are "unchanged".
   double numeric_tolerance = 1e-6;
   /// Tolerate entities present in only one snapshot (they are excluded from

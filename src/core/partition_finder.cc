@@ -33,6 +33,43 @@ Result<Matrix> GatherTransformFeatures(const Table& source,
   return x;
 }
 
+/// Global-model fast path for ClusterResiduals: solve the T-subset's normal
+/// equations from the run's pre-accumulated shortlist moments. Returns false
+/// (leaving `model` untouched) when the fast path is unavailable — no stats
+/// attached, stats disabled, a malformed subset mapping, or an
+/// ill-conditioned system — so the caller falls back to the QR path.
+bool FitGlobalFromStats(const PartitionFinder::Input& input,
+                        const CharlesOptions& options, LinearModel* model) {
+  if (input.shortlist_stats == nullptr || !options.use_sufficient_stats ||
+      input.shortlist_subset.size() != input.transform_attrs.size()) {
+    return false;
+  }
+  Result<LinearModel> fit = LinearRegression::FitFromStats(
+      *input.shortlist_stats, input.shortlist_subset, input.transform_attrs);
+  if (!fit.ok()) return false;
+  *model = std::move(*fit);
+  return true;
+}
+
+/// Predictions of `model` over every source row, reading feature columns
+/// straight from the column cache (no matrix materialization). Returns false
+/// when a feature column is missing from the cache.
+bool PredictFromCache(const LinearModel& model, const ColumnCache* cache,
+                      int64_t num_rows, std::vector<double>* out) {
+  if (cache == nullptr) return false;
+  std::vector<const std::vector<double>*> columns;
+  if (!cache->ResolveColumns(model.feature_names, &columns)) return false;
+  out->resize(static_cast<size_t>(num_rows));
+  std::vector<double> row(columns.size());
+  for (int64_t r = 0; r < num_rows; ++r) {
+    for (size_t f = 0; f < columns.size(); ++f) {
+      row[f] = (*columns[f])[static_cast<size_t>(r)];
+    }
+    (*out)[static_cast<size_t>(r)] = model.PredictRow(row.data());
+  }
+  return true;
+}
+
 std::string PartitionSignature(const std::vector<DecisionTree::Leaf>& leaves) {
   std::set<std::string> conditions;
   for (const DecisionTree::Leaf& leaf : leaves) {
@@ -97,12 +134,22 @@ Result<PartitionFinder::ResidualClusterings> PartitionFinder::ClusterResiduals(
     return Status::InvalidArgument("PartitionFinder: y_old size mismatch");
   }
 
-  CHARLES_ASSIGN_OR_RETURN(
-      Matrix x,
-      GatherTransformFeatures(source, input.transform_attrs, input.column_cache));
-  CHARLES_ASSIGN_OR_RETURN(LinearModel global,
-                           LinearRegression::Fit(x, *input.y_new, input.transform_attrs));
-  std::vector<double> predicted = global.PredictBatch(x);
+  // Global fit on T: sub-solve of the run's shortlist moments when
+  // available, else gather + QR. Either way `predicted` is evaluated row by
+  // row through LinearModel::PredictRow, so the residual signal is identical
+  // for a given model regardless of which path produced the predictions.
+  LinearModel global;
+  std::vector<double> predicted;
+  bool from_stats = FitGlobalFromStats(input, options, &global) &&
+                    PredictFromCache(global, input.column_cache, n, &predicted);
+  if (!from_stats) {
+    CHARLES_ASSIGN_OR_RETURN(
+        Matrix x,
+        GatherTransformFeatures(source, input.transform_attrs, input.column_cache));
+    CHARLES_ASSIGN_OR_RETURN(
+        global, LinearRegression::Fit(x, *input.y_new, input.transform_attrs));
+    predicted = global.PredictBatch(x);
+  }
 
   // Change signals to cluster on: the paper's distance-from-the-regression-
   // line, plus raw and relative deltas when requested and available.
@@ -173,7 +220,7 @@ Result<std::vector<PartitionCandidate>> PartitionFinder::InduceCandidates(
             source, all_rows, condition_attr_indices, labels, tree_options, cache);
         if (!tree_result.ok()) return out;
         auto tree = std::make_shared<DecisionTree>(std::move(*tree_result));
-        out.candidate.leaves = tree->Leaves();
+        out.candidate.leaves = tree->leaves();
         out.signature = PartitionSignature(out.candidate.leaves);
         out.candidate.k = 1 + *std::max_element(labels.begin(), labels.end());
         out.candidate.label_agreement = tree->training_accuracy();

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "core/options.h"
+#include "linalg/suffstats.h"
 #include "ml/decision_tree.h"
 #include "ml/kmeans.h"
 #include "ml/linear_regression.h"
@@ -38,6 +39,23 @@ class ColumnCache {
   const std::vector<double>* Find(const std::string& name) const {
     auto it = columns_.find(name);
     return it == columns_.end() ? nullptr : &it->second;
+  }
+
+  /// Resolves every name to its cached column, in order. Returns false —
+  /// leaving `out` unspecified — if any column is missing; callers treat
+  /// that as "this cache cannot serve the request" and fall back to their
+  /// slow path. The shared front half of every gather/accumulate loop over
+  /// cached columns.
+  bool ResolveColumns(const std::vector<std::string>& names,
+                      std::vector<const std::vector<double>*>* out) const {
+    out->clear();
+    out->reserve(names.size());
+    for (const std::string& name : names) {
+      const std::vector<double>* values = Find(name);
+      if (values == nullptr) return false;
+      out->push_back(values);
+    }
+    return true;
   }
 
   /// Number of cached columns.
@@ -101,6 +119,17 @@ class PartitionFinder {
     /// when set, feature matrices are filled from it instead of re-converting
     /// columns per T-subset. Must stay valid for the duration of the call.
     const ColumnCache* column_cache = nullptr;
+    /// Optional pre-accumulated OLS moments over the run's full
+    /// transformation shortlist and y_new, covering every source row. When
+    /// set (and CharlesOptions::use_sufficient_stats allows), each
+    /// T-subset's global model is a p×p sub-solve of these moments instead
+    /// of an O(n·p²) QR — the engine accumulates them once per run and
+    /// shares them across all T-subset workers. `shortlist_subset` maps
+    /// `transform_attrs` (in order) to the stats' feature indices; both
+    /// fields must be set together and the stats must stay valid for the
+    /// duration of the call.
+    const SufficientStats* shortlist_stats = nullptr;
+    std::vector<int> shortlist_subset;
   };
 
   /// Result of steps 1–2: the global model and one clustering per k

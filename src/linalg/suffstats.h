@@ -1,0 +1,135 @@
+#ifndef CHARLES_LINALG_SUFFSTATS_H_
+#define CHARLES_LINALG_SUFFSTATS_H_
+
+/// \file
+/// \brief Sufficient statistics for ordinary least squares.
+///
+/// An OLS fit of y on features x₁..x_p needs only the moments
+/// (XᵀX, Xᵀy, yᵀy, n) of the *augmented* design z = (1, x₁..x_p) — not the
+/// rows themselves. SufficientStats accumulates those moments in one scan
+/// and answers any number of fits afterwards at O(p³), independent of row
+/// count. Three properties make it the engine's leaf-fit workhorse:
+///
+///  - **Additivity.** Stats of a union of disjoint row sets are the sums of
+///    the per-set stats (Merge), so child-partition stats roll up into
+///    parent- or table-level fits without rescanning rows.
+///  - **Marginalization.** The stats of any feature *subset* are a
+///    principal submatrix of the full stats (Project), so one scan over the
+///    full transformation shortlist serves every candidate subset T — only
+///    the p×p solve differs per T.
+///  - **Determinism.** Accumulate is a fold over rows in the caller's order;
+///    replaying serial row order yields bit-identical moments on any thread,
+///    which is what keeps parallel engine output bit-identical to serial.
+///
+/// Internally the moments are accumulated relative to a **shift** — the
+/// first observation's feature/response values. Raw moments lose roughly
+/// (mean/spread)² digits to cancellation when the solve re-centers them
+/// (Σx² − n·x̄² with mean ≫ spread); shifting by a sample point bounds the
+/// re-centering cancellation by the data's own spread, which keeps the
+/// solved coefficients within a few ULPs of the row-level QR answer on
+/// well-conditioned data. The shift is pure representation: Merge translates
+/// between shifts exactly, and Solve's output is shift-independent up to
+/// those last ULPs.
+///
+/// SolveOls solves the centered normal equations by Cholesky and reports
+/// failure — rather than a noisy answer — on ill-conditioned systems, so
+/// callers can fall back to the row-level Householder QR path.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace charles {
+
+/// \brief Accumulated OLS moments (XᵀX, Xᵀy, yᵀy, n) over the augmented
+/// design z = (1, x₁..x_p), stored relative to a first-observation shift.
+class SufficientStats {
+ public:
+  /// Zero-feature stats (intercept-only); establishes the moment-buffer
+  /// invariant so Accumulate on a default-constructed instance is safe.
+  SufficientStats() : SufficientStats(0) {}
+
+  /// Stats over `num_features` features (the intercept column is implicit).
+  explicit SufficientStats(int64_t num_features);
+
+  /// Folds one observation in: `x` points at num_features() doubles, `y` is
+  /// the response. The first observation becomes the shift point.
+  /// Accumulation order is the caller's contract — replay rows in a fixed
+  /// order to get bit-identical moments.
+  void Accumulate(const double* x, double y);
+
+  /// Adds `other`'s moments into this (the stats of the union of two
+  /// disjoint row sets), translating between shift points exactly. Fails on
+  /// a feature-count mismatch.
+  Status Merge(const SufficientStats& other);
+
+  /// Stats restricted to the features at `subset` (indices into
+  /// 0..num_features()-1, in the order given). The result is exactly what
+  /// accumulating only those features would have produced.
+  SufficientStats Project(const std::vector<int>& subset) const;
+
+  int64_t num_features() const { return p_; }
+  int64_t n() const { return n_; }
+
+  /// \name Derived (shift-independent) descriptive moments.
+  /// @{
+  /// Mean of feature f over the accumulated rows (0 before any row).
+  double MeanX(int64_t f) const;
+  /// Mean response.
+  double MeanY() const;
+  /// Centered cross-moment S_ij = Σ (x_i − x̄_i)(x_j − x̄_j).
+  double Sxx(int64_t i, int64_t j) const;
+  /// Centered feature/response moment S_iy = Σ (x_i − x̄_i)(y − ȳ).
+  double Sxy(int64_t i) const;
+  /// Centered response scatter S_yy = Σ (y − ȳ)² (clamped at 0).
+  double Syy() const;
+  /// @}
+
+  /// \brief One solved OLS system, with fit diagnostics derived from the
+  /// moments alone (no pass over rows).
+  ///
+  /// `r2` and `rmse` are exact (both are functions of the second moments).
+  /// `mae_estimate` is the Gaussian-residual approximation
+  /// rmse · sqrt(2/π) — the moments cannot determine the exact L1 error;
+  /// callers that need it recompute it on their prediction pass.
+  struct Solution {
+    double intercept = 0.0;
+    std::vector<double> coefficients;  ///< One per requested feature.
+    double r2 = 0.0;
+    double rmse = 0.0;
+    double mae_estimate = 0.0;
+  };
+
+  /// \brief OLS fit of y on the features at `subset` (empty = intercept
+  /// only), from the moments alone.
+  ///
+  /// Solves the centered p×p normal equations by Cholesky. Fails with
+  /// InvalidArgument when the system is underdetermined (n < |subset| + 1)
+  /// or ill-conditioned (a Cholesky pivot collapses relative to its
+  /// diagonal) — callers should treat failure as "use the row-level QR
+  /// path", which either solves the system more stably or correctly reports
+  /// rank deficiency.
+  Result<Solution> SolveOls(const std::vector<int>& subset) const;
+
+  /// SolveOls over every feature, in order.
+  Result<Solution> SolveOls() const;
+
+ private:
+  int64_t p_ = 0;
+  int64_t n_ = 0;
+  /// Shift point: the first accumulated observation (features, response).
+  std::vector<double> x_shift_;
+  double y_shift_ = 0.0;
+  /// Augmented Gram ZᵀZ of the shifted design z = (1, x − x_shift),
+  /// row-major (p+1)², kept fully mirrored.
+  std::vector<double> gram_;
+  /// Zᵀ(y − y_shift), length p+1.
+  std::vector<double> xty_;
+  /// Σ (y − y_shift)².
+  double yty_ = 0.0;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_LINALG_SUFFSTATS_H_

@@ -616,10 +616,16 @@ Result<DecisionTree> DecisionTree::Fit(const Table& table, const RowSet& rows,
   TreeBuilder builder(labels, num_labels, options, *cache, attr_indices);
   tree.root_ = builder.Build(rows.indices(), 0);
 
-  // Training accuracy: each row scored against its leaf's majority.
+  // Single post-build traversal: collect the leaves (with simplified path
+  // conditions) and score training accuracy off them. leaves() then serves
+  // every later consumer — the engine's partition candidates used to walk
+  // the tree a second time for the same list.
+  {
+    std::vector<std::pair<const DecisionTreeNode*, bool>> path;
+    CollectLeaves(*tree.root_, &path, &tree.leaves_);
+  }
   int64_t correct = 0;
-  std::vector<Leaf> leaves = tree.Leaves();
-  for (const Leaf& leaf : leaves) {
+  for (const Leaf& leaf : tree.leaves_) {
     for (int64_t row : leaf.rows) {
       if (labels[static_cast<size_t>(row)] == leaf.majority_label) ++correct;
     }
@@ -628,13 +634,6 @@ Result<DecisionTree> DecisionTree::Fit(const Table& table, const RowSet& rows,
       rows.size() > 0 ? static_cast<double>(correct) / static_cast<double>(rows.size())
                       : 0.0;
   return tree;
-}
-
-std::vector<DecisionTree::Leaf> DecisionTree::Leaves() const {
-  std::vector<Leaf> out;
-  std::vector<std::pair<const DecisionTreeNode*, bool>> path;
-  CollectLeaves(*root_, &path, &out);
-  return out;
 }
 
 Result<int> DecisionTree::PredictRow(const Table& table, int64_t row) const {

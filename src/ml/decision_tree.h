@@ -135,8 +135,16 @@ class DecisionTree {
 
   const DecisionTreeNode& root() const { return *root_; }
 
-  /// Leaves in left-to-right (YES-first) order.
-  std::vector<Leaf> Leaves() const;
+  /// \brief Leaves in left-to-right (YES-first) order, with their simplified
+  /// path conditions.
+  ///
+  /// Collected once at Fit() time (the same traversal also scores training
+  /// accuracy), so this accessor is free — callers that previously cached
+  /// the result of Leaves() can read it per use instead.
+  const std::vector<Leaf>& leaves() const { return leaves_; }
+
+  /// Copying alias of leaves(), kept for callers that need ownership.
+  std::vector<Leaf> Leaves() const { return leaves_; }
 
   /// Label of the leaf a row falls into.
   Result<int> PredictRow(const Table& table, int64_t row) const;
@@ -149,6 +157,7 @@ class DecisionTree {
 
  private:
   std::unique_ptr<DecisionTreeNode> root_;
+  std::vector<Leaf> leaves_;  ///< Collected once at Fit() time.
   double training_accuracy_ = 0.0;
 };
 

@@ -11,21 +11,15 @@ namespace charles {
 
 double LinearModel::Predict(const std::vector<double>& x) const {
   CHARLES_CHECK_EQ(x.size(), coefficients.size());
-  double y = intercept;
-  for (size_t i = 0; i < x.size(); ++i) y += coefficients[i] * x[i];
-  return y;
+  return PredictRow(x.data());
 }
 
 std::vector<double> LinearModel::PredictBatch(const Matrix& x) const {
   CHARLES_CHECK_EQ(static_cast<size_t>(x.cols()), coefficients.size());
-  std::vector<double> out(static_cast<size_t>(x.rows()), intercept);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(x.rows()));
   for (int64_t r = 0; r < x.rows(); ++r) {
-    const double* row = x.RowPtr(r);
-    double sum = intercept;
-    for (size_t c = 0; c < coefficients.size(); ++c) {
-      sum += coefficients[c] * row[c];
-    }
-    out[static_cast<size_t>(r)] = sum;
+    out.push_back(PredictRow(x.RowPtr(r)));
   }
   return out;
 }
@@ -94,13 +88,26 @@ Result<LinearModel> FitRidgeStandardized(const Matrix& x, const std::vector<doub
                                          double lambda) {
   int64_t n = x.rows();
   int64_t p = x.cols();
+  // Means and stddevs in one pass over the row-major storage — no per-column
+  // materialization (this runs on every fallback fit).
   std::vector<double> means(static_cast<size_t>(p), 0.0);
   std::vector<double> stds(static_cast<size_t>(p), 0.0);
-  for (int64_t c = 0; c < p; ++c) {
-    std::vector<double> col(static_cast<size_t>(n));
-    for (int64_t r = 0; r < n; ++r) col[static_cast<size_t>(r)] = x.At(r, c);
-    means[static_cast<size_t>(c)] = Mean(col);
-    stds[static_cast<size_t>(c)] = Stddev(col);
+  for (int64_t r = 0; r < n; ++r) {
+    const double* row = x.RowPtr(r);
+    for (int64_t c = 0; c < p; ++c) means[static_cast<size_t>(c)] += row[c];
+  }
+  if (n > 0) {
+    for (double& m : means) m /= static_cast<double>(n);
+  }
+  if (n >= 2) {
+    for (int64_t r = 0; r < n; ++r) {
+      const double* row = x.RowPtr(r);
+      for (int64_t c = 0; c < p; ++c) {
+        double d = row[c] - means[static_cast<size_t>(c)];
+        stds[static_cast<size_t>(c)] += d * d;
+      }
+    }
+    for (double& s : stds) s = std::sqrt(s / static_cast<double>(n));
   }
   double y_mean = Mean(y);
   Matrix xs(n, p);
@@ -184,6 +191,24 @@ Result<LinearModel> LinearRegression::Fit(const Matrix& x, const std::vector<dou
   }
   // Fallback: standardized ridge (always well-posed for lambda > 0).
   return FitRidgeStandardized(x, y, std::move(feature_names), options.ridge_lambda);
+}
+
+Result<LinearModel> LinearRegression::FitFromStats(
+    const SufficientStats& stats, const std::vector<int>& subset,
+    std::vector<std::string> feature_names) {
+  if (feature_names.size() != subset.size()) {
+    return Status::InvalidArgument("FitFromStats: feature_names size mismatch");
+  }
+  CHARLES_ASSIGN_OR_RETURN(SufficientStats::Solution solution,
+                           stats.SolveOls(subset));
+  LinearModel model;
+  model.intercept = solution.intercept;
+  model.coefficients = std::move(solution.coefficients);
+  model.feature_names = std::move(feature_names);
+  model.r2 = solution.r2;
+  model.rmse = solution.rmse;
+  model.mae = solution.mae_estimate;
+  return model;
 }
 
 }  // namespace charles

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "linalg/matrix.h"
+#include "linalg/suffstats.h"
 
 namespace charles {
 
@@ -28,6 +29,16 @@ struct LinearModel {
 
   double Predict(const std::vector<double>& x) const;
   std::vector<double> PredictBatch(const Matrix& x) const;
+
+  /// intercept + Σ coefficients[i] · row[i] over coefficients.size() values.
+  /// The one dot-product every prediction path funnels through, so all of
+  /// them accumulate in the same order (bit-identical results regardless of
+  /// which path computed a prediction).
+  double PredictRow(const double* row) const {
+    double y = intercept;
+    for (size_t i = 0; i < coefficients.size(); ++i) y += coefficients[i] * row[i];
+    return y;
+  }
 
   /// Number of features with a non-zero coefficient — the paper's
   /// transformation complexity measure.
@@ -58,6 +69,19 @@ class LinearRegression {
   static Result<LinearModel> Fit(const Matrix& x, const std::vector<double>& y,
                                  std::vector<std::string> feature_names,
                                  const LinearRegressionOptions& options = {});
+
+  /// \brief Fast path: the same fit from pre-accumulated sufficient
+  /// statistics, at O(p³) — independent of row count.
+  ///
+  /// `subset` selects the features (indices into the stats' feature order);
+  /// `feature_names` must match the subset's size and order. Diagnostics
+  /// come from the moments alone: r2/rmse exact, mae the Gaussian-residual
+  /// estimate (see SufficientStats::Solution). Fails — instead of answering
+  /// noisily — on underdetermined or ill-conditioned systems; callers fall
+  /// back to Fit(), whose QR/ridge ladder handles those cases from rows.
+  static Result<LinearModel> FitFromStats(const SufficientStats& stats,
+                                          const std::vector<int>& subset,
+                                          std::vector<std::string> feature_names);
 };
 
 }  // namespace charles

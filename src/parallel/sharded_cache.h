@@ -6,12 +6,26 @@
 ///
 /// Keys are hashed to one of N shards, each an unordered_map behind its own
 /// mutex, so concurrent lookups and inserts on different shards never
-/// contend. Values are never erased by lookups or inserts, and
-/// std::unordered_map guarantees reference stability under rehash, so the
-/// pointers returned by Find and Insert stay valid until Clear() — callers
-/// may hold them across further inserts from any thread.
+/// contend.
+///
+/// Every shard keeps a recency list, so the cache can be **bounded** — at
+/// construction (`max_entries > 0`, enforced on every Insert) or after the
+/// fact (TrimToSize) — evicting least-recently-used entries first. Eviction
+/// changes the pointer-stability rules:
+///
+///  - Unbounded caches never erase on lookup or insert, and
+///    std::unordered_map guarantees reference stability under rehash, so the
+///    pointers returned by Find and Insert stay valid until Clear() or
+///    TrimToSize() — callers may hold them across further inserts from any
+///    thread.
+///  - Bounded caches may evict any entry on any Insert, so pointers returned
+///    by Find/Insert/GetOrCompute are only safe to dereference before the
+///    next insert from any thread. Callers of a cache that may be bounded or
+///    trimmed should use the copy-out Lookup() instead, which copies the
+///    value under the shard lock.
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -23,15 +37,26 @@ namespace charles {
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class ShardedCache {
  public:
-  explicit ShardedCache(int num_shards = 16)
+  /// `max_entries` caps the total entry count across shards (0 = unbounded).
+  /// The budget is split evenly, rounding *down* so the configured total is
+  /// a true upper bound — except in the degenerate case of more shards than
+  /// entries, where every shard still holds at least one entry (a zero-cap
+  /// shard could never cache anything) and the cache can reach one entry
+  /// per shard.
+  explicit ShardedCache(int num_shards = 16, size_t max_entries = 0)
       : shards_(static_cast<size_t>(num_shards < 1 ? 1 : num_shards)) {
     for (auto& shard : shards_) shard = std::make_unique<Shard>();
+    if (max_entries > 0) {
+      per_shard_cap_ = max_entries / shards_.size();
+      if (per_shard_cap_ == 0) per_shard_cap_ = 1;
+    }
   }
 
   ShardedCache(const ShardedCache&) = delete;
   ShardedCache& operator=(const ShardedCache&) = delete;
 
-  /// Returns a stable pointer to the cached value, or nullptr on miss.
+  /// Returns a stable pointer to the cached value, or nullptr on miss. See
+  /// the file comment for pointer-validity rules on bounded caches.
   const Value* Find(const Key& key) const {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -41,18 +66,45 @@ class ShardedCache {
       return nullptr;
     }
     ++shard.hits;
-    return &it->second;
+    Touch(shard, it->second);
+    return &it->second.value;
+  }
+
+  /// Copy-out lookup: copies the value under the shard lock, so the result
+  /// stays valid regardless of concurrent inserts or evictions. This is the
+  /// lookup bounded caches require.
+  bool Lookup(const Key& key, Value* out) const {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      return false;
+    }
+    ++shard.hits;
+    Touch(shard, it->second);
+    *out = it->second.value;
+    return true;
   }
 
   /// Inserts (key, value) unless the key is already present — the first
   /// writer wins, so concurrent duplicate computes converge on one stored
-  /// value. Returns a stable pointer to the stored value.
+  /// value. Bounded caches evict their shard's least-recently-used entry
+  /// when over budget. Returns a stable pointer to the stored value (see the
+  /// file comment for validity rules on bounded caches).
   const Value* Insert(Key key, Value value) {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto [it, inserted] = shard.map.emplace(std::move(key), std::move(value));
-    (void)inserted;
-    return &it->second;
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      Entry entry;
+      entry.value = std::move(value);
+      it = shard.map.emplace(std::move(key), std::move(entry)).first;
+      shard.lru.push_front(&it->first);
+      it->second.pos = shard.lru.begin();
+      if (per_shard_cap_ > 0) EvictDownTo(shard, per_shard_cap_);
+    }
+    return &it->second.value;
   }
 
   /// Find-or-compute: `compute()` runs outside the shard lock (it may be
@@ -64,6 +116,18 @@ class ShardedCache {
     return Insert(key, compute());
   }
 
+  /// Evicts least-recently-used entries until at most `max_entries` remain
+  /// (split evenly across shards, rounding down as in the constructor).
+  /// Works on caches constructed unbounded — recency is always tracked.
+  void TrimToSize(size_t max_entries) {
+    size_t cap = max_entries / shards_.size();
+    if (cap == 0) cap = 1;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      EvictDownTo(*shard, cap);
+    }
+  }
+
   /// Drops every entry (lookup counters are kept). Invalidates all pointers
   /// previously returned by Find/Insert/GetOrCompute — callers must ensure no
   /// thread is concurrently reading cached values through such pointers.
@@ -71,6 +135,7 @@ class ShardedCache {
     for (const auto& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard->mu);
       shard->map.clear();
+      shard->lru.clear();
     }
   }
 
@@ -87,18 +152,47 @@ class ShardedCache {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
+  /// Total entry budget as enforced (per-shard cap × shards; 0 = unbounded).
+  size_t max_entries() const { return per_shard_cap_ * shards_.size(); }
+
   /// Lookup counters, kept per shard under the shard lock (no cross-shard
   /// contention on the hot path) and summed here for diagnostics.
   int64_t hits() const { return SumCounter(&Shard::hits); }
   int64_t misses() const { return SumCounter(&Shard::misses); }
+  /// Entries dropped by the LRU bound (always 0 for unbounded caches).
+  int64_t evictions() const { return SumCounter(&Shard::evictions); }
 
  private:
+  struct Entry {
+    Value value;
+    /// Position in the shard's recency list.
+    typename std::list<const Key*>::iterator pos;
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<Key, Value, Hash> map;
-    int64_t hits = 0;
-    int64_t misses = 0;
+    std::unordered_map<Key, Entry, Hash> map;
+    /// Most-recently-used first. Entries point at the map's own keys —
+    /// stable for the node-based unordered_map — so recency tracking never
+    /// copies a key (LeafKey carries a whole row-index vector).
+    mutable std::list<const Key*> lru;
+    mutable int64_t hits = 0;
+    mutable int64_t misses = 0;
+    int64_t evictions = 0;
   };
+
+  /// Moves the entry to the front of its shard's recency list.
+  void Touch(Shard& shard, const Entry& entry) const {
+    shard.lru.splice(shard.lru.begin(), shard.lru, entry.pos);
+  }
+
+  /// Caller holds the shard lock.
+  void EvictDownTo(Shard& shard, size_t cap) {
+    while (shard.map.size() > cap && !shard.lru.empty()) {
+      shard.map.erase(*shard.lru.back());
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+  }
 
   int64_t SumCounter(int64_t Shard::* counter) const {
     int64_t total = 0;
@@ -119,6 +213,7 @@ class ShardedCache {
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  size_t per_shard_cap_ = 0;  ///< Per-shard entry cap; 0 = unbounded.
 };
 
 }  // namespace charles

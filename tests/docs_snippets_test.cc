@@ -39,6 +39,28 @@ class SummaryService {
   charles::EngineContext context_;  // pool + cache live as long as the service
 };
 
+// --- docs/api.md "Bounding the serving cache" ------------------------------
+
+class BoundedSummaryService {
+ public:
+  BoundedSummaryService()
+      : context_(charles::EngineContextOptions{
+            /*num_threads=*/0, /*cache_shards=*/0,
+            /*max_cache_entries=*/10000}) {}  // LRU bound on cached leaf fits
+
+  charles::Result<charles::SummaryList> Serve(
+      const charles::Table& source, const charles::Table& target,
+      const charles::CharlesOptions& run_options) {
+    charles::CharlesEngine engine(run_options, &context_);
+    return engine.Find(source, target);  // cache stays warm and stays bounded
+  }
+
+  int64_t evictions() const { return context_.leaf_cache_evictions(); }
+
+ private:
+  charles::EngineContext context_;  // long-lived: the bound is its point
+};
+
 // --- docs/api.md "Streaming" -----------------------------------------------
 
 #include <cstdio>
@@ -91,6 +113,23 @@ TEST(DocsSnippetsTest, ServingSnippetWarmsAcrossQueries) {
   for (size_t i = 0; i < cold.summaries.size(); ++i) {
     EXPECT_EQ(cold.summaries[i].ToString(), warm.summaries[i].ToString());
   }
+}
+
+TEST(DocsSnippetsTest, BoundedServiceSnippetWarmsUnderTheBound) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+
+  BoundedSummaryService service;
+  SummaryList cold = service.Serve(source, target, options).ValueOrDie();
+  SummaryList warm = service.Serve(source, target, options).ValueOrDie();
+  ASSERT_FALSE(cold.summaries.empty());
+  // The workload fits comfortably under the 10k bound, so the second query
+  // is served warm and nothing was evicted.
+  EXPECT_EQ(warm.leaf_fits_computed, 0);
+  EXPECT_EQ(service.evictions(), 0);
 }
 
 TEST(DocsSnippetsTest, StreamingSnippetResolvesWithFinalRanking) {

@@ -161,6 +161,60 @@ TEST(EngineContextTest, DifferentWorkloadsOnOneContextDoNotCrossTalk) {
   ExpectIdenticalRuns(emp_fresh, emp_warm);
 }
 
+TEST(EngineContextTest, BoundedCacheEvictsLruAndStaysCorrect) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options = Example1Options();
+  options.num_threads = 1;
+  SummaryList fresh = CharlesEngine(options).Find(source, target).ValueOrDie();
+
+  // How many distinct fits does this workload cache when unbounded?
+  EngineContext unbounded;
+  CharlesEngine warmup(options, &unbounded);
+  warmup.Find(source, target).ValueOrDie();
+  size_t full = unbounded.leaf_cache_entries();
+  ASSERT_GT(full, 4u);
+
+  // A context bounded to a fraction of that must evict (LRU) yet change
+  // nothing about the output — a miss only recomputes the identical fit.
+  EngineContextOptions ctx_options;
+  ctx_options.cache_shards = 1;  // single shard: the bound is exact
+  ctx_options.max_cache_entries = static_cast<int64_t>(full / 2);
+  EngineContext context(ctx_options);
+  CharlesEngine engine(options, &context);
+  SummaryList cold = engine.Find(source, target).ValueOrDie();
+  SummaryList warm = engine.Find(source, target).ValueOrDie();
+
+  ExpectIdenticalRuns(fresh, cold);
+  ExpectIdenticalRuns(fresh, warm);
+  EXPECT_LE(context.leaf_cache_entries(), full / 2);
+  EXPECT_GT(context.leaf_cache_evictions(), 0);
+  // The warm run re-fits evicted entries (never more work than a cold run —
+  // with an LRU thrashing pattern possibly the same amount, never less
+  // than one fit, since the bound guarantees something was evicted).
+  EXPECT_GT(warm.leaf_fits_computed, 0);
+  EXPECT_LE(warm.leaf_fits_computed, cold.leaf_fits_computed);
+  EXPECT_EQ(warm.leaf_fit_evictions, context.leaf_cache_evictions());
+}
+
+TEST(EngineContextTest, EngineOptionTrimsContextCacheAfterRun) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options = Example1Options();
+  options.max_cache_entries = 4;
+
+  EngineContextOptions ctx_options;
+  ctx_options.cache_shards = 1;
+  EngineContext context(ctx_options);  // context itself is unbounded
+  CharlesEngine engine(options, &context);
+  SummaryList result = engine.Find(source, target).ValueOrDie();
+  EXPECT_FALSE(result.summaries.empty());
+  // The run published every fit, then trimmed the cache down to the cap.
+  EXPECT_LE(context.leaf_cache_entries(), 4u);
+  EXPECT_GT(context.leaf_cache_evictions(), 0);
+  EXPECT_EQ(result.leaf_fit_evictions, context.leaf_cache_evictions());
+}
+
 TEST(EngineContextTest, ClearCachesDropsEntries) {
   Table source = MakeExample1Source().ValueOrDie();
   Table target = MakeExample1Target().ValueOrDie();

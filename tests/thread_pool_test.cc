@@ -184,6 +184,38 @@ TEST(ShardedCacheTest, GetOrComputeComputesOncePerKey) {
   EXPECT_EQ(computes.load(), 1);
 }
 
+TEST(ShardedCacheTest, BoundedCacheEvictsLeastRecentlyUsed) {
+  // Single shard so the bound is exact. Capacity 3: touching key 1 keeps it
+  // alive while 2 (the least recently used) is evicted by the 4th insert.
+  ShardedCache<int64_t, std::string> cache(1, 3);
+  cache.Insert(1, "one");
+  cache.Insert(2, "two");
+  cache.Insert(3, "three");
+  std::string out;
+  EXPECT_TRUE(cache.Lookup(1, &out));  // 1 becomes most recent
+  EXPECT_EQ(out, "one");
+  cache.Insert(4, "four");
+  EXPECT_EQ(cache.Size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_FALSE(cache.Lookup(2, &out));  // LRU victim
+  EXPECT_TRUE(cache.Lookup(1, &out));
+  EXPECT_TRUE(cache.Lookup(3, &out));
+  EXPECT_TRUE(cache.Lookup(4, &out));
+}
+
+TEST(ShardedCacheTest, TrimToSizeShrinksUnboundedCache) {
+  ShardedCache<int64_t, int64_t> cache(1);  // unbounded at construction
+  for (int64_t k = 0; k < 10; ++k) cache.Insert(k, k * 10);
+  int64_t out = 0;
+  EXPECT_TRUE(cache.Lookup(0, &out));  // 0 is now the most recently used
+  cache.TrimToSize(2);
+  EXPECT_EQ(cache.Size(), 2u);
+  EXPECT_EQ(cache.evictions(), 8);
+  EXPECT_TRUE(cache.Lookup(0, &out));
+  EXPECT_TRUE(cache.Lookup(9, &out));  // last insert survives too
+  EXPECT_FALSE(cache.Lookup(5, &out));
+}
+
 TEST(ShardedCacheTest, PointersStableUnderConcurrentInserts) {
   ShardedCache<int64_t, int64_t> cache(16);
   const int64_t* early = cache.Insert(-1, -100);
