@@ -1,0 +1,226 @@
+/// \file
+/// Experiment D1 (ISSUE 4 / ROADMAP "scale beyond one box"): distributed
+/// shard execution over a shards × threads grid, for both backends.
+///
+/// Each cell runs the full engine on the employee workload with the
+/// leaf-statistics sweep routed through the shard Coordinator, and records
+/// end-to-end time, the coordinator's own fan-out + merge time, and the rows
+/// the backends scanned. Every sharded ranking is checked bit-identical to
+/// the unsharded baseline (top signature + bit-equal score) — a speedup that
+/// changed the answer is a bug, not a result. The in-process backend shows
+/// the shard sweep's parallel scaling; the subprocess backend prices the
+/// wire format (fork + serialize + pipe per shard) that a multi-box backend
+/// would pay per RPC.
+///
+/// Results are recorded in BENCH_shards.json (working directory). `--smoke`
+/// runs a reduced grid and exits non-zero if any sharded ranking diverges
+/// from the unsharded baseline or the sharded end-to-end time blows past a
+/// generous overhead ceiling — the CI tripwire for the distributed path.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/employee_gen.h"
+
+namespace charles {
+namespace bench {
+namespace {
+
+struct GridRow {
+  std::string backend;
+  int shards = 0;  ///< 0 = unsharded engine (the baseline)
+  int threads = 1;
+  double total_s = 0.0;
+  double shard_s = 0.0;  ///< coordinator fan-out + merge
+  int64_t rows_scanned = 0;
+  bool identical = true;  ///< ranking bit-identical to the baseline
+};
+
+struct Baseline {
+  std::string signature;
+  double score = 0.0;
+  size_t count = 0;
+};
+
+GridRow RunCell(const Table& source, const Table& target, int shards,
+                ShardBackendKind backend, int threads, int64_t block_rows,
+                Baseline* baseline) {
+  CharlesOptions options = DefaultBenchOptions("bonus", "emp_id");
+  options.num_threads = threads;
+  options.stats_block_rows = block_rows;
+  options.num_shards = shards;
+  options.shard_backend = backend;
+
+  auto start = std::chrono::steady_clock::now();
+  SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+  GridRow row;
+  row.backend = shards == 0 ? "none"
+                            : (backend == ShardBackendKind::kInProcess
+                                   ? "in-process"
+                                   : "subprocess");
+  row.shards = shards;
+  row.threads = threads;
+  row.total_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  row.shard_s = result.shard_seconds;
+  row.rows_scanned = result.shard_rows_scanned;
+
+  CHARLES_CHECK(!result.summaries.empty());
+  if (baseline->count == 0) {
+    baseline->signature = result.summaries[0].Signature();
+    baseline->score = result.summaries[0].scores().score;
+    baseline->count = result.summaries.size();
+  } else {
+    double score = result.summaries[0].scores().score;
+    row.identical = result.summaries[0].Signature() == baseline->signature &&
+                    std::memcmp(&score, &baseline->score, sizeof(double)) == 0 &&
+                    result.summaries.size() == baseline->count;
+  }
+  return row;
+}
+
+std::vector<GridRow> RunGrid(bool smoke) {
+  EmployeeGenOptions gen;
+  gen.num_rows = smoke ? 4000 : 20000;
+  gen.num_decoy_numeric = 1;
+  gen.num_decoy_categorical = 1;
+  Table source = GenerateEmployees(gen).ValueOrDie();
+  Table target = MakeEmployeeBonusPolicy().Apply(source).ValueOrDie();
+  const int64_t block_rows = 256;  // 4k rows = 16 blocks, so 8 shards exist
+
+  std::vector<GridRow> grid;
+  Baseline baseline;
+  if (smoke) {
+    grid.push_back(RunCell(source, target, 0, ShardBackendKind::kInProcess, 2,
+                           block_rows, &baseline));
+    for (int shards : {2, 8}) {
+      grid.push_back(RunCell(source, target, shards, ShardBackendKind::kInProcess,
+                             2, block_rows, &baseline));
+    }
+    grid.push_back(RunCell(source, target, 2, ShardBackendKind::kSubprocess, 2,
+                           block_rows, &baseline));
+    return grid;
+  }
+  for (int threads : {1, 4}) {
+    Baseline per_thread_baseline;
+    grid.push_back(RunCell(source, target, 0, ShardBackendKind::kInProcess, threads,
+                           block_rows, &per_thread_baseline));
+    for (ShardBackendKind backend :
+         {ShardBackendKind::kInProcess, ShardBackendKind::kSubprocess}) {
+      for (int shards : {1, 2, 4, 8}) {
+        grid.push_back(RunCell(source, target, shards, backend, threads, block_rows,
+                               &per_thread_baseline));
+      }
+    }
+  }
+  return grid;
+}
+
+void PrintGrid(const std::vector<GridRow>& grid) {
+  std::vector<int> widths = {11, 7, 8, 9, 9, 13, 10};
+  PrintRule(widths);
+  PrintTableRow(widths, {"backend", "shards", "threads", "total s", "shard s",
+                         "rows scanned", "identical"});
+  PrintRule(widths);
+  for (const GridRow& r : grid) {
+    PrintTableRow(widths, {r.backend, std::to_string(r.shards),
+                           std::to_string(r.threads), Fmt(r.total_s, 3),
+                           Fmt(r.shard_s, 4), std::to_string(r.rows_scanned),
+                           r.identical ? "yes" : "NO"});
+  }
+  PrintRule(widths);
+}
+
+void WriteJson(const std::string& path, const std::vector<GridRow>& grid) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"grid\": [\n");
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const GridRow& r = grid[i];
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"shards\": %d, \"threads\": %d, "
+                 "\"total_s\": %.5f, \"shard_s\": %.5f, \"rows_scanned\": %lld, "
+                 "\"identical\": %s}%s\n",
+                 r.backend.c_str(), r.shards, r.threads, r.total_s, r.shard_s,
+                 static_cast<long long>(r.rows_scanned),
+                 r.identical ? "true" : "false", i + 1 < grid.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nrecorded the grid in %s\n", path.c_str());
+}
+
+void BM_ShardedEndToEnd(benchmark::State& state) {
+  EmployeeGenOptions gen;
+  gen.num_rows = 10000;
+  Table source = GenerateEmployees(gen).ValueOrDie();
+  Table target = MakeEmployeeBonusPolicy().Apply(source).ValueOrDie();
+  CharlesOptions options = DefaultBenchOptions("bonus", "emp_id");
+  options.num_threads = 4;
+  options.stats_block_rows = 256;
+  options.num_shards = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SummarizeChanges(source, target, options).ValueOrDie());
+  }
+}
+BENCHMARK(BM_ShardedEndToEnd)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace charles
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  charles::bench::PrintHeader(
+      std::string("D1: distributed shard execution, shards x threads") +
+          (smoke ? " (smoke)" : ""),
+      "sharded rankings bit-identical to the unsharded engine at every cell");
+  std::vector<charles::bench::GridRow> grid = charles::bench::RunGrid(smoke);
+  charles::bench::PrintGrid(grid);
+  charles::bench::WriteJson("BENCH_shards.json", grid);
+
+  for (const charles::bench::GridRow& row : grid) {
+    if (!row.identical) {
+      std::fprintf(stderr,
+                   "FAIL: %s backend at %d shards diverged from the unsharded "
+                   "ranking\n",
+                   row.backend.c_str(), row.shards);
+      return 1;
+    }
+  }
+  if (smoke) {
+    // The unsharded cell is first; sharded cells may pay coordinator
+    // overhead but an end-to-end blowup (> 4x) marks a real regression.
+    double baseline_s = grid.front().total_s;
+    for (const charles::bench::GridRow& row : grid) {
+      if (row.shards > 0 && row.total_s > 4.0 * baseline_s + 0.5) {
+        std::fprintf(stderr,
+                     "FAIL: %s backend at %d shards took %.3fs vs %.3fs "
+                     "unsharded (> 4x + 0.5s)\n",
+                     row.backend.c_str(), row.shards, row.total_s, baseline_s);
+        return 1;
+      }
+    }
+    std::printf("smoke OK: every sharded cell bit-identical, overhead within "
+                "bounds\n");
+    return 0;
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

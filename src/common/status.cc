@@ -25,6 +25,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Not implemented";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
     case StatusCode::kUnknown:
       return "Unknown error";
   }

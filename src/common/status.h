@@ -21,6 +21,8 @@ enum class StatusCode {
   kIOError,
   kNotImplemented,
   kInternal,
+  kCancelled,
+  kResourceExhausted,
   kUnknown,
 };
 
@@ -66,6 +68,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
   }
@@ -84,6 +92,10 @@ class Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<category>: <message>".
   std::string ToString() const;

@@ -1,0 +1,37 @@
+#ifndef CHARLES_COMMON_WIRE_H_
+#define CHARLES_COMMON_WIRE_H_
+
+/// \file
+/// \brief Raw-bytes framing primitives shared by the wire serializers
+/// (SufficientStats, ShardResult).
+///
+/// The formats built on these are same-architecture pipe/socket protocols:
+/// scalars are copied bit-for-bit in native byte order, which is what makes
+/// a double survive a round trip exactly — the property the distributed
+/// merge's bit-identity rests on.
+
+#include <cstring>
+#include <string>
+
+namespace charles {
+namespace wire {
+
+/// Appends `size` raw bytes to `out`.
+inline void AppendRaw(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+/// Bounds-checked read of `size` bytes into `data`, advancing `*cursor`.
+/// Returns false (cursor unchanged) when fewer than `size` bytes remain.
+inline bool ReadRaw(const unsigned char** cursor, const unsigned char* end,
+                    void* data, size_t size) {
+  if (static_cast<size_t>(end - *cursor) < size) return false;
+  std::memcpy(data, *cursor, size);
+  *cursor += size;
+  return true;
+}
+
+}  // namespace wire
+}  // namespace charles
+
+#endif  // CHARLES_COMMON_WIRE_H_

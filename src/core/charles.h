@@ -33,6 +33,7 @@
 #include "core/scoring.h"          // IWYU pragma: export
 #include "core/setup_assistant.h"  // IWYU pragma: export
 #include "core/sql_gen.h"          // IWYU pragma: export
+#include "core/stop_token.h"       // IWYU pragma: export
 #include "core/summary.h"          // IWYU pragma: export
 #include "core/transform.h"        // IWYU pragma: export
 #include "csv/csv_reader.h"        // IWYU pragma: export

@@ -8,11 +8,16 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <unordered_set>
 
 #include "common/combinatorics.h"
 #include "common/string_util.h"
 #include "core/normality.h"
 #include "core/scoring.h"
+#include "distributed/coordinator.h"
+#include "distributed/in_process_backend.h"
+#include "distributed/shard_planner.h"
+#include "distributed/subprocess_backend.h"
 #include "linalg/stats.h"
 #include "linalg/suffstats.h"
 #include "parallel/parallel.h"
@@ -128,8 +133,16 @@ uint64_t ComputeRunFingerprint(const CharlesOptions& options,
                           static_cast<double>(options.max_transform_attrs),
                           // The two solvers round differently at the ~1e-12
                           // level, so runs on different paths must never
-                          // observe each other's fits.
-                          options.use_sufficient_stats ? 1.0 : 0.0};
+                          // observe each other's fits. The statistics block
+                          // size picks the evaluation order within the fast
+                          // path, so it separates fits the same way.
+                          options.use_sufficient_stats ? 1.0 : 0.0,
+                          // Only the fast path folds at block granularity;
+                          // QR-path runs with different block sizes produce
+                          // identical fits and may share cache entries.
+                          options.use_sufficient_stats
+                              ? static_cast<double>(options.stats_block_rows)
+                              : 0.0};
   h = FnvMixBytes(h, knobs, sizeof(knobs));
   for (const std::string& name : tran_names) {
     h = FnvMixString(h, name);
@@ -142,16 +155,24 @@ uint64_t ComputeRunFingerprint(const CharlesOptions& options,
 }
 
 /// \brief The leaf's sufficient statistics over the run's full
-/// transformation shortlist: local tier, then shared tier, then one
-/// accumulation scan published to both.
+/// transformation shortlist: local tier, then shared tier, then the
+/// canonical block-structured accumulation published to both.
 ///
-/// The scan visits the leaf's rows in their RowSet (= serial) order, so the
-/// moments are bit-identical no matter which worker performs it — the
-/// foundation of the fast path's determinism. Returns nullptr when a
-/// shortlist column is missing from the cache (fast path unavailable).
+/// Accumulation is the AccumulateRowBlocks fold — per-block partials in
+/// RowSet (= serial) row order, merged in block order — so the moments are
+/// bit-identical no matter which worker performs it *and* no matter whether
+/// a distributed coordinator pre-merged them from row-range shards: every
+/// executor replays the same per-block partials and the same fold (the
+/// distributed determinism contract, docs/distributed.md). Returns nullptr
+/// when a shortlist column is missing from the cache (fast path
+/// unavailable).
 std::shared_ptr<const SufficientStats> FindOrAccumulateLeafStats(
     const CharlesEngine::LeafStatsWorkspace& ws, const RowSet& rows,
     const std::vector<double>& y_new, const ColumnCache& columns) {
+  // A workspace without an explicit block size could cache moments folded
+  // at a different block size than the run's other producers use — refuse
+  // the fast path instead (see LeafStatsWorkspace::block_rows).
+  if (ws.block_rows < 1) return nullptr;
   if (ws.local != nullptr) {
     auto it = ws.local->find(rows.indices());
     if (it != ws.local->end()) return it->second;
@@ -167,14 +188,9 @@ std::shared_ptr<const SufficientStats> FindOrAccumulateLeafStats(
   }
   std::vector<const std::vector<double>*> cols;
   if (!columns.ResolveColumns(*ws.shortlist, &cols)) return nullptr;
-  auto stats = std::make_shared<SufficientStats>(static_cast<int64_t>(cols.size()));
-  std::vector<double> features(cols.size());
-  for (int64_t r = 0; r < rows.size(); ++r) {
-    size_t row = static_cast<size_t>(rows[r]);
-    for (size_t f = 0; f < cols.size(); ++f) features[f] = (*cols[f])[row];
-    stats->Accumulate(features.data(), y_new[row]);
-  }
-  std::shared_ptr<const SufficientStats> out = std::move(stats);
+  std::shared_ptr<const SufficientStats> out =
+      std::make_shared<const SufficientStats>(
+          AccumulateRowBlocks(cols, y_new, rows.indices(), ws.block_rows));
   if (ws.shared != nullptr) ws.shared->Insert(std::move(key), out);
   if (ws.local != nullptr) ws.local->emplace(rows.indices(), out);
   return out;
@@ -223,13 +239,28 @@ Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
     const ColumnCache* column_cache,
     const LeafStatsWorkspace* stats_workspace) const {
   const std::string& target = options_.target_attribute;
-  // No-change detection: the whole partition kept its old value.
+  // No-change detection: the whole partition kept its old value. A
+  // distributed sweep already folded max |y_new − y_old| per leaf (max is
+  // exactly associative, so the evidence equals what this scan would
+  // compute); leaves without evidence are scanned serially.
+  const double* shard_max_delta = nullptr;
+  if (stats_workspace != nullptr &&
+      stats_workspace->nochange_max_delta != nullptr) {
+    auto it = stats_workspace->nochange_max_delta->find(rows.indices());
+    if (it != stats_workspace->nochange_max_delta->end()) {
+      shard_max_delta = &it->second;
+    }
+  }
   bool unchanged = true;
-  for (int64_t row : rows) {
-    if (std::abs(y_new[static_cast<size_t>(row)] - y_old[static_cast<size_t>(row)]) >
-        options_.numeric_tolerance) {
-      unchanged = false;
-      break;
+  if (shard_max_delta != nullptr) {
+    unchanged = *shard_max_delta <= options_.numeric_tolerance;
+  } else {
+    for (int64_t row : rows) {
+      if (std::abs(y_new[static_cast<size_t>(row)] -
+                   y_old[static_cast<size_t>(row)]) > options_.numeric_tolerance) {
+        unchanged = false;
+        break;
+      }
     }
   }
   LeafFit fit;
@@ -397,9 +428,47 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
 }
 
 Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target,
-                                        SummaryStream* stream) const {
+                                        SummaryStream* stream,
+                                        const StopToken* stop) const {
   auto start_time = std::chrono::steady_clock::now();
   CHARLES_RETURN_NOT_OK(options_.Validate());
+
+  auto elapsed_since_start = [&start_time] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_time)
+        .count();
+  };
+  auto stop_requested = [stop] {
+    return stop != nullptr && stop->stop_requested();
+  };
+  // Cancellation outside phase 3: no provisional ranking exists yet, so the
+  // final (cancelled) stream update carries only the run's vital signs.
+  auto cancelled = [&](const std::string& where) {
+    if (stream != nullptr) {
+      SummaryStreamUpdate update;
+      update.cancelled = true;
+      update.elapsed_seconds = elapsed_since_start();
+      stream->Emit(update);
+    }
+    return Status::Cancelled("Find cancelled " + where);
+  };
+
+  // Admission control: a context may bound its concurrently executing runs
+  // (queueing or rejecting the excess); the slot is held for the whole run
+  // and released on every exit path. The stop token reaches into the queue
+  // too, so a cancelled caller never waits out the runs ahead of it — and
+  // still receives the promised final cancelled stream update.
+  EngineContext::RunSlot run_slot;
+  if (context_ != nullptr) {
+    Result<EngineContext::RunSlot> admitted = context_->AdmitRun(stop);
+    if (!admitted.ok()) {
+      if (admitted.status().IsCancelled()) {
+        return cancelled("during admission (" + admitted.status().message() + ")");
+      }
+      return admitted.status();
+    }
+    run_slot = std::move(*admitted);
+  }
 
   DiffOptions diff_options;
   diff_options.key_columns = options_.key_columns;
@@ -508,26 +577,23 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
   CHARLES_ASSIGN_OR_RETURN(ColumnCache tran_columns,
                            ColumnCache::Build(*analysis, tran_names));
 
-  // Sufficient statistics of the full transformation shortlist, accumulated
-  // in one serial scan over all rows. Phase 1 solves every T-subset's global
-  // model from these moments (a p×p sub-solve instead of an O(n·p²) QR per
-  // subset), and phase 3 seeds its leaf-stats cache with them — the k = 1
-  // "universal" partitions cover exactly these rows in exactly this order.
+  // Sufficient statistics of the full transformation shortlist over all
+  // rows, accumulated through the canonical block fold (AccumulateRowBlocks)
+  // every other stats producer uses — so they equal, bit-for-bit, what a
+  // distributed coordinator merges for the all-rows leaf. Phase 1 solves
+  // every T-subset's global model from these moments (a p×p sub-solve
+  // instead of an O(n·p²) QR per subset), and phase 3 seeds its leaf-stats
+  // cache with them — the k = 1 "universal" partitions cover exactly these
+  // rows in exactly this order.
   std::shared_ptr<const SufficientStats> shortlist_stats;
   if (options_.use_sufficient_stats) {
     std::vector<const std::vector<double>*> shortlist_columns;
     bool resolved = tran_columns.ResolveColumns(tran_names, &shortlist_columns);
     CHARLES_CHECK(resolved);  // Build() covered exactly these names
-    auto stats =
-        std::make_shared<SufficientStats>(static_cast<int64_t>(tran_names.size()));
-    std::vector<double> features(tran_names.size());
-    for (size_t row = 0; row < y_new.size(); ++row) {
-      for (size_t f = 0; f < shortlist_columns.size(); ++f) {
-        features[f] = (*shortlist_columns[f])[row];
-      }
-      stats->Accumulate(features.data(), y_new[row]);
-    }
-    shortlist_stats = std::move(stats);
+    shortlist_stats = std::make_shared<const SufficientStats>(
+        AccumulateRangeBlocks(shortlist_columns, y_new,
+                              static_cast<int64_t>(y_new.size()),
+                              options_.stats_block_rows));
   }
 
   // Cross-run cache key (see ComputeRunFingerprint); only needed when a
@@ -583,6 +649,7 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
   result.clustering_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - phase1_start)
           .count();
+  if (stop_requested()) return cancelled("after phase 1 (clustering)");
 
   // Phase 2 — condition induction: one tree per (C, labeling), partitions
   // deduplicated globally by their condition signature. Workers fan out over
@@ -651,6 +718,7 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
   result.induction_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - phase2_start)
           .count();
+  if (stop_requested()) return cancelled("after phase 2 (condition induction)");
 
   // Phase 3 — transformation discovery and scoring: every surviving
   // partitioning is paired with every transformation subset. Work is sharded
@@ -705,6 +773,65 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
         shortlist_stats);
   }
 
+  // Distributed shard sweep (CharlesOptions::num_shards >= 1): every
+  // distinct partition leaf's moments are computed shard-by-shard over
+  // block-aligned row ranges by the configured backend and merged exactly
+  // by the Coordinator (see docs/distributed.md). The merged moments seed
+  // the run's leaf-stats cache, and the folded max |Δy| per leaf seeds the
+  // no-change evidence — so phase 3 below runs unchanged, re-solving every
+  // leaf fit from moments that are bit-identical to the ones it would have
+  // accumulated itself. Leaves are deduplicated by row set in partition
+  // enumeration order (stats are T-independent), so each is scanned once
+  // regardless of how many condition trees share it.
+  std::unordered_map<std::vector<int64_t>, double, RowIndicesHash>
+      nochange_evidence;
+  if (options_.num_shards > 0 && options_.use_sufficient_stats) {
+    ShardInput shard_input;
+    shard_input.shortlist = &tran_names;
+    shard_input.columns = &tran_columns;
+    shard_input.y_old = &y_old;
+    shard_input.y_new = &y_new;
+    std::unordered_set<std::vector<int64_t>, RowIndicesHash> seen_leaves;
+    for (const PartitionEntry& entry : partitions) {
+      for (const DecisionTree::Leaf& leaf : entry.candidate.leaves) {
+        if (seen_leaves.insert(leaf.rows.indices()).second) {
+          shard_input.leaves.push_back(&leaf.rows);
+        }
+      }
+    }
+    ShardPlan plan = PlanShards(analysis->num_rows(), options_.stats_block_rows,
+                                options_.num_shards);
+    if (plan.num_shards() > 0 && !shard_input.leaves.empty()) {
+      InProcessBackend in_process;
+      SubprocessBackend subprocess;
+      ShardBackend* backend =
+          options_.shard_backend == ShardBackendKind::kSubprocess
+              ? static_cast<ShardBackend*>(&subprocess)
+              : static_cast<ShardBackend*>(&in_process);
+      Result<CoordinatorResult> merged =
+          Coordinator::Run(shard_input, plan, backend, pool, stop);
+      if (!merged.ok()) {
+        if (merged.status().IsCancelled()) {
+          return cancelled("during the shard sweep");
+        }
+        return merged.status();
+      }
+      nochange_evidence.reserve(shard_input.leaves.size());
+      for (size_t l = 0; l < shard_input.leaves.size(); ++l) {
+        LeafRollup& rollup = merged->leaves[l];
+        run_stats_cache.Insert(
+            LeafKey{fingerprint, 0, shard_input.leaves[l]->indices()},
+            std::make_shared<const SufficientStats>(std::move(rollup.stats)));
+        nochange_evidence.emplace(shard_input.leaves[l]->indices(),
+                                  rollup.max_abs_delta);
+      }
+      result.shards_used = static_cast<int>(merged->shards_executed);
+      result.shard_rows_scanned = merged->rows_scanned;
+      result.shard_blocks_merged = merged->blocks_merged;
+      result.shard_seconds = merged->elapsed_seconds;
+    }
+  }
+
   // Streaming: completed shards merge a copy of their summary into a
   // provisional top-N under a lock, kept sorted and deduplicated by
   // signature exactly as the final reduction ranks — eviction is permanent
@@ -716,7 +843,10 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
   struct StreamMerge {
     std::mutex mu;
     std::vector<std::pair<std::string, ChangeSummary>> top;  ///< sorted, <= top_n
-    int64_t completed = 0;
+    /// Work items finished. Atomic so streamless runs can count without the
+    /// lock; streamed runs increment under `mu` so emissions observe
+    /// strictly increasing values.
+    std::atomic<int64_t> completed{0};
   };
   StreamMerge stream_merge;
   auto merge_into_top = [this, &stream_merge](const std::string& signature,
@@ -750,6 +880,12 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
         return worker;
       },
       [&](Phase3Worker& worker, int64_t shard) {
+        ShardOutput out;
+        // Cancellation point between (partition, T) work items: a stopped
+        // run drains its remaining items as no-ops (the pool cannot unqueue
+        // them) and the post-barrier check below turns the run into
+        // Status::Cancelled.
+        if (stop_requested()) return out;
         const size_t pi = static_cast<size_t>(shard / t_count);
         const size_t ti = static_cast<size_t>(shard % t_count);
         const PartitionEntry& entry = partitions[pi];
@@ -759,7 +895,9 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
         stats_workspace.local = &worker.leaf_stats;
         stats_workspace.shared = &run_stats_cache;
         stats_workspace.fingerprint = fingerprint;
-        ShardOutput out;
+        stats_workspace.block_rows = options_.stats_block_rows;
+        stats_workspace.nochange_max_delta =
+            nochange_evidence.empty() ? nullptr : &nochange_evidence;
         Result<ChangeSummary> summary = BuildSummary(
             *analysis, y_old, y_new, entry.candidate, t_attr_names[ti],
             entry.condition_attrs, &worker.caches[ti], shared_cache, ti,
@@ -769,17 +907,26 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
           out.summary = std::move(*summary);
           out.ok = true;
         }
-        if (stream != nullptr) {
+        // Completed-item count is tracked stream or no stream (the
+        // cancellation diagnostic below the barrier reports it), but only
+        // streamed runs pay the merge lock — a plain Find() counts with one
+        // relaxed atomic increment per item.
+        if (stream == nullptr) {
+          stream_merge.completed.fetch_add(1, std::memory_order_relaxed);
+        } else {
           std::lock_guard<std::mutex> lock(stream_merge.mu);
-          ++stream_merge.completed;
+          int64_t completed =
+              stream_merge.completed.fetch_add(1, std::memory_order_relaxed) + 1;
           bool changed = out.ok && merge_into_top(out.signature, out.summary);
           // Re-ranking and copying the top-N per shard would dwarf the search
           // itself; emit only when the top-N changed — shards that only
           // rediscover or underbid known summaries just advance the counter —
           // plus always on the final shard so consumers observe completion.
-          if (changed || stream_merge.completed == num_shards) {
+          // A stopping run suppresses emissions: its final update is the
+          // cancelled one below the barrier.
+          if ((changed || completed == num_shards) && !stop_requested()) {
             SummaryStreamUpdate update;
-            update.shards_completed = stream_merge.completed;
+            update.shards_completed = completed;
             update.shards_total = num_shards;
             update.elapsed_seconds =
                 std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -795,6 +942,26 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
         return out;
       },
       &workers);
+
+  if (stop_requested()) {
+    if (stream != nullptr) {
+      std::lock_guard<std::mutex> lock(stream_merge.mu);
+      SummaryStreamUpdate update;
+      update.cancelled = true;
+      update.shards_completed = stream_merge.completed.load();
+      update.shards_total = num_shards;
+      update.elapsed_seconds = elapsed_since_start();
+      update.provisional.reserve(stream_merge.top.size());
+      for (const auto& entry : stream_merge.top) {
+        update.provisional.push_back(entry.second);
+      }
+      stream->Emit(update);
+    }
+    return Status::Cancelled("Find cancelled during phase 3 (after " +
+                             std::to_string(stream_merge.completed.load()) +
+                             " of " + std::to_string(num_shards) +
+                             " work items)");
+  }
 
   for (const Phase3Worker& worker : workers) {
     result.leaf_fits_computed += worker.stats.computed;
@@ -847,9 +1014,10 @@ Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target
 }
 
 std::future<Result<SummaryList>> CharlesEngine::FindAsync(
-    const Table& source, const Table& target, SummaryStream* stream) const {
-  return std::async(std::launch::async, [this, &source, &target, stream]() {
-    return Find(source, target, stream);
+    const Table& source, const Table& target, SummaryStream* stream,
+    const StopToken* stop) const {
+  return std::async(std::launch::async, [this, &source, &target, stream, stop]() {
+    return Find(source, target, stream, stop);
   });
 }
 

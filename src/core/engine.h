@@ -15,6 +15,7 @@
 #include "core/options.h"
 #include "core/partition_finder.h"
 #include "core/setup_assistant.h"
+#include "core/stop_token.h"
 #include "core/summary.h"
 #include "diff/diff.h"
 #include "parallel/sharded_cache.h"
@@ -46,6 +47,14 @@ struct SummaryList {
   /// runs when attached to an EngineContext (the cache is shared). 0 when no
   /// bound is configured.
   int64_t leaf_fit_evictions = 0;
+  /// \name Distributed shard execution (CharlesOptions::num_shards >= 1;
+  /// all zero for unsharded runs). See docs/distributed.md.
+  /// @{
+  int shards_used = 0;               ///< row-range shards the plan executed
+  int64_t shard_rows_scanned = 0;    ///< Σ leaf∩shard rows scanned by backends
+  int64_t shard_blocks_merged = 0;   ///< per-block partials folded centrally
+  double shard_seconds = 0.0;        ///< coordinator wall time (fan-out + merge)
+  /// @}
   double elapsed_seconds = 0.0;
   double clustering_seconds = 0.0;  ///< phase 1: change-signal k-means
   double induction_seconds = 0.0;   ///< phase 2: condition trees
@@ -70,6 +79,11 @@ struct SummaryStreamUpdate {
   int64_t shards_total = 0;
   /// Seconds since the run started.
   double elapsed_seconds = 0.0;
+  /// True on the final update of a run cancelled via its StopToken: the
+  /// search stopped early, `provisional` is the best ranking known at the
+  /// stop, and no further updates will arrive (the run resolves with
+  /// Status::Cancelled). Always false on ordinary updates.
+  bool cancelled = false;
 };
 
 /// \brief Callback channel receiving ranked partial results during a run.
@@ -156,27 +170,36 @@ class CharlesEngine {
   ///
   /// When `stream` is non-null, ranked partial results are emitted as
   /// phase-3 shards complete (see SummaryStream); the returned list is
-  /// unaffected by streaming.
+  /// unaffected by streaming. When `stop` is non-null the search is
+  /// cancellable (see StopToken): on a stop, the best ranking known so far
+  /// is emitted on `stream` with `cancelled` set and the call resolves with
+  /// Status::Cancelled.
   Result<SummaryList> Find(const Table& source, const Table& target,
-                           SummaryStream* stream = nullptr) const;
+                           SummaryStream* stream = nullptr,
+                           const StopToken* stop = nullptr) const;
 
   /// \brief Non-blocking Find(): runs the search on a dedicated thread and
   /// resolves the future with its result.
   ///
   /// Combine with a SummaryStream to consume top-ranked summaries while the
-  /// sweep is still running. The engine, both tables, the stream, and any
-  /// attached context must stay alive until the future resolves.
+  /// sweep is still running, and a StopToken to abandon it early (the
+  /// future then resolves with Status::Cancelled). The engine, both tables,
+  /// the stream, the token, and any attached context must stay alive until
+  /// the future resolves.
   std::future<Result<SummaryList>> FindAsync(const Table& source,
                                              const Table& target,
-                                             SummaryStream* stream = nullptr) const;
+                                             SummaryStream* stream = nullptr,
+                                             const StopToken* stop = nullptr) const;
 
   /// Rvalue snapshots are rejected at compile time: the async thread reads
   /// the tables by reference, so a temporary would dangle before it resolves.
   std::future<Result<SummaryList>> FindAsync(Table&& source, const Table& target,
-                                             SummaryStream* stream = nullptr) const =
+                                             SummaryStream* stream = nullptr,
+                                             const StopToken* stop = nullptr) const =
       delete;
   std::future<Result<SummaryList>> FindAsync(const Table& source, Table&& target,
-                                             SummaryStream* stream = nullptr) const =
+                                             SummaryStream* stream = nullptr,
+                                             const StopToken* stop = nullptr) const =
       delete;
 
   /// Legacy name for Find() without streaming.
@@ -222,6 +245,21 @@ class CharlesEngine {
     LeafStatsCache* local = nullptr;
     SharedLeafStatsCache* shared = nullptr;
     uint64_t fingerprint = 0;
+    /// Block size of the canonical block-structured accumulation (see
+    /// AccumulateRowBlocks); must be set to CharlesOptions::stats_block_rows
+    /// so lazily accumulated leaves match coordinator-merged ones
+    /// bit-for-bit. Deliberately defaulted to an invalid 0 — a workspace
+    /// without an explicit block size disables the stats fast path (QR per
+    /// leaf) rather than silently folding at a block size the rest of the
+    /// run is not using.
+    int64_t block_rows = 0;
+    /// Per-leaf snap evidence from a distributed sweep, keyed by the leaf's
+    /// row indices: max |y_new − y_old| over the leaf. When a leaf is
+    /// present, FitLeaf decides no-change from it instead of rescanning the
+    /// rows (max folds exactly across shards, so the decision is identical).
+    /// Null or missing entries fall back to the serial scan.
+    const std::unordered_map<std::vector<int64_t>, double, RowIndicesHash>*
+        nochange_max_delta = nullptr;
   };
 
   /// Per-worker counters folded into SummaryList diagnostics at the barrier.

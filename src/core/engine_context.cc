@@ -1,5 +1,7 @@
 #include "core/engine_context.h"
 
+#include <chrono>
+
 namespace charles {
 
 EngineContext::EngineContext(EngineContextOptions options) {
@@ -16,6 +18,55 @@ EngineContext::EngineContext(EngineContextOptions options) {
     shards = static_cast<int>(max_entries);
   }
   leaf_cache_ = std::make_unique<SharedLeafFitCache>(shards, max_entries);
+  max_concurrent_runs_ = options.max_concurrent_runs > 0 ? options.max_concurrent_runs : 0;
+  admission_ = options.admission;
+}
+
+Result<EngineContext::RunSlot> EngineContext::AdmitRun(const StopToken* stop) {
+  if (stop != nullptr && stop->stop_requested()) {
+    return Status::Cancelled("run cancelled before admission");
+  }
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  if (max_concurrent_runs_ > 0 && active_runs_ >= max_concurrent_runs_) {
+    if (admission_ == AdmissionPolicy::kReject) {
+      runs_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "EngineContext: " + std::to_string(active_runs_) + " of " +
+          std::to_string(max_concurrent_runs_) +
+          " concurrent runs active (admission policy: reject)");
+    }
+    runs_queued_.fetch_add(1, std::memory_order_relaxed);
+    if (stop == nullptr) {
+      admission_cv_.wait(lock,
+                         [this] { return active_runs_ < max_concurrent_runs_; });
+    } else {
+      // A StopToken has no notification channel into this condition
+      // variable, so the queued wait polls it at a coarse tick — cheap
+      // against run lengths, prompt against human timeouts.
+      while (!admission_cv_.wait_for(
+          lock, std::chrono::milliseconds(20),
+          [this] { return active_runs_ < max_concurrent_runs_; })) {
+        if (stop->stop_requested()) {
+          return Status::Cancelled("run cancelled while queued for admission");
+        }
+      }
+    }
+  }
+  ++active_runs_;
+  return RunSlot(this);
+}
+
+void EngineContext::FinishRun() {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    --active_runs_;
+  }
+  admission_cv_.notify_one();
+}
+
+int EngineContext::active_runs() const {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return active_runs_;
 }
 
 }  // namespace charles

@@ -28,11 +28,14 @@
 /// warm run produces output bit-identical to a cold one.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/fnv.h"
+#include "core/stop_token.h"
 #include "core/transform.h"
 #include "linalg/suffstats.h"
 #include "parallel/sharded_cache.h"
@@ -119,6 +122,17 @@ using SharedLeafFitCache = ShardedCache<LeafKey, SharedLeafFit, LeafKeyHash>;
 using SharedLeafStatsCache =
     ShardedCache<LeafKey, std::shared_ptr<const SufficientStats>, LeafKeyHash>;
 
+/// \brief What a context does with a Find() arriving while
+/// max_concurrent_runs are already executing.
+enum class AdmissionPolicy {
+  /// Block the arriving caller until a slot frees (FIFO-ish: waiters race
+  /// on the condition variable). The right default for batch callers.
+  kQueue,
+  /// Fail fast with Status::ResourceExhausted — serving layers that would
+  /// rather shed load than stack latency.
+  kReject,
+};
+
 /// \brief Configuration of an EngineContext.
 struct EngineContextOptions {
   /// Worker threads of the context's pool. 0 = hardware concurrency;
@@ -133,6 +147,13 @@ struct EngineContextOptions {
   /// least one entry per shard — see ShardedCache). Evictions never affect
   /// results — a missing fit is simply recomputed.
   int64_t max_cache_entries = 0;
+  /// Admission control: Find() calls allowed to execute concurrently
+  /// against this context. 0 = unbounded. The pool is shared, so admitting
+  /// every caller only slices the same workers thinner; bounding admissions
+  /// keeps per-run latency predictable under a request flood.
+  int max_concurrent_runs = 0;
+  /// What happens to calls beyond max_concurrent_runs.
+  AdmissionPolicy admission = AdmissionPolicy::kQueue;
 };
 
 /// \brief Long-lived owner of the ThreadPool and leaf-fit cache shared by
@@ -161,6 +182,51 @@ class EngineContext {
   EngineContext(const EngineContext&) = delete;
   EngineContext& operator=(const EngineContext&) = delete;
 
+  /// \brief Movable RAII handle for one admitted run; releasing (or
+  /// destroying) it frees the slot and wakes one queued caller.
+  ///
+  /// A default-constructed slot holds nothing — engines without a context
+  /// carry one as a harmless placeholder.
+  class RunSlot {
+   public:
+    RunSlot() = default;
+    RunSlot(RunSlot&& other) noexcept : context_(other.context_) {
+      other.context_ = nullptr;
+    }
+    RunSlot& operator=(RunSlot&& other) noexcept {
+      if (this != &other) {
+        Release();
+        context_ = other.context_;
+        other.context_ = nullptr;
+      }
+      return *this;
+    }
+    RunSlot(const RunSlot&) = delete;
+    RunSlot& operator=(const RunSlot&) = delete;
+    ~RunSlot() { Release(); }
+
+    /// Frees the slot early; idempotent.
+    void Release();
+
+   private:
+    friend class EngineContext;
+    explicit RunSlot(EngineContext* context) : context_(context) {}
+    EngineContext* context_ = nullptr;
+  };
+
+  /// \brief Admits one run under the context's admission policy.
+  ///
+  /// Unbounded contexts admit immediately (the slot still tracks
+  /// active_runs()). At the bound, kQueue blocks the calling thread until a
+  /// slot frees — callers, not pool workers, wait, so queued admissions
+  /// cannot deadlock the pool — and kReject returns
+  /// Status::ResourceExhausted. A queued wait also honours `stop`:
+  /// a cancelled caller leaves the queue with Status::Cancelled instead of
+  /// waiting out the runs ahead of it. Engines call this at the top of
+  /// Find() with the run's token; callers running engines by hand can use
+  /// it to scope their own critical sections.
+  Result<RunSlot> AdmitRun(const StopToken* stop = nullptr);
+
   /// The context's pool, spawned at construction; nullptr when the resolved
   /// thread count is 1 (attached engines then run serially).
   ThreadPool* pool() const { return pool_.get(); }
@@ -186,6 +252,18 @@ class EngineContext {
   /// Cumulative fits dropped by the cache bound (LRU eviction); 0 while the
   /// cache is unbounded and untrimmed.
   int64_t leaf_cache_evictions() const { return leaf_cache_->evictions(); }
+  /// Runs executing right now (admitted, not yet released).
+  int active_runs() const;
+  /// Cumulative admissions that had to wait for a slot (kQueue).
+  int64_t runs_queued() const {
+    return runs_queued_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative admissions refused at the bound (kReject).
+  int64_t runs_rejected() const {
+    return runs_rejected_.load(std::memory_order_relaxed);
+  }
+  /// The configured admission bound (0 = unbounded).
+  int max_concurrent_runs() const { return max_concurrent_runs_; }
   /// @}
 
   /// Drops every cached leaf fit (e.g. after a snapshot refresh made cached
@@ -201,11 +279,29 @@ class EngineContext {
     runs_completed_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// RunSlot's release path.
+  void FinishRun();
+
   int num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<SharedLeafFitCache> leaf_cache_;
   std::atomic<int64_t> runs_completed_{0};
+
+  int max_concurrent_runs_ = 0;
+  AdmissionPolicy admission_ = AdmissionPolicy::kQueue;
+  mutable std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  int active_runs_ = 0;  ///< guarded by admission_mu_
+  std::atomic<int64_t> runs_queued_{0};
+  std::atomic<int64_t> runs_rejected_{0};
 };
+
+inline void EngineContext::RunSlot::Release() {
+  if (context_ != nullptr) {
+    context_->FinishRun();
+    context_ = nullptr;
+  }
+}
 
 }  // namespace charles
 

@@ -35,6 +35,17 @@ Status CharlesOptions::Validate() const {
   if (max_cache_entries < 0) {
     return Status::OutOfRange("max_cache_entries must be >= 0 (0 = unbounded)");
   }
+  if (num_shards < 0) {
+    return Status::OutOfRange("num_shards must be >= 0 (0 = unsharded)");
+  }
+  if (num_shards > 0 && !use_sufficient_stats) {
+    return Status::InvalidArgument(
+        "num_shards requires use_sufficient_stats: shards exchange leaf "
+        "moments, which the QR-per-leaf path never forms");
+  }
+  if (stats_block_rows < 1) {
+    return Status::OutOfRange("stats_block_rows must be >= 1");
+  }
   double weight_sum = weights.summary_size + weights.condition_simplicity +
                       weights.transform_simplicity + weights.coverage +
                       weights.normality;

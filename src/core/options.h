@@ -40,6 +40,17 @@ struct NormalityOptions {
   double exactness_tolerance = 1e-6;
 };
 
+/// \brief Which executor runs distributed shard work (see docs/distributed.md).
+enum class ShardBackendKind {
+  /// Shards execute on the run's own thread pool (the EngineContext pool
+  /// when attached) — zero serialization, the default.
+  kInProcess,
+  /// Each shard executes in a forked worker process and ships its result
+  /// back over a pipe — the wire-format-proving backend, and the template
+  /// for future multi-box dispatch.
+  kSubprocess,
+};
+
 /// \brief All knobs of the ChARLES pipeline, with the paper's defaults.
 ///
 /// Novices can set only target_attribute and key_columns; every other field
@@ -110,6 +121,29 @@ struct CharlesOptions {
   /// (the two paths agree to ~1e-9 on well-conditioned data; either way
   /// parallel output stays bit-identical to serial).
   bool use_sufficient_stats = true;
+
+  /// \name Distributed shard execution (docs/distributed.md).
+  /// @{
+  /// Row-range shards the leaf-statistics sweep is split into. 0 (default)
+  /// = no sharding: the engine accumulates leaf moments itself. >= 1 routes
+  /// the sweep through the shard Coordinator: the aligned diff is split
+  /// into `num_shards` contiguous block-aligned row ranges (clamped to the
+  /// block count), each executed by `shard_backend`, and the per-leaf
+  /// moments are merged exactly — output is bit-identical to the unsharded
+  /// engine at every shard count. Requires use_sufficient_stats.
+  int num_shards = 0;
+  /// Executor for the shards when num_shards >= 1.
+  ShardBackendKind shard_backend = ShardBackendKind::kInProcess;
+  /// Block size (rows) of the canonical block-structured moment
+  /// accumulation — the determinism unit of distributed execution: shard
+  /// boundaries always fall on block boundaries, so per-block partials are
+  /// identical under any sharding and their ordered Merge fold yields
+  /// bit-identical moments. Smaller blocks allow more shards on small data
+  /// but add one Merge per block. Changing it changes results at the
+  /// ~1e-12 level (a different, equally valid floating-point evaluation
+  /// order), so compare runs only at a fixed block size.
+  int64_t stats_block_rows = 4096;
+  /// @}
 
   /// Upper bound on entries in the shared leaf-fit cache the run publishes
   /// to: the run-local cross-worker cache, and — when the engine is attached

@@ -1,0 +1,47 @@
+#ifndef CHARLES_CORE_STOP_TOKEN_H_
+#define CHARLES_CORE_STOP_TOKEN_H_
+
+#include <atomic>
+
+namespace charles {
+
+/// \brief Cooperative cancellation flag for long-running searches.
+///
+/// Pass one to CharlesEngine::Find / FindAsync and call RequestStop() from
+/// any thread (typically a SummaryStream callback that has seen enough, or a
+/// serving layer's request-timeout path). The engine checks the token at
+/// phase boundaries, between distributed shard executions, and between
+/// phase-3 (partition, T) work items; on observing a stop it abandons the
+/// remaining work, emits a final SummaryStreamUpdate with `cancelled` set
+/// (when a stream is attached), and resolves with Status::Cancelled.
+///
+/// Cancellation is cooperative and prompt, not instantaneous: a work item
+/// already executing runs to completion (items are small — one summary
+/// build, one shard scan), so a stop is observed within one item's latency.
+/// A token may be reused across runs only after Reset(); sharing one live
+/// token between concurrent runs cancels all of them, which is a legitimate
+/// "shed everything" pattern.
+class StopToken {
+ public:
+  StopToken() = default;
+
+  StopToken(const StopToken&) = delete;
+  StopToken& operator=(const StopToken&) = delete;
+
+  /// Requests cancellation; idempotent, callable from any thread.
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// True once RequestStop() has been called.
+  bool stop_requested() const { return stop_.load(std::memory_order_relaxed); }
+
+  /// Rearms the token for a new run. Must not race with an active run
+  /// holding this token.
+  void Reset() { stop_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_CORE_STOP_TOKEN_H_

@@ -1,0 +1,145 @@
+#include "distributed/backend.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "common/wire.h"
+#include "distributed/shard_planner.h"
+
+namespace charles {
+
+namespace {
+
+/// Wire framing: magic + version first, so a foreign or torn stream fails
+/// loudly instead of deserializing garbage moments.
+constexpr char kMagic[4] = {'C', 'S', 'R', '1'};
+
+using wire::AppendRaw;
+using wire::ReadRaw;
+
+}  // namespace
+
+void ShardResult::SerializeTo(std::string* out) const {
+  AppendRaw(out, kMagic, sizeof(kMagic));
+  AppendRaw(out, &shard, sizeof(shard));
+  AppendRaw(out, &rows_scanned, sizeof(rows_scanned));
+  AppendRaw(out, &blocks_emitted, sizeof(blocks_emitted));
+  AppendRaw(out, &elapsed_seconds, sizeof(elapsed_seconds));
+  int64_t num_leaves = static_cast<int64_t>(leaves.size());
+  AppendRaw(out, &num_leaves, sizeof(num_leaves));
+  for (const LeafShardStats& leaf : leaves) {
+    AppendRaw(out, &leaf.leaf, sizeof(leaf.leaf));
+    AppendRaw(out, &leaf.max_abs_delta, sizeof(leaf.max_abs_delta));
+    int64_t num_blocks = static_cast<int64_t>(leaf.blocks.size());
+    AppendRaw(out, &num_blocks, sizeof(num_blocks));
+    for (const auto& [block, stats] : leaf.blocks) {
+      AppendRaw(out, &block, sizeof(block));
+      stats.SerializeTo(out);
+    }
+  }
+}
+
+Result<ShardResult> ShardResult::Deserialize(const void* data, size_t size) {
+  const unsigned char* at = static_cast<const unsigned char*>(data);
+  const unsigned char* end = at + size;
+  char magic[4];
+  if (!ReadRaw(&at, end, magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("ShardResult::Deserialize: bad magic");
+  }
+  ShardResult result;
+  int64_t num_leaves = 0;
+  bool ok = ReadRaw(&at, end, &result.shard, sizeof(result.shard)) &&
+            ReadRaw(&at, end, &result.rows_scanned, sizeof(result.rows_scanned)) &&
+            ReadRaw(&at, end, &result.blocks_emitted,
+                    sizeof(result.blocks_emitted)) &&
+            ReadRaw(&at, end, &result.elapsed_seconds,
+                    sizeof(result.elapsed_seconds)) &&
+            ReadRaw(&at, end, &num_leaves, sizeof(num_leaves));
+  // Length fields are bounded by the bytes present before any reserve():
+  // a corrupt count must fail with IOError, not a giant allocation. Every
+  // leaf entry occupies at least 3 int64-sized fields; every block at
+  // least its index plus a serialized stats header.
+  constexpr int64_t kMinLeafBytes = 3 * static_cast<int64_t>(sizeof(int64_t));
+  constexpr int64_t kMinBlockBytes = 5 * static_cast<int64_t>(sizeof(int64_t));
+  if (!ok || num_leaves < 0 || result.rows_scanned < 0 ||
+      num_leaves > (end - at) / kMinLeafBytes) {
+    return Status::IOError("ShardResult::Deserialize: truncated header");
+  }
+  result.leaves.reserve(static_cast<size_t>(num_leaves));
+  for (int64_t l = 0; l < num_leaves; ++l) {
+    LeafShardStats leaf;
+    int64_t num_blocks = 0;
+    if (!ReadRaw(&at, end, &leaf.leaf, sizeof(leaf.leaf)) ||
+        !ReadRaw(&at, end, &leaf.max_abs_delta, sizeof(leaf.max_abs_delta)) ||
+        !ReadRaw(&at, end, &num_blocks, sizeof(num_blocks)) || num_blocks < 0 ||
+        num_blocks > (end - at) / kMinBlockBytes) {
+      return Status::IOError("ShardResult::Deserialize: truncated leaf entry");
+    }
+    leaf.blocks.reserve(static_cast<size_t>(num_blocks));
+    for (int64_t b = 0; b < num_blocks; ++b) {
+      int64_t block = 0;
+      if (!ReadRaw(&at, end, &block, sizeof(block))) {
+        return Status::IOError("ShardResult::Deserialize: truncated block");
+      }
+      CHARLES_ASSIGN_OR_RETURN(SufficientStats stats,
+                               SufficientStats::Deserialize(&at, end));
+      leaf.blocks.emplace_back(block, std::move(stats));
+    }
+    result.leaves.push_back(std::move(leaf));
+  }
+  if (at != end) {
+    return Status::IOError("ShardResult::Deserialize: trailing bytes");
+  }
+  return result;
+}
+
+Result<ShardResult> ExecuteShardKernel(const ShardInput& input, const ShardPlan& plan,
+                                       int64_t shard_index) {
+  if (shard_index < 0 || shard_index >= plan.num_shards()) {
+    return Status::OutOfRange("ExecuteShardKernel: shard " +
+                              std::to_string(shard_index) + " of " +
+                              std::to_string(plan.num_shards()));
+  }
+  if (input.shortlist == nullptr || input.columns == nullptr ||
+      input.y_old == nullptr || input.y_new == nullptr) {
+    return Status::InvalidArgument("ExecuteShardKernel: incomplete shard input");
+  }
+  std::vector<const std::vector<double>*> columns;
+  if (!input.columns->ResolveColumns(*input.shortlist, &columns)) {
+    return Status::InvalidArgument(
+        "ExecuteShardKernel: column cache does not cover the shortlist");
+  }
+  auto start = std::chrono::steady_clock::now();
+  const ShardRange& range = plan.shards[static_cast<size_t>(shard_index)];
+  ShardResult result;
+  result.shard = shard_index;
+  for (size_t l = 0; l < input.leaves.size(); ++l) {
+    const RowSet& rows = *input.leaves[l];
+    auto [lo, hi] = rows.PositionsInRange(range.row_begin, range.row_end);
+    if (lo == hi) continue;
+    LeafShardStats leaf;
+    leaf.leaf = static_cast<int64_t>(l);
+    const int64_t* slice = rows.indices().data() + lo;
+    for (int64_t r = 0; r < hi - lo; ++r) {
+      size_t row = static_cast<size_t>(slice[r]);
+      double delta = std::abs((*input.y_new)[row] - (*input.y_old)[row]);
+      if (delta > leaf.max_abs_delta) leaf.max_abs_delta = delta;
+    }
+    ForEachRowBlock(slice, hi - lo, plan.block_rows,
+                    [&](int64_t block, const int64_t* block_rows_ptr, int64_t count) {
+                      leaf.blocks.emplace_back(
+                          block, AccumulateRows(columns, *input.y_new,
+                                                block_rows_ptr, count));
+                    });
+    result.rows_scanned += hi - lo;
+    result.blocks_emitted += static_cast<int64_t>(leaf.blocks.size());
+    result.leaves.push_back(std::move(leaf));
+  }
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace charles

@@ -1,0 +1,120 @@
+#ifndef CHARLES_DISTRIBUTED_BACKEND_H_
+#define CHARLES_DISTRIBUTED_BACKEND_H_
+
+/// \file
+/// \brief The pluggable executor seam of distributed shard execution.
+///
+/// A ShardBackend executes one ShardRange of a plan and returns a
+/// ShardResult: for every partition leaf intersecting the range, the leaf's
+/// per-block sufficient statistics (the exact-merge currency, see
+/// linalg/suffstats.h) plus row-local snap evidence and diagnostics. The
+/// Coordinator fans ranges out over a backend and folds the results; the
+/// engine consumes the fold. Backends are the seam future multi-box
+/// dispatch plugs into — a remote backend ships ShardInput references as
+/// data and ShardResult bytes back, which is exactly what
+/// SubprocessBackend's pipe protocol rehearses on one machine.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/partition_finder.h"
+#include "linalg/suffstats.h"
+#include "table/row_set.h"
+
+namespace charles {
+
+struct ShardPlan;
+
+/// \brief Read-only view of everything a shard needs: the shortlist columns
+/// and targets of the aligned analysis table, and the leaf row sets of every
+/// surviving partition (deduplicated; row indices are analysis-table rows).
+///
+/// All pointers must outlive the shard execution. The view is shared
+/// memory on one box; a future remote backend would ship the referenced
+/// data once per (snapshot, plan) and address it the same way.
+struct ShardInput {
+  /// Transformation shortlist, in stats feature order.
+  const std::vector<std::string>* shortlist = nullptr;
+  /// Pre-converted columns covering `shortlist` over the analysis table.
+  const ColumnCache* columns = nullptr;
+  /// Old/new target values, aligned with analysis rows.
+  const std::vector<double>* y_old = nullptr;
+  const std::vector<double>* y_new = nullptr;
+  /// Deduplicated partition leaves; ShardResult entries refer to these by
+  /// index. Order must be identical on every executor of a plan.
+  std::vector<const RowSet*> leaves;
+};
+
+/// \brief One leaf's contribution from one shard.
+struct LeafShardStats {
+  /// Index into ShardInput::leaves.
+  int64_t leaf = 0;
+  /// Snap evidence: max |y_new − y_old| over the leaf's rows in this shard.
+  /// Max is exactly associative, so the coordinator's fold reproduces the
+  /// engine's serial no-change scan bit-for-bit — this is what lets the
+  /// central fit snap a distributed leaf to the no-change transformation
+  /// without rescanning its rows.
+  double max_abs_delta = 0.0;
+  /// Per-block moments over the run's full shortlist, ascending block
+  /// index. Blocks are never split across shards, so these partials are
+  /// identical under every sharding.
+  std::vector<std::pair<int64_t, SufficientStats>> blocks;
+};
+
+/// \brief Everything a shard sends back to the coordinator.
+struct ShardResult {
+  int64_t shard = 0;
+  /// Leaves intersecting the shard's range, ascending leaf index.
+  std::vector<LeafShardStats> leaves;
+
+  /// \name Diagnostics.
+  /// @{
+  int64_t rows_scanned = 0;    ///< Σ leaf∩shard rows (leaves overlap).
+  int64_t blocks_emitted = 0;  ///< per-leaf block partials produced
+  double elapsed_seconds = 0.0;
+  /// @}
+
+  /// \name Wire format.
+  /// Versioned native-endian framing over SufficientStats::SerializeTo —
+  /// the bytes SubprocessBackend workers pipe to the coordinator. A round
+  /// trip is exact (doubles are copied bit-for-bit), so a deserialized
+  /// result merges bit-identically to an in-process one.
+  /// @{
+  void SerializeTo(std::string* out) const;
+  static Result<ShardResult> Deserialize(const void* data, size_t size);
+  /// @}
+};
+
+/// \brief Executes one shard of a plan against in-memory input: scans each
+/// leaf's rows inside [range.row_begin, range.row_end), accumulating one
+/// SufficientStats per canonical block and folding the snap evidence.
+///
+/// This is the shard *kernel* both built-in backends run — InProcessBackend
+/// on a pool thread, SubprocessBackend inside a forked worker. Deterministic:
+/// output depends only on (input, plan, shard index).
+Result<ShardResult> ExecuteShardKernel(const ShardInput& input,
+                                       const ShardPlan& plan,
+                                       int64_t shard_index);
+
+/// \brief A shard executor. Implementations must be safe for concurrent
+/// ExecuteShard calls on distinct shards — the coordinator fans out over the
+/// run's thread pool.
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  /// Short human-readable backend name for diagnostics ("in-process", ...).
+  virtual std::string name() const = 0;
+
+  /// Executes shard `shard_index` of `plan` over `input`.
+  virtual Result<ShardResult> ExecuteShard(const ShardInput& input,
+                                           const ShardPlan& plan,
+                                           int64_t shard_index) = 0;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_DISTRIBUTED_BACKEND_H_

@@ -1,0 +1,97 @@
+#include "distributed/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "parallel/parallel.h"
+
+namespace charles {
+
+namespace {
+
+/// ParallelMap slot: Result<ShardResult> is not default-constructible, so
+/// shard outcomes travel as a (status, result) pair.
+struct ShardOutcome {
+  bool executed = false;
+  Status status;
+  ShardResult result;
+};
+
+}  // namespace
+
+Result<CoordinatorResult> Coordinator::Run(const ShardInput& input,
+                                           const ShardPlan& plan,
+                                           ShardBackend* backend, ThreadPool* pool,
+                                           const StopToken* stop) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("Coordinator::Run: null backend");
+  }
+  auto start = std::chrono::steady_clock::now();
+
+  std::vector<ShardOutcome> outcomes = ParallelMap<ShardOutcome>(
+      pool, plan.num_shards(), [&](int64_t shard) {
+        ShardOutcome outcome;
+        // Checked per shard, not once: a stop raised mid-plan skips every
+        // not-yet-dispatched shard (in-flight ones run to completion).
+        if (stop != nullptr && stop->stop_requested()) return outcome;
+        Result<ShardResult> result = backend->ExecuteShard(input, plan, shard);
+        outcome.executed = true;
+        if (result.ok()) {
+          outcome.result = std::move(*result);
+        } else {
+          outcome.status = result.status();
+        }
+        return outcome;
+      });
+
+  if (stop != nullptr && stop->stop_requested()) {
+    return Status::Cancelled("shard sweep cancelled (" + backend->name() +
+                             " backend)");
+  }
+  for (const ShardOutcome& outcome : outcomes) {
+    CHARLES_RETURN_NOT_OK(outcome.status);
+  }
+
+  CoordinatorResult merged;
+  merged.leaves.resize(input.leaves.size());
+  for (size_t l = 0; l < input.leaves.size(); ++l) {
+    // Feature count must be fixed up front: a leaf entirely inside one shard
+    // contributes no partials from the others, and an all-empty rollup must
+    // still carry the shortlist width.
+    merged.leaves[l].stats = SufficientStats(
+        input.shortlist == nullptr ? 0
+                                   : static_cast<int64_t>(input.shortlist->size()));
+  }
+  // Outcomes arrive in shard (= row) order and each shard lists its blocks
+  // in ascending order, so this double loop visits every (leaf, block)
+  // partial in ascending global block order — the canonical fold.
+  for (const ShardOutcome& outcome : outcomes) {
+    if (!outcome.executed) continue;
+    merged.shards_executed += 1;
+    merged.rows_scanned += outcome.result.rows_scanned;
+    for (const LeafShardStats& leaf : outcome.result.leaves) {
+      if (leaf.leaf < 0 ||
+          leaf.leaf >= static_cast<int64_t>(merged.leaves.size())) {
+        return Status::Internal("Coordinator::Run: shard " +
+                                std::to_string(outcome.result.shard) +
+                                " reported unknown leaf " +
+                                std::to_string(leaf.leaf));
+      }
+      LeafRollup& rollup = merged.leaves[static_cast<size_t>(leaf.leaf)];
+      rollup.max_abs_delta = std::max(rollup.max_abs_delta, leaf.max_abs_delta);
+      for (const auto& [block, stats] : leaf.blocks) {
+        CHARLES_RETURN_NOT_OK(rollup.stats.Merge(stats));
+        rollup.blocks_merged += 1;
+      }
+    }
+  }
+  for (const LeafRollup& rollup : merged.leaves) {
+    merged.blocks_merged += rollup.blocks_merged;
+  }
+  merged.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return merged;
+}
+
+}  // namespace charles

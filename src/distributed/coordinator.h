@@ -1,0 +1,76 @@
+#ifndef CHARLES_DISTRIBUTED_COORDINATOR_H_
+#define CHARLES_DISTRIBUTED_COORDINATOR_H_
+
+/// \file
+/// \brief Coordinator of a distributed leaf-statistics sweep.
+///
+/// The coordinator owns the fan-out/merge half of the coordinator/worker
+/// split (the half Roussakis-style change-detection frameworks centralize):
+/// it dispatches every ShardRange of a plan to a ShardBackend — concurrently
+/// over the run's thread pool when one is available — and folds the
+/// ShardResults into one LeafRollup per partition leaf:
+///
+///  - moments: every per-block SufficientStats, merged in ascending global
+///    block order via SufficientStats::Merge. Shards return blocks in order
+///    and are themselves visited in row order, so the fold replays the
+///    canonical block fold of AccumulateRowBlocks exactly — the merged
+///    moments are bit-identical to an unsharded accumulation, at any shard
+///    count;
+///  - snap evidence: max |y_new − y_old| folded across shards (max is
+///    exactly associative);
+///  - diagnostics: rows scanned and blocks merged, summed.
+///
+/// The engine then re-solves every leaf fit from the merged moments through
+/// its ordinary phase-3 machinery, so ranked output is bit-identical to the
+/// unsharded engine. See docs/distributed.md for the full contract.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/stop_token.h"
+#include "distributed/backend.h"
+#include "distributed/shard_planner.h"
+
+namespace charles {
+
+class ThreadPool;
+
+/// \brief One leaf's exact cross-shard rollup.
+struct LeafRollup {
+  /// Merged moments over the leaf's full row set (shortlist feature order).
+  SufficientStats stats;
+  /// max |y_new − y_old| over the leaf — the central no-change decision
+  /// consumes this instead of rescanning the leaf's rows.
+  double max_abs_delta = 0.0;
+  /// Block partials folded into `stats`.
+  int64_t blocks_merged = 0;
+};
+
+/// \brief The coordinator's merged view of a completed plan.
+struct CoordinatorResult {
+  /// One rollup per ShardInput leaf, same order.
+  std::vector<LeafRollup> leaves;
+  int64_t shards_executed = 0;
+  int64_t rows_scanned = 0;    ///< summed over shards
+  int64_t blocks_merged = 0;   ///< summed over leaves
+  double elapsed_seconds = 0.0;
+};
+
+/// \brief Fans a plan out over a backend and merges the results.
+class Coordinator {
+ public:
+  /// Executes every shard of `plan` via `backend` — concurrently over
+  /// `pool` when non-null, serially otherwise — and merges. Fails with the
+  /// first shard error, or Status::Cancelled when `stop` is triggered
+  /// (checked before each shard dispatch; in-flight shards complete).
+  static Result<CoordinatorResult> Run(const ShardInput& input,
+                                       const ShardPlan& plan, ShardBackend* backend,
+                                       ThreadPool* pool,
+                                       const StopToken* stop = nullptr);
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_DISTRIBUTED_COORDINATOR_H_

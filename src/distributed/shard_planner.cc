@@ -1,0 +1,54 @@
+#include "distributed/shard_planner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace charles {
+
+std::string ShardRange::ToString() const {
+  return "shard " + std::to_string(index) + ": rows [" + std::to_string(row_begin) +
+         ", " + std::to_string(row_end) + ") blocks [" + std::to_string(block_begin) +
+         ", " + std::to_string(block_end) + ")";
+}
+
+int64_t ShardPlan::num_blocks() const {
+  if (block_rows <= 0) return 0;
+  return (num_rows + block_rows - 1) / block_rows;
+}
+
+std::string ShardPlan::ToString() const {
+  std::string out = "ShardPlan{" + std::to_string(num_rows) + " rows, " +
+                    std::to_string(block_rows) + "-row blocks";
+  for (const ShardRange& shard : shards) out += "; " + shard.ToString();
+  out += "}";
+  return out;
+}
+
+ShardPlan PlanShards(int64_t num_rows, int64_t block_rows, int requested_shards) {
+  CHARLES_CHECK_GE(num_rows, 0);
+  CHARLES_CHECK_GE(block_rows, 1);
+  CHARLES_CHECK_GE(requested_shards, 1);
+  ShardPlan plan;
+  plan.num_rows = num_rows;
+  plan.block_rows = block_rows;
+  int64_t blocks = plan.num_blocks();
+  int64_t shards = std::min<int64_t>(requested_shards, blocks);
+  int64_t block_begin = 0;
+  for (int64_t s = 0; s < shards; ++s) {
+    // Near-equal block counts, earlier shards absorbing the remainder — the
+    // same deterministic split parallel_internal::MakeChunks uses.
+    int64_t count = blocks / shards + (s < blocks % shards ? 1 : 0);
+    ShardRange range;
+    range.index = s;
+    range.block_begin = block_begin;
+    range.block_end = block_begin + count;
+    range.row_begin = range.block_begin * block_rows;
+    range.row_end = std::min(range.block_end * block_rows, num_rows);
+    plan.shards.push_back(range);
+    block_begin = range.block_end;
+  }
+  return plan;
+}
+
+}  // namespace charles

@@ -1,0 +1,136 @@
+#include "distributed/subprocess_backend.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "distributed/shard_planner.h"
+
+namespace charles {
+
+namespace {
+
+/// Writes the whole buffer, retrying on EINTR and short writes. Returns
+/// false on any unrecoverable error (e.g. the parent died and closed the
+/// read end — the worker then exits nonzero and the parent reports it).
+bool WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t written = ::write(fd, data, size);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += written;
+    size -= static_cast<size_t>(written);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ShardResult> SubprocessBackend::ExecuteShard(const ShardInput& input,
+                                                    const ShardPlan& plan,
+                                                    int64_t shard_index) {
+  int pipe_fds[2];
+  pid_t pid = -1;
+  {
+    std::lock_guard<std::mutex> lock(fork_mu_);
+    if (::pipe(pipe_fds) != 0) {
+      return Status::IOError(std::string("SubprocessBackend: pipe: ") +
+                             ::strerror(errno));
+    }
+    pid = ::fork();
+    if (pid < 0) {
+      ::close(pipe_fds[0]);
+      ::close(pipe_fds[1]);
+      return Status::IOError(std::string("SubprocessBackend: fork: ") +
+                             ::strerror(errno));
+    }
+    if (pid > 0) {
+      // Parent: give the write end back *inside* the fork lock — a sibling
+      // worker forked after this point must not inherit it, or this
+      // worker's death would no longer close the pipe's last writer and
+      // the read-to-EOF loop below could outlive the worker.
+      ::close(pipe_fds[1]);
+    }
+  }
+
+  if (pid == 0) {
+    // Worker. Compute, serialize, write, _exit — nothing else (no atexit
+    // handlers, no stdio flush; the parent owns all shared state).
+    ::close(pipe_fds[0]);
+    if (test_worker_hook_) test_worker_hook_(shard_index);
+    int exit_code = 0;
+    {
+      Result<ShardResult> result = ExecuteShardKernel(input, plan, shard_index);
+      if (result.ok()) {
+        std::string wire;
+        result->SerializeTo(&wire);
+        if (!WriteAll(pipe_fds[1], wire.data(), wire.size())) exit_code = 3;
+      } else {
+        // Kernel failure (bad input/shard index). The parent reports the
+        // exit code; the kernel's own validation is deterministic, so the
+        // same call against an in-process backend reproduces the detail.
+        exit_code = 2;
+      }
+    }
+    ::close(pipe_fds[1]);
+    ::_exit(exit_code);
+  }
+
+  // Coordinator side: drain the pipe to EOF, then reap the worker. A worker
+  // that crashes (or is killed) closes the pipe by dying, so the read loop
+  // terminates and nothing here can hang on a dead worker (the parent's
+  // write end was already closed under the fork lock above).
+  std::string wire;
+  char buffer[1 << 16];
+  ssize_t got;
+  int read_errno = 0;
+  while ((got = ::read(pipe_fds[0], buffer, sizeof(buffer))) != 0) {
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      read_errno = errno;  // reported below, after the worker is reaped
+      break;
+    }
+    wire.append(buffer, static_cast<size_t>(got));
+  }
+  ::close(pipe_fds[0]);
+
+  int wait_status = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(pid, &wait_status, 0);
+  } while (reaped < 0 && errno == EINTR);
+
+  std::string worker = "worker " + std::to_string(pid) + " (shard " +
+                       std::to_string(shard_index) + ")";
+  if (reaped != pid) {
+    return Status::Internal("SubprocessBackend: waitpid lost " + worker);
+  }
+  if (WIFSIGNALED(wait_status)) {
+    return Status::Internal("SubprocessBackend: " + worker + " killed by signal " +
+                            std::to_string(WTERMSIG(wait_status)));
+  }
+  if (!WIFEXITED(wait_status) || WEXITSTATUS(wait_status) != 0) {
+    return Status::Internal("SubprocessBackend: " + worker + " exited with status " +
+                            std::to_string(WIFEXITED(wait_status)
+                                               ? WEXITSTATUS(wait_status)
+                                               : -1));
+  }
+  if (read_errno != 0) {
+    return Status::IOError("SubprocessBackend: read from " + worker + ": " +
+                           ::strerror(read_errno));
+  }
+  Result<ShardResult> result = ShardResult::Deserialize(wire.data(), wire.size());
+  if (!result.ok()) {
+    return result.status().WithContext("SubprocessBackend: " + worker +
+                                       " produced a malformed result");
+  }
+  return result;
+}
+
+}  // namespace charles

@@ -1,9 +1,11 @@
 #include "linalg/suffstats.h"
 
 #include <cmath>
+#include <cstring>
 #include <string>
 
 #include "common/logging.h"
+#include "common/wire.h"
 
 namespace charles {
 
@@ -260,6 +262,122 @@ Result<SufficientStats::Solution> SufficientStats::SolveOls() const {
   std::vector<int> all(static_cast<size_t>(p_));
   for (int64_t i = 0; i < p_; ++i) all[static_cast<size_t>(i)] = static_cast<int>(i);
   return SolveOls(all);
+}
+
+using wire::AppendRaw;
+using wire::ReadRaw;
+
+void SufficientStats::SerializeTo(std::string* out) const {
+  AppendRaw(out, &p_, sizeof(p_));
+  AppendRaw(out, &n_, sizeof(n_));
+  AppendRaw(out, &y_shift_, sizeof(y_shift_));
+  AppendRaw(out, &yty_, sizeof(yty_));
+  AppendRaw(out, x_shift_.data(), x_shift_.size() * sizeof(double));
+  AppendRaw(out, gram_.data(), gram_.size() * sizeof(double));
+  AppendRaw(out, xty_.data(), xty_.size() * sizeof(double));
+}
+
+Result<SufficientStats> SufficientStats::Deserialize(const unsigned char** cursor,
+                                                     const unsigned char* end) {
+  int64_t p = 0;
+  const unsigned char* at = *cursor;
+  if (!ReadRaw(&at, end, &p, sizeof(p)) || p < 0 || p > (1 << 20)) {
+    return Status::IOError("SufficientStats::Deserialize: bad feature count");
+  }
+  // Bound the allocation by the bytes actually present: a corrupt stream
+  // must fail with a Status, never with a gram-buffer bad_alloc.
+  size_t d = static_cast<size_t>(p) + 1;
+  size_t needed = sizeof(int64_t) + 2 * sizeof(double) +
+                  (static_cast<size_t>(p) + d * d + d) * sizeof(double);
+  if (static_cast<size_t>(end - at) < needed) {
+    return Status::IOError("SufficientStats::Deserialize: truncated input");
+  }
+  SufficientStats stats(p);
+  bool ok = ReadRaw(&at, end, &stats.n_, sizeof(stats.n_)) &&
+            ReadRaw(&at, end, &stats.y_shift_, sizeof(stats.y_shift_)) &&
+            ReadRaw(&at, end, &stats.yty_, sizeof(stats.yty_)) &&
+            ReadRaw(&at, end, stats.x_shift_.data(),
+                    stats.x_shift_.size() * sizeof(double)) &&
+            ReadRaw(&at, end, stats.gram_.data(),
+                    stats.gram_.size() * sizeof(double)) &&
+            ReadRaw(&at, end, stats.xty_.data(),
+                    stats.xty_.size() * sizeof(double));
+  if (!ok || stats.n_ < 0) {
+    return Status::IOError("SufficientStats::Deserialize: truncated input");
+  }
+  *cursor = at;
+  return stats;
+}
+
+bool SufficientStats::BitIdenticalTo(const SufficientStats& other) const {
+  auto bytes_equal = [](const std::vector<double>& a, const std::vector<double>& b) {
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+  };
+  return p_ == other.p_ && n_ == other.n_ &&
+         std::memcmp(&y_shift_, &other.y_shift_, sizeof(y_shift_)) == 0 &&
+         std::memcmp(&yty_, &other.yty_, sizeof(yty_)) == 0 &&
+         bytes_equal(x_shift_, other.x_shift_) && bytes_equal(gram_, other.gram_) &&
+         bytes_equal(xty_, other.xty_);
+}
+
+namespace {
+
+/// The one per-row gather/accumulate loop behind every accumulation entry
+/// point. Indexed and contiguous callers share it so their arithmetic can
+/// never diverge — the distributed bit-identity contract depends on the
+/// range variant replaying the indexed variant's operations exactly.
+template <typename RowAt>
+SufficientStats AccumulateImpl(
+    const std::vector<const std::vector<double>*>& columns,
+    const std::vector<double>& y, int64_t count, RowAt row_at) {
+  SufficientStats stats(static_cast<int64_t>(columns.size()));
+  std::vector<double> features(columns.size());
+  for (int64_t r = 0; r < count; ++r) {
+    size_t row = static_cast<size_t>(row_at(r));
+    for (size_t f = 0; f < columns.size(); ++f) features[f] = (*columns[f])[row];
+    stats.Accumulate(features.data(), y[row]);
+  }
+  return stats;
+}
+
+}  // namespace
+
+SufficientStats AccumulateRows(
+    const std::vector<const std::vector<double>*>& columns,
+    const std::vector<double>& y, const int64_t* rows, int64_t count) {
+  return AccumulateImpl(columns, y, count,
+                        [rows](int64_t r) { return rows[r]; });
+}
+
+SufficientStats AccumulateRowBlocks(
+    const std::vector<const std::vector<double>*>& columns,
+    const std::vector<double>& y, const std::vector<int64_t>& rows,
+    int64_t block_rows) {
+  CHARLES_CHECK_GE(block_rows, 1);
+  SufficientStats merged(static_cast<int64_t>(columns.size()));
+  ForEachRowBlock(rows.data(), static_cast<int64_t>(rows.size()), block_rows,
+                  [&](int64_t /*block*/, const int64_t* block_rows_ptr,
+                      int64_t count) {
+                    CHARLES_CHECK_OK(
+                        merged.Merge(AccumulateRows(columns, y, block_rows_ptr,
+                                                    count)));
+                  });
+  return merged;
+}
+
+SufficientStats AccumulateRangeBlocks(
+    const std::vector<const std::vector<double>*>& columns,
+    const std::vector<double>& y, int64_t num_rows, int64_t block_rows) {
+  CHARLES_CHECK_GE(block_rows, 1);
+  SufficientStats merged(static_cast<int64_t>(columns.size()));
+  for (int64_t begin = 0; begin < num_rows; begin += block_rows) {
+    int64_t end = begin + block_rows < num_rows ? begin + block_rows : num_rows;
+    CHARLES_CHECK_OK(merged.Merge(AccumulateImpl(
+        columns, y, end - begin, [begin](int64_t r) { return begin + r; })));
+  }
+  return merged;
 }
 
 }  // namespace charles

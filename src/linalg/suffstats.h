@@ -115,6 +115,28 @@ class SufficientStats {
   /// SolveOls over every feature, in order.
   Result<Solution> SolveOls() const;
 
+  /// \name Wire format (distributed shard execution).
+  ///
+  /// Shard workers ship per-leaf moments to the coordinator as raw bytes.
+  /// Doubles are copied bit-for-bit in native byte order — the format is a
+  /// same-architecture pipe/socket protocol, not an archival format — so a
+  /// round trip reproduces the moments exactly and the coordinator's merge
+  /// is bit-identical to an in-process one.
+  /// @{
+  /// Appends the stats' wire encoding to `out`.
+  void SerializeTo(std::string* out) const;
+  /// Reads one stats encoding from `*cursor`, advancing it past the bytes
+  /// consumed. Fails (without advancing past `end`) on truncated or
+  /// malformed input.
+  static Result<SufficientStats> Deserialize(const unsigned char** cursor,
+                                             const unsigned char* end);
+  /// Exact representation equality — shift point, counts, and every moment
+  /// byte-for-byte. The comparator of round-trip and shard-parity tests
+  /// (operator== would be misleading: two stats of the same rows in a
+  /// different order are semantically equal but not bit-identical).
+  bool BitIdenticalTo(const SufficientStats& other) const;
+  /// @}
+
  private:
   int64_t p_ = 0;
   int64_t n_ = 0;
@@ -129,6 +151,64 @@ class SufficientStats {
   /// Σ (y − y_shift)².
   double yty_ = 0.0;
 };
+
+/// \name Canonical block-structured accumulation
+///
+/// The distributed determinism contract (docs/distributed.md) needs leaf
+/// moments that are *decomposition-invariant*: the same bits whether one
+/// process scans every row or N shards each scan a row range. A single
+/// sequential fold cannot be split (float addition is not associative), so
+/// the canonical computation is block-structured instead:
+///
+///  1. rows are grouped into fixed *blocks* by global row index
+///     (block b = rows [b·B, (b+1)·B) for a run-wide block size B);
+///  2. each block's rows are accumulated into a fresh partial, in row order;
+///  3. the per-block partials are folded left-to-right with Merge.
+///
+/// Every step is deterministic and block-local, so any executor that owns
+/// whole blocks reproduces the identical partials, and the identical fold —
+/// the shard planner only ever cuts at block boundaries. A leaf spanning a
+/// single block degenerates to exactly the plain sequential scan (Merge
+/// into empty stats is a copy).
+/// @{
+
+/// Calls `fn(block, rows + lo, count)` for each maximal run of `rows`
+/// (ascending row indices) falling in one block of size `block_rows`.
+template <typename Fn>
+void ForEachRowBlock(const int64_t* rows, int64_t count, int64_t block_rows,
+                     Fn&& fn) {
+  int64_t lo = 0;
+  while (lo < count) {
+    int64_t block = rows[lo] / block_rows;
+    int64_t hi = lo + 1;
+    while (hi < count && rows[hi] / block_rows == block) ++hi;
+    fn(block, rows + lo, hi - lo);
+    lo = hi;
+  }
+}
+
+/// One partial: accumulates `count` rows (gathering one value per column, in
+/// column order) into fresh stats. The shared primitive of engine-side and
+/// shard-side accumulation — both must produce byte-identical partials.
+SufficientStats AccumulateRows(
+    const std::vector<const std::vector<double>*>& columns,
+    const std::vector<double>& y, const int64_t* rows, int64_t count);
+
+/// The canonical computation: per-block partials folded with Merge, as
+/// described above. `rows` must be ascending; `block_rows` >= 1.
+SufficientStats AccumulateRowBlocks(
+    const std::vector<const std::vector<double>*>& columns,
+    const std::vector<double>& y, const std::vector<int64_t>& rows,
+    int64_t block_rows);
+
+/// The canonical computation over the contiguous range [0, num_rows) — the
+/// all-rows case, without materializing an identity index vector.
+/// Bit-identical to AccumulateRowBlocks over {0, ..., num_rows − 1}.
+SufficientStats AccumulateRangeBlocks(
+    const std::vector<const std::vector<double>*>& columns,
+    const std::vector<double>& y, int64_t num_rows, int64_t block_rows);
+
+/// @}
 
 }  // namespace charles
 

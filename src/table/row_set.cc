@@ -54,6 +54,20 @@ RowSet RowSet::Difference(const RowSet& other) const {
 
 RowSet RowSet::Complement(int64_t n) const { return All(n).Difference(*this); }
 
+std::pair<int64_t, int64_t> RowSet::PositionsInRange(int64_t begin,
+                                                     int64_t end) const {
+  auto lo = std::lower_bound(indices_.begin(), indices_.end(), begin);
+  auto hi = std::lower_bound(lo, indices_.end(), end);
+  return {lo - indices_.begin(), hi - indices_.begin()};
+}
+
+RowSet RowSet::Restrict(int64_t begin, int64_t end) const {
+  auto [lo, hi] = PositionsInRange(begin, end);
+  RowSet out;
+  out.indices_.assign(indices_.begin() + lo, indices_.begin() + hi);
+  return out;
+}
+
 double RowSet::Coverage(int64_t n) const {
   if (n <= 0) return 0.0;
   return static_cast<double>(size()) / static_cast<double>(n);

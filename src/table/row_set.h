@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace charles {
@@ -42,6 +43,19 @@ class RowSet {
 
   /// Fraction of an n-row table covered by this set.
   double Coverage(int64_t n) const;
+
+  /// \name Row-range views (shard execution).
+  /// Indices are sorted, so both are O(log n) binary searches (plus the
+  /// copy, for Restrict).
+  /// @{
+  /// Positions [lo, hi) into indices() of the rows in [begin, end) — the
+  /// zero-copy form the shard kernel scans with.
+  std::pair<int64_t, int64_t> PositionsInRange(int64_t begin, int64_t end) const;
+  /// The subset of this set falling in the half-open row range [begin, end),
+  /// materialized — the set-algebra companion for callers that need an
+  /// owning RowSet (e.g. shipping a leaf slice to a remote executor).
+  RowSet Restrict(int64_t begin, int64_t end) const;
+  /// @}
 
   bool operator==(const RowSet& other) const { return indices_ == other.indices_; }
 

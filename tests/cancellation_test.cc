@@ -1,0 +1,147 @@
+/// \file
+/// Cooperative cancellation (ISSUE 4 satellite): a StopToken checked between
+/// distributed shards and (partition, T) work items, surfaced as
+/// Status::Cancelled and a final SummaryStreamUpdate with `cancelled` set.
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "core/engine.h"
+#include "workload/employee_gen.h"
+#include "workload/example1.h"
+
+namespace charles {
+namespace {
+
+CharlesOptions Example1CancelOptions() {
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  options.num_threads = 2;
+  return options;
+}
+
+TEST(CancellationTest, PreStoppedTokenCancelsWithoutAStream) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesEngine engine(Example1CancelOptions());
+  StopToken stop;
+  stop.RequestStop();
+  Status status = engine.Find(source, target, /*stream=*/nullptr, &stop).status();
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+}
+
+TEST(CancellationTest, StopTokenIsReusableAfterReset) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesEngine engine(Example1CancelOptions());
+  StopToken stop;
+  stop.RequestStop();
+  EXPECT_TRUE(engine.Find(source, target, nullptr, &stop).status().IsCancelled());
+  stop.Reset();
+  EXPECT_TRUE(engine.Find(source, target, nullptr, &stop).ok());
+}
+
+TEST(CancellationTest, NullTokenChangesNothing) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesEngine engine(Example1CancelOptions());
+  SummaryList baseline = engine.Find(source, target).ValueOrDie();
+  SummaryList with_token = engine.Find(source, target, nullptr, nullptr).ValueOrDie();
+  ASSERT_EQ(baseline.summaries.size(), with_token.summaries.size());
+  for (size_t i = 0; i < baseline.summaries.size(); ++i) {
+    EXPECT_EQ(baseline.summaries[i].ToString(), with_token.summaries[i].ToString());
+  }
+}
+
+/// Collects every update a run emits; optionally requests a stop on the
+/// first one — the "the reader has seen enough" pattern cancellation exists
+/// for. Updates are serialized by SummaryStream::Emit, so the vector needs
+/// no extra locking beyond the harness's own mutex.
+struct CancellingObserver {
+  explicit CancellingObserver(StopToken* stop) : stop(stop) {}
+
+  SummaryStream::Callback AsCallback() {
+    return [this](const SummaryStreamUpdate& update) {
+      std::lock_guard<std::mutex> lock(mu);
+      updates.push_back(update);
+      if (stop != nullptr && updates.size() == 1) stop->RequestStop();
+    };
+  }
+
+  StopToken* stop;
+  std::mutex mu;
+  std::vector<SummaryStreamUpdate> updates;
+};
+
+TEST(CancellationTest, StreamCallbackCancelMidPhase3EmitsCancelledFinalUpdate) {
+  EmployeeGenOptions gen;
+  gen.num_rows = 400;
+  Table source = GenerateEmployees(gen).ValueOrDie();
+  Table target = MakeEmployeeBonusPolicy().Apply(source).ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"emp_id"};
+  options.num_threads = 2;
+  CharlesEngine engine(options);
+
+  StopToken stop;
+  CancellingObserver observer(&stop);
+  SummaryStream stream(observer.AsCallback());
+  Status status = engine.Find(source, target, &stream, &stop).status();
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+
+  std::lock_guard<std::mutex> lock(observer.mu);
+  ASSERT_GE(observer.updates.size(), 2u);  // the trigger + the cancelled final
+  const SummaryStreamUpdate& final_update = observer.updates.back();
+  EXPECT_TRUE(final_update.cancelled);
+  // The run stopped early: the final update reports fewer completed work
+  // items than the sweep holds (phase 3 of this workload has far more than
+  // the couple of items that can slip in before the stop lands).
+  EXPECT_LT(final_update.shards_completed, final_update.shards_total);
+  for (size_t i = 0; i + 1 < observer.updates.size(); ++i) {
+    EXPECT_FALSE(observer.updates[i].cancelled) << "update " << i;
+  }
+}
+
+TEST(CancellationTest, FindAsyncResolvesCancelled) {
+  EmployeeGenOptions gen;
+  gen.num_rows = 400;
+  Table source = GenerateEmployees(gen).ValueOrDie();
+  Table target = MakeEmployeeBonusPolicy().Apply(source).ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"emp_id"};
+  options.num_threads = 2;
+  CharlesEngine engine(options);
+
+  StopToken stop;
+  CancellingObserver observer(&stop);
+  SummaryStream stream(observer.AsCallback());
+  auto future = engine.FindAsync(source, target, &stream, &stop);
+  Status status = future.get().status();
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+}
+
+TEST(CancellationTest, ShardedRunHonoursCancellation) {
+  EmployeeGenOptions gen;
+  gen.num_rows = 400;
+  Table source = GenerateEmployees(gen).ValueOrDie();
+  Table target = MakeEmployeeBonusPolicy().Apply(source).ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"emp_id"};
+  options.num_threads = 2;
+  options.num_shards = 4;
+  options.stats_block_rows = 64;
+  CharlesEngine engine(options);
+  StopToken stop;
+  stop.RequestStop();
+  Status status = engine.Find(source, target, nullptr, &stop).status();
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+}
+
+}  // namespace
+}  // namespace charles

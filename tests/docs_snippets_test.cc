@@ -84,6 +84,37 @@ charles::Result<charles::SummaryList> StreamingSearch(
   return future.get();  // deterministic final ranking
 }
 
+// --- docs/api.md "Cancellation" --------------------------------------------
+
+charles::Result<charles::SummaryList> SearchUntilGoodEnough(
+    const charles::Table& source, const charles::Table& target,
+    const charles::CharlesOptions& options, charles::StopToken* stop) {
+  charles::CharlesEngine engine(options);
+  charles::SummaryStream stream(
+      [stop](const charles::SummaryStreamUpdate& update) {
+        // Stop reading once the leader clears the bar; the run then resolves
+        // with Status::Cancelled and this stream's final update has
+        // update.cancelled set, with the best ranking found so far.
+        if (!update.provisional.empty() &&
+            update.provisional.front().scores().score > 0.95) {
+          stop->RequestStop();
+        }
+      });
+  return engine.FindAsync(source, target, &stream, stop).get();
+}
+
+// --- docs/api.md "Distributed shard execution" ------------------------------
+
+charles::Result<charles::SummaryList> ShardedSearch(
+    const charles::Table& snapshot_2016, const charles::Table& snapshot_2017) {
+  charles::CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  options.num_shards = 8;  // row-range shards; ranking identical at any count
+  options.shard_backend = charles::ShardBackendKind::kInProcess;
+  return charles::SummarizeChanges(snapshot_2016, snapshot_2017, options);
+}
+
 // --- smoke runs -------------------------------------------------------------
 
 namespace charles {
@@ -130,6 +161,37 @@ TEST(DocsSnippetsTest, BoundedServiceSnippetWarmsUnderTheBound) {
   // is served warm and nothing was evicted.
   EXPECT_EQ(warm.leaf_fits_computed, 0);
   EXPECT_EQ(service.evictions(), 0);
+}
+
+TEST(DocsSnippetsTest, CancellationSnippetResolvesEitherWay) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+
+  // Whether the bar is cleared mid-run (Cancelled) or never (a full run)
+  // depends on the workload; the snippet must handle both outcomes.
+  StopToken stop;
+  Result<SummaryList> result = SearchUntilGoodEnough(source, target, options, &stop);
+  if (!result.ok()) {
+    EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+    EXPECT_TRUE(stop.stop_requested());
+  }
+}
+
+TEST(DocsSnippetsTest, ShardedSnippetMatchesUnsharded) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  SummaryList sharded = ShardedSearch(source, target).ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  SummaryList unsharded = SummarizeChanges(source, target, options).ValueOrDie();
+  ASSERT_EQ(sharded.summaries.size(), unsharded.summaries.size());
+  for (size_t i = 0; i < sharded.summaries.size(); ++i) {
+    EXPECT_EQ(sharded.summaries[i].ToString(), unsharded.summaries[i].ToString());
+  }
 }
 
 TEST(DocsSnippetsTest, StreamingSnippetResolvesWithFinalRanking) {

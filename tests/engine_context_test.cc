@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
@@ -295,6 +297,121 @@ TEST(StreamingFindTest, LastUpdateEqualsFinalRanking) {
     EXPECT_EQ(last_provisional[i].Signature(), result.summaries[i].Signature());
     EXPECT_EQ(last_provisional[i].scores().score, result.summaries[i].scores().score);
   }
+}
+
+TEST(AdmissionControlTest, UnboundedContextTracksActiveRuns) {
+  EngineContext context(EngineContextOptions{/*num_threads=*/1});
+  EXPECT_EQ(context.max_concurrent_runs(), 0);
+  EXPECT_EQ(context.active_runs(), 0);
+  {
+    EngineContext::RunSlot slot = context.AdmitRun().ValueOrDie();
+    EXPECT_EQ(context.active_runs(), 1);
+  }
+  EXPECT_EQ(context.active_runs(), 0);
+  EXPECT_EQ(context.runs_queued(), 0);
+  EXPECT_EQ(context.runs_rejected(), 0);
+}
+
+TEST(AdmissionControlTest, RejectPolicyShedsExcessRuns) {
+  EngineContextOptions context_options;
+  context_options.num_threads = 1;
+  context_options.max_concurrent_runs = 1;
+  context_options.admission = AdmissionPolicy::kReject;
+  EngineContext context(context_options);
+
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesEngine engine(Example1Options(), &context);
+
+  // Occupy the only slot by hand; the engine's Find must now be refused.
+  EngineContext::RunSlot slot = context.AdmitRun().ValueOrDie();
+  Status refused = engine.Find(source, target).status();
+  EXPECT_TRUE(refused.IsResourceExhausted()) << refused.ToString();
+  EXPECT_EQ(context.runs_rejected(), 1);
+
+  // Freeing the slot readmits immediately.
+  slot.Release();
+  EXPECT_TRUE(engine.Find(source, target).ok());
+  EXPECT_EQ(context.active_runs(), 0);
+}
+
+TEST(AdmissionControlTest, QueuePolicyBlocksUntilASlotFrees) {
+  EngineContextOptions context_options;
+  context_options.num_threads = 1;
+  context_options.max_concurrent_runs = 1;
+  context_options.admission = AdmissionPolicy::kQueue;
+  EngineContext context(context_options);
+
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesEngine engine(Example1Options(), &context);
+
+  EngineContext::RunSlot slot = context.AdmitRun().ValueOrDie();
+  auto queued = engine.FindAsync(source, target);
+  // The queued run must be waiting on admission, not running.
+  while (context.runs_queued() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(context.active_runs(), 1);  // ours — the queued run holds nothing
+  EXPECT_EQ(queued.wait_for(std::chrono::milliseconds(50)),
+            std::future_status::timeout);
+
+  slot.Release();
+  SummaryList result = queued.get().ValueOrDie();
+  EXPECT_FALSE(result.summaries.empty());
+  EXPECT_EQ(context.runs_queued(), 1);
+  EXPECT_EQ(context.active_runs(), 0);
+}
+
+TEST(AdmissionControlTest, QueuedRunCanBeCancelledWhileWaiting) {
+  EngineContextOptions context_options;
+  context_options.num_threads = 1;
+  context_options.max_concurrent_runs = 1;
+  context_options.admission = AdmissionPolicy::kQueue;
+  EngineContext context(context_options);
+
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesEngine engine(Example1Options(), &context);
+
+  // Hold the only slot for the whole test: the queued run must leave via
+  // its stop token, not via a freed slot.
+  EngineContext::RunSlot slot = context.AdmitRun().ValueOrDie();
+  StopToken stop;
+  std::atomic<int64_t> cancelled_updates{0};
+  SummaryStream stream([&](const SummaryStreamUpdate& update) {
+    if (update.cancelled) ++cancelled_updates;
+  });
+  auto queued = engine.FindAsync(source, target, &stream, &stop);
+  while (context.runs_queued() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.RequestStop();
+  Status status = queued.get().status();
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+  // Even a run cancelled in the admission queue gets the promised final
+  // cancelled stream update.
+  EXPECT_EQ(cancelled_updates.load(), 1);
+  EXPECT_EQ(context.active_runs(), 1);  // only the slot held by hand
+}
+
+TEST(AdmissionControlTest, SlotsReleaseOnEveryExitPath) {
+  EngineContextOptions context_options;
+  context_options.num_threads = 1;
+  context_options.max_concurrent_runs = 1;
+  context_options.admission = AdmissionPolicy::kReject;
+  EngineContext context(context_options);
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+
+  // A run that fails validation-side (cancelled before phase 1 completes)
+  // must still give its slot back.
+  CharlesEngine engine(Example1Options(), &context);
+  StopToken stop;
+  stop.RequestStop();
+  EXPECT_TRUE(engine.Find(source, target, nullptr, &stop).status().IsCancelled());
+  EXPECT_EQ(context.active_runs(), 0);
+  EXPECT_TRUE(engine.Find(source, target).ok());
 }
 
 TEST(StreamingFindTest, BlockingFindStreamsToo) {

@@ -61,5 +61,27 @@ TEST(RowSetTest, ToStringTruncates) {
   EXPECT_NE(text.find("+96"), std::string::npos);
 }
 
+TEST(RowSetTest, PositionsInRangeFindsTheSlice) {
+  RowSet set({2, 5, 9, 14, 20});
+  auto [lo, hi] = set.PositionsInRange(5, 20);  // half-open: 20 excluded
+  EXPECT_EQ(lo, 1);
+  EXPECT_EQ(hi, 4);
+  auto [empty_lo, empty_hi] = set.PositionsInRange(10, 14);
+  EXPECT_EQ(empty_lo, empty_hi);
+  auto [all_lo, all_hi] = set.PositionsInRange(0, 100);
+  EXPECT_EQ(all_lo, 0);
+  EXPECT_EQ(all_hi, set.size());
+}
+
+TEST(RowSetTest, RestrictMaterializesTheSliceAndAgreesWithIntersect) {
+  RowSet set({2, 5, 9, 14, 20});
+  EXPECT_EQ(set.Restrict(5, 20), RowSet({5, 9, 14}));
+  EXPECT_TRUE(set.Restrict(10, 14).empty());
+  EXPECT_EQ(set.Restrict(0, 100), set);
+  // Restrict(b, e) is exactly Intersect with the contiguous set [b, e).
+  RowSet range({5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19});
+  EXPECT_EQ(set.Restrict(5, 20), set.Intersect(range));
+}
+
 }  // namespace
 }  // namespace charles
