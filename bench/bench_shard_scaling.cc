@@ -12,10 +12,14 @@
 /// wire format (fork + serialize + pipe per shard) that a multi-box backend
 /// would pay per RPC.
 ///
-/// Results are recorded in BENCH_shards.json (working directory). `--smoke`
-/// runs a reduced grid and exits non-zero if any sharded ranking diverges
-/// from the unsharded baseline or the sharded end-to-end time blows past a
-/// generous overhead ceiling — the CI tripwire for the distributed path.
+/// Results are recorded in BENCH_shards.json (working directory), including
+/// the per-task-kind coordinator timings of the ShardTask protocol
+/// (kSignalStats / kLeafMoments / kErrorPartials) and the warm-context
+/// cells' elision counters. `--smoke` runs a reduced grid and exits
+/// non-zero if any sharded ranking diverges from the unsharded baseline,
+/// the sharded end-to-end time blows past a generous overhead ceiling, or a
+/// warm-context repeat run fails to elide every kLeafMoments task — the CI
+/// tripwires for the distributed path.
 
 #include <benchmark/benchmark.h>
 
@@ -35,11 +39,17 @@ namespace {
 
 struct GridRow {
   std::string backend;
+  std::string mode = "cold";  ///< "cold", or "warm" (repeat on a warm context)
   int shards = 0;  ///< 0 = unsharded engine (the baseline)
   int threads = 1;
   double total_s = 0.0;
-  double shard_s = 0.0;  ///< coordinator fan-out + merge
+  double shard_s = 0.0;   ///< coordinator fan-out + merge, all task rounds
+  double signal_s = 0.0;  ///< kSignalStats round
+  double moments_s = 0.0; ///< kLeafMoments round
+  double error_s = 0.0;   ///< kErrorPartials round
   int64_t rows_scanned = 0;
+  int64_t leaves_swept = 0;   ///< kLeafMoments leaves actually requested
+  int64_t leaves_elided = 0;  ///< leaves skipped via the warm fit cache
   bool identical = true;  ///< ranking bit-identical to the baseline
 };
 
@@ -51,7 +61,8 @@ struct Baseline {
 
 GridRow RunCell(const Table& source, const Table& target, int shards,
                 ShardBackendKind backend, int threads, int64_t block_rows,
-                Baseline* baseline) {
+                Baseline* baseline, EngineContext* context = nullptr,
+                const char* mode = "cold") {
   CharlesOptions options = DefaultBenchOptions("bonus", "emp_id");
   options.num_threads = threads;
   options.stats_block_rows = block_rows;
@@ -59,18 +70,27 @@ GridRow RunCell(const Table& source, const Table& target, int shards,
   options.shard_backend = backend;
 
   auto start = std::chrono::steady_clock::now();
-  SummaryList result = SummarizeChanges(source, target, options).ValueOrDie();
+  SummaryList result =
+      context != nullptr
+          ? SummarizeChanges(source, target, options, context).ValueOrDie()
+          : SummarizeChanges(source, target, options).ValueOrDie();
   GridRow row;
   row.backend = shards == 0 ? "none"
                             : (backend == ShardBackendKind::kInProcess
                                    ? "in-process"
                                    : "subprocess");
+  row.mode = mode;
   row.shards = shards;
   row.threads = threads;
   row.total_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   row.shard_s = result.shard_seconds;
+  row.signal_s = result.shard_signal_seconds;
+  row.moments_s = result.shard_moments_seconds;
+  row.error_s = result.shard_error_seconds;
   row.rows_scanned = result.shard_rows_scanned;
+  row.leaves_swept = result.shard_moment_leaves_swept;
+  row.leaves_elided = result.shard_moment_leaves_elided;
 
   CHARLES_CHECK(!result.summaries.empty());
   if (baseline->count == 0) {
@@ -106,6 +126,18 @@ std::vector<GridRow> RunGrid(bool smoke) {
     }
     grid.push_back(RunCell(source, target, 2, ShardBackendKind::kSubprocess, 2,
                            block_rows, &baseline));
+    // Warm-context pair: the repeat run must serve every fit from the
+    // context cache and elide every kLeafMoments task (the smoke tripwire
+    // below asserts it).
+    {
+      EngineContextOptions ctx_options;
+      ctx_options.num_threads = 2;
+      EngineContext context(ctx_options);
+      grid.push_back(RunCell(source, target, 2, ShardBackendKind::kInProcess, 2,
+                             block_rows, &baseline, &context, "cold"));
+      grid.push_back(RunCell(source, target, 2, ShardBackendKind::kInProcess, 2,
+                             block_rows, &baseline, &context, "warm"));
+    }
     return grid;
   }
   for (int threads : {1, 4}) {
@@ -119,21 +151,35 @@ std::vector<GridRow> RunGrid(bool smoke) {
                                &per_thread_baseline));
       }
     }
+    // Warm-context pair at 4 shards: prices the elision path.
+    EngineContextOptions ctx_options;
+    ctx_options.num_threads = threads;
+    EngineContext context(ctx_options);
+    grid.push_back(RunCell(source, target, 4, ShardBackendKind::kInProcess,
+                           threads, block_rows, &per_thread_baseline, &context,
+                           "cold"));
+    grid.push_back(RunCell(source, target, 4, ShardBackendKind::kInProcess,
+                           threads, block_rows, &per_thread_baseline, &context,
+                           "warm"));
   }
   return grid;
 }
 
 void PrintGrid(const std::vector<GridRow>& grid) {
-  std::vector<int> widths = {11, 7, 8, 9, 9, 13, 10};
+  std::vector<int> widths = {11, 5, 7, 8, 9, 9, 9, 9, 9, 13, 7, 10};
   PrintRule(widths);
-  PrintTableRow(widths, {"backend", "shards", "threads", "total s", "shard s",
-                         "rows scanned", "identical"});
+  PrintTableRow(widths,
+                {"backend", "mode", "shards", "threads", "total s", "shard s",
+                 "signal s", "momnt s", "error s", "rows scanned", "elided",
+                 "identical"});
   PrintRule(widths);
   for (const GridRow& r : grid) {
-    PrintTableRow(widths, {r.backend, std::to_string(r.shards),
-                           std::to_string(r.threads), Fmt(r.total_s, 3),
-                           Fmt(r.shard_s, 4), std::to_string(r.rows_scanned),
-                           r.identical ? "yes" : "NO"});
+    PrintTableRow(widths,
+                  {r.backend, r.mode, std::to_string(r.shards),
+                   std::to_string(r.threads), Fmt(r.total_s, 3),
+                   Fmt(r.shard_s, 4), Fmt(r.signal_s, 4), Fmt(r.moments_s, 4),
+                   Fmt(r.error_s, 4), std::to_string(r.rows_scanned),
+                   std::to_string(r.leaves_elided), r.identical ? "yes" : "NO"});
   }
   PrintRule(widths);
 }
@@ -148,11 +194,16 @@ void WriteJson(const std::string& path, const std::vector<GridRow>& grid) {
   for (size_t i = 0; i < grid.size(); ++i) {
     const GridRow& r = grid[i];
     std::fprintf(f,
-                 "    {\"backend\": \"%s\", \"shards\": %d, \"threads\": %d, "
-                 "\"total_s\": %.5f, \"shard_s\": %.5f, \"rows_scanned\": %lld, "
-                 "\"identical\": %s}%s\n",
-                 r.backend.c_str(), r.shards, r.threads, r.total_s, r.shard_s,
+                 "    {\"backend\": \"%s\", \"mode\": \"%s\", \"shards\": %d, "
+                 "\"threads\": %d, \"total_s\": %.5f, \"shard_s\": %.5f, "
+                 "\"signal_s\": %.5f, \"moments_s\": %.5f, \"error_s\": %.5f, "
+                 "\"rows_scanned\": %lld, \"leaves_swept\": %lld, "
+                 "\"leaves_elided\": %lld, \"identical\": %s}%s\n",
+                 r.backend.c_str(), r.mode.c_str(), r.shards, r.threads,
+                 r.total_s, r.shard_s, r.signal_s, r.moments_s, r.error_s,
                  static_cast<long long>(r.rows_scanned),
+                 static_cast<long long>(r.leaves_swept),
+                 static_cast<long long>(r.leaves_elided),
                  r.identical ? "true" : "false", i + 1 < grid.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -215,8 +266,27 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    // Warm-elision tripwire: the warm-context repeat run must issue zero
+    // kLeafMoments tasks (every leaf elided via the warm fit cache).
+    bool saw_warm = false;
+    for (const charles::bench::GridRow& row : grid) {
+      if (row.mode != "warm") continue;
+      saw_warm = true;
+      if (row.leaves_swept != 0 || row.leaves_elided == 0) {
+        std::fprintf(stderr,
+                     "FAIL: warm-context run swept %lld leaves (elided %lld); "
+                     "expected full kLeafMoments elision\n",
+                     static_cast<long long>(row.leaves_swept),
+                     static_cast<long long>(row.leaves_elided));
+        return 1;
+      }
+    }
+    if (!saw_warm) {
+      std::fprintf(stderr, "FAIL: smoke grid is missing the warm-context cell\n");
+      return 1;
+    }
     std::printf("smoke OK: every sharded cell bit-identical, overhead within "
-                "bounds\n");
+                "bounds, warm run elided every leaf-moments task\n");
     return 0;
   }
 

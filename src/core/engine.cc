@@ -1,26 +1,18 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstring>
-#include <map>
 #include <memory>
-#include <mutex>
-#include <set>
-#include <unordered_set>
+#include <utility>
 
-#include "common/combinatorics.h"
 #include "common/string_util.h"
 #include "core/normality.h"
+#include "core/run_pipeline.h"
 #include "core/scoring.h"
-#include "distributed/coordinator.h"
-#include "distributed/in_process_backend.h"
-#include "distributed/shard_planner.h"
-#include "distributed/subprocess_backend.h"
+#include "linalg/error_partials.h"
 #include "linalg/stats.h"
 #include "linalg/suffstats.h"
-#include "parallel/parallel.h"
 
 namespace charles {
 
@@ -63,95 +55,6 @@ std::unique_ptr<ModelTreeNode> BuildModelTreeNode(
   out->yes = BuildModelTreeNode(*node.yes, cts, leaf_index);
   out->no = BuildModelTreeNode(*node.no, cts, leaf_index);
   return out;
-}
-
-/// True if the summary's transformations read the target's own old value —
-/// the natural "update semantics" phrasing (new_bonus = f(old_bonus, ...)).
-bool UsesOldTarget(const ChangeSummary& summary) {
-  const auto& attrs = summary.transform_attributes();
-  return std::find(attrs.begin(), attrs.end(), summary.target_attribute()) !=
-         attrs.end();
-}
-
-/// Score-descending with deterministic tie-breaks: fewer CTs, then
-/// self-referential transformations, then text. Scores are quantized to a
-/// 1e-7 grid so floating-point noise cannot override the semantic
-/// tie-breaks (quantization keeps the comparison a strict weak order).
-int64_t QuantizedScore(const ChangeSummary& s) {
-  return static_cast<int64_t>(std::llround(s.scores().score * 1e7));
-}
-
-bool SummaryOrder(const ChangeSummary& a, const ChangeSummary& b) {
-  int64_t qa = QuantizedScore(a);
-  int64_t qb = QuantizedScore(b);
-  if (qa != qb) return qa > qb;
-  if (a.num_cts() != b.num_cts()) return a.num_cts() < b.num_cts();
-  bool a_old = UsesOldTarget(a);
-  bool b_old = UsesOldTarget(b);
-  if (a_old != b_old) return a_old;
-  return a.Signature() < b.Signature();
-}
-
-uint64_t FnvMixDoubles(uint64_t h, const std::vector<double>& values) {
-  for (double v : values) {
-    uint64_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    h = FnvMixBytes(h, &bits, sizeof(bits));
-  }
-  return h;
-}
-
-uint64_t FnvMixString(uint64_t h, const std::string& s) {
-  h = FnvMixBytes(h, s.data(), s.size());
-  // Length separator so {"ab","c"} and {"a","bc"} hash differently.
-  uint64_t len = s.size();
-  return FnvMixBytes(h, &len, sizeof(len));
-}
-
-/// \brief Hash of everything a cached leaf fit depends on beyond its LeafKey.
-///
-/// A leaf fit is a pure function of (transform columns at the leaf's rows,
-/// y_old, y_new at those rows, the T-subset enumeration mapping t_index to
-/// attribute names, the target attribute, the numeric tolerance, and the
-/// normality options). The fingerprint hashes all of those run-wide, so a
-/// long-lived EngineContext cache can serve fits across runs: runs whose
-/// inputs differ get different fingerprints (up to 64-bit FNV-1a collisions,
-/// vanishingly unlikely but not impossible) and therefore never observe each
-/// other's fits when sharing one cache.
-uint64_t ComputeRunFingerprint(const CharlesOptions& options,
-                               const std::vector<std::string>& tran_names,
-                               const ColumnCache& tran_columns,
-                               const std::vector<double>& y_old,
-                               const std::vector<double>& y_new) {
-  uint64_t h = kFnvOffsetBasis;
-  h = FnvMixString(h, options.target_attribute);
-  const double knobs[] = {options.numeric_tolerance,
-                          options.normality.enable_snapping ? 1.0 : 0.0,
-                          options.normality.max_relative_coefficient_shift,
-                          options.normality.max_relative_accuracy_loss,
-                          options.normality.exactness_tolerance,
-                          static_cast<double>(options.max_transform_attrs),
-                          // The two solvers round differently at the ~1e-12
-                          // level, so runs on different paths must never
-                          // observe each other's fits. The statistics block
-                          // size picks the evaluation order within the fast
-                          // path, so it separates fits the same way.
-                          options.use_sufficient_stats ? 1.0 : 0.0,
-                          // Only the fast path folds at block granularity;
-                          // QR-path runs with different block sizes produce
-                          // identical fits and may share cache entries.
-                          options.use_sufficient_stats
-                              ? static_cast<double>(options.stats_block_rows)
-                              : 0.0};
-  h = FnvMixBytes(h, knobs, sizeof(knobs));
-  for (const std::string& name : tran_names) {
-    h = FnvMixString(h, name);
-    const std::vector<double>* values = tran_columns.Find(name);
-    if (values != nullptr) h = FnvMixDoubles(h, *values);
-  }
-  h = FnvMixDoubles(h, y_old);
-  h = FnvMixDoubles(h, y_new);
-  return h;
 }
 
 /// \brief The leaf's sufficient statistics over the run's full
@@ -237,7 +140,7 @@ Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
     const std::vector<double>& y_new, const RowSet& rows,
     const std::vector<std::string>& transform_attrs,
     const ColumnCache* column_cache,
-    const LeafStatsWorkspace* stats_workspace) const {
+    const LeafStatsWorkspace* stats_workspace, size_t t_index) const {
   const std::string& target = options_.target_attribute;
   // No-change detection: the whole partition kept its old value. A
   // distributed sweep already folded max |y_new − y_old| per leaf (max is
@@ -323,15 +226,66 @@ Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
   if (!have_model) {
     CHARLES_ASSIGN_OR_RETURN(model, LinearRegression::Fit(x, y_part, transform_attrs));
   }
+
+  // Exact-L1 evaluation mode. Under the sufficient-statistics path every
+  // L1 evaluation below — SnapModel's accuracy-guard baseline and the final
+  // fit MAE — goes through the canonical block fold of
+  // linalg/error_partials.h, which a distributed kErrorPartials round
+  // reproduces bit-for-bit from shard partials. The QR-only path keeps the
+  // historical serial sums unchanged.
+  const bool canonical_error = options_.use_sufficient_stats &&
+                               stats_workspace != nullptr &&
+                               stats_workspace->block_rows >= 1;
+  // Shard-merged exact Σ|y − ŷ| of the fast-path model, when a distributed
+  // sweep pre-evaluated it for this (leaf, T). Only valid for the model the
+  // probe solved — i.e. when the fast solve above succeeded.
+  const ErrorPartials* error_evidence = nullptr;
+  if (canonical_error && have_model &&
+      stats_workspace->error_evidence != nullptr) {
+    auto it = stats_workspace->error_evidence->find(rows.indices());
+    if (it != stats_workspace->error_evidence->end() &&
+        t_index < it->second.valid.size() && it->second.valid[t_index] != 0) {
+      error_evidence = &it->second.partials[t_index];
+    }
+  }
+
   NormalityOptions normality = options_.normality;
   normality.exactness_tolerance =
       std::max(normality.exactness_tolerance, options_.numeric_tolerance);
-  model = SnapModel(model, x, y_part, normality);
+  SnapErrorSpec error_spec;
+  const SnapErrorSpec* error_spec_ptr = nullptr;
+  if (canonical_error) {
+    error_spec.baseline = error_evidence;
+    error_spec.rows = &rows.indices();
+    error_spec.block_rows = stats_workspace->block_rows;
+    error_spec_ptr = &error_spec;
+  }
+  const LinearModel pre_snap = model;
+  model = SnapModel(model, x, y_part, normality, error_spec_ptr);
   fit.predictions = model.PredictBatch(x);
   // The moments pin down r²/rmse exactly but only estimate the L1 error;
-  // recompute it from the prediction pass (the same computation SnapModel
-  // and the QR path's diagnostics perform, so this is a no-op for them).
-  model.mae = MeanAbsoluteError(fit.predictions, y_part);
+  // the reported MAE is always exact. Under the stats path it comes from
+  // the canonical fold — served straight from the shard-merged partials
+  // when snapping left the probed model untouched, re-folded centrally
+  // (bit-identically) otherwise; the QR path recomputes it serially from
+  // the prediction pass as before.
+  if (canonical_error) {
+    const bool snap_noop =
+        error_evidence != nullptr &&
+        std::memcmp(&model.intercept, &pre_snap.intercept, sizeof(double)) == 0 &&
+        model.coefficients.size() == pre_snap.coefficients.size() &&
+        (model.coefficients.empty() ||
+         std::memcmp(model.coefficients.data(), pre_snap.coefficients.data(),
+                     model.coefficients.size() * sizeof(double)) == 0);
+    model.mae = snap_noop
+                    ? error_evidence->mae()
+                    : AccumulateAbsDiffBlocks(y_part, fit.predictions,
+                                              rows.indices(),
+                                              stats_workspace->block_rows)
+                          .mae();
+  } else {
+    model.mae = MeanAbsoluteError(fit.predictions, y_part);
+  }
   fit.partition_mae = model.mae;
   fit.transform = LinearTransform::Linear(target, std::move(model));
   return fit;
@@ -387,7 +341,7 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
         if (fit == nullptr) {
           CHARLES_ASSIGN_OR_RETURN(
               local, FitLeaf(source, y_old, y_new, rows, transform_attrs, column_cache,
-                             stats_workspace));
+                             stats_workspace, t_index));
           if (stats != nullptr) ++stats->computed;
           if (shared_cache != nullptr) {
             shared_cache->Insert(std::move(key),
@@ -400,7 +354,7 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
     } else {
       CHARLES_ASSIGN_OR_RETURN(
           local, FitLeaf(source, y_old, y_new, rows, transform_attrs, column_cache,
-                         stats_workspace));
+                         stats_workspace, t_index));
       if (stats != nullptr) ++stats->computed;
       fit = &local;
     }
@@ -430,587 +384,7 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
 Result<SummaryList> CharlesEngine::Find(const Table& source, const Table& target,
                                         SummaryStream* stream,
                                         const StopToken* stop) const {
-  auto start_time = std::chrono::steady_clock::now();
-  CHARLES_RETURN_NOT_OK(options_.Validate());
-
-  auto elapsed_since_start = [&start_time] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_time)
-        .count();
-  };
-  auto stop_requested = [stop] {
-    return stop != nullptr && stop->stop_requested();
-  };
-  // Cancellation outside phase 3: no provisional ranking exists yet, so the
-  // final (cancelled) stream update carries only the run's vital signs.
-  auto cancelled = [&](const std::string& where) {
-    if (stream != nullptr) {
-      SummaryStreamUpdate update;
-      update.cancelled = true;
-      update.elapsed_seconds = elapsed_since_start();
-      stream->Emit(update);
-    }
-    return Status::Cancelled("Find cancelled " + where);
-  };
-
-  // Admission control: a context may bound its concurrently executing runs
-  // (queueing or rejecting the excess); the slot is held for the whole run
-  // and released on every exit path. The stop token reaches into the queue
-  // too, so a cancelled caller never waits out the runs ahead of it — and
-  // still receives the promised final cancelled stream update.
-  EngineContext::RunSlot run_slot;
-  if (context_ != nullptr) {
-    Result<EngineContext::RunSlot> admitted = context_->AdmitRun(stop);
-    if (!admitted.ok()) {
-      if (admitted.status().IsCancelled()) {
-        return cancelled("during admission (" + admitted.status().message() + ")");
-      }
-      return admitted.status();
-    }
-    run_slot = std::move(*admitted);
-  }
-
-  DiffOptions diff_options;
-  diff_options.key_columns = options_.key_columns;
-  diff_options.numeric_tolerance = options_.numeric_tolerance;
-  diff_options.allow_insert_delete = options_.allow_insert_delete;
-  CHARLES_ASSIGN_OR_RETURN(SnapshotDiff diff,
-                           SnapshotDiff::Compute(source, target, diff_options));
-
-  // Alignment: make pair order coincide with analysis-table row order.
-  bool identity_alignment =
-      diff.num_pairs() == source.num_rows() &&
-      std::all_of(diff.pairs().begin(), diff.pairs().end(),
-                  [i = int64_t{0}](const SnapshotDiff::AlignedPair& p) mutable {
-                    return p.source_row == i++;
-                  });
-  Table matched_view;
-  const Table* analysis = &source;
-  if (!identity_alignment) {
-    std::vector<int64_t> matched;
-    matched.reserve(diff.pairs().size());
-    for (const auto& pair : diff.pairs()) matched.push_back(pair.source_row);
-    CHARLES_ASSIGN_OR_RETURN(matched_view, source.Take(RowSet(std::move(matched))));
-    analysis = &matched_view;
-  }
-  CHARLES_ASSIGN_OR_RETURN(std::vector<double> y_old,
-                           diff.SourceValues(options_.target_attribute));
-  CHARLES_ASSIGN_OR_RETURN(std::vector<double> y_new,
-                           diff.TargetValues(options_.target_attribute));
-
-  // Attribute shortlists: assistant by default, user overrides honoured.
-  CHARLES_ASSIGN_OR_RETURN(SetupResult setup, SetupAssistant::Analyze(diff, options_));
-  if (!options_.condition_attributes.empty()) {
-    std::vector<AttributeCandidate> forced;
-    for (const std::string& name : options_.condition_attributes) {
-      CHARLES_ASSIGN_OR_RETURN(int idx, analysis->schema().FieldIndex(name));
-      forced.push_back(AttributeCandidate{
-          name, 1.0, IsNumeric(analysis->schema().field(idx).type), true});
-    }
-    setup.condition_candidates = std::move(forced);
-  }
-  if (!options_.transform_attributes.empty()) {
-    std::vector<AttributeCandidate> forced;
-    for (const std::string& name : options_.transform_attributes) {
-      CHARLES_ASSIGN_OR_RETURN(int idx, analysis->schema().FieldIndex(name));
-      if (!IsNumeric(analysis->schema().field(idx).type)) {
-        return Status::TypeError("transformation attribute '" + name + "' is not numeric");
-      }
-      forced.push_back(AttributeCandidate{name, 1.0, true, true});
-    }
-    setup.transform_candidates = std::move(forced);
-  }
-
-  std::vector<std::string> cond_names = setup.ConditionNames();
-  std::vector<std::string> tran_names = setup.TransformNames();
-  std::vector<int> cond_indices;
-  for (const std::string& name : cond_names) {
-    CHARLES_ASSIGN_OR_RETURN(int idx, analysis->schema().FieldIndex(name));
-    cond_indices.push_back(idx);
-  }
-
-  // Subset enumeration (paper: all C ⊆ A_cond with |C| ≤ c, all T ⊆ A_tran
-  // with |T| ≤ t; the empty T yields constant-shift transformations).
-  std::vector<std::vector<int>> c_subsets = EnumerateSubsets(
-      static_cast<int>(cond_names.size()), options_.max_condition_attrs);
-  std::vector<std::vector<int>> t_subsets = EnumerateSubsets(
-      static_cast<int>(tran_names.size()), options_.max_transform_attrs);
-  t_subsets.insert(t_subsets.begin(), std::vector<int>{});
-
-  SummaryList result;
-  result.setup = setup;
-  result.condition_subsets = static_cast<int64_t>(c_subsets.size());
-  result.transform_subsets = static_cast<int64_t>(t_subsets.size());
-
-  // Parallel execution: every phase fans out over a ThreadPool and reduces
-  // its per-item results in deterministic input order, so the ranked output
-  // is bit-identical to a serial (num_threads = 1) run. With an attached
-  // EngineContext the context's long-lived pool is used (its thread count
-  // supersedes options_.num_threads); otherwise a per-run pool is spawned.
-  int num_threads = 1;
-  ThreadPool* pool = nullptr;
-  std::unique_ptr<ThreadPool> owned_pool;
-  if (context_ != nullptr) {
-    num_threads = context_->num_threads();
-    pool = context_->pool();
-  } else {
-    num_threads = options_.num_threads > 0 ? options_.num_threads
-                                           : ThreadPool::HardwareConcurrency();
-    if (num_threads > 1) {
-      owned_pool = std::make_unique<ThreadPool>(num_threads);
-      pool = owned_pool.get();
-    }
-  }
-  result.threads_used = pool != nullptr ? num_threads : 1;
-
-  // Phase 1 — change-signal clusterings. Residual clusterings depend on the
-  // transformation subset T; delta/relative-delta clusterings do not, so
-  // they are computed once. All labelings are pooled, canonicalized, and
-  // deduplicated: tree induction below runs once per (C, labeling) instead
-  // of once per (C, T, k). Each T-subset clusters independently (k-means is
-  // seeded per call); pooling dedups sequentially in T order.
-  auto phase1_start = std::chrono::steady_clock::now();
-
-  // Column-gather cache: every T-subset's feature matrix draws on the same
-  // shortlisted columns, so each is converted to doubles exactly once and
-  // shared read-only by all phase-1 workers.
-  CHARLES_ASSIGN_OR_RETURN(ColumnCache tran_columns,
-                           ColumnCache::Build(*analysis, tran_names));
-
-  // Sufficient statistics of the full transformation shortlist over all
-  // rows, accumulated through the canonical block fold (AccumulateRowBlocks)
-  // every other stats producer uses — so they equal, bit-for-bit, what a
-  // distributed coordinator merges for the all-rows leaf. Phase 1 solves
-  // every T-subset's global model from these moments (a p×p sub-solve
-  // instead of an O(n·p²) QR per subset), and phase 3 seeds its leaf-stats
-  // cache with them — the k = 1 "universal" partitions cover exactly these
-  // rows in exactly this order.
-  std::shared_ptr<const SufficientStats> shortlist_stats;
-  if (options_.use_sufficient_stats) {
-    std::vector<const std::vector<double>*> shortlist_columns;
-    bool resolved = tran_columns.ResolveColumns(tran_names, &shortlist_columns);
-    CHARLES_CHECK(resolved);  // Build() covered exactly these names
-    shortlist_stats = std::make_shared<const SufficientStats>(
-        AccumulateRangeBlocks(shortlist_columns, y_new,
-                              static_cast<int64_t>(y_new.size()),
-                              options_.stats_block_rows));
-  }
-
-  // Cross-run cache key (see ComputeRunFingerprint); only needed when a
-  // long-lived context cache can mix fits from different runs.
-  const uint64_t fingerprint =
-      context_ != nullptr
-          ? ComputeRunFingerprint(options_, tran_names, tran_columns, y_old, y_new)
-          : 0;
-
-  struct TSubsetLabelings {
-    std::vector<std::string> transform_attrs;
-    std::vector<std::vector<int>> canonical;
-  };
-  std::vector<TSubsetLabelings> per_t = ParallelMap<TSubsetLabelings>(
-      pool, static_cast<int64_t>(t_subsets.size()), [&](int64_t ti) {
-        TSubsetLabelings out;
-        PartitionFinder::Input input;
-        input.source = analysis;
-        input.y_old = &y_old;
-        input.y_new = &y_new;
-        input.column_cache = &tran_columns;
-        input.shortlist_stats = shortlist_stats.get();
-        input.shortlist_subset = t_subsets[static_cast<size_t>(ti)];
-        for (int t : t_subsets[static_cast<size_t>(ti)]) {
-          input.transform_attrs.push_back(tran_names[static_cast<size_t>(t)]);
-        }
-        out.transform_attrs = input.transform_attrs;
-        Result<PartitionFinder::ResidualClusterings> clusterings =
-            PartitionFinder::ClusterResiduals(input, options_,
-                                              /*include_delta_signals=*/ti == 0);
-        if (!clusterings.ok()) return out;
-        out.canonical.reserve(clusterings->clusterings.size());
-        for (KMeansResult& clustering : clusterings->clusterings) {
-          out.canonical.push_back(
-              PartitionFinder::CanonicalizeLabels(clustering.labels));
-        }
-        return out;
-      });
-
-  std::vector<std::vector<int>> labelings;
-  std::set<std::vector<int>> seen_labelings;
-  std::vector<std::vector<std::string>> t_attr_names;
-  for (TSubsetLabelings& t_result : per_t) {
-    t_attr_names.push_back(std::move(t_result.transform_attrs));
-    for (std::vector<int>& canonical : t_result.canonical) {
-      if (seen_labelings.insert(canonical).second) {
-        labelings.push_back(std::move(canonical));
-      }
-    }
-  }
-
-  result.labelings = static_cast<int64_t>(labelings.size());
-  result.clustering_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - phase1_start)
-          .count();
-  if (stop_requested()) return cancelled("after phase 1 (clustering)");
-
-  // Phase 2 — condition induction: one tree per (C, labeling), partitions
-  // deduplicated globally by their condition signature. Workers fan out over
-  // C-subsets against the shared read-only TreeAttributeCache; the global
-  // dedup walks C-subsets in enumeration order.
-  auto phase2_start = std::chrono::steady_clock::now();
-  struct PartitionEntry {
-    PartitionCandidate candidate;
-    std::vector<std::string> condition_attrs;
-  };
-  CHARLES_ASSIGN_OR_RETURN(TreeAttributeCache attr_cache,
-                           TreeAttributeCache::Build(*analysis, cond_indices));
-  struct CSubsetCandidates {
-    std::vector<PartitionCandidate> candidates;
-    std::vector<std::string> signatures;
-    std::vector<std::string> attr_names;
-  };
-  std::vector<CSubsetCandidates> per_c = ParallelMap<CSubsetCandidates>(
-      pool, static_cast<int64_t>(c_subsets.size()), [&](int64_t ci) {
-        CSubsetCandidates out;
-        std::vector<int> attr_indices;
-        for (int c : c_subsets[static_cast<size_t>(ci)]) {
-          attr_indices.push_back(cond_indices[static_cast<size_t>(c)]);
-          out.attr_names.push_back(cond_names[static_cast<size_t>(c)]);
-        }
-        Result<std::vector<PartitionCandidate>> candidates =
-            PartitionFinder::InduceCandidates(*analysis, labelings, attr_indices,
-                                              options_, &attr_cache);
-        if (!candidates.ok()) return out;
-        out.candidates = std::move(*candidates);
-        out.signatures.reserve(out.candidates.size());
-        for (const PartitionCandidate& candidate : out.candidates) {
-          std::string signature;
-          for (const auto& leaf : candidate.leaves) {
-            signature += leaf.condition->ToString();
-            signature += ";;";
-          }
-          out.signatures.push_back(std::move(signature));
-        }
-        return out;
-      });
-
-  std::vector<PartitionEntry> partitions;
-  std::set<std::string> seen_partitions;
-  for (CSubsetCandidates& c_result : per_c) {
-    for (size_t i = 0; i < c_result.candidates.size(); ++i) {
-      if (!seen_partitions.insert(c_result.signatures[i]).second) continue;
-      partitions.push_back(
-          PartitionEntry{std::move(c_result.candidates[i]), c_result.attr_names});
-    }
-  }
-
-  // Bound the search: keep the partitionings whose conditions describe
-  // their source clusters best (deterministic order).
-  if (static_cast<int>(partitions.size()) > options_.max_partitions) {
-    std::stable_sort(partitions.begin(), partitions.end(),
-                     [](const PartitionEntry& a, const PartitionEntry& b) {
-                       double aa = a.candidate.label_agreement;
-                       double bb = b.candidate.label_agreement;
-                       if (aa != bb) return aa > bb;
-                       return a.candidate.leaves.size() < b.candidate.leaves.size();
-                     });
-    partitions.resize(static_cast<size_t>(options_.max_partitions));
-  }
-  result.partitions = static_cast<int64_t>(partitions.size());
-  result.induction_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - phase2_start)
-          .count();
-  if (stop_requested()) return cancelled("after phase 2 (condition induction)");
-
-  // Phase 3 — transformation discovery and scoring: every surviving
-  // partitioning is paired with every transformation subset. Work is sharded
-  // by (partition, T) pair — finer than per-partition, so the pool stays
-  // balanced even when few partitionings survive dedup. Each worker owns a
-  // thread-local LeafFitCache per T (lock-free) backed by one cross-worker
-  // ShardedCache (the context's cross-run cache when attached), and the
-  // per-worker caches and counters are merged at the barrier. The
-  // best-by-signature reduction then replays the serial (partition, T) visit
-  // order, so the surviving summary per signature is scheduling-independent.
-  auto phase3_start = std::chrono::steady_clock::now();
-  struct Phase3Worker {
-    std::vector<LeafFitCache> caches;
-    LeafStatsCache leaf_stats;  ///< per-leaf moments, shared across all T
-    LeafFitStats stats;
-  };
-  struct ShardOutput {
-    std::string signature;
-    ChangeSummary summary;
-    bool ok = false;
-  };
-  const int64_t t_count = static_cast<int64_t>(t_attr_names.size());
-  const int64_t num_shards = static_cast<int64_t>(partitions.size()) * t_count;
-
-  // A bounded run-local cache never gets more shards than entries (the
-  // per-shard budget floors at one, which would silently raise the bound).
-  const size_t run_cache_bound =
-      options_.max_cache_entries > 0 ? static_cast<size_t>(options_.max_cache_entries)
-                                     : 0;
-  int run_cache_shards = pool != nullptr ? num_threads * 4 : 1;
-  if (run_cache_bound > 0 && static_cast<size_t>(run_cache_shards) > run_cache_bound) {
-    run_cache_shards = static_cast<int>(run_cache_bound);
-  }
-  SharedLeafFitCache run_leaf_cache(run_cache_shards, run_cache_bound);
-  SharedLeafFitCache* shared_cache = nullptr;
-  if (context_ != nullptr) {
-    shared_cache = context_->leaf_cache();  // warm across runs, even serial
-  } else if (pool != nullptr) {
-    shared_cache = &run_leaf_cache;
-  }
-
-  // Cross-worker tier of the per-leaf sufficient-statistics cache. Kept
-  // per-run (cross-run reuse already happens at the fit level), and used by
-  // serial runs too — a leaf's one accumulation scan is what every
-  // T-subset's sub-solve amortizes against. Seeded with the all-rows moments
-  // accumulated before phase 1: the k = 1 "universal" leaves cover exactly
-  // those rows in exactly that order.
-  SharedLeafStatsCache run_stats_cache(pool != nullptr ? num_threads * 4 : 1);
-  if (shortlist_stats != nullptr) {
-    run_stats_cache.Insert(
-        LeafKey{fingerprint, 0, RowSet::All(analysis->num_rows()).indices()},
-        shortlist_stats);
-  }
-
-  // Distributed shard sweep (CharlesOptions::num_shards >= 1): every
-  // distinct partition leaf's moments are computed shard-by-shard over
-  // block-aligned row ranges by the configured backend and merged exactly
-  // by the Coordinator (see docs/distributed.md). The merged moments seed
-  // the run's leaf-stats cache, and the folded max |Δy| per leaf seeds the
-  // no-change evidence — so phase 3 below runs unchanged, re-solving every
-  // leaf fit from moments that are bit-identical to the ones it would have
-  // accumulated itself. Leaves are deduplicated by row set in partition
-  // enumeration order (stats are T-independent), so each is scanned once
-  // regardless of how many condition trees share it.
-  std::unordered_map<std::vector<int64_t>, double, RowIndicesHash>
-      nochange_evidence;
-  if (options_.num_shards > 0 && options_.use_sufficient_stats) {
-    ShardInput shard_input;
-    shard_input.shortlist = &tran_names;
-    shard_input.columns = &tran_columns;
-    shard_input.y_old = &y_old;
-    shard_input.y_new = &y_new;
-    std::unordered_set<std::vector<int64_t>, RowIndicesHash> seen_leaves;
-    for (const PartitionEntry& entry : partitions) {
-      for (const DecisionTree::Leaf& leaf : entry.candidate.leaves) {
-        if (seen_leaves.insert(leaf.rows.indices()).second) {
-          shard_input.leaves.push_back(&leaf.rows);
-        }
-      }
-    }
-    ShardPlan plan = PlanShards(analysis->num_rows(), options_.stats_block_rows,
-                                options_.num_shards);
-    if (plan.num_shards() > 0 && !shard_input.leaves.empty()) {
-      InProcessBackend in_process;
-      SubprocessBackend subprocess;
-      ShardBackend* backend =
-          options_.shard_backend == ShardBackendKind::kSubprocess
-              ? static_cast<ShardBackend*>(&subprocess)
-              : static_cast<ShardBackend*>(&in_process);
-      Result<CoordinatorResult> merged =
-          Coordinator::Run(shard_input, plan, backend, pool, stop);
-      if (!merged.ok()) {
-        if (merged.status().IsCancelled()) {
-          return cancelled("during the shard sweep");
-        }
-        return merged.status();
-      }
-      nochange_evidence.reserve(shard_input.leaves.size());
-      for (size_t l = 0; l < shard_input.leaves.size(); ++l) {
-        LeafRollup& rollup = merged->leaves[l];
-        run_stats_cache.Insert(
-            LeafKey{fingerprint, 0, shard_input.leaves[l]->indices()},
-            std::make_shared<const SufficientStats>(std::move(rollup.stats)));
-        nochange_evidence.emplace(shard_input.leaves[l]->indices(),
-                                  rollup.max_abs_delta);
-      }
-      result.shards_used = static_cast<int>(merged->shards_executed);
-      result.shard_rows_scanned = merged->rows_scanned;
-      result.shard_blocks_merged = merged->blocks_merged;
-      result.shard_seconds = merged->elapsed_seconds;
-    }
-  }
-
-  // Streaming: completed shards merge a copy of their summary into a
-  // provisional top-N under a lock, kept sorted and deduplicated by
-  // signature exactly as the final reduction ranks — eviction is permanent
-  // (the bar only rises), so the incremental top-N equals the top-N of a
-  // full best-by-signature merge at every point, and the last update's list
-  // is the final ranking. Entirely separate from the deterministic final
-  // reduction below — which summaries appear mid-run depends on scheduling,
-  // the returned list never does. Zero overhead when no stream is attached.
-  struct StreamMerge {
-    std::mutex mu;
-    std::vector<std::pair<std::string, ChangeSummary>> top;  ///< sorted, <= top_n
-    /// Work items finished. Atomic so streamless runs can count without the
-    /// lock; streamed runs increment under `mu` so emissions observe
-    /// strictly increasing values.
-    std::atomic<int64_t> completed{0};
-  };
-  StreamMerge stream_merge;
-  auto merge_into_top = [this, &stream_merge](const std::string& signature,
-                                              const ChangeSummary& summary) {
-    auto& top = stream_merge.top;
-    auto same = std::find_if(top.begin(), top.end(), [&](const auto& entry) {
-      return entry.first == signature;
-    });
-    if (same != top.end()) {
-      if (!SummaryOrder(summary, same->second)) return false;
-      top.erase(same);
-    } else if (static_cast<int>(top.size()) >= options_.top_n &&
-               !SummaryOrder(summary, top.back().second)) {
-      return false;
-    }
-    auto pos = std::upper_bound(top.begin(), top.end(), summary,
-                                [](const ChangeSummary& s, const auto& entry) {
-                                  return SummaryOrder(s, entry.second);
-                                });
-    top.emplace(pos, signature, summary);
-    if (static_cast<int>(top.size()) > options_.top_n) top.pop_back();
-    return true;
-  };
-
-  std::vector<Phase3Worker> workers;
-  std::vector<ShardOutput> shard_outputs = ParallelMapWithState<ShardOutput, Phase3Worker>(
-      pool, num_shards,
-      [&]() {
-        Phase3Worker worker;
-        worker.caches.resize(t_attr_names.size());
-        return worker;
-      },
-      [&](Phase3Worker& worker, int64_t shard) {
-        ShardOutput out;
-        // Cancellation point between (partition, T) work items: a stopped
-        // run drains its remaining items as no-ops (the pool cannot unqueue
-        // them) and the post-barrier check below turns the run into
-        // Status::Cancelled.
-        if (stop_requested()) return out;
-        const size_t pi = static_cast<size_t>(shard / t_count);
-        const size_t ti = static_cast<size_t>(shard % t_count);
-        const PartitionEntry& entry = partitions[pi];
-        LeafStatsWorkspace stats_workspace;
-        stats_workspace.shortlist = &tran_names;
-        stats_workspace.t_subset = &t_subsets[ti];
-        stats_workspace.local = &worker.leaf_stats;
-        stats_workspace.shared = &run_stats_cache;
-        stats_workspace.fingerprint = fingerprint;
-        stats_workspace.block_rows = options_.stats_block_rows;
-        stats_workspace.nochange_max_delta =
-            nochange_evidence.empty() ? nullptr : &nochange_evidence;
-        Result<ChangeSummary> summary = BuildSummary(
-            *analysis, y_old, y_new, entry.candidate, t_attr_names[ti],
-            entry.condition_attrs, &worker.caches[ti], shared_cache, ti,
-            &worker.stats, fingerprint, &tran_columns, &stats_workspace);
-        if (summary.ok()) {
-          out.signature = summary->Signature();
-          out.summary = std::move(*summary);
-          out.ok = true;
-        }
-        // Completed-item count is tracked stream or no stream (the
-        // cancellation diagnostic below the barrier reports it), but only
-        // streamed runs pay the merge lock — a plain Find() counts with one
-        // relaxed atomic increment per item.
-        if (stream == nullptr) {
-          stream_merge.completed.fetch_add(1, std::memory_order_relaxed);
-        } else {
-          std::lock_guard<std::mutex> lock(stream_merge.mu);
-          int64_t completed =
-              stream_merge.completed.fetch_add(1, std::memory_order_relaxed) + 1;
-          bool changed = out.ok && merge_into_top(out.signature, out.summary);
-          // Re-ranking and copying the top-N per shard would dwarf the search
-          // itself; emit only when the top-N changed — shards that only
-          // rediscover or underbid known summaries just advance the counter —
-          // plus always on the final shard so consumers observe completion.
-          // A stopping run suppresses emissions: its final update is the
-          // cancelled one below the barrier.
-          if ((changed || completed == num_shards) && !stop_requested()) {
-            SummaryStreamUpdate update;
-            update.shards_completed = completed;
-            update.shards_total = num_shards;
-            update.elapsed_seconds =
-                std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                              start_time)
-                    .count();
-            update.provisional.reserve(stream_merge.top.size());
-            for (const auto& entry : stream_merge.top) {
-              update.provisional.push_back(entry.second);
-            }
-            stream->Emit(update);
-          }
-        }
-        return out;
-      },
-      &workers);
-
-  if (stop_requested()) {
-    if (stream != nullptr) {
-      std::lock_guard<std::mutex> lock(stream_merge.mu);
-      SummaryStreamUpdate update;
-      update.cancelled = true;
-      update.shards_completed = stream_merge.completed.load();
-      update.shards_total = num_shards;
-      update.elapsed_seconds = elapsed_since_start();
-      update.provisional.reserve(stream_merge.top.size());
-      for (const auto& entry : stream_merge.top) {
-        update.provisional.push_back(entry.second);
-      }
-      stream->Emit(update);
-    }
-    return Status::Cancelled("Find cancelled during phase 3 (after " +
-                             std::to_string(stream_merge.completed.load()) +
-                             " of " + std::to_string(num_shards) +
-                             " work items)");
-  }
-
-  for (const Phase3Worker& worker : workers) {
-    result.leaf_fits_computed += worker.stats.computed;
-    result.leaf_fits_reused += worker.stats.local_hits + worker.stats.shared_hits;
-  }
-
-  // Cache bound: a context's cache is trimmed (LRU) at the end of each run
-  // when the engine options cap it — the context-level bound, if any, was
-  // already enforced on every insert. The run-local cache was constructed
-  // with the bound.
-  if (context_ != nullptr && options_.max_cache_entries > 0) {
-    context_->leaf_cache()->TrimToSize(
-        static_cast<size_t>(options_.max_cache_entries));
-  }
-  if (shared_cache != nullptr) {
-    result.leaf_fit_evictions = shared_cache->evictions();
-  }
-
-  std::map<std::string, ChangeSummary> best_by_signature;
-  for (ShardOutput& built : shard_outputs) {
-    if (!built.ok) continue;
-    ++result.candidates_evaluated;
-    auto it = best_by_signature.find(built.signature);
-    if (it == best_by_signature.end()) {
-      best_by_signature.emplace(std::move(built.signature), std::move(built.summary));
-    } else {
-      ++result.candidates_deduped;
-      if (SummaryOrder(built.summary, it->second)) it->second = std::move(built.summary);
-    }
-  }
-
-  result.fitting_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - phase3_start)
-          .count();
-
-  result.summaries.reserve(best_by_signature.size());
-  for (auto& [signature, summary] : best_by_signature) {
-    result.summaries.push_back(std::move(summary));
-  }
-  std::sort(result.summaries.begin(), result.summaries.end(), SummaryOrder);
-  if (static_cast<int>(result.summaries.size()) > options_.top_n) {
-    result.summaries.resize(static_cast<size_t>(options_.top_n));
-  }
-
-  result.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time)
-          .count();
-  if (context_ != nullptr) context_->NoteRunCompleted();
-  return result;
+  return RunPipeline::Run(*this, source, target, stream, stop);
 }
 
 std::future<Result<SummaryList>> CharlesEngine::FindAsync(

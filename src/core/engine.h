@@ -2,15 +2,19 @@
 #define CHARLES_CORE_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "linalg/error_partials.h"
 #include "core/engine_context.h"
 #include "core/options.h"
 #include "core/partition_finder.h"
@@ -50,10 +54,27 @@ struct SummaryList {
   /// \name Distributed shard execution (CharlesOptions::num_shards >= 1;
   /// all zero for unsharded runs). See docs/distributed.md.
   /// @{
-  int shards_used = 0;               ///< row-range shards the plan executed
-  int64_t shard_rows_scanned = 0;    ///< Σ leaf∩shard rows scanned by backends
+  int shards_used = 0;               ///< row-range shards of the executed plan
+  int64_t shard_rows_scanned = 0;    ///< Σ rows scanned by backends, all tasks
   int64_t shard_blocks_merged = 0;   ///< per-block partials folded centrally
   double shard_seconds = 0.0;        ///< coordinator wall time (fan-out + merge)
+  /// ShardTask executions dispatched to backends (one per shard per round).
+  int64_t shard_tasks_executed = 0;
+  /// Unique partition leaves swept by the kLeafMoments round.
+  int64_t shard_moment_leaves_swept = 0;
+  /// Unique partition leaves whose kLeafMoments work was *elided* because a
+  /// warm EngineContext cache already holds every transformation subset's
+  /// fit for them — the warm-rescan fix: a repeat run on a warm context
+  /// issues zero moment tasks (see docs/distributed.md#warm-cache-elision).
+  int64_t shard_moment_leaves_elided = 0;
+  /// kErrorPartials probes whose exact Σ|y − ŷ| was merged from shards.
+  int64_t shard_error_probes = 0;
+  /// \name Per-task-kind coordinator wall times (fan-out + merge).
+  /// @{
+  double shard_signal_seconds = 0.0;  ///< kSignalStats round
+  double shard_moments_seconds = 0.0; ///< kLeafMoments round
+  double shard_error_seconds = 0.0;   ///< kErrorPartials round
+  /// @}
   /// @}
   double elapsed_seconds = 0.0;
   double clustering_seconds = 0.0;  ///< phase 1: change-signal k-means
@@ -94,44 +115,101 @@ struct SummaryStreamUpdate {
 /// emitted whenever a completed shard changed the provisional set (shards
 /// that only rediscover known summaries just advance shards_completed), and
 /// always for the final shard, so every run emits at least one update and
-/// the last update carries the final ranking. Updates are serialized (never
-/// concurrent, even when one stream is shared by concurrent runs — Emit
-/// holds the stream's own lock) and, within one run, arrive with strictly
-/// increasing shards_completed, on whichever worker thread finished the
-/// shard. Emission sits on the phase-3 critical path (workers queue behind
-/// the run's merge lock while the callback executes), so the callback must
-/// be cheap — hand the update to your own queue rather than doing I/O — and
-/// must not call back into the emitting engine. Streaming never changes the
-/// run's result: the final ranked list stays bit-identical to a run without
-/// a stream, at any thread count.
+/// the last update carries the final ranking.
+///
+/// Delivery is **buffered**: producers enqueue updates and return
+/// immediately, and a dedicated drain thread owned by the stream invokes the
+/// callback — so a slow consumer can never stall the phase-3 sweep (workers
+/// used to queue behind the run's merge lock while the callback executed).
+/// The callback runs on the drain thread, is never invoked concurrently
+/// (even when one stream is shared by concurrent runs), and, within one run,
+/// observes strictly increasing shards_completed in enqueue order. A run
+/// flushes its stream before resolving, so every update — including the
+/// final or cancelled one — is delivered before Find()/FindAsync() returns
+/// its result. The callback may do I/O, but must not call back into the
+/// emitting engine. Streaming never changes the run's result: the final
+/// ranked list stays bit-identical to a run without a stream, at any thread
+/// count.
 class SummaryStream {
  public:
   using Callback = std::function<void(const SummaryStreamUpdate&)>;
 
-  explicit SummaryStream(Callback callback) : callback_(std::move(callback)) {}
+  explicit SummaryStream(Callback callback)
+      : callback_(std::move(callback)), drain_([this] { DrainLoop(); }) {}
 
   SummaryStream(const SummaryStream&) = delete;
   SummaryStream& operator=(const SummaryStream&) = delete;
 
-  /// Updates emitted so far (across every run this stream was passed to).
+  /// Delivers every still-queued update, then joins the drain thread.
+  ~SummaryStream() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    queued_cv_.notify_all();
+    drain_.join();
+  }
+
+  /// Updates delivered so far (across every run this stream was passed to).
   int64_t updates_emitted() const {
     return updates_.load(std::memory_order_relaxed);
   }
 
  private:
   friend class CharlesEngine;
+  friend class RunPipeline;
+  friend struct RunState;
 
-  /// Invokes the callback under the stream's own lock, so emissions stay
-  /// serialized even when several concurrent runs share one stream.
+  /// Enqueues one update for the drain thread; never blocks on the callback.
   void Emit(const SummaryStreamUpdate& update) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (callback_) callback_(update);
-    updates_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(update);
+      ++enqueued_;
+    }
+    queued_cv_.notify_one();
+  }
+
+  /// Blocks until every update enqueued *before this call* has been
+  /// delivered. Called by the pipeline driver on every exit path, so run
+  /// results never race their own stream updates. Scoped by enqueue
+  /// position, not queue emptiness: on a stream shared by concurrent runs,
+  /// a finishing run never waits out updates other runs enqueue later.
+  void Flush() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const int64_t target = enqueued_;
+    drained_cv_.wait(lock, [this, target] { return delivered_ >= target; });
+  }
+
+  void DrainLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      queued_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      SummaryStreamUpdate update = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      if (callback_) callback_(update);
+      updates_.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+      ++delivered_;
+      drained_cv_.notify_all();
+    }
   }
 
   Callback callback_;
   std::mutex mu_;
+  std::condition_variable queued_cv_;
+  std::condition_variable drained_cv_;
+  std::deque<SummaryStreamUpdate> queue_;
+  bool stopping_ = false;
+  int64_t enqueued_ = 0;   ///< updates ever queued; guarded by mu_
+  int64_t delivered_ = 0;  ///< updates whose callback completed; guarded by mu_
   std::atomic<int64_t> updates_{0};
+  std::thread drain_;
 };
 
 /// \brief The ChARLES diff discovery engine (paper, Figure 3 right half).
@@ -227,6 +305,18 @@ class CharlesEngine {
   using LeafStatsCache =
       std::unordered_map<std::vector<int64_t>,
                          std::shared_ptr<const SufficientStats>, RowIndicesHash>;
+  /// \brief One leaf's exact L1 evidence from a distributed kErrorPartials
+  /// sweep: per transformation subset, the merged Σ|y − ŷ| of the leaf's
+  /// *unsnapped* fast-path model. `valid[t]` marks subsets whose probe was
+  /// solved and evaluated; both vectors are indexed by t_index.
+  struct LeafErrorEvidence {
+    std::vector<uint8_t> valid;
+    std::vector<ErrorPartials> partials;
+  };
+  /// Keyed by the leaf's row indices (like the no-change evidence), so
+  /// per-fit lookups probe with the leaf's own vector — no key copies.
+  using LeafErrorEvidenceMap =
+      std::unordered_map<std::vector<int64_t>, LeafErrorEvidence, RowIndicesHash>;
   /// @}
 
   /// \brief Per-shard view of the run's sufficient-statistics machinery,
@@ -260,6 +350,14 @@ class CharlesEngine {
     /// Null or missing entries fall back to the serial scan.
     const std::unordered_map<std::vector<int64_t>, double, RowIndicesHash>*
         nochange_max_delta = nullptr;
+    /// Exact L1 evidence from a distributed kErrorPartials sweep, keyed by
+    /// the leaf's row indices. When the current t_index is marked valid,
+    /// FitLeaf hands the merged partials to SnapModel as the accuracy-guard
+    /// baseline and reports them as the exact fit MAE when snapping is a
+    /// no-op — bit-identical to the central canonical fold they replace
+    /// (docs/distributed.md#the-determinism-argument). Null or missing
+    /// entries fold the same partials centrally.
+    const LeafErrorEvidenceMap* error_evidence = nullptr;
   };
 
   /// Per-worker counters folded into SummaryList diagnostics at the barrier.
@@ -295,15 +393,21 @@ class CharlesEngine {
       const LeafStatsWorkspace* stats_workspace = nullptr) const;
 
  private:
+  /// The staged pipeline Find() delegates to; stages call BuildSummary and
+  /// read the engine's options/context (see core/run_pipeline.h).
+  friend class RunPipeline;
+
   /// Fits one partition's transformation: no-change detection, OLS on T
   /// (sufficient-statistics solve when `stats_workspace` provides one, row-
-  /// level QR otherwise or on ill-conditioning), normality snapping.
-  /// `column_cache` as in BuildSummary.
+  /// level QR otherwise or on ill-conditioning), normality snapping with an
+  /// exact L1 baseline (shard-merged or centrally folded; see
+  /// LeafStatsWorkspace::error_evidence). `column_cache` as in BuildSummary.
   Result<LeafFit> FitLeaf(const Table& source, const std::vector<double>& y_old,
                           const std::vector<double>& y_new, const RowSet& rows,
                           const std::vector<std::string>& transform_attrs,
                           const ColumnCache* column_cache = nullptr,
-                          const LeafStatsWorkspace* stats_workspace = nullptr) const;
+                          const LeafStatsWorkspace* stats_workspace = nullptr,
+                          size_t t_index = 0) const;
 
   CharlesOptions options_;
   EngineContext* context_ = nullptr;

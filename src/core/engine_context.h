@@ -273,6 +273,7 @@ class EngineContext {
 
  private:
   friend class CharlesEngine;
+  friend class RunPipeline;
 
   /// Called by the engine at the end of each Find() against this context.
   void NoteRunCompleted() {

@@ -117,7 +117,8 @@ double ConditionNormality(const Expr& condition) {
 }
 
 LinearModel SnapModel(const LinearModel& model, const Matrix& x,
-                      const std::vector<double>& y, const NormalityOptions& options) {
+                      const std::vector<double>& y, const NormalityOptions& options,
+                      const SnapErrorSpec* error_spec) {
   if (!options.enable_snapping || y.empty()) return model;
 
   size_t n = y.size();
@@ -137,7 +138,19 @@ LinearModel SnapModel(const LinearModel& model, const Matrix& x,
     for (double e : r) total += std::abs(e);
     return total / static_cast<double>(n);
   };
-  double baseline_mae = mae_of(residuals);
+  // Accuracy-guard baseline: shard-merged exact partials when supplied, the
+  // equivalent canonical block fold when only the fold geometry is, and the
+  // historical serial sum otherwise (see SnapErrorSpec).
+  double baseline_mae;
+  if (error_spec != nullptr && error_spec->baseline != nullptr) {
+    baseline_mae = error_spec->baseline->mae();
+  } else if (error_spec != nullptr && error_spec->valid()) {
+    baseline_mae =
+        AccumulateAbsBlocks(residuals, *error_spec->rows, error_spec->block_rows)
+            .mae();
+  } else {
+    baseline_mae = mae_of(residuals);
+  }
 
   // Accuracy guard: snapped models may lose at most this much MAE relative
   // to the target scale — except exact models, which must stay exact.

@@ -1,10 +1,12 @@
 #ifndef CHARLES_CORE_NORMALITY_H_
 #define CHARLES_CORE_NORMALITY_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/options.h"
 #include "expr/expr.h"
+#include "linalg/error_partials.h"
 #include "linalg/matrix.h"
 #include "ml/linear_regression.h"
 
@@ -43,6 +45,28 @@ double ModelNormality(const LinearModel& model);
 /// score 1.0.
 double ConditionNormality(const Expr& condition);
 
+/// \brief How SnapModel evaluates its accuracy-guard baseline exactly.
+///
+/// Without a spec, the baseline MAE is a plain serial Σ|residual| / n — the
+/// historical (row-order-dependent) computation of the QR path. With a spec,
+/// the baseline comes from the canonical block fold of
+/// linalg/error_partials.h instead, which makes the snap guard
+/// *decomposition-invariant*: a coordinator that merged the same partials
+/// from row-range shards supplies `baseline` and gets the bit-identical
+/// guard a central scan would have computed.
+struct SnapErrorSpec {
+  /// Pre-merged exact L1 partials of `model` on (x, y) — e.g. a distributed
+  /// kErrorPartials rollup. When null, SnapModel folds the baseline itself
+  /// from `rows`/`block_rows` (bit-identical to the merged form).
+  const ErrorPartials* baseline = nullptr;
+  /// Ascending global row indices of the partition (size = y.size()) and the
+  /// run's canonical block size; both required.
+  const std::vector<int64_t>* rows = nullptr;
+  int64_t block_rows = 0;
+
+  bool valid() const { return rows != nullptr && block_rows >= 1; }
+};
+
 /// \brief Snaps a model's coefficients to nice values, guarded by accuracy.
 ///
 /// Each coefficient (and the intercept) is moved to the nicest lattice value
@@ -50,8 +74,11 @@ double ConditionNormality(const Expr& condition);
 /// only if its mean absolute error on (x, y) grows by at most
 /// options.max_relative_accuracy_loss × mean(|y|); otherwise the original is
 /// returned. Diagnostics (r2/mae/rmse) are recomputed either way.
+/// `error_spec` (optional) selects the exact-L1 baseline evaluation; see
+/// SnapErrorSpec.
 LinearModel SnapModel(const LinearModel& model, const Matrix& x,
-                      const std::vector<double>& y, const NormalityOptions& options);
+                      const std::vector<double>& y, const NormalityOptions& options,
+                      const SnapErrorSpec* error_spec = nullptr);
 
 }  // namespace charles
 

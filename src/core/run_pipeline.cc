@@ -1,0 +1,932 @@
+#include "core/run_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "common/combinatorics.h"
+#include "common/fnv.h"
+#include "distributed/coordinator.h"
+#include "distributed/in_process_backend.h"
+#include "distributed/shard_planner.h"
+#include "distributed/subprocess_backend.h"
+#include "linalg/error_partials.h"
+#include "ml/linear_regression.h"
+#include "parallel/parallel.h"
+
+namespace charles {
+
+namespace {
+
+/// True if the summary's transformations read the target's own old value —
+/// the natural "update semantics" phrasing (new_bonus = f(old_bonus, ...)).
+bool UsesOldTarget(const ChangeSummary& summary) {
+  const auto& attrs = summary.transform_attributes();
+  return std::find(attrs.begin(), attrs.end(), summary.target_attribute()) !=
+         attrs.end();
+}
+
+/// Score-descending with deterministic tie-breaks: fewer CTs, then
+/// self-referential transformations, then text. Scores are quantized to a
+/// 1e-7 grid so floating-point noise cannot override the semantic
+/// tie-breaks (quantization keeps the comparison a strict weak order).
+int64_t QuantizedScore(const ChangeSummary& s) {
+  return static_cast<int64_t>(std::llround(s.scores().score * 1e7));
+}
+
+bool SummaryOrder(const ChangeSummary& a, const ChangeSummary& b) {
+  int64_t qa = QuantizedScore(a);
+  int64_t qb = QuantizedScore(b);
+  if (qa != qb) return qa > qb;
+  if (a.num_cts() != b.num_cts()) return a.num_cts() < b.num_cts();
+  bool a_old = UsesOldTarget(a);
+  bool b_old = UsesOldTarget(b);
+  if (a_old != b_old) return a_old;
+  return a.Signature() < b.Signature();
+}
+
+uint64_t FnvMixDoubles(uint64_t h, const std::vector<double>& values) {
+  for (double v : values) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = FnvMixBytes(h, &bits, sizeof(bits));
+  }
+  return h;
+}
+
+uint64_t FnvMixString(uint64_t h, const std::string& s) {
+  h = FnvMixBytes(h, s.data(), s.size());
+  // Length separator so {"ab","c"} and {"a","bc"} hash differently.
+  uint64_t len = s.size();
+  return FnvMixBytes(h, &len, sizeof(len));
+}
+
+/// \brief Hash of everything a cached leaf fit depends on beyond its LeafKey.
+///
+/// A leaf fit is a pure function of (transform columns at the leaf's rows,
+/// y_old, y_new at those rows, the T-subset enumeration mapping t_index to
+/// attribute names, the target attribute, the numeric tolerance, and the
+/// normality options). The fingerprint hashes all of those run-wide, so a
+/// long-lived EngineContext cache can serve fits across runs: runs whose
+/// inputs differ get different fingerprints (up to 64-bit FNV-1a collisions,
+/// vanishingly unlikely but not impossible) and therefore never observe each
+/// other's fits when sharing one cache.
+uint64_t ComputeRunFingerprint(const CharlesOptions& options,
+                               const std::vector<std::string>& tran_names,
+                               const ColumnCache& tran_columns,
+                               const std::vector<double>& y_old,
+                               const std::vector<double>& y_new) {
+  uint64_t h = kFnvOffsetBasis;
+  h = FnvMixString(h, options.target_attribute);
+  const double knobs[] = {options.numeric_tolerance,
+                          options.normality.enable_snapping ? 1.0 : 0.0,
+                          options.normality.max_relative_coefficient_shift,
+                          options.normality.max_relative_accuracy_loss,
+                          options.normality.exactness_tolerance,
+                          static_cast<double>(options.max_transform_attrs),
+                          // The two solvers round differently at the ~1e-12
+                          // level, so runs on different paths must never
+                          // observe each other's fits. The statistics block
+                          // size picks the evaluation order within the fast
+                          // path, so it separates fits the same way.
+                          options.use_sufficient_stats ? 1.0 : 0.0,
+                          // Only the fast path folds at block granularity;
+                          // QR-path runs with different block sizes produce
+                          // identical fits and may share cache entries.
+                          options.use_sufficient_stats
+                              ? static_cast<double>(options.stats_block_rows)
+                              : 0.0};
+  h = FnvMixBytes(h, knobs, sizeof(knobs));
+  for (const std::string& name : tran_names) {
+    h = FnvMixString(h, name);
+    const std::vector<double>* values = tran_columns.Find(name);
+    if (values != nullptr) h = FnvMixDoubles(h, *values);
+  }
+  h = FnvMixDoubles(h, y_old);
+  h = FnvMixDoubles(h, y_new);
+  return h;
+}
+
+/// One distributed round's backend pair; the task rounds of a run share the
+/// selection logic but construct backends per round (both are stateless).
+struct RoundBackends {
+  InProcessBackend in_process;
+  SubprocessBackend subprocess;
+  ShardBackend* Select(ShardBackendKind kind) {
+    return kind == ShardBackendKind::kSubprocess
+               ? static_cast<ShardBackend*>(&subprocess)
+               : static_cast<ShardBackend*>(&in_process);
+  }
+};
+
+/// Folds one coordinator round's execution counters into the run result.
+void FoldRoundDiagnostics(const CoordinatorTaskResult& merged,
+                          const ShardPlan& plan, SummaryList* result) {
+  result->shards_used =
+      std::max(result->shards_used, static_cast<int>(plan.num_shards()));
+  result->shard_tasks_executed += merged.shards_executed;
+  result->shard_rows_scanned += merged.rows_scanned;
+  result->shard_blocks_merged += merged.blocks_merged;
+  result->shard_seconds += merged.elapsed_seconds;
+}
+
+}  // namespace
+
+Status RunState::Cancelled(const std::string& where) {
+  if (stream != nullptr && !cancel_emitted) {
+    std::lock_guard<std::mutex> lock(stream_merge.mu);
+    SummaryStreamUpdate update;
+    update.cancelled = true;
+    update.shards_completed = stream_merge.completed.load();
+    update.shards_total = work_items;
+    update.elapsed_seconds = ElapsedSeconds();
+    update.provisional.reserve(stream_merge.top.size());
+    for (const auto& entry : stream_merge.top) {
+      update.provisional.push_back(entry.second);
+    }
+    stream->Emit(update);
+  }
+  cancel_emitted = true;
+  return Status::Cancelled("Find cancelled " + where);
+}
+
+// --- Stage: DiffAlign -------------------------------------------------------
+
+Status RunPipeline::DiffAlign(RunState& state) {
+  DiffOptions diff_options;
+  diff_options.key_columns = state.options.key_columns;
+  diff_options.numeric_tolerance = state.options.numeric_tolerance;
+  diff_options.allow_insert_delete = state.options.allow_insert_delete;
+  CHARLES_ASSIGN_OR_RETURN(
+      state.diff, SnapshotDiff::Compute(state.source, state.target, diff_options));
+
+  // Alignment: make pair order coincide with analysis-table row order.
+  bool identity_alignment =
+      state.diff.num_pairs() == state.source.num_rows() &&
+      std::all_of(state.diff.pairs().begin(), state.diff.pairs().end(),
+                  [i = int64_t{0}](const SnapshotDiff::AlignedPair& p) mutable {
+                    return p.source_row == i++;
+                  });
+  state.analysis = &state.source;
+  if (!identity_alignment) {
+    std::vector<int64_t> matched;
+    matched.reserve(state.diff.pairs().size());
+    for (const auto& pair : state.diff.pairs()) matched.push_back(pair.source_row);
+    CHARLES_ASSIGN_OR_RETURN(state.matched_view,
+                             state.source.Take(RowSet(std::move(matched))));
+    state.analysis = &state.matched_view;
+  }
+  CHARLES_ASSIGN_OR_RETURN(state.y_old,
+                           state.diff.SourceValues(state.options.target_attribute));
+  CHARLES_ASSIGN_OR_RETURN(state.y_new,
+                           state.diff.TargetValues(state.options.target_attribute));
+  return Status::OK();
+}
+
+// --- Stage: Setup -----------------------------------------------------------
+
+Status RunPipeline::Setup(RunState& state) {
+  const CharlesOptions& options = state.options;
+  const Table& analysis = *state.analysis;
+
+  // Attribute shortlists: assistant by default, user overrides honoured.
+  CHARLES_ASSIGN_OR_RETURN(state.result.setup,
+                           SetupAssistant::Analyze(state.diff, options));
+  SetupResult& setup = state.result.setup;
+  if (!options.condition_attributes.empty()) {
+    std::vector<AttributeCandidate> forced;
+    for (const std::string& name : options.condition_attributes) {
+      CHARLES_ASSIGN_OR_RETURN(int idx, analysis.schema().FieldIndex(name));
+      forced.push_back(AttributeCandidate{
+          name, 1.0, IsNumeric(analysis.schema().field(idx).type), true});
+    }
+    setup.condition_candidates = std::move(forced);
+  }
+  if (!options.transform_attributes.empty()) {
+    std::vector<AttributeCandidate> forced;
+    for (const std::string& name : options.transform_attributes) {
+      CHARLES_ASSIGN_OR_RETURN(int idx, analysis.schema().FieldIndex(name));
+      if (!IsNumeric(analysis.schema().field(idx).type)) {
+        return Status::TypeError("transformation attribute '" + name +
+                                 "' is not numeric");
+      }
+      forced.push_back(AttributeCandidate{name, 1.0, true, true});
+    }
+    setup.transform_candidates = std::move(forced);
+  }
+
+  state.cond_names = setup.ConditionNames();
+  state.tran_names = setup.TransformNames();
+  for (const std::string& name : state.cond_names) {
+    CHARLES_ASSIGN_OR_RETURN(int idx, analysis.schema().FieldIndex(name));
+    state.cond_indices.push_back(idx);
+  }
+
+  // Subset enumeration (paper: all C ⊆ A_cond with |C| ≤ c, all T ⊆ A_tran
+  // with |T| ≤ t; the empty T yields constant-shift transformations).
+  state.c_subsets = EnumerateSubsets(static_cast<int>(state.cond_names.size()),
+                                     options.max_condition_attrs);
+  state.t_subsets = EnumerateSubsets(static_cast<int>(state.tran_names.size()),
+                                     options.max_transform_attrs);
+  state.t_subsets.insert(state.t_subsets.begin(), std::vector<int>{});
+
+  state.result.condition_subsets = static_cast<int64_t>(state.c_subsets.size());
+  state.result.transform_subsets = static_cast<int64_t>(state.t_subsets.size());
+  return Status::OK();
+}
+
+// --- Stage: Phase1Signals ---------------------------------------------------
+
+Status RunPipeline::Phase1Signals(RunState& state) {
+  const CharlesOptions& options = state.options;
+
+  // Column-gather cache: every T-subset's feature matrix draws on the same
+  // shortlisted columns, so each is converted to doubles exactly once and
+  // shared read-only by all phase-1 workers.
+  CHARLES_ASSIGN_OR_RETURN(state.tran_columns,
+                           ColumnCache::Build(*state.analysis, state.tran_names));
+
+  // Sufficient statistics of the full transformation shortlist over all
+  // rows, accumulated through the canonical block fold (AccumulateRowBlocks)
+  // every other stats producer uses. Phase 1 solves every T-subset's global
+  // model from these moments (a p×p sub-solve instead of an O(n·p²) QR per
+  // subset), and phase 3 seeds its leaf-stats cache with them — the k = 1
+  // "universal" partitions cover exactly these rows in exactly this order.
+  // A sharded run accumulates them through a kSignalStats task round —
+  // shards emit the identical per-block partials and the coordinator folds
+  // them in block order, so the merged moments are bit-identical to the
+  // central fold (this is the phase-1 row scan that used to stay on the
+  // coordinator even when sharding was on).
+  if (options.use_sufficient_stats) {
+    std::vector<const std::vector<double>*> shortlist_columns;
+    bool resolved =
+        state.tran_columns.ResolveColumns(state.tran_names, &shortlist_columns);
+    CHARLES_CHECK(resolved);  // Build() covered exactly these names
+    ShardPlan plan;
+    if (options.num_shards > 0) {
+      plan = PlanShards(state.analysis->num_rows(), options.stats_block_rows,
+                        options.num_shards);
+    }
+    if (plan.num_shards() > 0) {
+      ShardInput shard_input;
+      shard_input.shortlist = &state.tran_names;
+      shard_input.columns = &state.tran_columns;
+      shard_input.y_old = &state.y_old;
+      shard_input.y_new = &state.y_new;
+      RoundBackends backends;
+      ShardTask task;
+      task.kind = ShardTaskKind::kSignalStats;
+      Result<CoordinatorTaskResult> merged =
+          Coordinator::RunTask(shard_input, plan,
+                               backends.Select(options.shard_backend), state.pool,
+                               task, state.stop);
+      if (!merged.ok()) {
+        if (merged.status().IsCancelled()) {
+          return state.Cancelled("during the signal-stats shard round");
+        }
+        return merged.status();
+      }
+      state.shortlist_stats =
+          std::make_shared<const SufficientStats>(std::move(merged->signal_stats));
+      state.result.shard_signal_seconds = merged->elapsed_seconds;
+      FoldRoundDiagnostics(*merged, plan, &state.result);
+    } else {
+      state.shortlist_stats = std::make_shared<const SufficientStats>(
+          AccumulateRangeBlocks(shortlist_columns, state.y_new,
+                                static_cast<int64_t>(state.y_new.size()),
+                                options.stats_block_rows));
+    }
+  }
+
+  // Cross-run cache key (see ComputeRunFingerprint); only needed when a
+  // long-lived context cache can mix fits from different runs.
+  state.fingerprint =
+      state.context != nullptr
+          ? ComputeRunFingerprint(options, state.tran_names, state.tran_columns,
+                                  state.y_old, state.y_new)
+          : 0;
+
+  // Phase 1 — change-signal clusterings. Residual clusterings depend on the
+  // transformation subset T; delta/relative-delta clusterings do not, so
+  // they are computed once. All labelings are pooled, canonicalized, and
+  // deduplicated: tree induction below runs once per (C, labeling) instead
+  // of once per (C, T, k). Each T-subset clusters independently (k-means is
+  // seeded per call); pooling dedups sequentially in T order.
+  struct TSubsetLabelings {
+    std::vector<std::string> transform_attrs;
+    std::vector<std::vector<int>> canonical;
+  };
+  std::vector<TSubsetLabelings> per_t = ParallelMap<TSubsetLabelings>(
+      state.pool, static_cast<int64_t>(state.t_subsets.size()), [&](int64_t ti) {
+        TSubsetLabelings out;
+        PartitionFinder::Input input;
+        input.source = state.analysis;
+        input.y_old = &state.y_old;
+        input.y_new = &state.y_new;
+        input.column_cache = &state.tran_columns;
+        input.shortlist_stats = state.shortlist_stats.get();
+        input.shortlist_subset = state.t_subsets[static_cast<size_t>(ti)];
+        for (int t : state.t_subsets[static_cast<size_t>(ti)]) {
+          input.transform_attrs.push_back(
+              state.tran_names[static_cast<size_t>(t)]);
+        }
+        out.transform_attrs = input.transform_attrs;
+        Result<PartitionFinder::ResidualClusterings> clusterings =
+            PartitionFinder::ClusterResiduals(input, state.options,
+                                              /*include_delta_signals=*/ti == 0);
+        if (!clusterings.ok()) return out;
+        out.canonical.reserve(clusterings->clusterings.size());
+        for (KMeansResult& clustering : clusterings->clusterings) {
+          out.canonical.push_back(
+              PartitionFinder::CanonicalizeLabels(clustering.labels));
+        }
+        return out;
+      });
+
+  std::set<std::vector<int>> seen_labelings;
+  for (TSubsetLabelings& t_result : per_t) {
+    state.t_attr_names.push_back(std::move(t_result.transform_attrs));
+    for (std::vector<int>& canonical : t_result.canonical) {
+      if (seen_labelings.insert(canonical).second) {
+        state.labelings.push_back(std::move(canonical));
+      }
+    }
+  }
+  state.result.labelings = static_cast<int64_t>(state.labelings.size());
+  return Status::OK();
+}
+
+// --- Stage: Phase2Trees -----------------------------------------------------
+
+Status RunPipeline::Phase2Trees(RunState& state) {
+  const CharlesOptions& options = state.options;
+
+  // One tree per (C, labeling), partitions deduplicated globally by their
+  // condition signature. Workers fan out over C-subsets against the shared
+  // read-only TreeAttributeCache; the global dedup walks C-subsets in
+  // enumeration order.
+  CHARLES_ASSIGN_OR_RETURN(
+      TreeAttributeCache attr_cache,
+      TreeAttributeCache::Build(*state.analysis, state.cond_indices));
+  struct CSubsetCandidates {
+    std::vector<PartitionCandidate> candidates;
+    std::vector<std::string> signatures;
+    std::vector<std::string> attr_names;
+  };
+  std::vector<CSubsetCandidates> per_c = ParallelMap<CSubsetCandidates>(
+      state.pool, static_cast<int64_t>(state.c_subsets.size()), [&](int64_t ci) {
+        CSubsetCandidates out;
+        std::vector<int> attr_indices;
+        for (int c : state.c_subsets[static_cast<size_t>(ci)]) {
+          attr_indices.push_back(state.cond_indices[static_cast<size_t>(c)]);
+          out.attr_names.push_back(state.cond_names[static_cast<size_t>(c)]);
+        }
+        Result<std::vector<PartitionCandidate>> candidates =
+            PartitionFinder::InduceCandidates(*state.analysis, state.labelings,
+                                              attr_indices, state.options,
+                                              &attr_cache);
+        if (!candidates.ok()) return out;
+        out.candidates = std::move(*candidates);
+        out.signatures.reserve(out.candidates.size());
+        for (const PartitionCandidate& candidate : out.candidates) {
+          std::string signature;
+          for (const auto& leaf : candidate.leaves) {
+            signature += leaf.condition->ToString();
+            signature += ";;";
+          }
+          out.signatures.push_back(std::move(signature));
+        }
+        return out;
+      });
+
+  std::set<std::string> seen_partitions;
+  for (CSubsetCandidates& c_result : per_c) {
+    for (size_t i = 0; i < c_result.candidates.size(); ++i) {
+      if (!seen_partitions.insert(c_result.signatures[i]).second) continue;
+      state.partitions.push_back(RunState::PartitionEntry{
+          std::move(c_result.candidates[i]), c_result.attr_names});
+    }
+  }
+
+  // Bound the search: keep the partitionings whose conditions describe
+  // their source clusters best (deterministic order).
+  if (static_cast<int>(state.partitions.size()) > options.max_partitions) {
+    std::stable_sort(state.partitions.begin(), state.partitions.end(),
+                     [](const RunState::PartitionEntry& a,
+                        const RunState::PartitionEntry& b) {
+                       double aa = a.candidate.label_agreement;
+                       double bb = b.candidate.label_agreement;
+                       if (aa != bb) return aa > bb;
+                       return a.candidate.leaves.size() < b.candidate.leaves.size();
+                     });
+    state.partitions.resize(static_cast<size_t>(options.max_partitions));
+  }
+  state.result.partitions = static_cast<int64_t>(state.partitions.size());
+  return Status::OK();
+}
+
+// --- Stage: Phase3Fits ------------------------------------------------------
+
+namespace {
+
+/// True when the context's cross-run cache holds a fit for every
+/// transformation subset of this leaf — the warm-cache elision predicate:
+/// such a leaf's moments are never consulted by the sweep (every BuildSummary
+/// visit is served by rehydrating the cached fit), so scanning it again
+/// would be pure waste. If a concurrent trim evicts an entry between this
+/// check and the sweep, FitLeaf falls back to the central canonical
+/// accumulation — identical bits, just without the saved scan.
+bool AllLeafFitsCached(const RunState& state, const RowSet& rows,
+                       int64_t t_count) {
+  if (state.context == nullptr || state.fingerprint == 0) return false;
+  SharedLeafFitCache* cache = state.context->leaf_cache();
+  // One key (and one row-vector copy) per leaf, re-pointed per subset.
+  LeafKey key{state.fingerprint, 0, rows.indices()};
+  for (int64_t ti = 0; ti < t_count; ++ti) {
+    key.t_index = static_cast<size_t>(ti);
+    SharedLeafFit cached;
+    if (!cache->Lookup(key, &cached)) return false;
+  }
+  return true;
+}
+
+/// \brief The distributed task rounds of phase 3: kLeafMoments over the
+/// not-yet-cached leaves, then kErrorPartials for the candidate transforms
+/// those moments admit.
+///
+/// Seeds `run_stats_cache` with the merged leaf moments (keyed exactly as
+/// lazy accumulation would key them), `nochange_evidence` with the folded
+/// max |Δy| per swept leaf, and `error_evidence` with the exact Σ|y − ŷ| of
+/// every successfully pre-solved (leaf, T) model — all bit-identical to the
+/// central computations they replace, so the sweep below runs unchanged.
+Status RunShardRounds(
+    RunState& state, SharedLeafStatsCache& run_stats_cache,
+    std::unordered_map<std::vector<int64_t>, double, RowIndicesHash>*
+        nochange_evidence,
+    CharlesEngine::LeafErrorEvidenceMap* error_evidence) {
+  const CharlesOptions& options = state.options;
+  ShardInput shard_input;
+  shard_input.shortlist = &state.tran_names;
+  shard_input.columns = &state.tran_columns;
+  shard_input.y_old = &state.y_old;
+  shard_input.y_new = &state.y_new;
+  // Leaves are deduplicated by row set in partition enumeration order
+  // (stats are T-independent), so each is scanned once regardless of how
+  // many condition trees share it.
+  std::unordered_set<std::vector<int64_t>, RowIndicesHash> seen_leaves;
+  for (const RunState::PartitionEntry& entry : state.partitions) {
+    for (const DecisionTree::Leaf& leaf : entry.candidate.leaves) {
+      if (seen_leaves.insert(leaf.rows.indices()).second) {
+        shard_input.leaves.push_back(&leaf.rows);
+      }
+    }
+  }
+  ShardPlan plan = PlanShards(state.analysis->num_rows(), options.stats_block_rows,
+                              options.num_shards);
+  if (plan.num_shards() == 0 || shard_input.leaves.empty()) return Status::OK();
+  RoundBackends backends;
+  ShardBackend* backend = backends.Select(options.shard_backend);
+  const int64_t t_count = static_cast<int64_t>(state.t_attr_names.size());
+
+  // Round 1 — kLeafMoments, with warm-cache elision: a leaf whose every
+  // (leaf, T) fit is already in the context's cross-run cache is simply not
+  // requested (resolving the ROADMAP's warm-rescan waste: a warm repeat run
+  // issues zero moment tasks).
+  ShardTask moments;
+  moments.kind = ShardTaskKind::kLeafMoments;
+  for (size_t l = 0; l < shard_input.leaves.size(); ++l) {
+    if (AllLeafFitsCached(state, *shard_input.leaves[l], t_count)) {
+      state.result.shard_moment_leaves_elided += 1;
+    } else {
+      moments.leaves.push_back(static_cast<int64_t>(l));
+    }
+  }
+  state.result.shard_moment_leaves_swept =
+      static_cast<int64_t>(moments.leaves.size());
+  if (moments.leaves.empty()) return Status::OK();
+
+  Result<CoordinatorTaskResult> merged =
+      Coordinator::RunTask(shard_input, plan, backend, state.pool, moments,
+                           state.stop);
+  if (!merged.ok()) {
+    if (merged.status().IsCancelled()) {
+      return state.Cancelled("during the leaf-moments shard round");
+    }
+    return merged.status();
+  }
+  state.result.shard_moments_seconds = merged->elapsed_seconds;
+  FoldRoundDiagnostics(*merged, plan, &state.result);
+
+  // Round 2 — kErrorPartials: pre-solve every changed (leaf, T) candidate
+  // model from the merged moments (row-free p×p solves) and have the shards
+  // evaluate its exact L1 error. Unchanged leaves (max |Δy| within
+  // tolerance) snap to no-change centrally and need no probe; failed solves
+  // fall back to the row-level QR ladder centrally and need none either.
+  ShardTask errors;
+  errors.kind = ShardTaskKind::kErrorPartials;
+  std::vector<size_t> probe_t_index;
+  for (size_t i = 0; i < moments.leaves.size(); ++i) {
+    const LeafRollup& rollup = merged->leaves[i];
+    if (rollup.max_abs_delta <= options.numeric_tolerance) continue;
+    for (int64_t ti = 0; ti < t_count; ++ti) {
+      Result<LinearModel> fast = LinearRegression::FitFromStats(
+          rollup.stats, state.t_subsets[static_cast<size_t>(ti)],
+          state.t_attr_names[static_cast<size_t>(ti)]);
+      if (!fast.ok()) continue;
+      ErrorProbe probe;
+      probe.leaf = moments.leaves[i];
+      probe.intercept = fast->intercept;
+      probe.coefficients = fast->coefficients;
+      probe.features.reserve(state.t_subsets[static_cast<size_t>(ti)].size());
+      for (int f : state.t_subsets[static_cast<size_t>(ti)]) {
+        probe.features.push_back(f);
+      }
+      errors.probes.push_back(std::move(probe));
+      probe_t_index.push_back(static_cast<size_t>(ti));
+    }
+  }
+  if (!errors.probes.empty()) {
+    Result<CoordinatorTaskResult> error_merged =
+        Coordinator::RunTask(shard_input, plan, backend, state.pool, errors,
+                             state.stop);
+    if (!error_merged.ok()) {
+      if (error_merged.status().IsCancelled()) {
+        return state.Cancelled("during the error-partials shard round");
+      }
+      return error_merged.status();
+    }
+    for (size_t p = 0; p < errors.probes.size(); ++p) {
+      const RowSet* rows =
+          shard_input.leaves[static_cast<size_t>(errors.probes[p].leaf)];
+      CharlesEngine::LeafErrorEvidence& evidence =
+          (*error_evidence)[rows->indices()];
+      if (evidence.valid.empty()) {
+        evidence.valid.assign(static_cast<size_t>(t_count), 0);
+        evidence.partials.assign(static_cast<size_t>(t_count), ErrorPartials{});
+      }
+      evidence.valid[probe_t_index[p]] = 1;
+      evidence.partials[probe_t_index[p]] = error_merged->probes[p].partials;
+    }
+    state.result.shard_error_probes =
+        static_cast<int64_t>(errors.probes.size());
+    state.result.shard_error_seconds = error_merged->elapsed_seconds;
+    FoldRoundDiagnostics(*error_merged, plan, &state.result);
+  }
+
+  // Seed the run's stats machinery with the merged rollups (moved, so this
+  // happens after the probes above read them).
+  nochange_evidence->reserve(moments.leaves.size());
+  for (size_t i = 0; i < moments.leaves.size(); ++i) {
+    const RowSet* rows =
+        shard_input.leaves[static_cast<size_t>(moments.leaves[i])];
+    LeafRollup& rollup = merged->leaves[i];
+    run_stats_cache.Insert(
+        LeafKey{state.fingerprint, 0, rows->indices()},
+        std::make_shared<const SufficientStats>(std::move(rollup.stats)));
+    nochange_evidence->emplace(rows->indices(), rollup.max_abs_delta);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunPipeline::Phase3Fits(RunState& state) {
+  const CharlesOptions& options = state.options;
+  const CharlesEngine& engine = state.engine;
+  const int64_t t_count = static_cast<int64_t>(state.t_attr_names.size());
+  state.work_items = static_cast<int64_t>(state.partitions.size()) * t_count;
+
+  // A bounded run-local cache never gets more shards than entries (the
+  // per-shard budget floors at one, which would silently raise the bound).
+  const size_t run_cache_bound =
+      options.max_cache_entries > 0 ? static_cast<size_t>(options.max_cache_entries)
+                                    : 0;
+  int run_cache_shards = state.pool != nullptr ? state.num_threads * 4 : 1;
+  if (run_cache_bound > 0 &&
+      static_cast<size_t>(run_cache_shards) > run_cache_bound) {
+    run_cache_shards = static_cast<int>(run_cache_bound);
+  }
+  state.run_leaf_cache =
+      std::make_unique<SharedLeafFitCache>(run_cache_shards, run_cache_bound);
+  state.shared_cache = nullptr;
+  if (state.context != nullptr) {
+    state.shared_cache = state.context->leaf_cache();  // warm across runs
+  } else if (state.pool != nullptr) {
+    state.shared_cache = state.run_leaf_cache.get();
+  }
+
+  // Cross-worker tier of the per-leaf sufficient-statistics cache. Kept
+  // per-run (cross-run reuse already happens at the fit level), and used by
+  // serial runs too — a leaf's one accumulation scan is what every
+  // T-subset's sub-solve amortizes against. Seeded with the all-rows moments
+  // accumulated in phase 1: the k = 1 "universal" leaves cover exactly
+  // those rows in exactly that order.
+  SharedLeafStatsCache run_stats_cache(state.pool != nullptr
+                                           ? state.num_threads * 4
+                                           : 1);
+  if (state.shortlist_stats != nullptr) {
+    run_stats_cache.Insert(
+        LeafKey{state.fingerprint, 0,
+                RowSet::All(state.analysis->num_rows()).indices()},
+        state.shortlist_stats);
+  }
+
+  // Distributed task rounds (CharlesOptions::num_shards >= 1): merged
+  // moments seed the stats cache, folded max |Δy| seeds the no-change
+  // evidence, and merged error partials seed the exact-MAE evidence — so
+  // the sweep below runs unchanged, re-solving every leaf fit from
+  // currencies bit-identical to the ones it would have computed itself.
+  std::unordered_map<std::vector<int64_t>, double, RowIndicesHash>
+      nochange_evidence;
+  CharlesEngine::LeafErrorEvidenceMap error_evidence;
+  if (options.num_shards > 0 && options.use_sufficient_stats) {
+    CHARLES_RETURN_NOT_OK(RunShardRounds(state, run_stats_cache,
+                                         &nochange_evidence, &error_evidence));
+  }
+
+  // Streaming: completed work items merge a copy of their summary into a
+  // provisional top-N under a lock, kept sorted and deduplicated by
+  // signature exactly as the final reduction ranks — eviction is permanent
+  // (the bar only rises), so the incremental top-N equals the top-N of a
+  // full best-by-signature merge at every point, and the last update's list
+  // is the final ranking. Entirely separate from the deterministic final
+  // reduction in RankStream — which summaries appear mid-run depends on
+  // scheduling, the returned list never does. Near-zero overhead when no
+  // stream is attached.
+  auto merge_into_top = [&state](const std::string& signature,
+                                 const ChangeSummary& summary) {
+    auto& top = state.stream_merge.top;
+    auto same = std::find_if(top.begin(), top.end(), [&](const auto& entry) {
+      return entry.first == signature;
+    });
+    if (same != top.end()) {
+      if (!SummaryOrder(summary, same->second)) return false;
+      top.erase(same);
+    } else if (static_cast<int>(top.size()) >= state.options.top_n &&
+               !SummaryOrder(summary, top.back().second)) {
+      return false;
+    }
+    auto pos = std::upper_bound(top.begin(), top.end(), summary,
+                                [](const ChangeSummary& s, const auto& entry) {
+                                  return SummaryOrder(s, entry.second);
+                                });
+    top.emplace(pos, signature, summary);
+    if (static_cast<int>(top.size()) > state.options.top_n) top.pop_back();
+    return true;
+  };
+
+  // Phase 3 — transformation discovery and scoring: every surviving
+  // partitioning is paired with every transformation subset. Work is
+  // sharded by (partition, T) pair — finer than per-partition, so the pool
+  // stays balanced even when few partitionings survive dedup. Each worker
+  // owns a thread-local LeafFitCache per T (lock-free) backed by one
+  // cross-worker ShardedCache (the context's cross-run cache when
+  // attached), and the per-worker caches and counters are merged at the
+  // barrier. The best-by-signature reduction in RankStream then replays the
+  // serial (partition, T) visit order, so the surviving summary per
+  // signature is scheduling-independent.
+  struct Phase3Worker {
+    std::vector<CharlesEngine::LeafFitCache> caches;
+    CharlesEngine::LeafStatsCache leaf_stats;  ///< per-leaf moments, all T
+    CharlesEngine::LeafFitStats stats;
+  };
+  std::vector<Phase3Worker> workers;
+  state.outputs = ParallelMapWithState<RunState::WorkItemOutput, Phase3Worker>(
+      state.pool, state.work_items,
+      [&]() {
+        Phase3Worker worker;
+        worker.caches.resize(state.t_attr_names.size());
+        return worker;
+      },
+      [&](Phase3Worker& worker, int64_t item) {
+        RunState::WorkItemOutput out;
+        // Cancellation point between (partition, T) work items: a stopped
+        // run drains its remaining items as no-ops (the pool cannot unqueue
+        // them) and the post-barrier check below turns the run into
+        // Status::Cancelled.
+        if (state.StopRequested()) return out;
+        const size_t pi = static_cast<size_t>(item / t_count);
+        const size_t ti = static_cast<size_t>(item % t_count);
+        const RunState::PartitionEntry& entry = state.partitions[pi];
+        CharlesEngine::LeafStatsWorkspace stats_workspace;
+        stats_workspace.shortlist = &state.tran_names;
+        stats_workspace.t_subset = &state.t_subsets[ti];
+        stats_workspace.local = &worker.leaf_stats;
+        stats_workspace.shared = &run_stats_cache;
+        stats_workspace.fingerprint = state.fingerprint;
+        stats_workspace.block_rows = options.stats_block_rows;
+        stats_workspace.nochange_max_delta =
+            nochange_evidence.empty() ? nullptr : &nochange_evidence;
+        stats_workspace.error_evidence =
+            error_evidence.empty() ? nullptr : &error_evidence;
+        Result<ChangeSummary> summary = engine.BuildSummary(
+            *state.analysis, state.y_old, state.y_new, entry.candidate,
+            state.t_attr_names[ti], entry.condition_attrs, &worker.caches[ti],
+            state.shared_cache, ti, &worker.stats, state.fingerprint,
+            &state.tran_columns, &stats_workspace);
+        if (summary.ok()) {
+          out.signature = summary->Signature();
+          out.summary = std::move(*summary);
+          out.ok = true;
+        }
+        // Completed-item count is tracked stream or no stream (the
+        // cancellation diagnostic reports it), but only streamed runs pay
+        // the merge lock — a plain Find() counts with one relaxed atomic
+        // increment per item.
+        if (state.stream == nullptr) {
+          state.stream_merge.completed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::lock_guard<std::mutex> lock(state.stream_merge.mu);
+          int64_t completed =
+              state.stream_merge.completed.fetch_add(1, std::memory_order_relaxed) +
+              1;
+          bool changed = out.ok && merge_into_top(out.signature, out.summary);
+          // Re-ranking and copying the top-N per item would dwarf the search
+          // itself; emit only when the top-N changed — items that only
+          // rediscover or underbid known summaries just advance the counter —
+          // plus always on the final item so consumers observe completion.
+          // A stopping run suppresses emissions: its final update is the
+          // cancelled one the driver emits.
+          if ((changed || completed == state.work_items) && !state.StopRequested()) {
+            SummaryStreamUpdate update;
+            update.shards_completed = completed;
+            update.shards_total = state.work_items;
+            update.elapsed_seconds = state.ElapsedSeconds();
+            update.provisional.reserve(state.stream_merge.top.size());
+            for (const auto& entry : state.stream_merge.top) {
+              update.provisional.push_back(entry.second);
+            }
+            state.stream->Emit(update);
+          }
+        }
+        return out;
+      },
+      &workers);
+
+  if (state.StopRequested()) {
+    return state.Cancelled(
+        "during phase 3 (after " +
+        std::to_string(state.stream_merge.completed.load()) + " of " +
+        std::to_string(state.work_items) + " work items)");
+  }
+
+  for (const Phase3Worker& worker : workers) {
+    state.result.leaf_fits_computed += worker.stats.computed;
+    state.result.leaf_fits_reused +=
+        worker.stats.local_hits + worker.stats.shared_hits;
+  }
+  return Status::OK();
+}
+
+// --- Stage: RankStream ------------------------------------------------------
+
+Status RunPipeline::RankStream(RunState& state) {
+  SummaryList& result = state.result;
+
+  // Cache bound: a context's cache is trimmed (LRU) at the end of each run
+  // when the engine options cap it — the context-level bound, if any, was
+  // already enforced on every insert. The run-local cache was constructed
+  // with the bound.
+  if (state.context != nullptr && state.options.max_cache_entries > 0) {
+    state.context->leaf_cache()->TrimToSize(
+        static_cast<size_t>(state.options.max_cache_entries));
+  }
+  if (state.shared_cache != nullptr) {
+    result.leaf_fit_evictions = state.shared_cache->evictions();
+  }
+
+  std::map<std::string, ChangeSummary> best_by_signature;
+  for (RunState::WorkItemOutput& built : state.outputs) {
+    if (!built.ok) continue;
+    ++result.candidates_evaluated;
+    auto it = best_by_signature.find(built.signature);
+    if (it == best_by_signature.end()) {
+      best_by_signature.emplace(std::move(built.signature), std::move(built.summary));
+    } else {
+      ++result.candidates_deduped;
+      if (SummaryOrder(built.summary, it->second)) {
+        it->second = std::move(built.summary);
+      }
+    }
+  }
+
+  result.summaries.reserve(best_by_signature.size());
+  for (auto& [signature, summary] : best_by_signature) {
+    result.summaries.push_back(std::move(summary));
+  }
+  std::sort(result.summaries.begin(), result.summaries.end(), SummaryOrder);
+  if (static_cast<int>(result.summaries.size()) > state.options.top_n) {
+    result.summaries.resize(static_cast<size_t>(state.options.top_n));
+  }
+  return Status::OK();
+}
+
+// --- Driver -----------------------------------------------------------------
+
+const RunPipeline::StageSpec* RunPipeline::Stages(size_t* count) {
+  static const StageSpec kStages[] = {
+      {"diff/align", &RunPipeline::DiffAlign, nullptr},
+      {"setup", &RunPipeline::Setup, nullptr},
+      {"phase 1 (signals)", &RunPipeline::Phase1Signals,
+       &SummaryList::clustering_seconds},
+      {"phase 2 (trees)", &RunPipeline::Phase2Trees,
+       &SummaryList::induction_seconds},
+      {"phase 3 (fits)", &RunPipeline::Phase3Fits, &SummaryList::fitting_seconds},
+      {"rank/stream", &RunPipeline::RankStream, nullptr},
+  };
+  *count = sizeof(kStages) / sizeof(kStages[0]);
+  return kStages;
+}
+
+Result<SummaryList> RunPipeline::Run(const CharlesEngine& engine,
+                                     const Table& source, const Table& target,
+                                     SummaryStream* stream, const StopToken* stop) {
+  CHARLES_RETURN_NOT_OK(engine.options().Validate());
+  RunState state(engine, source, target, stream, stop);
+  // Any exit below this point delivers every queued stream update before the
+  // run resolves (buffered SummaryStream delivery; see engine.h).
+  auto flush_stream = [&state] {
+    if (state.stream != nullptr) state.stream->Flush();
+  };
+
+  // Admission control: a context may bound its concurrently executing runs
+  // (queueing or rejecting the excess); the slot is held for the whole run
+  // and released on every exit path. The stop token reaches into the queue
+  // too, so a cancelled caller never waits out the runs ahead of it — and
+  // still receives the promised final cancelled stream update.
+  if (state.context != nullptr) {
+    Result<EngineContext::RunSlot> admitted = state.context->AdmitRun(stop);
+    if (!admitted.ok()) {
+      if (admitted.status().IsCancelled()) {
+        Status cancelled = state.Cancelled("during admission (" +
+                                           admitted.status().message() + ")");
+        flush_stream();
+        return cancelled;
+      }
+      flush_stream();
+      return admitted.status();
+    }
+    state.run_slot = std::move(*admitted);
+  }
+
+  // Execution resources: every stage fans out over one ThreadPool and
+  // reduces its per-item results in deterministic input order, so the
+  // ranked output is bit-identical to a serial (num_threads = 1) run. With
+  // an attached EngineContext the context's long-lived pool is used (its
+  // thread count supersedes options.num_threads); otherwise a per-run pool
+  // is spawned here, once, for all stages.
+  if (state.context != nullptr) {
+    state.num_threads = state.context->num_threads();
+    state.pool = state.context->pool();
+  } else {
+    state.num_threads = state.options.num_threads > 0
+                            ? state.options.num_threads
+                            : ThreadPool::HardwareConcurrency();
+    if (state.num_threads > 1) {
+      state.owned_pool = std::make_unique<ThreadPool>(state.num_threads);
+      state.pool = state.owned_pool.get();
+    }
+  }
+  state.result.threads_used = state.pool != nullptr ? state.num_threads : 1;
+
+  size_t stage_count = 0;
+  const StageSpec* stages = Stages(&stage_count);
+  for (size_t s = 0; s < stage_count; ++s) {
+    // Cancellation point between stages (stages add finer-grained checks —
+    // per work item, per shard dispatch — where work is long).
+    if (state.StopRequested()) {
+      Status cancelled =
+          state.Cancelled(std::string("before ") + stages[s].name);
+      flush_stream();
+      return cancelled;
+    }
+    auto stage_start = std::chrono::steady_clock::now();
+    Status status = stages[s].fn(state);
+    if (stages[s].timing != nullptr) {
+      state.result.*(stages[s].timing) =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        stage_start)
+              .count();
+    }
+    if (!status.ok()) {
+      // Stages route their own cancellations through RunState::Cancelled;
+      // this is the belt-and-braces for one that did not.
+      if (status.IsCancelled() && !state.cancel_emitted) {
+        Status emitted = state.Cancelled("during " + std::string(stages[s].name));
+        (void)emitted;
+      }
+      flush_stream();
+      return status;
+    }
+  }
+
+  state.result.elapsed_seconds = state.ElapsedSeconds();
+  if (state.context != nullptr) state.context->NoteRunCompleted();
+  flush_stream();
+  return std::move(state.result);
+}
+
+}  // namespace charles

@@ -1,0 +1,231 @@
+#ifndef CHARLES_CORE_RUN_PIPELINE_H_
+#define CHARLES_CORE_RUN_PIPELINE_H_
+
+/// \file
+/// \brief The staged run pipeline behind CharlesEngine::Find.
+///
+/// Find() used to be one ~600-line monolith. It is now an explicit pipeline
+/// of named stages over a shared RunState blackboard:
+///
+/// ```
+///   DiffAlign ─► Setup ─► Phase1Signals ─► Phase2Trees ─► Phase3Fits ─► RankStream
+/// ```
+///
+///  - **DiffAlign** — snapshot diff, row alignment, target extraction;
+///  - **Setup** — attribute shortlists (assistant or overrides) and the
+///    (C, T) subset enumeration;
+///  - **Phase1Signals** — change-signal clustering: column cache, the run's
+///    shortlist moments (central fold, or a distributed kSignalStats sweep
+///    when sharding is on), per-T clusterings, pooled labelings;
+///  - **Phase2Trees** — condition-tree induction and partition dedup;
+///  - **Phase3Fits** — the (partition, T) transformation sweep, preceded by
+///    the distributed kLeafMoments / kErrorPartials rounds (with warm-cache
+///    elision) when sharding is on;
+///  - **RankStream** — deterministic best-by-signature reduction, ranking,
+///    truncation, and diagnostics fold.
+///
+/// The *driver* (RunPipeline::Run) owns everything the stages used to
+/// re-implement per call site: admission control, pool spawn/attach, stage
+/// timing, cancellation checks between stages, the final cancelled stream
+/// update, and the stream flush that keeps buffered SummaryStream delivery
+/// ordered before the run resolves. Each stage is a small function of
+/// RunState, callable on its own from tests (tests/run_pipeline_test.cc
+/// drives stages individually and checks parity with the one-call engine).
+///
+/// Determinism is unchanged by the decomposition: stages communicate only
+/// through RunState, in a fixed order, and every intra-stage reduction still
+/// replays input order (docs/architecture.md#determinism-contract).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "core/engine_context.h"
+#include "core/partition_finder.h"
+#include "core/setup_assistant.h"
+#include "core/stop_token.h"
+#include "diff/diff.h"
+#include "linalg/suffstats.h"
+#include "table/table.h"
+
+namespace charles {
+
+class ThreadPool;
+
+/// \brief The shared blackboard one engine run's stages read and write.
+///
+/// Constructed by the driver, populated stage by stage; every field below
+/// the "stage products" line is owned by exactly one producing stage and
+/// read-only afterwards. Not movable (the stream-merge mutex pins it); lives
+/// on the driver's stack for exactly one run.
+struct RunState {
+  RunState(const CharlesEngine& engine, const Table& source, const Table& target,
+           SummaryStream* stream, const StopToken* stop)
+      : engine(engine),
+        options(engine.options()),
+        context(engine.context()),
+        source(source),
+        target(target),
+        stream(stream),
+        stop(stop),
+        start_time(std::chrono::steady_clock::now()) {}
+
+  RunState(const RunState&) = delete;
+  RunState& operator=(const RunState&) = delete;
+
+  /// \name Immutable run context.
+  /// @{
+  const CharlesEngine& engine;
+  const CharlesOptions& options;
+  EngineContext* context = nullptr;
+  const Table& source;
+  const Table& target;
+  SummaryStream* stream = nullptr;
+  const StopToken* stop = nullptr;
+  std::chrono::steady_clock::time_point start_time;
+  /// @}
+
+  /// \name Driver plumbing (admission, execution resources).
+  /// @{
+  EngineContext::RunSlot run_slot;
+  ThreadPool* pool = nullptr;              ///< context pool or owned_pool
+  std::unique_ptr<ThreadPool> owned_pool;  ///< per-run pool when no context
+  int num_threads = 1;
+  /// @}
+
+  /// \name DiffAlign products.
+  /// @{
+  SnapshotDiff diff;
+  Table matched_view;                  ///< storage when alignment reorders
+  const Table* analysis = nullptr;     ///< the aligned analysis table
+  std::vector<double> y_old;
+  std::vector<double> y_new;
+  /// @}
+
+  /// \name Setup products.
+  /// @{
+  std::vector<std::string> cond_names;
+  std::vector<std::string> tran_names;
+  std::vector<int> cond_indices;             ///< schema indices of cond_names
+  std::vector<std::vector<int>> c_subsets;   ///< C ⊆ A_cond, |C| ≤ c
+  std::vector<std::vector<int>> t_subsets;   ///< T ⊆ A_tran, |T| ≤ t (∅ first)
+  /// @}
+
+  /// \name Phase1Signals products.
+  /// @{
+  ColumnCache tran_columns;
+  std::shared_ptr<const SufficientStats> shortlist_stats;
+  uint64_t fingerprint = 0;  ///< cross-run cache key; 0 without a context
+  std::vector<std::vector<int>> labelings;
+  std::vector<std::vector<std::string>> t_attr_names;  ///< names per T-subset
+  /// @}
+
+  /// \name Phase2Trees products.
+  /// @{
+  struct PartitionEntry {
+    PartitionCandidate candidate;
+    std::vector<std::string> condition_attrs;
+  };
+  std::vector<PartitionEntry> partitions;
+  /// @}
+
+  /// \name Phase3Fits products.
+  /// @{
+  struct WorkItemOutput {
+    std::string signature;
+    ChangeSummary summary;
+    bool ok = false;
+  };
+  std::vector<WorkItemOutput> outputs;  ///< one per (partition, T), item order
+  int64_t work_items = 0;               ///< |partitions| × |T-subsets|
+  /// Run-local cross-worker fit cache (used when no context is attached)
+  /// and the tier the sweep actually published to (context cache or the
+  /// run-local one) — RankStream reads eviction counts from it.
+  std::unique_ptr<SharedLeafFitCache> run_leaf_cache;
+  SharedLeafFitCache* shared_cache = nullptr;
+  /// @}
+
+  /// \name Streaming merge (incremental provisional top-N).
+  /// @{
+  struct StreamMerge {
+    std::mutex mu;
+    /// Sorted, deduplicated by signature, at most top_n entries.
+    std::vector<std::pair<std::string, ChangeSummary>> top;
+    /// Work items finished. Atomic so streamless runs can count without the
+    /// lock; streamed runs increment under `mu` so emissions observe
+    /// strictly increasing values.
+    std::atomic<int64_t> completed{0};
+  };
+  StreamMerge stream_merge;
+  bool cancel_emitted = false;  ///< the one final cancelled update was sent
+  /// @}
+
+  /// The run's accumulating result (diagnostics are filled as stages run).
+  SummaryList result;
+
+  /// \name Shared helpers (the boilerplate Find() used to repeat).
+  /// @{
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_time)
+        .count();
+  }
+  bool StopRequested() const {
+    return stop != nullptr && stop->stop_requested();
+  }
+  /// Emits the run's single final cancelled stream update (carrying the
+  /// provisional ranking and progress known so far — empty before phase 3)
+  /// and returns the Status::Cancelled every caller propagates. Idempotent
+  /// on the emission.
+  Status Cancelled(const std::string& where);
+  /// @}
+};
+
+/// \brief The staged driver CharlesEngine::Find delegates to.
+class RunPipeline {
+ public:
+  /// Runs every stage in order over a fresh RunState: validation, admission,
+  /// pool setup, per-stage timing + cancellation, stream flush. The one
+  /// entry point production code uses.
+  static Result<SummaryList> Run(const CharlesEngine& engine, const Table& source,
+                                 const Table& target, SummaryStream* stream,
+                                 const StopToken* stop);
+
+  /// \name Stages, in pipeline order.
+  /// Exposed individually so tests can drive the pipeline stage by stage
+  /// and inspect the intermediate RunState. Each requires every earlier
+  /// stage to have run on the same state.
+  /// @{
+  static Status DiffAlign(RunState& state);
+  static Status Setup(RunState& state);
+  static Status Phase1Signals(RunState& state);
+  static Status Phase2Trees(RunState& state);
+  static Status Phase3Fits(RunState& state);
+  static Status RankStream(RunState& state);
+  /// @}
+
+  /// One named stage of the pipeline table.
+  struct StageSpec {
+    const char* name;
+    Status (*fn)(RunState&);
+    /// Which SummaryList timing field the stage's wall time lands in
+    /// (nullptr: counted only in elapsed_seconds).
+    double SummaryList::*timing;
+  };
+
+  /// The pipeline table, in execution order. `*count` receives the stage
+  /// count.
+  static const StageSpec* Stages(size_t* count);
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_CORE_RUN_PIPELINE_H_

@@ -4,15 +4,20 @@
 /// \file
 /// \brief The pluggable executor seam of distributed shard execution.
 ///
-/// A ShardBackend executes one ShardRange of a plan and returns a
-/// ShardResult: for every partition leaf intersecting the range, the leaf's
-/// per-block sufficient statistics (the exact-merge currency, see
-/// linalg/suffstats.h) plus row-local snap evidence and diagnostics. The
-/// Coordinator fans ranges out over a backend and folds the results; the
-/// engine consumes the fold. Backends are the seam future multi-box
-/// dispatch plugs into — a remote backend ships ShardInput references as
-/// data and ShardResult bytes back, which is exactly what
-/// SubprocessBackend's pipe protocol rehearses on one machine.
+/// A ShardBackend executes one tagged ShardTask over one ShardRange of a
+/// plan and returns a ShardTaskResult. Three task kinds cover the engine's
+/// row-bound work (see ShardTaskKind): the per-leaf moments sweep behind
+/// every transformation fit, the phase-1 signal accumulation over the whole
+/// diff, and exact L1-error partials for candidate transforms. Every kind's
+/// payload is built from per-block partials, so the Coordinator's ordered
+/// fold reproduces a central scan bit-for-bit (docs/distributed.md).
+///
+/// Backends are the seam future multi-box dispatch plugs into — a remote
+/// backend ships ShardTask bytes out and ShardTaskResult bytes back, which
+/// is exactly what SubprocessBackend's pipe protocol rehearses on one
+/// machine. The legacy single-purpose entry points (ShardResult,
+/// ExecuteShardKernel, ExecuteShard) are kept as thin wrappers over the
+/// kLeafMoments task so pre-protocol callers keep working.
 
 #include <cstdint>
 #include <string>
@@ -21,6 +26,7 @@
 
 #include "common/result.h"
 #include "core/partition_finder.h"
+#include "linalg/error_partials.h"
 #include "linalg/suffstats.h"
 #include "table/row_set.h"
 
@@ -34,7 +40,8 @@ struct ShardPlan;
 ///
 /// All pointers must outlive the shard execution. The view is shared
 /// memory on one box; a future remote backend would ship the referenced
-/// data once per (snapshot, plan) and address it the same way.
+/// data once per (snapshot, plan) and address it the same way. Tasks that
+/// never touch leaves (kSignalStats) may run against an empty `leaves`.
 struct ShardInput {
   /// Transformation shortlist, in stats feature order.
   const std::vector<std::string>* shortlist = nullptr;
@@ -43,12 +50,66 @@ struct ShardInput {
   /// Old/new target values, aligned with analysis rows.
   const std::vector<double>* y_old = nullptr;
   const std::vector<double>* y_new = nullptr;
-  /// Deduplicated partition leaves; ShardResult entries refer to these by
-  /// index. Order must be identical on every executor of a plan.
+  /// Deduplicated partition leaves; task payloads and results refer to these
+  /// by index. Order must be identical on every executor of a plan.
   std::vector<const RowSet*> leaves;
 };
 
-/// \brief One leaf's contribution from one shard.
+/// \brief What a ShardTask asks a shard to compute.
+enum class ShardTaskKind : int64_t {
+  /// Per-leaf sufficient statistics + snap evidence over the shard's range —
+  /// the original (pre-protocol) sweep behind every transformation fit.
+  kLeafMoments = 1,
+  /// Phase-1 signal accumulation: per-block shortlist moments over *all*
+  /// rows of the range (the run's global OLS currency) plus the folded
+  /// delta evidence (max |Δy|, changed-row count) of the change signals.
+  kSignalStats = 2,
+  /// Exact L1-error partials: per-block Σ|y_new − ŷ| for each probe's
+  /// candidate transform over its leaf's rows in the range.
+  kErrorPartials = 3,
+};
+
+/// Short lowercase name for diagnostics and bench output.
+std::string ShardTaskKindName(ShardTaskKind kind);
+
+/// \brief One candidate transform whose exact L1 error a kErrorPartials
+/// task evaluates.
+///
+/// The model is addressed against the run's shortlist: `features` are
+/// shortlist column indices (the transformation subset T, in order) and
+/// `coefficients` pair with them; ŷ(row) = intercept + Σ cᵢ·xᵢ(row) through
+/// the same LinearModel::PredictRow arithmetic the central engine uses, so
+/// shard-evaluated predictions are bit-identical to centrally evaluated
+/// ones.
+struct ErrorProbe {
+  /// Index into ShardInput::leaves naming the probe's row set.
+  int64_t leaf = 0;
+  std::vector<int64_t> features;
+  double intercept = 0.0;
+  std::vector<double> coefficients;
+};
+
+/// \brief A tagged request: what one shard of the plan should compute.
+///
+/// The task is the coordinator→executor half of the protocol. In-process
+/// and forked backends pass it by reference; the wire form exists for
+/// remote dispatch and is covered by round-trip tests.
+struct ShardTask {
+  ShardTaskKind kind = ShardTaskKind::kLeafMoments;
+  /// kLeafMoments: indices into ShardInput::leaves to sweep. A warm
+  /// coordinator elides already-cached leaves by simply leaving them out.
+  std::vector<int64_t> leaves;
+  /// kErrorPartials: the candidate transforms to evaluate.
+  std::vector<ErrorProbe> probes;
+
+  /// \name Wire format (versioned, native-endian; magic "CTK1").
+  /// @{
+  void SerializeTo(std::string* out) const;
+  static Result<ShardTask> Deserialize(const void* data, size_t size);
+  /// @}
+};
+
+/// \brief One leaf's contribution from one shard (kLeafMoments).
 struct LeafShardStats {
   /// Index into ShardInput::leaves.
   int64_t leaf = 0;
@@ -64,7 +125,77 @@ struct LeafShardStats {
   std::vector<std::pair<int64_t, SufficientStats>> blocks;
 };
 
-/// \brief Everything a shard sends back to the coordinator.
+/// \brief One probe's contribution from one shard (kErrorPartials):
+/// per-block exact L1 partials, ascending block index.
+struct ProbeShardErrors {
+  /// Index into ShardTask::probes.
+  int64_t probe = 0;
+  std::vector<std::pair<int64_t, ErrorPartials>> blocks;
+};
+
+/// \brief Everything a shard sends back for one task.
+///
+/// Only the fields of the task's kind are populated; the rest stay empty.
+struct ShardTaskResult {
+  ShardTaskKind kind = ShardTaskKind::kLeafMoments;
+  int64_t shard = 0;
+
+  /// kLeafMoments: leaves intersecting the shard's range, ascending index.
+  std::vector<LeafShardStats> leaves;
+
+  /// \name kSignalStats payload.
+  /// @{
+  /// Per-block shortlist moments over every row of the range, ascending.
+  std::vector<std::pair<int64_t, SufficientStats>> signal_blocks;
+  /// max |y_new − y_old| over the range (exactly associative fold).
+  double signal_max_abs_delta = 0.0;
+  /// Rows of the range whose target moved at all (|Δy| > 0); a cheap
+  /// change-density diagnostic.
+  int64_t signal_rows_changed = 0;
+  /// @}
+
+  /// kErrorPartials: one entry per probe intersecting the range, ascending
+  /// probe index.
+  std::vector<ProbeShardErrors> probes;
+
+  /// \name Diagnostics.
+  /// @{
+  int64_t rows_scanned = 0;    ///< rows the task actually visited
+  int64_t blocks_emitted = 0;  ///< per-block partials produced
+  double elapsed_seconds = 0.0;
+  /// @}
+
+  /// \name Wire format.
+  /// Versioned native-endian framing (magic "CST1") over the payload
+  /// serializers — the bytes SubprocessBackend workers pipe back. A round
+  /// trip is exact (doubles are copied bit-for-bit), so a deserialized
+  /// result merges bit-identically to an in-process one.
+  /// @{
+  void SerializeTo(std::string* out) const;
+  static Result<ShardTaskResult> Deserialize(const void* data, size_t size);
+  /// @}
+};
+
+/// \brief Executes one task on one shard of a plan against in-memory input.
+///
+/// This is the shard *kernel* both built-in backends run — InProcessBackend
+/// on a pool thread, SubprocessBackend inside a forked worker. Deterministic:
+/// output depends only on (input, plan, shard index, task).
+Result<ShardTaskResult> ExecuteShardTaskKernel(const ShardInput& input,
+                                               const ShardPlan& plan,
+                                               int64_t shard_index,
+                                               const ShardTask& task);
+
+/// \name Legacy single-purpose seam (pre-ShardTask)
+///
+/// The original protocol carried exactly one request — "sweep every leaf's
+/// moments" — with its own result struct and wire format. Both are kept as
+/// wrappers over the kLeafMoments task so existing callers and the recorded
+/// "CSR1" wire format stay valid.
+/// @{
+
+/// \brief Everything a shard sends back to the coordinator (legacy form of
+/// the kLeafMoments payload).
 struct ShardResult {
   int64_t shard = 0;
   /// Leaves intersecting the shard's range, ascending leaf index.
@@ -77,30 +208,27 @@ struct ShardResult {
   double elapsed_seconds = 0.0;
   /// @}
 
-  /// \name Wire format.
-  /// Versioned native-endian framing over SufficientStats::SerializeTo —
-  /// the bytes SubprocessBackend workers pipe to the coordinator. A round
-  /// trip is exact (doubles are copied bit-for-bit), so a deserialized
-  /// result merges bit-identically to an in-process one.
+  /// \name Wire format (legacy "CSR1" framing; exact round trip).
   /// @{
   void SerializeTo(std::string* out) const;
   static Result<ShardResult> Deserialize(const void* data, size_t size);
   /// @}
 };
 
-/// \brief Executes one shard of a plan against in-memory input: scans each
-/// leaf's rows inside [range.row_begin, range.row_end), accumulating one
-/// SufficientStats per canonical block and folding the snap evidence.
-///
-/// This is the shard *kernel* both built-in backends run — InProcessBackend
-/// on a pool thread, SubprocessBackend inside a forked worker. Deterministic:
-/// output depends only on (input, plan, shard index).
+/// \brief The kLeafMoments request the legacy seam always issued: every
+/// input leaf, in order. Shared by the legacy wrappers here and by
+/// Coordinator::Run.
+ShardTask AllLeavesTask(const ShardInput& input);
+
+/// \brief Legacy kernel: the kLeafMoments task over every input leaf.
 Result<ShardResult> ExecuteShardKernel(const ShardInput& input,
                                        const ShardPlan& plan,
                                        int64_t shard_index);
 
+/// @}
+
 /// \brief A shard executor. Implementations must be safe for concurrent
-/// ExecuteShard calls on distinct shards — the coordinator fans out over the
+/// ExecuteTask calls on distinct shards — the coordinator fans out over the
 /// run's thread pool.
 class ShardBackend {
  public:
@@ -109,10 +237,16 @@ class ShardBackend {
   /// Short human-readable backend name for diagnostics ("in-process", ...).
   virtual std::string name() const = 0;
 
-  /// Executes shard `shard_index` of `plan` over `input`.
-  virtual Result<ShardResult> ExecuteShard(const ShardInput& input,
-                                           const ShardPlan& plan,
-                                           int64_t shard_index) = 0;
+  /// Executes `task` on shard `shard_index` of `plan` over `input`.
+  virtual Result<ShardTaskResult> ExecuteTask(const ShardInput& input,
+                                              const ShardPlan& plan,
+                                              int64_t shard_index,
+                                              const ShardTask& task) = 0;
+
+  /// Legacy entry point: the kLeafMoments task over every input leaf,
+  /// reported in the legacy ShardResult form.
+  Result<ShardResult> ExecuteShard(const ShardInput& input, const ShardPlan& plan,
+                                   int64_t shard_index);
 };
 
 }  // namespace charles

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_map>
 #include <utility>
 
 #include "parallel/parallel.h"
@@ -10,22 +11,81 @@ namespace charles {
 
 namespace {
 
-/// ParallelMap slot: Result<ShardResult> is not default-constructible, so
-/// shard outcomes travel as a (status, result) pair.
+/// ParallelMap slot: Result<ShardTaskResult> is not default-constructible,
+/// so shard outcomes travel as a (status, result) pair.
 struct ShardOutcome {
   bool executed = false;
   Status status;
-  ShardResult result;
+  ShardTaskResult result;
 };
+
+/// Merges the kLeafMoments payload of one shard into the per-requested-leaf
+/// rollups. `position` maps a global leaf index to its slot.
+Status MergeLeafMoments(const ShardOutcome& outcome,
+                        const std::unordered_map<int64_t, size_t>& position,
+                        CoordinatorTaskResult* merged) {
+  for (const LeafShardStats& leaf : outcome.result.leaves) {
+    auto it = position.find(leaf.leaf);
+    if (it == position.end()) {
+      return Status::Internal("Coordinator::RunTask: shard " +
+                              std::to_string(outcome.result.shard) +
+                              " reported unrequested leaf " +
+                              std::to_string(leaf.leaf));
+    }
+    LeafRollup& rollup = merged->leaves[it->second];
+    rollup.max_abs_delta = std::max(rollup.max_abs_delta, leaf.max_abs_delta);
+    for (const auto& [block, stats] : leaf.blocks) {
+      (void)block;  // ascending by construction; order is the contract
+      CHARLES_RETURN_NOT_OK(rollup.stats.Merge(stats));
+      rollup.blocks_merged += 1;
+    }
+  }
+  return Status::OK();
+}
+
+Status MergeSignalStats(const ShardOutcome& outcome, int64_t* signal_blocks,
+                        CoordinatorTaskResult* merged) {
+  for (const auto& [block, stats] : outcome.result.signal_blocks) {
+    (void)block;
+    CHARLES_RETURN_NOT_OK(merged->signal_stats.Merge(stats));
+    *signal_blocks += 1;
+  }
+  merged->signal_max_abs_delta =
+      std::max(merged->signal_max_abs_delta, outcome.result.signal_max_abs_delta);
+  merged->signal_rows_changed += outcome.result.signal_rows_changed;
+  return Status::OK();
+}
+
+Status MergeErrorPartials(const ShardOutcome& outcome,
+                          CoordinatorTaskResult* merged) {
+  for (const ProbeShardErrors& probe : outcome.result.probes) {
+    if (probe.probe < 0 ||
+        probe.probe >= static_cast<int64_t>(merged->probes.size())) {
+      return Status::Internal("Coordinator::RunTask: shard " +
+                              std::to_string(outcome.result.shard) +
+                              " reported unknown probe " +
+                              std::to_string(probe.probe));
+    }
+    ProbeRollup& rollup = merged->probes[static_cast<size_t>(probe.probe)];
+    for (const auto& [block, partials] : probe.blocks) {
+      (void)block;
+      rollup.partials.Merge(partials);
+      rollup.blocks_merged += 1;
+    }
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
-Result<CoordinatorResult> Coordinator::Run(const ShardInput& input,
-                                           const ShardPlan& plan,
-                                           ShardBackend* backend, ThreadPool* pool,
-                                           const StopToken* stop) {
+Result<CoordinatorTaskResult> Coordinator::RunTask(const ShardInput& input,
+                                                   const ShardPlan& plan,
+                                                   ShardBackend* backend,
+                                                   ThreadPool* pool,
+                                                   const ShardTask& task,
+                                                   const StopToken* stop) {
   if (backend == nullptr) {
-    return Status::InvalidArgument("Coordinator::Run: null backend");
+    return Status::InvalidArgument("Coordinator::RunTask: null backend");
   }
   auto start = std::chrono::steady_clock::now();
 
@@ -35,7 +95,8 @@ Result<CoordinatorResult> Coordinator::Run(const ShardInput& input,
         // Checked per shard, not once: a stop raised mid-plan skips every
         // not-yet-dispatched shard (in-flight ones run to completion).
         if (stop != nullptr && stop->stop_requested()) return outcome;
-        Result<ShardResult> result = backend->ExecuteShard(input, plan, shard);
+        Result<ShardTaskResult> result =
+            backend->ExecuteTask(input, plan, shard, task);
         outcome.executed = true;
         if (result.ok()) {
           outcome.result = std::move(*result);
@@ -47,51 +108,81 @@ Result<CoordinatorResult> Coordinator::Run(const ShardInput& input,
 
   if (stop != nullptr && stop->stop_requested()) {
     return Status::Cancelled("shard sweep cancelled (" + backend->name() +
-                             " backend)");
+                             " backend, " + ShardTaskKindName(task.kind) +
+                             " task)");
   }
   for (const ShardOutcome& outcome : outcomes) {
     CHARLES_RETURN_NOT_OK(outcome.status);
   }
 
-  CoordinatorResult merged;
-  merged.leaves.resize(input.leaves.size());
-  for (size_t l = 0; l < input.leaves.size(); ++l) {
-    // Feature count must be fixed up front: a leaf entirely inside one shard
-    // contributes no partials from the others, and an all-empty rollup must
-    // still carry the shortlist width.
-    merged.leaves[l].stats = SufficientStats(
-        input.shortlist == nullptr ? 0
-                                   : static_cast<int64_t>(input.shortlist->size()));
+  CoordinatorTaskResult merged;
+  merged.kind = task.kind;
+  const int64_t num_features =
+      input.shortlist == nullptr ? 0
+                                 : static_cast<int64_t>(input.shortlist->size());
+  // Feature counts are fixed up front: a leaf entirely inside one shard
+  // contributes no partials from the others, and an all-empty rollup must
+  // still carry the shortlist width.
+  std::unordered_map<int64_t, size_t> leaf_position;
+  if (task.kind == ShardTaskKind::kLeafMoments) {
+    merged.leaves.resize(task.leaves.size());
+    leaf_position.reserve(task.leaves.size());
+    for (size_t l = 0; l < task.leaves.size(); ++l) {
+      merged.leaves[l].stats = SufficientStats(num_features);
+      leaf_position.emplace(task.leaves[l], l);
+    }
+  } else if (task.kind == ShardTaskKind::kSignalStats) {
+    merged.signal_stats = SufficientStats(num_features);
+  } else {
+    merged.probes.resize(task.probes.size());
   }
+
   // Outcomes arrive in shard (= row) order and each shard lists its blocks
-  // in ascending order, so this double loop visits every (leaf, block)
-  // partial in ascending global block order — the canonical fold.
+  // in ascending order, so the merges below visit every partial in
+  // ascending global block order — the canonical fold of each currency.
+  int64_t signal_blocks = 0;
   for (const ShardOutcome& outcome : outcomes) {
     if (!outcome.executed) continue;
     merged.shards_executed += 1;
     merged.rows_scanned += outcome.result.rows_scanned;
-    for (const LeafShardStats& leaf : outcome.result.leaves) {
-      if (leaf.leaf < 0 ||
-          leaf.leaf >= static_cast<int64_t>(merged.leaves.size())) {
-        return Status::Internal("Coordinator::Run: shard " +
-                                std::to_string(outcome.result.shard) +
-                                " reported unknown leaf " +
-                                std::to_string(leaf.leaf));
-      }
-      LeafRollup& rollup = merged.leaves[static_cast<size_t>(leaf.leaf)];
-      rollup.max_abs_delta = std::max(rollup.max_abs_delta, leaf.max_abs_delta);
-      for (const auto& [block, stats] : leaf.blocks) {
-        CHARLES_RETURN_NOT_OK(rollup.stats.Merge(stats));
-        rollup.blocks_merged += 1;
-      }
+    switch (task.kind) {
+      case ShardTaskKind::kLeafMoments:
+        CHARLES_RETURN_NOT_OK(MergeLeafMoments(outcome, leaf_position, &merged));
+        break;
+      case ShardTaskKind::kSignalStats:
+        CHARLES_RETURN_NOT_OK(MergeSignalStats(outcome, &signal_blocks, &merged));
+        break;
+      case ShardTaskKind::kErrorPartials:
+        CHARLES_RETURN_NOT_OK(MergeErrorPartials(outcome, &merged));
+        break;
     }
   }
   for (const LeafRollup& rollup : merged.leaves) {
     merged.blocks_merged += rollup.blocks_merged;
   }
+  for (const ProbeRollup& rollup : merged.probes) {
+    merged.blocks_merged += rollup.blocks_merged;
+  }
+  merged.blocks_merged += signal_blocks;
   merged.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return merged;
+}
+
+Result<CoordinatorResult> Coordinator::Run(const ShardInput& input,
+                                           const ShardPlan& plan,
+                                           ShardBackend* backend, ThreadPool* pool,
+                                           const StopToken* stop) {
+  CHARLES_ASSIGN_OR_RETURN(
+      CoordinatorTaskResult merged,
+      RunTask(input, plan, backend, pool, AllLeavesTask(input), stop));
+  CoordinatorResult legacy;
+  legacy.leaves = std::move(merged.leaves);
+  legacy.shards_executed = merged.shards_executed;
+  legacy.rows_scanned = merged.rows_scanned;
+  legacy.blocks_merged = merged.blocks_merged;
+  legacy.elapsed_seconds = merged.elapsed_seconds;
+  return legacy;
 }
 
 }  // namespace charles

@@ -2,26 +2,30 @@
 #define CHARLES_DISTRIBUTED_COORDINATOR_H_
 
 /// \file
-/// \brief Coordinator of a distributed leaf-statistics sweep.
+/// \brief Coordinator of distributed shard-task sweeps.
 ///
 /// The coordinator owns the fan-out/merge half of the coordinator/worker
 /// split (the half Roussakis-style change-detection frameworks centralize):
-/// it dispatches every ShardRange of a plan to a ShardBackend — concurrently
-/// over the run's thread pool when one is available — and folds the
-/// ShardResults into one LeafRollup per partition leaf:
+/// it dispatches one tagged ShardTask to every ShardRange of a plan via a
+/// ShardBackend — concurrently over the run's thread pool when one is
+/// available — and folds the ShardTaskResults with the task kind's exact,
+/// order-canonical merge:
 ///
-///  - moments: every per-block SufficientStats, merged in ascending global
-///    block order via SufficientStats::Merge. Shards return blocks in order
-///    and are themselves visited in row order, so the fold replays the
-///    canonical block fold of AccumulateRowBlocks exactly — the merged
-///    moments are bit-identical to an unsharded accumulation, at any shard
-///    count;
-///  - snap evidence: max |y_new − y_old| folded across shards (max is
-///    exactly associative);
-///  - diagnostics: rows scanned and blocks merged, summed.
+///  - kLeafMoments: every per-(leaf, block) SufficientStats, merged in
+///    ascending global block order via SufficientStats::Merge. Shards
+///    return blocks in order and are themselves visited in row order, so
+///    the fold replays the canonical block fold of AccumulateRowBlocks
+///    exactly — the merged moments are bit-identical to an unsharded
+///    accumulation, at any shard count. Snap evidence (max |Δy|) folds
+///    exactly because max is associative.
+///  - kSignalStats: the per-block shortlist moments over the whole diff,
+///    merged the same way — bit-identical to AccumulateRangeBlocks.
+///  - kErrorPartials: per-(probe, block) ErrorPartials merged in ascending
+///    block order — the exact Σ|y − ŷ| a central canonical fold computes,
+///    so shard-derived MAE is bit-identical to centrally evaluated MAE.
 ///
-/// The engine then re-solves every leaf fit from the merged moments through
-/// its ordinary phase-3 machinery, so ranked output is bit-identical to the
+/// The engine re-solves fits and decisions from the merged currencies
+/// through its ordinary machinery, so ranked output is bit-identical to the
 /// unsharded engine. See docs/distributed.md for the full contract.
 
 #include <cstdint>
@@ -37,7 +41,7 @@ namespace charles {
 
 class ThreadPool;
 
-/// \brief One leaf's exact cross-shard rollup.
+/// \brief One leaf's exact cross-shard rollup (kLeafMoments).
 struct LeafRollup {
   /// Merged moments over the leaf's full row set (shortlist feature order).
   SufficientStats stats;
@@ -48,7 +52,37 @@ struct LeafRollup {
   int64_t blocks_merged = 0;
 };
 
-/// \brief The coordinator's merged view of a completed plan.
+/// \brief One probe's exact cross-shard rollup (kErrorPartials).
+struct ProbeRollup {
+  /// Merged Σ|y − ŷ| and row count over the probe's leaf.
+  ErrorPartials partials;
+  /// Block partials folded into `partials`.
+  int64_t blocks_merged = 0;
+};
+
+/// \brief The coordinator's merged view of one completed task sweep.
+///
+/// Only the fields of the task's kind carry data.
+struct CoordinatorTaskResult {
+  ShardTaskKind kind = ShardTaskKind::kLeafMoments;
+  /// kLeafMoments: one rollup per *requested* leaf, in ShardTask::leaves
+  /// order.
+  std::vector<LeafRollup> leaves;
+  /// kSignalStats: merged shortlist moments over the whole diff + the
+  /// folded delta evidence.
+  SufficientStats signal_stats;
+  double signal_max_abs_delta = 0.0;
+  int64_t signal_rows_changed = 0;
+  /// kErrorPartials: one rollup per ShardTask::probes entry, same order.
+  std::vector<ProbeRollup> probes;
+
+  int64_t shards_executed = 0;
+  int64_t rows_scanned = 0;   ///< summed over shards
+  int64_t blocks_merged = 0;  ///< summed over rollups
+  double elapsed_seconds = 0.0;
+};
+
+/// \brief Legacy merged view of a whole-input kLeafMoments sweep.
 struct CoordinatorResult {
   /// One rollup per ShardInput leaf, same order.
   std::vector<LeafRollup> leaves;
@@ -58,13 +92,22 @@ struct CoordinatorResult {
   double elapsed_seconds = 0.0;
 };
 
-/// \brief Fans a plan out over a backend and merges the results.
+/// \brief Fans tasks out over a backend and merges the results.
 class Coordinator {
  public:
-  /// Executes every shard of `plan` via `backend` — concurrently over
-  /// `pool` when non-null, serially otherwise — and merges. Fails with the
-  /// first shard error, or Status::Cancelled when `stop` is triggered
-  /// (checked before each shard dispatch; in-flight shards complete).
+  /// Executes `task` on every shard of `plan` via `backend` — concurrently
+  /// over `pool` when non-null, serially otherwise — and merges with the
+  /// kind's exact fold. Fails with the first shard error, or
+  /// Status::Cancelled when `stop` is triggered (checked before each shard
+  /// dispatch; in-flight shards complete).
+  static Result<CoordinatorTaskResult> RunTask(const ShardInput& input,
+                                               const ShardPlan& plan,
+                                               ShardBackend* backend,
+                                               ThreadPool* pool,
+                                               const ShardTask& task,
+                                               const StopToken* stop = nullptr);
+
+  /// Legacy entry point: the kLeafMoments task over every input leaf.
   static Result<CoordinatorResult> Run(const ShardInput& input,
                                        const ShardPlan& plan, ShardBackend* backend,
                                        ThreadPool* pool,

@@ -17,9 +17,10 @@ class InProcessBackend : public ShardBackend {
  public:
   std::string name() const override { return "in-process"; }
 
-  Result<ShardResult> ExecuteShard(const ShardInput& input, const ShardPlan& plan,
-                                   int64_t shard_index) override {
-    return ExecuteShardKernel(input, plan, shard_index);
+  Result<ShardTaskResult> ExecuteTask(const ShardInput& input, const ShardPlan& plan,
+                                      int64_t shard_index,
+                                      const ShardTask& task) override {
+    return ExecuteShardTaskKernel(input, plan, shard_index, task);
   }
 };
 

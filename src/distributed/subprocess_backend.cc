@@ -32,9 +32,10 @@ bool WriteAll(int fd, const char* data, size_t size) {
 
 }  // namespace
 
-Result<ShardResult> SubprocessBackend::ExecuteShard(const ShardInput& input,
-                                                    const ShardPlan& plan,
-                                                    int64_t shard_index) {
+Result<ShardTaskResult> SubprocessBackend::ExecuteTask(const ShardInput& input,
+                                                       const ShardPlan& plan,
+                                                       int64_t shard_index,
+                                                       const ShardTask& task) {
   int pipe_fds[2];
   pid_t pid = -1;
   {
@@ -66,7 +67,8 @@ Result<ShardResult> SubprocessBackend::ExecuteShard(const ShardInput& input,
     if (test_worker_hook_) test_worker_hook_(shard_index);
     int exit_code = 0;
     {
-      Result<ShardResult> result = ExecuteShardKernel(input, plan, shard_index);
+      Result<ShardTaskResult> result =
+          ExecuteShardTaskKernel(input, plan, shard_index, task);
       if (result.ok()) {
         std::string wire;
         result->SerializeTo(&wire);
@@ -125,7 +127,8 @@ Result<ShardResult> SubprocessBackend::ExecuteShard(const ShardInput& input,
     return Status::IOError("SubprocessBackend: read from " + worker + ": " +
                            ::strerror(read_errno));
   }
-  Result<ShardResult> result = ShardResult::Deserialize(wire.data(), wire.size());
+  Result<ShardTaskResult> result =
+      ShardTaskResult::Deserialize(wire.data(), wire.size());
   if (!result.ok()) {
     return result.status().WithContext("SubprocessBackend: " + worker +
                                        " produced a malformed result");

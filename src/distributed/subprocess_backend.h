@@ -8,8 +8,8 @@
 
 namespace charles {
 
-/// \brief Process-isolated backend: each shard executes in a forked worker
-/// that ships its serialized ShardResult back over a pipe.
+/// \brief Process-isolated backend: each shard task executes in a forked
+/// worker that ships its serialized ShardTaskResult back over a pipe.
 ///
 /// The worker inherits the parent's address space copy-on-write, so
 /// ShardInput needs no marshalling — only the *result* crosses a process
@@ -47,8 +47,9 @@ class SubprocessBackend : public ShardBackend {
 
   std::string name() const override { return "subprocess"; }
 
-  Result<ShardResult> ExecuteShard(const ShardInput& input, const ShardPlan& plan,
-                                   int64_t shard_index) override;
+  Result<ShardTaskResult> ExecuteTask(const ShardInput& input, const ShardPlan& plan,
+                                      int64_t shard_index,
+                                      const ShardTask& task) override;
 
  private:
   WorkerHook test_worker_hook_;

@@ -288,6 +288,223 @@ TEST(SubprocessBackendTest, CoordinatorPropagatesWorkerCrash) {
   EXPECT_TRUE(status.IsInternal()) << status.ToString();
 }
 
+// --- ShardTask protocol (ISSUE 5): tagged tasks, wire, exact merges ---------
+
+ShardTask MakeMomentsTask(const ShardInput& input) {
+  ShardTask task;
+  task.kind = ShardTaskKind::kLeafMoments;
+  for (size_t l = 0; l < input.leaves.size(); ++l) {
+    task.leaves.push_back(static_cast<int64_t>(l));
+  }
+  return task;
+}
+
+ShardTask MakeSignalTask() {
+  ShardTask task;
+  task.kind = ShardTaskKind::kSignalStats;
+  return task;
+}
+
+/// Two probes with distinct leaves/subsets: a one-feature model on the
+/// all-rows leaf and a two-feature model on the stride leaf.
+ShardTask MakeErrorTask() {
+  ShardTask task;
+  task.kind = ShardTaskKind::kErrorPartials;
+  ErrorProbe p0;
+  p0.leaf = 0;
+  p0.features = {0};
+  p0.intercept = 12.5;
+  p0.coefficients = {1.05};
+  task.probes.push_back(p0);
+  ErrorProbe p1;
+  p1.leaf = 1;
+  p1.features = {0, 1};
+  p1.intercept = -3.0;
+  p1.coefficients = {0.5, 2.0};
+  task.probes.push_back(p1);
+  return task;
+}
+
+TEST(ShardTaskWireTest, TaskRoundTripIsExactForAllThreeKinds) {
+  SyntheticInput s = MakeSyntheticInput(100);
+  for (const ShardTask& task :
+       {MakeMomentsTask(s.input), MakeSignalTask(), MakeErrorTask()}) {
+    std::string wire;
+    task.SerializeTo(&wire);
+    ShardTask back = ShardTask::Deserialize(wire.data(), wire.size()).ValueOrDie();
+    EXPECT_EQ(back.kind, task.kind);
+    EXPECT_EQ(back.leaves, task.leaves);
+    ASSERT_EQ(back.probes.size(), task.probes.size());
+    for (size_t p = 0; p < task.probes.size(); ++p) {
+      EXPECT_EQ(back.probes[p].leaf, task.probes[p].leaf);
+      EXPECT_EQ(back.probes[p].features, task.probes[p].features);
+      EXPECT_EQ(std::memcmp(&back.probes[p].intercept, &task.probes[p].intercept,
+                            sizeof(double)),
+                0);
+      EXPECT_EQ(back.probes[p].coefficients, task.probes[p].coefficients);
+    }
+    // Truncation and a foreign magic must fail loudly.
+    EXPECT_TRUE(ShardTask::Deserialize(wire.data(), wire.size() / 2)
+                    .status()
+                    .IsIOError());
+    std::string corrupted = wire;
+    corrupted[0] = 'X';
+    EXPECT_TRUE(ShardTask::Deserialize(corrupted.data(), corrupted.size())
+                    .status()
+                    .IsIOError());
+  }
+}
+
+TEST(ShardTaskWireTest, TaskResultRoundTripIsExactForAllThreeKinds) {
+  SyntheticInput s = MakeSyntheticInput(500);
+  ShardPlan plan = PlanShards(500, 64, 3);
+  for (const ShardTask& task :
+       {MakeMomentsTask(s.input), MakeSignalTask(), MakeErrorTask()}) {
+    for (int64_t shard = 0; shard < plan.num_shards(); ++shard) {
+      ShardTaskResult result =
+          ExecuteShardTaskKernel(s.input, plan, shard, task).ValueOrDie();
+      std::string wire;
+      result.SerializeTo(&wire);
+      ShardTaskResult back =
+          ShardTaskResult::Deserialize(wire.data(), wire.size()).ValueOrDie();
+      EXPECT_EQ(back.kind, result.kind);
+      EXPECT_EQ(back.shard, result.shard);
+      EXPECT_EQ(back.rows_scanned, result.rows_scanned);
+      EXPECT_EQ(back.blocks_emitted, result.blocks_emitted);
+      ASSERT_EQ(back.leaves.size(), result.leaves.size());
+      for (size_t l = 0; l < result.leaves.size(); ++l) {
+        EXPECT_EQ(back.leaves[l].leaf, result.leaves[l].leaf);
+        ASSERT_EQ(back.leaves[l].blocks.size(), result.leaves[l].blocks.size());
+        for (size_t b = 0; b < result.leaves[l].blocks.size(); ++b) {
+          EXPECT_TRUE(back.leaves[l].blocks[b].second.BitIdenticalTo(
+              result.leaves[l].blocks[b].second));
+        }
+      }
+      ASSERT_EQ(back.signal_blocks.size(), result.signal_blocks.size());
+      for (size_t b = 0; b < result.signal_blocks.size(); ++b) {
+        EXPECT_EQ(back.signal_blocks[b].first, result.signal_blocks[b].first);
+        EXPECT_TRUE(back.signal_blocks[b].second.BitIdenticalTo(
+            result.signal_blocks[b].second));
+      }
+      EXPECT_EQ(std::memcmp(&back.signal_max_abs_delta,
+                            &result.signal_max_abs_delta, sizeof(double)),
+                0);
+      EXPECT_EQ(back.signal_rows_changed, result.signal_rows_changed);
+      ASSERT_EQ(back.probes.size(), result.probes.size());
+      for (size_t p = 0; p < result.probes.size(); ++p) {
+        EXPECT_EQ(back.probes[p].probe, result.probes[p].probe);
+        ASSERT_EQ(back.probes[p].blocks.size(), result.probes[p].blocks.size());
+        for (size_t b = 0; b < result.probes[p].blocks.size(); ++b) {
+          EXPECT_EQ(back.probes[p].blocks[b].first,
+                    result.probes[p].blocks[b].first);
+          EXPECT_TRUE(back.probes[p].blocks[b].second.BitIdenticalTo(
+              result.probes[p].blocks[b].second));
+        }
+      }
+      EXPECT_TRUE(ShardTaskResult::Deserialize(wire.data(), wire.size() / 2)
+                      .status()
+                      .IsIOError());
+    }
+  }
+}
+
+TEST(ShardTaskMergeTest, SignalStatsMergeMatchesCentralFoldBitForBit) {
+  SyntheticInput s = MakeSyntheticInput(777);
+  std::vector<const std::vector<double>*> cols;
+  ASSERT_TRUE(s.columns.ResolveColumns(s.shortlist, &cols));
+  SufficientStats central = AccumulateRangeBlocks(cols, s.y_new, 777, 64);
+  InProcessBackend in_process;
+  SubprocessBackend subprocess;
+  for (int shards : {1, 2, 5, 8}) {
+    ShardPlan plan = PlanShards(777, 64, shards);
+    for (ShardBackend* backend :
+         std::vector<ShardBackend*>{&in_process, &subprocess}) {
+      CoordinatorTaskResult merged =
+          Coordinator::RunTask(s.input, plan, backend, /*pool=*/nullptr,
+                               MakeSignalTask())
+              .ValueOrDie();
+      EXPECT_TRUE(merged.signal_stats.BitIdenticalTo(central))
+          << backend->name() << " at " << shards << " shards";
+      EXPECT_EQ(merged.rows_scanned, 777);
+      EXPECT_GT(merged.signal_rows_changed, 0);
+    }
+  }
+}
+
+TEST(ShardTaskMergeTest, ErrorPartialsMergeMatchesCentralFoldBitForBit) {
+  SyntheticInput s = MakeSyntheticInput(641);
+  ShardTask task = MakeErrorTask();
+  // Central canonical fold of each probe, straight from the definition.
+  std::vector<ErrorPartials> central;
+  for (const ErrorProbe& probe : task.probes) {
+    const RowSet& rows = s.leaf_storage[static_cast<size_t>(probe.leaf)];
+    std::vector<double> y(static_cast<size_t>(rows.size()));
+    std::vector<double> y_hat(static_cast<size_t>(rows.size()));
+    for (int64_t r = 0; r < rows.size(); ++r) {
+      size_t row = static_cast<size_t>(rows[r]);
+      y[static_cast<size_t>(r)] = s.y_new[row];
+      double prediction = probe.intercept;
+      for (size_t f = 0; f < probe.features.size(); ++f) {
+        const std::vector<double>& column =
+            *s.columns.Find(s.shortlist[static_cast<size_t>(probe.features[f])]);
+        prediction += probe.coefficients[f] * column[row];
+      }
+      y_hat[static_cast<size_t>(r)] = prediction;
+    }
+    central.push_back(AccumulateAbsDiffBlocks(y, y_hat, rows.indices(), 64));
+  }
+  InProcessBackend in_process;
+  SubprocessBackend subprocess;
+  for (int shards : {1, 3, 8}) {
+    ShardPlan plan = PlanShards(641, 64, shards);
+    for (ShardBackend* backend :
+         std::vector<ShardBackend*>{&in_process, &subprocess}) {
+      CoordinatorTaskResult merged =
+          Coordinator::RunTask(s.input, plan, backend, nullptr, task).ValueOrDie();
+      ASSERT_EQ(merged.probes.size(), task.probes.size());
+      for (size_t p = 0; p < central.size(); ++p) {
+        EXPECT_TRUE(merged.probes[p].partials.BitIdenticalTo(central[p]))
+            << backend->name() << " probe " << p << " at " << shards
+            << " shards";
+      }
+    }
+  }
+}
+
+TEST(ShardTaskMergeTest, LeafMomentsSubsetSweepsOnlyRequestedLeaves) {
+  SyntheticInput s = MakeSyntheticInput(400);
+  ShardPlan plan = PlanShards(400, 64, 4);
+  std::vector<const std::vector<double>*> cols;
+  ASSERT_TRUE(s.columns.ResolveColumns(s.shortlist, &cols));
+  // Request only leaf 2 — the elision shape: cached leaves are simply left
+  // out of the task.
+  ShardTask task;
+  task.kind = ShardTaskKind::kLeafMoments;
+  task.leaves = {2};
+  InProcessBackend backend;
+  CoordinatorTaskResult merged =
+      Coordinator::RunTask(s.input, plan, &backend, nullptr, task).ValueOrDie();
+  ASSERT_EQ(merged.leaves.size(), 1u);
+  SufficientStats direct =
+      AccumulateRowBlocks(cols, s.y_new, s.leaf_storage[2].indices(), 64);
+  EXPECT_TRUE(merged.leaves[0].stats.BitIdenticalTo(direct));
+  // Only the requested leaf's rows were scanned.
+  EXPECT_EQ(merged.rows_scanned, s.leaf_storage[2].size());
+}
+
+TEST(ShardTaskMergeTest, MalformedProbeSurfacesAsInvalidArgument) {
+  SyntheticInput s = MakeSyntheticInput(200);
+  ShardPlan plan = PlanShards(200, 64, 2);
+  ShardTask task;
+  task.kind = ShardTaskKind::kErrorPartials;
+  ErrorProbe bad;
+  bad.leaf = 99;  // out of range
+  task.probes.push_back(bad);
+  EXPECT_TRUE(ExecuteShardTaskKernel(s.input, plan, 0, task)
+                  .status()
+                  .IsInvalidArgument());
+}
+
 // --- The headline contract: shard parity on real workloads ------------------
 
 /// Byte- and bit-level equality of two ranked runs (the parallel-engine

@@ -414,6 +414,54 @@ TEST(AdmissionControlTest, SlotsReleaseOnEveryExitPath) {
   EXPECT_TRUE(engine.Find(source, target).ok());
 }
 
+TEST(EngineContextTest, WarmShardedRunElidesEveryLeafMomentsTask) {
+  // ROADMAP warm-rescan fix: a warm context already holds every (leaf, T)
+  // fit, so the repeat sharded run must plan *zero* kLeafMoments work — the
+  // leaves are elided from the task — while staying bit-identical.
+  EmployeeGenOptions gen;
+  gen.num_rows = 600;
+  Table source = GenerateEmployees(gen).ValueOrDie();
+  Table target = MakeEmployeeBonusPolicy().Apply(source).ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"emp_id"};
+  options.stats_block_rows = 64;
+  options.num_shards = 4;
+
+  EngineContextOptions ctx_options;
+  ctx_options.num_threads = 2;
+  EngineContext context(ctx_options);
+  CharlesEngine engine(options, &context);
+  SummaryList cold = engine.Find(source, target).ValueOrDie();
+  SummaryList warm = engine.Find(source, target).ValueOrDie();
+
+  // Cold: nothing cached, every deduplicated leaf is swept and none elided.
+  EXPECT_GT(cold.shard_moment_leaves_swept, 0);
+  EXPECT_EQ(cold.shard_moment_leaves_elided, 0);
+  EXPECT_GT(cold.shard_error_probes, 0);
+  EXPECT_GT(cold.shard_tasks_executed, 0);
+
+  // Warm: every leaf's fits are cached, so the moments round issues zero
+  // tasks; only the phase-1 signal round still scans rows.
+  EXPECT_EQ(warm.shard_moment_leaves_swept, 0);
+  EXPECT_EQ(warm.shard_moment_leaves_elided, cold.shard_moment_leaves_swept);
+  EXPECT_EQ(warm.shard_error_probes, 0);
+  EXPECT_EQ(warm.shard_moments_seconds, 0.0);
+  EXPECT_EQ(warm.leaf_fits_computed, 0);
+  // The signal round executed on every shard; the moments/error rounds
+  // added none, so exactly one round's worth of tasks ran.
+  EXPECT_EQ(warm.shard_tasks_executed, static_cast<int64_t>(warm.shards_used));
+
+  // Elision never changes output: warm equals cold equals a fresh unsharded
+  // serial engine.
+  CharlesOptions plain = options;
+  plain.num_shards = 0;
+  plain.num_threads = 1;
+  SummaryList fresh = CharlesEngine(plain).Find(source, target).ValueOrDie();
+  ExpectIdenticalRuns(fresh, cold);
+  ExpectIdenticalRuns(fresh, warm);
+}
+
 TEST(StreamingFindTest, BlockingFindStreamsToo) {
   Table source = MakeExample1Source().ValueOrDie();
   Table target = MakeExample1Target().ValueOrDie();
