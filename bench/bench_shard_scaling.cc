@@ -10,16 +10,20 @@
 /// changed the answer is a bug, not a result. The in-process backend shows
 /// the shard sweep's parallel scaling; the subprocess backend prices the
 /// wire format (fork + serialize + pipe per shard) that a multi-box backend
-/// would pay per RPC.
+/// would pay per RPC; the remote backend (ISSUE 6) prices the full network
+/// path — TCP framing, install-once input shipping, per-task round trips —
+/// against loopback charles_worker services in this process.
 ///
 /// Results are recorded in BENCH_shards.json (working directory), including
 /// the per-task-kind coordinator timings of the ShardTask protocol
-/// (kSignalStats / kLeafMoments / kErrorPartials) and the warm-context
-/// cells' elision counters. `--smoke` runs a reduced grid and exits
-/// non-zero if any sharded ranking diverges from the unsharded baseline,
-/// the sharded end-to-end time blows past a generous overhead ceiling, or a
-/// warm-context repeat run fails to elide every kLeafMoments task — the CI
-/// tripwires for the distributed path.
+/// (kSignalStats / kLeafMoments / kErrorPartials), the warm-context cells'
+/// elision counters, and the remote cells' dispatch/install/retry counters.
+/// `--smoke` runs a reduced grid and exits non-zero if any sharded ranking
+/// diverges from the unsharded baseline, the sharded end-to-end time blows
+/// past a generous overhead ceiling, a warm-context repeat run fails to
+/// elide every kLeafMoments task, or a remote cell needed a retry (loopback
+/// workers never legitimately fail) — the CI tripwires for the distributed
+/// path.
 
 #include <benchmark/benchmark.h>
 
@@ -27,10 +31,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "distributed/worker_service.h"
 #include "workload/employee_gen.h"
 
 namespace charles {
@@ -50,6 +56,9 @@ struct GridRow {
   int64_t rows_scanned = 0;
   int64_t leaves_swept = 0;   ///< kLeafMoments leaves actually requested
   int64_t leaves_elided = 0;  ///< leaves skipped via the warm fit cache
+  int64_t remote_tasks = 0;     ///< kRemote: tasks dispatched to the fleet
+  int64_t remote_installs = 0;  ///< kRemote: install bundles shipped
+  int64_t remote_retries = 0;   ///< kRemote: transport-failure reassignments
   bool identical = true;  ///< ranking bit-identical to the baseline
 };
 
@@ -62,12 +71,18 @@ struct Baseline {
 GridRow RunCell(const Table& source, const Table& target, int shards,
                 ShardBackendKind backend, int threads, int64_t block_rows,
                 Baseline* baseline, EngineContext* context = nullptr,
-                const char* mode = "cold") {
+                const char* mode = "cold",
+                const std::vector<std::string>* remote_workers = nullptr) {
   CharlesOptions options = DefaultBenchOptions("bonus", "emp_id");
   options.num_threads = threads;
   options.stats_block_rows = block_rows;
   options.num_shards = shards;
   options.shard_backend = backend;
+  if (backend == ShardBackendKind::kRemote) {
+    CHARLES_CHECK(remote_workers != nullptr && !remote_workers->empty());
+    options.remote_workers = *remote_workers;
+    options.remote_retry_backoff_ms = 1;  // loopback: fail fast, not slow
+  }
 
   auto start = std::chrono::steady_clock::now();
   SummaryList result =
@@ -75,10 +90,10 @@ GridRow RunCell(const Table& source, const Table& target, int shards,
           ? SummarizeChanges(source, target, options, context).ValueOrDie()
           : SummarizeChanges(source, target, options).ValueOrDie();
   GridRow row;
-  row.backend = shards == 0 ? "none"
-                            : (backend == ShardBackendKind::kInProcess
-                                   ? "in-process"
-                                   : "subprocess");
+  row.backend = shards == 0                                  ? "none"
+                : backend == ShardBackendKind::kInProcess    ? "in-process"
+                : backend == ShardBackendKind::kSubprocess   ? "subprocess"
+                                                             : "remote";
   row.mode = mode;
   row.shards = shards;
   row.threads = threads;
@@ -91,6 +106,9 @@ GridRow RunCell(const Table& source, const Table& target, int shards,
   row.rows_scanned = result.shard_rows_scanned;
   row.leaves_swept = result.shard_moment_leaves_swept;
   row.leaves_elided = result.shard_moment_leaves_elided;
+  row.remote_tasks = result.remote_tasks_dispatched;
+  row.remote_installs = result.remote_input_installs;
+  row.remote_retries = result.remote_task_retries;
 
   CHARLES_CHECK(!result.summaries.empty());
   if (baseline->count == 0) {
@@ -115,6 +133,15 @@ std::vector<GridRow> RunGrid(bool smoke) {
   Table target = MakeEmployeeBonusPolicy().Apply(source).ValueOrDie();
   const int64_t block_rows = 256;  // 4k rows = 16 blocks, so 8 shards exist
 
+  // Two loopback charles_worker services in this process back the remote
+  // cells — the same topology the CI loopback job runs.
+  std::vector<std::unique_ptr<LoopbackWorker>> workers;
+  std::vector<std::string> worker_endpoints;
+  for (int i = 0; i < 2; ++i) {
+    workers.push_back(LoopbackWorker::Start().ValueOrDie());
+    worker_endpoints.push_back(workers.back()->endpoint());
+  }
+
   std::vector<GridRow> grid;
   Baseline baseline;
   if (smoke) {
@@ -126,6 +153,13 @@ std::vector<GridRow> RunGrid(bool smoke) {
     }
     grid.push_back(RunCell(source, target, 2, ShardBackendKind::kSubprocess, 2,
                            block_rows, &baseline));
+    // Remote parity cells: the smoke tripwire below asserts bit-identical
+    // rankings, dispatched tasks, and zero transport retries.
+    for (int shards : {2, 8}) {
+      grid.push_back(RunCell(source, target, shards, ShardBackendKind::kRemote,
+                             2, block_rows, &baseline, nullptr, "cold",
+                             &worker_endpoints));
+    }
     // Warm-context pair: the repeat run must serve every fit from the
     // context cache and elide every kLeafMoments task (the smoke tripwire
     // below asserts it).
@@ -145,10 +179,12 @@ std::vector<GridRow> RunGrid(bool smoke) {
     grid.push_back(RunCell(source, target, 0, ShardBackendKind::kInProcess, threads,
                            block_rows, &per_thread_baseline));
     for (ShardBackendKind backend :
-         {ShardBackendKind::kInProcess, ShardBackendKind::kSubprocess}) {
+         {ShardBackendKind::kInProcess, ShardBackendKind::kSubprocess,
+          ShardBackendKind::kRemote}) {
       for (int shards : {1, 2, 4, 8}) {
-        grid.push_back(RunCell(source, target, shards, backend, threads, block_rows,
-                               &per_thread_baseline));
+        grid.push_back(RunCell(source, target, shards, backend, threads,
+                               block_rows, &per_thread_baseline, nullptr,
+                               "cold", &worker_endpoints));
       }
     }
     // Warm-context pair at 4 shards: prices the elision path.
@@ -166,12 +202,12 @@ std::vector<GridRow> RunGrid(bool smoke) {
 }
 
 void PrintGrid(const std::vector<GridRow>& grid) {
-  std::vector<int> widths = {11, 5, 7, 8, 9, 9, 9, 9, 9, 13, 7, 10};
+  std::vector<int> widths = {11, 5, 7, 8, 9, 9, 9, 9, 9, 13, 7, 8, 8, 10};
   PrintRule(widths);
   PrintTableRow(widths,
                 {"backend", "mode", "shards", "threads", "total s", "shard s",
                  "signal s", "momnt s", "error s", "rows scanned", "elided",
-                 "identical"});
+                 "r tasks", "retries", "identical"});
   PrintRule(widths);
   for (const GridRow& r : grid) {
     PrintTableRow(widths,
@@ -179,7 +215,10 @@ void PrintGrid(const std::vector<GridRow>& grid) {
                    std::to_string(r.threads), Fmt(r.total_s, 3),
                    Fmt(r.shard_s, 4), Fmt(r.signal_s, 4), Fmt(r.moments_s, 4),
                    Fmt(r.error_s, 4), std::to_string(r.rows_scanned),
-                   std::to_string(r.leaves_elided), r.identical ? "yes" : "NO"});
+                   std::to_string(r.leaves_elided),
+                   std::to_string(r.remote_tasks),
+                   std::to_string(r.remote_retries),
+                   r.identical ? "yes" : "NO"});
   }
   PrintRule(widths);
 }
@@ -198,12 +237,17 @@ void WriteJson(const std::string& path, const std::vector<GridRow>& grid) {
                  "\"threads\": %d, \"total_s\": %.5f, \"shard_s\": %.5f, "
                  "\"signal_s\": %.5f, \"moments_s\": %.5f, \"error_s\": %.5f, "
                  "\"rows_scanned\": %lld, \"leaves_swept\": %lld, "
-                 "\"leaves_elided\": %lld, \"identical\": %s}%s\n",
+                 "\"leaves_elided\": %lld, \"remote_tasks\": %lld, "
+                 "\"remote_installs\": %lld, \"remote_retries\": %lld, "
+                 "\"identical\": %s}%s\n",
                  r.backend.c_str(), r.mode.c_str(), r.shards, r.threads,
                  r.total_s, r.shard_s, r.signal_s, r.moments_s, r.error_s,
                  static_cast<long long>(r.rows_scanned),
                  static_cast<long long>(r.leaves_swept),
                  static_cast<long long>(r.leaves_elided),
+                 static_cast<long long>(r.remote_tasks),
+                 static_cast<long long>(r.remote_installs),
+                 static_cast<long long>(r.remote_retries),
                  r.identical ? "true" : "false", i + 1 < grid.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -285,8 +329,32 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FAIL: smoke grid is missing the warm-context cell\n");
       return 1;
     }
-    std::printf("smoke OK: every sharded cell bit-identical, overhead within "
-                "bounds, warm run elided every leaf-moments task\n");
+    // Remote-parity tripwire: loopback workers never legitimately fail, so a
+    // remote cell with zero dispatches (fleet never used) or any transport
+    // retry marks a broken remote path even when the ranking happens to match.
+    bool saw_remote = false;
+    for (const charles::bench::GridRow& row : grid) {
+      if (row.backend != "remote") continue;
+      saw_remote = true;
+      if (row.remote_tasks == 0 || row.remote_retries != 0 ||
+          row.remote_installs == 0) {
+        std::fprintf(stderr,
+                     "FAIL: remote cell at %d shards dispatched %lld tasks, "
+                     "%lld installs, %lld retries; expected >0 tasks, >0 "
+                     "installs, 0 retries over loopback\n",
+                     row.shards, static_cast<long long>(row.remote_tasks),
+                     static_cast<long long>(row.remote_installs),
+                     static_cast<long long>(row.remote_retries));
+        return 1;
+      }
+    }
+    if (!saw_remote) {
+      std::fprintf(stderr, "FAIL: smoke grid is missing the remote cells\n");
+      return 1;
+    }
+    std::printf("smoke OK: every sharded cell (including remote loopback) "
+                "bit-identical, overhead within bounds, warm run elided every "
+                "leaf-moments task, zero remote retries\n");
     return 0;
   }
 

@@ -22,6 +22,7 @@
 #include "core/stop_token.h"
 #include "core/summary.h"
 #include "diff/diff.h"
+#include "distributed/remote_counters.h"
 #include "parallel/sharded_cache.h"
 #include "table/table.h"
 
@@ -74,6 +75,20 @@ struct SummaryList {
   double shard_signal_seconds = 0.0;  ///< kSignalStats round
   double shard_moments_seconds = 0.0; ///< kLeafMoments round
   double shard_error_seconds = 0.0;   ///< kErrorPartials round
+  /// @}
+  /// \name Remote backend (shard_backend = kRemote; empty/zero otherwise).
+  /// @{
+  /// Shard tasks dispatched to the worker fleet.
+  int64_t remote_tasks_dispatched = 0;
+  /// Transport-failure reassignments: a worker died or timed out mid-shard
+  /// and the task was retried on another worker. Nonzero retries never
+  /// change output — the kernel is deterministic and the merge block-ordered.
+  int64_t remote_task_retries = 0;
+  /// ShardInput bundles installed, summed over workers (stays at epochs ×
+  /// workers-used, however many tasks ran).
+  int64_t remote_input_installs = 0;
+  /// Per-worker dispatch/health counters at the end of the run.
+  std::vector<RemoteWorkerCounters> remote_workers;
   /// @}
   /// @}
   double elapsed_seconds = 0.0;

@@ -46,6 +46,26 @@ Status CharlesOptions::Validate() const {
   if (stats_block_rows < 1) {
     return Status::OutOfRange("stats_block_rows must be >= 1");
   }
+  if (shard_backend == ShardBackendKind::kRemote) {
+    if (remote_workers.empty()) {
+      return Status::InvalidArgument(
+          "shard_backend = kRemote requires at least one remote_workers "
+          "endpoint (\"host:port\")");
+    }
+    if (remote_connect_timeout_ms <= 0) {
+      return Status::OutOfRange("remote_connect_timeout_ms must be > 0");
+    }
+    if (remote_task_timeout_ms < 0) {
+      return Status::OutOfRange(
+          "remote_task_timeout_ms must be >= 0 (0 = no deadline)");
+    }
+    if (remote_max_task_retries < 0) {
+      return Status::OutOfRange("remote_max_task_retries must be >= 0");
+    }
+    if (remote_retry_backoff_ms < 0) {
+      return Status::OutOfRange("remote_retry_backoff_ms must be >= 0");
+    }
+  }
   double weight_sum = weights.summary_size + weights.condition_simplicity +
                       weights.transform_simplicity + weights.coverage +
                       weights.normality;

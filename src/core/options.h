@@ -49,6 +49,12 @@ enum class ShardBackendKind {
   /// back over a pipe — the wire-format-proving backend, and the template
   /// for future multi-box dispatch.
   kSubprocess,
+  /// Shards execute on networked charles_worker daemons (remote_workers
+  /// lists their addresses). The input ships once per (snapshot, plan);
+  /// tasks reuse the subprocess wire formats, so remote output is
+  /// bit-identical to in-process output. Workers that die mid-shard are
+  /// marked unhealthy and their tasks reassigned.
+  kRemote,
 };
 
 /// \brief All knobs of the ChARLES pipeline, with the paper's defaults.
@@ -143,6 +149,23 @@ struct CharlesOptions {
   /// ~1e-12 level (a different, equally valid floating-point evaluation
   /// order), so compare runs only at a fixed block size.
   int64_t stats_block_rows = 4096;
+
+  /// \name Remote backend (shard_backend = kRemote only).
+  /// Worker addresses ("host:port" each) of the charles_worker fleet.
+  std::vector<std::string> remote_workers;
+  /// Deadline for connecting to (and handshaking with) a worker.
+  int remote_connect_timeout_ms = 2'000;
+  /// Deadline for one install or task round trip; 0 = no deadline. Scale
+  /// with snapshot size.
+  int remote_task_timeout_ms = 30'000;
+  /// Transport-failure retries per shard task beyond the first attempt;
+  /// each retry reassigns the task to another healthy worker.
+  int remote_max_task_retries = 2;
+  /// Base of the exponential retry backoff (base × 2^attempt, capped).
+  int remote_retry_backoff_ms = 50;
+  /// Period of the background worker health sweep; <= 0 disables it
+  /// (unhealthy workers are then re-probed only when the fleet runs dry).
+  int remote_health_check_interval_ms = 0;
   /// @}
 
   /// Upper bound on entries in the shared leaf-fit cache the run publishes

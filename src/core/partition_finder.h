@@ -58,6 +58,15 @@ class ColumnCache {
     return true;
   }
 
+  /// Inserts (or replaces) one column directly. This is how a remote worker
+  /// reconstructs the coordinator's cache from shipped bytes — values arrive
+  /// already converted, so routing them through Build() (which needs a
+  /// Table) would be a pointless re-conversion. Not safe concurrently with
+  /// readers; populate fully, then share read-only like a Build() result.
+  void Insert(std::string name, std::vector<double> values) {
+    columns_[std::move(name)] = std::move(values);
+  }
+
   /// Number of cached columns.
   size_t size() const { return columns_.size(); }
 

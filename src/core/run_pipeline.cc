@@ -11,6 +11,7 @@
 #include "common/fnv.h"
 #include "distributed/coordinator.h"
 #include "distributed/in_process_backend.h"
+#include "distributed/remote_backend.h"
 #include "distributed/shard_planner.h"
 #include "distributed/subprocess_backend.h"
 #include "linalg/error_partials.h"
@@ -110,17 +111,51 @@ uint64_t ComputeRunFingerprint(const CharlesOptions& options,
   return h;
 }
 
-/// One distributed round's backend pair; the task rounds of a run share the
-/// selection logic but construct backends per round (both are stateless).
-struct RoundBackends {
-  InProcessBackend in_process;
-  SubprocessBackend subprocess;
-  ShardBackend* Select(ShardBackendKind kind) {
-    return kind == ShardBackendKind::kSubprocess
-               ? static_cast<ShardBackend*>(&subprocess)
-               : static_cast<ShardBackend*>(&in_process);
+/// The run's shard backend, constructed on first use and owned by the
+/// RunState so every task round of the run shares one instance. The local
+/// backends are stateless, but the remote backend caches worker connections
+/// and installed-input epochs — sharing it across rounds is what makes the
+/// ShardInput ship once per (snapshot, plan) instead of once per round.
+Result<ShardBackend*> SelectShardBackend(RunState& state) {
+  if (state.shard_backend == nullptr) {
+    const CharlesOptions& options = state.options;
+    switch (options.shard_backend) {
+      case ShardBackendKind::kSubprocess:
+        state.shard_backend = std::make_unique<SubprocessBackend>();
+        break;
+      case ShardBackendKind::kRemote: {
+        RemoteBackendOptions remote;
+        remote.endpoints = options.remote_workers;
+        remote.connect_timeout_ms = options.remote_connect_timeout_ms;
+        remote.task_timeout_ms = options.remote_task_timeout_ms;
+        remote.max_task_retries = options.remote_max_task_retries;
+        remote.retry_backoff_ms = options.remote_retry_backoff_ms;
+        remote.health_check_interval_ms =
+            options.remote_health_check_interval_ms;
+        CHARLES_ASSIGN_OR_RETURN(state.shard_backend,
+                                 RemoteBackend::Create(std::move(remote)));
+        break;
+      }
+      case ShardBackendKind::kInProcess:
+        state.shard_backend = std::make_unique<InProcessBackend>();
+        break;
+    }
   }
-};
+  return state.shard_backend.get();
+}
+
+/// Copies the remote backend's cumulative dispatch counters into the run
+/// result; no-op for local backends. Called after every coordinator round —
+/// the counters are cumulative, so the last call's values stand.
+void FoldRemoteDiagnostics(RunState& state) {
+  auto* remote = dynamic_cast<RemoteBackend*>(state.shard_backend.get());
+  if (remote == nullptr) return;
+  RemoteBackendDiagnostics diagnostics = remote->Diagnostics();
+  state.result.remote_tasks_dispatched = diagnostics.tasks_dispatched;
+  state.result.remote_task_retries = diagnostics.task_retries;
+  state.result.remote_input_installs = diagnostics.input_installs;
+  state.result.remote_workers = std::move(diagnostics.workers);
+}
 
 /// Folds one coordinator round's execution counters into the run result.
 void FoldRoundDiagnostics(const CoordinatorTaskResult& merged,
@@ -276,13 +311,13 @@ Status RunPipeline::Phase1Signals(RunState& state) {
       shard_input.columns = &state.tran_columns;
       shard_input.y_old = &state.y_old;
       shard_input.y_new = &state.y_new;
-      RoundBackends backends;
+      CHARLES_ASSIGN_OR_RETURN(ShardBackend* backend,
+                               SelectShardBackend(state));
       ShardTask task;
       task.kind = ShardTaskKind::kSignalStats;
       Result<CoordinatorTaskResult> merged =
-          Coordinator::RunTask(shard_input, plan,
-                               backends.Select(options.shard_backend), state.pool,
-                               task, state.stop);
+          Coordinator::RunTask(shard_input, plan, backend, state.pool, task,
+                               state.stop);
       if (!merged.ok()) {
         if (merged.status().IsCancelled()) {
           return state.Cancelled("during the signal-stats shard round");
@@ -293,6 +328,7 @@ Status RunPipeline::Phase1Signals(RunState& state) {
           std::make_shared<const SufficientStats>(std::move(merged->signal_stats));
       state.result.shard_signal_seconds = merged->elapsed_seconds;
       FoldRoundDiagnostics(*merged, plan, &state.result);
+      FoldRemoteDiagnostics(state);
     } else {
       state.shortlist_stats = std::make_shared<const SufficientStats>(
           AccumulateRangeBlocks(shortlist_columns, state.y_new,
@@ -487,8 +523,7 @@ Status RunShardRounds(
   ShardPlan plan = PlanShards(state.analysis->num_rows(), options.stats_block_rows,
                               options.num_shards);
   if (plan.num_shards() == 0 || shard_input.leaves.empty()) return Status::OK();
-  RoundBackends backends;
-  ShardBackend* backend = backends.Select(options.shard_backend);
+  CHARLES_ASSIGN_OR_RETURN(ShardBackend* backend, SelectShardBackend(state));
   const int64_t t_count = static_cast<int64_t>(state.t_attr_names.size());
 
   // Round 1 — kLeafMoments, with warm-cache elision: a leaf whose every
@@ -588,6 +623,7 @@ Status RunShardRounds(
         std::make_shared<const SufficientStats>(std::move(rollup.stats)));
     nochange_evidence->emplace(rows->indices(), rollup.max_abs_delta);
   }
+  FoldRemoteDiagnostics(state);
   return Status::OK();
 }
 

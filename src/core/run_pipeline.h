@@ -53,6 +53,7 @@
 #include "core/setup_assistant.h"
 #include "core/stop_token.h"
 #include "diff/diff.h"
+#include "distributed/backend.h"
 #include "linalg/suffstats.h"
 #include "table/table.h"
 
@@ -167,6 +168,12 @@ struct RunState {
   StreamMerge stream_merge;
   bool cancel_emitted = false;  ///< the one final cancelled update was sent
   /// @}
+
+  /// The run's shard backend, constructed lazily by the first task round
+  /// (see SelectShardBackend) and shared by every round after it — the
+  /// remote backend caches worker connections and installed-input epochs
+  /// across rounds. Null until a round runs / for unsharded runs.
+  std::unique_ptr<ShardBackend> shard_backend;
 
   /// The run's accumulating result (diagnostics are filled as stages run).
   SummaryList result;

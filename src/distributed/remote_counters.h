@@ -1,0 +1,42 @@
+#ifndef CHARLES_DISTRIBUTED_REMOTE_COUNTERS_H_
+#define CHARLES_DISTRIBUTED_REMOTE_COUNTERS_H_
+
+/// \file
+/// \brief Per-worker dispatch diagnostics of the RemoteBackend fleet.
+///
+/// Tiny standalone header so both producers (WorkerRegistry / RemoteBackend)
+/// and the consumer (SummaryList in core/engine.h) can name the struct
+/// without pulling each other's worlds in.
+
+#include <cstdint>
+#include <string>
+
+namespace charles {
+
+/// One remote worker's dispatch/health counters, snapshotted at the end of a
+/// run (SummaryList::remote_workers) or on demand from the registry.
+struct RemoteWorkerCounters {
+  /// The worker's "host:port" address.
+  std::string endpoint;
+  /// False while the worker is marked unhealthy (connection lost, timeout,
+  /// or failed handshake) and not yet re-admitted.
+  bool healthy = true;
+  /// True when the worker was excluded permanently at handshake because it
+  /// advertises no wire version the coordinator speaks.
+  bool version_rejected = false;
+  /// The negotiated wire version (0 = never connected).
+  int32_t wire_version = 0;
+  /// Task executions sent to this worker, including ones that later failed.
+  int64_t tasks_dispatched = 0;
+  /// Dispatches that failed in transport (the task was then reassigned).
+  int64_t tasks_failed = 0;
+  /// ShardInput bundles installed on this worker — stays at one per
+  /// (snapshot, plan) epoch per connection, however many tasks follow.
+  int64_t input_installs = 0;
+  /// Last transport/handshake error observed on this worker ("" when none).
+  std::string last_error;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_DISTRIBUTED_REMOTE_COUNTERS_H_

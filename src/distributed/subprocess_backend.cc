@@ -9,28 +9,9 @@
 #include <string>
 
 #include "distributed/shard_planner.h"
+#include "net/io.h"
 
 namespace charles {
-
-namespace {
-
-/// Writes the whole buffer, retrying on EINTR and short writes. Returns
-/// false on any unrecoverable error (e.g. the parent died and closed the
-/// read end — the worker then exits nonzero and the parent reports it).
-bool WriteAll(int fd, const char* data, size_t size) {
-  while (size > 0) {
-    ssize_t written = ::write(fd, data, size);
-    if (written < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += written;
-    size -= static_cast<size_t>(written);
-  }
-  return true;
-}
-
-}  // namespace
 
 Result<ShardTaskResult> SubprocessBackend::ExecuteTask(const ShardInput& input,
                                                        const ShardPlan& plan,
@@ -72,7 +53,11 @@ Result<ShardTaskResult> SubprocessBackend::ExecuteTask(const ShardInput& input,
       if (result.ok()) {
         std::string wire;
         result->SerializeTo(&wire);
-        if (!WriteAll(pipe_fds[1], wire.data(), wire.size())) exit_code = 3;
+        // A failed write (e.g. the parent died and closed the read end)
+        // exits nonzero; the parent reports the status below.
+        if (!net::WriteFull(pipe_fds[1], wire.data(), wire.size()).ok()) {
+          exit_code = 3;
+        }
       } else {
         // Kernel failure (bad input/shard index). The parent reports the
         // exit code; the kernel's own validation is deterministic, so the
@@ -89,17 +74,9 @@ Result<ShardTaskResult> SubprocessBackend::ExecuteTask(const ShardInput& input,
   // terminates and nothing here can hang on a dead worker (the parent's
   // write end was already closed under the fork lock above).
   std::string wire;
-  char buffer[1 << 16];
-  ssize_t got;
-  int read_errno = 0;
-  while ((got = ::read(pipe_fds[0], buffer, sizeof(buffer))) != 0) {
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      read_errno = errno;  // reported below, after the worker is reaped
-      break;
-    }
-    wire.append(buffer, static_cast<size_t>(got));
-  }
+  // Errors are held until after the worker is reaped below, so a torn read
+  // never leaks a zombie.
+  Status read_status = net::ReadToEof(pipe_fds[0], &wire);
   ::close(pipe_fds[0]);
 
   int wait_status = 0;
@@ -123,9 +100,8 @@ Result<ShardTaskResult> SubprocessBackend::ExecuteTask(const ShardInput& input,
                                                ? WEXITSTATUS(wait_status)
                                                : -1));
   }
-  if (read_errno != 0) {
-    return Status::IOError("SubprocessBackend: read from " + worker + ": " +
-                           ::strerror(read_errno));
+  if (!read_status.ok()) {
+    return read_status.WithContext("SubprocessBackend: read from " + worker);
   }
   Result<ShardTaskResult> result =
       ShardTaskResult::Deserialize(wire.data(), wire.size());

@@ -1,0 +1,226 @@
+#include "distributed/worker_registry.h"
+
+#include <chrono>
+#include <utility>
+
+#include "distributed/remote_protocol.h"
+#include "net/frame.h"
+
+namespace charles {
+
+WorkerRegistry::WorkerRegistry(std::vector<net::Endpoint> endpoints) {
+  sessions_.reserve(endpoints.size());
+  for (net::Endpoint& endpoint : endpoints) {
+    sessions_.push_back(std::make_unique<WorkerSession>(std::move(endpoint)));
+  }
+}
+
+WorkerRegistry::~WorkerRegistry() {
+  StopHealthChecks();
+  for (std::unique_ptr<WorkerSession>& session : sessions_) {
+    std::lock_guard<std::mutex> lock(session->mu);
+    net::CloseFd(session->fd);
+    session->fd = -1;
+  }
+}
+
+WorkerSession* WorkerRegistry::Acquire(const WorkerSession* exclude) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = sessions_.size();
+  for (size_t step = 0; step < n; ++step) {
+    WorkerSession* session = sessions_[(round_robin_cursor_ + step) % n].get();
+    if (!session->healthy || session == exclude) continue;
+    round_robin_cursor_ = (round_robin_cursor_ + step + 1) % n;
+    return session;
+  }
+  // Only the excluded worker (if any) is left healthy: better it than
+  // nothing — its failure may have been a one-off.
+  if (exclude != nullptr) {
+    for (const std::unique_ptr<WorkerSession>& session : sessions_) {
+      if (session.get() == exclude && session->healthy) {
+        return const_cast<WorkerSession*>(exclude);
+      }
+    }
+  }
+  return nullptr;
+}
+
+void WorkerRegistry::MarkUnhealthy(WorkerSession* session,
+                                   const std::string& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  session->healthy = false;
+  session->last_error = error;
+}
+
+void WorkerRegistry::MarkVersionRejected(WorkerSession* session,
+                                         const std::string& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  session->healthy = false;
+  session->version_rejected = true;
+  session->last_error = error;
+}
+
+void WorkerRegistry::MarkHealthy(WorkerSession* session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  session->healthy = true;
+}
+
+void WorkerRegistry::RecordDispatch(WorkerSession* session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++session->tasks_dispatched;
+}
+
+void WorkerRegistry::RecordFailure(WorkerSession* session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++session->tasks_failed;
+}
+
+void WorkerRegistry::RecordInstall(WorkerSession* session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++session->input_installs;
+}
+
+bool WorkerRegistry::ProbeOne(WorkerSession* session, int connect_timeout_ms,
+                              int64_t max_frame_bytes) {
+  Result<int> fd = net::TcpConnect(session->endpoint, connect_timeout_ms);
+  if (!fd.ok()) {
+    MarkUnhealthy(session, fd.status().message());
+    return false;
+  }
+  Result<int32_t> version =
+      RemoteClientHandshake(*fd, connect_timeout_ms, max_frame_bytes);
+  Status probe_status = version.status();
+  if (version.ok()) {
+    // A ping proves the worker actually serves requests, not just accepts.
+    probe_status = net::WriteFrame(
+        *fd, static_cast<int32_t>(RemoteMessageType::kPing), "");
+    if (probe_status.ok()) {
+      Result<net::Frame> pong =
+          net::ReadFrame(*fd, connect_timeout_ms, max_frame_bytes);
+      if (!pong.ok()) {
+        probe_status = pong.status();
+      } else if (pong->type != static_cast<int32_t>(RemoteMessageType::kPong)) {
+        probe_status = Status::IOError("probe: unexpected reply to ping");
+      }
+    }
+  }
+  net::CloseFd(*fd);
+  if (!probe_status.ok()) {
+    if (probe_status.IsInvalidArgument()) {
+      MarkVersionRejected(session, probe_status.message());
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      session->healthy = false;
+      session->last_error = probe_status.message();
+    }
+    return false;
+  }
+  MarkHealthy(session);
+  return true;
+}
+
+bool WorkerRegistry::ReProbe(int connect_timeout_ms, int64_t max_frame_bytes) {
+  std::vector<WorkerSession*> candidates;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::unique_ptr<WorkerSession>& session : sessions_) {
+      if (!session->healthy && !session->version_rejected) {
+        candidates.push_back(session.get());
+      }
+    }
+  }
+  bool readmitted = false;
+  for (WorkerSession* session : candidates) {
+    if (ProbeOne(session, connect_timeout_ms, max_frame_bytes)) {
+      readmitted = true;
+    }
+  }
+  return readmitted;
+}
+
+void WorkerRegistry::StartHealthChecks(int interval_ms, int connect_timeout_ms,
+                                       int64_t max_frame_bytes) {
+  if (interval_ms <= 0 || health_thread_.joinable()) return;
+  health_stop_.store(false);
+  health_thread_ = std::thread([this, interval_ms, connect_timeout_ms,
+                                max_frame_bytes]() {
+    // Sleep in small ticks so StopHealthChecks() never waits a full interval.
+    const auto tick = std::chrono::milliseconds(20);
+    auto next_sweep = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(interval_ms);
+    while (!health_stop_.load()) {
+      if (std::chrono::steady_clock::now() < next_sweep) {
+        std::this_thread::sleep_for(tick);
+        continue;
+      }
+      next_sweep += std::chrono::milliseconds(interval_ms);
+      for (const std::unique_ptr<WorkerSession>& owned : sessions_) {
+        if (health_stop_.load()) break;
+        WorkerSession* session = owned.get();
+        bool healthy;
+        bool rejected;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          healthy = session->healthy;
+          rejected = session->version_rejected;
+        }
+        if (rejected) continue;
+        if (!healthy) {
+          ProbeOne(session, connect_timeout_ms, max_frame_bytes);
+          continue;
+        }
+        // Healthy: ping over the cached connection. try_lock — a worker
+        // busy with a task is evidently alive, and a health check must
+        // never queue behind a long shard sweep.
+        std::unique_lock<std::mutex> conn(session->mu, std::try_to_lock);
+        if (!conn.owns_lock() || session->fd < 0) continue;
+        Status ping = net::WriteFrame(
+            session->fd, static_cast<int32_t>(RemoteMessageType::kPing), "");
+        if (ping.ok()) {
+          Result<net::Frame> pong = net::ReadFrame(
+              session->fd, connect_timeout_ms, max_frame_bytes);
+          if (!pong.ok()) {
+            ping = pong.status();
+          } else if (pong->type !=
+                     static_cast<int32_t>(RemoteMessageType::kPong)) {
+            ping = Status::IOError("health check: unexpected reply to ping");
+          }
+        }
+        if (!ping.ok()) {
+          net::CloseFd(session->fd);
+          session->fd = -1;
+          session->installed_epoch = -1;
+          std::lock_guard<std::mutex> lock(mu_);
+          session->healthy = false;
+          session->last_error = ping.message();
+        }
+      }
+    }
+  });
+}
+
+void WorkerRegistry::StopHealthChecks() {
+  if (!health_thread_.joinable()) return;
+  health_stop_.store(true);
+  health_thread_.join();
+}
+
+std::vector<RemoteWorkerCounters> WorkerRegistry::Snapshot() const {
+  std::vector<RemoteWorkerCounters> out;
+  out.reserve(sessions_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<WorkerSession>& session : sessions_) {
+    RemoteWorkerCounters counters;
+    counters.endpoint = session->endpoint.ToString();
+    counters.healthy = session->healthy;
+    counters.version_rejected = session->version_rejected;
+    counters.tasks_dispatched = session->tasks_dispatched;
+    counters.tasks_failed = session->tasks_failed;
+    counters.input_installs = session->input_installs;
+    counters.last_error = session->last_error;
+    out.push_back(std::move(counters));
+  }
+  return out;
+}
+
+}  // namespace charles

@@ -1,0 +1,58 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "net/socket.h"
+
+namespace charles {
+namespace net {
+
+namespace {
+
+constexpr char kFrameMagic[4] = {'C', 'N', 'F', '1'};
+constexpr size_t kHeaderBytes = sizeof(kFrameMagic) + sizeof(int32_t) +
+                                sizeof(int64_t);
+
+}  // namespace
+
+Status WriteFrame(int fd, int32_t type, const std::string& payload) {
+  std::string header;
+  header.reserve(kHeaderBytes);
+  header.append(kFrameMagic, sizeof(kFrameMagic));
+  header.append(reinterpret_cast<const char*>(&type), sizeof(type));
+  int64_t length = static_cast<int64_t>(payload.size());
+  header.append(reinterpret_cast<const char*>(&length), sizeof(length));
+  CHARLES_RETURN_NOT_OK(SendFull(fd, header.data(), header.size()));
+  if (!payload.empty()) {
+    CHARLES_RETURN_NOT_OK(SendFull(fd, payload.data(), payload.size()));
+  }
+  return Status::OK();
+}
+
+Result<Frame> ReadFrame(int fd, int timeout_ms, int64_t max_payload) {
+  char header[kHeaderBytes];
+  CHARLES_RETURN_NOT_OK(RecvFull(fd, header, sizeof(header), timeout_ms));
+  if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Status::IOError("ReadFrame: bad magic (torn or foreign stream)");
+  }
+  Frame frame;
+  int64_t length = 0;
+  std::memcpy(&frame.type, header + sizeof(kFrameMagic), sizeof(frame.type));
+  std::memcpy(&length, header + sizeof(kFrameMagic) + sizeof(frame.type),
+              sizeof(length));
+  if (length < 0 || length > max_payload) {
+    // Bounded before any allocation: a corrupt or hostile length field must
+    // fail loudly, never reserve() gigabytes.
+    return Status::IOError("ReadFrame: payload length " + std::to_string(length) +
+                           " outside [0, " + std::to_string(max_payload) + "]");
+  }
+  frame.payload.resize(static_cast<size_t>(length));
+  if (length > 0) {
+    CHARLES_RETURN_NOT_OK(
+        RecvFull(fd, frame.payload.data(), frame.payload.size(), timeout_ms));
+  }
+  return frame;
+}
+
+}  // namespace net
+}  // namespace charles

@@ -1,0 +1,45 @@
+#ifndef CHARLES_NET_FRAME_H_
+#define CHARLES_NET_FRAME_H_
+
+/// \file
+/// \brief Length-prefixed message framing over a stream socket.
+///
+/// Every RemoteBackend ↔ charles_worker message is one frame:
+///
+/// ```
+///   magic "CNF1" (4) | type int32 (4) | payload length int64 (8) | payload
+/// ```
+///
+/// Same-architecture native-endian framing, like every other ChARLES wire
+/// format (common/wire.h): scalars are copied bit-for-bit, which is what
+/// keeps shipped doubles exact. The reader validates magic and bounds the
+/// length against `max_payload` *before* allocating, so a torn stream or a
+/// hostile peer fails with a clean IOError instead of a giant reserve() —
+/// the same discipline as the CTK1/CST1 deserializers.
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace charles {
+namespace net {
+
+/// One framed message: a small type tag plus an opaque payload.
+struct Frame {
+  int32_t type = 0;
+  std::string payload;
+};
+
+/// Writes one frame (header + payload) to a connected socket.
+Status WriteFrame(int fd, int32_t type, const std::string& payload);
+
+/// Reads one frame under a total deadline (`timeout_ms <= 0` blocks).
+/// Fails with IOError on bad magic, a payload length outside
+/// [0, max_payload], timeout, or a stream that ends mid-frame.
+Result<Frame> ReadFrame(int fd, int timeout_ms, int64_t max_payload);
+
+}  // namespace net
+}  // namespace charles
+
+#endif  // CHARLES_NET_FRAME_H_

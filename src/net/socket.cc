@@ -1,0 +1,284 @@
+#include "net/socket.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "net/io.h"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace charles {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + ::strerror(errno));
+}
+
+/// Milliseconds left until `deadline`, clamped at 0; -1 for "no deadline".
+int RemainingMs(bool bounded,
+                std::chrono::steady_clock::time_point deadline) {
+  if (!bounded) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - std::chrono::steady_clock::now())
+                  .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// poll() one fd for `events`, retrying on EINTR against the same deadline.
+/// Returns +1 ready, 0 timed out, -1 error (errno set).
+int PollFd(int fd, short events, bool bounded,
+           std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    int rc = ::poll(&pfd, 1, RemainingMs(bounded, deadline));
+    if (rc < 0 && errno == EINTR) continue;
+    return rc;
+  }
+}
+
+void SetNoSigpipe(int fd) {
+#ifdef SO_NOSIGPIPE
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;  // Linux: MSG_NOSIGNAL on every send instead.
+#endif
+}
+
+}  // namespace
+
+Result<Endpoint> ParseEndpoint(const std::string& spec) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    return Status::InvalidArgument("ParseEndpoint: expected host:port, got '" +
+                                   spec + "'");
+  }
+  Endpoint endpoint;
+  endpoint.host = spec.substr(0, colon);
+  char* parse_end = nullptr;
+  long port = std::strtol(spec.c_str() + colon + 1, &parse_end, 10);
+  if (parse_end == nullptr || *parse_end != '\0' || port < 1 || port > 65535) {
+    return Status::InvalidArgument("ParseEndpoint: bad port in '" + spec + "'");
+  }
+  endpoint.port = static_cast<int>(port);
+  return endpoint;
+}
+
+Result<int> TcpConnect(const Endpoint& endpoint, int timeout_ms) {
+  struct addrinfo hints;
+  ::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  std::string port = std::to_string(endpoint.port);
+  struct addrinfo* resolved = nullptr;
+  int rc = ::getaddrinfo(endpoint.host.c_str(), port.c_str(), &hints, &resolved);
+  if (rc != 0) {
+    return Status::IOError("TcpConnect: cannot resolve " + endpoint.ToString() +
+                           ": " + ::gai_strerror(rc));
+  }
+
+  Status last = Status::IOError("TcpConnect: no addresses for " +
+                                endpoint.ToString());
+  for (struct addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("TcpConnect: socket");
+      continue;
+    }
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
+    bool bounded = timeout_ms > 0;
+    rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno == EINPROGRESS) {
+      int ready = PollFd(fd, POLLOUT, bounded, deadline);
+      if (ready == 0) {
+        last = Status::IOError("TcpConnect: " + endpoint.ToString() +
+                               " timed out after " + std::to_string(timeout_ms) +
+                               " ms");
+        CloseFd(fd);
+        continue;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (ready < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+          so_error != 0) {
+        errno = so_error != 0 ? so_error : errno;
+        last = Errno("TcpConnect: " + endpoint.ToString());
+        CloseFd(fd);
+        continue;
+      }
+      rc = 0;
+    }
+    if (rc != 0) {
+      last = Errno("TcpConnect: " + endpoint.ToString());
+      CloseFd(fd);
+      continue;
+    }
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SetNoSigpipe(fd);
+    ::freeaddrinfo(resolved);
+    return fd;
+  }
+  ::freeaddrinfo(resolved);
+  return last;
+}
+
+Status SendFull(int fd, const void* data, size_t size) {
+  const char* at = static_cast<const char*>(data);
+  while (size > 0) {
+    ssize_t sent = ::send(fd, at, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Errno("SendFull");
+    }
+    at += sent;
+    size -= static_cast<size_t>(sent);
+  }
+  return Status::OK();
+}
+
+Status RecvFull(int fd, void* data, size_t size, int timeout_ms) {
+  if (timeout_ms <= 0) return ReadFull(fd, data, size);
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  char* at = static_cast<char*>(data);
+  while (size > 0) {
+    int ready = PollFd(fd, POLLIN, /*bounded=*/true, deadline);
+    if (ready < 0) return Errno("RecvFull: poll");
+    if (ready == 0) {
+      return Status::IOError("RecvFull: timed out after " +
+                             std::to_string(timeout_ms) + " ms with " +
+                             std::to_string(size) + " bytes still expected");
+    }
+    ssize_t got = ::recv(fd, at, size, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("RecvFull");
+    }
+    if (got == 0) {
+      return Status::IOError("RecvFull: connection closed with " +
+                             std::to_string(size) + " bytes still expected");
+    }
+    at += got;
+    size -= static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+Result<TcpListener> TcpListener::Bind(const std::string& host, int port) {
+  struct addrinfo hints;
+  ::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+  std::string service = std::to_string(port);
+  struct addrinfo* resolved = nullptr;
+  int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(), service.c_str(),
+                         &hints, &resolved);
+  if (rc != 0) {
+    return Status::IOError("TcpListener::Bind: cannot resolve " + host + ":" +
+                           service + ": " + ::gai_strerror(rc));
+  }
+  Status last = Status::IOError("TcpListener::Bind: no addresses for " + host);
+  for (struct addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("TcpListener::Bind: socket");
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 || ::listen(fd, 16) != 0) {
+      last = Errno("TcpListener::Bind: " + host + ":" + service);
+      CloseFd(fd);
+      continue;
+    }
+    struct sockaddr_storage bound;
+    socklen_t len = sizeof(bound);
+    int bound_port = port;
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) == 0) {
+      if (bound.ss_family == AF_INET) {
+        bound_port =
+            ntohs(reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        bound_port =
+            ntohs(reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+    ::freeaddrinfo(resolved);
+    TcpListener listener;
+    listener.fd_ = fd;
+    listener.port_ = bound_port;
+    return listener;
+  }
+  ::freeaddrinfo(resolved);
+  return last;
+}
+
+Result<int> TcpListener::AcceptWithTimeout(int timeout_ms) {
+  if (fd_ < 0) return Status::IOError("TcpListener: not listening");
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  int ready = PollFd(fd_, POLLIN, /*bounded=*/timeout_ms >= 0, deadline);
+  if (ready < 0) return Errno("TcpListener: poll");
+  if (ready == 0) return -1;
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return Errno("TcpListener: accept");
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SetNoSigpipe(fd);
+    return fd;
+  }
+}
+
+void TcpListener::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+}  // namespace net
+}  // namespace charles

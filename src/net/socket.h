@@ -1,0 +1,90 @@
+#ifndef CHARLES_NET_SOCKET_H_
+#define CHARLES_NET_SOCKET_H_
+
+/// \file
+/// \brief Portable (POSIX) TCP primitives with explicit deadlines.
+///
+/// The RemoteBackend ↔ charles_worker protocol runs over plain TCP. This
+/// layer owns the unpleasant parts — nonblocking connect with a timeout,
+/// SIGPIPE-free sends, deadline-bounded receives (poll + EINTR retry), and
+/// a listener whose accept loop can be stopped — so the protocol layer above
+/// it (net/frame.h) deals only in whole buffers. Deadlines are total: a
+/// RecvFull with a 2 s timeout fails after 2 s even if bytes trickle in,
+/// which is what lets the coordinator treat a wedged worker like a dead one
+/// (both surface as IOError and trigger reassignment).
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+
+namespace charles {
+namespace net {
+
+/// A "host:port" worker address.
+struct Endpoint {
+  std::string host;
+  int port = 0;
+
+  std::string ToString() const { return host + ":" + std::to_string(port); }
+};
+
+/// Parses "host:port" (the CharlesOptions::remote_workers form). The host
+/// may be a name or a numeric address; the port must be in [1, 65535].
+Result<Endpoint> ParseEndpoint(const std::string& spec);
+
+/// Connects to `endpoint` with a bounded nonblocking connect. Returns a
+/// blocking, TCP_NODELAY connected socket fd; IOError on refusal, timeout,
+/// or resolution failure.
+Result<int> TcpConnect(const Endpoint& endpoint, int timeout_ms);
+
+/// Sends the whole buffer without ever raising SIGPIPE (a dead peer surfaces
+/// as IOError, not a process-killing signal). EINTR- and short-send-safe.
+Status SendFull(int fd, const void* data, size_t size);
+
+/// Receives exactly `size` bytes under one total deadline. `timeout_ms <= 0`
+/// blocks indefinitely (net::ReadFull). Timeout, EOF, and errors are all
+/// IOError — the caller's recovery (mark the worker unhealthy, reassign) is
+/// the same for each.
+Status RecvFull(int fd, void* data, size_t size, int timeout_ms);
+
+/// Closes `fd`, ignoring errors; no-op for fd < 0.
+void CloseFd(int fd);
+
+/// \brief A listening TCP socket (the worker daemon's accept side).
+///
+/// Move-only; the destructor closes the socket. Bind to port 0 for an
+/// ephemeral port (loopback tests), then read the chosen one from port().
+class TcpListener {
+ public:
+  TcpListener() = default;
+  TcpListener(TcpListener&& other) noexcept { *this = std::move(other); }
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener() { Close(); }
+
+  /// Binds and listens on host:port (SO_REUSEADDR, so a restarted worker can
+  /// re-bind its old port immediately — the re-admission path).
+  static Result<TcpListener> Bind(const std::string& host, int port);
+
+  /// The bound port (the ephemeral one when Bind was given port 0).
+  int port() const { return port_; }
+  bool listening() const { return fd_ >= 0; }
+
+  /// Waits up to `timeout_ms` for a connection. Returns the accepted fd, or
+  /// -1 when none arrived within the timeout — the poll tick a serve loop
+  /// uses to check its stop flag.
+  Result<int> AcceptWithTimeout(int timeout_ms);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace net
+}  // namespace charles
+
+#endif  // CHARLES_NET_SOCKET_H_

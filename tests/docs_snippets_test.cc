@@ -115,7 +115,27 @@ charles::Result<charles::SummaryList> ShardedSearch(
   return charles::SummarizeChanges(snapshot_2016, snapshot_2017, options);
 }
 
+// --- docs/api.md "Remote workers" -------------------------------------------
+
+#include <string>
+#include <vector>
+
+charles::Result<charles::SummaryList> RemoteSearch(
+    const charles::Table& snapshot_2016, const charles::Table& snapshot_2017,
+    const std::vector<std::string>& worker_endpoints) {
+  charles::CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  options.num_shards = 8;
+  options.shard_backend = charles::ShardBackendKind::kRemote;
+  options.remote_workers = worker_endpoints;  // {"host:9400", ...}
+  options.remote_max_task_retries = 2;  // reassign on worker loss
+  return charles::SummarizeChanges(snapshot_2016, snapshot_2017, options);
+}
+
 // --- smoke runs -------------------------------------------------------------
+
+#include "distributed/worker_service.h"
 
 namespace charles {
 namespace {
@@ -192,6 +212,25 @@ TEST(DocsSnippetsTest, ShardedSnippetMatchesUnsharded) {
   for (size_t i = 0; i < sharded.summaries.size(); ++i) {
     EXPECT_EQ(sharded.summaries[i].ToString(), unsharded.summaries[i].ToString());
   }
+}
+
+TEST(DocsSnippetsTest, RemoteSnippetMatchesUnsharded) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  // The snippet's fleet, in-process: two loopback charles_worker services.
+  std::unique_ptr<LoopbackWorker> a = LoopbackWorker::Start().ValueOrDie();
+  std::unique_ptr<LoopbackWorker> b = LoopbackWorker::Start().ValueOrDie();
+  SummaryList remote =
+      RemoteSearch(source, target, {a->endpoint(), b->endpoint()}).ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  SummaryList unsharded = SummarizeChanges(source, target, options).ValueOrDie();
+  ASSERT_EQ(remote.summaries.size(), unsharded.summaries.size());
+  for (size_t i = 0; i < remote.summaries.size(); ++i) {
+    EXPECT_EQ(remote.summaries[i].ToString(), unsharded.summaries[i].ToString());
+  }
+  EXPECT_EQ(remote.remote_task_retries, 0);
 }
 
 TEST(DocsSnippetsTest, StreamingSnippetResolvesWithFinalRanking) {

@@ -1,0 +1,84 @@
+// charles_worker — the remote shard-execution daemon.
+//
+// Binds a TCP port, then serves the RemoteBackend protocol (handshake,
+// install-input, execute-task, ping, shutdown) until killed or asked to shut
+// down. One process serves one connection at a time; run one worker per
+// core/box and list them all in CharlesOptions::remote_workers on the
+// coordinator side.
+//
+// Usage:
+//   charles_worker [--host 0.0.0.0] [--port 9400] [--print_port]
+//
+// --port 0 picks an ephemeral port; --print_port writes the bound port to
+// stdout (and flushes) so a launcher script can capture it — the CI loopback
+// job's handshake with the coordinator.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "distributed/worker_service.h"
+#include "net/socket.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host HOST] [--port PORT] [--print_port]\n"
+               "  --host HOST    bind address (default 0.0.0.0)\n"
+               "  --port PORT    bind port; 0 = ephemeral (default 9400)\n"
+               "  --print_port   write the bound port to stdout\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "0.0.0.0";
+  int port = 9400;
+  bool print_port = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--host") == 0 && i + 1 < argc) {
+      host = argv[++i];
+    } else if (std::strcmp(arg, "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--print_port") == 0) {
+      print_port = true;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "charles_worker: invalid port %d\n", port);
+    return 2;
+  }
+
+  charles::Result<charles::net::TcpListener> listener =
+      charles::net::TcpListener::Bind(host, port);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "charles_worker: %s\n",
+                 listener.status().ToString().c_str());
+    return 1;
+  }
+  if (print_port) {
+    std::printf("%d\n", listener->port());
+    std::fflush(stdout);
+  }
+  std::fprintf(stderr, "charles_worker: serving on %s:%d (wire versions %d-%d)\n",
+               host.c_str(), listener->port(),
+               charles::kRemoteWireVersionMin, charles::kRemoteWireVersionMax);
+
+  charles::WorkerService service;
+  charles::Status status = service.Serve(*listener, /*stop=*/nullptr);
+  if (!status.ok()) {
+    std::fprintf(stderr, "charles_worker: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
