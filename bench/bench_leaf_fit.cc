@@ -16,9 +16,16 @@
 /// and rolled up (the child-partition → parent-fit path, exercised without
 /// rescanning rows).
 ///
+/// A fourth pair of columns (ISSUE 7) times the intra-block kernels: the
+/// canonical block fold run with the scalar reference kernel versus the
+/// vectorized one. The two must produce bit-identical moments — the kernel
+/// contract — so the comparison is pure throughput, and the JSON records
+/// `kernel_bit_identical` alongside the speedup.
+///
 /// Results are recorded in BENCH_leaffit.json (working directory).
 /// `--smoke` runs one reduced cell and exits non-zero if the speedup drops
-/// below 1.5× — the CI tripwire for regressions in the leaf-fit path.
+/// below 1.5× or the kernels' moments diverge by a single bit — the CI
+/// tripwire for regressions in the leaf-fit path and the kernel contract.
 
 #include <benchmark/benchmark.h>
 
@@ -31,6 +38,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "linalg/kernels/kernel.h"
 #include "linalg/suffstats.h"
 #include "ml/linear_regression.h"
 
@@ -177,7 +185,61 @@ struct GridRow {
   double merge_s = 0.0;
   double speedup = 0.0;
   double max_delta = 0.0;
+  double kernel_scalar_s = 0.0;
+  double kernel_simd_s = 0.0;
+  double kernel_speedup = 0.0;
+  bool kernel_bit_identical = false;
 };
+
+/// Block size for the kernel comparison — the engine's default canonical
+/// block (CharlesOptions::stats_block_rows), so the bench times the fold the
+/// pipeline actually runs.
+constexpr int64_t kKernelBlockRows = 4096;
+
+/// Best-of-`reps` wall time for the canonical block fold under `kernel`.
+/// The resulting stats from the final rep are left in `*out` for the
+/// bit-identity check.
+double TimeKernelFold(const kernels::Kernel& kernel,
+                      const std::vector<const std::vector<double>*>& columns,
+                      const std::vector<double>& y, int64_t rows, int reps,
+                      SufficientStats* out) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    SufficientStats stats =
+        AccumulateRangeBlocks(kernel, columns, y, rows, kKernelBlockRows);
+    double elapsed = Seconds(start);
+    benchmark::DoNotOptimize(stats);
+    if (rep == 0 || elapsed < best) best = elapsed;
+    *out = std::move(stats);
+  }
+  return best;
+}
+
+/// Scalar-vs-vectorized kernel throughput on the same column data the stats
+/// path scans, plus the contract check: the moments must match bitwise.
+void RunKernelPaths(const LeafData& leaf, GridRow* row) {
+  int64_t rows = leaf.x.rows();
+  int64_t features = leaf.x.cols();
+  std::vector<std::vector<double>> storage(static_cast<size_t>(features));
+  std::vector<const std::vector<double>*> columns;
+  for (int64_t c = 0; c < features; ++c) {
+    std::vector<double>& col = storage[static_cast<size_t>(c)];
+    col.resize(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) col[static_cast<size_t>(r)] = leaf.x.At(r, c);
+    columns.push_back(&col);
+  }
+  const int reps = rows >= 100000 ? 3 : 5;
+  SufficientStats scalar_stats(features), simd_stats(features);
+  row->kernel_scalar_s = TimeKernelFold(kernels::ScalarKernel(), columns, leaf.y,
+                                        rows, reps, &scalar_stats);
+  row->kernel_simd_s = TimeKernelFold(kernels::SimdKernel(), columns, leaf.y,
+                                      rows, reps, &simd_stats);
+  row->kernel_speedup = row->kernel_simd_s > 0
+                            ? row->kernel_scalar_s / row->kernel_simd_s
+                            : 0.0;
+  row->kernel_bit_identical = scalar_stats.BitIdenticalTo(simd_stats);
+}
 
 GridRow RunCell(int64_t rows, int64_t features, int transforms, uint64_t seed) {
   LeafData leaf = MakeLeaf(rows, features, seed);
@@ -193,6 +255,7 @@ GridRow RunCell(int64_t rows, int64_t features, int transforms, uint64_t seed) {
   row.speedup = row.stats_s > 0 ? row.qr_s / row.stats_s : 0.0;
   row.max_delta = std::max(MaxModelDelta(stats_models, qr_models),
                            MaxModelDelta(merge_models, qr_models));
+  RunKernelPaths(leaf, &row);
   return row;
 }
 
@@ -208,9 +271,13 @@ void WriteJson(const std::string& path, const std::vector<GridRow>& grid) {
     std::fprintf(f,
                  "    {\"rows\": %lld, \"features\": %lld, \"transforms\": %d, "
                  "\"qr_s\": %.5f, \"suffstats_s\": %.5f, \"merge_s\": %.5f, "
-                 "\"speedup\": %.2f, \"max_coef_delta\": %.3g}%s\n",
+                 "\"speedup\": %.2f, \"max_coef_delta\": %.3g, "
+                 "\"kernel_scalar_s\": %.5f, \"kernel_simd_s\": %.5f, "
+                 "\"kernel_speedup\": %.2f, \"kernel_bit_identical\": %s}%s\n",
                  static_cast<long long>(r.rows), static_cast<long long>(r.features),
                  r.transforms, r.qr_s, r.stats_s, r.merge_s, r.speedup, r.max_delta,
+                 r.kernel_scalar_s, r.kernel_simd_s, r.kernel_speedup,
+                 r.kernel_bit_identical ? "true" : "false",
                  i + 1 < grid.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -233,17 +300,20 @@ std::vector<GridRow> RunGrid(bool smoke) {
 }
 
 void PrintGrid(const std::vector<GridRow>& grid) {
-  std::vector<int> widths = {8, 9, 11, 9, 12, 9, 9, 11};
+  std::vector<int> widths = {8, 9, 11, 9, 12, 9, 9, 11, 10, 9, 8, 5};
   PrintRule(widths);
   PrintTableRow(widths, {"rows", "features", "transforms", "QR s", "suffstats s",
-                         "merge s", "speedup", "max delta"});
+                         "merge s", "speedup", "max delta", "k-scalar s",
+                         "k-simd s", "k-speed", "bits"});
   PrintRule(widths);
   for (const GridRow& r : grid) {
     PrintTableRow(widths,
                   {std::to_string(r.rows), std::to_string(r.features),
                    std::to_string(r.transforms), Fmt(r.qr_s, 3), Fmt(r.stats_s, 3),
                    Fmt(r.merge_s, 3), Fmt(r.speedup, 1) + "x",
-                   Fmt(r.max_delta, 10)});
+                   Fmt(r.max_delta, 10), Fmt(r.kernel_scalar_s, 4),
+                   Fmt(r.kernel_simd_s, 4), Fmt(r.kernel_speedup, 2) + "x",
+                   r.kernel_bit_identical ? "ok" : "DIFF"});
   }
   PrintRule(widths);
 }
@@ -298,7 +368,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FAIL: paths disagree (max delta %.3g)\n", r.max_delta);
       return 1;
     }
-    std::printf("smoke OK: %.1fx, max delta %.3g\n", r.speedup, r.max_delta);
+    // The kernel contract is exact, so this gate is too: a single moment bit
+    // differing between the scalar and vectorized kernels is a hard failure,
+    // no tolerance. (Throughput is informational here — a perf gate on the
+    // kernels would flake on noisy CI runners.)
+    if (!r.kernel_bit_identical) {
+      std::fprintf(stderr,
+                   "FAIL: scalar and %s kernels produced different bits\n",
+                   charles::kernels::SimdKernel().name);
+      return 1;
+    }
+    std::printf("smoke OK: %.1fx, max delta %.3g, kernels bit-identical "
+                "(%s %.2fx vs scalar)\n",
+                r.speedup, r.max_delta, charles::kernels::SimdKernel().name,
+                r.kernel_speedup);
     return 0;
   }
 

@@ -11,6 +11,7 @@
 #include "core/run_pipeline.h"
 #include "core/scoring.h"
 #include "linalg/error_partials.h"
+#include "linalg/kernels/kernel.h"
 #include "linalg/stats.h"
 #include "linalg/suffstats.h"
 
@@ -204,12 +205,14 @@ Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
   // from the run's pre-converted ColumnCache when available (the engine
   // always passes one), falling back to per-leaf gather + conversion.
   Matrix x(rows.size(), static_cast<int64_t>(transform_attrs.size()));
+  const kernels::Kernel& kernel = kernels::ActiveKernel();
   for (size_t f = 0; f < transform_attrs.size(); ++f) {
     const std::vector<double>* full =
         column_cache != nullptr ? column_cache->Find(transform_attrs[f]) : nullptr;
     if (full != nullptr) {
-      for (int64_t r = 0; r < rows.size(); ++r) {
-        x.At(r, static_cast<int64_t>(f)) = (*full)[static_cast<size_t>(rows[r])];
+      if (rows.size() > 0) {
+        kernel.gather(full->data(), rows.indices().data(), rows.size(),
+                      &x.At(0, static_cast<int64_t>(f)), x.cols());
       }
       continue;
     }
@@ -220,8 +223,9 @@ Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
     }
   }
   std::vector<double> y_part(static_cast<size_t>(rows.size()));
-  for (int64_t r = 0; r < rows.size(); ++r) {
-    y_part[static_cast<size_t>(r)] = y_new[static_cast<size_t>(rows[r])];
+  if (rows.size() > 0) {
+    kernel.gather(y_new.data(), rows.indices().data(), rows.size(),
+                  y_part.data(), /*dst_stride=*/1);
   }
   if (!have_model) {
     CHARLES_ASSIGN_OR_RETURN(model, LinearRegression::Fit(x, y_part, transform_attrs));

@@ -45,6 +45,10 @@ struct SummaryList {
   int64_t candidates_evaluated = 0; ///< summaries built and scored
   int64_t candidates_deduped = 0;   ///< dropped as structural duplicates
   int threads_used = 1;             ///< worker threads the run executed on
+  /// Intra-block compute kernel the run resolved and installed ("scalar",
+  /// "simd", "simd-avx2"; see CharlesOptions::kernel_backend). Reporting
+  /// only — every kernel produces bit-identical output.
+  std::string kernel_used;
   int64_t leaf_fits_computed = 0;   ///< OLS leaf fits actually performed
   int64_t leaf_fits_reused = 0;     ///< leaf fits served from a cache
   /// Fits dropped from the shared leaf-fit cache by its LRU bound, as of the

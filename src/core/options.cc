@@ -1,5 +1,7 @@
 #include "core/options.h"
 
+#include "linalg/kernels/kernel.h"
+
 namespace charles {
 
 Status CharlesOptions::Validate() const {
@@ -45,6 +47,11 @@ Status CharlesOptions::Validate() const {
   }
   if (stats_block_rows < 1) {
     return Status::OutOfRange("stats_block_rows must be >= 1");
+  }
+  {
+    Result<kernels::KernelBackend> parsed =
+        kernels::ParseKernelBackend(kernel_backend);
+    if (!parsed.ok()) return parsed.status();
   }
   if (shard_backend == ShardBackendKind::kRemote) {
     if (remote_workers.empty()) {

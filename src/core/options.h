@@ -149,6 +149,14 @@ struct CharlesOptions {
   /// ~1e-12 level (a different, equally valid floating-point evaluation
   /// order), so compare runs only at a fixed block size.
   int64_t stats_block_rows = 4096;
+  /// Intra-block compute kernel for the canonical folds
+  /// (linalg/kernels/kernel.h): "auto" (default — the vectorized kernel
+  /// when the build's ISA is usable on this CPU), "scalar" (the reference
+  /// fold), or "simd". Every kernel produces **bit-identical** results —
+  /// the vectorized kernel only reorganizes work across independent
+  /// accumulators, never within one accumulation chain — so this switches
+  /// speed, not output; SummaryList::kernel_used reports what actually ran.
+  std::string kernel_backend = "auto";
 
   /// \name Remote backend (shard_backend = kRemote only).
   /// Worker addresses ("host:port" each) of the charles_worker fleet.

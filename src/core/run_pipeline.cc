@@ -15,6 +15,7 @@
 #include "distributed/shard_planner.h"
 #include "distributed/subprocess_backend.h"
 #include "linalg/error_partials.h"
+#include "linalg/kernels/kernel.h"
 #include "ml/linear_regression.h"
 #include "parallel/parallel.h"
 
@@ -226,6 +227,19 @@ Status RunPipeline::DiffAlign(RunState& state) {
 Status RunPipeline::Setup(RunState& state) {
   const CharlesOptions& options = state.options;
   const Table& analysis = *state.analysis;
+
+  // Install the run's intra-block compute kernel before any fold runs
+  // (phases 1–3 and every shard backend dispatch through it). Process-wide
+  // is sound even with concurrent differently-configured runs: kernels are
+  // bit-identical by contract, so whichever kernel a fold sees, the bits
+  // come out the same — which is also why kernel_backend is deliberately
+  // not part of the run fingerprint (cached fits stay valid across
+  // kernels). Subprocess shard workers fork after this point and inherit
+  // the installed kernel; remote workers resolve their own (auto) — same
+  // bits either way.
+  CHARLES_ASSIGN_OR_RETURN(kernels::KernelBackend kernel_backend,
+                           kernels::ParseKernelBackend(options.kernel_backend));
+  state.result.kernel_used = kernels::SetActiveKernel(kernel_backend).name;
 
   // Attribute shortlists: assistant by default, user overrides honoured.
   CHARLES_ASSIGN_OR_RETURN(state.result.setup,

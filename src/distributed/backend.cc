@@ -7,6 +7,7 @@
 
 #include "common/wire.h"
 #include "distributed/shard_planner.h"
+#include "linalg/kernels/kernel.h"
 
 namespace charles {
 
@@ -342,18 +343,15 @@ Status RunErrorPartials(const ShardInput& input, const ShardRange& range,
     ProbeShardErrors errors;
     errors.probe = static_cast<int64_t>(p);
     const int64_t* slice = rows.indices().data() + lo;
+    const kernels::Kernel& kernel = kernels::ActiveKernel();
     ForEachRowBlock(
         slice, hi - lo, block_rows,
         [&](int64_t block, const int64_t* block_rows_ptr, int64_t count) {
           ErrorPartials partials;
-          for (int64_t i = 0; i < count; ++i) {
-            size_t row = static_cast<size_t>(block_rows_ptr[i]);
-            double y_hat = probe.intercept;
-            for (size_t f = 0; f < probe_columns.size(); ++f) {
-              y_hat += probe.coefficients[f] * (*probe_columns[f])[row];
-            }
-            partials.Accumulate((*input.y_new)[row], y_hat);
-          }
+          partials.abs_error_sum = kernel.probe_abs_error_sum(
+              probe.intercept, probe.coefficients.data(), probe_columns,
+              *input.y_new, block_rows_ptr, count);
+          partials.n = count;
           errors.blocks.emplace_back(block, partials);
         });
     result->rows_scanned += hi - lo;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/wire.h"
+#include "linalg/kernels/kernel.h"
 #include "linalg/suffstats.h"
 
 namespace charles {
@@ -40,12 +41,14 @@ bool ErrorPartials::BitIdenticalTo(const ErrorPartials& other) const {
 
 namespace {
 
-/// The shared fold: per-block partials (each summed in row order from zero)
-/// merged left-to-right — the decomposition-invariant computation every
-/// executor of a plan replays.
-template <typename ErrorAt>
+/// The shared fold: per-block partials (each summed in index order from
+/// zero by a kernel block primitive) merged left-to-right — the
+/// decomposition-invariant computation every executor of a plan replays.
+/// `block_sum(base, count)` must return the row-order sum of the block's
+/// positional slice [base, base + count).
+template <typename BlockSum>
 ErrorPartials FoldBlocks(const std::vector<int64_t>& rows, int64_t block_rows,
-                         ErrorAt&& error_at) {
+                         BlockSum&& block_sum) {
   ErrorPartials total;
   const int64_t* data = rows.data();
   ForEachRowBlock(data, static_cast<int64_t>(rows.size()), block_rows,
@@ -53,11 +56,8 @@ ErrorPartials FoldBlocks(const std::vector<int64_t>& rows, int64_t block_rows,
                       int64_t count) {
                     ErrorPartials block_partial;
                     int64_t base = block_rows_ptr - data;
-                    for (int64_t i = 0; i < count; ++i) {
-                      block_partial.abs_error_sum +=
-                          error_at(static_cast<size_t>(base + i));
-                      ++block_partial.n;
-                    }
+                    block_partial.abs_error_sum = block_sum(base, count);
+                    block_partial.n = count;
                     total.Merge(block_partial);
                   });
   return total;
@@ -65,19 +65,38 @@ ErrorPartials FoldBlocks(const std::vector<int64_t>& rows, int64_t block_rows,
 
 }  // namespace
 
+ErrorPartials AccumulateAbsDiffBlocks(const kernels::Kernel& kernel,
+                                      const std::vector<double>& a,
+                                      const std::vector<double>& b,
+                                      const std::vector<int64_t>& rows,
+                                      int64_t block_rows) {
+  return FoldBlocks(rows, block_rows, [&](int64_t base, int64_t count) {
+    return kernel.abs_diff_sum(a.data() + base, b.data() + base, count);
+  });
+}
+
 ErrorPartials AccumulateAbsDiffBlocks(const std::vector<double>& a,
                                       const std::vector<double>& b,
                                       const std::vector<int64_t>& rows,
                                       int64_t block_rows) {
-  return FoldBlocks(rows, block_rows,
-                    [&](size_t i) { return std::abs(a[i] - b[i]); });
+  return AccumulateAbsDiffBlocks(kernels::ActiveKernel(), a, b, rows,
+                                 block_rows);
+}
+
+ErrorPartials AccumulateAbsBlocks(const kernels::Kernel& kernel,
+                                  const std::vector<double>& values,
+                                  const std::vector<int64_t>& rows,
+                                  int64_t block_rows) {
+  return FoldBlocks(rows, block_rows, [&](int64_t base, int64_t count) {
+    return kernel.abs_sum(values.data() + base, count);
+  });
 }
 
 ErrorPartials AccumulateAbsBlocks(const std::vector<double>& values,
                                   const std::vector<int64_t>& rows,
                                   int64_t block_rows) {
-  return FoldBlocks(rows, block_rows,
-                    [&](size_t i) { return std::abs(values[i]); });
+  return AccumulateAbsBlocks(kernels::ActiveKernel(), values, rows,
+                             block_rows);
 }
 
 }  // namespace charles

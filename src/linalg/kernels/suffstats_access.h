@@ -1,0 +1,49 @@
+#ifndef CHARLES_LINALG_KERNELS_SUFFSTATS_ACCESS_H_
+#define CHARLES_LINALG_KERNELS_SUFFSTATS_ACCESS_H_
+
+/// \file
+/// \brief Kernel-internal raw view of SufficientStats' moment buffers.
+///
+/// The vectorized kernel writes a block's accumulated moments straight into
+/// a fresh SufficientStats instead of replaying per-row Accumulate calls.
+/// That needs the private buffers; this access struct is the single friend
+/// doorway, kept out of kernel.h so only kernel implementations see it.
+
+#include <cstdint>
+
+#include "linalg/suffstats.h"
+
+namespace charles {
+namespace kernels {
+
+struct SuffStatsAccess {
+  /// Raw pointers into one stats instance. `gram` is row-major (p+1)², kept
+  /// fully mirrored; `xty` has p+1 entries; `x_shift` has p entries. The
+  /// holder must outlive the view.
+  struct View {
+    int64_t p = 0;
+    int64_t* n = nullptr;
+    double* x_shift = nullptr;
+    double* y_shift = nullptr;
+    double* gram = nullptr;
+    double* xty = nullptr;
+    double* yty = nullptr;
+  };
+
+  static View Of(SufficientStats& stats) {
+    View view;
+    view.p = stats.p_;
+    view.n = &stats.n_;
+    view.x_shift = stats.x_shift_.data();
+    view.y_shift = &stats.y_shift_;
+    view.gram = stats.gram_.data();
+    view.xty = stats.xty_.data();
+    view.yty = &stats.yty_;
+    return view;
+  }
+};
+
+}  // namespace kernels
+}  // namespace charles
+
+#endif  // CHARLES_LINALG_KERNELS_SUFFSTATS_ACCESS_H_

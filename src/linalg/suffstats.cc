@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/wire.h"
+#include "linalg/kernels/kernel.h"
 
 namespace charles {
 
@@ -322,36 +323,28 @@ bool SufficientStats::BitIdenticalTo(const SufficientStats& other) const {
          bytes_equal(xty_, other.xty_);
 }
 
-namespace {
+// The per-block arithmetic lives behind the kernel seam
+// (linalg/kernels/kernel.h): the scalar kernel is the original per-row
+// gather/accumulate loop extracted verbatim, and every other kernel must
+// reproduce its bits exactly, so dispatching by active kernel is invisible
+// to results. The entry points here own only the block structure — grouping
+// rows into canonical blocks and folding the per-block partials in order.
 
-/// The one per-row gather/accumulate loop behind every accumulation entry
-/// point. Indexed and contiguous callers share it so their arithmetic can
-/// never diverge — the distributed bit-identity contract depends on the
-/// range variant replaying the indexed variant's operations exactly.
-template <typename RowAt>
-SufficientStats AccumulateImpl(
+SufficientStats AccumulateRows(
+    const kernels::Kernel& kernel,
     const std::vector<const std::vector<double>*>& columns,
-    const std::vector<double>& y, int64_t count, RowAt row_at) {
-  SufficientStats stats(static_cast<int64_t>(columns.size()));
-  std::vector<double> features(columns.size());
-  for (int64_t r = 0; r < count; ++r) {
-    size_t row = static_cast<size_t>(row_at(r));
-    for (size_t f = 0; f < columns.size(); ++f) features[f] = (*columns[f])[row];
-    stats.Accumulate(features.data(), y[row]);
-  }
-  return stats;
+    const std::vector<double>& y, const int64_t* rows, int64_t count) {
+  return kernel.suffstats_block(columns, y, rows, /*base=*/0, count);
 }
-
-}  // namespace
 
 SufficientStats AccumulateRows(
     const std::vector<const std::vector<double>*>& columns,
     const std::vector<double>& y, const int64_t* rows, int64_t count) {
-  return AccumulateImpl(columns, y, count,
-                        [rows](int64_t r) { return rows[r]; });
+  return AccumulateRows(kernels::ActiveKernel(), columns, y, rows, count);
 }
 
 SufficientStats AccumulateRowBlocks(
+    const kernels::Kernel& kernel,
     const std::vector<const std::vector<double>*>& columns,
     const std::vector<double>& y, const std::vector<int64_t>& rows,
     int64_t block_rows) {
@@ -360,24 +353,39 @@ SufficientStats AccumulateRowBlocks(
   ForEachRowBlock(rows.data(), static_cast<int64_t>(rows.size()), block_rows,
                   [&](int64_t /*block*/, const int64_t* block_rows_ptr,
                       int64_t count) {
-                    CHARLES_CHECK_OK(
-                        merged.Merge(AccumulateRows(columns, y, block_rows_ptr,
-                                                    count)));
+                    CHARLES_CHECK_OK(merged.Merge(kernel.suffstats_block(
+                        columns, y, block_rows_ptr, /*base=*/0, count)));
                   });
   return merged;
 }
 
+SufficientStats AccumulateRowBlocks(
+    const std::vector<const std::vector<double>*>& columns,
+    const std::vector<double>& y, const std::vector<int64_t>& rows,
+    int64_t block_rows) {
+  return AccumulateRowBlocks(kernels::ActiveKernel(), columns, y, rows,
+                             block_rows);
+}
+
 SufficientStats AccumulateRangeBlocks(
+    const kernels::Kernel& kernel,
     const std::vector<const std::vector<double>*>& columns,
     const std::vector<double>& y, int64_t num_rows, int64_t block_rows) {
   CHARLES_CHECK_GE(block_rows, 1);
   SufficientStats merged(static_cast<int64_t>(columns.size()));
   for (int64_t begin = 0; begin < num_rows; begin += block_rows) {
     int64_t end = begin + block_rows < num_rows ? begin + block_rows : num_rows;
-    CHARLES_CHECK_OK(merged.Merge(AccumulateImpl(
-        columns, y, end - begin, [begin](int64_t r) { return begin + r; })));
+    CHARLES_CHECK_OK(merged.Merge(kernel.suffstats_block(
+        columns, y, /*rows=*/nullptr, begin, end - begin)));
   }
   return merged;
+}
+
+SufficientStats AccumulateRangeBlocks(
+    const std::vector<const std::vector<double>*>& columns,
+    const std::vector<double>& y, int64_t num_rows, int64_t block_rows) {
+  return AccumulateRangeBlocks(kernels::ActiveKernel(), columns, y, num_rows,
+                               block_rows);
 }
 
 }  // namespace charles

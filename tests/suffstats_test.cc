@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "linalg/error_partials.h"
 #include "linalg/matrix.h"
 #include "ml/linear_regression.h"
 #include "workload/employee_gen.h"
@@ -324,6 +325,161 @@ TEST(SuffStatsEngineTest, BoundedRunCacheKeepsOutputIdentical) {
       SummarizeChanges(workload.source, workload.target, options).ValueOrDie();
   ExpectIdenticalRuns(unbounded, bounded);
   EXPECT_GT(bounded.leaf_fit_evictions, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical block-fold edges (ISSUE 7): empty ranges, exact block
+// boundaries, and fold-order regressions for both currencies.
+// ---------------------------------------------------------------------------
+
+/// Deterministic columns with per-block magnitude contrast, so any change to
+/// the fold's block order shows up in the folded bits.
+struct BlockFoldFixture {
+  std::vector<std::vector<double>> storage;
+  std::vector<const std::vector<double>*> columns;
+  std::vector<double> y;
+  std::vector<int64_t> rows;
+};
+
+BlockFoldFixture MakeBlockFoldFixture(int64_t num_rows) {
+  BlockFoldFixture f;
+  std::vector<double> x(static_cast<size_t>(num_rows));
+  f.y.resize(static_cast<size_t>(num_rows));
+  for (int64_t r = 0; r < num_rows; ++r) {
+    size_t i = static_cast<size_t>(r);
+    // Magnitudes swing by ~1e16 between early and late blocks: reordered
+    // merges hit different absorption points and cannot reproduce the bits.
+    double scale = (r < num_rows / 3) ? 1e8 : (r < 2 * num_rows / 3 ? 1.0 : 1e-8);
+    x[i] = scale * (1.0 + 0.37 * static_cast<double>(r % 13));
+    f.y[i] = scale * (2.0 - 0.11 * static_cast<double>(r % 7));
+    f.rows.push_back(r);
+  }
+  f.storage.push_back(std::move(x));
+  f.columns.push_back(&f.storage[0]);
+  return f;
+}
+
+TEST(SuffStatsBlockFoldTest, EmptyRangeYieldsFreshStats) {
+  BlockFoldFixture f = MakeBlockFoldFixture(10);
+  SufficientStats from_range = AccumulateRangeBlocks(f.columns, f.y, 0, 64);
+  SufficientStats from_rows = AccumulateRowBlocks(f.columns, f.y, {}, 64);
+  SufficientStats fresh(1);
+  EXPECT_EQ(from_range.n(), 0);
+  EXPECT_TRUE(from_range.BitIdenticalTo(fresh));
+  EXPECT_TRUE(from_rows.BitIdenticalTo(fresh));
+}
+
+TEST(SuffStatsBlockFoldTest, RangeEndingExactlyOnBlockBoundary) {
+  // 128 rows in 64-row blocks: two full blocks, no tail. The fold must be
+  // exactly the two-block merge — and identical whether the last block is
+  // full (128) or short (120 leaves a 56-row tail behind boundary 64).
+  BlockFoldFixture f = MakeBlockFoldFixture(128);
+  SufficientStats folded = AccumulateRangeBlocks(f.columns, f.y, 128, 64);
+  std::vector<int64_t> first(f.rows.begin(), f.rows.begin() + 64);
+  std::vector<int64_t> second(f.rows.begin() + 64, f.rows.end());
+  SufficientStats manual(1);
+  ASSERT_TRUE(manual.Merge(AccumulateRows(f.columns, f.y, first.data(), 64)).ok());
+  ASSERT_TRUE(manual.Merge(AccumulateRows(f.columns, f.y, second.data(), 64)).ok());
+  EXPECT_TRUE(folded.BitIdenticalTo(manual));
+  EXPECT_EQ(folded.n(), 128);
+}
+
+TEST(SuffStatsBlockFoldTest, FoldOrderRegression) {
+  // The canonical fold merges per-block partials in ascending block order.
+  // This test pins that order twice over: the entry point must equal the
+  // explicit ascending fold bit-for-bit, and a descending fold of the very
+  // same partials must NOT — so anyone who reorders the canonical block
+  // loop (or "optimizes" the merge order) trips this immediately.
+  BlockFoldFixture f = MakeBlockFoldFixture(96);
+  const int64_t block_rows = 16;
+  SufficientStats canonical =
+      AccumulateRowBlocks(f.columns, f.y, f.rows, block_rows);
+
+  std::vector<SufficientStats> partials;
+  ForEachRowBlock(f.rows.data(), static_cast<int64_t>(f.rows.size()),
+                  block_rows,
+                  [&](int64_t /*block*/, const int64_t* ptr, int64_t count) {
+                    partials.push_back(AccumulateRows(f.columns, f.y, ptr, count));
+                  });
+  ASSERT_GE(partials.size(), 3u);
+
+  SufficientStats ascending(1);
+  for (const SufficientStats& partial : partials) {
+    ASSERT_TRUE(ascending.Merge(partial).ok());
+  }
+  EXPECT_TRUE(canonical.BitIdenticalTo(ascending));
+
+  SufficientStats descending(1);
+  for (auto it = partials.rbegin(); it != partials.rend(); ++it) {
+    ASSERT_TRUE(descending.Merge(*it).ok());
+  }
+  EXPECT_FALSE(canonical.BitIdenticalTo(descending))
+      << "fixture failed to distinguish fold orders — strengthen it";
+}
+
+TEST(ErrorPartialsEdgeTest, EmptyRangeYieldsZeroPartials) {
+  ErrorPartials diff = AccumulateAbsDiffBlocks({}, {}, {}, 64);
+  EXPECT_EQ(diff.n, 0);
+  EXPECT_EQ(diff.abs_error_sum, 0.0);
+  EXPECT_EQ(diff.mae(), 0.0);
+  ErrorPartials abs = AccumulateAbsBlocks({}, {}, 64);
+  EXPECT_EQ(abs.n, 0);
+  EXPECT_EQ(abs.abs_error_sum, 0.0);
+}
+
+TEST(ErrorPartialsEdgeTest, RangeEndingExactlyOnBlockBoundary) {
+  // rows 0..127 in 64-row blocks: exactly two blocks, no tail — the fold is
+  // the two block sums merged in order.
+  std::vector<int64_t> rows;
+  std::vector<double> a, b;
+  for (int64_t r = 0; r < 128; ++r) {
+    rows.push_back(r);
+    a.push_back(1.0 + 0.5 * static_cast<double>(r));
+    b.push_back(0.25 * static_cast<double>(r % 9));
+  }
+  ErrorPartials folded = AccumulateAbsDiffBlocks(a, b, rows, 64);
+  EXPECT_EQ(folded.n, 128);
+  ErrorPartials manual;
+  for (int64_t base : {int64_t{0}, int64_t{64}}) {
+    ErrorPartials block;
+    for (int64_t i = base; i < base + 64; ++i) {
+      block.Accumulate(a[static_cast<size_t>(i)], b[static_cast<size_t>(i)]);
+    }
+    manual.Merge(block);
+  }
+  EXPECT_TRUE(folded.BitIdenticalTo(manual));
+}
+
+TEST(ErrorPartialsEdgeTest, SingleRowBlocksMatchSerialSum) {
+  // block_rows = 1 degenerates every block to one row; the left-to-right
+  // merge then replays the plain serial sum exactly.
+  std::vector<int64_t> rows = {0, 1, 2, 3, 4};
+  std::vector<double> values = {3.0, -1.5, 0.25, -0.125, 7.0};
+  ErrorPartials folded = AccumulateAbsBlocks(values, rows, 1);
+  ErrorPartials serial;
+  for (double v : values) serial.Accumulate(v, 0.0);
+  EXPECT_TRUE(folded.BitIdenticalTo(serial));
+}
+
+TEST(ErrorPartialsEdgeTest, FoldOrderRegression) {
+  // 1.0 then two half-ulps: folded ascending the half-ulps are absorbed
+  // (round-to-even), descending they first combine into a representable ulp
+  // — so the two orders differ by exactly one bit, and any reordering of
+  // the canonical block loop trips here.
+  const double half_ulp = 1.1102230246251565e-16;  // 2^-53
+  std::vector<int64_t> rows = {0, 1, 2};
+  std::vector<double> values = {1.0, half_ulp, half_ulp};
+  ErrorPartials canonical = AccumulateAbsBlocks(values, rows, 1);
+  EXPECT_EQ(canonical.abs_error_sum, 1.0);
+
+  ErrorPartials reversed;
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    ErrorPartials block;
+    block.Accumulate(*it, 0.0);
+    reversed.Merge(block);
+  }
+  EXPECT_GT(reversed.abs_error_sum, 1.0);
+  EXPECT_FALSE(canonical.BitIdenticalTo(reversed));
 }
 
 }  // namespace
