@@ -7,6 +7,8 @@
 
 #include "common/wire.h"
 #include "distributed/shard_planner.h"
+#include "linalg/batch_fold.h"
+#include "linalg/kernels/block_stage.h"
 #include "linalg/kernels/kernel.h"
 
 namespace charles {
@@ -163,6 +165,9 @@ void ShardTaskResult::SerializeTo(std::string* out) const {
       partials.SerializeTo(out);
     }
   }
+  AppendScalar(out, batch_blocks_staged);
+  AppendScalar(out, batch_accumulators_folded);
+  AppendScalar(out, batch_max_accumulators_per_block);
 }
 
 Result<ShardTaskResult> ShardTaskResult::Deserialize(const void* data,
@@ -237,6 +242,13 @@ Result<ShardTaskResult> ShardTaskResult::Deserialize(const void* data,
     }
     result.probes.push_back(std::move(probe));
   }
+  if (!ReadScalar(&at, end, &result.batch_blocks_staged) ||
+      !ReadScalar(&at, end, &result.batch_accumulators_folded) ||
+      !ReadScalar(&at, end, &result.batch_max_accumulators_per_block) ||
+      result.batch_blocks_staged < 0 || result.batch_accumulators_folded < 0 ||
+      result.batch_max_accumulators_per_block < 0) {
+    return Status::IOError("ShardTaskResult::Deserialize: truncated batch counters");
+  }
   if (at != end) {
     return Status::IOError("ShardTaskResult::Deserialize: trailing bytes");
   }
@@ -275,6 +287,63 @@ void RunLeafMoments(const ShardInput& input, const ShardRange& range,
   }
 }
 
+/// Folds one sweep's batch counters into the task result's diagnostics.
+void FoldBatchCounters(const kernels::BatchFoldCounters& counters,
+                       ShardTaskResult* result) {
+  result->batch_blocks_staged += counters.blocks_staged;
+  result->batch_accumulators_folded += counters.accumulators_folded;
+  if (counters.max_accumulators_per_block >
+      result->batch_max_accumulators_per_block) {
+    result->batch_max_accumulators_per_block =
+        counters.max_accumulators_per_block;
+  }
+}
+
+/// kLeafMoments, batched: the same upfront per-leaf intersection and snap
+/// evidence as RunLeafMoments, then one block-major staged sweep
+/// (linalg/batch_fold.h) in place of the per-leaf column walks. Each leaf's
+/// blocks arrive in ascending block order with bit-identical partials, so
+/// the payload is byte-for-byte the per-leaf path's.
+void RunLeafMomentsBatched(const ShardInput& input, const ShardRange& range,
+                           int64_t block_rows,
+                           const std::vector<const std::vector<double>*>& columns,
+                           const ShardTask& task, ShardTaskResult* result) {
+  std::vector<kernels::BatchLeafRequest> requests;
+  requests.reserve(task.leaves.size());
+  for (int64_t leaf_index : task.leaves) {
+    const RowSet& rows = *input.leaves[static_cast<size_t>(leaf_index)];
+    auto [lo, hi] = rows.PositionsInRange(range.row_begin, range.row_end);
+    if (lo == hi) continue;
+    LeafShardStats leaf;
+    leaf.leaf = leaf_index;
+    const int64_t* slice = rows.indices().data() + lo;
+    for (int64_t r = 0; r < hi - lo; ++r) {
+      size_t row = static_cast<size_t>(slice[r]);
+      double delta = std::abs((*input.y_new)[row] - (*input.y_old)[row]);
+      if (delta > leaf.max_abs_delta) leaf.max_abs_delta = delta;
+    }
+    kernels::BatchLeafRequest request;
+    request.rows = slice;
+    request.count = hi - lo;
+    requests.push_back(request);
+    result->rows_scanned += hi - lo;
+    result->leaves.push_back(std::move(leaf));
+  }
+  kernels::BatchFoldCounters counters;
+  kernels::BatchFoldLeafMoments(
+      kernels::ActiveKernel(), columns, *input.y_new, requests,
+      range.row_begin, range.row_end, block_rows,
+      &kernels::BlockStager::ThreadLocal(), &counters,
+      [&](int64_t ordinal, int64_t block, SufficientStats&& stats) {
+        result->leaves[static_cast<size_t>(ordinal)].blocks.emplace_back(
+            block, std::move(stats));
+      });
+  for (const LeafShardStats& leaf : result->leaves) {
+    result->blocks_emitted += static_cast<int64_t>(leaf.blocks.size());
+  }
+  FoldBatchCounters(counters, result);
+}
+
 /// kSignalStats: per-block shortlist moments over every row of the range —
 /// the same per-block partials AccumulateRangeBlocks produces centrally —
 /// plus the exactly-associative delta evidence.
@@ -309,6 +378,41 @@ void RunSignalStats(const ShardInput& input, const ShardRange& range,
   }
   result->rows_scanned += range.num_rows();
   result->blocks_emitted += static_cast<int64_t>(result->signal_blocks.size());
+}
+
+/// kSignalStats, batched (batch_fold = "on" only — a single accumulator
+/// gains nothing under "auto"): one contiguous request over the range,
+/// staged block by block. Contiguous staging replays the identical
+/// arithmetic as the identity-index scratch fold above (the range and
+/// indexed folds are bit-identical by the kernel contract), so the payload
+/// is unchanged.
+void RunSignalStatsBatched(const ShardInput& input, const ShardRange& range,
+                           int64_t block_rows,
+                           const std::vector<const std::vector<double>*>& columns,
+                           ShardTaskResult* result) {
+  std::vector<kernels::BatchLeafRequest> requests(1);
+  requests[0].rows = nullptr;
+  requests[0].count = range.num_rows();
+  requests[0].begin = range.row_begin;
+  kernels::BatchFoldCounters counters;
+  kernels::BatchFoldLeafMoments(
+      kernels::ActiveKernel(), columns, *input.y_new, requests,
+      range.row_begin, range.row_end, block_rows,
+      &kernels::BlockStager::ThreadLocal(), &counters,
+      [&](int64_t /*ordinal*/, int64_t block, SufficientStats&& stats) {
+        result->signal_blocks.emplace_back(block, std::move(stats));
+      });
+  for (int64_t row = range.row_begin; row < range.row_end; ++row) {
+    size_t r = static_cast<size_t>(row);
+    double delta = std::abs((*input.y_new)[r] - (*input.y_old)[r]);
+    if (delta > result->signal_max_abs_delta) {
+      result->signal_max_abs_delta = delta;
+    }
+    if (delta > 0.0) ++result->signal_rows_changed;
+  }
+  result->rows_scanned += range.num_rows();
+  result->blocks_emitted += static_cast<int64_t>(result->signal_blocks.size());
+  FoldBatchCounters(counters, result);
 }
 
 /// kErrorPartials: per-(probe, block) exact L1 partials. Predictions run
@@ -361,6 +465,67 @@ Status RunErrorPartials(const ShardInput& input, const ShardRange& range,
   return Status::OK();
 }
 
+/// kErrorPartials, batched: validates every probe upfront in probe order
+/// (identical first error to the per-probe path), then evaluates all
+/// intersecting probes in one block-major staged sweep. Probe features
+/// address the staged shortlist directly, so the per-probe column gathers
+/// disappear; per-(probe, block) partials are bit-identical and arrive in
+/// ascending block order.
+Status RunErrorPartialsBatched(
+    const ShardInput& input, const ShardRange& range, int64_t block_rows,
+    const std::vector<const std::vector<double>*>& columns,
+    const ShardTask& task, ShardTaskResult* result) {
+  for (size_t p = 0; p < task.probes.size(); ++p) {
+    const ErrorProbe& probe = task.probes[p];
+    if (probe.leaf < 0 ||
+        probe.leaf >= static_cast<int64_t>(input.leaves.size()) ||
+        probe.features.size() != probe.coefficients.size()) {
+      return Status::InvalidArgument("ExecuteShardTaskKernel: malformed probe " +
+                                     std::to_string(p));
+    }
+    for (int64_t f : probe.features) {
+      if (f < 0 || f >= static_cast<int64_t>(columns.size())) {
+        return Status::InvalidArgument(
+            "ExecuteShardTaskKernel: probe feature out of shortlist range");
+      }
+    }
+  }
+  std::vector<kernels::BatchProbeRequest> requests;
+  requests.reserve(task.probes.size());
+  for (size_t p = 0; p < task.probes.size(); ++p) {
+    const ErrorProbe& probe = task.probes[p];
+    const RowSet& rows = *input.leaves[static_cast<size_t>(probe.leaf)];
+    auto [lo, hi] = rows.PositionsInRange(range.row_begin, range.row_end);
+    if (lo == hi) continue;
+    kernels::BatchProbeRequest request;
+    request.intercept = probe.intercept;
+    request.coefficients = probe.coefficients.data();
+    request.feature_columns = probe.features.data();
+    request.num_features = static_cast<int64_t>(probe.features.size());
+    request.rows = rows.indices().data() + lo;
+    request.count = hi - lo;
+    requests.push_back(request);
+    ProbeShardErrors errors;
+    errors.probe = static_cast<int64_t>(p);
+    result->rows_scanned += hi - lo;
+    result->probes.push_back(std::move(errors));
+  }
+  kernels::BatchFoldCounters counters;
+  kernels::BatchFoldProbeErrors(
+      kernels::ActiveKernel(), columns, *input.y_new, requests,
+      range.row_begin, range.row_end, block_rows,
+      &kernels::BlockStager::ThreadLocal(), &counters,
+      [&](int64_t ordinal, int64_t block, ErrorPartials&& partials) {
+        result->probes[static_cast<size_t>(ordinal)].blocks.emplace_back(
+            block, partials);
+      });
+  for (const ProbeShardErrors& errors : result->probes) {
+    result->blocks_emitted += static_cast<int64_t>(errors.blocks.size());
+  }
+  FoldBatchCounters(counters, result);
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<ShardTaskResult> ExecuteShardTaskKernel(const ShardInput& input,
@@ -392,16 +557,38 @@ Result<ShardTaskResult> ExecuteShardTaskKernel(const ShardInput& input,
   ShardTaskResult result;
   result.kind = task.kind;
   result.shard = shard_index;
+  // Batched and per-leaf sweeps produce byte-identical payloads, so the
+  // per-task choice — like the kernel choice — is invisible to the merge:
+  // every backend (and every remote worker, which resolves its own mode)
+  // may decide independently.
+  const kernels::BatchFoldMode batch_mode = kernels::ActiveBatchFold();
   switch (task.kind) {
     case ShardTaskKind::kLeafMoments:
-      RunLeafMoments(input, range, plan.block_rows, columns, task, &result);
+      if (kernels::ShouldBatchFold(
+              batch_mode, static_cast<int64_t>(task.leaves.size()))) {
+        RunLeafMomentsBatched(input, range, plan.block_rows, columns, task,
+                              &result);
+      } else {
+        RunLeafMoments(input, range, plan.block_rows, columns, task, &result);
+      }
       break;
     case ShardTaskKind::kSignalStats:
-      RunSignalStats(input, range, plan.block_rows, columns, &result);
+      // One accumulator: staging only pays under an explicit "on".
+      if (kernels::ShouldBatchFold(batch_mode, 1)) {
+        RunSignalStatsBatched(input, range, plan.block_rows, columns, &result);
+      } else {
+        RunSignalStats(input, range, plan.block_rows, columns, &result);
+      }
       break;
     case ShardTaskKind::kErrorPartials:
-      CHARLES_RETURN_NOT_OK(
-          RunErrorPartials(input, range, plan.block_rows, columns, task, &result));
+      if (kernels::ShouldBatchFold(
+              batch_mode, static_cast<int64_t>(task.probes.size()))) {
+        CHARLES_RETURN_NOT_OK(RunErrorPartialsBatched(
+            input, range, plan.block_rows, columns, task, &result));
+      } else {
+        CHARLES_RETURN_NOT_OK(RunErrorPartials(input, range, plan.block_rows,
+                                               columns, task, &result));
+      }
       break;
   }
   result.elapsed_seconds =

@@ -52,8 +52,12 @@ namespace charles {
 /// ranges are disjoint, answers kHelloReject with its own range so the
 /// coordinator can log a precise diagnostic and exclude the worker.
 /// @{
-inline constexpr int32_t kRemoteWireVersionMin = 1;
-inline constexpr int32_t kRemoteWireVersionMax = 1;
+/// Version 2: ShardTaskResult ("CST1") gained trailing batched-fold
+/// diagnostics counters; a version-1 peer cannot parse the frames, so the
+/// range moved past it — skewed builds are excluded at the handshake, never
+/// at a confusing mid-run parse error.
+inline constexpr int32_t kRemoteWireVersionMin = 2;
+inline constexpr int32_t kRemoteWireVersionMax = 2;
 /// @}
 
 /// Frame types of the remote protocol (net::Frame::type values).

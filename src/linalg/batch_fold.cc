@@ -1,0 +1,49 @@
+#include "linalg/batch_fold.h"
+
+namespace charles {
+namespace kernels {
+
+std::vector<SufficientStats> BatchAccumulateRowBlocks(
+    const Kernel& kernel,
+    const std::vector<const std::vector<double>*>& columns,
+    const std::vector<double>& y,
+    const std::vector<BatchLeafRequest>& requests, int64_t range_begin,
+    int64_t range_end, int64_t block_rows, BlockStager* stager,
+    BatchFoldCounters* counters) {
+  const int64_t p = static_cast<int64_t>(columns.size());
+  std::vector<SufficientStats> merged(requests.size(), SufficientStats(p));
+  BatchFoldLeafMoments(
+      kernel, columns, y, requests, range_begin, range_end, block_rows,
+      stager, counters,
+      [&](int64_t ordinal, int64_t /*block*/, SufficientStats&& stats) {
+        // Ascending-block emission per request ⇒ this is the canonical
+        // left-to-right Merge chain.
+        CHARLES_CHECK_OK(merged[static_cast<size_t>(ordinal)].Merge(stats));
+      });
+  return merged;
+}
+
+std::vector<SufficientStats> BatchAccumulateRowBlocks(
+    const std::vector<const std::vector<double>*>& columns,
+    const std::vector<double>& y,
+    const std::vector<BatchLeafRequest>& requests, int64_t range_begin,
+    int64_t range_end, int64_t block_rows, BatchFoldCounters* counters) {
+  return BatchAccumulateRowBlocks(ActiveKernel(), columns, y, requests,
+                                  range_begin, range_end, block_rows,
+                                  &BlockStager::ThreadLocal(), counters);
+}
+
+bool ShouldBatchFold(BatchFoldMode mode, int64_t num_accumulators) {
+  switch (mode) {
+    case BatchFoldMode::kOn:
+      return num_accumulators > 0;
+    case BatchFoldMode::kOff:
+      return false;
+    case BatchFoldMode::kAuto:
+      return num_accumulators >= 2;
+  }
+  return false;  // unreachable
+}
+
+}  // namespace kernels
+}  // namespace charles

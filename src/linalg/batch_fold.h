@@ -1,0 +1,273 @@
+#ifndef CHARLES_LINALG_BATCH_FOLD_H_
+#define CHARLES_LINALG_BATCH_FOLD_H_
+
+/// \file
+/// \brief Batched multi-leaf sweep drivers over staged canonical blocks.
+///
+/// The per-leaf folds (AccumulateRowBlocks, the shard sweeps in
+/// distributed/backend.cc) walk the snapshot columns once *per leaf*: a
+/// sweep over L leaves reads every column L times and pays a strided gather
+/// per block. These drivers invert the loop nest — **block-major over the
+/// leaf-major folds** — so each canonical block is staged once
+/// (one contiguous copy per column, BlockStager) and every leaf or probe
+/// whose rows intersect the block folds against the cache-resident staged
+/// buffers in a single batched kernel call.
+///
+/// Bit-identity with the per-leaf path is structural, not numeric luck:
+///
+///  1. staged buffers are bit-for-bit copies of the source column slices,
+///     so every addend a batched kernel computes equals the per-leaf
+///     kernel's addend;
+///  2. within one staged block, accumulators fold in request index order —
+///     the serial leaf order — and each (leaf, block) partial is built
+///     fresh, exactly as the canonical fold prescribes;
+///  3. block-major iteration visits blocks in ascending global order, so
+///     each leaf's partials are *emitted* in ascending block order — the
+///     same sequence the per-leaf fold produces — and the caller's
+///     left-to-right Merge chain is unchanged.
+///
+/// The drivers are deliberately emit-based (one callback per (request,
+/// block) partial): the shard sweeps keep per-leaf block lists for the wire
+/// format, while the engine-side conveniences below merge in place.
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/error_partials.h"
+#include "linalg/kernels/block_stage.h"
+#include "linalg/kernels/kernel.h"
+#include "linalg/suffstats.h"
+
+namespace charles {
+namespace kernels {
+
+/// Diagnostics of one batched sweep, folded up to
+/// SummaryList::batched_blocks_staged / batched_fold_accumulators /
+/// batch_leaves_per_block_max (the histogram summary: count, mean via the
+/// quotient, max).
+struct BatchFoldCounters {
+  int64_t blocks_staged = 0;        ///< Blocks materialized by the stager.
+  int64_t accumulators_folded = 0;  ///< Σ per-block accumulators folded.
+  int64_t max_accumulators_per_block = 0;
+  void Merge(const BatchFoldCounters& other) {
+    blocks_staged += other.blocks_staged;
+    accumulators_folded += other.accumulators_folded;
+    if (other.max_accumulators_per_block > max_accumulators_per_block) {
+      max_accumulators_per_block = other.max_accumulators_per_block;
+    }
+  }
+};
+
+/// One leaf's rows for a batched moments sweep. `rows` non-null: `count`
+/// ascending global row indices. `rows` null: the contiguous range
+/// [begin, begin + count), with `begin` block-aligned (the all-rows /
+/// signal-stats case).
+struct BatchLeafRequest {
+  const int64_t* rows = nullptr;
+  int64_t count = 0;
+  int64_t begin = 0;
+};
+
+/// One probe model for a batched error sweep: the fitted model, its feature
+/// positions within the staged column set, and the (ascending, global) rows
+/// it owns.
+struct BatchProbeRequest {
+  double intercept = 0.0;
+  const double* coefficients = nullptr;
+  const int64_t* feature_columns = nullptr;
+  int64_t num_features = 0;
+  const int64_t* rows = nullptr;
+  int64_t count = 0;
+};
+
+namespace batch_internal {
+
+/// Block-major slicer shared by the sweep drivers: visits the canonical
+/// blocks of [range_begin, range_end) in ascending order, computes each
+/// request's slice of the block with monotone per-request cursors, and
+/// invokes `fold(block_id, block_begin, block_count, slices, ordinals)` for
+/// blocks intersected by at least one request. `sources[i]` mirrors
+/// BatchLeafRequest's addressing. `range_begin` must be block-aligned.
+template <typename Fold>
+void ForEachSlicedBlock(const std::vector<BatchLeafRequest>& sources,
+                        int64_t range_begin, int64_t range_end,
+                        int64_t block_rows, Fold&& fold) {
+  const int64_t num_sources = static_cast<int64_t>(sources.size());
+  if (num_sources == 0 || range_end <= range_begin) return;
+  std::vector<int64_t> cursors(sources.size(), 0);
+  std::vector<BlockSlice> slices;
+  std::vector<int64_t> ordinals;
+  slices.reserve(sources.size());
+  ordinals.reserve(sources.size());
+  int64_t remaining = 0;
+  for (const BatchLeafRequest& source : sources) remaining += source.count;
+
+  const int64_t first_block = range_begin / block_rows;
+  const int64_t last_block = (range_end + block_rows - 1) / block_rows;
+  for (int64_t block = first_block; block < last_block && remaining > 0;
+       ++block) {
+    const int64_t block_begin = block * block_rows;
+    const int64_t block_end =
+        block_begin + block_rows < range_end ? block_begin + block_rows
+                                             : range_end;
+    slices.clear();
+    ordinals.clear();
+    for (int64_t s = 0; s < num_sources; ++s) {
+      const BatchLeafRequest& source = sources[static_cast<size_t>(s)];
+      int64_t& cursor = cursors[static_cast<size_t>(s)];
+      BlockSlice slice;
+      if (source.rows != nullptr) {
+        int64_t hi = cursor;
+        while (hi < source.count && source.rows[hi] < block_end) ++hi;
+        if (hi == cursor) continue;
+        slice.rows = source.rows + cursor;
+        slice.count = hi - cursor;
+        cursor = hi;
+      } else {
+        const int64_t lo = source.begin > block_begin ? source.begin
+                                                      : block_begin;
+        const int64_t hi = source.begin + source.count < block_end
+                               ? source.begin + source.count
+                               : block_end;
+        if (hi <= lo) continue;
+        slice.rows = nullptr;
+        slice.count = hi - lo;
+      }
+      remaining -= slice.count;
+      slices.push_back(slice);
+      ordinals.push_back(s);
+    }
+    if (slices.empty()) continue;
+    fold(block, block_begin, block_end - block_begin, slices, ordinals);
+  }
+}
+
+}  // namespace batch_internal
+
+/// Batched leaf-moments sweep: stages each intersected canonical block of
+/// [range_begin, range_end) once and folds every request's slice with one
+/// suffstats_block_batch call, emitting
+/// `emit(request_ordinal, block_id, SufficientStats&&)` fresh partials — for
+/// each request, in ascending block order, bit-identical to that request's
+/// per-leaf ForEachRowBlock + AccumulateRows sweep. `range_begin` must be
+/// block-aligned (shard ranges and 0 are); every request's rows must lie in
+/// the range.
+template <typename Emit>
+void BatchFoldLeafMoments(const Kernel& kernel,
+                          const std::vector<const std::vector<double>*>& columns,
+                          const std::vector<double>& y,
+                          const std::vector<BatchLeafRequest>& requests,
+                          int64_t range_begin, int64_t range_end,
+                          int64_t block_rows, BlockStager* stager,
+                          BatchFoldCounters* counters, Emit&& emit) {
+  const int64_t p = static_cast<int64_t>(columns.size());
+  std::vector<SufficientStats> fresh;
+  batch_internal::ForEachSlicedBlock(
+      requests, range_begin, range_end, block_rows,
+      [&](int64_t block, int64_t block_begin, int64_t block_count,
+          const std::vector<BlockSlice>& slices,
+          const std::vector<int64_t>& ordinals) {
+        StagedBlock staged = stager->Stage(columns, &y, block_begin,
+                                           block_count);
+        const int64_t folds = static_cast<int64_t>(slices.size());
+        fresh.assign(slices.size(), SufficientStats(p));
+        kernel.suffstats_block_batch(staged, slices.data(), folds,
+                                     fresh.data());
+        counters->blocks_staged += 1;
+        counters->accumulators_folded += folds;
+        if (folds > counters->max_accumulators_per_block) {
+          counters->max_accumulators_per_block = folds;
+        }
+        for (int64_t i = 0; i < folds; ++i) {
+          emit(ordinals[static_cast<size_t>(i)], block,
+               std::move(fresh[static_cast<size_t>(i)]));
+        }
+      });
+}
+
+/// Batched probe-error sweep: the kErrorPartials analogue. Stages each
+/// intersected block once and evaluates every probe's slice with one
+/// probe_abs_error_sum_batch call, emitting
+/// `emit(probe_ordinal, block_id, ErrorPartials&&)` — per probe, ascending
+/// block order, bit-identical to the per-probe ForEachRowBlock +
+/// probe_abs_error_sum sweep.
+template <typename Emit>
+void BatchFoldProbeErrors(const Kernel& kernel,
+                          const std::vector<const std::vector<double>*>& columns,
+                          const std::vector<double>& y,
+                          const std::vector<BatchProbeRequest>& probes,
+                          int64_t range_begin, int64_t range_end,
+                          int64_t block_rows, BlockStager* stager,
+                          BatchFoldCounters* counters, Emit&& emit) {
+  std::vector<BatchLeafRequest> sources(probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    sources[i].rows = probes[i].rows;
+    sources[i].count = probes[i].count;
+  }
+  std::vector<StagedProbe> staged_probes;
+  std::vector<double> sums;
+  batch_internal::ForEachSlicedBlock(
+      sources, range_begin, range_end, block_rows,
+      [&](int64_t block, int64_t block_begin, int64_t block_count,
+          const std::vector<BlockSlice>& slices,
+          const std::vector<int64_t>& ordinals) {
+        StagedBlock staged = stager->Stage(columns, &y, block_begin,
+                                           block_count);
+        const int64_t folds = static_cast<int64_t>(slices.size());
+        staged_probes.resize(slices.size());
+        sums.resize(slices.size());
+        for (int64_t i = 0; i < folds; ++i) {
+          const BatchProbeRequest& probe =
+              probes[static_cast<size_t>(ordinals[static_cast<size_t>(i)])];
+          StagedProbe& sp = staged_probes[static_cast<size_t>(i)];
+          sp.intercept = probe.intercept;
+          sp.coefficients = probe.coefficients;
+          sp.feature_columns = probe.feature_columns;
+          sp.num_features = probe.num_features;
+          sp.slice = slices[static_cast<size_t>(i)];
+        }
+        kernel.probe_abs_error_sum_batch(staged, staged_probes.data(), folds,
+                                         sums.data());
+        counters->blocks_staged += 1;
+        counters->accumulators_folded += folds;
+        if (folds > counters->max_accumulators_per_block) {
+          counters->max_accumulators_per_block = folds;
+        }
+        for (int64_t i = 0; i < folds; ++i) {
+          ErrorPartials partials;
+          partials.abs_error_sum = sums[static_cast<size_t>(i)];
+          partials.n = slices[static_cast<size_t>(i)].count;
+          emit(ordinals[static_cast<size_t>(i)], block, std::move(partials));
+        }
+      });
+}
+
+/// Convenience for tests, benches, and the engine's all-rows folds: the
+/// batched sweep with the per-request Merge chain applied in place — returns
+/// one merged SufficientStats per request, each bit-identical to
+/// AccumulateRowBlocks (or AccumulateRangeBlocks for a contiguous request)
+/// over that request's rows.
+std::vector<SufficientStats> BatchAccumulateRowBlocks(
+    const Kernel& kernel,
+    const std::vector<const std::vector<double>*>& columns,
+    const std::vector<double>& y,
+    const std::vector<BatchLeafRequest>& requests, int64_t range_begin,
+    int64_t range_end, int64_t block_rows, BlockStager* stager,
+    BatchFoldCounters* counters);
+
+/// Active-kernel, thread-local-stager variant.
+std::vector<SufficientStats> BatchAccumulateRowBlocks(
+    const std::vector<const std::vector<double>*>& columns,
+    const std::vector<double>& y,
+    const std::vector<BatchLeafRequest>& requests, int64_t range_begin,
+    int64_t range_end, int64_t block_rows, BatchFoldCounters* counters);
+
+/// Whether a sweep folding `num_accumulators` accumulators over shared rows
+/// should take the batched path under `mode`: kOn always, kOff never, kAuto
+/// when at least two accumulators share the staging cost.
+bool ShouldBatchFold(BatchFoldMode mode, int64_t num_accumulators);
+
+}  // namespace kernels
+}  // namespace charles
+
+#endif  // CHARLES_LINALG_BATCH_FOLD_H_

@@ -1,0 +1,57 @@
+#include "linalg/kernels/block_stage.h"
+
+#include <cstring>
+
+namespace charles {
+namespace kernels {
+
+StagedBlock BlockStager::Stage(
+    const std::vector<const std::vector<double>*>& columns,
+    const std::vector<double>* y, int64_t row_begin, int64_t count) {
+  const int64_t num_columns = static_cast<int64_t>(columns.size());
+  const int64_t lanes = num_columns + (y != nullptr ? 1 : 0);
+  const int64_t needed = lanes * count;
+
+  // Enforce the soft cap *between* blocks: an oversize column-set still
+  // stages (one block's fold needs the full width), but the balloon is
+  // released before the next block instead of staying resident.
+  if (resident_doubles() > cap_doubles_ && needed <= cap_doubles_) {
+    storage_.clear();
+    storage_.shrink_to_fit();
+  }
+  if (needed > high_water_doubles_) high_water_doubles_ = needed;
+  if (static_cast<int64_t>(storage_.capacity()) < needed) {
+    storage_.reserve(static_cast<size_t>(needed));
+  }
+  storage_.resize(static_cast<size_t>(needed));
+  pointers_.resize(static_cast<size_t>(num_columns));
+
+  double* at = storage_.data();
+  for (int64_t c = 0; c < num_columns; ++c) {
+    std::memcpy(at, columns[static_cast<size_t>(c)]->data() + row_begin,
+                static_cast<size_t>(count) * sizeof(double));
+    pointers_[static_cast<size_t>(c)] = at;
+    at += count;
+  }
+
+  StagedBlock block;
+  block.row_begin = row_begin;
+  block.count = count;
+  block.columns = pointers_.data();
+  block.num_columns = num_columns;
+  if (y != nullptr) {
+    std::memcpy(at, y->data() + row_begin,
+                static_cast<size_t>(count) * sizeof(double));
+    block.y = at;
+  }
+  ++blocks_staged_;
+  return block;
+}
+
+BlockStager& BlockStager::ThreadLocal() {
+  thread_local BlockStager stager;
+  return stager;
+}
+
+}  // namespace kernels
+}  // namespace charles

@@ -1,0 +1,78 @@
+#ifndef CHARLES_LINALG_KERNELS_BLOCK_STAGE_H_
+#define CHARLES_LINALG_KERNELS_BLOCK_STAGE_H_
+
+/// \file
+/// \brief Pooled column-major staging buffers for the batched block folds.
+///
+/// The batched fold path (batch_fold.h) materializes each canonical block
+/// once — one contiguous copy per shortlist column plus y — and shares the
+/// staged buffers across every leaf and probe whose row range intersects the
+/// block. BlockStager owns those buffers. One flat allocation is reused
+/// block after block (and, via ThreadLocal(), task after task on worker and
+/// pool threads), so steady-state staging never allocates; a soft cap keeps
+/// a one-off wide column-set from pinning a large resident buffer forever.
+///
+/// Staged values are plain element copies of the source column slices, so a
+/// kernel reading `staged[row - row_begin]` sees bit-for-bit the value the
+/// unstaged fold would have gathered — the first link in the batched path's
+/// bit-identity argument (docs/architecture.md#kernel-layer).
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/kernels/kernel.h"
+
+namespace charles {
+namespace kernels {
+
+class BlockStager {
+ public:
+  /// Default soft cap on retained capacity: 512 KiB of doubles (4 MiB).
+  /// Roughly 8 shortlist columns + y at the default 4096-row block with an
+  /// order of magnitude to spare; a staging request may exceed the cap (the
+  /// fold still runs), but oversize capacity is released before the next
+  /// block rather than retained.
+  static constexpr int64_t kDefaultCapDoubles = int64_t{1} << 19;
+
+  explicit BlockStager(int64_t cap_doubles = kDefaultCapDoubles)
+      : cap_doubles_(cap_doubles) {}
+
+  /// Stages rows [row_begin, row_begin + count) of every column (and y) into
+  /// the pool's contiguous buffers. The returned view (and its pointers) is
+  /// valid until the next Stage() call on this stager. `y` may be null when
+  /// only the columns are needed.
+  StagedBlock Stage(const std::vector<const std::vector<double>*>& columns,
+                    const std::vector<double>* y, int64_t row_begin,
+                    int64_t count);
+
+  /// Largest number of doubles any single Stage() call has needed — the
+  /// regression tests' high-water mark.
+  int64_t high_water_doubles() const { return high_water_doubles_; }
+
+  /// Doubles currently held resident by the pool (capacity, not size).
+  int64_t resident_doubles() const {
+    return static_cast<int64_t>(storage_.capacity());
+  }
+
+  /// Blocks staged over this stager's lifetime.
+  int64_t blocks_staged() const { return blocks_staged_; }
+
+  int64_t cap_doubles() const { return cap_doubles_; }
+
+  /// The calling thread's stager. Worker threads (pool, subprocess, remote
+  /// daemon) are long-lived, so this is the pool that persists across
+  /// RunTask calls — staging in steady state touches no allocator.
+  static BlockStager& ThreadLocal();
+
+ private:
+  int64_t cap_doubles_;
+  int64_t high_water_doubles_ = 0;
+  int64_t blocks_staged_ = 0;
+  std::vector<double> storage_;
+  std::vector<const double*> pointers_;
+};
+
+}  // namespace kernels
+}  // namespace charles
+
+#endif  // CHARLES_LINALG_KERNELS_BLOCK_STAGE_H_

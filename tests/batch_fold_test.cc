@@ -1,0 +1,334 @@
+/// \file
+/// Batched block folds (ISSUE 8): BlockStager pool behaviour (cap, high
+/// water, cross-task reuse), batched-vs-per-leaf ExecuteShardTaskKernel bit
+/// parity for all three task kinds, counter propagation through the
+/// coordinator merge and the CST1 wire (subprocess workers), and the
+/// process-wide batch-fold mode seam.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "distributed/coordinator.h"
+#include "distributed/in_process_backend.h"
+#include "distributed/shard_planner.h"
+#include "distributed/subprocess_backend.h"
+#include "linalg/batch_fold.h"
+#include "linalg/kernels/block_stage.h"
+#include "table/table_builder.h"
+
+namespace charles {
+namespace {
+
+using kernels::BatchFoldMode;
+using kernels::BlockStager;
+
+/// Restores the prior process-wide batch-fold mode on scope exit, so these
+/// tests cannot leak a mode into the rest of the suite.
+class ScopedBatchFold {
+ public:
+  explicit ScopedBatchFold(BatchFoldMode mode)
+      : previous_(kernels::SetActiveBatchFold(mode)) {}
+  ~ScopedBatchFold() { kernels::SetActiveBatchFold(previous_); }
+
+ private:
+  BatchFoldMode previous_;
+};
+
+/// Deterministic synthetic shard input (the distributed_test fixture): two
+/// feature columns, y vectors, and leaves with distinct shapes.
+struct SyntheticInput {
+  std::vector<std::string> shortlist;
+  ColumnCache columns;
+  std::vector<double> y_old;
+  std::vector<double> y_new;
+  std::vector<RowSet> leaf_storage;
+  ShardInput input;
+};
+
+SyntheticInput MakeSyntheticInput(int64_t rows) {
+  SyntheticInput s;
+  s.shortlist = {"a", "b"};
+  std::vector<double> a(static_cast<size_t>(rows)), b(static_cast<size_t>(rows));
+  s.y_old.resize(static_cast<size_t>(rows));
+  s.y_new.resize(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    size_t i = static_cast<size_t>(r);
+    a[i] = 1000.0 + 3.0 * static_cast<double>(r);
+    b[i] = 50.0 - 0.25 * static_cast<double>(r % 97);
+    s.y_old[i] = 10.0 + 0.5 * a[i];
+    s.y_new[i] = (r % 3 == 0) ? s.y_old[i] : 1.05 * s.y_old[i] + 2.0 * b[i];
+  }
+  Schema schema = Schema::Make({Field{"a", TypeKind::kDouble, false},
+                                Field{"b", TypeKind::kDouble, false}})
+                      .ValueOrDie();
+  TableBuilder builder(schema);
+  for (int64_t r = 0; r < rows; ++r) {
+    size_t i = static_cast<size_t>(r);
+    builder.AppendRow({Value(a[i]), Value(b[i])}).AbortIfNotOk();
+  }
+  Table table = builder.Finish().ValueOrDie();
+  s.columns = ColumnCache::Build(table, s.shortlist).ValueOrDie();
+
+  std::vector<int64_t> stride, prefix;
+  for (int64_t r = 0; r < rows; r += 3) stride.push_back(r);
+  for (int64_t r = 0; r < rows / 2; ++r) prefix.push_back(r);
+  s.leaf_storage.push_back(RowSet::All(rows));
+  s.leaf_storage.push_back(RowSet(std::move(stride)));
+  s.leaf_storage.push_back(RowSet(std::move(prefix)));
+
+  s.input.shortlist = &s.shortlist;
+  s.input.columns = &s.columns;
+  s.input.y_old = &s.y_old;
+  s.input.y_new = &s.y_new;
+  for (const RowSet& leaf : s.leaf_storage) s.input.leaves.push_back(&leaf);
+  return s;
+}
+
+ShardTask MakeMomentsTask(const ShardInput& input) {
+  ShardTask task;
+  task.kind = ShardTaskKind::kLeafMoments;
+  for (size_t l = 0; l < input.leaves.size(); ++l) {
+    task.leaves.push_back(static_cast<int64_t>(l));
+  }
+  return task;
+}
+
+ShardTask MakeSignalTask() {
+  ShardTask task;
+  task.kind = ShardTaskKind::kSignalStats;
+  return task;
+}
+
+ShardTask MakeErrorTask() {
+  ShardTask task;
+  task.kind = ShardTaskKind::kErrorPartials;
+  ErrorProbe p0;
+  p0.leaf = 0;
+  p0.features = {0};
+  p0.intercept = 12.5;
+  p0.coefficients = {1.05};
+  task.probes.push_back(p0);
+  ErrorProbe p1;
+  p1.leaf = 1;
+  p1.features = {0, 1};
+  p1.intercept = -3.0;
+  p1.coefficients = {0.5, 2.0};
+  task.probes.push_back(p1);
+  return task;
+}
+
+/// The canonical payloads of two task results must match byte for byte —
+/// the batch counters are deliberately excluded (they are the one sanctioned
+/// difference between the batched and per-leaf paths).
+void ExpectBitIdenticalPayloads(const ShardTaskResult& a,
+                                const ShardTaskResult& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.shard, b.shard);
+  EXPECT_EQ(a.rows_scanned, b.rows_scanned);
+  EXPECT_EQ(a.blocks_emitted, b.blocks_emitted);
+  ASSERT_EQ(a.leaves.size(), b.leaves.size());
+  for (size_t l = 0; l < a.leaves.size(); ++l) {
+    EXPECT_EQ(a.leaves[l].leaf, b.leaves[l].leaf);
+    EXPECT_EQ(std::memcmp(&a.leaves[l].max_abs_delta,
+                          &b.leaves[l].max_abs_delta, sizeof(double)),
+              0);
+    ASSERT_EQ(a.leaves[l].blocks.size(), b.leaves[l].blocks.size());
+    for (size_t i = 0; i < a.leaves[l].blocks.size(); ++i) {
+      EXPECT_EQ(a.leaves[l].blocks[i].first, b.leaves[l].blocks[i].first);
+      EXPECT_TRUE(a.leaves[l].blocks[i].second.BitIdenticalTo(
+          b.leaves[l].blocks[i].second));
+    }
+  }
+  ASSERT_EQ(a.signal_blocks.size(), b.signal_blocks.size());
+  for (size_t i = 0; i < a.signal_blocks.size(); ++i) {
+    EXPECT_EQ(a.signal_blocks[i].first, b.signal_blocks[i].first);
+    EXPECT_TRUE(
+        a.signal_blocks[i].second.BitIdenticalTo(b.signal_blocks[i].second));
+  }
+  EXPECT_EQ(std::memcmp(&a.signal_max_abs_delta, &b.signal_max_abs_delta,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(a.signal_rows_changed, b.signal_rows_changed);
+  ASSERT_EQ(a.probes.size(), b.probes.size());
+  for (size_t p = 0; p < a.probes.size(); ++p) {
+    EXPECT_EQ(a.probes[p].probe, b.probes[p].probe);
+    ASSERT_EQ(a.probes[p].blocks.size(), b.probes[p].blocks.size());
+    for (size_t i = 0; i < a.probes[p].blocks.size(); ++i) {
+      EXPECT_EQ(a.probes[p].blocks[i].first, b.probes[p].blocks[i].first);
+      EXPECT_TRUE(a.probes[p].blocks[i].second.BitIdenticalTo(
+          b.probes[p].blocks[i].second));
+    }
+  }
+}
+
+// --- BlockStager pool --------------------------------------------------------
+
+TEST(BatchFoldTest, StagerTracksHighWaterAndBlocks) {
+  std::vector<double> col_a(256, 1.5), col_b(256, -2.0), y(256, 3.0);
+  std::vector<const std::vector<double>*> columns = {&col_a, &col_b};
+  BlockStager stager;
+  stager.Stage(columns, &y, 0, 64);    // 3 × 64 doubles
+  stager.Stage(columns, &y, 64, 128);  // 3 × 128 doubles — new high water
+  stager.Stage(columns, &y, 192, 32);  // smaller; high water must stand
+  EXPECT_EQ(stager.blocks_staged(), 3);
+  EXPECT_EQ(stager.high_water_doubles(), 3 * 128);
+  EXPECT_GE(stager.resident_doubles(), 3 * 32);
+}
+
+TEST(BatchFoldTest, StagerCapBoundsResidentMemory) {
+  // The pool-cap regression (ISSUE 8 satellite): one wide column set may
+  // exceed the cap while it is being staged — staging must not fail — but
+  // the over-cap buffer is released before the next under-cap block, so a
+  // single wide task cannot permanently balloon a worker's resident pool.
+  const int64_t rows = 512;
+  std::vector<std::vector<double>> storage(7, std::vector<double>(rows, 1.0));
+  std::vector<const std::vector<double>*> wide;
+  for (const auto& col : storage) wide.push_back(&col);
+  std::vector<const std::vector<double>*> narrow = {wide[0]};
+  std::vector<double> y(rows, 2.0);
+
+  BlockStager stager(/*cap_doubles=*/1024);
+  // (7 + 1) × 512 = 4096 doubles: four times over the cap, still staged.
+  kernels::StagedBlock over = stager.Stage(wide, &y, 0, rows);
+  EXPECT_EQ(over.count, rows);
+  EXPECT_EQ(stager.high_water_doubles(), 4096);
+  EXPECT_GE(stager.resident_doubles(), 4096);
+  // The next under-cap block shrinks the pool back under the cap first.
+  stager.Stage(narrow, &y, 0, rows);  // 2 × 512 = 1024 ≤ cap
+  EXPECT_LE(stager.resident_doubles(), 1024);
+  EXPECT_EQ(stager.high_water_doubles(), 4096);  // high water is sticky
+}
+
+TEST(BatchFoldTest, ThreadLocalStagerReusedAcrossTasks) {
+  // The staging pool lives on the worker thread, not the task: two identical
+  // batched task executions must not grow the pool past the first one's high
+  // water (the buffers are reused, not re-allocated per RunTask call).
+  ScopedBatchFold scoped(BatchFoldMode::kOn);
+  SyntheticInput s = MakeSyntheticInput(600);
+  ShardPlan plan = PlanShards(600, 64, 1);
+  ShardTask task = MakeMomentsTask(s.input);
+
+  BlockStager& pool = BlockStager::ThreadLocal();
+  ASSERT_TRUE(ExecuteShardTaskKernel(s.input, plan, 0, task).ok());
+  const int64_t blocks_after_first = pool.blocks_staged();
+  const int64_t high_water_after_first = pool.high_water_doubles();
+  EXPECT_GT(blocks_after_first, 0);
+  ASSERT_TRUE(ExecuteShardTaskKernel(s.input, plan, 0, task).ok());
+  EXPECT_GT(pool.blocks_staged(), blocks_after_first);
+  EXPECT_EQ(pool.high_water_doubles(), high_water_after_first);
+}
+
+// --- Batched vs per-leaf kernel parity ---------------------------------------
+
+TEST(BatchFoldTest, BatchedTaskKernelBitIdenticalForAllThreeKinds) {
+  SyntheticInput s = MakeSyntheticInput(777);
+  ShardPlan plan = PlanShards(777, 64, 3);
+  for (const ShardTask& task :
+       {MakeMomentsTask(s.input), MakeSignalTask(), MakeErrorTask()}) {
+    for (int64_t shard = 0; shard < plan.num_shards(); ++shard) {
+      ShardTaskResult per_leaf = [&] {
+        ScopedBatchFold scoped(BatchFoldMode::kOff);
+        return ExecuteShardTaskKernel(s.input, plan, shard, task).ValueOrDie();
+      }();
+      ShardTaskResult batched = [&] {
+        ScopedBatchFold scoped(BatchFoldMode::kOn);
+        return ExecuteShardTaskKernel(s.input, plan, shard, task).ValueOrDie();
+      }();
+      EXPECT_EQ(per_leaf.batch_blocks_staged, 0);
+      EXPECT_GT(batched.batch_blocks_staged, 0)
+          << ShardTaskKindName(task.kind) << " shard " << shard;
+      EXPECT_GT(batched.batch_accumulators_folded, 0);
+      ExpectBitIdenticalPayloads(per_leaf, batched);
+    }
+  }
+}
+
+TEST(BatchFoldTest, AutoBatchesMultiAccumulatorTasksOnly) {
+  SyntheticInput s = MakeSyntheticInput(300);
+  ShardPlan plan = PlanShards(300, 64, 1);
+  ScopedBatchFold scoped(BatchFoldMode::kAuto);
+  // Three leaves → batched under auto.
+  ShardTaskResult moments =
+      ExecuteShardTaskKernel(s.input, plan, 0, MakeMomentsTask(s.input))
+          .ValueOrDie();
+  EXPECT_GT(moments.batch_blocks_staged, 0);
+  // One leaf → per-leaf path under auto (nothing to share staging with).
+  ShardTask single;
+  single.kind = ShardTaskKind::kLeafMoments;
+  single.leaves = {0};
+  ShardTaskResult one =
+      ExecuteShardTaskKernel(s.input, plan, 0, single).ValueOrDie();
+  EXPECT_EQ(one.batch_blocks_staged, 0);
+  // Signal stats is a single accumulator → per-leaf path under auto.
+  ShardTaskResult signal =
+      ExecuteShardTaskKernel(s.input, plan, 0, MakeSignalTask()).ValueOrDie();
+  EXPECT_EQ(signal.batch_blocks_staged, 0);
+}
+
+// --- Counters through the coordinator merge and the CST1 wire ----------------
+
+TEST(BatchFoldTest, CoordinatorFoldsCountersAndSubprocessShipsThem) {
+  SyntheticInput s = MakeSyntheticInput(900);
+  ShardPlan plan = PlanShards(900, 64, 4);
+  ShardTask task = MakeMomentsTask(s.input);
+
+  CoordinatorTaskResult reference = [&] {
+    ScopedBatchFold scoped(BatchFoldMode::kOff);
+    InProcessBackend backend;
+    return Coordinator::RunTask(s.input, plan, &backend, nullptr, task)
+        .ValueOrDie();
+  }();
+  EXPECT_EQ(reference.batch_blocks_staged, 0);
+
+  ScopedBatchFold scoped(BatchFoldMode::kOn);
+  InProcessBackend in_process;
+  SubprocessBackend subprocess;
+  for (ShardBackend* backend :
+       std::vector<ShardBackend*>{&in_process, &subprocess}) {
+    CoordinatorTaskResult merged =
+        Coordinator::RunTask(s.input, plan, backend, nullptr, task)
+            .ValueOrDie();
+    // Counters fold across shards — and, for the subprocess backend, ride
+    // the CST1 wire from the forked workers.
+    EXPECT_GT(merged.batch_blocks_staged, 0) << backend->name();
+    EXPECT_GT(merged.batch_accumulators_folded, 0) << backend->name();
+    EXPECT_GT(merged.batch_max_accumulators_per_block, 0) << backend->name();
+    EXPECT_LE(merged.batch_max_accumulators_per_block,
+              static_cast<int64_t>(task.leaves.size()));
+    // The merged canonical payload is unchanged by batching.
+    ASSERT_EQ(merged.leaves.size(), reference.leaves.size());
+    for (size_t l = 0; l < merged.leaves.size(); ++l) {
+      EXPECT_TRUE(
+          merged.leaves[l].stats.BitIdenticalTo(reference.leaves[l].stats))
+          << backend->name() << " leaf " << l;
+      EXPECT_EQ(std::memcmp(&merged.leaves[l].max_abs_delta,
+                            &reference.leaves[l].max_abs_delta, sizeof(double)),
+                0);
+    }
+  }
+}
+
+TEST(BatchFoldTest, TaskResultWireCarriesBatchCounters) {
+  ScopedBatchFold scoped(BatchFoldMode::kOn);
+  SyntheticInput s = MakeSyntheticInput(500);
+  ShardPlan plan = PlanShards(500, 64, 2);
+  ShardTaskResult result =
+      ExecuteShardTaskKernel(s.input, plan, 0, MakeMomentsTask(s.input))
+          .ValueOrDie();
+  ASSERT_GT(result.batch_blocks_staged, 0);
+  std::string wire;
+  result.SerializeTo(&wire);
+  ShardTaskResult back =
+      ShardTaskResult::Deserialize(wire.data(), wire.size()).ValueOrDie();
+  EXPECT_EQ(back.batch_blocks_staged, result.batch_blocks_staged);
+  EXPECT_EQ(back.batch_accumulators_folded, result.batch_accumulators_folded);
+  EXPECT_EQ(back.batch_max_accumulators_per_block,
+            result.batch_max_accumulators_per_block);
+  ExpectBitIdenticalPayloads(result, back);
+}
+
+}  // namespace
+}  // namespace charles

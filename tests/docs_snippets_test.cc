@@ -32,6 +32,17 @@ charles::Result<charles::SummaryList> PinnedKernelRun(
   return charles::SummarizeChanges(snapshot_2016, snapshot_2017, options);
 }
 
+// --- docs/api.md "Batched block folds" --------------------------------------
+
+charles::Result<charles::SummaryList> BatchedFoldRun(
+    const charles::Table& snapshot_2016, const charles::Table& snapshot_2017) {
+  charles::CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  options.batch_fold = "on";  // or "off"; default "auto" batches shared sweeps
+  return charles::SummarizeChanges(snapshot_2016, snapshot_2017, options);
+}
+
 // --- docs/api.md "Serving / repeated queries" ------------------------------
 
 class SummaryService {
@@ -163,7 +174,9 @@ TEST(DocsSnippetsTest, PinnedKernelSnippetMatchesEveryBackend) {
   Table source = MakeExample1Source().ValueOrDie();
   Table target = MakeExample1Target().ValueOrDie();
   SummaryList pinned = PinnedKernelRun(source, target).ValueOrDie();
-  EXPECT_EQ(pinned.kernel_used, "scalar");
+  // Default batch_fold ("auto") stages blocks on this multi-leaf workload,
+  // which kernel_used reports as a "+batch" suffix on the pinned kernel.
+  EXPECT_EQ(pinned.kernel_used, "scalar+batch");
   // The documented promise: the backend knob never changes a bit of output.
   for (const char* backend : {"simd", "auto"}) {
     CharlesOptions options;
@@ -175,6 +188,27 @@ TEST(DocsSnippetsTest, PinnedKernelSnippetMatchesEveryBackend) {
     ASSERT_EQ(pinned.summaries.size(), run.summaries.size());
     for (size_t i = 0; i < pinned.summaries.size(); ++i) {
       EXPECT_EQ(pinned.summaries[i].ToString(), run.summaries[i].ToString());
+    }
+  }
+}
+
+TEST(DocsSnippetsTest, BatchedFoldSnippetMatchesEveryMode) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  SummaryList batched = BatchedFoldRun(source, target).ValueOrDie();
+  EXPECT_GT(batched.batched_blocks_staged, 0);
+  EXPECT_GT(batched.batch_leaves_per_block_max, 0);
+  EXPECT_NE(batched.kernel_used.find("+batch"), std::string::npos);
+  // The documented promise: the batching knob never changes a bit of output.
+  for (const char* mode : {"off", "auto"}) {
+    CharlesOptions options;
+    options.target_attribute = "bonus";
+    options.key_columns = {"name"};
+    options.batch_fold = mode;
+    SummaryList run = SummarizeChanges(source, target, options).ValueOrDie();
+    ASSERT_EQ(batched.summaries.size(), run.summaries.size());
+    for (size_t i = 0; i < batched.summaries.size(); ++i) {
+      EXPECT_EQ(batched.summaries[i].ToString(), run.summaries[i].ToString());
     }
   }
 }
