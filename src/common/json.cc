@@ -1,0 +1,161 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace charles {
+
+void JsonWriter::AppendEscaped(const std::string& raw, std::string* out) {
+  out->push_back('"');
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    CHARLES_CHECK_EQ(root_values_, 0) << "JsonWriter: multiple root values";
+    ++root_values_;
+    return;
+  }
+  if (stack_.back() == 'O') {
+    CHARLES_CHECK(pending_key_)
+        << "JsonWriter: value inside an object requires Key() first";
+    pending_key_ = false;
+    return;
+  }
+  if (counts_.back() > 0) out_.push_back(',');
+  ++counts_.back();
+}
+
+void JsonWriter::Append(const char* text) { out_ += text; }
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  stack_.push_back('O');
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  CHARLES_CHECK(!stack_.empty() && stack_.back() == 'O')
+      << "JsonWriter: EndObject with no open object";
+  CHARLES_CHECK(!pending_key_) << "JsonWriter: EndObject after dangling Key()";
+  out_.push_back('}');
+  stack_.pop_back();
+  counts_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  stack_.push_back('A');
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  CHARLES_CHECK(!stack_.empty() && stack_.back() == 'A')
+      << "JsonWriter: EndArray with no open array";
+  out_.push_back(']');
+  stack_.pop_back();
+  counts_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  CHARLES_CHECK(!stack_.empty() && stack_.back() == 'O')
+      << "JsonWriter: Key() outside an object";
+  CHARLES_CHECK(!pending_key_) << "JsonWriter: two Key() calls in a row";
+  if (counts_.back() > 0) out_.push_back(',');
+  ++counts_.back();
+  AppendEscaped(name, &out_);
+  out_.push_back(':');
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  AppendEscaped(value, &out_);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  Append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  Append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    Append("null");
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  Append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  Append(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  Append("null");
+  return *this;
+}
+
+}  // namespace charles

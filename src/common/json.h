@@ -1,0 +1,93 @@
+#ifndef CHARLES_COMMON_JSON_H_
+#define CHARLES_COMMON_JSON_H_
+
+/// \file
+/// \brief A small reflection-free JSON writer.
+///
+/// The engine emits machine-readable diagnostics (SummaryList::ToJson,
+/// metrics snapshots, Chrome trace exports, bench artifacts) and every one
+/// of those call sites used to hand-roll printf escaping. JsonWriter owns
+/// the three things printf gets wrong: string escaping (control characters,
+/// quotes, backslashes), comma placement (a state stack tracks whether the
+/// current container already has a member), and doubles (shortest
+/// round-trippable form via %.17g; NaN/Inf become null because JSON has no
+/// spelling for them). It writes into one growing std::string — no
+/// intermediate DOM, no allocations beyond the output buffer.
+///
+/// Usage:
+/// \code
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("name").String("p99");
+///   w.Key("buckets").BeginArray().Int(1).Int(2).EndArray();
+///   w.EndObject();
+///   std::string out = w.str();
+/// \endcode
+///
+/// Misuse (a value where a key is required, EndObject inside an array, ...)
+/// fails a CHARLES_CHECK — the writer is for trusted in-process producers,
+/// not a general serialization framework.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace charles {
+
+/// Streaming JSON emitter with automatic comma/keying discipline.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  /// Opens a JSON object (`{`). Valid at the root, as an array element, or
+  /// after Key() inside an object.
+  JsonWriter& BeginObject();
+  /// Closes the innermost object (`}`).
+  JsonWriter& EndObject();
+  /// Opens a JSON array (`[`).
+  JsonWriter& BeginArray();
+  /// Closes the innermost array (`]`).
+  JsonWriter& EndArray();
+
+  /// Emits an object key. Must be directly inside an object, and must be
+  /// followed by exactly one value (scalar or container).
+  JsonWriter& Key(const std::string& name);
+
+  /// Emits a string value with full escaping.
+  JsonWriter& String(const std::string& value);
+  /// Emits a signed integer value.
+  JsonWriter& Int(int64_t value);
+  /// Emits an unsigned integer value (run ids and span ids are uint64).
+  JsonWriter& Uint(uint64_t value);
+  /// Emits a double. Finite values use %.17g (round-trippable); NaN and
+  /// infinities are emitted as null.
+  JsonWriter& Double(double value);
+  /// Emits true/false.
+  JsonWriter& Bool(bool value);
+  /// Emits null.
+  JsonWriter& Null();
+
+  /// The document so far. Call after the root container is closed.
+  const std::string& str() const { return out_; }
+
+  /// Appends `raw` escaped (with surrounding quotes) to `*out` — the single
+  /// escaping routine, exposed for producers that build JSON fragments
+  /// outside the writer (bench fprintf paths).
+  static void AppendEscaped(const std::string& raw, std::string* out);
+
+ private:
+  // One frame per open container: 'O' = object (expects key or '}'),
+  // 'A' = array. `counts_` tracks members emitted so far for commas.
+  void BeforeValue();
+  void Append(const char* text);
+
+  std::string out_;
+  std::vector<char> stack_;
+  std::vector<int64_t> counts_;
+  bool pending_key_ = false;
+  int64_t root_values_ = 0;
+};
+
+}  // namespace charles
+
+#endif  // CHARLES_COMMON_JSON_H_

@@ -26,8 +26,14 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogThreshold(LogLevel level) { g_threshold.store(level); }
-LogLevel GetLogThreshold() { return g_threshold.load(); }
+// Relaxed ordering: the threshold is an independent knob — no other memory
+// is published through it, so readers only need atomicity, not ordering.
+void SetLogThreshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogThreshold() {
+  return g_threshold.load(std::memory_order_relaxed);
+}
 
 namespace internal {
 

@@ -31,9 +31,18 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Swallows a LogMessage in CHARLES_VLOG's conditional. operator& binds
+/// looser than operator<<, so the whole << chain evaluates (or is skipped)
+/// as one expression of type void on both branches of ?: .
+struct LogVoidify {
+  void operator&(const LogMessage&) {}
+};
+
 }  // namespace internal
 
-/// Messages below this level are suppressed (default kInfo).
+/// Messages below this level are suppressed (default kInfo). The threshold
+/// lives in one std::atomic — workers and pool threads adjust and read it
+/// concurrently without a data race.
 void SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();
 
@@ -42,6 +51,20 @@ LogLevel GetLogThreshold();
 #define CHARLES_LOG(level)                                                 \
   ::charles::internal::LogMessage(::charles::LogLevel::k##level, __FILE__, \
                                   __LINE__)
+
+/// True when a CHARLES_LOG(level) message would actually be emitted.
+#define CHARLES_LOG_IS_ON(level) \
+  (::charles::LogLevel::k##level >= ::charles::GetLogThreshold())
+
+/// Like CHARLES_LOG but checks the threshold *before* constructing the
+/// message, so suppressed statements skip the ostringstream and every
+/// argument's formatting entirely — safe on hot paths (per-task worker
+/// logging). Fatal messages always emit via CHARLES_LOG/CHECK; do not
+/// route them through CHARLES_VLOG.
+#define CHARLES_VLOG(level)          \
+  !CHARLES_LOG_IS_ON(level)          \
+      ? (void)0                      \
+      : ::charles::internal::LogVoidify() & CHARLES_LOG(level)
 
 /// CHECK macros guard against programmer errors (never data errors — those
 /// get a Status). Failing a CHECK logs and aborts.

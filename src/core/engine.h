@@ -7,6 +7,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -28,10 +29,25 @@
 
 namespace charles {
 
+namespace obs {
+class TraceRecorder;
+}  // namespace obs
+
 /// \brief Output of one engine run: ranked summaries plus search diagnostics.
 struct SummaryList {
   /// Top-N summaries, highest score first.
   std::vector<ChangeSummary> summaries;
+
+  /// Run id: the run fingerprint as 16 lowercase hex digits. Every run has
+  /// one (fingerprinting no longer requires an EngineContext); it tags
+  /// coordinator and worker log lines and doubles as the trace id, so one
+  /// id correlates logs, traces, and diagnostics across processes.
+  std::string run_id;
+
+  /// The run's trace (CharlesOptions::trace on; null otherwise). Holds
+  /// every stage/dispatch/merge span plus imported worker spans; export
+  /// with ToChromeTraceJson() (src/obs/trace.h, docs/observability.md).
+  std::shared_ptr<obs::TraceRecorder> trace;
 
   /// The attribute shortlists the run used (assistant output or overrides).
   SetupResult setup;
@@ -126,6 +142,13 @@ struct SummaryList {
 
   /// Rendering of the ranked list (one block per summary).
   std::string ToString() const;
+
+  /// Stable machine-readable diagnostics: the versioned RunDiagnostics
+  /// schema (src/obs/diagnostics.h) rendered as one JSON object. Clients
+  /// parse this instead of scraping C++ struct fields; additions are
+  /// backward compatible and removals/renames bump `schema_version`
+  /// (docs/observability.md#json-schema-versioning).
+  std::string ToJson() const;
 };
 
 /// \brief One streamed snapshot of the phase-3 search, emitted after a

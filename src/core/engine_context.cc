@@ -2,7 +2,39 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+
 namespace charles {
+
+namespace {
+
+/// Admission / concurrency metrics. Static-local cached pointers: one
+/// registry lookup per process, relaxed atomics per event.
+obs::Counter* AdmittedCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().counter("engine.runs_admitted");
+  return counter;
+}
+
+obs::Counter* QueuedCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().counter("engine.runs_queued");
+  return counter;
+}
+
+obs::Counter* RejectedCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().counter("engine.runs_rejected");
+  return counter;
+}
+
+obs::Gauge* ActiveRunsGauge() {
+  static obs::Gauge* const gauge =
+      obs::MetricsRegistry::Global().gauge("engine.active_runs");
+  return gauge;
+}
+
+}  // namespace
 
 EngineContext::EngineContext(EngineContextOptions options) {
   num_threads_ = options.num_threads > 0 ? options.num_threads
@@ -30,12 +62,14 @@ Result<EngineContext::RunSlot> EngineContext::AdmitRun(const StopToken* stop) {
   if (max_concurrent_runs_ > 0 && active_runs_ >= max_concurrent_runs_) {
     if (admission_ == AdmissionPolicy::kReject) {
       runs_rejected_.fetch_add(1, std::memory_order_relaxed);
+      RejectedCounter()->Increment();
       return Status::ResourceExhausted(
           "EngineContext: " + std::to_string(active_runs_) + " of " +
           std::to_string(max_concurrent_runs_) +
           " concurrent runs active (admission policy: reject)");
     }
     runs_queued_.fetch_add(1, std::memory_order_relaxed);
+    QueuedCounter()->Increment();
     if (stop == nullptr) {
       admission_cv_.wait(lock,
                          [this] { return active_runs_ < max_concurrent_runs_; });
@@ -53,6 +87,8 @@ Result<EngineContext::RunSlot> EngineContext::AdmitRun(const StopToken* stop) {
     }
   }
   ++active_runs_;
+  AdmittedCounter()->Increment();
+  ActiveRunsGauge()->Set(active_runs_);
   return RunSlot(this);
 }
 
@@ -60,6 +96,7 @@ void EngineContext::FinishRun() {
   {
     std::lock_guard<std::mutex> lock(admission_mu_);
     --active_runs_;
+    ActiveRunsGauge()->Set(active_runs_);
   }
   admission_cv_.notify_one();
 }

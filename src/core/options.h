@@ -197,6 +197,16 @@ struct CharlesOptions {
   /// bounds the context cache at insert time.
   int64_t max_cache_entries = 0;
 
+  /// Record a trace of this run: every pipeline stage, shard dispatch and
+  /// merge, and — over the remote wire — worker-side task execution becomes
+  /// a span in one TraceRecorder (src/obs/trace.h), exported via
+  /// `SummaryList::trace->ToChromeTraceJson()` for about:tracing/Perfetto.
+  /// Off (the default) costs nothing: spans are inert, no allocation
+  /// happens on hot paths, and no trace context rides the wire. Tracing
+  /// observes and never reorders the canonical folds, so enabling it does
+  /// not perturb results (docs/observability.md).
+  bool trace = false;
+
   /// Numeric cells differing by at most this are "unchanged".
   double numeric_tolerance = 1e-6;
   /// Tolerate entities present in only one snapshot (they are excluded from

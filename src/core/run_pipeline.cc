@@ -18,6 +18,7 @@
 #include "linalg/error_partials.h"
 #include "linalg/kernels/kernel.h"
 #include "ml/linear_regression.h"
+#include "obs/metrics.h"
 #include "parallel/parallel.h"
 
 namespace charles {
@@ -330,6 +331,20 @@ Status RunPipeline::Phase1Signals(RunState& state) {
   CHARLES_ASSIGN_OR_RETURN(state.tran_columns,
                            ColumnCache::Build(*state.analysis, state.tran_names));
 
+  // Run id: the run fingerprint, computed unconditionally and *before* any
+  // shard dispatch so worker log lines and remote spans can carry it. The
+  // `fingerprint` field keeps its historical contract — 0 without a context
+  // — so nothing cache-keys on a run that has no cross-run cache. The run
+  // id doubles as the trace id; the scope installs it on this thread for
+  // the rest of the stage (the signal-stats round below dispatches with it).
+  state.run_id = ComputeRunFingerprint(options, state.tran_names,
+                                       state.tran_columns, state.y_old,
+                                       state.y_new);
+  state.fingerprint = state.context != nullptr ? state.run_id : 0;
+  state.result.run_id = obs::FormatRunId(state.run_id);
+  if (state.recorder != nullptr) state.recorder->set_trace_id(state.run_id);
+  obs::RunIdScope run_scope(state.run_id);
+
   // Sufficient statistics of the full transformation shortlist over all
   // rows, accumulated through the canonical block fold (AccumulateRowBlocks)
   // every other stats producer uses. Phase 1 solves every T-subset's global
@@ -398,14 +413,6 @@ Status RunPipeline::Phase1Signals(RunState& state) {
                                 options.stats_block_rows));
     }
   }
-
-  // Cross-run cache key (see ComputeRunFingerprint); only needed when a
-  // long-lived context cache can mix fits from different runs.
-  state.fingerprint =
-      state.context != nullptr
-          ? ComputeRunFingerprint(options, state.tran_names, state.tran_columns,
-                                  state.y_old, state.y_new)
-          : 0;
 
   // Phase 1 — change-signal clusterings. Residual clusterings depend on the
   // transformation subset T; delta/relative-delta clusterings do not, so
@@ -1089,6 +1096,14 @@ Result<SummaryList> RunPipeline::Run(const CharlesEngine& engine,
   }
   state.result.threads_used = state.pool != nullptr ? state.num_threads : 1;
 
+  // Tracing (CharlesOptions::trace): one recorder for the whole run, handed
+  // to the caller through the result. Off ⇒ state.recorder stays null and
+  // every Span below is inert — no allocation, no clock read, no lock.
+  if (state.options.trace) {
+    state.recorder = std::make_shared<obs::TraceRecorder>();
+    state.result.trace = state.recorder;
+  }
+
   size_t stage_count = 0;
   const StageSpec* stages = Stages(&stage_count);
   for (size_t s = 0; s < stage_count; ++s) {
@@ -1101,7 +1116,15 @@ Result<SummaryList> RunPipeline::Run(const CharlesEngine& engine,
       return cancelled;
     }
     auto stage_start = std::chrono::steady_clock::now();
-    Status status = stages[s].fn(state);
+    Status status;
+    {
+      // Stage span + run-id scope on the driving thread: coordinator spans
+      // nest under the stage, and dispatches pick the run id up from here.
+      // (run_id is 0 until phase 1 computes it; phase 1 re-scopes itself.)
+      obs::Span stage_span(state.recorder.get(), stages[s].name);
+      obs::RunIdScope run_scope(state.run_id);
+      status = stages[s].fn(state);
+    }
     if (stages[s].timing != nullptr) {
       state.result.*(stages[s].timing) =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -1128,6 +1151,34 @@ Result<SummaryList> RunPipeline::Run(const CharlesEngine& engine,
   }
   state.result.elapsed_seconds = state.ElapsedSeconds();
   if (state.context != nullptr) state.context->NoteRunCompleted();
+
+  // Process-wide serving metrics (docs/observability.md#metric-catalog).
+  {
+    static obs::Counter* const runs =
+        obs::MetricsRegistry::Global().counter("engine.runs_completed");
+    static obs::Histogram* const latency =
+        obs::MetricsRegistry::Global().histogram("engine.run_seconds");
+    runs->Increment();
+    latency->Observe(state.result.elapsed_seconds);
+    if (state.context != nullptr) {
+      // Cross-run cache health, refreshed once per run (the counters live in
+      // the sharded cache; gauges mirror them into the registry snapshot).
+      static obs::Gauge* const cache_entries =
+          obs::MetricsRegistry::Global().gauge("engine.cache_entries");
+      static obs::Gauge* const cache_hits =
+          obs::MetricsRegistry::Global().gauge("engine.cache_hits");
+      static obs::Gauge* const cache_misses =
+          obs::MetricsRegistry::Global().gauge("engine.cache_misses");
+      static obs::Gauge* const cache_evictions =
+          obs::MetricsRegistry::Global().gauge("engine.cache_evictions");
+      const SharedLeafFitCache* cache = state.context->leaf_cache();
+      cache_entries->Set(static_cast<int64_t>(cache->Size()));
+      cache_hits->Set(cache->hits());
+      cache_misses->Set(cache->misses());
+      cache_evictions->Set(cache->evictions());
+    }
+  }
+
   flush_stream();
   return std::move(state.result);
 }

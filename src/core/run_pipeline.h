@@ -55,6 +55,7 @@
 #include "diff/diff.h"
 #include "distributed/backend.h"
 #include "linalg/suffstats.h"
+#include "obs/trace.h"
 #include "table/table.h"
 
 namespace charles {
@@ -100,6 +101,10 @@ struct RunState {
   ThreadPool* pool = nullptr;              ///< context pool or owned_pool
   std::unique_ptr<ThreadPool> owned_pool;  ///< per-run pool when no context
   int num_threads = 1;
+  /// The run's trace recorder when CharlesOptions::trace is on (created by
+  /// the driver before the first stage, shared into result.trace); null
+  /// otherwise — every Span constructed from it is then inert.
+  std::shared_ptr<obs::TraceRecorder> recorder;
   /// @}
 
   /// \name DiffAlign products.
@@ -125,6 +130,11 @@ struct RunState {
   ColumnCache tran_columns;
   std::shared_ptr<const SufficientStats> shortlist_stats;
   uint64_t fingerprint = 0;  ///< cross-run cache key; 0 without a context
+  /// The run id: the fingerprint, computed unconditionally (unlike
+  /// `fingerprint`, which stays 0 without a context so nothing cache-keys
+  /// on it). Tags log lines, rides the execute wire to workers, doubles as
+  /// the trace id, and surfaces as SummaryList::run_id.
+  uint64_t run_id = 0;
   std::vector<std::vector<int>> labelings;
   std::vector<std::vector<std::string>> t_attr_names;  ///< names per T-subset
   /// @}

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/trace.h"
 #include "parallel/parallel.h"
 
 namespace charles {
@@ -76,6 +78,20 @@ Status MergeErrorPartials(const ShardOutcome& outcome,
   return Status::OK();
 }
 
+/// Static span name per round kind (Span wants a const char* so the
+/// tracing-off path never materializes a std::string).
+const char* RoundSpanName(ShardTaskKind kind) {
+  switch (kind) {
+    case ShardTaskKind::kLeafMoments:
+      return "round:leaf_moments";
+    case ShardTaskKind::kSignalStats:
+      return "round:signal_stats";
+    case ShardTaskKind::kErrorPartials:
+      return "round:error_partials";
+  }
+  return "round:?";
+}
+
 }  // namespace
 
 Result<CoordinatorTaskResult> Coordinator::RunTask(const ShardInput& input,
@@ -89,12 +105,30 @@ Result<CoordinatorTaskResult> Coordinator::RunTask(const ShardInput& input,
   }
   auto start = std::chrono::steady_clock::now();
 
+  // Trace context of the *calling* thread (the pipeline stage's span and the
+  // run id). Captured once here because the fan-out lambda below runs on
+  // pool threads, whose own thread-local context is empty — each dispatch
+  // re-installs the run id and parents its span on the round span
+  // explicitly. All of this is inert when tracing is off (null recorder).
+  const obs::ThreadTraceContext caller = obs::CurrentTraceContext();
+  obs::Span round_span(caller.recorder, RoundSpanName(task.kind));
+  if (round_span.active()) {
+    round_span.Annotate("backend", backend->name());
+    round_span.Annotate("shards", std::to_string(plan.num_shards()));
+  }
+  const uint64_t round_id = round_span.id();
+
   std::vector<ShardOutcome> outcomes = ParallelMap<ShardOutcome>(
       pool, plan.num_shards(), [&](int64_t shard) {
         ShardOutcome outcome;
         // Checked per shard, not once: a stop raised mid-plan skips every
         // not-yet-dispatched shard (in-flight ones run to completion).
         if (stop != nullptr && stop->stop_requested()) return outcome;
+        obs::RunIdScope run_scope(caller.run_id);
+        obs::Span dispatch_span(caller.recorder, "dispatch", round_id);
+        if (dispatch_span.active()) {
+          dispatch_span.Annotate("shard", std::to_string(shard));
+        }
         Result<ShardTaskResult> result =
             backend->ExecuteTask(input, plan, shard, task);
         outcome.executed = true;
@@ -140,6 +174,8 @@ Result<CoordinatorTaskResult> Coordinator::RunTask(const ShardInput& input,
   // Outcomes arrive in shard (= row) order and each shard lists its blocks
   // in ascending order, so the merges below visit every partial in
   // ascending global block order — the canonical fold of each currency.
+  // The merge span wraps the fold; it observes the order, never changes it.
+  obs::Span merge_span(caller.recorder, "merge", round_id);
   int64_t signal_blocks = 0;
   for (const ShardOutcome& outcome : outcomes) {
     if (!outcome.executed) continue;

@@ -9,6 +9,8 @@
 #include "distributed/shard_planner.h"
 #include "distributed/worker_service.h"
 #include "net/frame.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace charles {
 
@@ -126,11 +128,25 @@ Result<ShardTaskResult> RemoteBackend::TryExecuteOn(WorkerSession* session,
     }
     session->installed_epoch = bundle.epoch;
     registry_.RecordInstall(session);
+    {
+      static obs::Counter* const install_bytes =
+          obs::MetricsRegistry::Global().counter("remote.install_bytes");
+      install_bytes->Add(static_cast<int64_t>(bundle.payload->size()));
+    }
   }
 
+  // Trace context of the dispatching pool thread (the coordinator installed
+  // it: run id + dispatch span). The request carries it to the worker; a
+  // traced task's composite reply returns the worker's spans, which are
+  // rebased below into this process's timeline.
+  const obs::ThreadTraceContext trace = obs::CurrentTraceContext();
+  const bool traced = trace.recorder != nullptr;
+
   std::string request;
-  SerializeExecuteRequest(bundle.epoch, shard_index, task, &request);
+  SerializeExecuteRequest(bundle.epoch, shard_index, trace.run_id,
+                          trace.span_id, traced, task, &request);
   registry_.RecordDispatch(session);
+  const int64_t send_ns = obs::TraceRecorder::NowNs();
   Status sent = net::WriteFrame(
       session->fd, static_cast<int32_t>(RemoteMessageType::kExecuteTask),
       request);
@@ -138,6 +154,7 @@ Result<ShardTaskResult> RemoteBackend::TryExecuteOn(WorkerSession* session,
   Result<net::Frame> reply =
       net::ReadFrame(session->fd, options_.task_timeout_ms, max_frame_bytes_);
   if (!reply.ok()) return fail_connection(reply.status());
+  const int64_t reply_ns = obs::TraceRecorder::NowNs();
 
   if (reply->type == static_cast<int32_t>(RemoteMessageType::kTaskError)) {
     // The worker ran and deterministically refused or failed the task. The
@@ -151,8 +168,30 @@ Result<ShardTaskResult> RemoteBackend::TryExecuteOn(WorkerSession* session,
         "RemoteBackend: unexpected reply frame type " +
         std::to_string(reply->type) + " from " + session->endpoint.ToString()));
   }
-  Result<ShardTaskResult> result =
-      ShardTaskResult::Deserialize(reply->payload.data(), reply->payload.size());
+  Result<ShardTaskResult> result = [&]() -> Result<ShardTaskResult> {
+    if (!traced) {
+      return ShardTaskResult::Deserialize(reply->payload.data(),
+                                          reply->payload.size());
+    }
+    Result<TracedTaskReply> parsed =
+        ParseTracedTaskReply(reply->payload.data(), reply->payload.size());
+    if (!parsed.ok()) return parsed.status();
+    // Rebase the worker's relative timestamps into our dispatch span. The
+    // two steady clocks share no epoch, so anchor the worker's first span
+    // at send time plus half the non-compute round-trip slack — the usual
+    // symmetric-latency estimate — and never before the send itself.
+    if (!parsed->spans.empty()) {
+      const int64_t worker_total_ns = parsed->spans.front().dur_ns > 0
+                                          ? parsed->spans.front().dur_ns
+                                          : 0;
+      int64_t slack_ns = (reply_ns - send_ns) - worker_total_ns;
+      if (slack_ns < 0) slack_ns = 0;
+      const int64_t anchor_ns = send_ns + slack_ns / 2;
+      trace.recorder->ImportSpans(parsed->spans, trace.span_id, anchor_ns,
+                                  1000 + static_cast<uint64_t>(shard_index));
+    }
+    return std::move(parsed->result);
+  }();
   if (!result.ok()) {
     return fail_connection(result.status().WithContext(
         "RemoteBackend: malformed result from " + session->endpoint.ToString()));

@@ -241,11 +241,15 @@ Result<std::unique_ptr<InstalledInput>> DeserializeInstallInput(const void* data
   return input;
 }
 
-void SerializeExecuteRequest(int64_t epoch, int64_t shard, const ShardTask& task,
-                             std::string* out) {
+void SerializeExecuteRequest(int64_t epoch, int64_t shard, uint64_t run_id,
+                             uint64_t parent_span, bool traced,
+                             const ShardTask& task, std::string* out) {
   out->clear();
   wire::AppendScalar(out, epoch);
   wire::AppendScalar(out, shard);
+  wire::AppendScalar(out, run_id);
+  wire::AppendScalar(out, parent_span);
+  wire::AppendScalar(out, static_cast<int32_t>(traced ? 1 : 0));
   std::string task_wire;
   task.SerializeTo(&task_wire);
   out->append(task_wire);
@@ -255,14 +259,103 @@ Result<RemoteTaskRequest> ParseExecuteRequest(const void* data, size_t size) {
   const unsigned char* cursor = static_cast<const unsigned char*>(data);
   const unsigned char* end = cursor + size;
   RemoteTaskRequest request;
+  int32_t traced = 0;
   if (!wire::ReadScalar(&cursor, end, &request.epoch) ||
-      !wire::ReadScalar(&cursor, end, &request.shard)) {
+      !wire::ReadScalar(&cursor, end, &request.shard) ||
+      !wire::ReadScalar(&cursor, end, &request.run_id) ||
+      !wire::ReadScalar(&cursor, end, &request.parent_span) ||
+      !wire::ReadScalar(&cursor, end, &traced) ||
+      // Hostile flag values are rejected, not coerced: 0 and 1 are the only
+      // spellings a well-formed v3 coordinator emits.
+      (traced != 0 && traced != 1)) {
     return Status::IOError("ExecuteTask: malformed request header");
   }
+  request.traced = traced == 1;
   CHARLES_ASSIGN_OR_RETURN(
       request.task,
       ShardTask::Deserialize(cursor, static_cast<size_t>(end - cursor)));
   return request;
+}
+
+void SerializeTracedTaskResult(const ShardTaskResult& result,
+                               const std::vector<obs::SpanRecord>& spans,
+                               std::string* out) {
+  out->clear();
+  std::string result_wire;
+  result.SerializeTo(&result_wire);
+  wire::AppendScalar(out, static_cast<int64_t>(result_wire.size()));
+  out->append(result_wire);
+  wire::AppendScalar(out, static_cast<int64_t>(spans.size()));
+  for (const obs::SpanRecord& span : spans) {
+    wire::AppendScalar(out, span.id);
+    wire::AppendScalar(out, span.parent);
+    AppendString(out, span.name);
+    wire::AppendScalar(out, span.start_ns);
+    wire::AppendScalar(out, span.dur_ns);
+    wire::AppendScalar(out, static_cast<int64_t>(span.annotations.size()));
+    for (const auto& kv : span.annotations) {
+      AppendString(out, kv.first);
+      AppendString(out, kv.second);
+    }
+  }
+}
+
+Result<TracedTaskReply> ParseTracedTaskReply(const void* data, size_t size) {
+  const unsigned char* cursor = static_cast<const unsigned char*>(data);
+  const unsigned char* end = cursor + size;
+  auto malformed = [](const std::string& what) {
+    return Status::IOError("TaskOk: malformed traced reply (" + what + ")");
+  };
+
+  int64_t result_bytes = 0;
+  if (!wire::ReadScalar(&cursor, end, &result_bytes) || result_bytes < 0 ||
+      result_bytes > end - cursor) {
+    return malformed("result length");
+  }
+  TracedTaskReply reply;
+  CHARLES_ASSIGN_OR_RETURN(
+      reply.result,
+      ShardTaskResult::Deserialize(cursor, static_cast<size_t>(result_bytes)));
+  cursor += result_bytes;
+
+  // Every span costs at least its five fixed scalars plus two length
+  // prefixes; bounding the count against the remaining bytes rejects
+  // hostile counts before any allocation (the install-bundle idiom).
+  constexpr int64_t kMinSpanBytes = static_cast<int64_t>(7 * sizeof(int64_t));
+  int64_t num_spans = 0;
+  if (!wire::ReadScalar(&cursor, end, &num_spans) || num_spans < 0 ||
+      num_spans > (end - cursor) / kMinSpanBytes) {
+    return malformed("span count");
+  }
+  reply.spans.reserve(static_cast<size_t>(num_spans));
+  for (int64_t i = 0; i < num_spans; ++i) {
+    obs::SpanRecord span;
+    if (!wire::ReadScalar(&cursor, end, &span.id) ||
+        !wire::ReadScalar(&cursor, end, &span.parent) ||
+        !ReadString(&cursor, end, &span.name) ||
+        !wire::ReadScalar(&cursor, end, &span.start_ns) ||
+        !wire::ReadScalar(&cursor, end, &span.dur_ns)) {
+      return malformed("span record");
+    }
+    int64_t num_annotations = 0;
+    if (!wire::ReadScalar(&cursor, end, &num_annotations) ||
+        num_annotations < 0 ||
+        num_annotations > (end - cursor) / (2 * kMinStringBytes)) {
+      return malformed("annotation count");
+    }
+    span.annotations.reserve(static_cast<size_t>(num_annotations));
+    for (int64_t a = 0; a < num_annotations; ++a) {
+      std::string key;
+      std::string value;
+      if (!ReadString(&cursor, end, &key) || !ReadString(&cursor, end, &value)) {
+        return malformed("annotation");
+      }
+      span.annotations.emplace_back(std::move(key), std::move(value));
+    }
+    reply.spans.push_back(std::move(span));
+  }
+  if (cursor != end) return malformed("trailing bytes");
+  return reply;
 }
 
 std::string SerializeStatusPayload(const Status& status) {

@@ -41,6 +41,7 @@
 #include "common/result.h"
 #include "distributed/backend.h"
 #include "distributed/shard_planner.h"
+#include "obs/trace.h"
 #include "table/row_set.h"
 
 namespace charles {
@@ -56,8 +57,16 @@ namespace charles {
 /// diagnostics counters; a version-1 peer cannot parse the frames, so the
 /// range moved past it — skewed builds are excluded at the handshake, never
 /// at a confusing mid-run parse error.
-inline constexpr int32_t kRemoteWireVersionMin = 2;
-inline constexpr int32_t kRemoteWireVersionMax = 2;
+///
+/// Version 3: the kExecuteTask payload gained run/trace context (run_id,
+/// parent span, traced flag) between the shard index and the CTK1 bytes,
+/// and a *traced* task's kTaskOk reply became a composite payload (CST1
+/// result + the worker's span blob) so one run yields a single
+/// cross-process trace. Untraced kTaskOk replies stay raw CST1, but the
+/// request layout change alone makes version 2 unparseable, so the range
+/// moved past it — same policy as v1 → v2.
+inline constexpr int32_t kRemoteWireVersionMin = 3;
+inline constexpr int32_t kRemoteWireVersionMax = 3;
 /// @}
 
 /// Frame types of the remote protocol (net::Frame::type values).
@@ -144,20 +153,54 @@ Result<std::unique_ptr<InstalledInput>> DeserializeInstallInput(const void* data
 
 /// \name kExecuteTask payload.
 ///
-/// Layout: epoch i64 | shard i64 | CTK1 task bytes (the remainder of the
-/// payload, exactly as ShardTask::SerializeTo emits them).
+/// Layout (v3): epoch i64 | shard i64 | run_id u64 | parent_span u64 |
+/// traced i32 | CTK1 task bytes (the remainder of the payload, exactly as
+/// ShardTask::SerializeTo emits them). `run_id` tags the worker's log lines
+/// whether or not tracing is on; `traced` != 0 asks the worker to record
+/// spans for this task (parented under `parent_span`, the coordinator's
+/// dispatch span) and return them in a composite kTaskOk reply.
 /// @{
 
 /// One parsed execute request.
 struct RemoteTaskRequest {
   int64_t epoch = 0;
   int64_t shard = 0;
+  uint64_t run_id = 0;       ///< run fingerprint (0 = unknown)
+  uint64_t parent_span = 0;  ///< coordinator dispatch span id
+  bool traced = false;       ///< record + return worker spans
   ShardTask task;
 };
 
-void SerializeExecuteRequest(int64_t epoch, int64_t shard, const ShardTask& task,
-                             std::string* out);
+void SerializeExecuteRequest(int64_t epoch, int64_t shard, uint64_t run_id,
+                             uint64_t parent_span, bool traced,
+                             const ShardTask& task, std::string* out);
 Result<RemoteTaskRequest> ParseExecuteRequest(const void* data, size_t size);
+/// @}
+
+/// \name Traced kTaskOk payload.
+///
+/// An untraced task's kTaskOk reply is the raw CST1 bytes (unchanged since
+/// v2). A *traced* task replies with a composite payload:
+/// result length i64 | CST1 bytes | span count i64 | per span (id u64 |
+/// parent u64 | name string (len i64 + bytes) | start_rel_ns i64 |
+/// dur_ns i64 | annotation count i64 | per annotation key string + value
+/// string). Span ids are 1..count in blob order; `start_rel_ns` is relative
+/// to the worker's first span, because the two processes' steady clocks
+/// share no epoch — the coordinator rebases on import
+/// (TraceRecorder::ImportSpans). Both sides know the request's `traced`
+/// flag, so the two reply layouts are never ambiguous.
+/// @{
+
+/// A parsed composite kTaskOk reply.
+struct TracedTaskReply {
+  ShardTaskResult result;
+  std::vector<obs::SpanRecord> spans;
+};
+
+void SerializeTracedTaskResult(const ShardTaskResult& result,
+                               const std::vector<obs::SpanRecord>& spans,
+                               std::string* out);
+Result<TracedTaskReply> ParseTracedTaskReply(const void* data, size_t size);
 /// @}
 
 /// \name kTaskError payload: an encoded Status.

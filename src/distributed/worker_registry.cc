@@ -5,8 +5,39 @@
 
 #include "distributed/remote_protocol.h"
 #include "net/frame.h"
+#include "obs/metrics.h"
 
 namespace charles {
+
+namespace {
+
+/// \name Fleet health-transition counters.
+///
+/// Counted on *transitions* only (healthy → unhealthy and back), not on
+/// every probe, so the rates read as churn: a flapping worker shows up as a
+/// climbing pair, a steady fleet as flat lines. Static-local pointers keep
+/// the registry lookup off the per-call path.
+/// @{
+void CountUnhealthyTransition() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().counter("remote.worker_unhealthy");
+  counter->Increment();
+}
+
+void CountHealthyTransition() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().counter("remote.worker_healthy");
+  counter->Increment();
+}
+
+void CountVersionRejected() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().counter("remote.worker_version_rejected");
+  counter->Increment();
+}
+/// @}
+
+}  // namespace
 
 WorkerRegistry::WorkerRegistry(std::vector<net::Endpoint> endpoints) {
   sessions_.reserve(endpoints.size());
@@ -48,6 +79,7 @@ WorkerSession* WorkerRegistry::Acquire(const WorkerSession* exclude) {
 void WorkerRegistry::MarkUnhealthy(WorkerSession* session,
                                    const std::string& error) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (session->healthy) CountUnhealthyTransition();
   session->healthy = false;
   session->last_error = error;
 }
@@ -55,6 +87,8 @@ void WorkerRegistry::MarkUnhealthy(WorkerSession* session,
 void WorkerRegistry::MarkVersionRejected(WorkerSession* session,
                                          const std::string& error) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (session->healthy) CountUnhealthyTransition();
+  if (!session->version_rejected) CountVersionRejected();
   session->healthy = false;
   session->version_rejected = true;
   session->last_error = error;
@@ -62,6 +96,7 @@ void WorkerRegistry::MarkVersionRejected(WorkerSession* session,
 
 void WorkerRegistry::MarkHealthy(WorkerSession* session) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!session->healthy) CountHealthyTransition();
   session->healthy = true;
 }
 
@@ -110,6 +145,7 @@ bool WorkerRegistry::ProbeOne(WorkerSession* session, int connect_timeout_ms,
       MarkVersionRejected(session, probe_status.message());
     } else {
       std::lock_guard<std::mutex> lock(mu_);
+      if (session->healthy) CountUnhealthyTransition();
       session->healthy = false;
       session->last_error = probe_status.message();
     }
@@ -191,6 +227,7 @@ void WorkerRegistry::StartHealthChecks(int interval_ms, int connect_timeout_ms,
           session->fd = -1;
           session->installed_epoch = -1;
           std::lock_guard<std::mutex> lock(mu_);
+          if (session->healthy) CountUnhealthyTransition();
           session->healthy = false;
           session->last_error = ping.message();
         }

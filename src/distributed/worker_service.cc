@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/wire.h"
 #include "net/frame.h"
+#include "obs/trace.h"
 
 namespace charles {
 
@@ -96,15 +98,45 @@ Status WorkerService::ServeConnection(int fd) {
           break;
         }
         if (options_.task_hook) options_.task_hook(request->shard);
+        // The run id rides every v3 request; the guard macro means a
+        // suppressed level formats nothing (per-task hot path).
+        CHARLES_VLOG(Debug) << "worker: run " << obs::FormatRunId(request->run_id)
+                            << " task " << ShardTaskKindName(request->task.kind)
+                            << " shard " << request->shard << " epoch "
+                            << request->epoch;
+        // Traced requests record the kernel execution as spans against a
+        // task-local recorder and ship them back in the composite reply.
+        // Timestamps are rebased to the task span's start before
+        // serialization: the coordinator's steady clock shares no epoch with
+        // ours, so the wire carries only durations and relative offsets.
+        obs::TraceRecorder task_recorder(request->run_id);
+        obs::TraceRecorder* recorder =
+            request->traced ? &task_recorder : nullptr;
         ShardInput view = installed_->View();
-        Result<ShardTaskResult> result = ExecuteShardTaskKernel(
-            view, installed_->plan, request->shard, request->task);
+        Result<ShardTaskResult> result = [&]() -> Result<ShardTaskResult> {
+          obs::RunIdScope run_scope(request->run_id);
+          obs::Span task_span(recorder, "worker:task");
+          if (task_span.active()) {
+            task_span.Annotate("shard", std::to_string(request->shard));
+            task_span.Annotate("kind", ShardTaskKindName(request->task.kind));
+          }
+          return ExecuteShardTaskKernel(view, installed_->plan, request->shard,
+                                        request->task);
+        }();
         if (!result.ok()) {
           CHARLES_RETURN_NOT_OK(ReplyError(fd, result.status()));
           break;
         }
         std::string wire_result;
-        result->SerializeTo(&wire_result);
+        if (request->traced) {
+          std::vector<obs::SpanRecord> spans = task_recorder.Snapshot();
+          const int64_t origin =
+              spans.empty() ? 0 : spans.front().start_ns;
+          for (obs::SpanRecord& span : spans) span.start_ns -= origin;
+          SerializeTracedTaskResult(*result, spans, &wire_result);
+        } else {
+          result->SerializeTo(&wire_result);
+        }
         CHARLES_RETURN_NOT_OK(
             Reply(fd, RemoteMessageType::kTaskOk, wire_result));
         break;

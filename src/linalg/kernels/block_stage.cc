@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace charles {
 namespace kernels {
 
@@ -45,6 +47,16 @@ StagedBlock BlockStager::Stage(
     block.y = at;
   }
   ++blocks_staged_;
+  // Process-wide staging metrics: one relaxed add per staged block (cheap
+  // against the memcpy above) plus the cross-thread high-water mark.
+  {
+    static obs::Counter* const staged =
+        obs::MetricsRegistry::Global().counter("kernel.blocks_staged");
+    static obs::Gauge* const high_water =
+        obs::MetricsRegistry::Global().gauge("kernel.stage_high_water_doubles");
+    staged->Increment();
+    high_water->Max(needed);
+  }
   return block;
 }
 

@@ -1,0 +1,200 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace charles {
+namespace obs {
+namespace {
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  CHARLES_CHECK(!bounds_.empty()) << "Histogram needs at least one bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CHARLES_CHECK_LT(bounds_[i - 1], bounds_[i])
+        << "Histogram bounds must be strictly ascending";
+  }
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      observed, DoubleToBits(BitsToDouble(observed) + value),
+      std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const {
+  return BitsToDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<int64_t> counts = BucketCounts();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+
+  const double rank = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const int64_t before = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      if (i == bounds_.size()) return bounds_.back();  // overflow: floor
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      double fraction =
+          (rank - static_cast<double>(before)) / static_cast<double>(counts[i]);
+      if (fraction < 0.0) fraction = 0.0;
+      if (fraction > 1.0) fraction = 1.0;
+      return lower + fraction * (upper - lower);
+    }
+  }
+  return bounds_.back();
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  // 100µs .. ~2min, roughly ×2 per step: enough resolution for interactive
+  // latencies without making snapshots noisy.
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+          1e-1, 2.5e-1, 5e-1, 1.0,  2.5,    5.0,  10.0, 30.0,   120.0};
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = Histogram::DefaultLatencyBounds();
+    slot.reset(new Histogram(std::move(bounds)));
+  }
+  return slot.get();
+}
+
+std::string MetricsRegistry::TextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& entry : counters_) {
+    std::snprintf(line, sizeof(line), "counter %s %lld\n", entry.first.c_str(),
+                  static_cast<long long>(entry.second->Value()));
+    out += line;
+  }
+  for (const auto& entry : gauges_) {
+    std::snprintf(line, sizeof(line), "gauge %s %lld\n", entry.first.c_str(),
+                  static_cast<long long>(entry.second->Value()));
+    out += line;
+  }
+  for (const auto& entry : histograms_) {
+    const Histogram& h = *entry.second;
+    std::snprintf(line, sizeof(line),
+                  "histogram %s count=%lld sum=%.6g p50=%.6g p90=%.6g "
+                  "p99=%.6g\n",
+                  entry.first.c_str(), static_cast<long long>(h.Count()),
+                  h.Sum(), h.P50(), h.P90(), h.P99());
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& entry : counters_) {
+    w.Key(entry.first).Int(entry.second->Value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& entry : gauges_) {
+    w.Key(entry.first).Int(entry.second->Value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& entry : histograms_) {
+    const Histogram& h = *entry.second;
+    w.Key(entry.first).BeginObject();
+    w.Key("count").Int(h.Count());
+    w.Key("sum").Double(h.Sum());
+    w.Key("p50").Double(h.P50());
+    w.Key("p90").Double(h.P90());
+    w.Key("p99").Double(h.P99());
+    w.Key("buckets").BeginArray();
+    const std::vector<int64_t> counts = h.BucketCounts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      w.BeginObject();
+      if (i < h.bounds().size()) {
+        w.Key("le").Double(h.bounds()[i]);
+      } else {
+        w.Key("le").String("inf");
+      }
+      w.Key("count").Int(counts[i]);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace charles

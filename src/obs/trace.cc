@@ -1,0 +1,207 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace charles {
+namespace obs {
+namespace {
+
+/// The per-thread span stack: innermost open span last. Entries pair the
+/// recorder with the span id so stacks stay correct even if two runs with
+/// different recorders interleave on one pool thread.
+thread_local std::vector<std::pair<TraceRecorder*, uint64_t>> tls_span_stack;
+
+/// The per-thread run id (see RunIdScope).
+thread_local uint64_t tls_run_id = 0;
+
+/// Small sequential ordinal per OS thread — Chrome trace display lanes.
+uint64_t ThisThreadOrdinal() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace
+
+int64_t TraceRecorder::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t TraceRecorder::trace_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_id_;
+}
+
+void TraceRecorder::set_trace_id(uint64_t trace_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_id_ = trace_id;
+}
+
+uint64_t TraceRecorder::BeginSpan(const char* name, uint64_t parent) {
+  const int64_t now = NowNs();
+  const uint64_t tid = ThisThreadOrdinal();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord record;
+  record.id = spans_.size() + 1;
+  record.parent = parent;
+  record.name = name;
+  record.start_ns = now;
+  record.tid = tid;
+  spans_.push_back(std::move(record));
+  return spans_.back().id;
+}
+
+void TraceRecorder::EndSpan(uint64_t id) {
+  const int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  CHARLES_CHECK(id >= 1 && id <= spans_.size()) << "EndSpan: unknown span id";
+  SpanRecord& record = spans_[id - 1];
+  if (record.dur_ns < 0) record.dur_ns = now - record.start_ns;
+}
+
+void TraceRecorder::Annotate(uint64_t id, const char* key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHARLES_CHECK(id >= 1 && id <= spans_.size()) << "Annotate: unknown span id";
+  spans_[id - 1].annotations.emplace_back(key, std::move(value));
+}
+
+void TraceRecorder::ImportSpans(const std::vector<SpanRecord>& spans,
+                                uint64_t parent_for_roots, int64_t anchor_ns,
+                                uint64_t tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Remote ids are 1..n in blob order; remap them onto our sequence. A
+  // parent that is neither 0 nor a previously-imported blob id (a malformed
+  // blob that survived parsing) degrades to the dispatch span rather than
+  // corrupting the trace.
+  std::vector<uint64_t> remap(spans.size() + 1, parent_for_roots);
+  for (const SpanRecord& span : spans) {
+    SpanRecord local = span;
+    local.id = spans_.size() + 1;
+    local.parent = (span.parent > 0 && span.parent <= spans.size())
+                       ? remap[span.parent]
+                       : parent_for_roots;
+    local.start_ns = anchor_ns + span.start_ns;
+    if (local.dur_ns < 0) local.dur_ns = 0;
+    local.tid = tid;
+    if (span.id <= spans.size()) remap[span.id] = local.id;
+    spans_.push_back(std::move(local));
+  }
+}
+
+std::vector<SpanRecord> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::vector<SpanRecord> spans;
+  uint64_t trace_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+    trace_id = trace_id_;
+  }
+  const int64_t now = NowNs();
+  int64_t origin_ns = 0;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i == 0 || spans[i].start_ns < origin_ns) origin_ns = spans[i].start_ns;
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("otherData").BeginObject();
+  w.Key("trace_id").String(FormatRunId(trace_id));
+  w.EndObject();
+  w.Key("traceEvents").BeginArray();
+  for (const SpanRecord& span : spans) {
+    const int64_t dur_ns = span.dur_ns >= 0 ? span.dur_ns
+                                            : now - span.start_ns;
+    w.BeginObject();
+    w.Key("name").String(span.name);
+    w.Key("cat").String("charles");
+    w.Key("ph").String("X");
+    w.Key("ts").Double(static_cast<double>(span.start_ns - origin_ns) / 1e3);
+    w.Key("dur").Double(static_cast<double>(dur_ns) / 1e3);
+    w.Key("pid").Int(1);
+    w.Key("tid").Uint(span.tid);
+    w.Key("args").BeginObject();
+    w.Key("span").Uint(span.id);
+    w.Key("parent").Uint(span.parent);
+    for (const auto& kv : span.annotations) {
+      w.Key(kv.first).String(kv.second);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+ThreadTraceContext CurrentTraceContext() {
+  ThreadTraceContext context;
+  if (!tls_span_stack.empty()) {
+    context.recorder = tls_span_stack.back().first;
+    context.span_id = tls_span_stack.back().second;
+  }
+  context.run_id = tls_run_id;
+  return context;
+}
+
+Span::Span(TraceRecorder* recorder, const char* name) : recorder_(recorder) {
+  if (recorder_ == nullptr) return;
+  uint64_t parent = 0;
+  if (!tls_span_stack.empty() && tls_span_stack.back().first == recorder_) {
+    parent = tls_span_stack.back().second;
+  }
+  id_ = recorder_->BeginSpan(name, parent);
+  tls_span_stack.emplace_back(recorder_, id_);
+}
+
+Span::Span(TraceRecorder* recorder, const char* name, uint64_t parent)
+    : recorder_(recorder) {
+  if (recorder_ == nullptr) return;
+  id_ = recorder_->BeginSpan(name, parent);
+  tls_span_stack.emplace_back(recorder_, id_);
+}
+
+Span::~Span() {
+  if (recorder_ == nullptr) return;
+  CHARLES_CHECK(!tls_span_stack.empty() &&
+                tls_span_stack.back().first == recorder_ &&
+                tls_span_stack.back().second == id_)
+      << "Span destroyed out of stack order";
+  tls_span_stack.pop_back();
+  recorder_->EndSpan(id_);
+}
+
+void Span::Annotate(const char* key, std::string value) {
+  if (recorder_ == nullptr) return;
+  recorder_->Annotate(id_, key, std::move(value));
+}
+
+RunIdScope::RunIdScope(uint64_t run_id) : saved_(tls_run_id) {
+  tls_run_id = run_id;
+}
+
+RunIdScope::~RunIdScope() { tls_run_id = saved_; }
+
+uint64_t CurrentRunId() { return tls_run_id; }
+
+std::string FormatRunId(uint64_t run_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(run_id));
+  return buf;
+}
+
+}  // namespace obs
+}  // namespace charles

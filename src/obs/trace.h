@@ -1,0 +1,170 @@
+#ifndef CHARLES_OBS_TRACE_H_
+#define CHARLES_OBS_TRACE_H_
+
+/// \file
+/// \brief Lightweight in-process span tracing with cross-process stitching.
+///
+/// A run that opts in (`CharlesOptions::trace`) gets one TraceRecorder for
+/// its whole lifetime. Code wraps regions in RAII Span objects; each span
+/// records a monotonic start/duration, a parent link, and optional
+/// key/value annotations. The recorder is just a mutex-guarded vector of
+/// finished and in-flight SpanRecords — cheap enough to carry through the
+/// engine, rich enough to export as Chrome `trace_event` JSON that opens
+/// directly in `about:tracing` / Perfetto (ToChromeTraceJson).
+///
+/// Parent links come from a thread-local span stack: constructing a Span
+/// pushes it as the current span of *this thread*, so nested spans on one
+/// thread parent naturally. Work that hops threads (the coordinator's
+/// ParallelMap fan-out, the remote execute wire) captures
+/// CurrentTraceContext() on the submitting thread and opens child spans
+/// with an explicit parent id on the other side. Worker processes record
+/// spans against their own clock; ImportSpans() rebases them into the
+/// coordinator's timeline under the dispatch span that carried them.
+///
+/// Tracing off is the default and costs nothing: a Span constructed with a
+/// null recorder is inert — no allocation, no lock, no clock read. Spans
+/// observe; they never reorder work, so the determinism contract (canonical
+/// block folds, serial-order merges) is untouched.
+///
+/// A second, independent piece of run-scoped context rides the same
+/// thread-local mechanism: the run id (fingerprint-derived, see
+/// RunState::run_id). RunIdScope installs it on a thread; CurrentRunId()
+/// reads it. It is set whether or not tracing is on, so worker log lines
+/// can always be correlated with the coordinator run that issued them.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <mutex>
+
+namespace charles {
+namespace obs {
+
+/// One recorded span. `start_ns`/`dur_ns` are steady-clock nanoseconds in
+/// the recording process (worker blobs ship them relative to the worker's
+/// task start; ImportSpans rebases). `dur_ns` is -1 while the span is open.
+struct SpanRecord {
+  uint64_t id = 0;      ///< 1-based, unique within one recorder
+  uint64_t parent = 0;  ///< parent span id; 0 = root
+  std::string name;
+  int64_t start_ns = 0;
+  int64_t dur_ns = -1;
+  uint64_t tid = 0;  ///< small per-thread ordinal (display lane)
+  std::vector<std::pair<std::string, std::string>> annotations;
+};
+
+/// Thread-safe sink for one run's spans.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  explicit TraceRecorder(uint64_t trace_id) : trace_id_(trace_id) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The run-scoped trace id shared by every process contributing spans.
+  /// Set once the run fingerprint is known (RunPipeline phase 1).
+  uint64_t trace_id() const;
+  void set_trace_id(uint64_t trace_id);
+
+  /// Opens a span and returns its id. Prefer the Span RAII wrapper; this
+  /// is the primitive it (and ImportSpans) is built on.
+  uint64_t BeginSpan(const char* name, uint64_t parent);
+  /// Closes an open span (sets its duration).
+  void EndSpan(uint64_t id);
+  /// Attaches a key/value annotation to a span (open or closed).
+  void Annotate(uint64_t id, const char* key, std::string value);
+
+  /// Splices spans recorded in another process into this trace. `spans`
+  /// carry start_ns relative to their own root; ids are remapped onto this
+  /// recorder's sequence, roots are re-parented under `parent_for_roots`,
+  /// starts are rebased to `anchor_ns` (this process's steady clock), and
+  /// every span is assigned display lane `tid`.
+  void ImportSpans(const std::vector<SpanRecord>& spans,
+                   uint64_t parent_for_roots, int64_t anchor_ns, uint64_t tid);
+
+  /// Copies out everything recorded so far.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Exports the trace as Chrome `trace_event` JSON (complete "X" events,
+  /// microsecond timestamps rebased to the earliest span). Open spans are
+  /// exported with their duration so far.
+  std::string ToChromeTraceJson() const;
+
+  /// Steady-clock nanoseconds — the clock every span uses.
+  static int64_t NowNs();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  uint64_t trace_id_ = 0;
+};
+
+/// What the current thread is doing, for code about to hand work to
+/// another thread or process: the active recorder and span (null/0 when
+/// tracing is off or no span is open here) plus the run id.
+struct ThreadTraceContext {
+  TraceRecorder* recorder = nullptr;
+  uint64_t span_id = 0;
+  uint64_t run_id = 0;
+};
+
+/// Reads this thread's current trace context.
+ThreadTraceContext CurrentTraceContext();
+
+/// RAII span. With a null recorder every member is a no-op — this is the
+/// zero-cost-when-disabled guarantee, so call sites never branch on
+/// whether tracing is enabled.
+class Span {
+ public:
+  /// Inert span.
+  Span() = default;
+  /// Opens a span whose parent is the current span of this thread.
+  Span(TraceRecorder* recorder, const char* name);
+  /// Opens a span with an explicit parent (cross-thread/cross-process
+  /// hand-offs where the thread-local stack is not the real parent).
+  Span(TraceRecorder* recorder, const char* name, uint64_t parent);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when the span is actually recording. Guard any annotation whose
+  /// value is costly to build.
+  bool active() const { return recorder_ != nullptr; }
+  uint64_t id() const { return id_; }
+  /// Attaches a key/value annotation (no-op when inert).
+  void Annotate(const char* key, std::string value);
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  uint64_t id_ = 0;
+};
+
+/// Installs `run_id` as this thread's current run id for the scope's
+/// lifetime (restores the previous value on destruction).
+class RunIdScope {
+ public:
+  explicit RunIdScope(uint64_t run_id);
+  ~RunIdScope();
+
+  RunIdScope(const RunIdScope&) = delete;
+  RunIdScope& operator=(const RunIdScope&) = delete;
+
+ private:
+  uint64_t saved_ = 0;
+};
+
+/// This thread's current run id (0 when outside any run scope).
+uint64_t CurrentRunId();
+
+/// Formats a run id / trace id the way logs and SummaryList surface it:
+/// 16 lowercase hex digits, zero padded.
+std::string FormatRunId(uint64_t run_id);
+
+}  // namespace obs
+}  // namespace charles
+
+#endif  // CHARLES_OBS_TRACE_H_

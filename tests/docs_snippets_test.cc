@@ -1,8 +1,9 @@
 /// \file
-/// Compiles the code snippets of docs/api.md verbatim and smoke-runs them on
-/// the Example-1 workload, so the documentation cannot drift from the API.
-/// If you change a snippet here, change docs/api.md too (and vice versa) —
-/// the docs CI job runs this test.
+/// Compiles the code snippets of docs/api.md and docs/observability.md
+/// verbatim and smoke-runs them on the Example-1 workload, so the
+/// documentation cannot drift from the API. If you change a snippet here,
+/// change the doc page too (and vice versa) — the docs CI job runs this
+/// test.
 
 #include <gtest/gtest.h>
 
@@ -155,6 +156,55 @@ charles::Result<charles::SummaryList> RemoteSearch(
   return charles::SummarizeChanges(snapshot_2016, snapshot_2017, options);
 }
 
+// --- docs/observability.md "Tracing a run" ----------------------------------
+
+#include "obs/trace.h"
+
+charles::Result<std::string> TracedRun(const charles::Table& source,
+                                       const charles::Table& target,
+                                       charles::CharlesOptions options) {
+  options.trace = true;  // default off: zero cost, zero allocations
+  charles::Result<charles::SummaryList> result =
+      charles::SummarizeChanges(source, target, options);
+  if (!result.ok()) return result.status();
+  // One Chrome trace_event document; open in about:tracing or Perfetto.
+  return result->trace->ToChromeTraceJson();
+}
+
+// --- docs/observability.md "Metrics" ----------------------------------------
+
+#include "obs/metrics.h"
+
+std::pair<std::string, std::string> MetricsSnapshots() {
+  charles::obs::MetricsRegistry& metrics =
+      charles::obs::MetricsRegistry::Global();
+  charles::obs::Histogram* latency = metrics.histogram("myapp.request_seconds");
+  latency->Observe(0.012);
+  double p99 = latency->P99();  // interpolated from the bucket counts
+  (void)p99;
+  return {metrics.TextSnapshot(), metrics.ToJson()};
+}
+
+// --- docs/observability.md "JSON diagnostics" -------------------------------
+
+charles::Result<std::string> DiagnosticsJson(const charles::Table& source,
+                                             const charles::Table& target,
+                                             const charles::CharlesOptions& options) {
+  charles::Result<charles::SummaryList> result =
+      charles::SummarizeChanges(source, target, options);
+  if (!result.ok()) return result.status();
+  return result->ToJson();  // {"schema_version":1,"run_id":"…",…}
+}
+
+// --- docs/observability.md "Log correlation" --------------------------------
+
+void LogQuietly() {
+  charles::SetLogThreshold(charles::LogLevel::kWarning);
+  CHARLES_VLOG(Info) << "suppressed: below the threshold";
+  CHARLES_VLOG(Warning) << "emitted";
+  charles::SetLogThreshold(charles::LogLevel::kInfo);
+}
+
 // --- smoke runs -------------------------------------------------------------
 
 #include "distributed/worker_service.h"
@@ -296,6 +346,43 @@ TEST(DocsSnippetsTest, RemoteSnippetMatchesUnsharded) {
     EXPECT_EQ(remote.summaries[i].ToString(), unsharded.summaries[i].ToString());
   }
   EXPECT_EQ(remote.remote_task_retries, 0);
+}
+
+TEST(DocsSnippetsTest, TracedRunSnippetExportsChromeJson) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  std::string json = TracedRun(source, target, options).ValueOrDie();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase 1 (signals)\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase 3 (fits)\""), std::string::npos);
+}
+
+TEST(DocsSnippetsTest, MetricsSnippetProducesBothSnapshots) {
+  std::pair<std::string, std::string> snapshots = MetricsSnapshots();
+  EXPECT_NE(snapshots.first.find("myapp.request_seconds"), std::string::npos);
+  EXPECT_NE(snapshots.second.find("\"myapp.request_seconds\""),
+            std::string::npos);
+  EXPECT_NE(snapshots.second.find("\"histograms\""), std::string::npos);
+}
+
+TEST(DocsSnippetsTest, DiagnosticsSnippetEmitsVersionedSchema) {
+  Table source = MakeExample1Source().ValueOrDie();
+  Table target = MakeExample1Target().ValueOrDie();
+  CharlesOptions options;
+  options.target_attribute = "bonus";
+  options.key_columns = {"name"};
+  std::string json = DiagnosticsJson(source, target, options).ValueOrDie();
+  EXPECT_EQ(json.find("{\"schema_version\":1"), 0u);
+  EXPECT_NE(json.find("\"run_id\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"elapsed\":"), std::string::npos);
+}
+
+TEST(DocsSnippetsTest, LogThresholdSnippetRestoresDefault) {
+  LogQuietly();
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kInfo);
 }
 
 TEST(DocsSnippetsTest, StreamingSnippetResolvesWithFinalRanking) {

@@ -446,8 +446,18 @@ TEST(EngineContextTest, WarmShardedRunElidesEveryLeafMomentsTask) {
   EXPECT_EQ(warm.shard_moment_leaves_swept, 0);
   EXPECT_EQ(warm.shard_moment_leaves_elided, cold.shard_moment_leaves_swept);
   EXPECT_EQ(warm.shard_error_probes, 0);
+  // Elided rounds report zero time — a skipped stage must never surface a
+  // residual or stale timing (SummaryList is per-run, and the round timings
+  // are only written by rounds that actually executed).
   EXPECT_EQ(warm.shard_moments_seconds, 0.0);
+  EXPECT_EQ(warm.shard_error_seconds, 0.0);
   EXPECT_EQ(warm.leaf_fits_computed, 0);
+
+  // The run id is fingerprint-derived: surfaced as 16 hex digits and stable
+  // across repeat runs of the same inputs (it *is* the cache-keying
+  // fingerprint when a context is attached).
+  ASSERT_EQ(cold.run_id.size(), 16u);
+  EXPECT_EQ(warm.run_id, cold.run_id);
   // The signal round executed on every shard; the moments/error rounds
   // added none, so exactly one round's worth of tasks ran.
   EXPECT_EQ(warm.shard_tasks_executed, static_cast<int64_t>(warm.shards_used));

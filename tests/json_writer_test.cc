@@ -1,0 +1,125 @@
+/// \file
+/// JsonWriter (ISSUE 9 satellite): escaping of every mandated character
+/// class, comma/keying discipline across nested containers, and number
+/// formatting — int64 extremes and round-trippable doubles, with NaN/Inf
+/// mapped to null.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "common/json.h"
+
+namespace charles {
+namespace {
+
+TEST(JsonWriterTest, EmptyContainers) {
+  {
+    JsonWriter w;
+    w.BeginObject().EndObject();
+    EXPECT_EQ(w.str(), "{}");
+  }
+  {
+    JsonWriter w;
+    w.BeginArray().EndArray();
+    EXPECT_EQ(w.str(), "[]");
+  }
+}
+
+TEST(JsonWriterTest, CommaAndKeyDiscipline) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Int(1);
+  w.Key("b").BeginArray().Int(2).String("x").Bool(true).Null().EndArray();
+  w.Key("c").BeginObject().Key("d").Double(0.5).EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[2,\"x\",true,null],\"c\":{\"d\":0.5}}");
+}
+
+TEST(JsonWriterTest, EscapesEveryMandatedCharacter) {
+  JsonWriter w;
+  w.BeginArray();
+  w.String("quote\" backslash\\ tab\t newline\n return\r");
+  w.String(std::string("nul\0bell\x07", 9));  // control chars -> \u00XX
+  w.String("backspace\b formfeed\f");
+  w.String("plain µ utf-8 ✓ passes through");
+  w.EndArray();
+  const std::string& out = w.str();
+  EXPECT_NE(out.find("quote\\\" backslash\\\\ tab\\t newline\\n return\\r"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("nul\\u0000bell\\u0007"), std::string::npos) << out;
+  EXPECT_NE(out.find("backspace\\b formfeed\\f"), std::string::npos) << out;
+  EXPECT_NE(out.find("plain µ utf-8 ✓ passes through"), std::string::npos);
+  // No raw control characters may survive in the document.
+  for (char c : out) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(JsonWriterTest, IntegerExtremes) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Int(std::numeric_limits<int64_t>::max());
+  w.Int(std::numeric_limits<int64_t>::min());
+  w.Int(0);
+  w.Uint(std::numeric_limits<uint64_t>::max());
+  w.EndArray();
+  EXPECT_EQ(w.str(),
+            "[9223372036854775807,-9223372036854775808,0,"
+            "18446744073709551615]");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripThroughStrtod) {
+  const double values[] = {0.0,     -0.0,   1.0,       0.1,
+                           1.0 / 3, 2.5e-3, 1.23e300,  5e-324,
+                           -17.25,  3600.0, 6.02214076e23};
+  for (double value : values) {
+    JsonWriter w;
+    w.BeginArray().Double(value).EndArray();
+    std::string body = w.str().substr(1, w.str().size() - 2);
+    double parsed = std::strtod(body.c_str(), nullptr);
+    EXPECT_EQ(parsed, value) << body;  // %.17g is round-trippable
+  }
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(-std::numeric_limits<double>::infinity());
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,null]");
+}
+
+TEST(JsonWriterTest, EscapedKeysAndAppendEscaped) {
+  JsonWriter w;
+  w.BeginObject().Key("a\"b").Int(1).EndObject();
+  EXPECT_EQ(w.str(), "{\"a\\\"b\":1}");
+
+  std::string out;
+  JsonWriter::AppendEscaped("x\ny", &out);
+  EXPECT_EQ(out, "\"x\\ny\"");
+}
+
+TEST(JsonWriterTest, DeepNestingKeepsDiscipline) {
+  JsonWriter w;
+  w.BeginObject().Key("rows").BeginArray();
+  for (int i = 0; i < 3; ++i) {
+    w.BeginObject().Key("i").Int(i).Key("tags").BeginArray();
+    w.String("a").String("b");
+    w.EndArray().EndObject();
+  }
+  w.EndArray().EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"rows\":[{\"i\":0,\"tags\":[\"a\",\"b\"]},"
+            "{\"i\":1,\"tags\":[\"a\",\"b\"]},"
+            "{\"i\":2,\"tags\":[\"a\",\"b\"]}]}");
+}
+
+}  // namespace
+}  // namespace charles

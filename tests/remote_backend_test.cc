@@ -399,7 +399,9 @@ TEST(WorkerServiceTest, ExecuteBeforeInstallFailsCleanly) {
   int fd = net::TcpConnect(endpoint, 2'000).ValueOrDie();
   ASSERT_TRUE(RemoteClientHandshake(fd, 2'000, kRemoteMaxFrameBytes).ok());
   std::string request;
-  SerializeExecuteRequest(/*epoch=*/5, /*shard=*/0, MakeSignalTask(), &request);
+  SerializeExecuteRequest(/*epoch=*/5, /*shard=*/0, /*run_id=*/0,
+                          /*parent_span=*/0, /*traced=*/false, MakeSignalTask(),
+                          &request);
   ASSERT_TRUE(net::WriteFrame(
                   fd, static_cast<int32_t>(RemoteMessageType::kExecuteTask),
                   request)
@@ -495,6 +497,79 @@ TEST(RemoteParityTest, EmployeeRemoteBitIdenticalAt1_2_8Shards) {
 
 TEST(RemoteParityTest, BillionairesRemoteBitIdenticalAt1_2_8Shards) {
   RunRemoteShardParity(MakeBillionairesWorkload());
+}
+
+TEST(RemoteParityTest, TraceSpansPropagateFromWorkerToCoordinator) {
+  // The headline observability contract: one remote run with tracing on
+  // yields a single merged trace holding the coordinator's stage/round/
+  // dispatch spans AND the workers' task spans, all under one trace id.
+  Workload w = MakeEmployeeWorkload();
+  std::unique_ptr<LoopbackWorker> worker = StartWorker();
+  CharlesOptions options = w.options;
+  options.num_shards = 2;
+  options.shard_backend = ShardBackendKind::kRemote;
+  options.remote_workers = {worker->endpoint()};
+  options.trace = true;
+  SummaryList traced =
+      SummarizeChanges(w.source, w.target, options).ValueOrDie();
+  ASSERT_NE(traced.trace, nullptr);
+  ASSERT_EQ(traced.run_id.size(), 16u);
+
+  // The trace id is the run id — the cross-process correlation key.
+  EXPECT_EQ(obs::FormatRunId(traced.trace->trace_id()), traced.run_id);
+
+  std::vector<obs::SpanRecord> spans = traced.trace->Snapshot();
+  ASSERT_FALSE(spans.empty());
+  auto count_named = [&](const char* name) {
+    int64_t n = 0;
+    for (const obs::SpanRecord& span : spans) {
+      if (span.name == name) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count_named("dispatch"), 0);
+  EXPECT_GT(count_named("merge"), 0);
+  EXPECT_GT(count_named("worker:task"), 0);
+
+  // Every imported worker span is stitched into the coordinator's tree:
+  // parents resolve, ids are unique, and a worker:task span parents on a
+  // dispatch span whose interval contains it.
+  std::vector<const obs::SpanRecord*> by_id(spans.size() + 1, nullptr);
+  for (const obs::SpanRecord& span : spans) {
+    ASSERT_GE(span.id, 1u);
+    ASSERT_LE(span.id, spans.size());
+    ASSERT_EQ(by_id[span.id], nullptr) << "duplicate span id " << span.id;
+    by_id[span.id] = &span;
+  }
+  for (const obs::SpanRecord& span : spans) {
+    if (span.parent != 0) {
+      ASSERT_LE(span.parent, spans.size()) << span.name;
+      EXPECT_NE(by_id[span.parent], nullptr) << span.name;
+    }
+    if (span.name == "worker:task") {
+      ASSERT_NE(span.parent, 0u);
+      const obs::SpanRecord* parent = by_id[span.parent];
+      ASSERT_NE(parent, nullptr);
+      EXPECT_EQ(parent->name, "dispatch");
+      EXPECT_GE(span.start_ns, parent->start_ns);
+      EXPECT_GE(span.dur_ns, 0);
+    }
+  }
+
+  // The Chrome export carries both sides of the trace and the shared id.
+  std::string json = traced.trace->ToChromeTraceJson();
+  EXPECT_NE(json.find("worker:task"), std::string::npos);
+  EXPECT_NE(json.find("dispatch"), std::string::npos);
+  EXPECT_NE(json.find(traced.run_id), std::string::npos);
+
+  // Tracing off: no recorder is attached, and the output is untouched —
+  // the parity suites above run with trace off and pin bit-identity.
+  options.trace = false;
+  SummaryList untraced =
+      SummarizeChanges(w.source, w.target, options).ValueOrDie();
+  EXPECT_EQ(untraced.trace, nullptr);
+  EXPECT_EQ(untraced.run_id, traced.run_id);  // same inputs, same fingerprint
+  ExpectIdenticalRuns(untraced, traced);
 }
 
 TEST(RemoteParityTest, RemoteBackendRequiresWorkerEndpoints) {

@@ -325,11 +325,15 @@ TEST(WireNegativeTest, ExecuteRequestTruncationAndGarbageRejected) {
   SyntheticInput s = MakeSyntheticInput(60);
   for (const ShardTask& task : AllTaskKinds(s.input)) {
     std::string request;
-    SerializeExecuteRequest(3, 1, task, &request);
+    SerializeExecuteRequest(3, 1, /*run_id=*/0xabcdef0123456789ull,
+                            /*parent_span=*/7, /*traced=*/true, task, &request);
     RemoteTaskRequest parsed =
         ParseExecuteRequest(request.data(), request.size()).ValueOrDie();
     EXPECT_EQ(parsed.epoch, 3);
     EXPECT_EQ(parsed.shard, 1);
+    EXPECT_EQ(parsed.run_id, 0xabcdef0123456789ull);
+    EXPECT_EQ(parsed.parent_span, 7u);
+    EXPECT_TRUE(parsed.traced);
     EXPECT_EQ(parsed.task.kind, task.kind);
     for (size_t len = 0; len < request.size(); ++len) {
       EXPECT_TRUE(
@@ -340,6 +344,93 @@ TEST(WireNegativeTest, ExecuteRequestTruncationAndGarbageRejected) {
     EXPECT_TRUE(ParseExecuteRequest(trailing.data(), trailing.size())
                     .status()
                     .IsIOError());
+  }
+}
+
+TEST(WireNegativeTest, ExecuteRequestHostileTracedFlagRejected) {
+  // v3 layout: epoch i64 @0 | shard i64 @8 | run_id u64 @16 | parent u64 @24
+  // | traced i32 @32 | CTK1. The traced flag is a strict 0/1: anything else
+  // is a malformed frame, not a "truthy" value.
+  SyntheticInput s = MakeSyntheticInput(60);
+  ShardTask task = AllTaskKinds(s.input).front();
+  std::string request;
+  SerializeExecuteRequest(3, 1, /*run_id=*/1, /*parent_span=*/0,
+                          /*traced=*/false, task, &request);
+  constexpr size_t kTracedOffset = 32;
+  for (int32_t hostile : {int32_t{2}, int32_t{-1}, int32_t{0x7fffffff}}) {
+    std::string skewed = request;
+    std::memcpy(&skewed[kTracedOffset], &hostile, sizeof(hostile));
+    EXPECT_TRUE(ParseExecuteRequest(skewed.data(), skewed.size())
+                    .status()
+                    .IsIOError())
+        << "traced = " << hostile;
+  }
+}
+
+// --- Traced task replies ----------------------------------------------------
+
+namespace {
+
+/// One plausible traced reply: a real CST1 result plus two worker spans
+/// (root + child) with annotations — the shape WorkerService ships.
+std::string MakeTracedReply(const SyntheticInput& s) {
+  ShardPlan plan = PlanShards(60, 64, 1);
+  ShardTask task = AllTaskKinds(s.input).front();
+  ShardTaskResult result =
+      ExecuteShardTaskKernel(s.input, plan, 0, task).ValueOrDie();
+  std::vector<obs::SpanRecord> spans(2);
+  spans[0].id = 1;
+  spans[0].parent = 0;
+  spans[0].name = "worker:task";
+  spans[0].start_ns = 0;
+  spans[0].dur_ns = 5000;
+  spans[0].annotations.emplace_back("shard", "0");
+  spans[1].id = 2;
+  spans[1].parent = 1;
+  spans[1].name = "fold";
+  spans[1].start_ns = 100;
+  spans[1].dur_ns = 4000;
+  std::string reply;
+  SerializeTracedTaskResult(result, spans, &reply);
+  return reply;
+}
+
+}  // namespace
+
+TEST(WireNegativeTest, TracedReplyRoundTripAndTruncationRejected) {
+  SyntheticInput s = MakeSyntheticInput(60);
+  std::string reply = MakeTracedReply(s);
+  TracedTaskReply parsed =
+      ParseTracedTaskReply(reply.data(), reply.size()).ValueOrDie();
+  ASSERT_EQ(parsed.spans.size(), 2u);
+  EXPECT_EQ(parsed.spans[0].name, "worker:task");
+  EXPECT_EQ(parsed.spans[1].parent, 1u);
+  ASSERT_EQ(parsed.spans[0].annotations.size(), 1u);
+  EXPECT_EQ(parsed.spans[0].annotations[0].first, "shard");
+
+  for (size_t len = 0; len < reply.size(); ++len) {
+    EXPECT_TRUE(ParseTracedTaskReply(reply.data(), len).status().IsIOError())
+        << "prefix " << len;
+  }
+  std::string trailing = reply + "!";
+  EXPECT_TRUE(ParseTracedTaskReply(trailing.data(), trailing.size())
+                  .status()
+                  .IsIOError());
+}
+
+TEST(WireNegativeTest, TracedReplyHostileCountsRejectedOrSurvived) {
+  SyntheticInput s = MakeSyntheticInput(60);
+  std::string reply = MakeTracedReply(s);
+  // Hostile values in every aligned i64 slot: the parser must reject or
+  // survive (bounded allocation), never crash or over-allocate. The span
+  // count and annotation counts are bounded by the bytes actually present.
+  for (int64_t hostile : {int64_t{1} << 60, int64_t{-1}}) {
+    for (size_t offset = 0; offset + sizeof(int64_t) <= reply.size();
+         offset += sizeof(int64_t)) {
+      std::string skewed = reply;
+      std::memcpy(&skewed[offset], &hostile, sizeof(hostile));
+      ParseTracedTaskReply(skewed.data(), skewed.size()).status();
+    }
   }
 }
 
