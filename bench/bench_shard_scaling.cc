@@ -16,14 +16,18 @@
 ///
 /// Results are recorded in BENCH_shards.json (working directory), including
 /// the per-task-kind coordinator timings of the ShardTask protocol
-/// (kSignalStats / kLeafMoments / kErrorPartials), the warm-context cells'
-/// elision counters, and the remote cells' dispatch/install/retry counters.
-/// `--smoke` runs a reduced grid and exits non-zero if any sharded ranking
-/// diverges from the unsharded baseline, the sharded end-to-end time blows
-/// past a generous overhead ceiling, a warm-context repeat run fails to
-/// elide every kLeafMoments task, or a remote cell needed a retry (loopback
-/// workers never legitimately fail) — the CI tripwires for the distributed
-/// path.
+/// (kSignalStats / kLeafMoments / kScorePartials), the row-free scoring
+/// counters (candidates scored from partials vs central ŷ
+/// materializations), the warm-context cells' elision counters, and the
+/// remote cells' dispatch/install/retry counters. `--smoke` runs a reduced
+/// grid and exits non-zero if any sharded ranking diverges from the
+/// unsharded baseline (top signature + bit-equal score — the score-parity
+/// tripwire), any engine run materialized a central ŷ vector (row-free
+/// scoring must fully cover Phase3Fits: zero y_hat bytes), the sharded
+/// end-to-end time blows past a generous overhead ceiling, a warm-context
+/// repeat run fails to elide every kLeafMoments task, or a remote cell
+/// needed a retry (loopback workers never legitimately fail) — the CI
+/// tripwires for the distributed path.
 
 #include <benchmark/benchmark.h>
 
@@ -52,8 +56,11 @@ struct GridRow {
   double shard_s = 0.0;   ///< coordinator fan-out + merge, all task rounds
   double signal_s = 0.0;  ///< kSignalStats round
   double moments_s = 0.0; ///< kLeafMoments round
-  double error_s = 0.0;   ///< kErrorPartials round
+  double score_s = 0.0;   ///< kScorePartials round
   int64_t rows_scanned = 0;
+  int64_t score_probes = 0;      ///< models probed by the score round
+  int64_t score_candidates = 0;  ///< candidates scored row-free (partials)
+  int64_t yhat_mats = 0;         ///< central ŷ materializations (must be 0)
   int64_t leaves_swept = 0;   ///< kLeafMoments leaves actually requested
   int64_t leaves_elided = 0;  ///< leaves skipped via the warm fit cache
   int64_t remote_tasks = 0;     ///< kRemote: tasks dispatched to the fleet
@@ -102,8 +109,11 @@ GridRow RunCell(const Table& source, const Table& target, int shards,
   row.shard_s = result.shard_seconds;
   row.signal_s = result.shard_signal_seconds;
   row.moments_s = result.shard_moments_seconds;
-  row.error_s = result.shard_error_seconds;
+  row.score_s = result.shard_score_seconds;
   row.rows_scanned = result.shard_rows_scanned;
+  row.score_probes = result.shard_score_probes;
+  row.score_candidates = result.score_partials_candidates;
+  row.yhat_mats = result.score_yhat_materializations;
   row.leaves_swept = result.shard_moment_leaves_swept;
   row.leaves_elided = result.shard_moment_leaves_elided;
   row.remote_tasks = result.remote_tasks_dispatched;
@@ -202,20 +212,21 @@ std::vector<GridRow> RunGrid(bool smoke) {
 }
 
 void PrintGrid(const std::vector<GridRow>& grid) {
-  std::vector<int> widths = {11, 5, 7, 8, 9, 9, 9, 9, 9, 13, 7, 8, 8, 10};
+  std::vector<int> widths = {11, 5, 7, 8, 9, 9, 9, 9, 9, 13, 7, 9, 8, 8, 10};
   PrintRule(widths);
   PrintTableRow(widths,
                 {"backend", "mode", "shards", "threads", "total s", "shard s",
-                 "signal s", "momnt s", "error s", "rows scanned", "elided",
-                 "r tasks", "retries", "identical"});
+                 "signal s", "momnt s", "score s", "rows scanned", "elided",
+                 "scored", "r tasks", "retries", "identical"});
   PrintRule(widths);
   for (const GridRow& r : grid) {
     PrintTableRow(widths,
                   {r.backend, r.mode, std::to_string(r.shards),
                    std::to_string(r.threads), Fmt(r.total_s, 3),
                    Fmt(r.shard_s, 4), Fmt(r.signal_s, 4), Fmt(r.moments_s, 4),
-                   Fmt(r.error_s, 4), std::to_string(r.rows_scanned),
+                   Fmt(r.score_s, 4), std::to_string(r.rows_scanned),
                    std::to_string(r.leaves_elided),
+                   std::to_string(r.score_candidates),
                    std::to_string(r.remote_tasks),
                    std::to_string(r.remote_retries),
                    r.identical ? "yes" : "NO"});
@@ -235,16 +246,21 @@ void WriteJson(const std::string& path, const std::vector<GridRow>& grid) {
     std::fprintf(f,
                  "    {\"backend\": \"%s\", \"mode\": \"%s\", \"shards\": %d, "
                  "\"threads\": %d, \"total_s\": %.5f, \"shard_s\": %.5f, "
-                 "\"signal_s\": %.5f, \"moments_s\": %.5f, \"error_s\": %.5f, "
+                 "\"signal_s\": %.5f, \"moments_s\": %.5f, \"score_s\": %.5f, "
                  "\"rows_scanned\": %lld, \"leaves_swept\": %lld, "
-                 "\"leaves_elided\": %lld, \"remote_tasks\": %lld, "
+                 "\"leaves_elided\": %lld, \"score_probes\": %lld, "
+                 "\"score_candidates\": %lld, \"yhat_materializations\": %lld, "
+                 "\"remote_tasks\": %lld, "
                  "\"remote_installs\": %lld, \"remote_retries\": %lld, "
                  "\"identical\": %s}%s\n",
                  r.backend.c_str(), r.mode.c_str(), r.shards, r.threads,
-                 r.total_s, r.shard_s, r.signal_s, r.moments_s, r.error_s,
+                 r.total_s, r.shard_s, r.signal_s, r.moments_s, r.score_s,
                  static_cast<long long>(r.rows_scanned),
                  static_cast<long long>(r.leaves_swept),
                  static_cast<long long>(r.leaves_elided),
+                 static_cast<long long>(r.score_probes),
+                 static_cast<long long>(r.score_candidates),
+                 static_cast<long long>(r.yhat_mats),
                  static_cast<long long>(r.remote_tasks),
                  static_cast<long long>(r.remote_installs),
                  static_cast<long long>(r.remote_retries),
@@ -310,6 +326,23 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    // Row-free scoring tripwire: every engine run — sharded or not — must
+    // score all its candidates from merged ScorePartials without ever
+    // materializing a run-wide ŷ vector. A single materialization means a
+    // candidate fell off the partials path (a per-candidate O(rows)
+    // allocation snuck back into the hot loop).
+    for (const charles::bench::GridRow& row : grid) {
+      if (row.yhat_mats != 0 || row.score_candidates == 0) {
+        std::fprintf(stderr,
+                     "FAIL: %s backend at %d shards scored %lld candidates "
+                     "from partials with %lld central y_hat "
+                     "materializations; expected >0 and exactly 0\n",
+                     row.backend.c_str(), row.shards,
+                     static_cast<long long>(row.score_candidates),
+                     static_cast<long long>(row.yhat_mats));
+        return 1;
+      }
+    }
     // Warm-elision tripwire: the warm-context repeat run must issue zero
     // kLeafMoments tasks (every leaf elided via the warm fit cache).
     bool saw_warm = false;
@@ -353,7 +386,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("smoke OK: every sharded cell (including remote loopback) "
-                "bit-identical, overhead within bounds, warm run elided every "
+                "bit-identical, all candidates scored row-free (zero central "
+                "y_hat bytes), overhead within bounds, warm run elided every "
                 "leaf-moments task, zero remote retries\n");
     return 0;
   }

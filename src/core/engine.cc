@@ -113,6 +113,8 @@ bool RehydrateLeafFit(const SharedLeafFit& compact, const RowSet& rows,
                       CharlesEngine::LeafFit* out) {
   out->transform = compact.transform;
   out->partition_mae = compact.partition_mae;
+  out->score = compact.score;
+  out->has_score = compact.has_score;
   out->predictions.clear();
   out->predictions.reserve(static_cast<size_t>(rows.size()));
   if (compact.transform.is_no_change()) {
@@ -141,8 +143,17 @@ Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
     const std::vector<double>& y_new, const RowSet& rows,
     const std::vector<std::string>& transform_attrs,
     const ColumnCache* column_cache,
-    const LeafStatsWorkspace* stats_workspace, size_t t_index) const {
+    const LeafStatsWorkspace* stats_workspace, size_t t_index,
+    LeafFitStats* stats) const {
   const std::string& target = options_.target_attribute;
+  // Row-free scoring mode: fold this leaf's (Σ|y − ŷ|, exact count) with
+  // the run scorer's exactness band so BuildSummary can merge per-leaf
+  // partials in leaf order instead of scattering predictions into a
+  // run-wide ŷ. Deliberately independent of use_sufficient_stats: the QR
+  // ladder scores row-free too.
+  const bool score_fold = stats_workspace != nullptr &&
+                          stats_workspace->block_rows >= 1 &&
+                          stats_workspace->score_tolerance >= 0.0;
   // No-change detection: the whole partition kept its old value. A
   // distributed sweep already folded max |y_new − y_old| per leaf (max is
   // exactly associative, so the evidence equals what this scan would
@@ -173,6 +184,23 @@ Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
     fit.partition_mae = 0.0;
     fit.predictions.reserve(static_cast<size_t>(rows.size()));
     for (int64_t row : rows) fit.predictions.push_back(y_old[static_cast<size_t>(row)]);
+    if (score_fold) {
+      // A no-change leaf still contributes canonical partials: every row
+      // lands inside the band (|y_new − y_old| ≤ numeric_tolerance ≤ the
+      // band), but the Σ chain must replay the canonical block order so the
+      // merged score bits stay canonical.
+      std::vector<double> y_part(static_cast<size_t>(rows.size()));
+      if (rows.size() > 0) {
+        kernels::ActiveKernel().gather(y_new.data(), rows.indices().data(),
+                                       rows.size(), y_part.data(),
+                                       /*dst_stride=*/1);
+      }
+      fit.score = AccumulateScoreDiffBlocks(
+          y_part, fit.predictions, rows.indices(), stats_workspace->block_rows,
+          stats_workspace->score_tolerance);
+      fit.has_score = true;
+      if (stats != nullptr) ++stats->score_leaf_folds;
+    }
     return fit;
   }
 
@@ -234,22 +262,23 @@ Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
   // Exact-L1 evaluation mode. Under the sufficient-statistics path every
   // L1 evaluation below — SnapModel's accuracy-guard baseline and the final
   // fit MAE — goes through the canonical block fold of
-  // linalg/error_partials.h, which a distributed kErrorPartials round
+  // linalg/error_partials.h, which a distributed kScorePartials round
   // reproduces bit-for-bit from shard partials. The QR-only path keeps the
   // historical serial sums unchanged.
   const bool canonical_error = options_.use_sufficient_stats &&
                                stats_workspace != nullptr &&
                                stats_workspace->block_rows >= 1;
-  // Shard-merged exact Σ|y − ŷ| of the fast-path model, when a distributed
-  // sweep pre-evaluated it for this (leaf, T). Only valid for the model the
-  // probe solved — i.e. when the fast solve above succeeded.
-  const ErrorPartials* error_evidence = nullptr;
+  // Shard-merged exact (Σ|y − ŷ|, exact count) of the fast-path model, when
+  // a distributed kScorePartials sweep pre-evaluated it for this (leaf, T).
+  // Only valid for the model the probe solved — i.e. when the fast solve
+  // above succeeded.
+  const ScorePartials* score_evidence = nullptr;
   if (canonical_error && have_model &&
-      stats_workspace->error_evidence != nullptr) {
-    auto it = stats_workspace->error_evidence->find(rows.indices());
-    if (it != stats_workspace->error_evidence->end() &&
+      stats_workspace->score_evidence != nullptr) {
+    auto it = stats_workspace->score_evidence->find(rows.indices());
+    if (it != stats_workspace->score_evidence->end() &&
         t_index < it->second.valid.size() && it->second.valid[t_index] != 0) {
-      error_evidence = &it->second.partials[t_index];
+      score_evidence = &it->second.partials[t_index];
     }
   }
 
@@ -258,8 +287,16 @@ Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
       std::max(normality.exactness_tolerance, options_.numeric_tolerance);
   SnapErrorSpec error_spec;
   const SnapErrorSpec* error_spec_ptr = nullptr;
+  // The evidence's L1 projection is bit-identical to what a dedicated
+  // kErrorPartials probe would have produced (the score fold's Σ chain
+  // replays the error fold's addends exactly), so one score round serves
+  // both the snap baseline and the score.
+  ErrorPartials evidence_error;
   if (canonical_error) {
-    error_spec.baseline = error_evidence;
+    if (score_evidence != nullptr) {
+      evidence_error = score_evidence->error();
+      error_spec.baseline = &evidence_error;
+    }
     error_spec.rows = &rows.indices();
     error_spec.block_rows = stats_workspace->block_rows;
     error_spec_ptr = &error_spec;
@@ -272,21 +309,32 @@ Result<CharlesEngine::LeafFit> CharlesEngine::FitLeaf(
   // the canonical fold — served straight from the shard-merged partials
   // when snapping left the probed model untouched, re-folded centrally
   // (bit-identically) otherwise; the QR path recomputes it serially from
-  // the prediction pass as before.
-  if (canonical_error) {
-    const bool snap_noop =
-        error_evidence != nullptr &&
-        std::memcmp(&model.intercept, &pre_snap.intercept, sizeof(double)) == 0 &&
-        model.coefficients.size() == pre_snap.coefficients.size() &&
-        (model.coefficients.empty() ||
-         std::memcmp(model.coefficients.data(), pre_snap.coefficients.data(),
-                     model.coefficients.size() * sizeof(double)) == 0);
-    model.mae = snap_noop
-                    ? error_evidence->mae()
-                    : AccumulateAbsDiffBlocks(y_part, fit.predictions,
-                                              rows.indices(),
-                                              stats_workspace->block_rows)
-                          .mae();
+  // the prediction pass as before. When row-free scoring is on, the same
+  // fold also yields the leaf's score partials: its Σ chain is the
+  // AccumulateAbsDiffBlocks chain, so the MAE comes out bit-identical.
+  const bool snap_noop =
+      score_evidence != nullptr &&
+      std::memcmp(&model.intercept, &pre_snap.intercept, sizeof(double)) == 0 &&
+      model.coefficients.size() == pre_snap.coefficients.size() &&
+      (model.coefficients.empty() ||
+       std::memcmp(model.coefficients.data(), pre_snap.coefficients.data(),
+                   model.coefficients.size() * sizeof(double)) == 0);
+  if (canonical_error && snap_noop) {
+    model.mae = score_evidence->mae();
+    fit.score = *score_evidence;
+    fit.has_score = true;
+  } else if (score_fold) {
+    fit.score = AccumulateScoreDiffBlocks(
+        y_part, fit.predictions, rows.indices(), stats_workspace->block_rows,
+        stats_workspace->score_tolerance);
+    fit.has_score = true;
+    if (stats != nullptr) ++stats->score_leaf_folds;
+    model.mae = canonical_error ? fit.score.mae()
+                                : MeanAbsoluteError(fit.predictions, y_part);
+  } else if (canonical_error) {
+    model.mae = AccumulateAbsDiffBlocks(y_part, fit.predictions, rows.indices(),
+                                        stats_workspace->block_rows)
+                    .mae();
   } else {
     model.mae = MeanAbsoluteError(fit.predictions, y_part);
   }
@@ -302,10 +350,19 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
     const std::vector<std::string>& condition_attrs, LeafFitCache* cache,
     SharedLeafFitCache* shared_cache, size_t t_index, LeafFitStats* stats,
     uint64_t cache_fingerprint, const ColumnCache* column_cache,
-    const LeafStatsWorkspace* stats_workspace) const {
+    const LeafStatsWorkspace* stats_workspace, const Scorer* scorer) const {
   const std::string& target = options_.target_attribute;
   int64_t n = source.num_rows();
-  std::vector<double> y_hat = y_old;
+  // Row-free scoring: merge per-leaf ScorePartials in leaf (CT) order and
+  // never materialize a run-wide ŷ. Requires the run-level scorer and a
+  // workspace carrying its exactness band; every other caller keeps the
+  // historical scatter-and-scan path below.
+  const bool row_free = scorer != nullptr && stats_workspace != nullptr &&
+                        stats_workspace->block_rows >= 1 &&
+                        stats_workspace->score_tolerance >= 0.0;
+  std::vector<double> y_hat;
+  if (!row_free) y_hat = y_old;
+  ScorePartials score_total;
   std::vector<ConditionalTransform> cts;
   cts.reserve(candidate.leaves.size());
 
@@ -345,11 +402,12 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
         if (fit == nullptr) {
           CHARLES_ASSIGN_OR_RETURN(
               local, FitLeaf(source, y_old, y_new, rows, transform_attrs, column_cache,
-                             stats_workspace, t_index));
+                             stats_workspace, t_index, stats));
           if (stats != nullptr) ++stats->computed;
           if (shared_cache != nullptr) {
             shared_cache->Insert(std::move(key),
-                                 SharedLeafFit{local.transform, local.partition_mae});
+                                 SharedLeafFit{local.transform, local.partition_mae,
+                                               local.score, local.has_score});
           }
           it = cache->emplace(rows.indices(), std::move(local)).first;
           fit = &it->second;
@@ -358,14 +416,34 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
     } else {
       CHARLES_ASSIGN_OR_RETURN(
           local, FitLeaf(source, y_old, y_new, rows, transform_attrs, column_cache,
-                         stats_workspace, t_index));
+                         stats_workspace, t_index, stats));
       if (stats != nullptr) ++stats->computed;
       fit = &local;
     }
     ct.transform = fit->transform;
     ct.partition_mae = fit->partition_mae;
-    for (int64_t r = 0; r < rows.size(); ++r) {
-      y_hat[static_cast<size_t>(rows[r])] = fit->predictions[static_cast<size_t>(r)];
+    if (row_free) {
+      if (fit->has_score) {
+        score_total.Merge(fit->score);
+      } else {
+        // Cache entries minted before row-free scoring was enabled carry no
+        // partials: fold this leaf on the spot — same gather, same block
+        // fold, same bits FitLeaf would have stored.
+        std::vector<double> y_part(static_cast<size_t>(rows.size()));
+        if (rows.size() > 0) {
+          kernels::ActiveKernel().gather(y_new.data(), rows.indices().data(),
+                                         rows.size(), y_part.data(),
+                                         /*dst_stride=*/1);
+        }
+        score_total.Merge(AccumulateScoreDiffBlocks(
+            y_part, fit->predictions, rows.indices(),
+            stats_workspace->block_rows, stats_workspace->score_tolerance));
+        if (stats != nullptr) ++stats->score_leaf_folds;
+      }
+    } else {
+      for (int64_t r = 0; r < rows.size(); ++r) {
+        y_hat[static_cast<size_t>(rows[r])] = fit->predictions[static_cast<size_t>(r)];
+      }
     }
     cts.push_back(std::move(ct));
   }
@@ -380,8 +458,20 @@ Result<ChangeSummary> CharlesEngine::BuildSummary(
     summary.set_tree(std::make_shared<ModelTree>(std::move(root)));
   }
 
-  Scorer scorer(options_, y_old, y_new);
-  summary.set_scores(scorer.Score(summary, y_hat));
+  if (row_free) {
+    if (stats != nullptr) ++stats->score_partials_candidates;
+    summary.set_scores(scorer->ScoreFromPartials(summary, score_total));
+  } else {
+    if (stats != nullptr) ++stats->score_yhat_materializations;
+    if (scorer != nullptr) {
+      summary.set_scores(scorer->Score(summary, y_hat));
+    } else {
+      // External callers (tests, baselines) with no run-level scorer: build
+      // one for this call, as the pre-partials engine always did.
+      Scorer local_scorer(options_, y_old, y_new);
+      summary.set_scores(local_scorer.Score(summary, y_hat));
+    }
+  }
   return summary;
 }
 

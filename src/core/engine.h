@@ -16,6 +16,7 @@
 
 #include "common/result.h"
 #include "linalg/error_partials.h"
+#include "linalg/score_partials.h"
 #include "core/engine_context.h"
 #include "core/options.h"
 #include "core/partition_finder.h"
@@ -32,6 +33,8 @@ namespace charles {
 namespace obs {
 class TraceRecorder;
 }  // namespace obs
+
+class Scorer;
 
 /// \brief Output of one engine run: ranked summaries plus search diagnostics.
 struct SummaryList {
@@ -113,11 +116,29 @@ struct SummaryList {
   int64_t shard_moment_leaves_elided = 0;
   /// kErrorPartials probes whose exact Σ|y − ŷ| was merged from shards.
   int64_t shard_error_probes = 0;
+  /// kScorePartials probes whose (Σ|y − ŷ|, exact count) was merged from
+  /// shards — the row-free scoring currency (docs/distributed.md).
+  int64_t shard_score_probes = 0;
   /// \name Per-task-kind coordinator wall times (fan-out + merge).
   /// @{
   double shard_signal_seconds = 0.0;  ///< kSignalStats round
   double shard_moments_seconds = 0.0; ///< kLeafMoments round
   double shard_error_seconds = 0.0;   ///< kErrorPartials round
+  double shard_score_seconds = 0.0;   ///< kScorePartials round
+  /// @}
+  /// \name Row-free scoring (PR 10). A run on the partials path scores every
+  /// candidate by merging per-leaf ScorePartials in leaf order; the counters
+  /// below prove (or disprove) that no run-wide ŷ vector was ever built.
+  /// @{
+  /// Candidates scored row-free from merged per-leaf score partials.
+  int64_t score_partials_candidates = 0;
+  /// Candidates that fell back to materializing a run-wide ŷ and row-scan
+  /// scoring. Zero for every engine-driven run; nonzero only for external
+  /// BuildSummary callers that pass no run scorer.
+  int64_t score_yhat_materializations = 0;
+  /// Per-leaf score folds performed centrally (evidence misses / snapped
+  /// models); folds served from shard evidence or a warm cache don't count.
+  int64_t score_leaf_folds = 0;
   /// @}
   /// \name Remote backend (shard_backend = kRemote; empty/zero otherwise).
   /// @{
@@ -370,18 +391,21 @@ class CharlesEngine {
   using LeafStatsCache =
       std::unordered_map<std::vector<int64_t>,
                          std::shared_ptr<const SufficientStats>, RowIndicesHash>;
-  /// \brief One leaf's exact L1 evidence from a distributed kErrorPartials
-  /// sweep: per transformation subset, the merged Σ|y − ŷ| of the leaf's
-  /// *unsnapped* fast-path model. `valid[t]` marks subsets whose probe was
-  /// solved and evaluated; both vectors are indexed by t_index.
-  struct LeafErrorEvidence {
+  /// \brief One leaf's exact score evidence from a distributed
+  /// kScorePartials sweep: per transformation subset, the merged
+  /// (Σ|y − ŷ|, exact-within-tolerance count, n) of the leaf's *unsnapped*
+  /// fast-path model. `valid[t]` marks subsets whose probe was solved and
+  /// evaluated; both vectors are indexed by t_index. The L1 component
+  /// (ScorePartials::error()) doubles as the SnapModel accuracy baseline, so
+  /// one score round replaces the former kErrorPartials round entirely.
+  struct LeafScoreEvidence {
     std::vector<uint8_t> valid;
-    std::vector<ErrorPartials> partials;
+    std::vector<ScorePartials> partials;
   };
   /// Keyed by the leaf's row indices (like the no-change evidence), so
   /// per-fit lookups probe with the leaf's own vector — no key copies.
-  using LeafErrorEvidenceMap =
-      std::unordered_map<std::vector<int64_t>, LeafErrorEvidence, RowIndicesHash>;
+  using LeafScoreEvidenceMap =
+      std::unordered_map<std::vector<int64_t>, LeafScoreEvidence, RowIndicesHash>;
   /// @}
 
   /// \brief Per-shard view of the run's sufficient-statistics machinery,
@@ -415,14 +439,20 @@ class CharlesEngine {
     /// Null or missing entries fall back to the serial scan.
     const std::unordered_map<std::vector<int64_t>, double, RowIndicesHash>*
         nochange_max_delta = nullptr;
-    /// Exact L1 evidence from a distributed kErrorPartials sweep, keyed by
-    /// the leaf's row indices. When the current t_index is marked valid,
-    /// FitLeaf hands the merged partials to SnapModel as the accuracy-guard
-    /// baseline and reports them as the exact fit MAE when snapping is a
-    /// no-op — bit-identical to the central canonical fold they replace
+    /// Exact score evidence from a distributed kScorePartials sweep, keyed
+    /// by the leaf's row indices. When the current t_index is marked valid,
+    /// FitLeaf hands the merged partials' L1 projection to SnapModel as the
+    /// accuracy-guard baseline; when snapping is a no-op the partials also
+    /// become the leaf's score fold verbatim — bit-identical to the central
+    /// canonical fold they replace
     /// (docs/distributed.md#the-determinism-argument). Null or missing
     /// entries fold the same partials centrally.
-    const LeafErrorEvidenceMap* error_evidence = nullptr;
+    const LeafScoreEvidenceMap* score_evidence = nullptr;
+    /// The run Scorer's exactness band (Scorer::exact_tolerance()). Every
+    /// per-leaf ScorePartials fold must use the band of the scorer that will
+    /// consume it; a negative value (the default) disables row-free scoring
+    /// so a workspace built without a run scorer keeps the ŷ row-scan path.
+    double score_tolerance = -1.0;
   };
 
   /// Per-worker counters folded into SummaryList diagnostics at the barrier.
@@ -430,6 +460,12 @@ class CharlesEngine {
     int64_t computed = 0;     ///< FitLeaf invocations
     int64_t local_hits = 0;   ///< served by the worker's own cache
     int64_t shared_hits = 0;  ///< served via SharedLeafFitCache
+    /// Candidates scored row-free from merged per-leaf ScorePartials.
+    int64_t score_partials_candidates = 0;
+    /// Candidates scored by materializing a run-wide ŷ (no run scorer).
+    int64_t score_yhat_materializations = 0;
+    /// Per-leaf score folds performed centrally inside FitLeaf/BuildSummary.
+    int64_t score_leaf_folds = 0;
   };
 
   /// \brief Builds and scores one summary for a fixed partitioning.
@@ -446,7 +482,12 @@ class CharlesEngine {
   /// from pre-converted columns instead of re-converting per leaf.
   /// `stats_workspace` (optional) enables the sufficient-statistics OLS fast
   /// path — one row scan per leaf shared across every T — with automatic QR
-  /// fallback per leaf; see LeafStatsWorkspace.
+  /// fallback per leaf; see LeafStatsWorkspace. `scorer` (optional) is the
+  /// run-level Scorer: when non-null and the workspace carries its
+  /// score_tolerance, the summary is scored row-free by merging per-leaf
+  /// ScorePartials in leaf order — no run-wide ŷ vector is ever built; when
+  /// null, the call falls back to materializing ŷ and constructing a
+  /// per-call Scorer (external/ablation path).
   Result<ChangeSummary> BuildSummary(
       const Table& source, const std::vector<double>& y_old,
       const std::vector<double>& y_new, const PartitionCandidate& candidate,
@@ -455,7 +496,8 @@ class CharlesEngine {
       SharedLeafFitCache* shared_cache = nullptr, size_t t_index = 0,
       LeafFitStats* stats = nullptr, uint64_t cache_fingerprint = 0,
       const ColumnCache* column_cache = nullptr,
-      const LeafStatsWorkspace* stats_workspace = nullptr) const;
+      const LeafStatsWorkspace* stats_workspace = nullptr,
+      const Scorer* scorer = nullptr) const;
 
  private:
   /// The staged pipeline Find() delegates to; stages call BuildSummary and
@@ -466,13 +508,16 @@ class CharlesEngine {
   /// (sufficient-statistics solve when `stats_workspace` provides one, row-
   /// level QR otherwise or on ill-conditioning), normality snapping with an
   /// exact L1 baseline (shard-merged or centrally folded; see
-  /// LeafStatsWorkspace::error_evidence). `column_cache` as in BuildSummary.
+  /// LeafStatsWorkspace::score_evidence), and — when the workspace carries a
+  /// score_tolerance — a canonical per-leaf ScorePartials fold stored on the
+  /// returned fit. `column_cache` as in BuildSummary.
   Result<LeafFit> FitLeaf(const Table& source, const std::vector<double>& y_old,
                           const std::vector<double>& y_new, const RowSet& rows,
                           const std::vector<std::string>& transform_attrs,
                           const ColumnCache* column_cache = nullptr,
                           const LeafStatsWorkspace* stats_workspace = nullptr,
-                          size_t t_index = 0) const;
+                          size_t t_index = 0,
+                          LeafFitStats* stats = nullptr) const;
 
   CharlesOptions options_;
   EngineContext* context_ = nullptr;

@@ -37,6 +37,7 @@
 #include "common/fnv.h"
 #include "core/stop_token.h"
 #include "core/transform.h"
+#include "linalg/score_partials.h"
 #include "linalg/suffstats.h"
 #include "parallel/sharded_cache.h"
 #include "parallel/thread_pool.h"
@@ -55,6 +56,13 @@ struct LeafFit {
   std::vector<double> predictions;
   /// Mean absolute error of the transformation on its partition.
   double partition_mae = 0.0;
+  /// Canonical accuracy partials of the leaf (Σ|ŷ − y_new|, exact count, n),
+  /// folded with the run's exact tolerance. Valid only when has_score is
+  /// set — fits produced without a score tolerance (external BuildSummary
+  /// callers, QR-path runs) leave it unset and the candidate falls back to
+  /// the row-scan scorer.
+  ScorePartials score;
+  bool has_score = false;
 };
 
 /// FNV-1a over a row-index vector; used by both leaf-fit cache tiers.
@@ -104,6 +112,13 @@ struct LeafKeyHash {
 struct SharedLeafFit {
   LinearTransform transform;
   double partition_mae = 0.0;
+  /// Compact score partials (three words — nothing like the per-row
+  /// predictions), cached so a warm repeat skips even the per-leaf score
+  /// fold. The fingerprint key covers numeric_tolerance and y_new, the two
+  /// inputs of the exact tolerance, so a cached entry can never be replayed
+  /// under a different tolerance.
+  ScorePartials score;
+  bool has_score = false;
 };
 
 /// Lock-sharded cache shared by every worker of a run — and, when owned by an

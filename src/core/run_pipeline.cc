@@ -559,19 +559,21 @@ bool AllLeafFitsCached(const RunState& state, const RowSet& rows,
 }
 
 /// \brief The distributed task rounds of phase 3: kLeafMoments over the
-/// not-yet-cached leaves, then kErrorPartials for the candidate transforms
+/// not-yet-cached leaves, then kScorePartials for the candidate transforms
 /// those moments admit.
 ///
 /// Seeds `run_stats_cache` with the merged leaf moments (keyed exactly as
 /// lazy accumulation would key them), `nochange_evidence` with the folded
-/// max |Δy| per swept leaf, and `error_evidence` with the exact Σ|y − ŷ| of
-/// every successfully pre-solved (leaf, T) model — all bit-identical to the
-/// central computations they replace, so the sweep below runs unchanged.
+/// max |Δy| per swept leaf, and `score_evidence` with the exact
+/// (Σ|y − ŷ|, exact count) of every successfully pre-solved (leaf, T)
+/// model — all bit-identical to the central computations they replace, so
+/// the sweep below runs unchanged. The score probes' L1 projection doubles
+/// as the SnapModel baseline, so no separate error round is needed.
 Status RunShardRounds(
     RunState& state, SharedLeafStatsCache& run_stats_cache,
     std::unordered_map<std::vector<int64_t>, double, RowIndicesHash>*
         nochange_evidence,
-    CharlesEngine::LeafErrorEvidenceMap* error_evidence) {
+    CharlesEngine::LeafScoreEvidenceMap* score_evidence) {
   const CharlesOptions& options = state.options;
   ShardInput shard_input;
   shard_input.shortlist = &state.tran_names;
@@ -624,13 +626,15 @@ Status RunShardRounds(
   state.result.shard_moments_seconds = merged->elapsed_seconds;
   FoldRoundDiagnostics(*merged, plan, &state.result);
 
-  // Round 2 — kErrorPartials: pre-solve every changed (leaf, T) candidate
+  // Round 2 — kScorePartials: pre-solve every changed (leaf, T) candidate
   // model from the merged moments (row-free p×p solves) and have the shards
-  // evaluate its exact L1 error. Unchanged leaves (max |Δy| within
+  // evaluate its exact score partials — Σ|y − ŷ| plus the within-band
+  // count, folded where the rows live. Unchanged leaves (max |Δy| within
   // tolerance) snap to no-change centrally and need no probe; failed solves
   // fall back to the row-level QR ladder centrally and need none either.
   ShardTask errors;
-  errors.kind = ShardTaskKind::kErrorPartials;
+  errors.kind = ShardTaskKind::kScorePartials;
+  errors.score_tolerance = state.scorer->exact_tolerance();
   std::vector<size_t> probe_t_index;
   for (size_t i = 0; i < moments.leaves.size(); ++i) {
     const LeafRollup& rollup = merged->leaves[i];
@@ -653,31 +657,32 @@ Status RunShardRounds(
     }
   }
   if (!errors.probes.empty()) {
-    Result<CoordinatorTaskResult> error_merged =
+    Result<CoordinatorTaskResult> score_merged =
         Coordinator::RunTask(shard_input, plan, backend, state.pool, errors,
                              state.stop);
-    if (!error_merged.ok()) {
-      if (error_merged.status().IsCancelled()) {
-        return state.Cancelled("during the error-partials shard round");
+    if (!score_merged.ok()) {
+      if (score_merged.status().IsCancelled()) {
+        return state.Cancelled("during the score-partials shard round");
       }
-      return error_merged.status();
+      return score_merged.status();
     }
     for (size_t p = 0; p < errors.probes.size(); ++p) {
       const RowSet* rows =
           shard_input.leaves[static_cast<size_t>(errors.probes[p].leaf)];
-      CharlesEngine::LeafErrorEvidence& evidence =
-          (*error_evidence)[rows->indices()];
+      CharlesEngine::LeafScoreEvidence& evidence =
+          (*score_evidence)[rows->indices()];
       if (evidence.valid.empty()) {
         evidence.valid.assign(static_cast<size_t>(t_count), 0);
-        evidence.partials.assign(static_cast<size_t>(t_count), ErrorPartials{});
+        evidence.partials.assign(static_cast<size_t>(t_count), ScorePartials{});
       }
       evidence.valid[probe_t_index[p]] = 1;
-      evidence.partials[probe_t_index[p]] = error_merged->probes[p].partials;
+      evidence.partials[probe_t_index[p]] =
+          score_merged->score_probes[p].partials;
     }
-    state.result.shard_error_probes =
+    state.result.shard_score_probes =
         static_cast<int64_t>(errors.probes.size());
-    state.result.shard_error_seconds = error_merged->elapsed_seconds;
-    FoldRoundDiagnostics(*error_merged, plan, &state.result);
+    state.result.shard_score_seconds = score_merged->elapsed_seconds;
+    FoldRoundDiagnostics(*score_merged, plan, &state.result);
   }
 
   // Seed the run's stats machinery with the merged rollups (moved, so this
@@ -800,6 +805,12 @@ Status RunPipeline::Phase3Fits(RunState& state) {
   const int64_t t_count = static_cast<int64_t>(state.t_attr_names.size());
   state.work_items = static_cast<int64_t>(state.partitions.size()) * t_count;
 
+  // The run's one Scorer — the single y_old/y_new copy of the whole sweep
+  // (BuildSummary used to construct one per candidate). Built before the
+  // shard rounds: its exactness band is what the kScorePartials round ships
+  // to workers.
+  state.scorer = std::make_unique<Scorer>(options, state.y_old, state.y_new);
+
   // A bounded run-local cache never gets more shards than entries (the
   // per-shard budget floors at one, which would silently raise the bound).
   const size_t run_cache_bound =
@@ -837,15 +848,15 @@ Status RunPipeline::Phase3Fits(RunState& state) {
 
   // Distributed task rounds (CharlesOptions::num_shards >= 1): merged
   // moments seed the stats cache, folded max |Δy| seeds the no-change
-  // evidence, and merged error partials seed the exact-MAE evidence — so
-  // the sweep below runs unchanged, re-solving every leaf fit from
+  // evidence, and merged score partials seed the exact score/MAE evidence —
+  // so the sweep below runs unchanged, re-solving every leaf fit from
   // currencies bit-identical to the ones it would have computed itself.
   std::unordered_map<std::vector<int64_t>, double, RowIndicesHash>
       nochange_evidence;
-  CharlesEngine::LeafErrorEvidenceMap error_evidence;
+  CharlesEngine::LeafScoreEvidenceMap score_evidence;
   if (options.num_shards > 0 && options.use_sufficient_stats) {
     CHARLES_RETURN_NOT_OK(RunShardRounds(state, run_stats_cache,
-                                         &nochange_evidence, &error_evidence));
+                                         &nochange_evidence, &score_evidence));
   } else if (options.use_sufficient_stats) {
     CHARLES_RETURN_NOT_OK(
         RunCentralBatchSweep(state, run_stats_cache, &nochange_evidence));
@@ -924,13 +935,14 @@ Status RunPipeline::Phase3Fits(RunState& state) {
         stats_workspace.block_rows = options.stats_block_rows;
         stats_workspace.nochange_max_delta =
             nochange_evidence.empty() ? nullptr : &nochange_evidence;
-        stats_workspace.error_evidence =
-            error_evidence.empty() ? nullptr : &error_evidence;
+        stats_workspace.score_evidence =
+            score_evidence.empty() ? nullptr : &score_evidence;
+        stats_workspace.score_tolerance = state.scorer->exact_tolerance();
         Result<ChangeSummary> summary = engine.BuildSummary(
             *state.analysis, state.y_old, state.y_new, entry.candidate,
             state.t_attr_names[ti], entry.condition_attrs, &worker.caches[ti],
             state.shared_cache, ti, &worker.stats, state.fingerprint,
-            &state.tran_columns, &stats_workspace);
+            &state.tran_columns, &stats_workspace, state.scorer.get());
         if (summary.ok()) {
           out.signature = summary->Signature();
           out.summary = std::move(*summary);
@@ -981,6 +993,11 @@ Status RunPipeline::Phase3Fits(RunState& state) {
     state.result.leaf_fits_computed += worker.stats.computed;
     state.result.leaf_fits_reused +=
         worker.stats.local_hits + worker.stats.shared_hits;
+    state.result.score_partials_candidates +=
+        worker.stats.score_partials_candidates;
+    state.result.score_yhat_materializations +=
+        worker.stats.score_yhat_materializations;
+    state.result.score_leaf_folds += worker.stats.score_leaf_folds;
   }
   return Status::OK();
 }
@@ -1160,6 +1177,20 @@ Result<SummaryList> RunPipeline::Run(const CharlesEngine& engine,
         obs::MetricsRegistry::Global().histogram("engine.run_seconds");
     runs->Increment();
     latency->Observe(state.result.elapsed_seconds);
+    // Row-free scoring health: candidates scored from merged partials vs.
+    // ones that materialized a run-wide ŷ (engine runs must report zero),
+    // plus the shard probes the score round merged.
+    static obs::Counter* const partials_scored =
+        obs::MetricsRegistry::Global().counter(
+            "score_partials.candidates_scored");
+    static obs::Counter* const yhat_scored =
+        obs::MetricsRegistry::Global().counter(
+            "score_partials.yhat_materializations");
+    static obs::Counter* const probes_merged =
+        obs::MetricsRegistry::Global().counter("score_partials.probes_merged");
+    partials_scored->Add(state.result.score_partials_candidates);
+    yhat_scored->Add(state.result.score_yhat_materializations);
+    probes_merged->Add(state.result.shard_score_probes);
     if (state.context != nullptr) {
       // Cross-run cache health, refreshed once per run (the counters live in
       // the sharded cache; gauges mirror them into the registry snapshot).

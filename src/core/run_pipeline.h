@@ -19,7 +19,7 @@
 ///    when sharding is on), per-T clusterings, pooled labelings;
 ///  - **Phase2Trees** — condition-tree induction and partition dedup;
 ///  - **Phase3Fits** — the (partition, T) transformation sweep, preceded by
-///    the distributed kLeafMoments / kErrorPartials rounds (with warm-cache
+///    the distributed kLeafMoments / kScorePartials rounds (with warm-cache
 ///    elision) when sharding is on;
 ///  - **RankStream** — deterministic best-by-signature reduction, ranking,
 ///    truncation, and diagnostics fold.
@@ -50,6 +50,7 @@
 #include "core/engine.h"
 #include "core/engine_context.h"
 #include "core/partition_finder.h"
+#include "core/scoring.h"
 #include "core/setup_assistant.h"
 #include "core/stop_token.h"
 #include "diff/diff.h"
@@ -162,6 +163,12 @@ struct RunState {
   /// run-local one) — RankStream reads eviction counts from it.
   std::unique_ptr<SharedLeafFitCache> run_leaf_cache;
   SharedLeafFitCache* shared_cache = nullptr;
+  /// The one run-level Scorer: constructed once at the top of Phase3Fits
+  /// (the single y_old/y_new copy of the whole sweep) and shared by every
+  /// work item — BuildSummary scores row-free against it from merged
+  /// per-leaf ScorePartials. Its exact_tolerance() is what the
+  /// kScorePartials round ships to shard workers.
+  std::unique_ptr<Scorer> scorer;
   /// @}
 
   /// \name Streaming merge (incremental provisional top-N).

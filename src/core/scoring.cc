@@ -19,32 +19,42 @@ Scorer::Scorer(const CharlesOptions& options, std::vector<double> y_old,
   double sum = 0.0;
   for (double v : y_new_) sum += std::abs(v);
   target_scale_ = y_new_.empty() ? 1.0 : std::max(sum / static_cast<double>(y_new_.size()), 1e-12);
-}
-
-double Scorer::Accuracy(const std::vector<double>& y_hat) const {
-  CHARLES_CHECK_EQ(y_hat.size(), y_new_.size());
-  double l1 = L1Distance(y_hat, y_new_);
   // "Exact" means practically right: within 0.1% of the target's scale (or
   // the configured tolerance if larger). A hard zero band would make the
   // exactness term collapse under any measurement noise, at which point
   // partition quality stops influencing accuracy at all.
   constexpr double kExactnessBand = 0.001;
-  double exact_tolerance =
+  exact_tolerance_ =
       std::max(options_.numeric_tolerance, kExactnessBand * target_scale_);
-  int64_t exact = 0;
+}
+
+double Scorer::Accuracy(const std::vector<double>& y_hat) const {
+  CHARLES_CHECK_EQ(y_hat.size(), y_new_.size());
+  // The row scan is itself a (degenerate, single-chain) ScorePartials fold:
+  // L1Distance sums |ŷᵢ − y_newᵢ| in index order from zero, exactly the
+  // chain Accumulate replays, so this wrapper and AccuracyFromPartials
+  // agree bit-for-bit whenever the partials were folded as one chain.
+  ScorePartials partials;
   for (size_t i = 0; i < y_hat.size(); ++i) {
-    if (std::abs(y_hat[i] - y_new_[i]) <= exact_tolerance) ++exact;
+    partials.Accumulate(y_new_[i], y_hat[i], exact_tolerance_);
   }
-  double exactness = y_hat.empty() ? 0.0
-                                   : static_cast<double>(exact) /
-                                         static_cast<double>(y_hat.size());
+  return AccuracyFromPartials(partials);
+}
+
+double Scorer::AccuracyFromPartials(const ScorePartials& partials) const {
+  const double l1 = partials.abs_error_sum;
+  double exactness = partials.n > 0
+                         ? static_cast<double>(partials.exact_count) /
+                               static_cast<double>(partials.n)
+                         : 0.0;
   double l1_explained;
   if (baseline_l1_ > 1e-12) {
     l1_explained = std::clamp(1.0 - l1 / baseline_l1_, 0.0, 1.0);
   } else {
     // Nothing changed between the snapshots: a summary is accurate iff it
     // also predicts "no change" (scale-normalized inverse distance).
-    double mae = y_hat.empty() ? 0.0 : l1 / static_cast<double>(y_hat.size());
+    double mae =
+        partials.n > 0 ? l1 / static_cast<double>(partials.n) : 0.0;
     l1_explained = 1.0 / (1.0 + mae / target_scale_);
   }
   return 0.5 * l1_explained + 0.5 * exactness;
@@ -114,6 +124,16 @@ ScoreBreakdown Scorer::Score(const ChangeSummary& summary,
                              const std::vector<double>& y_hat) const {
   ScoreBreakdown breakdown = InterpretabilityOnly(summary);
   breakdown.accuracy = Accuracy(y_hat);
+  breakdown.score = options_.alpha * breakdown.accuracy +
+                    (1.0 - options_.alpha) * breakdown.interpretability;
+  return breakdown;
+}
+
+ScoreBreakdown Scorer::ScoreFromPartials(const ChangeSummary& summary,
+                                         const ScorePartials& partials) const {
+  CHARLES_CHECK_EQ(static_cast<size_t>(partials.n), y_new_.size());
+  ScoreBreakdown breakdown = InterpretabilityOnly(summary);
+  breakdown.accuracy = AccuracyFromPartials(partials);
   breakdown.score = options_.alpha * breakdown.accuracy +
                     (1.0 - options_.alpha) * breakdown.interpretability;
   return breakdown;

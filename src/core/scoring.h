@@ -5,6 +5,7 @@
 
 #include "core/options.h"
 #include "core/summary.h"
+#include "linalg/score_partials.h"
 
 namespace charles {
 
@@ -46,9 +47,17 @@ class Scorer {
          std::vector<double> y_new);
 
   /// Scores a summary given the predictions it makes on the source rows
-  /// (`y_hat`, aligned with y_old/y_new).
+  /// (`y_hat`, aligned with y_old/y_new). The row-scan path: kept for
+  /// external callers and baselines; the engine's hot loop scores from
+  /// partials instead (ScoreFromPartials).
   ScoreBreakdown Score(const ChangeSummary& summary,
                        const std::vector<double>& y_hat) const;
+
+  /// Scores a summary from accumulated accuracy partials — the row-free
+  /// path. `partials` must cover every aligned row exactly once (n equal to
+  /// the target length) and must have been folded with exact_tolerance().
+  ScoreBreakdown ScoreFromPartials(const ChangeSummary& summary,
+                                   const ScorePartials& partials) const;
 
   /// Convenience: applies the summary to `source` and scores the result.
   Result<ScoreBreakdown> ApplyAndScore(const ChangeSummary& summary,
@@ -57,8 +66,22 @@ class Scorer {
   /// The accuracy component alone (used by baselines and ablations).
   double Accuracy(const std::vector<double>& y_hat) const;
 
+  /// The accuracy component from partials: the identical L1-explained /
+  /// exactness blend, fed by (Σ|ŷ − y_new|, exact count, n) instead of a
+  /// fresh row scan. Given partials whose sum replays the row scan's addend
+  /// chain, the result is bit-identical to Accuracy().
+  double AccuracyFromPartials(const ScorePartials& partials) const;
+
   /// The interpretability component alone.
   ScoreBreakdown InterpretabilityOnly(const ChangeSummary& summary) const;
+
+  /// The exactness band: max(numeric_tolerance, 0.1% of mean |y_new|) —
+  /// what every ScorePartials fold feeding this scorer must use, and what
+  /// the kScorePartials shard round ships to workers.
+  double exact_tolerance() const { return exact_tolerance_; }
+
+  /// Aligned row count (the n every covering partials fold must reach).
+  int64_t num_rows() const { return static_cast<int64_t>(y_new_.size()); }
 
  private:
   // Held by value: a Scorer must stay valid past the options object it was
@@ -68,6 +91,7 @@ class Scorer {
   std::vector<double> y_new_;
   double baseline_l1_ = 0.0;
   double target_scale_ = 1.0;
+  double exact_tolerance_ = 0.0;
 };
 
 }  // namespace charles

@@ -32,7 +32,8 @@ using wire::ReadVector;
 bool ValidTaskKind(int64_t kind) {
   return kind == static_cast<int64_t>(ShardTaskKind::kLeafMoments) ||
          kind == static_cast<int64_t>(ShardTaskKind::kSignalStats) ||
-         kind == static_cast<int64_t>(ShardTaskKind::kErrorPartials);
+         kind == static_cast<int64_t>(ShardTaskKind::kErrorPartials) ||
+         kind == static_cast<int64_t>(ShardTaskKind::kScorePartials);
 }
 
 void SerializeLeafShardStats(std::string* out, const LeafShardStats& leaf) {
@@ -83,6 +84,8 @@ std::string ShardTaskKindName(ShardTaskKind kind) {
       return "signal-stats";
     case ShardTaskKind::kErrorPartials:
       return "error-partials";
+    case ShardTaskKind::kScorePartials:
+      return "score-partials";
   }
   return "unknown";
 }
@@ -99,6 +102,8 @@ void ShardTask::SerializeTo(std::string* out) const {
     AppendVector(out, probe.features);
     AppendVector(out, probe.coefficients);
   }
+  // Trailing, unconditional (wire v4): the score-fold exactness band.
+  AppendScalar(out, score_tolerance);
 }
 
 Result<ShardTask> ShardTask::Deserialize(const void* data, size_t size) {
@@ -129,6 +134,9 @@ Result<ShardTask> ShardTask::Deserialize(const void* data, size_t size) {
       return Status::IOError("ShardTask::Deserialize: truncated probe");
     }
     task.probes.push_back(std::move(probe));
+  }
+  if (!ReadScalar(&at, end, &task.score_tolerance)) {
+    return Status::IOError("ShardTask::Deserialize: truncated score tolerance");
   }
   if (at != end) {
     return Status::IOError("ShardTask::Deserialize: trailing bytes");
@@ -168,6 +176,18 @@ void ShardTaskResult::SerializeTo(std::string* out) const {
   AppendScalar(out, batch_blocks_staged);
   AppendScalar(out, batch_accumulators_folded);
   AppendScalar(out, batch_max_accumulators_per_block);
+  // Trailing, unconditional (wire v4): the kScorePartials payload.
+  int64_t num_score_probes = static_cast<int64_t>(score_probes.size());
+  AppendScalar(out, num_score_probes);
+  for (const ProbeShardScores& probe : score_probes) {
+    AppendScalar(out, probe.probe);
+    int64_t num_blocks = static_cast<int64_t>(probe.blocks.size());
+    AppendScalar(out, num_blocks);
+    for (const auto& [block, partials] : probe.blocks) {
+      AppendScalar(out, block);
+      partials.SerializeTo(out);
+    }
+  }
 }
 
 Result<ShardTaskResult> ShardTaskResult::Deserialize(const void* data,
@@ -248,6 +268,35 @@ Result<ShardTaskResult> ShardTaskResult::Deserialize(const void* data,
       result.batch_blocks_staged < 0 || result.batch_accumulators_folded < 0 ||
       result.batch_max_accumulators_per_block < 0) {
     return Status::IOError("ShardTaskResult::Deserialize: truncated batch counters");
+  }
+  int64_t num_score_probes = 0;
+  if (!ReadScalar(&at, end, &num_score_probes) || num_score_probes < 0 ||
+      num_score_probes > (end - at) / (2 * static_cast<int64_t>(sizeof(int64_t)))) {
+    return Status::IOError(
+        "ShardTaskResult::Deserialize: truncated score probe header");
+  }
+  result.score_probes.reserve(static_cast<size_t>(num_score_probes));
+  for (int64_t p = 0; p < num_score_probes; ++p) {
+    ProbeShardScores probe;
+    int64_t num_blocks = 0;
+    if (!ReadScalar(&at, end, &probe.probe) ||
+        !ReadScalar(&at, end, &num_blocks) || num_blocks < 0 ||
+        num_blocks > (end - at) / (4 * static_cast<int64_t>(sizeof(int64_t)))) {
+      return Status::IOError(
+          "ShardTaskResult::Deserialize: truncated score probe entry");
+    }
+    probe.blocks.reserve(static_cast<size_t>(num_blocks));
+    for (int64_t b = 0; b < num_blocks; ++b) {
+      int64_t block = 0;
+      if (!ReadScalar(&at, end, &block)) {
+        return Status::IOError(
+            "ShardTaskResult::Deserialize: truncated score probe block");
+      }
+      CHARLES_ASSIGN_OR_RETURN(ScorePartials partials,
+                               ScorePartials::Deserialize(&at, end));
+      probe.blocks.emplace_back(block, partials);
+    }
+    result.score_probes.push_back(std::move(probe));
   }
   if (at != end) {
     return Status::IOError("ShardTaskResult::Deserialize: trailing bytes");
@@ -465,6 +514,65 @@ Status RunErrorPartials(const ShardInput& input, const ShardRange& range,
   return Status::OK();
 }
 
+/// kScorePartials: per-(probe, block) exact score partials. The ŷ chain and
+/// the Σ|y − ŷ| chain are the identical arithmetic as RunErrorPartials (so
+/// the L1 component is bit-identical to an error probe of the same model),
+/// with the within-`score_tolerance` count tallied alongside — an integer
+/// tally over the same |errors|, exact under any order. No batched variant:
+/// a score probe is a single fused pass already; the batch counters stay
+/// zero by design.
+Status RunScorePartials(const ShardInput& input, const ShardRange& range,
+                        int64_t block_rows,
+                        const std::vector<const std::vector<double>*>& columns,
+                        const ShardTask& task, ShardTaskResult* result) {
+  if (!(task.score_tolerance >= 0.0)) {
+    return Status::InvalidArgument(
+        "ExecuteShardTaskKernel: kScorePartials requires a non-negative "
+        "score tolerance");
+  }
+  for (size_t p = 0; p < task.probes.size(); ++p) {
+    const ErrorProbe& probe = task.probes[p];
+    if (probe.leaf < 0 ||
+        probe.leaf >= static_cast<int64_t>(input.leaves.size()) ||
+        probe.features.size() != probe.coefficients.size()) {
+      return Status::InvalidArgument("ExecuteShardTaskKernel: malformed probe " +
+                                     std::to_string(p));
+    }
+    std::vector<const std::vector<double>*> probe_columns;
+    probe_columns.reserve(probe.features.size());
+    for (int64_t f : probe.features) {
+      if (f < 0 || f >= static_cast<int64_t>(columns.size())) {
+        return Status::InvalidArgument(
+            "ExecuteShardTaskKernel: probe feature out of shortlist range");
+      }
+      probe_columns.push_back(columns[static_cast<size_t>(f)]);
+    }
+    const RowSet& rows = *input.leaves[static_cast<size_t>(probe.leaf)];
+    auto [lo, hi] = rows.PositionsInRange(range.row_begin, range.row_end);
+    if (lo == hi) continue;
+    ProbeShardScores scores;
+    scores.probe = static_cast<int64_t>(p);
+    const int64_t* slice = rows.indices().data() + lo;
+    const kernels::Kernel& kernel = kernels::ActiveKernel();
+    ForEachRowBlock(
+        slice, hi - lo, block_rows,
+        [&](int64_t block, const int64_t* block_rows_ptr, int64_t count) {
+          ScorePartials partials;
+          kernel.probe_score_sum(probe.intercept, probe.coefficients.data(),
+                                 probe_columns, *input.y_new, block_rows_ptr,
+                                 count, task.score_tolerance,
+                                 &partials.abs_error_sum,
+                                 &partials.exact_count);
+          partials.n = count;
+          scores.blocks.emplace_back(block, partials);
+        });
+    result->rows_scanned += hi - lo;
+    result->blocks_emitted += static_cast<int64_t>(scores.blocks.size());
+    result->score_probes.push_back(std::move(scores));
+  }
+  return Status::OK();
+}
+
 /// kErrorPartials, batched: validates every probe upfront in probe order
 /// (identical first error to the per-probe path), then evaluates all
 /// intersecting probes in one block-major staged sweep. Probe features
@@ -589,6 +697,10 @@ Result<ShardTaskResult> ExecuteShardTaskKernel(const ShardInput& input,
         CHARLES_RETURN_NOT_OK(RunErrorPartials(input, range, plan.block_rows,
                                                columns, task, &result));
       }
+      break;
+    case ShardTaskKind::kScorePartials:
+      CHARLES_RETURN_NOT_OK(RunScorePartials(input, range, plan.block_rows,
+                                             columns, task, &result));
       break;
   }
   result.elapsed_seconds =

@@ -5,10 +5,11 @@
 /// \brief The pluggable executor seam of distributed shard execution.
 ///
 /// A ShardBackend executes one tagged ShardTask over one ShardRange of a
-/// plan and returns a ShardTaskResult. Three task kinds cover the engine's
+/// plan and returns a ShardTaskResult. Four task kinds cover the engine's
 /// row-bound work (see ShardTaskKind): the per-leaf moments sweep behind
 /// every transformation fit, the phase-1 signal accumulation over the whole
-/// diff, and exact L1-error partials for candidate transforms. Every kind's
+/// diff, exact L1-error partials for candidate transforms, and exact score
+/// partials (L1 + within-band counts) for row-free scoring. Every kind's
 /// payload is built from per-block partials, so the Coordinator's ordered
 /// fold reproduces a central scan bit-for-bit (docs/distributed.md).
 ///
@@ -27,6 +28,7 @@
 #include "common/result.h"
 #include "core/partition_finder.h"
 #include "linalg/error_partials.h"
+#include "linalg/score_partials.h"
 #include "linalg/suffstats.h"
 #include "table/row_set.h"
 
@@ -67,13 +69,19 @@ enum class ShardTaskKind : int64_t {
   /// Exact L1-error partials: per-block Σ|y_new − ŷ| for each probe's
   /// candidate transform over its leaf's rows in the range.
   kErrorPartials = 3,
+  /// Exact score partials: per-block (Σ|y_new − ŷ|, exact-within-tolerance
+  /// count, n) for each probe's candidate transform over its leaf's rows in
+  /// the range — the row-free scoring currency. The Σ chain replays
+  /// kErrorPartials' addends exactly, so the L1 projection of a score probe
+  /// doubles as its error probe (one round serves both).
+  kScorePartials = 4,
 };
 
 /// Short lowercase name for diagnostics and bench output.
 std::string ShardTaskKindName(ShardTaskKind kind);
 
 /// \brief One candidate transform whose exact L1 error a kErrorPartials
-/// task evaluates.
+/// task (or exact score partials a kScorePartials task) evaluates.
 ///
 /// The model is addressed against the run's shortlist: `features` are
 /// shortlist column indices (the transformation subset T, in order) and
@@ -99,8 +107,13 @@ struct ShardTask {
   /// kLeafMoments: indices into ShardInput::leaves to sweep. A warm
   /// coordinator elides already-cached leaves by simply leaving them out.
   std::vector<int64_t> leaves;
-  /// kErrorPartials: the candidate transforms to evaluate.
+  /// kErrorPartials / kScorePartials: the candidate transforms to evaluate.
   std::vector<ErrorProbe> probes;
+  /// kScorePartials: the exactness band every score fold must use — the run
+  /// Scorer's exact_tolerance(), shipped with the task so every executor
+  /// tallies the identical within-band count. Ignored by other kinds (and
+  /// serialized unconditionally, which is what moved the wire to v4).
+  double score_tolerance = 0.0;
 
   /// \name Wire format (versioned, native-endian; magic "CTK1").
   /// @{
@@ -133,6 +146,14 @@ struct ProbeShardErrors {
   std::vector<std::pair<int64_t, ErrorPartials>> blocks;
 };
 
+/// \brief One probe's contribution from one shard (kScorePartials):
+/// per-block exact score partials, ascending block index.
+struct ProbeShardScores {
+  /// Index into ShardTask::probes.
+  int64_t probe = 0;
+  std::vector<std::pair<int64_t, ScorePartials>> blocks;
+};
+
 /// \brief Everything a shard sends back for one task.
 ///
 /// Only the fields of the task's kind are populated; the rest stay empty.
@@ -157,6 +178,10 @@ struct ShardTaskResult {
   /// kErrorPartials: one entry per probe intersecting the range, ascending
   /// probe index.
   std::vector<ProbeShardErrors> probes;
+
+  /// kScorePartials: one entry per probe intersecting the range, ascending
+  /// probe index.
+  std::vector<ProbeShardScores> score_probes;
 
   /// \name Diagnostics.
   /// @{

@@ -78,6 +78,26 @@ Status MergeErrorPartials(const ShardOutcome& outcome,
   return Status::OK();
 }
 
+Status MergeScorePartials(const ShardOutcome& outcome,
+                          CoordinatorTaskResult* merged) {
+  for (const ProbeShardScores& probe : outcome.result.score_probes) {
+    if (probe.probe < 0 ||
+        probe.probe >= static_cast<int64_t>(merged->score_probes.size())) {
+      return Status::Internal("Coordinator::RunTask: shard " +
+                              std::to_string(outcome.result.shard) +
+                              " reported unknown score probe " +
+                              std::to_string(probe.probe));
+    }
+    ScoreRollup& rollup = merged->score_probes[static_cast<size_t>(probe.probe)];
+    for (const auto& [block, partials] : probe.blocks) {
+      (void)block;
+      rollup.partials.Merge(partials);
+      rollup.blocks_merged += 1;
+    }
+  }
+  return Status::OK();
+}
+
 /// Static span name per round kind (Span wants a const char* so the
 /// tracing-off path never materializes a std::string).
 const char* RoundSpanName(ShardTaskKind kind) {
@@ -88,6 +108,8 @@ const char* RoundSpanName(ShardTaskKind kind) {
       return "round:signal_stats";
     case ShardTaskKind::kErrorPartials:
       return "round:error_partials";
+    case ShardTaskKind::kScorePartials:
+      return "round:score_partials";
   }
   return "round:?";
 }
@@ -167,6 +189,8 @@ Result<CoordinatorTaskResult> Coordinator::RunTask(const ShardInput& input,
     }
   } else if (task.kind == ShardTaskKind::kSignalStats) {
     merged.signal_stats = SufficientStats(num_features);
+  } else if (task.kind == ShardTaskKind::kScorePartials) {
+    merged.score_probes.resize(task.probes.size());
   } else {
     merged.probes.resize(task.probes.size());
   }
@@ -196,12 +220,18 @@ Result<CoordinatorTaskResult> Coordinator::RunTask(const ShardInput& input,
       case ShardTaskKind::kErrorPartials:
         CHARLES_RETURN_NOT_OK(MergeErrorPartials(outcome, &merged));
         break;
+      case ShardTaskKind::kScorePartials:
+        CHARLES_RETURN_NOT_OK(MergeScorePartials(outcome, &merged));
+        break;
     }
   }
   for (const LeafRollup& rollup : merged.leaves) {
     merged.blocks_merged += rollup.blocks_merged;
   }
   for (const ProbeRollup& rollup : merged.probes) {
+    merged.blocks_merged += rollup.blocks_merged;
+  }
+  for (const ScoreRollup& rollup : merged.score_probes) {
     merged.blocks_merged += rollup.blocks_merged;
   }
   merged.blocks_merged += signal_blocks;

@@ -23,6 +23,10 @@
 ///  - kErrorPartials: per-(probe, block) ErrorPartials merged in ascending
 ///    block order — the exact Σ|y − ŷ| a central canonical fold computes,
 ///    so shard-derived MAE is bit-identical to centrally evaluated MAE.
+///  - kScorePartials: per-(probe, block) ScorePartials merged the same way.
+///    The Σ chain replays kErrorPartials' fold exactly, and the exact count
+///    is an integer tally (order-free), so the merged accuracy is
+///    bit-identical to a central canonical fold of the same probe.
 ///
 /// The engine re-solves fits and decisions from the merged currencies
 /// through its ordinary machinery, so ranked output is bit-identical to the
@@ -60,6 +64,14 @@ struct ProbeRollup {
   int64_t blocks_merged = 0;
 };
 
+/// \brief One probe's exact cross-shard rollup (kScorePartials).
+struct ScoreRollup {
+  /// Merged (Σ|y − ŷ|, exact count, n) over the probe's leaf.
+  ScorePartials partials;
+  /// Block partials folded into `partials`.
+  int64_t blocks_merged = 0;
+};
+
 /// \brief The coordinator's merged view of one completed task sweep.
 ///
 /// Only the fields of the task's kind carry data.
@@ -75,6 +87,8 @@ struct CoordinatorTaskResult {
   int64_t signal_rows_changed = 0;
   /// kErrorPartials: one rollup per ShardTask::probes entry, same order.
   std::vector<ProbeRollup> probes;
+  /// kScorePartials: one rollup per ShardTask::probes entry, same order.
+  std::vector<ScoreRollup> score_probes;
 
   int64_t shards_executed = 0;
   int64_t rows_scanned = 0;   ///< summed over shards

@@ -65,8 +65,14 @@ namespace charles {
 /// cross-process trace. Untraced kTaskOk replies stay raw CST1, but the
 /// request layout change alone makes version 2 unparseable, so the range
 /// moved past it — same policy as v1 → v2.
-inline constexpr int32_t kRemoteWireVersionMin = 3;
-inline constexpr int32_t kRemoteWireVersionMax = 3;
+///
+/// Version 4: the kScorePartials task kind — ShardTask ("CTK1") gained a
+/// trailing score_tolerance double and ShardTaskResult ("CST1") a trailing
+/// score-probes section, both serialized unconditionally, so a version-3
+/// peer cannot parse either frame (and would reject the kind even if it
+/// could). The range moved past it — same policy as every bump before.
+inline constexpr int32_t kRemoteWireVersionMin = 4;
+inline constexpr int32_t kRemoteWireVersionMax = 4;
 /// @}
 
 /// Frame types of the remote protocol (net::Frame::type values).

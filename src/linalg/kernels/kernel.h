@@ -181,6 +181,31 @@ struct Kernel {
                                     const StagedProbe* probes,
                                     int64_t num_probes, double* out);
   /// @}
+
+  /// \name Score-fold entries (the kScorePartials / accuracy currency)
+  ///
+  /// Each returns two results per block: the Σ|error| chain — **bit-identical
+  /// to its error-fold counterpart** (same addends, same order) — and the
+  /// count of |error| ≤ tolerance over the same errors. The count is an
+  /// integer tally, exact under any evaluation order, so kernels are free to
+  /// tally it however they like; only the sum chain is order-constrained.
+  /// @{
+
+  /// One block partial of (Σ|a[i] − b[i]|, #{i : |a[i] − b[i]| ≤ tolerance})
+  /// over positional arrays; the sum matches abs_diff_sum exactly.
+  void (*score_diff_sum)(const double* a, const double* b, int64_t count,
+                         double tolerance, double* abs_sum, int64_t* exact);
+
+  /// One block partial of (Σ|y[row] − ŷ(row)|, within-tolerance count) for a
+  /// probe model, with ŷ accumulated left-to-right exactly as
+  /// probe_abs_error_sum — which is what lets a kScorePartials shard round
+  /// double as the kErrorPartials baseline (ScorePartials::error()).
+  void (*probe_score_sum)(double intercept, const double* coefficients,
+                          const std::vector<const std::vector<double>*>& columns,
+                          const std::vector<double>& y, const int64_t* rows,
+                          int64_t count, double tolerance, double* abs_sum,
+                          int64_t* exact);
+  /// @}
 };
 
 /// The reference kernel (always available).

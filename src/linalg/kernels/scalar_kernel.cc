@@ -58,6 +58,44 @@ double ProbeAbsErrorSumScalar(
   return sum;
 }
 
+/// Score fold: AbsDiffSumScalar's exact sum chain, with the within-tolerance
+/// tally taken from the same per-row |error| before it joins the sum.
+void ScoreDiffSumScalar(const double* a, const double* b, int64_t count,
+                        double tolerance, double* abs_sum, int64_t* exact) {
+  double sum = 0.0;
+  int64_t within = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    const double err = std::abs(a[i] - b[i]);
+    sum += err;
+    if (err <= tolerance) ++within;
+  }
+  *abs_sum = sum;
+  *exact = within;
+}
+
+/// Probe score: ProbeAbsErrorSumScalar's exact ŷ and sum chains, tallying
+/// the within-tolerance count from the same per-row error.
+void ProbeScoreSumScalar(double intercept, const double* coefficients,
+                         const std::vector<const std::vector<double>*>& columns,
+                         const std::vector<double>& y, const int64_t* rows,
+                         int64_t count, double tolerance, double* abs_sum,
+                         int64_t* exact) {
+  double sum = 0.0;
+  int64_t within = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    size_t row = static_cast<size_t>(rows[i]);
+    double y_hat = intercept;
+    for (size_t f = 0; f < columns.size(); ++f) {
+      y_hat += coefficients[f] * (*columns[f])[row];
+    }
+    const double err = std::abs(y[row] - y_hat);
+    sum += err;
+    if (err <= tolerance) ++within;
+  }
+  *abs_sum = sum;
+  *exact = within;
+}
+
 void GatherScalar(const double* src, const int64_t* rows, int64_t count,
                   double* dst, int64_t dst_stride) {
   for (int64_t i = 0; i < count; ++i) {
@@ -125,6 +163,7 @@ constexpr Kernel kScalarKernel = {
     AbsSumScalar,      ProbeAbsErrorSumScalar, GatherScalar,
     SuffStatsBlockBatchScalar, ErrorFoldBatchScalar,
     ProbeAbsErrorSumBatchScalar,
+    ScoreDiffSumScalar, ProbeScoreSumScalar,
 };
 
 }  // namespace

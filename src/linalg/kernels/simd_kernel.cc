@@ -404,6 +404,70 @@ void ProbeAbsErrorSumBatchSimd(const StagedBlock& block,
   }
 }
 
+/// Score fold: AbsDiffSumSimd's chunked |a−b| lanes and serial Σ chain,
+/// with the within-tolerance tally taken in the same serial pass (it is an
+/// integer count, so the pass structure is free — serial keeps it obvious).
+void ScoreDiffSumSimd(const double* a, const double* b, int64_t count,
+                      double tolerance, double* abs_sum, int64_t* exact) {
+  double sum = 0.0;
+  int64_t within = 0;
+  double err[kChunk];
+  for (int64_t at = 0; at < count; at += kChunk) {
+    const int64_t n = std::min(kChunk, count - at);
+    const double* pa = a + at;
+    const double* pb = b + at;
+#pragma omp simd
+    for (int64_t l = 0; l < n; ++l) {
+      err[l] = std::abs(pa[l] - pb[l]);
+    }
+    for (int64_t l = 0; l < n; ++l) {
+      sum += err[l];
+      if (err[l] <= tolerance) ++within;
+    }
+  }
+  *abs_sum = sum;
+  *exact = within;
+}
+
+/// Probe score: ProbeAbsErrorSumSimd's chunked lanes (identical per-lane ŷ
+/// chain) with the serial Σ + tally pass at the chunk tail.
+void ProbeScoreSumSimd(double intercept, const double* coefficients,
+                       const std::vector<const std::vector<double>*>& columns,
+                       const std::vector<double>& y, const int64_t* rows,
+                       int64_t count, double tolerance, double* abs_sum,
+                       int64_t* exact) {
+  double sum = 0.0;
+  int64_t within = 0;
+  double y_hat[kChunk];
+  double err[kChunk];
+  const size_t num_features = columns.size();
+  const double* yp = y.data();
+  for (int64_t at = 0; at < count; at += kChunk) {
+    const int64_t n = std::min(kChunk, count - at);
+    const int64_t* idx = rows + at;
+#pragma omp simd
+    for (int64_t l = 0; l < n; ++l) y_hat[l] = intercept;
+    for (size_t f = 0; f < num_features; ++f) {
+      const double c = coefficients[f];
+      const double* col = columns[f]->data();
+#pragma omp simd
+      for (int64_t l = 0; l < n; ++l) {
+        y_hat[l] += c * col[idx[l]];
+      }
+    }
+#pragma omp simd
+    for (int64_t l = 0; l < n; ++l) {
+      err[l] = std::abs(yp[idx[l]] - y_hat[l]);
+    }
+    for (int64_t l = 0; l < n; ++l) {
+      sum += err[l];
+      if (err[l] <= tolerance) ++within;
+    }
+  }
+  *abs_sum = sum;
+  *exact = within;
+}
+
 void GatherSimd(const double* src, const int64_t* rows, int64_t count,
                 double* dst, int64_t dst_stride) {
   if (dst_stride == 1) {
@@ -428,6 +492,7 @@ constexpr Kernel kSimdKernel = {
     ProbeAbsErrorSumSimd, GatherSimd,
     SuffStatsBlockBatchSimd, ErrorFoldBatchSimd,
     ProbeAbsErrorSumBatchSimd,
+    ScoreDiffSumSimd, ProbeScoreSumSimd,
 };
 
 }  // namespace

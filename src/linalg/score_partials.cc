@@ -1,0 +1,97 @@
+#include "linalg/score_partials.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/wire.h"
+#include "linalg/kernels/kernel.h"
+#include "linalg/suffstats.h"
+
+namespace charles {
+
+void ScorePartials::Accumulate(double y, double y_hat, double tolerance) {
+  const double err = std::abs(y - y_hat);
+  abs_error_sum += err;
+  if (err <= tolerance) ++exact_count;
+  ++n;
+}
+
+void ScorePartials::Merge(const ScorePartials& other) {
+  abs_error_sum += other.abs_error_sum;
+  exact_count += other.exact_count;
+  n += other.n;
+}
+
+void ScorePartials::SerializeTo(std::string* out) const {
+  wire::AppendScalar(out, abs_error_sum);
+  wire::AppendScalar(out, exact_count);
+  wire::AppendScalar(out, n);
+}
+
+Result<ScorePartials> ScorePartials::Deserialize(const unsigned char** cursor,
+                                                 const unsigned char* end) {
+  ScorePartials partials;
+  if (!wire::ReadScalar(cursor, end, &partials.abs_error_sum) ||
+      !wire::ReadScalar(cursor, end, &partials.exact_count) ||
+      !wire::ReadScalar(cursor, end, &partials.n) || partials.n < 0 ||
+      partials.exact_count < 0 || partials.exact_count > partials.n) {
+    return Status::IOError("ScorePartials::Deserialize: truncated input");
+  }
+  return partials;
+}
+
+bool ScorePartials::BitIdenticalTo(const ScorePartials& other) const {
+  return n == other.n && exact_count == other.exact_count &&
+         std::memcmp(&abs_error_sum, &other.abs_error_sum, sizeof(double)) == 0;
+}
+
+namespace {
+
+/// The shared fold: per-block partials (each produced in row order by a
+/// kernel block primitive) merged left-to-right — the same decomposition-
+/// invariant shape as error_partials.cc's FoldBlocks, carrying the exact
+/// count alongside the sum. `block_fold(base, count, &sum, &exact)` must
+/// fill the row-order sum and tally of the block's positional slice
+/// [base, base + count).
+template <typename BlockFold>
+ScorePartials FoldScoreBlocks(const std::vector<int64_t>& rows,
+                              int64_t block_rows, BlockFold&& block_fold) {
+  ScorePartials total;
+  const int64_t* data = rows.data();
+  ForEachRowBlock(data, static_cast<int64_t>(rows.size()), block_rows,
+                  [&](int64_t /*block*/, const int64_t* block_rows_ptr,
+                      int64_t count) {
+                    ScorePartials block_partial;
+                    int64_t base = block_rows_ptr - data;
+                    block_fold(base, count, &block_partial.abs_error_sum,
+                               &block_partial.exact_count);
+                    block_partial.n = count;
+                    total.Merge(block_partial);
+                  });
+  return total;
+}
+
+}  // namespace
+
+ScorePartials AccumulateScoreDiffBlocks(const kernels::Kernel& kernel,
+                                        const std::vector<double>& a,
+                                        const std::vector<double>& b,
+                                        const std::vector<int64_t>& rows,
+                                        int64_t block_rows, double tolerance) {
+  return FoldScoreBlocks(
+      rows, block_rows,
+      [&](int64_t base, int64_t count, double* sum, int64_t* exact) {
+        kernel.score_diff_sum(a.data() + base, b.data() + base, count,
+                              tolerance, sum, exact);
+      });
+}
+
+ScorePartials AccumulateScoreDiffBlocks(const std::vector<double>& a,
+                                        const std::vector<double>& b,
+                                        const std::vector<int64_t>& rows,
+                                        int64_t block_rows, double tolerance) {
+  return AccumulateScoreDiffBlocks(kernels::ActiveKernel(), a, b, rows,
+                                   block_rows, tolerance);
+}
+
+}  // namespace charles

@@ -35,6 +35,11 @@ RunDiagnostics RunDiagnostics::FromSummary(const SummaryList& summary) {
   d.shard_moment_leaves_swept = summary.shard_moment_leaves_swept;
   d.shard_moment_leaves_elided = summary.shard_moment_leaves_elided;
   d.shard_error_probes = summary.shard_error_probes;
+  d.shard_score_probes = summary.shard_score_probes;
+
+  d.score_partials_candidates = summary.score_partials_candidates;
+  d.score_yhat_materializations = summary.score_yhat_materializations;
+  d.score_leaf_folds = summary.score_leaf_folds;
 
   d.remote_tasks_dispatched = summary.remote_tasks_dispatched;
   d.remote_task_retries = summary.remote_task_retries;
@@ -49,6 +54,7 @@ RunDiagnostics RunDiagnostics::FromSummary(const SummaryList& summary) {
   d.shard_signal_seconds = summary.shard_signal_seconds;
   d.shard_moments_seconds = summary.shard_moments_seconds;
   d.shard_error_seconds = summary.shard_error_seconds;
+  d.shard_score_seconds = summary.shard_score_seconds;
   return d;
 }
 
@@ -90,6 +96,13 @@ std::string RunDiagnostics::ToJson() const {
   w.Key("moment_leaves_swept").Int(shard_moment_leaves_swept);
   w.Key("moment_leaves_elided").Int(shard_moment_leaves_elided);
   w.Key("error_probes").Int(shard_error_probes);
+  w.Key("score_probes").Int(shard_score_probes);
+  w.EndObject();
+
+  w.Key("scoring").BeginObject();
+  w.Key("partials_candidates").Int(score_partials_candidates);
+  w.Key("yhat_materializations").Int(score_yhat_materializations);
+  w.Key("leaf_folds").Int(score_leaf_folds);
   w.EndObject();
 
   w.Key("remote").BeginObject();
@@ -121,6 +134,7 @@ std::string RunDiagnostics::ToJson() const {
   w.Key("shard_signal").Double(shard_signal_seconds);
   w.Key("shard_moments").Double(shard_moments_seconds);
   w.Key("shard_error").Double(shard_error_seconds);
+  w.Key("shard_score").Double(shard_score_seconds);
   w.EndObject();
 
   w.EndObject();

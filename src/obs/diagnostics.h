@@ -61,6 +61,12 @@ struct RunDiagnostics {
   int64_t shard_moment_leaves_swept = 0;
   int64_t shard_moment_leaves_elided = 0;
   int64_t shard_error_probes = 0;
+  int64_t shard_score_probes = 0;
+
+  // Row-free scoring.
+  int64_t score_partials_candidates = 0;
+  int64_t score_yhat_materializations = 0;
+  int64_t score_leaf_folds = 0;
 
   // Remote fleet.
   int64_t remote_tasks_dispatched = 0;
@@ -77,6 +83,7 @@ struct RunDiagnostics {
   double shard_signal_seconds = 0.0;
   double shard_moments_seconds = 0.0;
   double shard_error_seconds = 0.0;
+  double shard_score_seconds = 0.0;
 
   /// Copies the diagnostic fields out of a finished run's SummaryList.
   static RunDiagnostics FromSummary(const SummaryList& summary);

@@ -17,6 +17,7 @@
 #include "distributed/in_process_backend.h"
 #include "distributed/shard_planner.h"
 #include "distributed/subprocess_backend.h"
+#include "linalg/score_partials.h"
 #include "workload/billionaires_gen.h"
 #include "workload/employee_gen.h"
 
@@ -325,10 +326,21 @@ ShardTask MakeErrorTask() {
   return task;
 }
 
-TEST(ShardTaskWireTest, TaskRoundTripIsExactForAllThreeKinds) {
+/// The same two probes as a score task: the worker additionally tallies
+/// rows whose |ŷ − y_new| is within the shipped exactness band.
+ShardTask MakeScoreTask() {
+  ShardTask task = MakeErrorTask();
+  task.kind = ShardTaskKind::kScorePartials;
+  // Sized to the synthetic input's error decades (~4e2..2e3) so the band
+  // genuinely splits the rows: some within, some out.
+  task.score_tolerance = 1000.0;
+  return task;
+}
+
+TEST(ShardTaskWireTest, TaskRoundTripIsExactForAllKinds) {
   SyntheticInput s = MakeSyntheticInput(100);
-  for (const ShardTask& task :
-       {MakeMomentsTask(s.input), MakeSignalTask(), MakeErrorTask()}) {
+  for (const ShardTask& task : {MakeMomentsTask(s.input), MakeSignalTask(),
+                                MakeErrorTask(), MakeScoreTask()}) {
     std::string wire;
     task.SerializeTo(&wire);
     ShardTask back = ShardTask::Deserialize(wire.data(), wire.size()).ValueOrDie();
@@ -343,6 +355,9 @@ TEST(ShardTaskWireTest, TaskRoundTripIsExactForAllThreeKinds) {
                 0);
       EXPECT_EQ(back.probes[p].coefficients, task.probes[p].coefficients);
     }
+    EXPECT_EQ(std::memcmp(&back.score_tolerance, &task.score_tolerance,
+                          sizeof(double)),
+              0);
     // Truncation and a foreign magic must fail loudly.
     EXPECT_TRUE(ShardTask::Deserialize(wire.data(), wire.size() / 2)
                     .status()
@@ -355,11 +370,11 @@ TEST(ShardTaskWireTest, TaskRoundTripIsExactForAllThreeKinds) {
   }
 }
 
-TEST(ShardTaskWireTest, TaskResultRoundTripIsExactForAllThreeKinds) {
+TEST(ShardTaskWireTest, TaskResultRoundTripIsExactForAllKinds) {
   SyntheticInput s = MakeSyntheticInput(500);
   ShardPlan plan = PlanShards(500, 64, 3);
-  for (const ShardTask& task :
-       {MakeMomentsTask(s.input), MakeSignalTask(), MakeErrorTask()}) {
+  for (const ShardTask& task : {MakeMomentsTask(s.input), MakeSignalTask(),
+                                MakeErrorTask(), MakeScoreTask()}) {
     for (int64_t shard = 0; shard < plan.num_shards(); ++shard) {
       ShardTaskResult result =
           ExecuteShardTaskKernel(s.input, plan, shard, task).ValueOrDie();
@@ -399,6 +414,18 @@ TEST(ShardTaskWireTest, TaskResultRoundTripIsExactForAllThreeKinds) {
                     result.probes[p].blocks[b].first);
           EXPECT_TRUE(back.probes[p].blocks[b].second.BitIdenticalTo(
               result.probes[p].blocks[b].second));
+        }
+      }
+      ASSERT_EQ(back.score_probes.size(), result.score_probes.size());
+      for (size_t p = 0; p < result.score_probes.size(); ++p) {
+        EXPECT_EQ(back.score_probes[p].probe, result.score_probes[p].probe);
+        ASSERT_EQ(back.score_probes[p].blocks.size(),
+                  result.score_probes[p].blocks.size());
+        for (size_t b = 0; b < result.score_probes[p].blocks.size(); ++b) {
+          EXPECT_EQ(back.score_probes[p].blocks[b].first,
+                    result.score_probes[p].blocks[b].first);
+          EXPECT_TRUE(back.score_probes[p].blocks[b].second.BitIdenticalTo(
+              result.score_probes[p].blocks[b].second));
         }
       }
       EXPECT_TRUE(ShardTaskResult::Deserialize(wire.data(), wire.size() / 2)
@@ -469,6 +496,63 @@ TEST(ShardTaskMergeTest, ErrorPartialsMergeMatchesCentralFoldBitForBit) {
       }
     }
   }
+}
+
+TEST(ShardTaskMergeTest, ScorePartialsMergeMatchesCentralFoldBitForBit) {
+  SyntheticInput s = MakeSyntheticInput(641);
+  ShardTask task = MakeScoreTask();
+  // Central canonical fold of each probe, straight from the definition: the
+  // same ŷ chain as the error fold plus the within-band tally.
+  std::vector<ScorePartials> central;
+  for (const ErrorProbe& probe : task.probes) {
+    const RowSet& rows = s.leaf_storage[static_cast<size_t>(probe.leaf)];
+    std::vector<double> y(static_cast<size_t>(rows.size()));
+    std::vector<double> y_hat(static_cast<size_t>(rows.size()));
+    for (int64_t r = 0; r < rows.size(); ++r) {
+      size_t row = static_cast<size_t>(rows[r]);
+      y[static_cast<size_t>(r)] = s.y_new[row];
+      double prediction = probe.intercept;
+      for (size_t f = 0; f < probe.features.size(); ++f) {
+        const std::vector<double>& column =
+            *s.columns.Find(s.shortlist[static_cast<size_t>(probe.features[f])]);
+        prediction += probe.coefficients[f] * column[row];
+      }
+      y_hat[static_cast<size_t>(r)] = prediction;
+    }
+    central.push_back(AccumulateScoreDiffBlocks(y, y_hat, rows.indices(), 64,
+                                                task.score_tolerance));
+    EXPECT_EQ(central.back().n, rows.size());
+  }
+  // The band actually splits the rows on this input — a tolerance that
+  // matches nothing (or everything) would let a broken tally pass.
+  EXPECT_GT(central[0].exact_count, 0);
+  EXPECT_LT(central[0].exact_count, central[0].n);
+  InProcessBackend in_process;
+  SubprocessBackend subprocess;
+  for (int shards : {1, 3, 8}) {
+    ShardPlan plan = PlanShards(641, 64, shards);
+    for (ShardBackend* backend :
+         std::vector<ShardBackend*>{&in_process, &subprocess}) {
+      CoordinatorTaskResult merged =
+          Coordinator::RunTask(s.input, plan, backend, nullptr, task).ValueOrDie();
+      ASSERT_EQ(merged.score_probes.size(), task.probes.size());
+      for (size_t p = 0; p < central.size(); ++p) {
+        EXPECT_TRUE(merged.score_probes[p].partials.BitIdenticalTo(central[p]))
+            << backend->name() << " probe " << p << " at " << shards
+            << " shards";
+      }
+    }
+  }
+}
+
+TEST(ShardTaskMergeTest, NegativeScoreToleranceIsRejected) {
+  SyntheticInput s = MakeSyntheticInput(200);
+  ShardPlan plan = PlanShards(200, 64, 2);
+  ShardTask task = MakeScoreTask();
+  task.score_tolerance = -0.5;  // a band below zero can never be intended
+  EXPECT_TRUE(ExecuteShardTaskKernel(s.input, plan, 0, task)
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST(ShardTaskMergeTest, LeafMomentsSubsetSweepsOnlyRequestedLeaves) {

@@ -438,19 +438,19 @@ TEST(EngineContextTest, WarmShardedRunElidesEveryLeafMomentsTask) {
   // Cold: nothing cached, every deduplicated leaf is swept and none elided.
   EXPECT_GT(cold.shard_moment_leaves_swept, 0);
   EXPECT_EQ(cold.shard_moment_leaves_elided, 0);
-  EXPECT_GT(cold.shard_error_probes, 0);
+  EXPECT_GT(cold.shard_score_probes, 0);
   EXPECT_GT(cold.shard_tasks_executed, 0);
 
   // Warm: every leaf's fits are cached, so the moments round issues zero
   // tasks; only the phase-1 signal round still scans rows.
   EXPECT_EQ(warm.shard_moment_leaves_swept, 0);
   EXPECT_EQ(warm.shard_moment_leaves_elided, cold.shard_moment_leaves_swept);
-  EXPECT_EQ(warm.shard_error_probes, 0);
+  EXPECT_EQ(warm.shard_score_probes, 0);
   // Elided rounds report zero time — a skipped stage must never surface a
   // residual or stale timing (SummaryList is per-run, and the round timings
   // are only written by rounds that actually executed).
   EXPECT_EQ(warm.shard_moments_seconds, 0.0);
-  EXPECT_EQ(warm.shard_error_seconds, 0.0);
+  EXPECT_EQ(warm.shard_score_seconds, 0.0);
   EXPECT_EQ(warm.leaf_fits_computed, 0);
 
   // The run id is fingerprint-derived: surfaced as 16 hex digits and stable

@@ -18,6 +18,7 @@
 
 #include "linalg/batch_fold.h"
 #include "linalg/error_partials.h"
+#include "linalg/score_partials.h"
 #include "linalg/kernels/block_stage.h"
 #include "linalg/kernels/kernel.h"
 #include "linalg/suffstats.h"
@@ -267,6 +268,75 @@ TEST(KernelParityTest, ProbeAbsErrorSumBitIdentical) {
       double actual = simd.probe_abs_error_sum(
           intercept, coefficients.data(), c.columns, c.y, c.rows.data(), take);
       ASSERT_EQ(std::memcmp(&expected, &actual, sizeof(double)), 0)
+          << "seed " << seed << " take " << take;
+    }
+  }
+}
+
+// --- ScorePartials folds ------------------------------------------------------
+
+TEST(KernelParityTest, ScoreDiffSumBitIdenticalAndSumMatchesAbsDiff) {
+  const Kernel& scalar = ScalarKernel();
+  const Kernel& simd = SimdKernel();
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    std::mt19937_64 rng(seed * 433 + 5);
+    int64_t num_rows = 1 + static_cast<int64_t>(rng() % 400);
+    std::vector<int64_t> rows = MakeRows(num_rows, (rng() % 2) == 0, rng);
+    std::vector<double> a = AdversarialColumn(static_cast<int64_t>(rows.size()), rng);
+    std::vector<double> b = AdversarialColumn(static_cast<int64_t>(rows.size()), rng);
+    // Spread the band across the adversarial decades so some seeds tally
+    // nothing, some everything, most a genuine mix.
+    double tolerance = std::pow(10.0, static_cast<int>(rng() % 61) - 30);
+    for (int64_t block_rows : {1L, 7L, 64L, num_rows + 1}) {
+      ScorePartials expected =
+          AccumulateScoreDiffBlocks(scalar, a, b, rows, block_rows, tolerance);
+      ScorePartials actual =
+          AccumulateScoreDiffBlocks(simd, a, b, rows, block_rows, tolerance);
+      ASSERT_TRUE(actual.BitIdenticalTo(expected))
+          << "seed " << seed << " block " << block_rows;
+      // The Σ chain is the error fold's chain: same addends, same order.
+      ErrorPartials error_fold =
+          AccumulateAbsDiffBlocks(scalar, a, b, rows, block_rows);
+      ASSERT_EQ(std::memcmp(&expected.abs_error_sum, &error_fold.abs_error_sum,
+                            sizeof(double)),
+                0)
+          << "seed " << seed << " block " << block_rows;
+      ASSERT_EQ(expected.n, error_fold.n);
+    }
+  }
+}
+
+TEST(KernelParityTest, ProbeScoreSumBitIdenticalAndSumMatchesProbeError) {
+  const Kernel& scalar = ScalarKernel();
+  const Kernel& simd = SimdKernel();
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    std::mt19937_64 rng(seed * 3907 + 11);
+    int64_t num_rows = 1 + static_cast<int64_t>(rng() % 300);
+    int64_t num_cols = static_cast<int64_t>(rng() % 4);
+    ShapeCase c = MakeShapeCase(num_rows, num_cols, /*subset=*/true, rng);
+    double intercept = AdversarialValue(rng);
+    std::vector<double> coefficients(static_cast<size_t>(num_cols));
+    for (double& v : coefficients) v = AdversarialValue(rng);
+    double tolerance = std::pow(10.0, static_cast<int>(rng() % 61) - 30);
+    int64_t count = static_cast<int64_t>(c.rows.size());
+    for (int64_t take : {int64_t{1}, count / 3, count}) {
+      if (take < 1) continue;
+      double expected_sum = 0.0, actual_sum = 0.0;
+      int64_t expected_exact = 0, actual_exact = 0;
+      scalar.probe_score_sum(intercept, coefficients.data(), c.columns, c.y,
+                             c.rows.data(), take, tolerance, &expected_sum,
+                             &expected_exact);
+      simd.probe_score_sum(intercept, coefficients.data(), c.columns, c.y,
+                           c.rows.data(), take, tolerance, &actual_sum,
+                           &actual_exact);
+      ASSERT_EQ(std::memcmp(&expected_sum, &actual_sum, sizeof(double)), 0)
+          << "seed " << seed << " take " << take;
+      ASSERT_EQ(expected_exact, actual_exact)
+          << "seed " << seed << " take " << take;
+      // The ŷ + Σ chain replays probe_abs_error_sum's exactly.
+      double error_sum = scalar.probe_abs_error_sum(
+          intercept, coefficients.data(), c.columns, c.y, c.rows.data(), take);
+      ASSERT_EQ(std::memcmp(&expected_sum, &error_sum, sizeof(double)), 0)
           << "seed " << seed << " take " << take;
     }
   }

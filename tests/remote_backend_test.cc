@@ -104,6 +104,16 @@ ShardTask MakeErrorTask() {
   return task;
 }
 
+/// The error probes re-tagged as a score task: same models, plus the
+/// exactness band the worker tallies against.
+ShardTask MakeScoreTask() {
+  ShardTask task = MakeErrorTask();
+  task.kind = ShardTaskKind::kScorePartials;
+  // Sized to the synthetic input's error decades so the band splits rows.
+  task.score_tolerance = 1000.0;
+  return task;
+}
+
 /// Bitwise equality of two merged task results (elapsed time excluded).
 void ExpectBitIdenticalMerges(const CoordinatorTaskResult& expected,
                               const CoordinatorTaskResult& actual) {
@@ -131,6 +141,14 @@ void ExpectBitIdenticalMerges(const CoordinatorTaskResult& expected,
         expected.probes[p].partials.BitIdenticalTo(actual.probes[p].partials))
         << "probe " << p;
     EXPECT_EQ(expected.probes[p].blocks_merged, actual.probes[p].blocks_merged);
+  }
+  ASSERT_EQ(expected.score_probes.size(), actual.score_probes.size());
+  for (size_t p = 0; p < expected.score_probes.size(); ++p) {
+    EXPECT_TRUE(expected.score_probes[p].partials.BitIdenticalTo(
+        actual.score_probes[p].partials))
+        << "score probe " << p;
+    EXPECT_EQ(expected.score_probes[p].blocks_merged,
+              actual.score_probes[p].blocks_merged);
   }
 }
 
@@ -183,7 +201,8 @@ TEST(RemoteProtocolTest, InstallBundleRoundTripIsExact) {
   // The kernel over the worker's owned reconstruction produces the same
   // bytes as over the coordinator's original view — the determinism hinge.
   for (const ShardTask& task :
-       {MakeMomentsTask(s.input), MakeSignalTask(), MakeErrorTask()}) {
+       {MakeMomentsTask(s.input), MakeSignalTask(), MakeErrorTask(),
+        MakeScoreTask()}) {
     for (int64_t shard = 0; shard < plan.num_shards(); ++shard) {
       ShardTaskResult original =
           ExecuteShardTaskKernel(s.input, plan, shard, task).ValueOrDie();
@@ -256,7 +275,8 @@ TEST(RemoteBackendTest, CoordinatorParityAllKindsAllShardCounts) {
   for (int shards : {1, 2, 8}) {
     ShardPlan plan = PlanShards(777, 64, shards);
     for (const ShardTask& task :
-         {MakeMomentsTask(s.input), MakeSignalTask(), MakeErrorTask()}) {
+         {MakeMomentsTask(s.input), MakeSignalTask(), MakeErrorTask(),
+        MakeScoreTask()}) {
       CoordinatorTaskResult expected =
           Coordinator::RunTask(s.input, plan, &in_process, nullptr, task)
               .ValueOrDie();
@@ -281,7 +301,8 @@ TEST(RemoteBackendTest, InputShipsOncePerEpochAndPlanChangeRolls) {
   ShardPlan plan = PlanShards(400, 64, 4);
   int64_t tasks = 0;
   for (const ShardTask& task :
-       {MakeMomentsTask(s.input), MakeSignalTask(), MakeErrorTask()}) {
+       {MakeMomentsTask(s.input), MakeSignalTask(), MakeErrorTask(),
+        MakeScoreTask()}) {
     for (int64_t shard = 0; shard < plan.num_shards(); ++shard) {
       ASSERT_TRUE(remote->ExecuteTask(s.input, plan, shard, task).ok());
       ++tasks;
@@ -356,6 +377,28 @@ TEST(RemoteBackendTest, VersionSkewedWorkerIsExcludedAtHandshake) {
   EXPECT_EQ(diagnostics.workers[0].tasks_dispatched, 0);  // never ran a task
   EXPECT_TRUE(diagnostics.workers[1].healthy);
   EXPECT_GT(diagnostics.workers[1].tasks_dispatched, 0);
+}
+
+TEST(RemoteBackendTest, PreviousWireVersionWorkerIsRejectedAtHandshake) {
+  // The concrete v3 → v4 skew: a worker from the build before kScorePartials
+  // (wire range [3, 3]) must be excluded at the handshake. If it were allowed
+  // to negotiate, it would mis-parse the unconditional trailing
+  // score_tolerance on every CTK1 frame — the reject is what keeps the skew
+  // a clean handshake error instead of a mid-run parse failure.
+  SyntheticInput s = MakeSyntheticInput(200);
+  WorkerServiceOptions v3;
+  v3.version_min = 3;
+  v3.version_max = 3;
+  std::unique_ptr<LoopbackWorker> worker = StartWorker(std::move(v3));
+  std::unique_ptr<RemoteBackend> remote = MakeBackend({worker->endpoint()});
+  ShardPlan plan = PlanShards(200, 64, 2);
+  Status status =
+      remote->ExecuteTask(s.input, plan, 0, MakeScoreTask()).status();
+  ASSERT_TRUE(status.IsIOError()) << status.ToString();
+  RemoteBackendDiagnostics diagnostics = remote->Diagnostics();
+  ASSERT_EQ(diagnostics.workers.size(), 1u);
+  EXPECT_TRUE(diagnostics.workers[0].version_rejected);
+  EXPECT_EQ(diagnostics.workers[0].tasks_dispatched, 0);
 }
 
 TEST(RemoteBackendTest, AllWorkersVersionSkewedFailsWithCleanDiagnostic) {

@@ -124,6 +124,12 @@ void ExpectBitIdenticalMerges(const CoordinatorTaskResult& expected,
         expected.probes[p].partials.BitIdenticalTo(actual.probes[p].partials))
         << "probe " << p;
   }
+  ASSERT_EQ(expected.score_probes.size(), actual.score_probes.size());
+  for (size_t p = 0; p < expected.score_probes.size(); ++p) {
+    EXPECT_TRUE(expected.score_probes[p].partials.BitIdenticalTo(
+        actual.score_probes[p].partials))
+        << "score probe " << p;
+  }
 }
 
 /// A forked worker process that serves the remote protocol normally until

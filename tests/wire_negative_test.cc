@@ -87,6 +87,11 @@ std::vector<ShardTask> AllTaskKinds(const ShardInput& input) {
   probe.coefficients = {0.5, 2.0};
   errors.probes.push_back(probe);
   tasks.push_back(errors);
+  ShardTask scores;
+  scores.kind = ShardTaskKind::kScorePartials;
+  scores.score_tolerance = 0.125;
+  scores.probes.push_back(probe);
+  tasks.push_back(scores);
   return tasks;
 }
 
@@ -137,7 +142,7 @@ TEST(WireNegativeTest, TaskInvalidKindRejected) {
   SyntheticInput s = MakeSyntheticInput(60);
   std::string wire;
   AllTaskKinds(s.input)[0].SerializeTo(&wire);
-  for (int64_t kind : {int64_t{0}, int64_t{4}, int64_t{-1}, int64_t{1} << 40}) {
+  for (int64_t kind : {int64_t{0}, int64_t{5}, int64_t{-1}, int64_t{1} << 40}) {
     std::string skewed = wire;
     PatchInt64(&skewed, kTaskKindOffset, kind);
     EXPECT_TRUE(ShardTask::Deserialize(skewed.data(), skewed.size())
@@ -215,7 +220,7 @@ TEST(WireNegativeTest, ResultWrongVersionMagicAndKindRejected) {
                     .IsIOError())
         << "magic byte '" << version << "'";
   }
-  for (int64_t kind : {int64_t{0}, int64_t{4}, int64_t{-1}}) {
+  for (int64_t kind : {int64_t{0}, int64_t{5}, int64_t{-1}}) {
     std::string skewed = wire;
     PatchInt64(&skewed, kResultKindOffset, kind);
     EXPECT_TRUE(ShardTaskResult::Deserialize(skewed.data(), skewed.size())
